@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the real threaded collectives: the fused
+//! ring all-reduce vs its decoupled RS∘AG composition (the Fig. 5 claim,
+//! measured under Criterion's statistics), plus the alternative all-reduce
+//! algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dear_collectives::{run_cluster, run_cluster_with, AllReduceAlgorithm, ReduceOp};
+
+fn bench_ring_vs_decoupled(c: &mut Criterion) {
+    let world = 4;
+    let mut group = c.benchmark_group("ring_vs_decoupled");
+    for &elems in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Bytes((elems * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("all_reduce", elems), &elems, |b, &n| {
+            b.iter(|| {
+                run_cluster(world, |comm| {
+                    let mut data = vec![1.0f32; n];
+                    comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                    data[0]
+                })
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reduce_scatter_all_gather", elems),
+            &elems,
+            |b, &n| {
+                b.iter(|| {
+                    run_cluster(world, |comm| {
+                        let mut data = vec![1.0f32; n];
+                        comm.reduce_scatter(&mut data, ReduceOp::Sum).unwrap();
+                        comm.all_gather(&mut data).unwrap();
+                        data[0]
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let world = 4;
+    let elems = 50_000;
+    let mut group = c.benchmark_group("all_reduce_algorithms");
+    group.throughput(Throughput::Bytes((elems * 4) as u64));
+    for algo in [
+        AllReduceAlgorithm::Ring,
+        AllReduceAlgorithm::RecursiveHalvingDoubling,
+        AllReduceAlgorithm::DoubleBinaryTree,
+        AllReduceAlgorithm::NaiveTree,
+    ] {
+        group.bench_function(format!("{algo:?}"), |b| {
+            b.iter(|| {
+                run_cluster_with(world, algo, |comm| {
+                    let mut data = vec![1.0f32; elems];
+                    comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                    data[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    use dear_collectives::{compressed_aggregate, Compressor, ErrorFeedback, TopK, Uniform8};
+    let world = 4;
+    let elems = 50_000;
+    let mut group = c.benchmark_group("compressed_aggregate");
+    group.throughput(Throughput::Bytes((elems * 4) as u64));
+    group.bench_function("topk_1pct", |b| {
+        b.iter(|| {
+            run_cluster(world, |comm| {
+                let mut data = vec![0.5f32; elems];
+                let mut ef = ErrorFeedback::new();
+                compressed_aggregate(comm.transport(), &mut data, &TopK::new(0.01), &mut ef)
+                    .unwrap();
+                data[0]
+            })
+        });
+    });
+    group.bench_function("uniform8", |b| {
+        b.iter(|| {
+            run_cluster(world, |comm| {
+                let mut data = vec![0.5f32; elems];
+                let mut ef = ErrorFeedback::new();
+                compressed_aggregate(comm.transport(), &mut data, &Uniform8::new(256), &mut ef)
+                    .unwrap();
+                data[0]
+            })
+        });
+    });
+    // Compressor-only costs (no communication).
+    group.bench_function("topk_compress_only", |b| {
+        let data = vec![0.5f32; elems];
+        let c = TopK::new(0.01);
+        b.iter(|| c.compress(&data).bytes());
+    });
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    use dear_collectives::{hierarchical_all_reduce, ClusterShape};
+    let shape = ClusterShape::new(2, 2);
+    let elems = 50_000;
+    c.bench_function("hierarchical_all_reduce_2x2", |b| {
+        b.iter(|| {
+            run_cluster(shape.world(), |comm| {
+                let mut data = vec![1.0f32; elems];
+                hierarchical_all_reduce(comm.transport(), shape, &mut data, ReduceOp::Sum)
+                    .unwrap();
+                data[0]
+            })
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ring_vs_decoupled, bench_algorithms, bench_compression, bench_hierarchical
+}
+criterion_main!(benches);

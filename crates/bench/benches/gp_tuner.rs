@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the Bayesian-optimization machinery: GP
+//! fit, posterior prediction, and a full suggest step at the history sizes
+//! seen during online tuning. The paper reports 0.207 s per trial for its
+//! Python tuner; the Rust GP should be orders of magnitude cheaper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dear_fusion::{BayesOpt, Domain, GaussianProcess, Tuner};
+
+fn history(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| 1.0 + 99.0 * i as f64 / n as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 1500.0 - (x - 35.0).powi(2)).collect();
+    (xs, ys)
+}
+
+fn bench_gp_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    for n in [5usize, 20, 50] {
+        let (xs, ys) = history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = GaussianProcess::default();
+                gp.fit(&xs, &ys);
+                gp.predict(42.0).0
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bo_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bo_suggest");
+    for n in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut bo = BayesOpt::new(Domain::paper_default(), 7);
+            let (xs, ys) = history(n);
+            for (x, y) in xs.iter().zip(&ys) {
+                bo.observe(*x * (1 << 20) as f64, *y);
+            }
+            b.iter(|| bo.suggest());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gp_fit, bench_bo_suggest
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the simulation stack itself: building and
+//! measuring scheduler timelines for the paper's models. These bound the
+//! cost of every figure-regeneration binary and of BO's simulated
+//! objective evaluations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dear_models::Model;
+use dear_sched::{ClusterConfig, DearScheduler, MgWfbpScheduler, Scheduler, WfbpScheduler};
+
+fn bench_simulate(c: &mut Criterion) {
+    let cluster = ClusterConfig::paper_10gbe();
+    let mut group = c.benchmark_group("simulate_iteration");
+    for m in [Model::ResNet50, Model::DenseNet201, Model::BertLarge] {
+        let model = m.profile();
+        group.bench_with_input(
+            BenchmarkId::new("dear_25mb", m.name()),
+            &model,
+            |b, model| {
+                let s = DearScheduler::with_buffer("DeAR", 25 << 20);
+                b.iter(|| s.simulate(model, &cluster).iter_time);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("horovod", m.name()),
+            &model,
+            |b, model| {
+                let s = WfbpScheduler::horovod();
+                b.iter(|| s.simulate(model, &cluster).iter_time);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mgwfbp_plan", m.name()),
+            &model,
+            |b, model| {
+                let s = MgWfbpScheduler::new();
+                b.iter(|| s.plan(model, &cluster).num_groups());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_unfused_worst_case(c: &mut Criterion) {
+    // DenseNet-201 unfused: 604 communication tasks per iteration — the
+    // largest timelines the harness ever builds.
+    let cluster = ClusterConfig::paper_10gbe();
+    let model = Model::DenseNet201.profile();
+    c.bench_function("simulate_densenet_unfused", |b| {
+        let s = DearScheduler::unfused();
+        b.iter(|| s.simulate(&model, &cluster).iter_time);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulate, bench_unfused_worst_case
+}
+criterion_main!(benches);

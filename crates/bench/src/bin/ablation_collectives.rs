@@ -1,0 +1,78 @@
+//! Ablation (§VII-A): DeAR over different decoupled all-reduce families —
+//! flat ring (the paper's default), hierarchical 2-level ring
+//! (intra-node NVLink + inter-node network), and the double binary tree.
+//! The paper claims the DeAR schedule applies to any all-reduce that
+//! splits into two continuous operations; this regenerates the comparison.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_collectives::CostModel;
+use dear_models::Model;
+use dear_sched::{ClusterConfig, CollectiveFamily, DearScheduler, Scheduler};
+
+fn main() {
+    println!("Ablation: DeAR with different decoupled all-reduce families\n");
+    let families = [
+        CollectiveFamily::FlatRing,
+        CollectiveFamily::Hierarchical {
+            gpus_per_node: 4,
+            intra: CostModel::nvlink(),
+        },
+        CollectiveFamily::DoubleBinaryTree,
+    ];
+    let mut artifact = Vec::new();
+    for cluster in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()] {
+        println!("== {} (16 nodes x 4 GPUs) ==", cluster.label);
+        let mut table = TableBuilder::new(&[
+            "Model",
+            "ring (ms)",
+            "hierarchical (ms)",
+            "double-tree (ms)",
+            "best",
+        ]);
+        for m in Model::ALL {
+            let model = m.profile();
+            let times: Vec<f64> = families
+                .iter()
+                .map(|f| {
+                    DearScheduler::with_buffer("DeAR", 25 << 20)
+                        .with_family(*f)
+                        .simulate(&model, &cluster)
+                        .iter_time
+                        .as_millis_f64()
+                })
+                .collect();
+            let best = families
+                .iter()
+                .zip(&times)
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("three families")
+                .0
+                .label();
+            table.row(vec![
+                model.name.clone(),
+                format!("{:.1}", times[0]),
+                format!("{:.1}", times[1]),
+                format!("{:.1}", times[2]),
+                best.to_owned(),
+            ]);
+            artifact.push(serde_json::json!({
+                "cluster": cluster.label,
+                "model": model.name,
+                "ring_ms": times[0],
+                "hierarchical_ms": times[1],
+                "double_tree_ms": times[2],
+            }));
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "Expected shape: the hierarchical family wins on 10GbE dense-GPU nodes\n\
+         (the intra-node phase rides NVLink, shrinking the inter-node volume to\n\
+         1/4); the flat ring is competitive on the fast 100GbIB fabric; the\n\
+         double tree trades bandwidth for latency and only pays off for small\n\
+         messages."
+    );
+    let path = write_json("ablation_collectives", &serde_json::json!(artifact));
+    println!("wrote {path}");
+}

@@ -1,0 +1,63 @@
+//! §VII-B comparison: DeAR vs ZeRO-style parameter sharding. The paper
+//! argues ZeRO's per-iteration communication is two all-gathers plus one
+//! reduce-scatter (1.5× the all-reduce volume) versus DeAR's exactly one
+//! all-reduce worth — this regenerates the volume ratio and the resulting
+//! iteration times.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_models::Model;
+use dear_sched::{ClusterConfig, DearScheduler, Scheduler, ZeroScheduler};
+
+fn main() {
+    println!("Extension: DeAR vs ZeRO-style parameter sharding (25 MB units)\n");
+    let mut artifact = Vec::new();
+    for cluster in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()] {
+        println!("== {} ==", cluster.label);
+        let mut table = TableBuilder::new(&[
+            "Model",
+            "DeAR iter (ms)",
+            "ZeRO iter (ms)",
+            "DeAR comm (ms)",
+            "ZeRO comm (ms)",
+            "volume ratio",
+            "DeAR gain",
+        ]);
+        for m in Model::ALL {
+            let model = m.profile();
+            let dear =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let zero = ZeroScheduler::default().simulate(&model, &cluster);
+            let ratio = zero.total_comm.as_secs_f64() / dear.total_comm.as_secs_f64();
+            table.row(vec![
+                model.name.clone(),
+                format!("{:.1}", dear.iter_time.as_millis_f64()),
+                format!("{:.1}", zero.iter_time.as_millis_f64()),
+                format!("{:.1}", dear.total_comm.as_millis_f64()),
+                format!("{:.1}", zero.total_comm.as_millis_f64()),
+                format!("{ratio:.2}x"),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (zero.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0)
+                ),
+            ]);
+            artifact.push(serde_json::json!({
+                "cluster": cluster.label,
+                "model": model.name,
+                "dear_iter_ms": dear.iter_time.as_millis_f64(),
+                "zero_iter_ms": zero.iter_time.as_millis_f64(),
+                "volume_ratio": ratio,
+            }));
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "§VII-B's claim quantified: ZeRO pays ~1.5x DeAR's communication volume\n\
+         (two parameter all-gathers + one gradient reduce-scatter per iteration\n\
+         vs DeAR's one reduce-scatter + one all-gather); the gap in iteration\n\
+         time tracks the exposed share of that extra volume. (ZeRO buys memory,\n\
+         not speed — the trade the paper describes.)"
+    );
+    let path = write_json("ext_zero_comparison", &serde_json::json!(artifact));
+    println!("wrote {path}");
+}

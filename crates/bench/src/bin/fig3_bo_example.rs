@@ -1,0 +1,80 @@
+//! Fig. 3: Bayesian-optimization example — 9 samples tuning the fusion
+//! buffer size for DenseNet-201, printing the sampled points and the GP
+//! posterior (mean ± 95% interval) over the 1–100 MB range, plus an ASCII
+//! sketch of the posterior mean.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_fusion::{BayesOpt, Domain, Tuner};
+use dear_models::Model;
+use dear_sched::{ClusterConfig, DearScheduler, Scheduler};
+
+const MB: f64 = (1 << 20) as f64;
+
+fn main() {
+    println!("Fig. 3: BO tuning the DeAR fusion buffer for DenseNet-201 (64x10GbE)\n");
+    let model = Model::DenseNet201.profile();
+    let cluster = ClusterConfig::paper_10gbe();
+    let objective = |x: f64| {
+        DearScheduler::with_buffer("DeAR", x as u64)
+            .simulate(&model, &cluster)
+            .throughput(cluster.workers)
+    };
+
+    let mut bo = BayesOpt::new(Domain::paper_default(), 3);
+    println!("samples:");
+    let mut samples = Vec::new();
+    for i in 0..9 {
+        let x = bo.suggest();
+        let y = objective(x);
+        bo.observe(x, y);
+        println!("  {:>2}: buffer {:>5.1} MB -> {y:.0} samples/s", i + 1, x / MB);
+        samples.push(serde_json::json!({ "buffer_mb": x / MB, "throughput": y }));
+    }
+    let (best_x, best_y) = bo.best().expect("nine samples observed");
+    println!("\nbest after 9 samples: {:.1} MB at {best_y:.0} samples/s", best_x / MB);
+
+    println!("\nposterior over 1..100 MB:");
+    let mut table = TableBuilder::new(&["buffer (MB)", "mean", "std", "true"]);
+    let mut posterior = Vec::new();
+    let mut means = Vec::new();
+    for mb in (5..=100).step_by(5) {
+        let x = mb as f64 * MB;
+        let (mean, std) = bo.posterior(x);
+        let truth = objective(x);
+        means.push(mean);
+        table.row(vec![
+            mb.to_string(),
+            format!("{mean:.0}"),
+            format!("{std:.0}"),
+            format!("{truth:.0}"),
+        ]);
+        posterior.push(serde_json::json!({
+            "buffer_mb": mb, "mean": mean, "std": std, "truth": truth,
+        }));
+    }
+    table.print();
+
+    // ASCII sketch of the posterior mean.
+    let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("\nposterior mean (normalized):");
+    for (i, &mean) in means.iter().enumerate() {
+        let mb = 5 + i * 5;
+        let width = if hi > lo {
+            (40.0 * (mean - lo) / (hi - lo)) as usize
+        } else {
+            20
+        };
+        println!("  {mb:>3} MB |{}", "#".repeat(width));
+    }
+
+    let path = write_json(
+        "fig3_bo_example",
+        &serde_json::json!({
+            "samples": samples,
+            "posterior": posterior,
+            "best_buffer_mb": best_x / MB,
+        }),
+    );
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,54 @@
+//! Fig. 6: speedups **without** tensor fusion, normalized to WFBP, on the
+//! five models over both interconnects. Compares WFBP (baseline = 1.0),
+//! ByteScheduler, and DeAR.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_models::Model;
+use dear_sched::{ByteSchedulerSim, ClusterConfig, DearScheduler, Scheduler, WfbpScheduler};
+
+fn main() {
+    println!("Fig. 6: speedups without tensor fusion (baseline: WFBP = 1.0)\n");
+    let clusters = [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()];
+    let mut artifact = Vec::new();
+    for cluster in &clusters {
+        println!("== {} ==", cluster.label);
+        let mut table = TableBuilder::new(&[
+            "Model",
+            "WFBP",
+            "ByteScheduler",
+            "DeAR",
+            "DeAR gain",
+        ]);
+        for m in Model::ALL {
+            let model = m.profile();
+            let wfbp = WfbpScheduler::unfused().simulate(&model, cluster);
+            let bs = ByteSchedulerSim::default().simulate(&model, cluster);
+            let dear = DearScheduler::unfused().simulate(&model, cluster);
+            let base = wfbp.iter_time.as_secs_f64();
+            let s_bs = base / bs.iter_time.as_secs_f64();
+            let s_dear = base / dear.iter_time.as_secs_f64();
+            table.row(vec![
+                model.name.clone(),
+                "1.000".to_owned(),
+                format!("{s_bs:.3}"),
+                format!("{s_dear:.3}"),
+                format!("+{:.1}%", 100.0 * (s_dear - 1.0)),
+            ]);
+            artifact.push(serde_json::json!({
+                "cluster": cluster.label,
+                "model": model.name,
+                "wfbp": 1.0,
+                "bytescheduler": s_bs,
+                "dear": s_dear,
+            }));
+        }
+        table.print();
+        println!();
+    }
+    println!(
+        "Expected shape (paper): DeAR 6-19% over WFBP everywhere; ByteScheduler\n\
+         below WFBP on CNNs (negotiation + partitioning overheads), closer on BERTs."
+    );
+    let path = write_json("fig6_no_fusion", &serde_json::json!(artifact));
+    println!("wrote {path}");
+}

@@ -1,0 +1,101 @@
+//! Wall-clock validation of the runtime itself: train the same model with
+//! DeAR pipelining and with the WFBP baseline on a real in-process cluster
+//! with injected α-β network delays, and compare measured throughput.
+//!
+//! This is the bridge between the simulation-based figures and the real
+//! threaded runtime — the overlap behaviour that produces the paper's
+//! speedups must show up as actual elapsed time here.
+
+use std::time::Instant;
+
+use dear_bench::{write_json, TableBuilder};
+use dear_collectives::CostModel;
+use dear_core::{run_training, DelayConfig, PipelineMode, TrainConfig};
+use dear_minidnn::{BlobDataset, Linear, Relu, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A deep-ish MLP so there are many layers to pipeline across.
+    let mut net = Sequential::new().push(Linear::new(32, 128, &mut rng));
+    for _ in 0..6 {
+        net = net.push(Relu::new()).push(Linear::new(128, 128, &mut rng));
+    }
+    net.push(Relu::new()).push(Linear::new(128, 8, &mut rng))
+}
+
+fn run(mode: PipelineMode, world: usize, steps: u64) -> f64 {
+    let config = TrainConfig {
+        lr: 0.05,
+        fusion_buffer: Some(64 << 10),
+        mode,
+        // A slow-ish emulated network so communication matters. (Injected
+        // delays sleep, so even on a single-core host they can be hidden
+        // behind another thread's compute — which is exactly the overlap
+        // DeAR creates.)
+        delay: Some(DelayConfig {
+            model: CostModel::new(120_000.0, 0.08, 0.0),
+            scale: 1.0,
+        }),
+        ..TrainConfig::default()
+    };
+    let data = BlobDataset::new(32, 8, 0.4, 7);
+    let times = run_training(world, config, |handle| {
+        let rank = handle.rank();
+        let mut net = build_net(1);
+        let mut optim = handle.into_optim(&net);
+        // Warmup.
+        for step in 0..4 {
+            let (x, labels) = data.shard(step, 8 * world, rank, world);
+            let _ = optim.train_step(&mut net, &x, &labels);
+        }
+        let t0 = Instant::now();
+        for step in 4..4 + steps {
+            let (x, labels) = data.shard(step, 8 * world, rank, world);
+            let _ = optim.train_step(&mut net, &x, &labels);
+        }
+        optim.synchronize(&mut net);
+        t0.elapsed().as_secs_f64()
+    });
+    let slowest = times.into_iter().fold(0.0f64, f64::max);
+    steps as f64 * 8.0 * world as f64 / slowest
+}
+
+/// Median of three runs (the harness may share cores with other work).
+fn median_run(mode: PipelineMode, world: usize, steps: u64) -> f64 {
+    let mut samples: Vec<f64> = (0..3).map(|_| run(mode, world, steps)).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    samples[1]
+}
+
+fn main() {
+    println!("Real threaded runtime: DeAR vs WFBP wall-clock throughput\n");
+    let steps = 25;
+    let mut table = TableBuilder::new(&["workers", "WFBP (samples/s)", "DeAR (samples/s)", "DeAR gain"]);
+    let mut artifact = Vec::new();
+    #[allow(clippy::single_element_loop)] // more worlds are meaningful on multi-core hosts
+    for world in [2usize] {
+        let wfbp = median_run(PipelineMode::Wfbp, world, steps);
+        let dear = median_run(PipelineMode::Dear, world, steps);
+        table.row(vec![
+            world.to_string(),
+            format!("{wfbp:.0}"),
+            format!("{dear:.0}"),
+            format!("{:+.1}%", 100.0 * (dear / wfbp - 1.0)),
+        ]);
+        artifact.push(serde_json::json!({
+            "workers": world, "wfbp": wfbp, "dear": dear,
+        }));
+    }
+    table.print();
+    println!(
+        "\nDeAR's gain here is real elapsed time: the same model, data, and\n\
+         network emulation — only the pipelining scheme differs. On hosts with\n\
+         few physical cores the gain shrinks as worker compute saturates the\n\
+         CPU (every worker timeshares the same silicon); the effect is clean\n\
+         on the 2-worker run."
+    );
+    let path = write_json("realtime_pipeline", &serde_json::json!(artifact));
+    println!("wrote {path}");
+}

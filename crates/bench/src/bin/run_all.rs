@@ -1,0 +1,45 @@
+//! Convenience driver: runs every experiment binary in sequence by
+//! spawning the sibling binaries (they must be built already — use
+//! `cargo build --release -p dear-bench` first, or run via
+//! `cargo run --release -p dear-bench --bin run_all`).
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_models",
+    "table2_max_speedup",
+    "fig3_bo_example",
+    "fig5_allreduce_breakdown",
+    "fig6_no_fusion",
+    "fig7_with_fusion",
+    "fig8_breakdown",
+    "fig9_fusion_strategies",
+    "fig10_search_cost",
+    "fig11_batch_size",
+    "eq9_analysis",
+    "ablation_collectives",
+    "ext_compression",
+    "ext_zero_comparison",
+    "realtime_pipeline",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================= {exp} =================\n");
+        let status = Command::new(bin_dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; artifacts in results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Table I: DNN details for experiments — regenerated from the model zoo.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_models::Model;
+
+fn main() {
+    println!("Table I: DNN details for experiments\n");
+    let mut table = TableBuilder::new(&[
+        "Model",
+        "BS",
+        "# Layers",
+        "# Tensors",
+        "# Param. (M)",
+        "FF (ms)",
+        "BP (ms)",
+        "1-GPU img/s",
+    ]);
+    let mut artifact = Vec::new();
+    for m in Model::ALL {
+        let p = m.profile();
+        table.row(vec![
+            p.name.clone(),
+            p.batch_size.to_string(),
+            p.num_layers().to_string(),
+            p.num_tensors().to_string(),
+            format!("{:.1}", p.num_params() as f64 / 1e6),
+            format!("{:.1}", p.ff_time().as_millis_f64()),
+            format!("{:.1}", p.bp_time().as_millis_f64()),
+            format!("{:.0}", p.single_gpu_throughput()),
+        ]);
+        artifact.push(serde_json::json!({
+            "model": p.name,
+            "batch_size": p.batch_size,
+            "layers": p.num_layers(),
+            "tensors": p.num_tensors(),
+            "params": p.num_params(),
+            "ff_ms": p.ff_time().as_millis_f64(),
+            "bp_ms": p.bp_time().as_millis_f64(),
+        }));
+    }
+    table.print();
+    let path = write_json("table1_models", &serde_json::json!(artifact));
+    println!("\nwrote {path}");
+}

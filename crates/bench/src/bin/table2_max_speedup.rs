@@ -1,0 +1,42 @@
+//! Table II: the real speedup `S` of (simulated) DeAR on 64-GPU clusters
+//! vs. the theoretical maximum `S^max` of Eq. 6.
+
+use dear_bench::{write_json, TableBuilder};
+use dear_models::Model;
+use dear_sched::analysis::table2_max_speedup;
+use dear_sched::{ClusterConfig, DearScheduler, Scheduler};
+
+fn main() {
+    println!("Table II: real (S) vs theoretical maximal (S^max) speedup on 64 GPUs\n");
+    let clusters = [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()];
+    let mut artifact = Vec::new();
+    for cluster in &clusters {
+        println!("== {} ==", cluster.label);
+        let mut table =
+            TableBuilder::new(&["Model", "S^max", "S (DeAR sim)", "S/S^max"]);
+        for m in Model::ALL {
+            let model = m.profile();
+            let smax = table2_max_speedup(&model, cluster);
+            let report =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
+            let s = report.speedup_vs_single_gpu(cluster.workers);
+            table.row(vec![
+                model.name.clone(),
+                format!("{smax:.1}"),
+                format!("{s:.1}"),
+                format!("{:.1}%", 100.0 * s / smax),
+            ]);
+            artifact.push(serde_json::json!({
+                "cluster": cluster.label,
+                "model": model.name,
+                "smax": smax,
+                "s": s,
+                "ratio": s / smax,
+            }));
+        }
+        table.print();
+        println!();
+    }
+    let path = write_json("table2_max_speedup", &serde_json::json!(artifact));
+    println!("wrote {path}");
+}

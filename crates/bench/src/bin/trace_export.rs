@@ -1,0 +1,28 @@
+//! Exports Chrome-tracing JSON of two iterations of each scheduler on
+//! ResNet-50 / 64x10GbE — load `results/trace_*.json` in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to inspect the
+//! pipelines visually (the timelines behind the paper's Figs. 1 and 2).
+
+use std::fs;
+
+use dear_models::Model;
+use dear_sched::{ClusterConfig, DearScheduler, Scheduler, WfbpScheduler};
+use dear_sim::trace::to_chrome_trace;
+
+fn main() {
+    let model = Model::ResNet50.profile();
+    let cluster = ClusterConfig::paper_10gbe();
+    fs::create_dir_all("results").expect("cannot create results/");
+    let cases: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("wfbp", Box::new(WfbpScheduler::unfused())),
+        ("horovod", Box::new(WfbpScheduler::horovod())),
+        ("dear_25mb", Box::new(DearScheduler::with_buffer("DeAR", 25 << 20))),
+    ];
+    for (name, sched) in cases {
+        let tl = sched.build(&model, &cluster, 2);
+        let path = format!("results/trace_{name}.json");
+        fs::write(&path, to_chrome_trace(&tl)).expect("cannot write trace");
+        println!("wrote {path} ({} tasks)", tl.tasks().len());
+    }
+    println!("\nopen the files in chrome://tracing or https://ui.perfetto.dev");
+}

@@ -1,0 +1,85 @@
+//! Chunk partitioning shared by scatter-based collectives.
+//!
+//! A buffer of `d` elements is split into `P` contiguous chunks; the first
+//! `d mod P` chunks carry one extra element so that every element belongs to
+//! exactly one chunk (MPI-style block distribution).
+
+use std::ops::Range;
+
+/// Returns the element range of chunk `i` when `d` elements are split into
+/// `p` chunks.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `i >= p`.
+///
+/// # Examples
+///
+/// ```
+/// use dear_collectives::chunk_range;
+///
+/// assert_eq!(chunk_range(10, 3, 0), 0..4);
+/// assert_eq!(chunk_range(10, 3, 1), 4..7);
+/// assert_eq!(chunk_range(10, 3, 2), 7..10);
+/// ```
+#[must_use]
+pub fn chunk_range(d: usize, p: usize, i: usize) -> Range<usize> {
+    assert!(p > 0, "chunk count must be positive");
+    assert!(i < p, "chunk index {i} out of range for {p} chunks");
+    let base = d / p;
+    let extra = d % p;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// Returns all `p` chunk ranges for a `d`-element buffer.
+#[must_use]
+pub fn chunk_ranges(d: usize, p: usize) -> Vec<Range<usize>> {
+    (0..p).map(|i| chunk_range(d, p, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_exactly_cover_the_buffer() {
+        for d in [0, 1, 7, 64, 1000, 1023] {
+            for p in [1, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(d, p);
+                assert_eq!(ranges.len(), p);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[p - 1].end, d);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "gap/overlap between chunks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for d in [5, 17, 100] {
+            for p in [2, 3, 7] {
+                let sizes: Vec<usize> = chunk_ranges(d, p).iter().map(|r| r.len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_buffer_yields_empty_chunks() {
+        for r in chunk_ranges(0, 4) {
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_chunk_panics() {
+        let _ = chunk_range(10, 2, 2);
+    }
+}

@@ -1,0 +1,444 @@
+//! Gradient compression — the paper's stated future work (§VI-D: "We will
+//! leave it as our future work to introduce gradient compression techniques
+//! into our DeAR scheduling framework").
+//!
+//! Two classic compressors are provided, plus the error-feedback residual
+//! accumulator that keeps compressed S-SGD convergent:
+//!
+//! - [`TopK`]: magnitude-based sparsification (Lin et al., DGC); aggregated
+//!   with a ring all-gather of the sparse payloads
+//!   ([`compressed_aggregate`]), since sparse contributions cannot ride a
+//!   sum-reducing reduce-scatter.
+//! - [`Uniform8`]: block-wise uniform 8-bit quantization (QSGD-style).
+//! - [`ErrorFeedback`]: carries the compression residual into the next
+//!   iteration.
+
+use crate::error::CollectiveError;
+use crate::transport::Transport;
+
+/// A compressed gradient payload, encoded as a flat `f32` vector so it can
+/// travel over the same transports as dense gradients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compressed {
+    /// Opaque encoded payload (see each compressor's format).
+    pub payload: Vec<f32>,
+}
+
+impl Compressed {
+    /// Size in bytes on the wire.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        (self.payload.len() * 4) as u64
+    }
+}
+
+/// A lossy gradient compressor.
+pub trait Compressor {
+    /// Compresses `data` into a payload.
+    fn compress(&self, data: &[f32]) -> Compressed;
+
+    /// Decodes a payload back to a dense vector of length `len`,
+    /// **accumulating** into `out` (so P contributions can be summed).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on malformed payloads.
+    fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]);
+
+    /// The nominal compression ratio (compressed bytes / dense bytes).
+    fn ratio(&self) -> f64;
+}
+
+/// Magnitude top-k sparsification: keeps the `ratio` fraction of entries
+/// with the largest absolute values. Payload format: `[k, idx0, val0,
+/// idx1, val1, ...]` (indices exact in `f32` up to 2²⁴ elements).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopK {
+    ratio: f64,
+}
+
+impl TopK {
+    /// Creates a sparsifier keeping the top `ratio` ∈ (0, 1] of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is out of range.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        TopK { ratio }
+    }
+
+    fn k_for(&self, len: usize) -> usize {
+        ((len as f64 * self.ratio).ceil() as usize).clamp(1, len.max(1))
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&self, data: &[f32]) -> Compressed {
+        assert!(
+            data.len() < (1 << 24),
+            "top-k payload indices exceed exact f32 range"
+        );
+        let k = self.k_for(data.len());
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.sort_by(|&a, &b| {
+            data[b]
+                .abs()
+                .partial_cmp(&data[a].abs())
+                .expect("gradients must be finite")
+        });
+        let mut payload = Vec::with_capacity(1 + 2 * k);
+        payload.push(k as f32);
+        let mut kept: Vec<usize> = order.into_iter().take(k).collect();
+        kept.sort_unstable();
+        for idx in kept {
+            payload.push(idx as f32);
+            payload.push(data[idx]);
+        }
+        Compressed { payload }
+    }
+
+    fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]) {
+        let k = compressed.payload[0] as usize;
+        assert_eq!(compressed.payload.len(), 1 + 2 * k, "malformed top-k payload");
+        for pair in compressed.payload[1..].chunks_exact(2) {
+            let idx = pair[0] as usize;
+            out[idx] += pair[1];
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        2.0 * self.ratio
+    }
+}
+
+/// Block-wise uniform 8-bit quantization. Each block of `block` values is
+/// scaled into 255 levels between its min and max; the payload packs four
+/// quantized bytes per `f32` slot. Payload: `[len, nblocks, (min, max,
+/// packed...)* ]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform8 {
+    block: usize,
+}
+
+impl Uniform8 {
+    /// Creates a quantizer with the given block length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    #[must_use]
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "block length must be positive");
+        Uniform8 { block }
+    }
+}
+
+impl Compressor for Uniform8 {
+    fn compress(&self, data: &[f32]) -> Compressed {
+        let mut payload = vec![data.len() as f32];
+        for block in data.chunks(self.block) {
+            let lo = block.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = block.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            payload.push(lo);
+            payload.push(hi);
+            let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
+            // Pack 4 quantized bytes per f32 slot.
+            for four in block.chunks(4) {
+                let mut word = 0u32;
+                for (i, &v) in four.iter().enumerate() {
+                    let q = ((v - lo) * scale).round().clamp(0.0, 255.0) as u32;
+                    word |= q << (8 * i);
+                }
+                payload.push(f32::from_bits(word));
+            }
+        }
+        Compressed { payload }
+    }
+
+    fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]) {
+        let len = compressed.payload[0] as usize;
+        assert_eq!(len, out.len(), "quantized payload length mismatch");
+        let mut cursor = 1usize;
+        let mut base = 0usize;
+        while base < len {
+            let block_len = self.block.min(len - base);
+            let lo = compressed.payload[cursor];
+            let hi = compressed.payload[cursor + 1];
+            cursor += 2;
+            let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+            let words = block_len.div_ceil(4);
+            for w in 0..words {
+                let word = compressed.payload[cursor + w].to_bits();
+                for i in 0..4 {
+                    let pos = base + 4 * w + i;
+                    if pos >= base + block_len {
+                        break;
+                    }
+                    let q = (word >> (8 * i)) & 0xFF;
+                    out[pos] += lo + q as f32 * scale;
+                }
+            }
+            cursor += words;
+            base += block_len;
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        // 1 byte per value plus two f32 per block.
+        0.25 + 8.0 / (self.block as f64 * 4.0)
+    }
+}
+
+/// Error-feedback residual (Karimireddy et al.): the part of the gradient
+/// the compressor dropped is carried into the next iteration, preserving
+/// convergence.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorFeedback {
+    residual: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// Creates an empty accumulator (residual allocated lazily).
+    #[must_use]
+    pub fn new() -> Self {
+        ErrorFeedback::default()
+    }
+
+    /// Adds the residual to `grad` (in place), compresses the compensated
+    /// gradient, updates the residual to the newly-dropped part, and
+    /// returns the payload.
+    pub fn compress_with_feedback(
+        &mut self,
+        compressor: &impl Compressor,
+        grad: &mut [f32],
+    ) -> Compressed {
+        if self.residual.len() != grad.len() {
+            self.residual = vec![0.0; grad.len()];
+        }
+        for (g, r) in grad.iter_mut().zip(&self.residual) {
+            *g += r;
+        }
+        let compressed = compressor.compress(grad);
+        // residual = compensated - decompressed
+        let mut decompressed = vec![0.0f32; grad.len()];
+        compressor.accumulate_into(&compressed, &mut decompressed);
+        for ((r, &g), d) in self.residual.iter_mut().zip(grad.iter()).zip(decompressed) {
+            *r = g - d;
+        }
+        compressed
+    }
+
+    /// The current residual (empty before first use).
+    #[must_use]
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+/// Ring all-gather of **variable-length** payloads: after the call every
+/// rank holds all `world` payloads, in rank order. `P−1` forwarding rounds.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn ring_all_gather_variable<T: Transport>(
+    t: &T,
+    own: Vec<f32>,
+) -> Result<Vec<Vec<f32>>, CollectiveError> {
+    let world = t.world_size();
+    let rank = t.rank();
+    let mut payloads: Vec<Option<Vec<f32>>> = (0..world).map(|_| None).collect();
+    let next = (rank + 1) % world;
+    let prev = (rank + world - 1) % world;
+    let mut current = own.clone();
+    let mut current_owner = rank;
+    payloads[rank] = Some(own);
+    for _ in 0..world.saturating_sub(1) {
+        t.send(next, current)?;
+        let incoming = t.recv(prev)?;
+        current_owner = (current_owner + world - 1) % world;
+        payloads[current_owner] = Some(incoming.clone());
+        current = incoming;
+    }
+    Ok(payloads
+        .into_iter()
+        .map(|p| p.expect("every owner visited"))
+        .collect())
+}
+
+/// Compressed gradient aggregation: compresses `data` (with error
+/// feedback), all-gathers every rank's payload, and replaces `data` with
+/// the **average** of the decompressed contributions.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn compressed_aggregate<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    compressor: &impl Compressor,
+    feedback: &mut ErrorFeedback,
+) -> Result<(), CollectiveError> {
+    let payload = feedback.compress_with_feedback(compressor, data);
+    let all = ring_all_gather_variable(t, payload.payload)?;
+    data.iter_mut().for_each(|x| *x = 0.0);
+    for p in all {
+        compressor.accumulate_into(&Compressed { payload: p }, data);
+    }
+    let inv = 1.0 / t.world_size() as f32;
+    for x in data.iter_mut() {
+        *x *= inv;
+    }
+    Ok(())
+}
+
+/// Wire bytes moved per rank by [`compressed_aggregate`] for a dense size
+/// of `bytes`, versus the `2·(P−1)/P·bytes` of a ring all-reduce — the
+/// break-even analysis for when compression pays off.
+#[must_use]
+pub fn compressed_aggregate_wire_bytes(bytes: u64, ratio: f64, world: usize) -> f64 {
+    // Each rank forwards (P-1) payloads of ratio*d bytes.
+    (world.saturating_sub(1)) as f64 * ratio * bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_world;
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let data = vec![0.1, -5.0, 0.2, 3.0, -0.05];
+        let c = TopK::new(0.4); // k = 2
+        let payload = c.compress(&data);
+        let mut out = vec![0.0; 5];
+        c.accumulate_into(&payload, &mut out);
+        assert_eq!(out, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_full_ratio_is_lossless() {
+        let data = vec![1.0, -2.0, 3.5, 0.0];
+        let c = TopK::new(1.0);
+        let mut out = vec![0.0; 4];
+        c.accumulate_into(&c.compress(&data), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn uniform8_bounded_error() {
+        let data: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let c = Uniform8::new(256);
+        let mut out = vec![0.0; 1000];
+        c.accumulate_into(&c.compress(&data), &mut out);
+        let range = 2.0; // values span [-1, 1]
+        let max_err = data
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err <= range / 255.0 + 1e-6, "max error {max_err}");
+        assert!(c.ratio() < 0.27);
+    }
+
+    #[test]
+    fn uniform8_handles_constant_blocks_and_tails() {
+        let data = vec![7.0f32; 13]; // constant + non-multiple-of-4 tail
+        let c = Uniform8::new(8);
+        let mut out = vec![0.0; 13];
+        c.accumulate_into(&c.compress(&data), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn error_feedback_carries_dropped_mass() {
+        let c = TopK::new(0.5);
+        let mut ef = ErrorFeedback::new();
+        let mut grad = vec![1.0f32, 0.1, -2.0, 0.05];
+        let _ = ef.compress_with_feedback(&c, &mut grad);
+        // The two small entries were dropped; their mass is the residual.
+        assert_eq!(ef.residual(), &[0.0, 0.1, 0.0, 0.05]);
+        // Next iteration, the residual compensates: after enough rounds the
+        // small entries get transmitted.
+        let mut grad2 = vec![0.0f32, 0.1, 0.0, 0.05];
+        let payload = ef.compress_with_feedback(&c, &mut grad2);
+        let mut out = vec![0.0; 4];
+        c.accumulate_into(&payload, &mut out);
+        assert!((out[1] - 0.2).abs() < 1e-6, "compensated value sent: {out:?}");
+    }
+
+    #[test]
+    fn variable_all_gather_collects_all_payloads() {
+        let results = run_world(4, |ep| {
+            let own: Vec<f32> = vec![ep.rank() as f32; ep.rank() + 1];
+            ring_all_gather_variable(&ep, own).unwrap()
+        });
+        for payloads in results {
+            for (rank, p) in payloads.iter().enumerate() {
+                assert_eq!(p, &vec![rank as f32; rank + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_aggregate_with_full_ratio_matches_mean() {
+        let world = 4;
+        let d = 20;
+        let results = run_world(world, |ep| {
+            let mut data: Vec<f32> = (0..d).map(|i| (ep.rank() * d + i) as f32).collect();
+            let mut ef = ErrorFeedback::new();
+            compressed_aggregate(&ep, &mut data, &TopK::new(1.0), &mut ef).unwrap();
+            data
+        });
+        let expect: Vec<f32> = (0..d)
+            .map(|i| (0..world).map(|r| (r * d + i) as f32).sum::<f32>() / world as f32)
+            .collect();
+        for data in results {
+            for (a, b) in data.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_aggregate_quantized_is_close_to_mean() {
+        let world = 3;
+        let d = 64;
+        let results = run_world(world, |ep| {
+            let mut data: Vec<f32> = (0..d).map(|i| ((ep.rank() + i) as f32 * 0.1).cos()).collect();
+            let mut ef = ErrorFeedback::new();
+            compressed_aggregate(&ep, &mut data, &Uniform8::new(32), &mut ef).unwrap();
+            data
+        });
+        let expect: Vec<f32> = (0..d)
+            .map(|i| {
+                (0..world).map(|r| ((r + i) as f32 * 0.1).cos()).sum::<f32>() / world as f32
+            })
+            .collect();
+        for data in results {
+            for (a, b) in data.iter().zip(&expect) {
+                assert!((a - b).abs() < 0.02, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bytes_break_even() {
+        // Dense ring all-reduce moves ~2d per rank; compressed aggregation
+        // moves (P-1)·ratio·d. With 64 workers, compression wins only when
+        // ratio < 2/63.
+        let d = 1_000_000u64;
+        let world = 64;
+        let dense = 2.0 * d as f64 * (world - 1) as f64 / world as f64;
+        assert!(compressed_aggregate_wire_bytes(d, 0.01, world) < dense);
+        assert!(compressed_aggregate_wire_bytes(d, 0.25, world) > dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn topk_rejects_zero_ratio() {
+        let _ = TopK::new(0.0);
+    }
+}

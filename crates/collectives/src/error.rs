@@ -1,0 +1,84 @@
+//! Error type shared by all collective operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by transports and collective algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// A peer rank was out of range or referred to the local rank.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The world size it was checked against.
+        world: usize,
+    },
+    /// The peer's endpoint has been dropped.
+    Disconnected {
+        /// The peer that hung up.
+        peer: usize,
+    },
+    /// Participants disagreed on buffer lengths.
+    SizeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// The algorithm does not support this world size.
+    UnsupportedWorld {
+        /// The offending world size.
+        world: usize,
+        /// What the algorithm requires.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::InvalidRank { rank, world } => {
+                write!(f, "invalid peer rank {rank} for world size {world}")
+            }
+            CollectiveError::Disconnected { peer } => {
+                write!(f, "peer {peer} disconnected")
+            }
+            CollectiveError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected} elements, got {actual}")
+            }
+            CollectiveError::UnsupportedWorld { world, requirement } => {
+                write!(f, "world size {world} unsupported: requires {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let samples: Vec<CollectiveError> = vec![
+            CollectiveError::InvalidRank { rank: 3, world: 2 },
+            CollectiveError::Disconnected { peer: 1 },
+            CollectiveError::SizeMismatch { expected: 4, actual: 5 },
+            CollectiveError::UnsupportedWorld { world: 6, requirement: "power of two" },
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CollectiveError>();
+    }
+}

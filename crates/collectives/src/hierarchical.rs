@@ -1,0 +1,311 @@
+//! Hierarchical (2-level) ring all-reduce for dense-GPU clusters
+//! (Mikami et al.; "hierarchical ring" in the paper's §VII-A).
+//!
+//! The cluster is `nodes × gpus_per_node`; rank `r` lives on node
+//! `r / gpus_per_node` with local index `r % gpus_per_node`. The all-reduce
+//! runs as: intra-node ring reduce-scatter → inter-node ring all-reduce over
+//! the scattered shard → intra-node ring all-gather. As §VII-A notes, this
+//! algorithm also decouples into DeAR's OP1 (intra RS + inter RS) and OP2
+//! (inter AG + intra AG) without extra communication.
+
+use std::sync::Arc;
+
+use crate::error::CollectiveError;
+use crate::reduce::ReduceOp;
+use crate::ring::{ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter};
+use crate::transport::{GroupTransport, Transport};
+
+/// Shape of a two-level cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Workers per node.
+    pub gpus_per_node: usize,
+}
+
+impl ClusterShape {
+    /// Creates a shape; `world()` is `nodes * gpus_per_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0, "cluster dims must be positive");
+        ClusterShape {
+            nodes,
+            gpus_per_node,
+        }
+    }
+
+    /// Total worker count.
+    #[must_use]
+    pub fn world(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Global ranks sharing the node of global rank `r`.
+    #[must_use]
+    pub fn node_group(&self, r: usize) -> Vec<usize> {
+        let node = r / self.gpus_per_node;
+        (0..self.gpus_per_node)
+            .map(|i| node * self.gpus_per_node + i)
+            .collect()
+    }
+
+    /// Global ranks sharing the local index of global rank `r` across nodes
+    /// (the inter-node ring this rank participates in).
+    #[must_use]
+    pub fn cross_group(&self, r: usize) -> Vec<usize> {
+        let local = r % self.gpus_per_node;
+        (0..self.nodes)
+            .map(|n| n * self.gpus_per_node + local)
+            .collect()
+    }
+}
+
+/// Hierarchical ring all-reduce over `data`, in place.
+///
+/// # Errors
+///
+/// Propagates transport errors; returns
+/// [`CollectiveError::UnsupportedWorld`] if the transport's world size does
+/// not match `shape`.
+pub fn hierarchical_all_reduce<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
+    op: ReduceOp,
+) -> Result<(), CollectiveError> {
+    if t.world_size() != shape.world() {
+        return Err(CollectiveError::UnsupportedWorld {
+            world: t.world_size(),
+            requirement: "world == nodes * gpus_per_node",
+        });
+    }
+    let rank = t.rank();
+    let g = shape.gpus_per_node;
+
+    // Phase 1: intra-node ring reduce-scatter.
+    let intra_members = Arc::new(shape.node_group(rank));
+    let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
+    let local_rank = intra.rank();
+    let owned = ring_reduce_scatter(&intra, data, op)?;
+
+    // Phase 2: inter-node ring all-reduce over the owned shard.
+    if shape.nodes > 1 {
+        let cross_members = Arc::new(shape.cross_group(rank));
+        let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
+        let mut shard = data[owned.clone()].to_vec();
+        ring_all_reduce(&cross, &mut shard, op)?;
+        data[owned].copy_from_slice(&shard);
+    }
+
+    // Phase 3: intra-node ring all-gather.
+    let intra_members = Arc::new(shape.node_group(rank));
+    let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
+    ring_all_gather(&intra, data, ring_owned_chunk(local_rank, g))?;
+    Ok(())
+}
+
+/// Bookkeeping carried between the two decoupled phases of the
+/// hierarchical all-reduce (see [`hierarchical_reduce_scatter_phase`]).
+#[derive(Debug, Clone)]
+pub struct HierarchicalShard {
+    /// Element range of `data` this rank owns after the intra-node
+    /// reduce-scatter.
+    intra_owned: std::ops::Range<usize>,
+    /// The shard buffer after the inter-node reduce-scatter; its
+    /// [`ring_owned_chunk`] chunk is fully reduced.
+    shard: Vec<f32>,
+}
+
+/// OP1 of the hierarchical all-reduce (§VII-A): intra-node ring
+/// reduce-scatter followed by an **inter-node ring reduce-scatter** over
+/// the owned shard. Overlappable with backpropagation exactly like the
+/// flat ring's OP1.
+///
+/// Pass the returned [`HierarchicalShard`] to
+/// [`hierarchical_all_gather_phase`]; `data`'s non-owned chunks must be
+/// treated as garbage in between.
+///
+/// # Errors
+///
+/// Propagates transport errors; returns
+/// [`CollectiveError::UnsupportedWorld`] on a shape mismatch.
+pub fn hierarchical_reduce_scatter_phase<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
+    op: ReduceOp,
+) -> Result<HierarchicalShard, CollectiveError> {
+    if t.world_size() != shape.world() {
+        return Err(CollectiveError::UnsupportedWorld {
+            world: t.world_size(),
+            requirement: "world == nodes * gpus_per_node",
+        });
+    }
+    let rank = t.rank();
+    let intra_members = Arc::new(shape.node_group(rank));
+    let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
+    let intra_owned = ring_reduce_scatter(&intra, data, op)?;
+    let mut shard = data[intra_owned.clone()].to_vec();
+    if shape.nodes > 1 {
+        let cross_members = Arc::new(shape.cross_group(rank));
+        let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
+        ring_reduce_scatter(&cross, &mut shard, op)?;
+    }
+    Ok(HierarchicalShard { intra_owned, shard })
+}
+
+/// OP2 of the hierarchical all-reduce: inter-node ring all-gather of the
+/// shard, then intra-node ring all-gather of `data`. Overlappable with the
+/// next iteration's feed-forward exactly like the flat ring's OP2.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn hierarchical_all_gather_phase<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
+    mut carry: HierarchicalShard,
+) -> Result<(), CollectiveError> {
+    if t.world_size() != shape.world() {
+        return Err(CollectiveError::UnsupportedWorld {
+            world: t.world_size(),
+            requirement: "world == nodes * gpus_per_node",
+        });
+    }
+    let rank = t.rank();
+    let g = shape.gpus_per_node;
+    if shape.nodes > 1 {
+        let cross_members = Arc::new(shape.cross_group(rank));
+        let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
+        let cross_rank = cross.rank();
+        ring_all_gather(
+            &cross,
+            &mut carry.shard,
+            ring_owned_chunk(cross_rank, shape.nodes),
+        )?;
+    }
+    data[carry.intra_owned].copy_from_slice(&carry.shard);
+    let intra_members = Arc::new(shape.node_group(rank));
+    let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
+    let local_rank = intra.rank();
+    ring_all_gather(&intra, data, ring_owned_chunk(local_rank, g))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_world;
+
+    fn rank_data(rank: usize, d: usize) -> Vec<f32> {
+        (0..d).map(|i| (rank * d + i) as f32).collect()
+    }
+
+    fn expected_sum(world: usize, d: usize) -> Vec<f32> {
+        (0..d)
+            .map(|i| (0..world).map(|r| (r * d + i) as f32).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matches_flat_sum_on_various_shapes() {
+        for (nodes, g) in [(1, 4), (2, 2), (4, 2), (2, 3), (3, 4)] {
+            let shape = ClusterShape::new(nodes, g);
+            let world = shape.world();
+            for d in [1, 16, 37] {
+                let expect = expected_sum(world, d);
+                let results = run_world(world, |ep| {
+                    let mut data = rank_data(ep.rank(), d);
+                    hierarchical_all_reduce(&ep, shape, &mut data, ReduceOp::Sum).unwrap();
+                    data
+                });
+                for (rank, data) in results.into_iter().enumerate() {
+                    assert_eq!(data, expect, "{nodes}x{g} d={d} rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let results = run_world(4, |ep| {
+            let mut data = vec![0.0];
+            hierarchical_all_reduce(&ep, ClusterShape::new(3, 2), &mut data, ReduceOp::Sum)
+                .unwrap_err()
+        });
+        for err in results {
+            assert!(matches!(err, CollectiveError::UnsupportedWorld { world: 4, .. }));
+        }
+    }
+
+    #[test]
+    fn groups_are_consistent() {
+        let shape = ClusterShape::new(2, 4);
+        assert_eq!(shape.node_group(5), vec![4, 5, 6, 7]);
+        assert_eq!(shape.cross_group(5), vec![1, 5]);
+        assert_eq!(shape.world(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = ClusterShape::new(0, 4);
+    }
+
+    #[test]
+    fn decoupled_phases_compose_to_hierarchical_all_reduce() {
+        for (nodes, g) in [(1, 3), (2, 2), (3, 4)] {
+            let shape = ClusterShape::new(nodes, g);
+            let world = shape.world();
+            let d = 29;
+            let expect = expected_sum(world, d);
+            let results = run_world(world, |ep| {
+                let mut data = rank_data(ep.rank(), d);
+                let carry =
+                    hierarchical_reduce_scatter_phase(&ep, shape, &mut data, ReduceOp::Sum)
+                        .unwrap();
+                // ... in DeAR, backprop of earlier layers and the next
+                // iteration's feed-forward happen between the phases ...
+                hierarchical_all_gather_phase(&ep, shape, &mut data, carry).unwrap();
+                data
+            });
+            for (rank, data) in results.into_iter().enumerate() {
+                assert_eq!(data, expect, "{nodes}x{g} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_one_owned_shard_is_fully_reduced() {
+        let shape = ClusterShape::new(2, 2);
+        let world = shape.world();
+        let d = 16;
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            let carry =
+                hierarchical_reduce_scatter_phase(&ep, shape, &mut data, ReduceOp::Sum).unwrap();
+            (ep.rank(), carry)
+        });
+        for (rank, carry) in results {
+            // The fully reduced region is the cross-ring owned chunk of the
+            // shard.
+            let cross_rank = rank / shape.gpus_per_node;
+            let owned = crate::chunk::chunk_range(
+                carry.shard.len(),
+                shape.nodes,
+                ring_owned_chunk(cross_rank, shape.nodes),
+            );
+            let base = carry.intra_owned.start;
+            for i in owned {
+                assert_eq!(carry.shard[i], expect[base + i], "rank {rank} elem {i}");
+            }
+        }
+    }
+}

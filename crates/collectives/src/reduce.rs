@@ -1,0 +1,89 @@
+//! Element-wise reduction operators.
+
+use serde::{Deserialize, Serialize};
+
+/// The reduction applied element-wise by reducing collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum (the operator used for gradient aggregation).
+    #[default]
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Combines two scalars.
+    #[must_use]
+    pub fn combine(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// Accumulates `src` into `dst` element-wise: `dst[i] = op(dst[i], src[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn accumulate(self, dst: &mut [f32], src: &[f32]) {
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "accumulate requires equal-length slices"
+        );
+        match self {
+            // The common case is unrolled for clarity; all arms are simple loops.
+            ReduceOp::Sum => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            _ => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = self.combine(*d, *s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_accumulates() {
+        let mut a = vec![1.0, 2.0];
+        ReduceOp::Sum.accumulate(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn max_min_prod() {
+        assert_eq!(ReduceOp::Max.combine(1.0, 2.0), 2.0);
+        assert_eq!(ReduceOp::Min.combine(1.0, 2.0), 1.0);
+        assert_eq!(ReduceOp::Prod.combine(3.0, 4.0), 12.0);
+        let mut a = vec![2.0, -1.0];
+        ReduceOp::Max.accumulate(&mut a, &[1.0, 5.0]);
+        assert_eq!(a, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn default_is_sum() {
+        assert_eq!(ReduceOp::default(), ReduceOp::Sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn accumulate_length_mismatch_panics() {
+        ReduceOp::Sum.accumulate(&mut [0.0], &[1.0, 2.0]);
+    }
+}

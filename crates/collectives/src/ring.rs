@@ -1,0 +1,238 @@
+//! Ring-based collectives: reduce-scatter, all-gather, and their
+//! composition, the ring all-reduce (Patarasuk & Yuan; the NCCL default).
+//!
+//! The DeAR paper decouples `all-reduce = reduce-scatter ∘ all-gather`; these
+//! functions are that decomposition, executable on any [`Transport`]. Both
+//! halves take exactly `P−1` communication rounds of `d/P` elements — the
+//! zero-overhead property of Eqs. 3–5.
+
+use std::ops::Range;
+
+use crate::chunk::chunk_range;
+use crate::error::CollectiveError;
+use crate::reduce::ReduceOp;
+use crate::transport::Transport;
+
+/// The chunk index that [`ring_reduce_scatter`] leaves fully reduced on
+/// `rank`.
+#[must_use]
+pub fn ring_owned_chunk(rank: usize, world: usize) -> usize {
+    (rank + 1) % world
+}
+
+/// Ring reduce-scatter over `data`, in place.
+///
+/// After completion, the chunk [`ring_owned_chunk`]`(rank, world)` of `data`
+/// (per [`chunk_range`]) holds the element-wise reduction across all ranks;
+/// the remaining chunks contain partially-reduced intermediate values and
+/// must be treated as garbage. Returns the owned element range.
+///
+/// All ranks must call this with equal-length buffers.
+///
+/// # Errors
+///
+/// Propagates transport errors; returns [`CollectiveError::SizeMismatch`] if
+/// a peer sent a chunk of unexpected length.
+pub fn ring_reduce_scatter<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+) -> Result<Range<usize>, CollectiveError> {
+    let world = t.world_size();
+    let rank = t.rank();
+    let d = data.len();
+    if world == 1 {
+        return Ok(0..d);
+    }
+    let next = (rank + 1) % world;
+    let prev = (rank + world - 1) % world;
+    for step in 0..world - 1 {
+        let send_idx = (rank + world - step) % world;
+        let recv_idx = (rank + 2 * world - step - 1) % world;
+        let send_range = chunk_range(d, world, send_idx);
+        t.send(next, data[send_range].to_vec())?;
+        let incoming = t.recv(prev)?;
+        let recv_range = chunk_range(d, world, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CollectiveError::SizeMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        op.accumulate(&mut data[recv_range], &incoming);
+    }
+    Ok(chunk_range(d, world, ring_owned_chunk(rank, world)))
+}
+
+/// Ring all-gather over `data`, in place.
+///
+/// On entry, the chunk with index `owned_chunk` (per [`chunk_range`]) must
+/// hold this rank's contribution — on rank `r`, `owned_chunk` must be
+/// [`ring_owned_chunk`]`(r, world)` relative to the ring (each rank owns a
+/// distinct chunk, offset by one from its successor). On return every chunk
+/// of `data` holds the corresponding owner's contribution.
+///
+/// # Errors
+///
+/// Propagates transport errors; returns [`CollectiveError::SizeMismatch`] if
+/// a peer sent a chunk of unexpected length.
+pub fn ring_all_gather<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    owned_chunk: usize,
+) -> Result<(), CollectiveError> {
+    let world = t.world_size();
+    let d = data.len();
+    if world == 1 {
+        return Ok(());
+    }
+    let rank = t.rank();
+    let next = (rank + 1) % world;
+    let prev = (rank + world - 1) % world;
+    for step in 0..world - 1 {
+        let send_idx = (owned_chunk + world - step) % world;
+        let recv_idx = (owned_chunk + 2 * world - step - 1) % world;
+        let send_range = chunk_range(d, world, send_idx);
+        t.send(next, data[send_range].to_vec())?;
+        let incoming = t.recv(prev)?;
+        let recv_range = chunk_range(d, world, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CollectiveError::SizeMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        data[recv_range].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// Ring all-reduce: [`ring_reduce_scatter`] followed by [`ring_all_gather`].
+///
+/// On return, every element of `data` holds the element-wise reduction
+/// across all ranks.
+///
+/// # Errors
+///
+/// Propagates errors from the two phases.
+pub fn ring_all_reduce<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+) -> Result<(), CollectiveError> {
+    ring_reduce_scatter(t, data, op)?;
+    let owned = ring_owned_chunk(t.rank(), t.world_size());
+    ring_all_gather(t, data, owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_world;
+
+    fn rank_data(rank: usize, d: usize) -> Vec<f32> {
+        (0..d).map(|i| (rank * d + i) as f32).collect()
+    }
+
+    fn expected_sum(world: usize, d: usize) -> Vec<f32> {
+        (0..d)
+            .map(|i| (0..world).map(|r| (r * d + i) as f32).sum())
+            .collect()
+    }
+
+    #[test]
+    fn reduce_scatter_owns_correct_reduced_chunk() {
+        for world in [2, 3, 4, 7] {
+            let d = 23;
+            let expect = expected_sum(world, d);
+            let results = run_world(world, |ep| {
+                let mut data = rank_data(ep.rank(), d);
+                let range = ring_reduce_scatter(&ep, &mut data, ReduceOp::Sum).unwrap();
+                (ep.rank(), range.clone(), data[range].to_vec())
+            });
+            for (rank, range, owned) in results {
+                let expected_range = chunk_range(d, world, ring_owned_chunk(rank, world));
+                assert_eq!(range, expected_range);
+                assert_eq!(owned, expect[expected_range].to_vec(), "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_equals_elementwise_sum() {
+        for world in [1, 2, 3, 5, 8] {
+            for d in [0, 1, 7, 64, 100] {
+                let expect = expected_sum(world, d);
+                let results = run_world(world, |ep| {
+                    let mut data = rank_data(ep.rank(), d);
+                    ring_all_reduce(&ep, &mut data, ReduceOp::Sum).unwrap();
+                    data
+                });
+                for (rank, data) in results.into_iter().enumerate() {
+                    assert_eq!(data, expect, "world {world}, d {d}, rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_max() {
+        let world = 4;
+        let d = 9;
+        let results = run_world(world, |ep| {
+            let mut data: Vec<f32> = (0..d)
+                .map(|i| if i % world == ep.rank() { 100.0 } else { ep.rank() as f32 })
+                .collect();
+            ring_all_reduce(&ep, &mut data, ReduceOp::Max).unwrap();
+            data
+        });
+        for data in results {
+            assert!(data.iter().all(|&x| x == 100.0 || x == 3.0));
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let results = run_world(1, |ep| {
+            let mut data = vec![1.0, 2.0, 3.0];
+            ring_all_reduce(&ep, &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        assert_eq!(results[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn buffer_smaller_than_world_still_reduces() {
+        // d < P: some chunks are empty.
+        let world = 6;
+        let d = 3;
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            ring_all_reduce(&ep, &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        for data in results {
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn decoupled_phases_compose_to_all_reduce() {
+        // Run RS and AG as two separate calls (as DeAR does across the
+        // BP/FF boundary) and check the result matches the fused op.
+        let world = 5;
+        let d = 17;
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            let _ = ring_reduce_scatter(&ep, &mut data, ReduceOp::Sum).unwrap();
+            // ... in DeAR, backprop of other layers happens here ...
+            ring_all_gather(&ep, &mut data, ring_owned_chunk(ep.rank(), world)).unwrap();
+            data
+        });
+        for data in results {
+            assert_eq!(data, expect);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Point-to-point transports that collective algorithms run on.
+//!
+//! The paper's system uses NCCL over physical NICs; here the substitute is an
+//! in-process fabric — every worker is an OS thread, and messages travel over
+//! unbounded channels. [`DelayFabric`] additionally injects α-β wall-clock
+//! delays so that real runs exhibit network-like timing.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::cost::CostModel;
+use crate::error::CollectiveError;
+
+/// A payload travelling between ranks: a vector of `f32` gradient elements.
+pub type Message = Vec<f32>;
+
+/// Point-to-point message transport between the workers of one job.
+///
+/// Implementations must be usable from one thread per rank; `send` must not
+/// block indefinitely when the peer has not yet posted a receive (the
+/// in-process fabrics use unbounded buffering, mirroring eager-protocol MPI).
+pub trait Transport {
+    /// This endpoint's rank in `0..world_size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the job.
+    fn world_size(&self) -> usize;
+
+    /// Sends `msg` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::InvalidRank`] if `to` is out of range or
+    /// equals this rank, and [`CollectiveError::Disconnected`] if the peer
+    /// has hung up.
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError>;
+
+    /// Receives the next message from `from`, blocking until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::InvalidRank`] if `from` is out of range or
+    /// equals this rank, and [`CollectiveError::Disconnected`] if the peer
+    /// has hung up.
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError>;
+
+    /// Validates a peer rank, shared by implementations.
+    fn check_peer(&self, peer: usize) -> Result<(), CollectiveError> {
+        if peer >= self.world_size() || peer == self.rank() {
+            Err(CollectiveError::InvalidRank {
+                rank: peer,
+                world: self.world_size(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One rank's endpoint of a [`LocalFabric`].
+pub struct LocalEndpoint {
+    rank: usize,
+    world: usize,
+    /// `senders[to]` carries messages from this rank to `to`.
+    senders: Vec<Option<Sender<Message>>>,
+    /// `receivers[from]` carries messages from `from` to this rank.
+    receivers: Vec<Option<Receiver<Message>>>,
+}
+
+impl fmt::Debug for LocalEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalEndpoint")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+/// A shared-memory fabric connecting `world` in-process ranks.
+///
+/// # Examples
+///
+/// ```
+/// use dear_collectives::{LocalFabric, Transport};
+///
+/// let mut eps = LocalFabric::create(2);
+/// let b = eps.pop().unwrap();
+/// let a = eps.pop().unwrap();
+/// std::thread::scope(|s| {
+///     s.spawn(|| a.send(1, vec![1.0, 2.0]).unwrap());
+///     s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![1.0, 2.0]));
+/// });
+/// ```
+#[derive(Debug)]
+pub struct LocalFabric;
+
+impl LocalFabric {
+    /// Creates endpoints for `world` ranks; element `r` belongs to rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    #[must_use]
+    pub fn create(world: usize) -> Vec<LocalEndpoint> {
+        assert!(world > 0, "world size must be positive");
+        // channels[from][to]
+        let mut senders: Vec<Vec<Option<Sender<Message>>>> =
+            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        for from in 0..world {
+            for to in 0..world {
+                if from == to {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                senders[from][to] = Some(tx);
+                receivers[to][from] = Some(rx);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| LocalEndpoint {
+                rank,
+                world,
+                senders,
+                receivers,
+            })
+            .collect()
+    }
+}
+
+impl Transport for LocalEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        self.check_peer(to)?;
+        self.senders[to]
+            .as_ref()
+            .expect("validated peer has a channel")
+            .send(msg)
+            .map_err(|_| CollectiveError::Disconnected { peer: to })
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.check_peer(from)?;
+        self.receivers[from]
+            .as_ref()
+            .expect("validated peer has a channel")
+            .recv()
+            .map_err(|_| CollectiveError::Disconnected { peer: from })
+    }
+}
+
+/// A transport decorator that injects α-β wall-clock delays on every send,
+/// so that real threaded runs show network-like behaviour (startup latency
+/// per message plus per-byte serialization time).
+///
+/// The delay is charged on the **sender** side, which models serialization
+/// onto the wire and keeps lock-step ring algorithms faithful: every round
+/// of a ring costs one `p2p` delay, as in the cost model.
+#[derive(Debug)]
+pub struct DelayFabric<T> {
+    inner: T,
+    model: CostModel,
+    /// Scales injected delays (1.0 = real scale). Tests use small factors.
+    time_scale: f64,
+}
+
+impl<T: Transport> DelayFabric<T> {
+    /// Wraps `inner`, delaying each send per `model`.
+    #[must_use]
+    pub fn new(inner: T, model: CostModel) -> Self {
+        DelayFabric {
+            inner,
+            model,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Wraps `inner` with delays scaled by `time_scale` (useful to keep
+    /// tests fast while preserving relative timings).
+    #[must_use]
+    pub fn with_scale(inner: T, model: CostModel, time_scale: f64) -> Self {
+        DelayFabric {
+            inner,
+            model,
+            time_scale,
+        }
+    }
+
+    /// The underlying transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Consumes the decorator, returning the wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for DelayFabric<T> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        let bytes = (msg.len() * std::mem::size_of::<f32>()) as u64;
+        let delay = self.model.p2p(bytes).as_secs_f64() * self.time_scale;
+        if delay > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
+        self.inner.send(to, msg)
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.inner.recv(from)
+    }
+}
+
+/// A view of a transport restricted to a subgroup of ranks, used by
+/// hierarchical algorithms (e.g. intra-node then inter-node rings).
+///
+/// Group members are given by their **global** ranks; the view renumbers
+/// them densely `0..group_len` in the order supplied.
+#[derive(Debug)]
+pub struct GroupTransport<'a, T> {
+    inner: &'a T,
+    /// Global ranks of the group members, in group order.
+    members: Arc<Vec<usize>>,
+    /// This endpoint's rank within the group.
+    group_rank: usize,
+}
+
+impl<'a, T: Transport> GroupTransport<'a, T> {
+    /// Restricts `inner` to `members` (global ranks, deduplicated order).
+    ///
+    /// Returns `None` if `inner`'s rank is not a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` contains an out-of-range or duplicate rank.
+    #[must_use]
+    pub fn new(inner: &'a T, members: Arc<Vec<usize>>) -> Option<Self> {
+        let world = inner.world_size();
+        let mut seen = vec![false; world];
+        for &m in members.iter() {
+            assert!(m < world, "group member {m} out of range (world {world})");
+            assert!(!seen[m], "duplicate group member {m}");
+            seen[m] = true;
+        }
+        let group_rank = members.iter().position(|&m| m == inner.rank())?;
+        Some(GroupTransport {
+            inner,
+            members,
+            group_rank,
+        })
+    }
+}
+
+impl<T: Transport> Transport for GroupTransport<'_, T> {
+    fn rank(&self) -> usize {
+        self.group_rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        self.check_peer(to)?;
+        self.inner.send(self.members[to], msg)
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.check_peer(from)?;
+        self.inner.recv(self.members[from])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_fabric_delivers_in_order() {
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.send(1, vec![1.0]).unwrap();
+                a.send(1, vec![2.0]).unwrap();
+            });
+            s.spawn(|| {
+                assert_eq!(b.recv(0).unwrap(), vec![1.0]);
+                assert_eq!(b.recv(0).unwrap(), vec![2.0]);
+            });
+        });
+    }
+
+    #[test]
+    fn send_to_self_is_invalid() {
+        let eps = LocalFabric::create(2);
+        let err = eps[0].send(0, vec![]).unwrap_err();
+        assert!(matches!(err, CollectiveError::InvalidRank { rank: 0, .. }));
+    }
+
+    #[test]
+    fn send_out_of_range_is_invalid() {
+        let eps = LocalFabric::create(2);
+        let err = eps[0].send(5, vec![]).unwrap_err();
+        assert!(matches!(err, CollectiveError::InvalidRank { rank: 5, world: 2 }));
+    }
+
+    #[test]
+    fn recv_from_dropped_peer_reports_disconnect() {
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        drop(eps); // rank 0's endpoint (and its senders) dropped
+        let err = b.recv(0).unwrap_err();
+        assert!(matches!(err, CollectiveError::Disconnected { peer: 0 }));
+    }
+
+    #[test]
+    fn cross_pair_channels_are_independent() {
+        let mut eps = LocalFabric::create(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.send(2, vec![9.0]).unwrap();
+                a.send(1, vec![7.0]).unwrap();
+            });
+            s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![7.0]));
+            s.spawn(|| assert_eq!(c.recv(0).unwrap(), vec![9.0]));
+        });
+    }
+
+    #[test]
+    fn delay_fabric_preserves_payloads_and_slows_sends() {
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = DelayFabric::new(eps.pop().unwrap(), CostModel::new(2_000_000.0, 0.0, 0.0));
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| a.send(1, vec![3.0]).unwrap());
+            s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![3.0]));
+        });
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+        assert_eq!(a.rank(), 0);
+        assert_eq!(a.world_size(), 2);
+    }
+
+    #[test]
+    fn group_transport_renumbers_ranks() {
+        let eps = LocalFabric::create(4);
+        let members = Arc::new(vec![1usize, 3]);
+        let g1 = GroupTransport::new(&eps[1], Arc::clone(&members)).unwrap();
+        let g3 = GroupTransport::new(&eps[3], Arc::clone(&members)).unwrap();
+        assert_eq!(g1.rank(), 0);
+        assert_eq!(g3.rank(), 1);
+        assert_eq!(g1.world_size(), 2);
+        std::thread::scope(|s| {
+            s.spawn(|| g1.send(1, vec![5.0]).unwrap());
+            s.spawn(|| assert_eq!(g3.recv(0).unwrap(), vec![5.0]));
+        });
+        // Non-member gets None.
+        assert!(GroupTransport::new(&eps[0], members).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group member")]
+    fn group_transport_rejects_duplicates() {
+        let eps = LocalFabric::create(2);
+        let _ = GroupTransport::new(&eps[0], Arc::new(vec![0, 0]));
+    }
+}

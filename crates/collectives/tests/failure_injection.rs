@@ -1,0 +1,177 @@
+//! Failure injection: every collective must surface transport failures as
+//! errors — never panic, hang, or corrupt — and leave the caller in a
+//! position to report the failure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dear_collectives::{
+    double_tree_all_reduce, hierarchical_all_reduce, naive_all_reduce, rhd_all_reduce,
+    ring_all_gather, ring_all_reduce, ring_reduce_scatter, tree_broadcast, tree_reduce,
+    ClusterShape, CollectiveError, LocalEndpoint, LocalFabric, Message, ReduceOp, Transport,
+};
+
+/// A transport whose sends start failing after a budget is exhausted.
+/// With a zero budget every rank fails on its first send, so no rank can
+/// be left blocked in a receive.
+struct FailingTransport {
+    inner: LocalEndpoint,
+    send_budget: AtomicUsize,
+}
+
+impl FailingTransport {
+    fn new(inner: LocalEndpoint, send_budget: usize) -> Self {
+        FailingTransport {
+            inner,
+            send_budget: AtomicUsize::new(send_budget),
+        }
+    }
+}
+
+impl Transport for FailingTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        if self.send_budget.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+            b.checked_sub(1)
+        })
+        .is_err()
+        {
+            return Err(CollectiveError::Disconnected { peer: to });
+        }
+        self.inner.send(to, msg)
+    }
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.inner.recv(from)
+    }
+}
+
+fn run_failing<R: Send>(
+    world: usize,
+    budget: usize,
+    f: impl Fn(FailingTransport) -> R + Sync,
+) -> Vec<R> {
+    let eps = LocalFabric::create(world);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| s.spawn(|| f(FailingTransport::new(ep, budget))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn ring_all_reduce_surfaces_send_failure() {
+    let errs = run_failing(4, 0, |t| {
+        let mut data = vec![1.0f32; 16];
+        ring_all_reduce(&t, &mut data, ReduceOp::Sum).unwrap_err()
+    });
+    for e in errs {
+        assert!(matches!(e, CollectiveError::Disconnected { .. }));
+    }
+}
+
+#[test]
+fn reduce_scatter_and_all_gather_surface_send_failure() {
+    let errs = run_failing(3, 0, |t| {
+        let mut data = vec![1.0f32; 9];
+        let rs = ring_reduce_scatter(&t, &mut data, ReduceOp::Sum).unwrap_err();
+        let ag = ring_all_gather(&t, &mut data, 0).unwrap_err();
+        (rs, ag)
+    });
+    for (rs, ag) in errs {
+        assert!(matches!(rs, CollectiveError::Disconnected { .. }));
+        assert!(matches!(ag, CollectiveError::Disconnected { .. }));
+    }
+}
+
+#[test]
+fn tree_collectives_surface_send_failure() {
+    // In a tree, leaves send first and the root only receives; with a zero
+    // send budget every non-root rank errors on its own send, and the root
+    // errors on recv (its children died). Either way: an error, no panic.
+    let results = run_failing(4, 0, |t| {
+        let mut data = vec![1.0f32; 4];
+        let reduce_err = tree_reduce(&t, &mut data, 0, ReduceOp::Sum).is_err();
+        // Broadcast from a root that cannot send.
+        let bcast_err = tree_broadcast(&t, &mut data, t.rank()).is_err();
+        (t.rank(), reduce_err, bcast_err)
+    });
+    // Rank 0 (root) may legitimately succeed at reduce only if all its
+    // children's messages arrived — impossible here, so everyone errs.
+    for (_, reduce_err, bcast_err) in results {
+        assert!(reduce_err);
+        assert!(bcast_err);
+    }
+}
+
+#[test]
+fn remaining_all_reduce_variants_surface_send_failure() {
+    let errs = run_failing(4, 0, |t| {
+        let mut a = vec![1.0f32; 8];
+        let mut b = vec![1.0f32; 8];
+        let mut c = vec![1.0f32; 8];
+        (
+            rhd_all_reduce(&t, &mut a, ReduceOp::Sum).is_err(),
+            double_tree_all_reduce(&t, &mut b, ReduceOp::Sum).is_err(),
+            naive_all_reduce(&t, &mut c, ReduceOp::Sum).is_err(),
+        )
+    });
+    for (rhd, dt, naive) in errs {
+        assert!(rhd && dt && naive);
+    }
+}
+
+#[test]
+fn hierarchical_surfaces_send_failure() {
+    let errs = run_failing(4, 0, |t| {
+        let mut data = vec![1.0f32; 8];
+        hierarchical_all_reduce(&t, ClusterShape::new(2, 2), &mut data, ReduceOp::Sum)
+            .unwrap_err()
+    });
+    for e in errs {
+        assert!(matches!(e, CollectiveError::Disconnected { .. }));
+    }
+}
+
+#[test]
+fn partial_budget_failures_error_on_every_rank_without_hanging() {
+    // Budget of one send per rank: the ring makes progress for one round,
+    // then fails. All ranks terminate with an error (the peer either
+    // stopped sending — recv error — or our own send failed).
+    let errs = run_failing(4, 1, |t| {
+        let mut data = vec![1.0f32; 16];
+        ring_all_reduce(&t, &mut data, ReduceOp::Sum).is_err()
+    });
+    assert!(errs.into_iter().all(|e| e));
+}
+
+#[test]
+fn size_mismatch_is_detected() {
+    // Ranks disagree about the buffer length: the ring detects the chunk
+    // size mismatch instead of silently corrupting.
+    let eps = LocalFabric::create(2);
+    let results: Vec<Result<(), CollectiveError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                s.spawn(move || {
+                    let len = if ep.rank() == 0 { 10 } else { 20 };
+                    let mut data = vec![1.0f32; len];
+                    ring_all_reduce(&ep, &mut data, ReduceOp::Sum)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r, Err(CollectiveError::SizeMismatch { .. }))),
+        "no rank detected the size mismatch: {results:?}"
+    );
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the collective algorithms: every all-reduce
+//! variant must equal the element-wise reduction across ranks for arbitrary
+//! data, world sizes, and buffer lengths — and the decoupled RS∘AG
+//! composition must be *bitwise* identical to the fused ring all-reduce.
+
+use dear_collectives::{
+    chunk_ranges, hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_owned_chunk,
+    ring_reduce_scatter, run_cluster, run_cluster_with, AllReduceAlgorithm, ClusterShape,
+    ReduceOp, Transport,
+};
+use proptest::prelude::*;
+
+/// Per-rank deterministic pseudo-random data.
+fn rank_data(rank: usize, d: usize, salt: u64) -> Vec<f32> {
+    (0..d)
+        .map(|i| {
+            let x = (rank as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(salt | 1);
+            // Map to a small range to keep f32 sums exact-ish.
+            ((x % 2048) as f32 - 1024.0) / 64.0
+        })
+        .collect()
+}
+
+/// Reference reduction computed serially in the same order as the ring
+/// (ascending rank), used for bitwise comparisons where applicable.
+fn reference_sum(world: usize, d: usize, salt: u64) -> Vec<f32> {
+    let mut acc = vec![0.0f32; d];
+    for r in 0..world {
+        for (a, b) in acc.iter_mut().zip(rank_data(r, d, salt)) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_all_reduce_matches_sum(world in 1usize..9, d in 0usize..200, salt in any::<u64>()) {
+        let expect = reference_sum(world, d, salt);
+        let results = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        for data in results {
+            for (a, b) in data.iter().zip(&expect) {
+                prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_each_other(world in 1usize..9, d in 1usize..128, salt in any::<u64>()) {
+        let mut outputs = Vec::new();
+        for algo in [
+            AllReduceAlgorithm::Ring,
+            AllReduceAlgorithm::RecursiveHalvingDoubling,
+            AllReduceAlgorithm::DoubleBinaryTree,
+            AllReduceAlgorithm::NaiveTree,
+        ] {
+            let results = run_cluster_with(world, algo, |comm| {
+                let mut data = rank_data(comm.rank(), d, salt);
+                comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                data
+            });
+            outputs.push(results[0].clone());
+        }
+        for pair in outputs.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn decoupled_rs_ag_is_bitwise_identical_to_fused(world in 1usize..9, d in 0usize..150, salt in any::<u64>()) {
+        // The zero-overhead decoupling property at the numerical level:
+        // running RS then AG as two separate calls produces the exact same
+        // bits as the fused ring all-reduce (same summation order).
+        let fused = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        let decoupled = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            comm.reduce_scatter(&mut data, ReduceOp::Sum).unwrap();
+            comm.all_gather(&mut data).unwrap();
+            data
+        });
+        prop_assert_eq!(fused, decoupled);
+    }
+
+    #[test]
+    fn reduce_scatter_chunks_partition_buffer(world in 1usize..9, d in 0usize..100) {
+        let ranges = chunk_ranges(d, world);
+        let mut covered = vec![false; d];
+        for r in &ranges {
+            for i in r.clone() {
+                prop_assert!(!covered[i], "element {} covered twice", i);
+                covered[i] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+        // Owned chunks across ranks are a permutation of all chunks.
+        let mut owned: Vec<usize> = (0..world).map(|r| ring_owned_chunk(r, world)).collect();
+        owned.sort_unstable();
+        prop_assert_eq!(owned, (0..world).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hierarchical_matches_flat(nodes in 1usize..4, g in 1usize..4, d in 1usize..80, salt in any::<u64>()) {
+        let shape = ClusterShape::new(nodes, g);
+        let world = shape.world();
+        let expect = reference_sum(world, d, salt);
+        let results = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            hierarchical_all_reduce(comm.transport(), shape, &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        for data in results {
+            for (a, b) in data.iter().zip(&expect) {
+                prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn max_all_reduce_is_true_elementwise_max(world in 2usize..8, d in 1usize..64, salt in any::<u64>()) {
+        let expect: Vec<f32> = (0..d)
+            .map(|i| {
+                (0..world)
+                    .map(|r| rank_data(r, d, salt)[i])
+                    .fold(f32::NEG_INFINITY, f32::max)
+            })
+            .collect();
+        let results = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            comm.all_reduce(&mut data, ReduceOp::Max).unwrap();
+            data
+        });
+        for data in results {
+            prop_assert_eq!(&data, &expect);
+        }
+    }
+
+    #[test]
+    fn manual_rs_then_ag_with_explicit_chunks(world in 2usize..8, d in 1usize..100, salt in any::<u64>()) {
+        // Exercise the lower-level entry points the DeAR runtime uses.
+        let expect = reference_sum(world, d, salt);
+        let results = run_cluster(world, |comm| {
+            let t = comm.transport();
+            let mut data = rank_data(t.rank(), d, salt);
+            let owned_range = ring_reduce_scatter(t, &mut data, ReduceOp::Sum).unwrap();
+            // Scrub non-owned chunks to prove AG rewrites them all.
+            let (a, b) = (owned_range.start, owned_range.end);
+            for (i, x) in data.iter_mut().enumerate() {
+                if i < a || i >= b {
+                    *x = f32::NAN;
+                }
+            }
+            ring_all_gather(t, &mut data, ring_owned_chunk(t.rank(), world)).unwrap();
+            data
+        });
+        for data in results {
+            for (a, b) in data.iter().zip(&expect) {
+                prop_assert!(a.is_finite());
+                prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_equals_composition_even_under_all_reduce_alias(world in 1usize..8, d in 0usize..64, salt in any::<u64>()) {
+        let via_fn = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            ring_all_reduce(comm.transport(), &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        let via_comm = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        prop_assert_eq!(via_fn, via_comm);
+    }
+}

@@ -1,0 +1,595 @@
+//! Cluster orchestration: spawn `P` worker threads (plus their comm
+//! threads) over a shared in-process fabric and run real distributed
+//! training.
+
+use crossbeam_channel::unbounded;
+
+use dear_collectives::{CostModel, DelayFabric, LocalFabric, Transport};
+use dear_minidnn::{Sequential, Sgd};
+
+use crate::comm::{run_comm_thread, CommJob, CommLayout, CommResult, HyperParams, OptimKind};
+use crate::dist_optim::{DistOptim, PipelineMode};
+use crate::layout::GroupLayout;
+
+/// Optional wall-clock network emulation for the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayConfig {
+    /// The α-β model whose `p2p` cost is injected per message.
+    pub model: CostModel,
+    /// Scale factor on the injected delays (use < 1 to keep runs fast).
+    pub scale: f64,
+}
+
+/// Training configuration shared by all workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Greedy fusion buffer in bytes; `None` disables fusion.
+    pub fusion_buffer: Option<u64>,
+    /// The optimizer update rule (SGD by default; Adam supported).
+    pub optim: OptimKind,
+    /// DeAR or the WFBP baseline.
+    pub mode: PipelineMode,
+    /// Optional injected network delays.
+    pub delay: Option<DelayConfig>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            fusion_buffer: Some(25 << 20),
+            optim: OptimKind::Sgd,
+            mode: PipelineMode::Dear,
+            delay: None,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The optimizer hyper-parameters.
+    #[must_use]
+    pub fn hyper(&self) -> HyperParams {
+        HyperParams {
+            lr: self.lr,
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            kind: self.optim,
+        }
+    }
+}
+
+/// A worker's handle, passed to the per-rank closure of [`run_training`].
+/// Convert it into a [`DistOptim`] once the network is built.
+pub struct WorkerHandle {
+    rank: usize,
+    world: usize,
+    config: TrainConfig,
+    jobs: crossbeam_channel::Sender<CommJob>,
+    results: crossbeam_channel::Receiver<CommResult>,
+    layout_tx: crossbeam_channel::Sender<(CommLayout, usize)>,
+}
+
+impl std::fmt::Debug for WorkerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerHandle")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl WorkerHandle {
+    /// This worker's rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[must_use]
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The shared training configuration.
+    #[must_use]
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// Builds the distributed optimizer for `net` — the `dear.DistOptim`
+    /// wrap of Listing 1. Consumes the handle; call once per worker, with
+    /// identically-structured networks on every rank.
+    #[must_use]
+    pub fn into_optim(self, net: &Sequential) -> DistOptim {
+        let layout = GroupLayout::from_buffer(net, self.config.fusion_buffer);
+        self.layout_tx
+            .send((CommLayout::from(&layout), layout.total_elements()))
+            .expect("comm thread hung up before initialization");
+        let local_optim: Option<Box<dyn dear_minidnn::Optimizer>> = match self.config.mode {
+            PipelineMode::Wfbp => Some(match self.config.optim {
+                OptimKind::Sgd => Box::new(Sgd::with_options(
+                    self.config.lr,
+                    self.config.momentum,
+                    self.config.weight_decay,
+                )) as Box<dyn dear_minidnn::Optimizer>,
+                OptimKind::Adam { beta1, beta2, eps } => Box::new(dear_minidnn::Adam::with_options(
+                    self.config.lr,
+                    beta1,
+                    beta2,
+                    eps,
+                    self.config.weight_decay,
+                )),
+            }),
+            PipelineMode::Dear => None,
+        };
+        DistOptim::new(
+            self.rank,
+            self.world,
+            self.config.mode,
+            layout,
+            self.jobs,
+            self.results,
+            local_optim,
+            net.len(),
+        )
+    }
+}
+
+/// Spawns `world` workers (each with a companion comm thread over a shared
+/// in-process fabric), runs `f` on every rank, and returns the per-rank
+/// results in rank order.
+///
+/// # Panics
+///
+/// Panics if any worker or comm thread panics.
+pub fn run_training<F, R>(world: usize, config: TrainConfig, f: F) -> Vec<R>
+where
+    F: Fn(WorkerHandle) -> R + Sync,
+    R: Send,
+{
+    let endpoints = LocalFabric::create(world);
+    let hyper = config.hyper();
+    std::thread::scope(|s| {
+        let mut worker_handles = Vec::new();
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let (job_tx, job_rx) = unbounded::<CommJob>();
+            let (res_tx, res_rx) = unbounded::<CommResult>();
+            let (layout_tx, layout_rx) = unbounded::<(CommLayout, usize)>();
+            let delay = config.delay;
+            // Comm thread: waits for the worker's layout, then serves jobs.
+            s.spawn(move || {
+                let Ok((layout, total)) = layout_rx.recv() else {
+                    return; // worker dropped its handle without training
+                };
+                match delay {
+                    Some(d) => {
+                        let t = DelayFabric::with_scale(ep, d.model, d.scale);
+                        run_comm_thread(t, layout, hyper, total, &job_rx, &res_tx);
+                    }
+                    None => run_comm_thread(ep, layout, hyper, total, &job_rx, &res_tx),
+                }
+            });
+            let handle = WorkerHandle {
+                rank,
+                world,
+                config,
+                jobs: job_tx,
+                results: res_rx,
+                layout_tx,
+            };
+            worker_handles.push(s.spawn(|| f(handle)));
+        }
+        worker_handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Single-process reference: trains `net` with plain S-SGD on the full
+/// global batch — the ground truth that distributed runs must match
+/// (Eq. 2).
+pub fn train_single_reference(
+    net: &mut Sequential,
+    config: &TrainConfig,
+    batches: impl Iterator<Item = (dear_minidnn::Tensor, Vec<usize>)>,
+) -> Vec<f32> {
+    let mut opt = Sgd::with_options(config.lr, config.momentum, config.weight_decay);
+    let mut losses = Vec::new();
+    for (x, labels) in batches {
+        net.zero_grads();
+        let logits = net.forward(&x);
+        let (loss, dloss) = dear_minidnn::softmax_cross_entropy(&logits, &labels);
+        losses.push(loss);
+        net.backward(&dloss);
+        opt.step(net);
+    }
+    losses
+}
+
+/// Keeps `DelayFabric` and `Transport` in the public docs' reach without
+/// re-exporting the whole collectives crate.
+#[doc(hidden)]
+pub fn _transport_assertions<T: Transport>(t: &T) -> (usize, usize) {
+    (t.rank(), t.world_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_minidnn::{BlobDataset, Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Linear::new(6, 16, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(16, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 3, &mut rng))
+    }
+
+    fn train_distributed(
+        world: usize,
+        config: TrainConfig,
+        steps: u64,
+        global_batch: usize,
+    ) -> Vec<Vec<f32>> {
+        let data = BlobDataset::new(6, 3, 0.4, 99);
+        run_training(world, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(7);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..steps {
+                let (x, labels) = data.shard(step, global_batch, rank, world);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            net.flat_params()
+        })
+    }
+
+    fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-3))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn dear_matches_single_gpu_sgd() {
+        let config = TrainConfig {
+            fusion_buffer: Some(256), // tiny buffer => several groups
+            ..TrainConfig::default()
+        };
+        let params = train_distributed(4, config, 20, 32);
+        // All ranks agree exactly.
+        for p in &params[1..] {
+            assert_eq!(&params[0], p, "ranks diverged");
+        }
+        // And match the single-GPU reference on the full batch.
+        let mut reference = build_net(7);
+        let data = BlobDataset::new(6, 3, 0.4, 99);
+        let _ = train_single_reference(
+            &mut reference,
+            &config,
+            (0..20).map(|s| data.batch(s, 32)),
+        );
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 2e-3, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn dear_with_momentum_matches_reference() {
+        let config = TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            fusion_buffer: Some(1 << 10),
+            ..TrainConfig::default()
+        };
+        let params = train_distributed(3, config, 15, 30);
+        let mut reference = build_net(7);
+        let data = BlobDataset::new(6, 3, 0.4, 99);
+        let _ = train_single_reference(
+            &mut reference,
+            &config,
+            (0..15).map(|s| data.batch(s, 30)),
+        );
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 5e-3, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn wfbp_mode_matches_dear_mode() {
+        let dear = train_distributed(
+            4,
+            TrainConfig {
+                fusion_buffer: Some(512),
+                mode: PipelineMode::Dear,
+                ..TrainConfig::default()
+            },
+            12,
+            16,
+        );
+        let wfbp = train_distributed(
+            4,
+            TrainConfig {
+                fusion_buffer: Some(512),
+                mode: PipelineMode::Wfbp,
+                ..TrainConfig::default()
+            },
+            12,
+            16,
+        );
+        let diff = max_rel_diff(&dear[0], &wfbp[0]);
+        assert!(diff < 2e-3, "DeAR vs WFBP diff {diff}");
+    }
+
+    #[test]
+    fn unfused_training_works() {
+        let config = TrainConfig {
+            fusion_buffer: None,
+            ..TrainConfig::default()
+        };
+        let params = train_distributed(2, config, 5, 8);
+        assert_eq!(params[0], params[1]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = BlobDataset::new(6, 3, 0.3, 5);
+        let losses = run_training(4, TrainConfig::default(), |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(1);
+            let mut optim = handle.into_optim(&net);
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for step in 0..60 {
+                let (x, labels) = data.shard(step, 64, rank, 4);
+                let loss = optim.train_step(&mut net, &x, &labels);
+                if step == 0 {
+                    first = loss;
+                }
+                last = loss;
+            }
+            optim.synchronize(&mut net);
+            (first, last)
+        });
+        for (first, last) in losses {
+            assert!(last < 0.5 * first, "loss did not drop: {first} -> {last}");
+        }
+    }
+
+    #[test]
+    fn synchronize_then_eval_sees_fresh_params() {
+        let data = BlobDataset::new(6, 3, 0.3, 11);
+        let accs = run_training(2, TrainConfig::default(), |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(2);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..80 {
+                let (x, labels) = data.shard(step, 32, rank, 2);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            // Listing 1: synchronize before validation.
+            optim.synchronize(&mut net);
+            let (x, labels) = data.batch(10_000, 128);
+            let logits = net.forward(&x);
+            dear_minidnn::accuracy(&logits, &labels)
+        });
+        for acc in accs {
+            assert!(acc > 0.8, "validation accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn adam_matches_single_gpu_reference() {
+        let data = BlobDataset::new(6, 3, 0.4, 123);
+        let config = TrainConfig {
+            lr: 0.01,
+            weight_decay: 1e-4,
+            fusion_buffer: Some(512),
+            optim: OptimKind::adam_default(),
+            ..TrainConfig::default()
+        };
+        let steps = 15u64;
+        let params = run_training(4, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(6);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..steps {
+                let (x, labels) = data.shard(step, 32, rank, 4);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            net.flat_params()
+        });
+        for p in &params[1..] {
+            assert_eq!(&params[0], p, "ranks diverged under Adam");
+        }
+        // Single-process Adam reference on the full global batch.
+        let mut reference = build_net(6);
+        let mut opt = dear_minidnn::Adam::with_options(0.01, 0.9, 0.999, 1e-8, 1e-4);
+        for step in 0..steps {
+            let (x, labels) = data.batch(step, 32);
+            reference.zero_grads();
+            let logits = reference.forward(&x);
+            let (_, dloss) = dear_minidnn::softmax_cross_entropy(&logits, &labels);
+            reference.backward(&dloss);
+            dear_minidnn::Optimizer::step(&mut opt, &mut reference);
+        }
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 1e-2, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn adam_wfbp_mode_matches_dear_mode() {
+        let data = BlobDataset::new(6, 3, 0.4, 124);
+        let run = |mode: PipelineMode| {
+            let config = TrainConfig {
+                lr: 0.01,
+                fusion_buffer: Some(1 << 10),
+                optim: OptimKind::adam_default(),
+                mode,
+                ..TrainConfig::default()
+            };
+            run_training(3, config, |handle| {
+                let rank = handle.rank();
+                let mut net = build_net(2);
+                let mut optim = handle.into_optim(&net);
+                for step in 0..10 {
+                    let (x, labels) = data.shard(step, 30, rank, 3);
+                    let _ = optim.train_step(&mut net, &x, &labels);
+                }
+                optim.synchronize(&mut net);
+                net.flat_params()
+            })
+            .remove(0)
+        };
+        let diff = max_rel_diff(&run(PipelineMode::Dear), &run(PipelineMode::Wfbp));
+        assert!(diff < 1e-2, "Adam modes diverged: {diff}");
+    }
+
+    #[test]
+    fn adam_rebucketing_preserves_moments() {
+        let data = BlobDataset::new(6, 3, 0.4, 125);
+        let config = TrainConfig {
+            lr: 0.01,
+            fusion_buffer: Some(256),
+            optim: OptimKind::adam_default(),
+            ..TrainConfig::default()
+        };
+        let params = run_training(3, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(8);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..8 {
+                let (x, labels) = data.shard(step, 30, rank, 3);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            optim.set_fusion_buffer(&net, Some(4096));
+            for step in 8..16 {
+                let (x, labels) = data.shard(step, 30, rank, 3);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            net.flat_params()
+        });
+        for p in &params[1..] {
+            assert_eq!(&params[0], p, "ranks diverged after Adam re-bucketing");
+        }
+        let mut reference = build_net(8);
+        let mut opt = dear_minidnn::Adam::new(0.01);
+        for step in 0..16 {
+            let (x, labels) = data.batch(step, 30);
+            reference.zero_grads();
+            let logits = reference.forward(&x);
+            let (_, dloss) = dear_minidnn::softmax_cross_entropy(&logits, &labels);
+            reference.backward(&dloss);
+            dear_minidnn::Optimizer::step(&mut opt, &mut reference);
+        }
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 1e-2, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn lr_schedule_matches_reference() {
+        let data = BlobDataset::new(6, 3, 0.4, 42);
+        let config = TrainConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            fusion_buffer: Some(512),
+            ..TrainConfig::default()
+        };
+        let params = run_training(3, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(4);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..16 {
+                if step == 8 {
+                    // Decay the learning rate mid-training, collectively.
+                    optim.synchronize(&mut net);
+                    optim.set_hyper(0.01, 0.9, 0.0);
+                }
+                let (x, labels) = data.shard(step, 30, rank, 3);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            net.flat_params()
+        });
+        for p in &params[1..] {
+            assert_eq!(&params[0], p, "ranks diverged under LR schedule");
+        }
+        // Reference applies the same schedule.
+        let mut reference = build_net(4);
+        let mut opt = Sgd::with_options(0.1, 0.9, 0.0);
+        for step in 0..16u64 {
+            if step == 8 {
+                opt.set_lr(0.01);
+            }
+            let (x, labels) = data.batch(step, 30);
+            reference.zero_grads();
+            let logits = reference.forward(&x);
+            let (_, dloss) = dear_minidnn::softmax_cross_entropy(&logits, &labels);
+            reference.backward(&dloss);
+            opt.step(&mut reference);
+        }
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 5e-3, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn rebucketing_mid_training_preserves_correctness() {
+        let data = BlobDataset::new(6, 3, 0.4, 99);
+        let config = TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            fusion_buffer: Some(256),
+            ..TrainConfig::default()
+        };
+        let params = run_training(3, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(7);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..10 {
+                let (x, labels) = data.shard(step, 30, rank, 3);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            // Re-bucket (as DeAR-BO does), agree via broadcast, continue.
+            optim.synchronize(&mut net);
+            let new_buffer = optim.broadcast_value(0, 2048.0) as u64;
+            optim.set_fusion_buffer(&net, Some(new_buffer));
+            for step in 10..20 {
+                let (x, labels) = data.shard(step, 30, rank, 3);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            net.flat_params()
+        });
+        for p in &params[1..] {
+            assert_eq!(&params[0], p, "ranks diverged after re-bucketing");
+        }
+        // Matches the single-GPU reference (momentum state survived).
+        let mut reference = build_net(7);
+        let _ = train_single_reference(
+            &mut reference,
+            &config,
+            (0..20).map(|s| data.batch(s, 30)),
+        );
+        let diff = max_rel_diff(&params[0], &reference.flat_params());
+        assert!(diff < 5e-3, "max relative diff {diff}");
+    }
+}

@@ -1,0 +1,339 @@
+//! The per-worker communication thread — the "communication package" box
+//! of the paper's Fig. 4.
+//!
+//! Each worker (rank) owns one companion thread holding that rank's fabric
+//! endpoint. The training thread posts jobs; the comm thread executes the
+//! collectives asynchronously, which is what lets reduce-scatters overlap
+//! backprop (BackPipe) and all-gathers overlap the next feed-forward
+//! (FeedPipe) in *real wall-clock time*.
+//!
+//! In DeAR mode the comm thread also performs the optimizer update on the
+//! parameter shard this rank owns after the reduce-scatter (the paper's
+//! implementation updates sharded parameters and all-gathers the *updated
+//! parameters*, the design §VII-B relates to ZeRO/FSDP).
+
+use crossbeam_channel::{Receiver, Sender};
+
+use dear_collectives::{
+    ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter, tree_broadcast,
+    naive_all_reduce, ReduceOp, Transport,
+};
+
+use crate::layout::GroupLayout;
+
+/// Per-group metadata the comm thread needs: `(offset_in_group, len,
+/// global_offset)` per item, in group order.
+#[derive(Debug, Clone)]
+pub struct CommGroupMeta {
+    /// Item extents within the group's flat buffer.
+    pub items: Vec<(usize, usize, usize)>,
+    /// Total flat elements.
+    pub elements: usize,
+}
+
+/// The comm thread's view of the fusion layout.
+#[derive(Debug, Clone)]
+pub struct CommLayout {
+    /// One entry per group.
+    pub groups: Vec<CommGroupMeta>,
+}
+
+impl From<&GroupLayout> for CommLayout {
+    fn from(layout: &GroupLayout) -> Self {
+        let groups = (0..layout.num_groups())
+            .map(|g| CommGroupMeta {
+                items: layout
+                    .items_of_group(g)
+                    .iter()
+                    .map(|&i| {
+                        let it = layout.item(i);
+                        (it.offset_in_group, it.len, it.global_offset)
+                    })
+                    .collect(),
+                elements: layout.group_elements(g),
+            })
+            .collect();
+        CommLayout { groups }
+    }
+}
+
+/// Which update rule the sharded optimizer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OptimKind {
+    /// SGD with momentum (`momentum` field of [`HyperParams`]).
+    #[default]
+    Sgd,
+    /// Adam (Kingma & Ba); `momentum` is ignored.
+    Adam {
+        /// First-moment decay (β₁).
+        beta1: f32,
+        /// Second-moment decay (β₂).
+        beta2: f32,
+        /// Numerical-stability term.
+        eps: f32,
+    },
+}
+
+impl OptimKind {
+    /// Canonical Adam defaults: β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    #[must_use]
+    pub fn adam_default() -> Self {
+        OptimKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Optimizer hyper-parameters applied comm-side in DeAR mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)` (SGD only).
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// The update rule.
+    pub kind: OptimKind,
+}
+
+/// Jobs posted by the training thread.
+#[derive(Debug)]
+pub enum CommJob {
+    /// DeAR OP1: reduce-scatter `grads`, update the owned shard of
+    /// `params`, stash for the flush.
+    RsUpdate {
+        /// Group id.
+        group: usize,
+        /// Flat gradients (group order).
+        grads: Vec<f32>,
+        /// Flat parameters (group order).
+        params: Vec<f32>,
+    },
+    /// DeAR OP2: all-gather every stashed group's parameters, in reverse
+    /// stash order (forward order), replying with one `Params` each.
+    FlushAllGathers,
+    /// WFBP: all-reduce and average `grads`, replying with `Grads`.
+    AllReduce {
+        /// Group id.
+        group: usize,
+        /// Flat gradients (group order).
+        grads: Vec<f32>,
+    },
+    /// Broadcast `value` from `root` to all ranks (BO buffer-size sync).
+    Broadcast {
+        /// Root rank.
+        root: usize,
+        /// The value broadcast (only the root's value matters).
+        value: f64,
+    },
+    /// Synchronize all ranks.
+    Barrier,
+    /// Install a new fusion layout (BO re-bucketing). Optimizer state is
+    /// keyed by global offsets, so it survives.
+    Reconfigure {
+        /// The new layout.
+        layout: CommLayout,
+    },
+    /// Replace the optimizer hyper-parameters (e.g. a learning-rate
+    /// schedule step). Applies to subsequent updates.
+    SetHyper(HyperParams),
+}
+
+/// Replies sent back to the training thread.
+#[derive(Debug)]
+pub enum CommResult {
+    /// Updated, fully-gathered parameters of one group (DeAR).
+    Params {
+        /// Group id.
+        group: usize,
+        /// Flat parameters.
+        params: Vec<f32>,
+    },
+    /// Averaged gradients of one group (WFBP).
+    Grads {
+        /// Group id.
+        group: usize,
+        /// Flat gradients.
+        grads: Vec<f32>,
+    },
+    /// The broadcast value.
+    Broadcast(f64),
+    /// Barrier completion.
+    BarrierDone,
+}
+
+/// Runs the comm-thread event loop until the job channel closes.
+///
+/// # Panics
+///
+/// Panics on collective errors (a peer hanging up mid-training is a bug in
+/// the harness, not a recoverable condition for a worker thread).
+pub fn run_comm_thread<T: Transport>(
+    transport: T,
+    mut layout: CommLayout,
+    mut hyper: HyperParams,
+    total_elements: usize,
+    jobs: &Receiver<CommJob>,
+    results: &Sender<CommResult>,
+) {
+    let world = transport.world_size();
+    let rank = transport.rank();
+    // Optimizer state keyed by global flat offset: survives re-bucketing.
+    // `velocity` doubles as Adam's first moment; `second_moment` is
+    // allocated lazily only when Adam is selected.
+    let mut velocity = vec![0.0f32; total_elements];
+    let mut second_moment: Vec<f32> = Vec::new();
+    let mut adam_step: u64 = 0;
+    // Groups stashed this iteration, in arrival (backward) order.
+    let mut stash: Vec<(usize, Vec<f32>)> = Vec::new();
+
+    while let Ok(job) = jobs.recv() {
+        match job {
+            CommJob::RsUpdate {
+                group,
+                mut grads,
+                mut params,
+            } => {
+                let meta = &layout.groups[group];
+                debug_assert_eq!(grads.len(), meta.elements);
+                if stash.is_empty() {
+                    // First group of a new iteration: advance the Adam step
+                    // (bias correction is per-iteration, shared by shards).
+                    adam_step += 1;
+                }
+                let owned = ring_reduce_scatter(&transport, &mut grads, ReduceOp::Sum)
+                    .expect("reduce-scatter failed");
+                // Optimizer update on the owned shard only; every element is
+                // owned by exactly one rank, so the union of shards is the
+                // full S-SGD update of Eq. 2.
+                let inv_p = 1.0 / world as f32;
+                match hyper.kind {
+                    OptimKind::Sgd => {
+                        for &(off, len, goff) in &meta.items {
+                            let lo = owned.start.max(off);
+                            let hi = owned.end.min(off + len);
+                            for k in lo..hi {
+                                let gidx = goff + (k - off);
+                                let g = grads[k] * inv_p + hyper.weight_decay * params[k];
+                                velocity[gidx] = hyper.momentum * velocity[gidx] + g;
+                                params[k] -= hyper.lr * velocity[gidx];
+                            }
+                        }
+                    }
+                    OptimKind::Adam { beta1, beta2, eps } => {
+                        if second_moment.len() != total_elements {
+                            second_moment = vec![0.0; total_elements];
+                        }
+                        let bias1 = 1.0 - beta1.powf(adam_step as f32);
+                        let bias2 = 1.0 - beta2.powf(adam_step as f32);
+                        for &(off, len, goff) in &meta.items {
+                            let lo = owned.start.max(off);
+                            let hi = owned.end.min(off + len);
+                            for k in lo..hi {
+                                let gidx = goff + (k - off);
+                                let g = grads[k] * inv_p + hyper.weight_decay * params[k];
+                                velocity[gidx] = beta1 * velocity[gidx] + (1.0 - beta1) * g;
+                                second_moment[gidx] =
+                                    beta2 * second_moment[gidx] + (1.0 - beta2) * g * g;
+                                let m_hat = velocity[gidx] / bias1;
+                                let v_hat = second_moment[gidx] / bias2;
+                                params[k] -= hyper.lr * m_hat / (v_hat.sqrt() + eps);
+                            }
+                        }
+                    }
+                }
+                stash.push((group, params));
+            }
+            CommJob::FlushAllGathers => {
+                // Forward order = reverse of backward arrival order, so the
+                // first layers' parameters arrive first (FeedPipe).
+                for (group, mut params) in stash.drain(..).rev() {
+                    ring_all_gather(&transport, &mut params, ring_owned_chunk(rank, world))
+                        .expect("all-gather failed");
+                    results
+                        .send(CommResult::Params { group, params })
+                        .expect("training thread hung up");
+                }
+            }
+            CommJob::AllReduce { group, mut grads } => {
+                ring_all_reduce(&transport, &mut grads, ReduceOp::Sum)
+                    .expect("all-reduce failed");
+                let inv_p = 1.0 / world as f32;
+                for g in &mut grads {
+                    *g *= inv_p;
+                }
+                results
+                    .send(CommResult::Grads { group, grads })
+                    .expect("training thread hung up");
+            }
+            CommJob::Broadcast { root, value } => {
+                let mut buf = [value as f32];
+                tree_broadcast(&transport, &mut buf, root).expect("broadcast failed");
+                results
+                    .send(CommResult::Broadcast(f64::from(buf[0])))
+                    .expect("training thread hung up");
+            }
+            CommJob::Barrier => {
+                let mut token = [0.0f32];
+                naive_all_reduce(&transport, &mut token, ReduceOp::Sum)
+                    .expect("barrier failed");
+                results
+                    .send(CommResult::BarrierDone)
+                    .expect("training thread hung up");
+            }
+            CommJob::Reconfigure { layout: new_layout } => {
+                assert!(
+                    stash.is_empty(),
+                    "reconfigure must happen at an iteration boundary"
+                );
+                // Shard ownership changes with the group boundaries, so the
+                // momentum state must move with it: each element's velocity
+                // lives only on its owner (zero elsewhere), so a sum
+                // all-reduce reconstructs the full state, after which each
+                // rank keeps only the shards it owns under the new layout.
+                ring_all_reduce(&transport, &mut velocity, ReduceOp::Sum)
+                    .expect("velocity redistribution failed");
+                if !second_moment.is_empty() {
+                    ring_all_reduce(&transport, &mut second_moment, ReduceOp::Sum)
+                        .expect("second-moment redistribution failed");
+                }
+                let mut owned_mask = vec![false; velocity.len()];
+                for meta in &new_layout.groups {
+                    let owned = dear_collectives::chunk_range(
+                        meta.elements,
+                        world,
+                        ring_owned_chunk(rank, world),
+                    );
+                    for &(off, len, goff) in &meta.items {
+                        let lo = owned.start.max(off);
+                        let hi = owned.end.min(off + len);
+                        for k in lo..hi {
+                            owned_mask[goff + (k - off)] = true;
+                        }
+                    }
+                }
+                for (v, owned) in velocity.iter_mut().zip(&owned_mask) {
+                    if !*owned {
+                        *v = 0.0;
+                    }
+                }
+                for (v, owned) in second_moment.iter_mut().zip(&owned_mask) {
+                    if !*owned {
+                        *v = 0.0;
+                    }
+                }
+                layout = new_layout;
+            }
+            CommJob::SetHyper(new_hyper) => {
+                assert!(
+                    stash.is_empty(),
+                    "hyper-parameter change must happen at an iteration boundary"
+                );
+                hyper = new_hyper;
+            }
+        }
+    }
+}

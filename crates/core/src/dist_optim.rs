@@ -1,0 +1,379 @@
+//! `DistOptim` — the user-facing distributed optimizer of the paper's
+//! Listing 1, driving BackPipe and FeedPipe over the comm thread.
+
+use crossbeam_channel::{Receiver, Sender};
+
+use dear_fusion::GroupTracker;
+use dear_minidnn::{softmax_cross_entropy, Layer, Optimizer, Sequential, Tensor};
+
+use crate::comm::{CommJob, CommLayout, CommResult, HyperParams};
+use crate::layout::GroupLayout;
+
+/// Which pipelining scheme the runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// DeAR: reduce-scatter during backprop, shard update comm-side,
+    /// all-gather of updated parameters during the next feed-forward.
+    Dear,
+    /// WFBP baseline: per-group all-reduce during backprop, synchronous
+    /// local update before the next iteration.
+    Wfbp,
+}
+
+/// The distributed optimizer: wraps a network's training step with
+/// asynchronous gradient communication.
+///
+/// Mirrors the paper's Listing 1: construct once per worker, call
+/// [`DistOptim::train_step`] per mini-batch, and [`DistOptim::synchronize`]
+/// before evaluating or reading parameters.
+pub struct DistOptim {
+    rank: usize,
+    world: usize,
+    mode: PipelineMode,
+    layout: GroupLayout,
+    tracker: GroupTracker,
+    jobs: Sender<CommJob>,
+    results: Receiver<CommResult>,
+    /// Per-group gradient staging buffers (ready order concatenation).
+    grad_stage: Vec<Vec<f32>>,
+    /// Per-group parameter staging buffers (DeAR mode).
+    param_stage: Vec<Vec<f32>>,
+    /// Per-group received parameters awaiting installation (DeAR mode).
+    staged: Vec<Option<Vec<f32>>>,
+    /// Whether each layer's parameters are current for this iteration.
+    layer_synced: Vec<bool>,
+    /// Outstanding `Params` results not yet received.
+    pending: usize,
+    /// Local optimizer for WFBP mode.
+    local_optim: Option<Box<dyn Optimizer>>,
+    iter: u64,
+}
+
+impl std::fmt::Debug for DistOptim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistOptim")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .field("mode", &self.mode)
+            .field("groups", &self.layout.num_groups())
+            .field("iter", &self.iter)
+            .finish()
+    }
+}
+
+impl DistOptim {
+    /// Builds the optimizer. Called by the cluster runner; see
+    /// [`crate::run_training`] for the user entry point.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // internal constructor, one call site
+    pub(crate) fn new(
+        rank: usize,
+        world: usize,
+        mode: PipelineMode,
+        layout: GroupLayout,
+        jobs: Sender<CommJob>,
+        results: Receiver<CommResult>,
+        local_optim: Option<Box<dyn Optimizer>>,
+        num_layers: usize,
+    ) -> Self {
+        let tracker = GroupTracker::new(layout.plan());
+        let grad_stage = (0..layout.num_groups())
+            .map(|g| vec![0.0; layout.group_elements(g)])
+            .collect();
+        let param_stage = (0..layout.num_groups())
+            .map(|g| vec![0.0; layout.group_elements(g)])
+            .collect();
+        let staged = vec![None; layout.num_groups()];
+        DistOptim {
+            rank,
+            world,
+            mode,
+            layout,
+            tracker,
+            jobs,
+            results,
+            grad_stage,
+            param_stage,
+            staged,
+            layer_synced: vec![true; num_layers],
+            pending: 0,
+            local_optim,
+            iter: 0,
+        }
+    }
+
+    /// This worker's rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[must_use]
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Iterations completed.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Number of fusion groups under the current plan.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.layout.num_groups()
+    }
+
+    /// Runs one training step — feed-forward (waiting just-in-time on the
+    /// previous iteration's all-gathers in DeAR mode), loss, backprop (with
+    /// gradient communication chasing it), and the update. Returns the
+    /// mini-batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comm thread has died or label/batch shapes mismatch.
+    pub fn train_step(&mut self, net: &mut Sequential, input: &Tensor, labels: &[usize]) -> f32 {
+        // FeedPipe: per-layer just-in-time parameter installation.
+        let logits = net.forward_with_hook(input, |li, layer| self.pre_forward(li, layer));
+        let (loss, dloss) = softmax_cross_entropy(&logits, labels);
+        net.zero_grads();
+        // BackPipe: communication launched as gradients become ready.
+        net.backward_with_hook(&dloss, |li, layer| self.grad_ready(li, layer));
+        self.finish_iteration(net);
+        loss
+    }
+
+    /// FeedPipe hook: before layer `li` computes, make sure its parameters
+    /// reflect the previous iteration's update.
+    fn pre_forward(&mut self, li: usize, layer: &mut dyn Layer) {
+        if self.layer_synced[li] {
+            return;
+        }
+        let gating: Vec<usize> = self.layout.gating_groups(li).to_vec();
+        for g in gating {
+            self.wait_for_group(g);
+        }
+        let params = layer.params_mut();
+        for (pi, p) in params.into_iter().enumerate() {
+            let item = self.layout.item(self.layout.item_of(li, pi));
+            let src = self.staged[item.group]
+                .as_ref()
+                .expect("group staged by wait_for_group");
+            p.data_mut()
+                .copy_from_slice(&src[item.offset_in_group..item.offset_in_group + item.len]);
+        }
+        self.layer_synced[li] = true;
+    }
+
+    /// Blocks until group `g`'s parameters have arrived.
+    fn wait_for_group(&mut self, g: usize) {
+        while self.staged[g].is_none() {
+            match self.results.recv().expect("comm thread hung up") {
+                CommResult::Params { group, params } => {
+                    self.pending -= 1;
+                    self.staged[group] = Some(params);
+                }
+                other => panic!("unexpected comm result during FeedPipe: {other:?}"),
+            }
+        }
+    }
+
+    /// BackPipe hook: stage layer `li`'s gradients (and parameters, in DeAR
+    /// mode); launch the group's communication once complete.
+    fn grad_ready(&mut self, li: usize, layer: &mut dyn Layer) {
+        let grads = layer.grads();
+        let params = layer.params();
+        for pi in 0..grads.len() {
+            let item_idx = self.layout.item_of(li, pi);
+            let item = *self.layout.item(item_idx);
+            let dst = item.offset_in_group..item.offset_in_group + item.len;
+            self.grad_stage[item.group][dst.clone()].copy_from_slice(grads[pi].data());
+            if self.mode == PipelineMode::Dear {
+                self.param_stage[item.group][dst].copy_from_slice(params[pi].data());
+            }
+            if let Some(done) = self.tracker.mark_ready(item_idx) {
+                let elements = self.layout.group_elements(done);
+                let grads = std::mem::replace(&mut self.grad_stage[done], vec![0.0; elements]);
+                let job = match self.mode {
+                    PipelineMode::Dear => {
+                        let params =
+                            std::mem::replace(&mut self.param_stage[done], vec![0.0; elements]);
+                        CommJob::RsUpdate {
+                            group: done,
+                            grads,
+                            params,
+                        }
+                    }
+                    PipelineMode::Wfbp => CommJob::AllReduce { group: done, grads },
+                };
+                self.jobs.send(job).expect("comm thread hung up");
+            }
+        }
+    }
+
+    /// Ends the iteration: DeAR flushes the all-gathers (consumed lazily by
+    /// the next forward); WFBP synchronously collects averaged gradients
+    /// and steps the local optimizer.
+    fn finish_iteration(&mut self, net: &mut Sequential) {
+        assert!(self.tracker.all_complete(), "not all gradients were produced");
+        match self.mode {
+            PipelineMode::Dear => {
+                self.jobs
+                    .send(CommJob::FlushAllGathers)
+                    .expect("comm thread hung up");
+                self.pending += self.layout.num_groups();
+                self.staged.iter_mut().for_each(|s| *s = None);
+                self.layer_synced.iter_mut().for_each(|s| *s = false);
+            }
+            PipelineMode::Wfbp => {
+                for _ in 0..self.layout.num_groups() {
+                    match self.results.recv().expect("comm thread hung up") {
+                        CommResult::Grads { group, grads } => {
+                            self.install_grads(net, group, &grads);
+                        }
+                        other => panic!("unexpected comm result in WFBP sync: {other:?}"),
+                    }
+                }
+                self.local_optim
+                    .as_mut()
+                    .expect("WFBP mode carries a local optimizer")
+                    .step(net);
+            }
+        }
+        self.tracker.reset();
+        self.iter += 1;
+    }
+
+    /// Writes averaged flat gradients back into the network (WFBP mode).
+    fn install_grads(&self, net: &mut Sequential, group: usize, flat: &[f32]) {
+        for &item_idx in self.layout.items_of_group(group) {
+            let item = self.layout.item(item_idx);
+            let src = &flat[item.offset_in_group..item.offset_in_group + item.len];
+            net.layers_mut()[item.layer].grads_mut()[item.param]
+                .data_mut()
+                .copy_from_slice(src);
+        }
+    }
+
+    /// Forces all outstanding communication to complete and installs the
+    /// latest parameters — the paper's `optim.synchronize()` before
+    /// validation (Listing 1, line 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comm thread has died.
+    pub fn synchronize(&mut self, net: &mut Sequential) {
+        while self.pending > 0 {
+            match self.results.recv().expect("comm thread hung up") {
+                CommResult::Params { group, params } => {
+                    self.pending -= 1;
+                    self.staged[group] = Some(params);
+                }
+                other => panic!("unexpected comm result in synchronize: {other:?}"),
+            }
+        }
+        // Install everything staged.
+        for g in 0..self.layout.num_groups() {
+            if let Some(flat) = self.staged[g].take() {
+                for &item_idx in self.layout.items_of_group(g) {
+                    let item = self.layout.item(item_idx);
+                    let src = &flat[item.offset_in_group..item.offset_in_group + item.len];
+                    net.layers_mut()[item.layer].params_mut()[item.param]
+                        .data_mut()
+                        .copy_from_slice(src);
+                }
+            }
+        }
+        self.layer_synced.iter_mut().for_each(|s| *s = true);
+    }
+
+    /// Broadcasts `value` from `root` to all ranks (used to agree on a new
+    /// BO-suggested buffer size). Must be called at an iteration boundary
+    /// after [`DistOptim::synchronize`], collectively by all ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding.
+    pub fn broadcast_value(&mut self, root: usize, value: f64) -> f64 {
+        assert_eq!(self.pending, 0, "broadcast requires a synchronized state");
+        self.jobs
+            .send(CommJob::Broadcast { root, value })
+            .expect("comm thread hung up");
+        match self.results.recv().expect("comm thread hung up") {
+            CommResult::Broadcast(v) => v,
+            other => panic!("unexpected comm result in broadcast: {other:?}"),
+        }
+    }
+
+    /// Synchronizes all ranks. Must be called collectively at an iteration
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding.
+    pub fn barrier(&mut self) {
+        assert_eq!(self.pending, 0, "barrier requires a synchronized state");
+        self.jobs
+            .send(CommJob::Barrier)
+            .expect("comm thread hung up");
+        match self.results.recv().expect("comm thread hung up") {
+            CommResult::BarrierDone => (),
+            other => panic!("unexpected comm result in barrier: {other:?}"),
+        }
+    }
+
+    /// Replaces the optimizer hyper-parameters (learning-rate schedules,
+    /// momentum changes). Must be called collectively at an iteration
+    /// boundary with the same values on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding, or if the values
+    /// are invalid (non-positive learning rate, momentum outside `[0, 1)`).
+    pub fn set_hyper(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        assert_eq!(self.pending, 0, "hyper change requires a synchronized state");
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.jobs
+            .send(CommJob::SetHyper(HyperParams {
+                lr,
+                momentum,
+                weight_decay,
+                kind: crate::comm::OptimKind::Sgd,
+            }))
+            .expect("comm thread hung up");
+        if self.local_optim.is_some() {
+            self.local_optim =
+                Some(Box::new(dear_minidnn::Sgd::with_options(lr, momentum, weight_decay)));
+        }
+    }
+
+    /// Installs a new fusion buffer size (the BO re-bucketing step). Must
+    /// be called collectively at an iteration boundary after
+    /// [`DistOptim::synchronize`], with the same value on every rank —
+    /// pair with [`DistOptim::broadcast_value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding.
+    pub fn set_fusion_buffer(&mut self, net: &Sequential, buffer_bytes: Option<u64>) {
+        assert_eq!(self.pending, 0, "re-bucketing requires a synchronized state");
+        let layout = GroupLayout::from_buffer(net, buffer_bytes);
+        self.jobs
+            .send(CommJob::Reconfigure {
+                layout: CommLayout::from(&layout),
+            })
+            .expect("comm thread hung up");
+        self.tracker = GroupTracker::new(layout.plan());
+        self.grad_stage = (0..layout.num_groups())
+            .map(|g| vec![0.0; layout.group_elements(g)])
+            .collect();
+        self.param_stage = (0..layout.num_groups())
+            .map(|g| vec![0.0; layout.group_elements(g)])
+            .collect();
+        self.staged = vec![None; layout.num_groups()];
+        self.layout = layout;
+    }
+}

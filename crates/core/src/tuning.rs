@@ -1,0 +1,128 @@
+//! Online Bayesian-optimization tuning of the fusion buffer size during
+//! training (§IV-B): measure throughput over a window of steps, feed the
+//! tuner, agree on the next buffer size via broadcast, re-bucket.
+
+use dear_fusion::Tuner;
+
+/// Drives the measure-suggest-rebucket cycle for one worker.
+///
+/// Rank 0 owns the tuner; other ranks pass `None` and receive each
+/// suggestion through the collective broadcast. All ranks must construct
+/// the tuner with the same `window` and call [`OnlineTuning::on_step`]
+/// in lock-step.
+#[derive(Debug)]
+pub struct OnlineTuning<T> {
+    tuner: Option<T>,
+    window: u64,
+    steps_in_window: u64,
+    window_started: std::time::Instant,
+    samples_per_step: f64,
+    current: f64,
+}
+
+impl<T: Tuner> OnlineTuning<T> {
+    /// Creates the driver. `tuner` is `Some` only on rank 0;
+    /// `samples_per_step` is the global batch size (for throughput);
+    /// `initial` is the starting buffer size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(tuner: Option<T>, window: u64, samples_per_step: f64, initial: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        OnlineTuning {
+            tuner,
+            window,
+            steps_in_window: 0,
+            window_started: std::time::Instant::now(),
+            samples_per_step,
+            current: initial,
+        }
+    }
+
+    /// The buffer size currently in effect, bytes.
+    #[must_use]
+    pub fn current_buffer(&self) -> f64 {
+        self.current
+    }
+
+    /// Records one completed step. When the measurement window closes,
+    /// returns `Some(throughput)`: the caller must then obtain the next
+    /// buffer size via [`OnlineTuning::next_suggestion`] + broadcast and
+    /// re-bucket.
+    pub fn on_step(&mut self) -> Option<f64> {
+        if self.steps_in_window == 0 {
+            self.window_started = std::time::Instant::now();
+        }
+        self.steps_in_window += 1;
+        if self.steps_in_window < self.window {
+            return None;
+        }
+        let elapsed = self.window_started.elapsed().as_secs_f64().max(1e-9);
+        let throughput = self.samples_per_step * self.window as f64 / elapsed;
+        self.steps_in_window = 0;
+        Some(throughput)
+    }
+
+    /// Rank 0: records the window's throughput at the current buffer size
+    /// and produces the next suggestion. Other ranks: returns the current
+    /// value unchanged (they learn the real one via broadcast).
+    pub fn next_suggestion(&mut self, throughput: f64) -> f64 {
+        if let Some(tuner) = self.tuner.as_mut() {
+            tuner.observe(self.current, throughput);
+            self.current = tuner.suggest();
+        }
+        self.current
+    }
+
+    /// Adopts the broadcast value (all ranks).
+    pub fn adopt(&mut self, value: f64) {
+        self.current = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_fusion::{Domain, RandomSearch};
+
+    #[test]
+    fn window_closes_after_exactly_window_steps() {
+        let mut t: OnlineTuning<RandomSearch> = OnlineTuning::new(None, 3, 32.0, 1e6);
+        assert!(t.on_step().is_none());
+        assert!(t.on_step().is_none());
+        let thr = t.on_step().expect("third step closes the window");
+        assert!(thr > 0.0);
+        // Next window restarts the counter.
+        assert!(t.on_step().is_none());
+    }
+
+    #[test]
+    fn non_owner_ranks_keep_current_until_adopt() {
+        let mut t: OnlineTuning<RandomSearch> = OnlineTuning::new(None, 2, 16.0, 5.0e6);
+        assert_eq!(t.current_buffer(), 5.0e6);
+        let next = t.next_suggestion(1234.0);
+        assert_eq!(next, 5.0e6, "non-owner must not change the value");
+        t.adopt(7.0e6);
+        assert_eq!(t.current_buffer(), 7.0e6);
+    }
+
+    #[test]
+    fn owner_rank_advances_through_suggestions() {
+        let tuner = RandomSearch::new(Domain::new(1.0e6, 1.0e8), 3);
+        let mut t = OnlineTuning::new(Some(tuner), 2, 16.0, 25.0e6);
+        let first = t.current_buffer();
+        let _ = t.on_step();
+        let thr = t.on_step().expect("window closed");
+        let next = t.next_suggestion(thr);
+        assert!((1.0e6..=1.0e8).contains(&next));
+        assert_ne!(next, first, "random search should move off the default");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _: OnlineTuning<RandomSearch> = OnlineTuning::new(None, 0, 1.0, 1.0);
+    }
+}

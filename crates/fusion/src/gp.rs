@@ -1,0 +1,257 @@
+//! Gaussian-process regression with an RBF kernel and the Expected
+//! Improvement acquisition function — the machinery behind DeAR's
+//! BO-based tensor fusion (§IV-B).
+
+use crate::linalg::Cholesky;
+
+/// Standard normal probability density.
+#[must_use]
+pub fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution (Abramowitz & Stegun 7.1.26
+/// erf approximation; absolute error < 1.5e-7).
+#[must_use]
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+/// Expected improvement of a maximization objective at a point with
+/// posterior `mean`/`std`, over the incumbent `best`, with exploration
+/// parameter `xi` (the paper uses `xi = 0.1` to prefer exploration).
+#[must_use]
+pub fn expected_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 1e-12 {
+        return (mean - best - xi).max(0.0);
+    }
+    let z = (mean - best - xi) / std;
+    // EI is mathematically non-negative; the erf approximation's absolute
+    // error (~1.5e-7) can push the deep-tail value fractionally below zero.
+    ((mean - best - xi) * normal_cdf(z) + std * normal_pdf(z)).max(0.0)
+}
+
+/// A one-dimensional Gaussian-process regressor with RBF kernel
+/// `k(x, x') = σ_f² exp(−(x−x')²/2ℓ²) + σ_n² δ`.
+///
+/// Inputs and outputs are internally normalized (inputs to `[0, 1]` over
+/// the fitted range, outputs to zero mean / unit variance) so the default
+/// hyper-parameters behave across scales (buffer sizes span 1–100 MB,
+/// throughputs span decades).
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    length_scale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    // Normalization state.
+    x_lo: f64,
+    x_hi: f64,
+    y_mean: f64,
+    y_std: f64,
+    chol: Option<Cholesky>,
+    alpha: Vec<f64>,
+}
+
+impl Default for GaussianProcess {
+    fn default() -> Self {
+        GaussianProcess::new(0.2, 1.0, 1e-4)
+    }
+}
+
+impl GaussianProcess {
+    /// Creates a GP with the given hyper-parameters (in normalized space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hyper-parameter is not positive.
+    #[must_use]
+    pub fn new(length_scale: f64, signal_var: f64, noise_var: f64) -> Self {
+        assert!(length_scale > 0.0 && signal_var > 0.0 && noise_var > 0.0,
+            "hyper-parameters must be positive");
+        GaussianProcess {
+            length_scale,
+            signal_var,
+            noise_var,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            x_lo: 0.0,
+            x_hi: 1.0,
+            y_mean: 0.0,
+            y_std: 1.0,
+            chol: None,
+            alpha: Vec::new(),
+        }
+    }
+
+    fn kernel(&self, a: f64, b: f64) -> f64 {
+        let d = a - b;
+        self.signal_var * (-(d * d) / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    fn norm_x(&self, x: f64) -> f64 {
+        if self.x_hi > self.x_lo {
+            (x - self.x_lo) / (self.x_hi - self.x_lo)
+        } else {
+            0.5
+        }
+    }
+
+    /// Fits the GP to observations `(xs, ys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input slices differ in length, are empty, or contain
+    /// non-finite values.
+    pub fn fit(&mut self, xs: &[f64], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+        assert!(!xs.is_empty(), "need at least one observation");
+        assert!(
+            xs.iter().chain(ys).all(|v| v.is_finite()),
+            "observations must be finite"
+        );
+        self.xs = xs.to_vec();
+        self.ys = ys.to_vec();
+        self.x_lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        self.x_hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+        self.y_std = var.sqrt().max(1e-9);
+
+        let n = xs.len();
+        let nx: Vec<f64> = xs.iter().map(|&x| self.norm_x(x)).collect();
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = self.kernel(nx[i], nx[j]);
+                if i == j {
+                    k[i * n + j] += self.noise_var;
+                }
+            }
+        }
+        let chol = Cholesky::factor(&k, n, 1e-10)
+            .or_else(|| Cholesky::factor(&k, n, 1e-6))
+            .expect("kernel matrix must be positive definite with jitter");
+        let ny: Vec<f64> = ys.iter().map(|&y| (y - self.y_mean) / self.y_std).collect();
+        self.alpha = chol.solve(&ny);
+        self.chol = Some(chol);
+    }
+
+    /// Posterior `(mean, std)` at `x`, in the original output units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GaussianProcess::fit`].
+    #[must_use]
+    pub fn predict(&self, x: f64) -> (f64, f64) {
+        let chol = self.chol.as_ref().expect("predict requires a fitted GP");
+        let nx = self.norm_x(x);
+        let k_star: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|&xi| self.kernel(nx, self.norm_x(xi)))
+            .collect();
+        let mean_n: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = chol.solve_lower(&k_star);
+        let var_n = (self.kernel(nx, nx) + self.noise_var
+            - v.iter().map(|x| x * x).sum::<f64>())
+        .max(0.0);
+        (
+            mean_n * self.y_std + self.y_mean,
+            var_n.sqrt() * self.y_std,
+        )
+    }
+
+    /// Number of fitted observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True before any fit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_matches_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((normal_pdf(0.0) - 0.398_942).abs() < 1e-5);
+        assert!((normal_pdf(1.5) - normal_pdf(-1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_is_zero_when_certain_and_worse() {
+        assert_eq!(expected_improvement(1.0, 0.0, 5.0, 0.0), 0.0);
+        assert_eq!(expected_improvement(6.0, 0.0, 5.0, 0.0), 1.0);
+        // Uncertainty buys improvement even below the incumbent.
+        assert!(expected_improvement(4.0, 2.0, 5.0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn gp_interpolates_observations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 14.0, 12.0, 8.0];
+        let mut gp = GaussianProcess::default();
+        gp.fit(&xs, &ys);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let (m, s) = gp.predict(x);
+            assert!((m - y).abs() < 0.5, "at {x}: mean {m} vs {y}");
+            assert!(s < 1.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let mut gp = GaussianProcess::default();
+        gp.fit(&[0.0, 10.0], &[1.0, 2.0]);
+        let (_, s_near) = gp.predict(0.1);
+        let (_, s_far) = gp.predict(5.0);
+        assert!(s_far > s_near, "far {s_far} <= near {s_near}");
+    }
+
+    #[test]
+    fn gp_recovers_smooth_function_shape() {
+        // Sample a smooth unimodal function and check the GP finds the peak
+        // region.
+        let f = |x: f64| -(x - 35.0).powi(2) / 400.0 + 100.0;
+        let xs: Vec<f64> = vec![1.0, 10.0, 25.0, 40.0, 60.0, 80.0, 100.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        let mut gp = GaussianProcess::default();
+        gp.fit(&xs, &ys);
+        let best_x = (1..=100)
+            .map(|i| i as f64)
+            .max_by(|&a, &b| {
+                gp.predict(a).0.partial_cmp(&gp.predict(b).0).unwrap()
+            })
+            .unwrap();
+        assert!((best_x - 35.0).abs() < 10.0, "GP peak at {best_x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn fit_rejects_mismatched_lengths() {
+        GaussianProcess::default().fit(&[1.0], &[1.0, 2.0]);
+    }
+}

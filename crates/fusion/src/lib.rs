@@ -1,0 +1,48 @@
+//! # dear-fusion — tensor fusion and Bayesian-optimization tuning
+//!
+//! Tensor fusion merges nearby gradient tensors so they are communicated
+//! together, amortizing the per-message startup latency of collectives
+//! (§IV). In DeAR the fusion granularity also controls FeedPipe's overlap
+//! opportunity, so choosing it well is non-trivial; the paper tunes the
+//! buffer size online with Bayesian optimization.
+//!
+//! - [`FusionPlan`]: contiguous partitions of the tensors in ready order,
+//!   with the strategies of Fig. 9 (buffer threshold, fixed layer count,
+//!   none, all).
+//! - [`GroupTracker`]: run-time readiness bookkeeping (Fig. 4's "tensor
+//!   fusion controller").
+//! - [`GaussianProcess`] + [`expected_improvement`]: GP regression with an
+//!   RBF kernel and the EI acquisition used in §IV-B.
+//! - [`BayesOpt`] / [`RandomSearch`] / [`GridSearch`]: the three search
+//!   strategies compared in Fig. 10, behind one [`Tuner`] protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use dear_fusion::{BayesOpt, Domain, Tuner};
+//!
+//! // Maximize a synthetic throughput curve peaking at 35 MB.
+//! let mut bo = BayesOpt::new(Domain::paper_default(), 42);
+//! for _ in 0..9 {
+//!     let x = bo.suggest();
+//!     let mb = x / (1 << 20) as f64;
+//!     bo.observe(x, 1500.0 - (mb - 35.0).powi(2));
+//! }
+//! let (best_x, _) = bo.best().unwrap();
+//! assert!((best_x / (1 << 20) as f64 - 35.0).abs() < 20.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod gp;
+mod linalg;
+mod plan;
+mod tracker;
+mod tuner;
+
+pub use gp::{expected_improvement, normal_cdf, normal_pdf, GaussianProcess};
+pub use linalg::Cholesky;
+pub use plan::FusionPlan;
+pub use tracker::GroupTracker;
+pub use tuner::{trials_to_reach, trials_to_stable, BayesOpt, Domain, GridSearch, RandomSearch, Tuner};

@@ -1,0 +1,154 @@
+//! Small dense linear algebra for the Gaussian process: Cholesky
+//! factorization and triangular solves on row-major matrices.
+
+/// A symmetric positive-definite solve helper built on a Cholesky
+/// factorization `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Lower-triangular factor, row-major, full n×n storage.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric matrix `a` (row-major, `n × n`), adding
+    /// `jitter` to the diagonal for numerical robustness. Returns `None` if
+    /// the matrix is not positive definite even with jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n * n`.
+    #[must_use]
+    pub fn factor(a: &[f64], n: usize, jitter: f64) -> Option<Self> {
+        assert_eq!(a.len(), n * n, "matrix must be n×n");
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(Cholesky { n, l })
+    }
+
+    /// Solves `A·x = b` via the factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs must have length n");
+        // Forward: L·y = b
+        let mut y = b.to_vec();
+        for i in 0..self.n {
+            for k in 0..i {
+                y[i] -= self.l[i * self.n + k] * y[k];
+            }
+            y[i] /= self.l[i * self.n + i];
+        }
+        // Backward: Lᵀ·x = y
+        let mut x = y;
+        for i in (0..self.n).rev() {
+            for k in i + 1..self.n {
+                x[i] -= self.l[k * self.n + i] * x[k];
+            }
+            x[i] /= self.l[i * self.n + i];
+        }
+        x
+    }
+
+    /// Solves `L·y = b` only (forward substitution), used for predictive
+    /// variances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    #[must_use]
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs must have length n");
+        let mut y = b.to_vec();
+        for i in 0..self.n {
+            for k in 0..i {
+                y[i] -= self.l[i * self.n + k] * y[k];
+            }
+            y[i] /= self.l[i * self.n + i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let ch = Cholesky::factor(&a, 2, 0.0).unwrap();
+        assert_eq!(ch.solve(&[3.0, -4.0]), vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = Bᵀ·B + I is SPD for any B.
+        let n = 4;
+        let b: Vec<f64> = (0..n * n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i * n + j] += b[k * n + i] * b[k * n + j];
+                }
+            }
+            a[i * n + i] += 1.0;
+        }
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let rhs = matvec(&a, n, &x_true);
+        let ch = Cholesky::factor(&a, n, 0.0).unwrap();
+        let x = ch.solve(&rhs);
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(Cholesky::factor(&a, 2, 0.0).is_none());
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        let a = vec![1.0, 1.0, 1.0, 1.0]; // rank 1
+        assert!(Cholesky::factor(&a, 2, 0.0).is_none());
+        assert!(Cholesky::factor(&a, 2, 1e-6).is_some());
+    }
+
+    #[test]
+    fn solve_lower_is_forward_substitution() {
+        let a = vec![4.0, 0.0, 0.0, 9.0];
+        let ch = Cholesky::factor(&a, 2, 0.0).unwrap();
+        // L = diag(2, 3), so L·y = [2, 3] gives y = [1, 1].
+        assert_eq!(ch.solve_lower(&[2.0, 3.0]), vec![1.0, 1.0]);
+    }
+}

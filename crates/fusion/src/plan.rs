@@ -1,0 +1,255 @@
+//! Tensor fusion plans: partitions of the gradient tensors (in their
+//! backward ready order) into contiguous groups that are communicated
+//! together.
+//!
+//! In DeAR a group means **one** reduce-scatter during backprop and **one**
+//! all-gather during the next feed-forward (§IV); in WFBP-family schedulers
+//! it means one all-reduce. The plan constructors mirror the strategies
+//! compared in Fig. 9: a buffer-size threshold (`by_buffer_bytes`, the
+//! "FB" variants and the quantity BO tunes), a fixed consecutive-layer
+//! count (`by_count`, "NL"), no fusion (`singletons`), and full fusion
+//! (`single_group`).
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// A partition of `n` items (tensors in ready order) into contiguous groups.
+///
+/// Invariant: groups are non-empty, in order, and exactly cover `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionPlan {
+    n: usize,
+    groups: Vec<Range<usize>>,
+}
+
+impl FusionPlan {
+    /// One group per item (no fusion) — DeAR w/o TF, plain WFBP.
+    #[must_use]
+    pub fn singletons(n: usize) -> Self {
+        FusionPlan {
+            n,
+            groups: (0..n).map(|i| i..i + 1).collect(),
+        }
+    }
+
+    /// A single group holding everything (fully synchronous aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn single_group(n: usize) -> Self {
+        assert!(n > 0, "cannot build a single group of zero items");
+        #[allow(clippy::single_range_in_vec_init)] // a one-group plan IS a list
+        let groups = vec![0..n];
+        FusionPlan { n, groups }
+    }
+
+    /// Greedy buffer-threshold fusion: items are appended to the current
+    /// group while its byte total stays **at or below** `buffer_bytes`; an
+    /// item that would overflow starts a new group. Oversized single items
+    /// get their own group. This is the 25 MB/64 MB bucketing of
+    /// PyTorch-DDP/Horovod and the `x` that DeAR's BO tunes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or `buffer_bytes == 0`.
+    #[must_use]
+    pub fn by_buffer_bytes(sizes: &[u64], buffer_bytes: u64) -> Self {
+        assert!(!sizes.is_empty(), "need at least one tensor");
+        assert!(buffer_bytes > 0, "buffer size must be positive");
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            if i > start && acc + s > buffer_bytes {
+                groups.push(start..i);
+                start = i;
+                acc = 0;
+            }
+            acc += s;
+        }
+        groups.push(start..sizes.len());
+        FusionPlan {
+            n: sizes.len(),
+            groups,
+        }
+    }
+
+    /// Fixed consecutive-item count fusion ("DeAR-NL" with `count` layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `count == 0`.
+    #[must_use]
+    pub fn by_count(n: usize, count: usize) -> Self {
+        assert!(n > 0, "need at least one tensor");
+        assert!(count > 0, "group count must be positive");
+        let groups = (0..n.div_ceil(count))
+            .map(|g| g * count..((g + 1) * count).min(n))
+            .collect();
+        FusionPlan { n, groups }
+    }
+
+    /// Builds a plan from explicit group ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not exactly cover `0..n` in order.
+    #[must_use]
+    pub fn from_groups(n: usize, groups: Vec<Range<usize>>) -> Self {
+        let plan = FusionPlan { n, groups };
+        plan.validate();
+        plan
+    }
+
+    /// Number of items covered.
+    #[must_use]
+    pub fn len_items(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The group ranges, in item order.
+    #[must_use]
+    pub fn groups(&self) -> &[Range<usize>] {
+        &self.groups
+    }
+
+    /// The group index containing `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item >= len_items()`.
+    #[must_use]
+    pub fn group_of(&self, item: usize) -> usize {
+        assert!(item < self.n, "item {item} out of range");
+        // Groups are sorted by start; binary search.
+        match self
+            .groups
+            .binary_search_by(|g| {
+                if g.end <= item {
+                    std::cmp::Ordering::Less
+                } else if g.start > item {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            }) {
+            Ok(g) => g,
+            Err(_) => unreachable!("plan invariant: every item covered"),
+        }
+    }
+
+    /// Sum of `sizes` over one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range or `sizes` is shorter than the plan.
+    #[must_use]
+    pub fn group_bytes(&self, group: usize, sizes: &[u64]) -> u64 {
+        self.groups[group].clone().map(|i| sizes[i]).sum()
+    }
+
+    /// Checks the exact-cover invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on violation.
+    pub fn validate(&self) {
+        assert!(!self.groups.is_empty() || self.n == 0, "no groups");
+        let mut cursor = 0usize;
+        for g in &self.groups {
+            assert_eq!(g.start, cursor, "gap or overlap at item {cursor}");
+            assert!(g.end > g.start, "empty group at {}", g.start);
+            cursor = g.end;
+        }
+        assert_eq!(cursor, self.n, "groups do not cover all {} items", self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_cover_everything() {
+        let p = FusionPlan::singletons(5);
+        p.validate();
+        assert_eq!(p.num_groups(), 5);
+        assert_eq!(p.group_of(3), 3);
+    }
+
+    #[test]
+    fn single_group_is_one_range() {
+        let p = FusionPlan::single_group(7);
+        p.validate();
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.group_of(6), 0);
+    }
+
+    #[test]
+    fn buffer_threshold_groups_greedily() {
+        let sizes = [10, 10, 10, 25, 5, 40, 3];
+        let p = FusionPlan::by_buffer_bytes(&sizes, 30);
+        p.validate();
+        // [10,10,10] = 30 fits; 25+5=30 fits; 40 alone (oversized); 3 alone.
+        assert_eq!(p.groups(), &[0..3, 3..5, 5..6, 6..7]);
+        assert_eq!(p.group_bytes(0, &sizes), 30);
+        assert_eq!(p.group_bytes(2, &sizes), 40);
+    }
+
+    #[test]
+    fn huge_buffer_fuses_all() {
+        let sizes = [1u64, 2, 3];
+        let p = FusionPlan::by_buffer_bytes(&sizes, u64::MAX);
+        assert_eq!(p.num_groups(), 1);
+    }
+
+    #[test]
+    fn tiny_buffer_degenerates_to_singletons() {
+        let sizes = [100u64, 100, 100];
+        let p = FusionPlan::by_buffer_bytes(&sizes, 1);
+        assert_eq!(p, FusionPlan::singletons(3));
+    }
+
+    #[test]
+    fn by_count_handles_remainders() {
+        let p = FusionPlan::by_count(10, 4);
+        p.validate();
+        assert_eq!(p.groups(), &[0..4, 4..8, 8..10]);
+        assert_eq!(p.group_of(9), 2);
+    }
+
+    #[test]
+    fn from_groups_validates() {
+        let p = FusionPlan::from_groups(4, vec![0..2, 2..4]);
+        assert_eq!(p.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap or overlap")]
+    fn from_groups_rejects_gaps() {
+        let _ = FusionPlan::from_groups(4, vec![0..2, 3..4]);
+    }
+
+    #[test]
+    fn group_of_binary_search_agrees_with_scan() {
+        let sizes: Vec<u64> = (0..50).map(|i| (i * 37 % 23) + 1).collect();
+        let p = FusionPlan::by_buffer_bytes(&sizes, 40);
+        for item in 0..50 {
+            let scan = p
+                .groups()
+                .iter()
+                .position(|g| g.contains(&item))
+                .unwrap();
+            assert_eq!(p.group_of(item), scan);
+        }
+    }
+}

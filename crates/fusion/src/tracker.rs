@@ -1,0 +1,133 @@
+//! Run-time group readiness tracking — the "tensor fusion controller" box
+//! of the paper's Fig. 4.
+//!
+//! During backprop, gradients become ready one tensor at a time; a fused
+//! group may only be communicated when **all** of its member tensors are
+//! ready. `GroupTracker` does that bookkeeping for the DeAR runtime (and
+//! for WFBP-style runtimes alike).
+
+use crate::plan::FusionPlan;
+
+/// Tracks which fusion groups have all gradients ready.
+#[derive(Debug, Clone)]
+pub struct GroupTracker {
+    group_of: Vec<usize>,
+    pending: Vec<usize>,
+    group_sizes: Vec<usize>,
+    ready_seen: Vec<bool>,
+}
+
+impl GroupTracker {
+    /// Builds a tracker for `plan`.
+    #[must_use]
+    pub fn new(plan: &FusionPlan) -> Self {
+        let n = plan.len_items();
+        let mut group_of = vec![0usize; n];
+        let mut group_sizes = vec![0usize; plan.num_groups()];
+        for (g, range) in plan.groups().iter().enumerate() {
+            group_sizes[g] = range.len();
+            for i in range.clone() {
+                group_of[i] = g;
+            }
+        }
+        GroupTracker {
+            group_of,
+            pending: group_sizes.clone(),
+            group_sizes,
+            ready_seen: vec![false; n],
+        }
+    }
+
+    /// Number of groups tracked.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// The group containing `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    #[must_use]
+    pub fn group_of(&self, item: usize) -> usize {
+        self.group_of[item]
+    }
+
+    /// Marks `item`'s gradient ready. Returns `Some(group)` if this
+    /// completes the group (all members ready), `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range or already marked this iteration.
+    pub fn mark_ready(&mut self, item: usize) -> Option<usize> {
+        assert!(
+            !self.ready_seen[item],
+            "item {item} marked ready twice in one iteration"
+        );
+        self.ready_seen[item] = true;
+        let g = self.group_of[item];
+        self.pending[g] -= 1;
+        (self.pending[g] == 0).then_some(g)
+    }
+
+    /// True if every group has completed.
+    #[must_use]
+    pub fn all_complete(&self) -> bool {
+        self.pending.iter().all(|&p| p == 0)
+    }
+
+    /// Resets for the next iteration.
+    pub fn reset(&mut self) {
+        self.pending.copy_from_slice(&self.group_sizes);
+        self.ready_seen.iter_mut().for_each(|r| *r = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_complete_when_all_members_ready() {
+        let plan = FusionPlan::from_groups(5, vec![0..2, 2..5]);
+        let mut t = GroupTracker::new(&plan);
+        assert_eq!(t.mark_ready(0), None);
+        assert_eq!(t.mark_ready(1), Some(0));
+        assert_eq!(t.mark_ready(4), None);
+        assert_eq!(t.mark_ready(2), None);
+        assert_eq!(t.mark_ready(3), Some(1));
+        assert!(t.all_complete());
+    }
+
+    #[test]
+    fn ready_order_does_not_matter() {
+        let plan = FusionPlan::single_group(3);
+        let mut t = GroupTracker::new(&plan);
+        assert_eq!(t.mark_ready(2), None);
+        assert_eq!(t.mark_ready(0), None);
+        assert_eq!(t.mark_ready(1), Some(0));
+    }
+
+    #[test]
+    fn reset_reuses_the_tracker() {
+        let plan = FusionPlan::singletons(2);
+        let mut t = GroupTracker::new(&plan);
+        assert_eq!(t.mark_ready(0), Some(0));
+        assert_eq!(t.mark_ready(1), Some(1));
+        t.reset();
+        assert!(!t.all_complete());
+        assert_eq!(t.mark_ready(1), Some(1));
+        assert_eq!(t.group_of(1), 1);
+        assert_eq!(t.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_ready_panics() {
+        let plan = FusionPlan::singletons(1);
+        let mut t = GroupTracker::new(&plan);
+        let _ = t.mark_ready(0);
+        let _ = t.mark_ready(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for fusion plans, group tracking, and the GP/BO
+//! machinery.
+
+use dear_fusion::{
+    expected_improvement, normal_cdf, BayesOpt, Domain, FusionPlan, GaussianProcess,
+    GroupTracker, Tuner,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buffer_plans_exactly_cover(
+        sizes in prop::collection::vec(1u64..100_000, 1..200),
+        buffer in 1u64..1_000_000,
+    ) {
+        let plan = FusionPlan::by_buffer_bytes(&sizes, buffer);
+        plan.validate();
+        prop_assert_eq!(plan.len_items(), sizes.len());
+        let total: u64 = (0..plan.num_groups()).map(|g| plan.group_bytes(g, &sizes)).sum();
+        prop_assert_eq!(total, sizes.iter().sum::<u64>());
+        // No group except oversized singletons exceeds the buffer.
+        for (g, range) in plan.groups().iter().enumerate() {
+            let bytes = plan.group_bytes(g, &sizes);
+            prop_assert!(bytes <= buffer || range.len() == 1);
+        }
+    }
+
+    #[test]
+    fn group_of_is_consistent(
+        sizes in prop::collection::vec(1u64..10_000, 1..100),
+        buffer in 1u64..100_000,
+    ) {
+        let plan = FusionPlan::by_buffer_bytes(&sizes, buffer);
+        for item in 0..sizes.len() {
+            let g = plan.group_of(item);
+            prop_assert!(plan.groups()[g].contains(&item));
+        }
+    }
+
+    #[test]
+    fn tracker_fires_each_group_exactly_once(
+        sizes in prop::collection::vec(1u64..1_000, 1..60),
+        buffer in 1u64..10_000,
+        order_seed in any::<u64>(),
+    ) {
+        let plan = FusionPlan::by_buffer_bytes(&sizes, buffer);
+        let mut tracker = GroupTracker::new(&plan);
+        // Pseudo-random permutation of ready order.
+        let n = sizes.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = order_seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let mut fired = vec![0usize; plan.num_groups()];
+        for item in order {
+            if let Some(g) = tracker.mark_ready(item) {
+                fired[g] += 1;
+            }
+        }
+        prop_assert!(tracker.all_complete());
+        prop_assert!(fired.iter().all(|&f| f == 1), "fired: {fired:?}");
+    }
+
+    #[test]
+    fn gp_posterior_is_finite_and_interpolating(
+        xs in prop::collection::vec(0.0f64..100.0, 2..20),
+        seed in any::<u64>(),
+    ) {
+        // Deduplicate x's (GP conditioning breaks on exact duplicates with
+        // conflicting y's; the runtime domain never produces them exactly).
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        prop_assume!(xs.len() >= 2);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (x * 0.1).sin() * 10.0 + ((seed >> (i % 60)) & 1) as f64)
+            .collect();
+        let mut gp = GaussianProcess::default();
+        gp.fit(&xs, &ys);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let (mean, std) = gp.predict(x);
+            prop_assert!(mean.is_finite() && std.is_finite() && std >= 0.0);
+            // Interpolation within a few noise standard deviations of the
+            // observed spread.
+            let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                (mean - y).abs() <= 0.5 * spread + 1.0,
+                "at {x}: mean {mean} vs y {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_monotone_in_mean(
+        mean in -100.0f64..100.0,
+        std in 0.0f64..50.0,
+        best in -100.0f64..100.0,
+    ) {
+        let ei = expected_improvement(mean, std, best, 0.0);
+        prop_assert!(ei >= 0.0);
+        let ei_higher = expected_improvement(mean + 1.0, std, best, 0.0);
+        prop_assert!(ei_higher >= ei - 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ca = normal_cdf(lo);
+        let cb = normal_cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&ca));
+        prop_assert!((0.0..=1.0).contains(&cb));
+        prop_assert!(cb >= ca - 1e-12);
+    }
+
+    #[test]
+    fn bo_suggestions_stay_in_domain(
+        lo_mb in 1u64..10,
+        span_mb in 1u64..90,
+        seed in any::<u64>(),
+    ) {
+        let lo = (lo_mb << 20) as f64;
+        let hi = ((lo_mb + span_mb) << 20) as f64;
+        let domain = Domain::new(lo, hi);
+        let mut bo = BayesOpt::new(domain, seed);
+        for i in 0..10 {
+            let x = bo.suggest();
+            prop_assert!((lo..=hi).contains(&x), "suggestion {x} outside [{lo}, {hi}]");
+            bo.observe(x, (i as f64).sin() * 100.0);
+        }
+    }
+}

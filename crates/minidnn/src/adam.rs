@@ -1,0 +1,196 @@
+//! Adam optimizer (Kingma & Ba) — the optimizer BERT-class pre-training
+//! actually uses, provided alongside SGD so the distributed runtime can be
+//! exercised with stateful per-element optimizers.
+
+use crate::network::Sequential;
+use crate::optim::Optimizer;
+
+/// Adam with optional decoupled-style L2 weight decay (classic Adam
+/// formulation: decay added to the gradient).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: u64,
+    /// First-moment estimates, one buffer per parameter tensor.
+    m: Vec<Vec<f32>>,
+    /// Second-moment estimates.
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults `β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Adam::with_options(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` or `eps` is not positive, or if either beta is
+    /// outside `[0, 1)`.
+    #[must_use]
+    pub fn with_options(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        assert!(eps > 0.0, "epsilon must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Steps taken so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Sequential) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let mut tensor_idx = 0;
+        for layer in net.layers_mut() {
+            let grads: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
+            for (p, g) in layer.params_mut().into_iter().zip(grads) {
+                if self.m.len() <= tensor_idx {
+                    self.m.push(vec![0.0; p.len()]);
+                    self.v.push(vec![0.0; p.len()]);
+                }
+                let m = &mut self.m[tensor_idx];
+                let v = &mut self.v[tensor_idx];
+                assert_eq!(m.len(), p.len(), "parameter tensor size changed between steps");
+                let data = p.data_mut();
+                for i in 0..data.len() {
+                    let grad = g[i] + self.weight_decay * data[i];
+                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                    let m_hat = m[i] / bias1;
+                    let v_hat = v[i] / bias2;
+                    data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+                tensor_idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::mse;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new().push(Linear::new(2, 1, &mut rng))
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut net = quadratic_net(0);
+        let mut opt = Adam::new(0.05);
+        let x = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., 1., 1., 0.5, 0.5]);
+        let target = Tensor::from_vec(&[4, 1], vec![1., 2., 3., 1.5]);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..300 {
+            net.zero_grads();
+            let y = net.forward(&x);
+            let (loss, dl) = mse(&y, &target);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            net.backward(&dl);
+            opt.step(&mut net);
+        }
+        assert!(last < 0.02 * first.max(0.01), "{first} -> {last}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_handles_badly_scaled_gradients_better_than_sgd() {
+        // One input dimension is 100x the other: Adam's per-element scaling
+        // equalizes progress where a single SGD learning rate cannot.
+        let run_adam = {
+            let mut net = quadratic_net(3);
+            let mut opt = Adam::new(0.05);
+            let x = Tensor::from_vec(&[2, 2], vec![100., 0., 0., 0.01]);
+            let target = Tensor::from_vec(&[2, 1], vec![5., -5.]);
+            let mut last = 0.0;
+            for _ in 0..400 {
+                net.zero_grads();
+                let y = net.forward(&x);
+                let (loss, dl) = mse(&y, &target);
+                last = loss;
+                net.backward(&dl);
+                opt.step(&mut net);
+            }
+            last
+        };
+        let run_sgd = {
+            let mut net = quadratic_net(3);
+            let mut opt = crate::optim::Sgd::new(1e-4); // larger diverges
+            let x = Tensor::from_vec(&[2, 2], vec![100., 0., 0., 0.01]);
+            let target = Tensor::from_vec(&[2, 1], vec![5., -5.]);
+            let mut last = 0.0;
+            for _ in 0..400 {
+                net.zero_grads();
+                let y = net.forward(&x);
+                let (loss, dl) = mse(&y, &target);
+                last = loss;
+                net.backward(&dl);
+                crate::optim::Optimizer::step(&mut opt, &mut net);
+            }
+            last
+        };
+        assert!(run_adam < run_sgd, "Adam {run_adam} >= SGD {run_sgd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta1")]
+    fn invalid_beta_rejected() {
+        let _ = Adam::with_options(0.1, 1.0, 0.999, 1e-8, 0.0);
+    }
+}

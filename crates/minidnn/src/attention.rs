@@ -1,0 +1,271 @@
+//! Single-head self-attention — the defining layer of the paper's
+//! BERT-class workloads, with full manual backward.
+//!
+//! Input rows are flattened `[seq × dim]` token blocks (the batched tensor
+//! is `[batch, seq·dim]`, keeping the substrate's 2-D convention). Four
+//! parameter tensors: `W_q`, `W_k`, `W_v`, `W_o`, each `[dim, dim]` — the
+//! same weight multiplicity that makes transformer blocks communication-
+//! heavy in the paper's Table I.
+
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Single-head scaled dot-product self-attention over fixed-length
+/// sequences: `softmax(QKᵀ/√d)·V·W_o` with `Q = XW_q`, `K = XW_k`,
+/// `V = XW_v`.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    seq: usize,
+    dim: usize,
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    grad_wq: Tensor,
+    grad_wk: Tensor,
+    grad_wv: Tensor,
+    grad_wo: Tensor,
+    /// Cached forward intermediates, one entry per batch row:
+    /// `(x, q, k, v, attn, context)` as `[seq, dim]` / `[seq, seq]` tensors.
+    cache: Vec<(Tensor, Tensor, Tensor, Tensor, Tensor, Tensor)>,
+}
+
+impl SelfAttention {
+    /// Creates the layer for `seq`-token inputs of width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(seq: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(seq > 0 && dim > 0, "dims must be positive");
+        let limit = (3.0 / dim as f32).sqrt();
+        let mut mk = |_: &str| {
+            let data: Vec<f32> = (0..dim * dim).map(|_| rng.gen_range(-limit..=limit)).collect();
+            Tensor::from_vec(&[dim, dim], data)
+        };
+        SelfAttention {
+            seq,
+            dim,
+            wq: mk("q"),
+            wk: mk("k"),
+            wv: mk("v"),
+            wo: mk("o"),
+            grad_wq: Tensor::zeros(&[dim, dim]),
+            grad_wk: Tensor::zeros(&[dim, dim]),
+            grad_wv: Tensor::zeros(&[dim, dim]),
+            grad_wo: Tensor::zeros(&[dim, dim]),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Flattened feature count (`seq · dim`), unchanged by the layer.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.seq * self.dim
+    }
+
+    fn unflatten(&self, row: &[f32]) -> Tensor {
+        Tensor::from_vec(&[self.seq, self.dim], row.to_vec())
+    }
+
+    fn softmax_rows(scores: &Tensor) -> Tensor {
+        let mut out = scores.clone();
+        let (rows, cols) = (scores.rows(), scores.cols());
+        for r in 0..rows {
+            let max = (0..cols)
+                .map(|c| scores.at(r, c))
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for c in 0..cols {
+                let e = (scores.at(r, c) - max).exp();
+                *out.at_mut(r, c) = e;
+                denom += e;
+            }
+            for c in 0..cols {
+                *out.at_mut(r, c) /= denom;
+            }
+        }
+        out
+    }
+}
+
+impl Layer for SelfAttention {
+    fn name(&self) -> String {
+        format!("self_attention(seq {}, dim {})", self.seq, self.dim)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.features(), "attention feature mismatch");
+        let batch = input.rows();
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut out = Tensor::zeros(&[batch, self.features()]);
+        self.cache.clear();
+        for b in 0..batch {
+            let row = &input.data()[b * self.features()..(b + 1) * self.features()];
+            let x = self.unflatten(row);
+            let q = x.matmul(&self.wq);
+            let k = x.matmul(&self.wk);
+            let v = x.matmul(&self.wv);
+            let mut scores = q.matmul_t(&k);
+            scores.map_inplace(|s| s * scale);
+            let attn = Self::softmax_rows(&scores);
+            let context = attn.matmul(&v);
+            let y = context.matmul(&self.wo);
+            out.data_mut()[b * self.features()..(b + 1) * self.features()]
+                .copy_from_slice(y.data());
+            self.cache.push((x, q, k, v, attn, context));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cache.len(),
+            grad_output.rows(),
+            "backward called before forward"
+        );
+        let batch = grad_output.rows();
+        let scale = 1.0 / (self.dim as f32).sqrt();
+        let mut grad_in = Tensor::zeros(&[batch, self.features()]);
+        for b in 0..batch {
+            let (x, q, k, v, attn, context) = &self.cache[b];
+            let dy_row =
+                &grad_output.data()[b * self.features()..(b + 1) * self.features()];
+            let dy = self.unflatten(dy_row);
+            // y = context · Wo
+            self.grad_wo.axpy(1.0, &context.t_matmul(&dy));
+            let dcontext = dy.matmul_t(&self.wo);
+            // context = attn · v
+            let dattn = dcontext.matmul_t(v);
+            let dv = attn.t_matmul(&dcontext);
+            // softmax backward, row-wise: ds = a ⊙ (da − Σ a·da)
+            let mut dscores = Tensor::zeros(&[self.seq, self.seq]);
+            for r in 0..self.seq {
+                let dot: f32 = (0..self.seq)
+                    .map(|c| attn.at(r, c) * dattn.at(r, c))
+                    .sum();
+                for c in 0..self.seq {
+                    *dscores.at_mut(r, c) = attn.at(r, c) * (dattn.at(r, c) - dot) * scale;
+                }
+            }
+            // scores = q · kᵀ
+            let dq = dscores.matmul(k);
+            let dk = dscores.t_matmul(q);
+            // q = x·Wq, k = x·Wk, v = x·Wv
+            self.grad_wq.axpy(1.0, &x.t_matmul(&dq));
+            self.grad_wk.axpy(1.0, &x.t_matmul(&dk));
+            self.grad_wv.axpy(1.0, &x.t_matmul(&dv));
+            let mut dx = dq.matmul_t(&self.wq);
+            dx.axpy(1.0, &dk.matmul_t(&self.wk));
+            dx.axpy(1.0, &dv.matmul_t(&self.wv));
+            grad_in.data_mut()[b * self.features()..(b + 1) * self.features()]
+                .copy_from_slice(dx.data());
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_wq, &self.grad_wk, &self.grad_wv, &self.grad_wo]
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_wq, &mut self.grad_wk, &mut self.grad_wv, &mut self.grad_wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use crate::layers::Linear;
+    use crate::network::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        // With Wo = I and Wv = I, each output token is a convex combination
+        // of input tokens: outputs stay within the input min/max envelope.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut att = SelfAttention::new(3, 2, &mut rng);
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        att.params_mut()[2].data_mut().copy_from_slice(&eye);
+        att.params_mut()[3].data_mut().copy_from_slice(&eye);
+        let x = Tensor::from_vec(&[1, 6], vec![0.0, 1.0, 2.0, -1.0, 0.5, 0.5]);
+        let y = att.forward(&x);
+        let lo = x.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = x.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in y.data() {
+            assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn attention_has_four_parameter_tensors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let att = SelfAttention::new(4, 8, &mut rng);
+        assert_eq!(att.params().len(), 4);
+        assert_eq!(att.param_count(), 4 * 64);
+        assert_eq!(att.features(), 32);
+    }
+
+    #[test]
+    fn attention_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let att = SelfAttention::new(3, 4, &mut rng);
+        let feats = att.features();
+        let mut net = Sequential::new()
+            .push(att)
+            .push(Linear::new(feats, 2, &mut rng));
+        let x = Tensor::from_vec(
+            &[2, feats],
+            (0..2 * feats).map(|i| ((i as f32) * 0.41).sin()).collect(),
+        );
+        let report = check_gradients(&mut net, &x, &[0, 1], 5);
+        assert!(
+            report.max_rel_error < 0.08,
+            "attention gradcheck failed: {}",
+            report.max_rel_error
+        );
+    }
+
+    #[test]
+    fn attention_trains_through_dear_style_loop() {
+        use crate::adam::Adam;
+        use crate::data::BlobDataset;
+        use crate::loss::softmax_cross_entropy;
+        use crate::optim::Optimizer;
+        let mut rng = StdRng::seed_from_u64(3);
+        let att = SelfAttention::new(4, 4, &mut rng); // 16 features
+        let feats = att.features();
+        let mut net = Sequential::new()
+            .push(att)
+            .push(crate::layers::LayerNorm::new(feats))
+            .push(Linear::new(feats, 3, &mut rng));
+        let data = BlobDataset::new(16, 3, 0.3, 4);
+        let mut opt = Adam::new(0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..120 {
+            let (x, labels) = data.batch(step, 16);
+            net.zero_grads();
+            let logits = net.forward(&x);
+            let (loss, dloss) = softmax_cross_entropy(&logits, &labels);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            net.backward(&dloss);
+            opt.step(&mut net);
+        }
+        assert!(last < 0.3 * first, "attention net did not learn: {first} -> {last}");
+    }
+}

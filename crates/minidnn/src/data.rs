@@ -1,0 +1,161 @@
+//! Synthetic classification data — the stand-in for ImageNet/Wikipedia.
+//!
+//! Samples are drawn from per-class Gaussian blobs; the task is linearly
+//! non-trivial but learnable by a small MLP, which is all the correctness
+//! experiments need (they assert *bitwise equality* between distributed and
+//! single-worker training, not benchmark accuracy).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::tensor::Tensor;
+
+/// A deterministic synthetic classification dataset.
+#[derive(Debug, Clone)]
+pub struct BlobDataset {
+    features: usize,
+    classes: usize,
+    /// Per-class blob centres, `classes × features`.
+    centres: Vec<Vec<f32>>,
+    noise: f32,
+    seed: u64,
+}
+
+impl BlobDataset {
+    /// Creates a dataset of `classes` Gaussian blobs in `features`
+    /// dimensions with the given `noise` and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` or `classes` is zero.
+    #[must_use]
+    pub fn new(features: usize, classes: usize, noise: f32, seed: u64) -> Self {
+        assert!(features > 0 && classes > 0, "dataset dims must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centres = (0..classes)
+            .map(|_| (0..features).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        BlobDataset {
+            features,
+            classes,
+            centres,
+            noise,
+            seed,
+        }
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Class count.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Deterministically generates global batch `index` of `batch_size`
+    /// samples: `(inputs, labels)`.
+    ///
+    /// The same `(seed, index, batch_size)` always yields the same batch, so
+    /// P workers can shard one global batch reproducibly via
+    /// [`BlobDataset::shard`].
+    #[must_use]
+    pub fn batch(&self, index: u64, batch_size: usize) -> (Tensor, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (index.wrapping_mul(0x9E37_79B9)));
+        let mut data = Vec::with_capacity(batch_size * self.features);
+        let mut labels = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let label = rng.gen_range(0..self.classes);
+            labels.push(label);
+            for f in 0..self.features {
+                let noise: f32 = rng.gen_range(-1.0..1.0) * self.noise;
+                data.push(self.centres[label][f] + noise);
+            }
+        }
+        (Tensor::from_vec(&[batch_size, self.features], data), labels)
+    }
+
+    /// Shards a global batch across `world` workers: worker `rank` gets the
+    /// contiguous rows `rank*per .. (rank+1)*per`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is not divisible by `world` or `rank` is out
+    /// of range.
+    #[must_use]
+    pub fn shard(
+        &self,
+        index: u64,
+        batch_size: usize,
+        rank: usize,
+        world: usize,
+    ) -> (Tensor, Vec<usize>) {
+        assert!(rank < world, "rank {rank} out of range for world {world}");
+        assert_eq!(
+            batch_size % world,
+            0,
+            "global batch {batch_size} not divisible by world {world}"
+        );
+        let (inputs, labels) = self.batch(index, batch_size);
+        let per = batch_size / world;
+        let rows = &inputs.data()[rank * per * self.features..(rank + 1) * per * self.features];
+        (
+            Tensor::from_vec(&[per, self.features], rows.to_vec()),
+            labels[rank * per..(rank + 1) * per].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic() {
+        let ds = BlobDataset::new(4, 3, 0.3, 42);
+        let (a, la) = ds.batch(5, 16);
+        let (b, lb) = ds.batch(5, 16);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = ds.batch(6, 16);
+        assert_ne!(a, c, "different batch indices should differ");
+    }
+
+    #[test]
+    fn shards_partition_the_global_batch() {
+        let ds = BlobDataset::new(3, 2, 0.1, 7);
+        let (global, labels) = ds.batch(0, 8);
+        let mut reassembled = Vec::new();
+        let mut relabels = Vec::new();
+        for rank in 0..4 {
+            let (shard, sl) = ds.shard(0, 8, rank, 4);
+            assert_eq!(shard.rows(), 2);
+            reassembled.extend_from_slice(shard.data());
+            relabels.extend(sl);
+        }
+        assert_eq!(reassembled, global.data());
+        assert_eq!(relabels, labels);
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let ds = BlobDataset::new(2, 5, 0.5, 1);
+        let (_, labels) = ds.batch(0, 100);
+        assert!(labels.iter().all(|&l| l < 5));
+        // All classes appear in a large batch.
+        for c in 0..5 {
+            assert!(labels.contains(&c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_shard_panics() {
+        let ds = BlobDataset::new(2, 2, 0.1, 0);
+        let _ = ds.shard(0, 10, 0, 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! The layer abstraction: forward/backward with externally visible
+//! parameter and gradient tensors.
+//!
+//! The DeAR runtime attaches to the two hook points the paper's PyTorch
+//! implementation uses — gradient-ready events during backprop and
+//! pre-forward events during the next iteration — which [`crate::Sequential`]
+//! raises around calls into this trait.
+
+use crate::tensor::Tensor;
+
+/// One learnable (or pass-through) layer of a network.
+///
+/// Layers own their parameters and per-parameter gradient buffers; `forward`
+/// must cache whatever it needs for `backward`. Batched inputs are 2-D
+/// `[batch, features]` tensors.
+pub trait Layer: Send {
+    /// Human-readable layer name (e.g. `"linear(64->32)"`).
+    fn name(&self) -> String;
+
+    /// Computes the layer output for `input`, caching activations needed by
+    /// the backward pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Given `d(loss)/d(output)`, accumulates parameter gradients and
+    /// returns `d(loss)/d(input)`.
+    ///
+    /// Must be called after a matching [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable views of the parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the parameter tensors, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Immutable views of the gradient tensors, aligned with
+    /// [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the gradient tensors, aligned with
+    /// [`Layer::params`].
+    fn grads_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Total number of learnable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes all gradient buffers.
+    fn zero_grads(&mut self) {
+        for g in self.grads_mut() {
+            g.fill_zero();
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Concrete layers: fully-connected, ReLU, and Tanh.
+
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer: `y = x·W + b`, with `W: [in, out]`, `b: [out]`.
+///
+/// Two parameter tensors (weight then bias) — mirroring the
+/// weight-plus-bias tensor pairs that make the paper's Table I models have
+/// roughly `2×` tensors per learnable layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier/Glorot-uniform weights drawn from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let weight_data: Vec<f32> = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..=limit))
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            weight: Tensor::from_vec(&[in_dim, out_dim], weight_data),
+            bias: Tensor::zeros(&[out_dim]),
+            grad_weight: Tensor::zeros(&[in_dim, out_dim]),
+            grad_bias: Tensor::zeros(&[out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("linear({}->{})", self.in_dim, self.out_dim)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.in_dim,
+            "input features {} != layer in_dim {}",
+            input.cols(),
+            self.in_dim
+        );
+        let mut out = input.matmul(&self.weight);
+        let b = self.bias.data();
+        for r in 0..out.rows() {
+            for (c, bias) in b.iter().enumerate() {
+                *out.at_mut(r, c) += bias;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = xᵀ · dy
+        let dw = input.t_matmul(grad_output);
+        self.grad_weight.axpy(1.0, &dw);
+        // db = column sums of dy
+        for r in 0..grad_output.rows() {
+            for c in 0..self.out_dim {
+                self.grad_bias.data_mut()[c] += grad_output.at(r, c);
+            }
+        }
+        // dx = dy · Wᵀ
+        grad_output.matmul_t(&self.weight)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
+    }
+}
+
+/// Rectified linear unit, element-wise `max(x, 0)`. No parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".to_owned()
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let mut out = input.clone();
+        out.map_inplace(|x| x.max(0.0));
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let mut grad = grad_output.clone();
+        for (g, &x) in grad.data_mut().iter_mut().zip(input.data()) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+}
+
+/// Hyperbolic tangent activation. No parameters.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a Tanh layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> String {
+        "tanh".to_owned()
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        out.map_inplace(f32::tanh);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("backward called before forward");
+        let mut grad = grad_output.clone();
+        for (g, &y) in grad.data_mut().iter_mut().zip(out.data()) {
+            *g *= 1.0 - y * y;
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+}
+
+/// Layer normalization (Ba et al.): per-row standardization followed by a
+/// learned element-wise affine (`gain`, `bias`) — the normalization used
+/// throughout BERT-class transformer blocks. Two parameter tensors.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    dim: usize,
+    eps: f32,
+    gain: Tensor,
+    bias: Tensor,
+    grad_gain: Tensor,
+    grad_bias: Tensor,
+    /// Cached per-row `(x - mean) / std` from the forward pass.
+    cached_norm: Option<Tensor>,
+    /// Cached per-row standard deviations.
+    cached_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer over `dim` features with unit gain and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "layer dimensions must be positive");
+        LayerNorm {
+            dim,
+            eps: 1e-5,
+            gain: Tensor::from_vec(&[dim], vec![1.0; dim]),
+            bias: Tensor::zeros(&[dim]),
+            grad_gain: Tensor::zeros(&[dim]),
+            grad_bias: Tensor::zeros(&[dim]),
+            cached_norm: None,
+            cached_std: Vec::new(),
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> String {
+        format!("layernorm({})", self.dim)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.dim, "layernorm dimension mismatch");
+        let rows = input.rows();
+        let mut norm = Tensor::zeros(&[rows, self.dim]);
+        self.cached_std = Vec::with_capacity(rows);
+        let mut out = Tensor::zeros(&[rows, self.dim]);
+        for r in 0..rows {
+            let mean: f32 = (0..self.dim).map(|c| input.at(r, c)).sum::<f32>() / self.dim as f32;
+            let var: f32 = (0..self.dim)
+                .map(|c| (input.at(r, c) - mean).powi(2))
+                .sum::<f32>()
+                / self.dim as f32;
+            let std = (var + self.eps).sqrt();
+            self.cached_std.push(std);
+            for c in 0..self.dim {
+                let n = (input.at(r, c) - mean) / std;
+                *norm.at_mut(r, c) = n;
+                *out.at_mut(r, c) = self.gain.data()[c] * n + self.bias.data()[c];
+            }
+        }
+        self.cached_norm = Some(norm);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let norm = self
+            .cached_norm
+            .as_ref()
+            .expect("backward called before forward");
+        let rows = grad_output.rows();
+        let d = self.dim as f32;
+        let mut grad_in = Tensor::zeros(&[rows, self.dim]);
+        for r in 0..rows {
+            // dL/dgain_c = sum_r dy * n; dL/dbias_c = sum_r dy.
+            // dL/dx via the standard layer-norm backward:
+            // dx = (g·dy - mean(g·dy) - n · mean(g·dy ⊙ n)) / std
+            let mut sum_gdy = 0.0f32;
+            let mut sum_gdy_n = 0.0f32;
+            for c in 0..self.dim {
+                let dy = grad_output.at(r, c);
+                let gdy = self.gain.data()[c] * dy;
+                self.grad_gain.data_mut()[c] += dy * norm.at(r, c);
+                self.grad_bias.data_mut()[c] += dy;
+                sum_gdy += gdy;
+                sum_gdy_n += gdy * norm.at(r, c);
+            }
+            let std = self.cached_std[r];
+            for c in 0..self.dim {
+                let gdy = self.gain.data()[c] * grad_output.at(r, c);
+                *grad_in.at_mut(r, c) =
+                    (gdy - sum_gdy / d - norm.at(r, c) * sum_gdy_n / d) / std;
+            }
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gain, &self.bias]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_gain, &self.grad_bias]
+    }
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_gain, &mut self.grad_bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_computes_affine_map() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // Overwrite params with known values.
+        l.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        l.params_mut()[1].data_mut().copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_backward_shapes_and_bias_grad() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[4, 3], (0..12).map(|i| i as f32 / 10.0).collect());
+        let _ = l.forward(&x);
+        let dy = Tensor::from_vec(&[4, 2], vec![1.0; 8]);
+        let dx = l.backward(&dy);
+        assert_eq!(dx.shape(), &[4, 3]);
+        // db = batch-sum of dy = 4 per output.
+        assert_eq!(l.grads()[1].data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_inputs() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Tensor::from_vec(&[1, 4], vec![1.0; 4]);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_uses_output() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(&[1, 1], vec![0.0]);
+        let y = t.forward(&x);
+        assert_eq!(y.data(), &[0.0]);
+        let dx = t.backward(&Tensor::from_vec(&[1, 1], vec![2.0]));
+        assert_eq!(dx.data(), &[2.0]); // 1 - tanh(0)^2 = 1
+    }
+
+    #[test]
+    fn layernorm_standardizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = ln.forward(&x);
+        // Row 0: zero mean, unit variance (up to eps).
+        let row0: Vec<f32> = (0..4).map(|c| y.at(0, c)).collect();
+        let mean: f32 = row0.iter().sum::<f32>() / 4.0;
+        let var: f32 = row0.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-2);
+        // Constant row maps to zeros (gain 1, bias 0).
+        for c in 0..4 {
+            assert!(y.at(1, c).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradients_match_finite_differences() {
+        use crate::gradcheck::check_gradients;
+        use crate::network::Sequential;
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut net = Sequential::new()
+            .push(Linear::new(5, 6, &mut rng))
+            .push(LayerNorm::new(6))
+            .push(Linear::new(6, 3, &mut rng));
+        let x = Tensor::from_vec(&[3, 5], (0..15).map(|i| (i as f32 * 0.3).sin()).collect());
+        let report = check_gradients(&mut net, &x, &[0, 2, 1], 2);
+        assert!(
+            report.max_rel_error < 0.08,
+            "layernorm gradcheck failed: {}",
+            report.max_rel_error
+        );
+    }
+
+    #[test]
+    fn layernorm_has_two_param_tensors() {
+        let ln = LayerNorm::new(8);
+        assert_eq!(ln.params().len(), 2);
+        assert_eq!(ln.param_count(), 16);
+        assert_eq!(ln.name(), "layernorm(8)");
+    }
+
+    #[test]
+    fn zero_grads_resets_accumulators() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let _ = l.forward(&x);
+        let _ = l.backward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        assert!(l.grads()[0].norm_sq() > 0.0);
+        l.zero_grads();
+        assert_eq!(l.grads()[0].norm_sq(), 0.0);
+        assert_eq!(l.param_count(), 6);
+    }
+}

@@ -1,0 +1,217 @@
+//! A sequential network container with the hook points DeAR needs.
+//!
+//! During `backward`, a **GradReady** hook fires after each layer's
+//! gradients are computed — last layer first, exactly the event PyTorch's
+//! grad hooks deliver and the trigger for DeAR's OP1 (reduce-scatter).
+//! During `forward`, a **PreForward** hook fires before each layer runs —
+//! first layer first, the synchronization point for DeAR's OP2
+//! (all-gather).
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the network has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layers, for read access.
+    #[must_use]
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// The layers, for parameter updates.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total learnable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.forward_with_hook(input, |_layer_idx, _layer| {})
+    }
+
+    /// Forward pass raising the PreForward hook with each layer's index and
+    /// a mutable reference to the layer (front to back) before that layer
+    /// executes — the point where DeAR installs all-gathered parameters.
+    pub fn forward_with_hook(
+        &mut self,
+        input: &Tensor,
+        mut pre_forward: impl FnMut(usize, &mut dyn Layer),
+    ) -> Tensor {
+        let mut x = input.clone();
+        for (idx, layer) in self.layers.iter_mut().enumerate() {
+            pre_forward(idx, layer.as_mut());
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Plain backward pass from the loss gradient.
+    pub fn backward(&mut self, grad_loss: &Tensor) -> Tensor {
+        self.backward_with_hook(grad_loss, |_layer_idx, _layer| {})
+    }
+
+    /// Backward pass raising the GradReady hook with each layer's index and
+    /// a mutable reference to the layer (back to front) right after its
+    /// gradients are accumulated.
+    pub fn backward_with_hook(
+        &mut self,
+        grad_loss: &Tensor,
+        mut grad_ready: impl FnMut(usize, &mut dyn Layer),
+    ) -> Tensor {
+        let mut g = grad_loss.clone();
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            g = layer.backward(&g);
+            grad_ready(idx, layer.as_mut());
+        }
+        g
+    }
+
+    /// Zeroes every layer's gradient buffers.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Flattens all parameters into one vector (deterministic layer order),
+    /// used for cross-worker consistency checks.
+    #[must_use]
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector (inverse of
+    /// [`Sequential::flat_params`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not equal [`Sequential::param_count`].
+    pub fn set_flat_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let n = p.len();
+                p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Sequential::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 3, &mut rng))
+    }
+
+    #[test]
+    fn forward_hook_fires_front_to_back() {
+        let mut net = small_net(0);
+        let mut order = Vec::new();
+        let x = Tensor::zeros(&[2, 4]);
+        let _ = net.forward_with_hook(&x, |idx, _| order.push(idx));
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backward_hook_fires_back_to_front() {
+        let mut net = small_net(0);
+        let x = Tensor::zeros(&[2, 4]);
+        let y = net.forward(&x);
+        let mut order = Vec::new();
+        let _ = net.backward_with_hook(&y, |idx, _| order.push(idx));
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut net = small_net(1);
+        let flat = net.flat_params();
+        assert_eq!(flat.len(), net.param_count());
+        let mut doubled = flat.clone();
+        for x in &mut doubled {
+            *x *= 2.0;
+        }
+        net.set_flat_params(&doubled);
+        assert_eq!(net.flat_params(), doubled);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_networks() {
+        let a = small_net(7);
+        let b = small_net(7);
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn param_count_matches_structure() {
+        let net = small_net(0);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+}

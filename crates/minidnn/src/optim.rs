@@ -1,0 +1,178 @@
+//! SGD with momentum and weight decay — the optimizer that DeAR's
+//! `DistOptim` wraps, matching the paper's Listing 1 usage.
+
+use crate::network::Sequential;
+
+/// A parameter-update rule applied from a network's accumulated gradients.
+pub trait Optimizer: Send {
+    /// Applies one update step to every parameter of `net` from its
+    /// current gradients.
+    fn step(&mut self, net: &mut Sequential);
+}
+
+/// Plain mini-batch SGD (Eq. 1) with optional momentum and L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    /// One velocity buffer per parameter tensor, allocated lazily.
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with learning rate `lr` and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Sgd::with_options(lr, 0.0, 0.0)
+    }
+
+    /// Creates an optimizer with momentum and weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive, or if `momentum` is
+    /// outside `[0, 1)`.
+    #[must_use]
+    pub fn with_options(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The learning rate.
+    #[must_use]
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (e.g. for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every parameter of `net` from its current
+    /// gradients: `v ← μv + (g + λw)`, `w ← w − η·v`.
+    pub fn step(&mut self, net: &mut Sequential) {
+        Optimizer::step(self, net);
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        let mut tensor_idx = 0;
+        for layer in net.layers_mut() {
+            // Collect grads first (immutable borrow), then update params.
+            let grads: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
+            for (p, g) in layer.params_mut().into_iter().zip(grads) {
+                if self.velocity.len() <= tensor_idx {
+                    self.velocity.push(vec![0.0; p.len()]);
+                }
+                let v = &mut self.velocity[tensor_idx];
+                assert_eq!(v.len(), p.len(), "parameter tensor size changed between steps");
+                let data = p.data_mut();
+                for i in 0..data.len() {
+                    let grad = g[i] + self.weight_decay * data[i];
+                    v[i] = self.momentum * v[i] + grad;
+                    data[i] -= self.lr * v[i];
+                }
+                tensor_idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::mse;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new().push(Linear::new(2, 1, &mut rng))
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut net = quadratic_net(0);
+        let mut opt = Sgd::new(0.1);
+        let x = Tensor::from_vec(&[4, 2], vec![1., 0., 0., 1., 1., 1., 0.5, 0.5]);
+        let target = Tensor::from_vec(&[4, 1], vec![1., 2., 3., 1.5]);
+        let mut losses = Vec::new();
+        for _ in 0..200 {
+            net.zero_grads();
+            let y = net.forward(&x);
+            let (loss, dl) = mse(&y, &target);
+            losses.push(loss);
+            net.backward(&dl);
+            opt.step(&mut net);
+        }
+        assert!(losses[199] < 0.01 * losses[0].max(0.01), "did not converge: {losses:?}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut net = quadratic_net(3);
+            let mut opt = Sgd::with_options(0.02, momentum, 0.0);
+            let x = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+            let target = Tensor::from_vec(&[2, 1], vec![5., -5.]);
+            let mut last = 0.0;
+            for _ in 0..50 {
+                net.zero_grads();
+                let y = net.forward(&x);
+                let (loss, dl) = mse(&y, &target);
+                last = loss;
+                net.backward(&dl);
+                opt.step(&mut net);
+            }
+            last
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut net = quadratic_net(5);
+        let initial_norm: f32 = net.flat_params().iter().map(|x| x * x).sum();
+        let mut opt = Sgd::with_options(0.1, 0.0, 0.5);
+        // Zero gradients: only decay acts.
+        for _ in 0..20 {
+            net.zero_grads();
+            opt.step(&mut net);
+        }
+        let final_norm: f32 = net.flat_params().iter().map(|x| x * x).sum();
+        assert!(final_norm < initial_norm);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn non_positive_lr_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+    }
+}

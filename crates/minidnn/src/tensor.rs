@@ -1,0 +1,296 @@
+//! A minimal dense tensor: a shape plus a flat `f32` buffer.
+//!
+//! This replaces the PyTorch tensors of the paper's implementation. Only
+//! the operations the training substrate needs are provided (2-D matmul,
+//! transpose-products, element-wise maps); everything is row-major.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use dear_minidnn::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    #[must_use]
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat buffer.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Element accessor for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-bounds indices.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element accessor for 2-D tensors.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix product `self @ other` for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        // i-k-j loop order for cache-friendly row-major access.
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[kk * n..(kk + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` (used for weight gradients: `xᵀ · dy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree.
+    #[must_use]
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (m2, n) = (other.rows(), other.cols());
+        assert_eq!(m, m2, "t_matmul row counts {m} vs {m2}");
+        let mut out = Tensor::zeros(&[k, n]);
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[i * n..(i + 1) * n];
+                let out_row = &mut out.data[kk * n..(kk + 1) * n];
+                for (o, b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` (used for input gradients: `dy · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    #[must_use]
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_t column counts {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let b_row = &other.data[j * k..(j + 1) * k];
+                out.data[i * n + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise AXPY: `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Squared L2 norm of the buffer.
+    #[must_use]
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.at(0, 1), 2.0);
+        assert_eq!(t.at(1, 0), 3.0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mismatched_data_length_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transpose() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[2, 4], vec![1., 0., 2., -1., 3., 1., 0., 2.]);
+        // aᵀ (3x2) @ b (2x4)
+        let at = Tensor::from_vec(&[3, 2], vec![1., 4., 2., 5., 3., 6.]);
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+        // b (2x4) @ cᵀ where c is 3x4
+        let c = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32).collect());
+        let ct = Tensor::from_vec(&[4, 3], vec![0., 4., 8., 1., 5., 9., 2., 6., 10., 3., 7., 11.]);
+        assert_eq!(b.matmul_t(&c), b.matmul(&ct));
+    }
+
+    #[test]
+    fn axpy_and_map() {
+        let mut a = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![10., 10., 10.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6., 7., 8.]);
+        a.map_inplace(|x| x * 2.0);
+        assert_eq!(a.data(), &[12., 14., 16.]);
+        a.fill_zero();
+        assert_eq!(a.norm_sq(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the training substrate: gradients of random
+//! architectures must pass finite-difference checks, parameter flattening
+//! must round-trip, and data sharding must partition batches exactly.
+
+use dear_minidnn::gradcheck::check_gradients;
+use dear_minidnn::{
+    softmax_cross_entropy, BlobDataset, LayerNorm, Linear, Relu, Sequential, Tanh, Tensor,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random small MLP described by `(widths, activations)`.
+///
+/// `smooth = true` restricts activations to differentiable ones (Tanh,
+/// LayerNorm) — finite-difference gradient checks are invalid at ReLU
+/// kinks, which random inputs will eventually hit.
+fn build_net(
+    input: usize,
+    widths: &[usize],
+    acts: &[u8],
+    classes: usize,
+    seed: u64,
+    smooth: bool,
+) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    let mut prev = input;
+    for (&w, &a) in widths.iter().zip(acts) {
+        net = net.push(Linear::new(prev, w, &mut rng));
+        net = match if smooth { a % 2 + 1 } else { a % 3 } {
+            0 => net.push(Relu::new()),
+            1 => net.push(Tanh::new()),
+            _ => net.push(LayerNorm::new(w)),
+        };
+        prev = w;
+    }
+    net.push(Linear::new(prev, classes, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_architectures_pass_gradcheck(
+        // Widths >= 4: layer-norm over 1-3 features has near-singular
+        // curvature that defeats f32 central differences.
+        widths in prop::collection::vec(4usize..9, 1..4),
+        acts in prop::collection::vec(any::<u8>(), 3),
+        seed in any::<u64>(),
+        batch in 1usize..5,
+    ) {
+        let input = 4;
+        let classes = 3;
+        let mut net = build_net(input, &widths, &acts, classes, seed, true);
+        let x = Tensor::from_vec(
+            &[batch, input],
+            (0..batch * input).map(|i| ((i as f32) * 0.37 + seed as f32 % 7.0).sin()).collect(),
+        );
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let report = check_gradients(&mut net, &x, &labels, 7);
+        prop_assert!(
+            report.max_rel_error < 0.1,
+            "gradcheck failed: {} over {} checked",
+            report.max_rel_error,
+            report.checked
+        );
+    }
+
+    #[test]
+    fn flat_params_roundtrip_any_net(
+        widths in prop::collection::vec(1usize..10, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut net = build_net(3, &widths, &vec![0; widths.len()], 2, seed, false);
+        let flat = net.flat_params();
+        prop_assert_eq!(flat.len(), net.param_count());
+        let perturbed: Vec<f32> = flat.iter().map(|x| x * 1.5 + 0.25).collect();
+        net.set_flat_params(&perturbed);
+        prop_assert_eq!(net.flat_params(), perturbed);
+    }
+
+    #[test]
+    fn shards_partition_any_divisible_batch(
+        world in 1usize..9,
+        per in 1usize..6,
+        index in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ds = BlobDataset::new(5, 3, 0.3, seed);
+        let batch = world * per;
+        let (global, labels) = ds.batch(index, batch);
+        let mut rows = Vec::new();
+        let mut shard_labels = Vec::new();
+        for rank in 0..world {
+            let (x, l) = ds.shard(index, batch, rank, world);
+            prop_assert_eq!(x.rows(), per);
+            rows.extend_from_slice(x.data());
+            shard_labels.extend(l);
+        }
+        prop_assert_eq!(rows, global.data().to_vec());
+        prop_assert_eq!(shard_labels, labels);
+    }
+
+    #[test]
+    fn loss_gradient_row_sums_vanish(
+        batch in 1usize..6,
+        classes in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Softmax cross-entropy gradients sum to zero per row (probability
+        // simplex tangency).
+        let data: Vec<f32> = (0..batch * classes)
+            .map(|i| (((i as u64).wrapping_mul(seed | 1) % 997) as f32 / 100.0) - 5.0)
+            .collect();
+        let logits = Tensor::from_vec(&[batch, classes], data);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        for r in 0..batch {
+            let s: f32 = (0..classes).map(|c| grad.at(r, c)).sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} gradient sum {s}");
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic(
+        widths in prop::collection::vec(2usize..6, 1..3),
+        seed in any::<u64>(),
+    ) {
+        let mut a = build_net(4, &widths, &vec![1; widths.len()], 3, seed, false);
+        let mut b = build_net(4, &widths, &vec![1; widths.len()], 3, seed, false);
+        let x = Tensor::from_vec(&[2, 4], vec![0.1, -0.2, 0.3, 0.4, 1.0, -1.0, 0.5, 0.0]);
+        prop_assert_eq!(a.forward(&x), b.forward(&x));
+    }
+}

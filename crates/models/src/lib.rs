@@ -1,0 +1,34 @@
+//! # dear-models — DNN model profiles for the DeAR evaluation
+//!
+//! The paper evaluates five models (Table I). Real ImageNet/Wikipedia
+//! training is out of scope for this reproduction, so this crate synthesizes
+//! **profiles**: the layer/tensor structure (matching Table I's counts
+//! exactly) plus per-layer feed-forward and backpropagation compute times
+//! (calibrated so the theoretical speedup bounds of Table II reproduce).
+//!
+//! The schedulers in `dear-sched` consume these profiles to build iteration
+//! timelines; the per-tensor sizes drive tensor fusion decisions exactly as
+//! real gradient tensors would.
+//!
+//! # Examples
+//!
+//! ```
+//! use dear_models::Model;
+//!
+//! let resnet = Model::ResNet50.profile();
+//! assert_eq!(resnet.num_layers(), 107);
+//! assert_eq!(resnet.num_tensors(), 161);
+//! assert_eq!(resnet.num_params(), 25_600_000);
+//! // Backprop takes about twice as long as feed-forward (§II-C).
+//! let ratio = resnet.bp_time().as_secs_f64() / resnet.ff_time().as_secs_f64();
+//! assert!((ratio - 2.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod profile;
+mod zoo;
+
+pub use profile::{LayerProfile, ModelProfile, TensorProfile};
+pub use zoo::{synthesize, Model, ModelSpec};

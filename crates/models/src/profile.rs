@@ -1,0 +1,245 @@
+//! Model profiles: the layer/tensor structure and per-layer compute times
+//! that the schedulers consume.
+//!
+//! A profile is the simulation-side abstraction of a DNN: an ordered list of
+//! learnable layers (forward order), each owning one or two parameter
+//! tensors and carrying feed-forward / backpropagation compute durations.
+
+use dear_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorProfile {
+    /// Number of `f32` elements.
+    pub elements: usize,
+}
+
+impl TensorProfile {
+    /// Size in bytes (`4 × elements`).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.elements as u64 * 4
+    }
+}
+
+/// One learnable layer, in forward order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name, e.g. `"conv2d_17"`.
+    pub name: String,
+    /// Indices into [`ModelProfile::tensors`] owned by this layer.
+    pub tensor_ids: Vec<usize>,
+    /// Feed-forward compute time at the profile's batch size.
+    pub ff_time: SimDuration,
+    /// Backpropagation compute time at the profile's batch size.
+    pub bp_time: SimDuration,
+}
+
+/// A complete model profile at a fixed per-GPU batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name, e.g. `"ResNet-50"`.
+    pub name: String,
+    /// Per-GPU mini-batch size this profile's compute times assume.
+    pub batch_size: usize,
+    /// All parameter tensors; each belongs to exactly one layer.
+    pub tensors: Vec<TensorProfile>,
+    /// Learnable layers in forward order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl ModelProfile {
+    /// Total learnable elements.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.tensors.iter().map(|t| t.elements).sum()
+    }
+
+    /// Total gradient bytes communicated per iteration.
+    #[must_use]
+    pub fn gradient_bytes(&self) -> u64 {
+        self.num_params() as u64 * 4
+    }
+
+    /// Number of learnable layers ("# Layers" in Table I).
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of parameter tensors ("# Tensors" in Table I).
+    #[must_use]
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Total feed-forward time per iteration (`t_ff`).
+    #[must_use]
+    pub fn ff_time(&self) -> SimDuration {
+        self.layers.iter().map(|l| l.ff_time).sum()
+    }
+
+    /// Total backpropagation time per iteration (`t_bp`).
+    #[must_use]
+    pub fn bp_time(&self) -> SimDuration {
+        self.layers.iter().map(|l| l.bp_time).sum()
+    }
+
+    /// Total compute per iteration (`t_ff + t_bp`).
+    #[must_use]
+    pub fn compute_time(&self) -> SimDuration {
+        self.ff_time() + self.bp_time()
+    }
+
+    /// Single-GPU throughput in samples per second.
+    #[must_use]
+    pub fn single_gpu_throughput(&self) -> f64 {
+        self.batch_size as f64 / self.compute_time().as_secs_f64()
+    }
+
+    /// Bytes of the tensor `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn tensor_bytes(&self, id: usize) -> u64 {
+        self.tensors[id].bytes()
+    }
+
+    /// Gradient-ready order of tensors during backprop: the last layer's
+    /// tensors first, preserving in-layer order.
+    #[must_use]
+    pub fn backward_tensor_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.tensors.len());
+        for layer in self.layers.iter().rev() {
+            order.extend(layer.tensor_ids.iter().copied());
+        }
+        order
+    }
+
+    /// Checks internal consistency (each tensor owned by exactly one layer,
+    /// positive compute times). Used by tests and the zoo constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any violation.
+    pub fn validate(&self) {
+        let mut owner = vec![usize::MAX; self.tensors.len()];
+        for (li, layer) in self.layers.iter().enumerate() {
+            assert!(!layer.tensor_ids.is_empty(), "layer {} owns no tensors", layer.name);
+            for &tid in &layer.tensor_ids {
+                assert!(tid < self.tensors.len(), "tensor id {tid} out of range");
+                assert_eq!(
+                    owner[tid],
+                    usize::MAX,
+                    "tensor {tid} owned by layers {} and {li}",
+                    owner[tid]
+                );
+                owner[tid] = li;
+            }
+            assert!(!layer.ff_time.is_zero(), "layer {} has zero ff time", layer.name);
+            assert!(!layer.bp_time.is_zero(), "layer {} has zero bp time", layer.name);
+        }
+        assert!(
+            owner.iter().all(|&o| o != usize::MAX),
+            "some tensors are not owned by any layer"
+        );
+        assert!(
+            self.tensors.iter().all(|t| t.elements > 0),
+            "zero-element tensor"
+        );
+    }
+
+    /// Returns a copy rescaled to a different per-GPU batch size. Compute
+    /// times scale linearly with the batch (communication volume does not
+    /// change) — the assumption behind the paper's Fig. 11 sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn with_batch_size(&self, batch_size: usize) -> ModelProfile {
+        assert!(batch_size > 0, "batch size must be positive");
+        let scale = batch_size as f64 / self.batch_size as f64;
+        let mut out = self.clone();
+        out.batch_size = batch_size;
+        for layer in &mut out.layers {
+            layer.ff_time = SimDuration::from_secs_f64(layer.ff_time.as_secs_f64() * scale)
+                .max(SimDuration::from_nanos(1));
+            layer.bp_time = SimDuration::from_secs_f64(layer.bp_time.as_secs_f64() * scale)
+                .max(SimDuration::from_nanos(1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_profile() -> ModelProfile {
+        ModelProfile {
+            name: "toy".into(),
+            batch_size: 8,
+            tensors: vec![
+                TensorProfile { elements: 100 },
+                TensorProfile { elements: 10 },
+                TensorProfile { elements: 50 },
+            ],
+            layers: vec![
+                LayerProfile {
+                    name: "l0".into(),
+                    tensor_ids: vec![0, 1],
+                    ff_time: SimDuration::from_micros(10),
+                    bp_time: SimDuration::from_micros(20),
+                },
+                LayerProfile {
+                    name: "l1".into(),
+                    tensor_ids: vec![2],
+                    ff_time: SimDuration::from_micros(5),
+                    bp_time: SimDuration::from_micros(10),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = toy_profile();
+        p.validate();
+        assert_eq!(p.num_params(), 160);
+        assert_eq!(p.gradient_bytes(), 640);
+        assert_eq!(p.num_layers(), 2);
+        assert_eq!(p.num_tensors(), 3);
+        assert_eq!(p.ff_time(), SimDuration::from_micros(15));
+        assert_eq!(p.bp_time(), SimDuration::from_micros(30));
+        assert_eq!(p.backward_tensor_order(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn batch_rescale_scales_compute_only() {
+        let p = toy_profile();
+        let q = p.with_batch_size(16);
+        assert_eq!(q.ff_time(), SimDuration::from_micros(30));
+        assert_eq!(q.gradient_bytes(), p.gradient_bytes());
+        assert!((q.single_gpu_throughput() - p.single_gpu_throughput()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "owned by layers")]
+    fn validate_detects_double_ownership() {
+        let mut p = toy_profile();
+        p.layers[1].tensor_ids = vec![0];
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn validate_detects_orphan_tensors() {
+        let mut p = toy_profile();
+        p.layers[0].tensor_ids = vec![0];
+        p.validate(); // tensor 1 now orphaned
+    }
+}

@@ -1,0 +1,349 @@
+//! The five evaluation models of the paper's Table I, synthesized as
+//! profiles whose layer/tensor counts and parameter totals match the table
+//! exactly, and whose compute times are calibrated so that the theoretical
+//! maximum speedups of Table II reproduce.
+//!
+//! | Model         | BS | # Layers | # Tensors | # Param. (M) |
+//! |---------------|----|----------|-----------|--------------|
+//! | ResNet-50     | 64 | 107      | 161       | 25.6         |
+//! | DenseNet-201  | 32 | 402      | 604       | 20.0         |
+//! | Inception-v4  | 64 | 299      | 449       | 42.7         |
+//! | BERT-Base     | 64 | 105      | 206       | 110.1        |
+//! | BERT-Large    | 32 | 201      | 398       | 336.2        |
+//!
+//! Parameter distributions follow the paper's observations: CNNs have "a
+//! very imbalanced number of parameters in different layers" (sizes ramp up
+//! geometrically with depth, as channel counts grow), while BERT "has a
+//! very balanced distribution of parameters" (identical transformer blocks
+//! plus a large embedding) — §VI-G.
+
+use dear_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{LayerProfile, ModelProfile, TensorProfile};
+
+/// The five benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// ResNet-50 image classifier.
+    ResNet50,
+    /// DenseNet-201 image classifier.
+    DenseNet201,
+    /// Inception-v4 image classifier.
+    InceptionV4,
+    /// BERT-Base NLP pre-training model.
+    BertBase,
+    /// BERT-Large NLP pre-training model.
+    BertLarge,
+}
+
+/// Static description used to synthesize a [`ModelProfile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Display name, matching the paper.
+    pub name: &'static str,
+    /// Default per-GPU batch size (Table I "BS").
+    pub default_batch_size: usize,
+    /// Learnable layer count (Table I "# Layers").
+    pub layers: usize,
+    /// Parameter tensor count (Table I "# Tensors").
+    pub tensors: usize,
+    /// Exact parameter element total (Table I "# Param." × 10⁶).
+    pub params: usize,
+    /// Total compute time `t_ff + t_bp` at the default batch size,
+    /// milliseconds. Calibrated from Table II (see module docs of
+    /// `dear-sched`'s analysis module for the derivation).
+    pub compute_ms: f64,
+    /// Parameter imbalance: tensor sizes ∝ `exp(growth · depth)`;
+    /// 0 = perfectly balanced (BERT blocks), ≈4 = CNN-like ramp.
+    pub growth: f64,
+    /// Elements in a leading embedding tensor (BERT), 0 for none.
+    pub embedding: usize,
+}
+
+impl Model {
+    /// All five models, in the paper's presentation order.
+    pub const ALL: [Model; 5] = [
+        Model::ResNet50,
+        Model::DenseNet201,
+        Model::InceptionV4,
+        Model::BertBase,
+        Model::BertLarge,
+    ];
+
+    /// The three CNNs.
+    pub const CNNS: [Model; 3] = [Model::ResNet50, Model::DenseNet201, Model::InceptionV4];
+
+    /// The static spec for this model.
+    #[must_use]
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            Model::ResNet50 => ModelSpec {
+                name: "ResNet-50",
+                default_batch_size: 64,
+                layers: 107,
+                tensors: 161,
+                params: 25_600_000,
+                compute_ms: 220.0,
+                growth: 4.0,
+                embedding: 0,
+            },
+            Model::DenseNet201 => ModelSpec {
+                name: "DenseNet-201",
+                default_batch_size: 32,
+                layers: 402,
+                tensors: 604,
+                params: 20_000_000,
+                compute_ms: 240.0,
+                growth: 4.0,
+                embedding: 0,
+            },
+            Model::InceptionV4 => ModelSpec {
+                name: "Inception-v4",
+                default_batch_size: 64,
+                layers: 299,
+                tensors: 449,
+                params: 42_700_000,
+                compute_ms: 338.0,
+                growth: 4.0,
+                embedding: 0,
+            },
+            Model::BertBase => ModelSpec {
+                name: "BERT-Base",
+                default_batch_size: 64,
+                layers: 105,
+                tensors: 206,
+                params: 110_100_000,
+                compute_ms: 281.0,
+                growth: 0.0,
+                embedding: 23_440_896, // 30522 × 768 token embedding
+            },
+            Model::BertLarge => ModelSpec {
+                name: "BERT-Large",
+                default_batch_size: 32,
+                layers: 201,
+                tensors: 398,
+                params: 336_200_000,
+                compute_ms: 407.0,
+                growth: 0.0,
+                embedding: 31_254_528, // 30522 × 1024 token embedding
+            },
+        }
+    }
+
+    /// Synthesizes the profile at the default batch size.
+    #[must_use]
+    pub fn profile(self) -> ModelProfile {
+        let spec = self.spec();
+        synthesize(&spec)
+    }
+
+    /// Synthesizes the profile at an explicit per-GPU batch size.
+    #[must_use]
+    pub fn profile_with_batch(self, batch_size: usize) -> ModelProfile {
+        self.profile().with_batch_size(batch_size)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+/// Builds a [`ModelProfile`] from a spec, matching its counts exactly.
+#[must_use]
+pub fn synthesize(spec: &ModelSpec) -> ModelProfile {
+    let n_layers = spec.layers;
+    let n_tensors = spec.tensors;
+    assert!(n_layers > 0 && n_tensors >= n_layers && n_tensors <= 2 * n_layers,
+        "tensor count must be in [layers, 2*layers]");
+
+    // Which layers carry a bias tensor (2 tensors): spread evenly.
+    let two_tensor_layers = n_tensors - n_layers;
+    let has_bias: Vec<bool> = (0..n_layers)
+        .map(|i| {
+            // Even spacing of `two_tensor_layers` among `n_layers`.
+            (i * two_tensor_layers) / n_layers != ((i + 1) * two_tensor_layers) / n_layers
+        })
+        .collect();
+    debug_assert_eq!(has_bias.iter().filter(|&&b| b).count(), two_tensor_layers);
+
+    // Raw weight shapes: geometric ramp with depth (CNN) or flat (BERT).
+    let mut weights: Vec<f64> = (0..n_layers)
+        .map(|i| {
+            let depth = if n_layers > 1 {
+                i as f64 / (n_layers - 1) as f64
+            } else {
+                0.0
+            };
+            (spec.growth * depth).exp()
+        })
+        .collect();
+    if spec.embedding > 0 {
+        // The first layer is the embedding: give it the weight needed so
+        // that after scaling it lands near `spec.embedding` elements.
+        let body: f64 = weights.iter().skip(1).sum();
+        let body_target = (spec.params - spec.embedding) as f64;
+        weights[0] = spec.embedding as f64 * body / body_target.max(1.0);
+    }
+
+    // Scale weights to the parameter budget, with biases ≈ weight/256.
+    let bias_fraction = 1.0 / 256.0;
+    let total_weight: f64 = weights
+        .iter()
+        .zip(&has_bias)
+        .map(|(w, &b)| w * if b { 1.0 + bias_fraction } else { 1.0 })
+        .sum();
+    let scale = spec.params as f64 / total_weight;
+
+    let mut tensors: Vec<TensorProfile> = Vec::with_capacity(n_tensors);
+    let mut layers: Vec<LayerProfile> = Vec::with_capacity(n_layers);
+    for (i, (&w, &bias)) in weights.iter().zip(&has_bias).enumerate() {
+        let w_elems = ((w * scale).round() as usize).max(1);
+        let mut ids = vec![tensors.len()];
+        tensors.push(TensorProfile { elements: w_elems });
+        if bias {
+            let b_elems = ((w * scale * bias_fraction).round() as usize).max(1);
+            ids.push(tensors.len());
+            tensors.push(TensorProfile { elements: b_elems });
+        }
+        layers.push(LayerProfile {
+            name: format!("layer_{i}"),
+            tensor_ids: ids,
+            ff_time: SimDuration::from_nanos(1), // placeholders, set below
+            bp_time: SimDuration::from_nanos(1),
+        });
+    }
+
+    // Fix the exact parameter total by adjusting the largest tensor.
+    let current: usize = tensors.iter().map(|t| t.elements).sum();
+    let largest = (0..tensors.len())
+        .max_by_key(|&i| tensors[i].elements)
+        .expect("at least one tensor");
+    let adjusted = tensors[largest].elements as i64 + spec.params as i64 - current as i64;
+    assert!(adjusted > 0, "parameter adjustment drove a tensor negative");
+    tensors[largest].elements = adjusted as usize;
+
+    // Distribute compute time: 1/3 feed-forward, 2/3 backprop (§II-C, §VI-F),
+    // per layer as a mix of a uniform floor and a parameter-proportional
+    // share (convolutions compute much more per parameter than FC layers).
+    let total_params: usize = tensors.iter().map(|t| t.elements).sum();
+    let ff_total = spec.compute_ms * 1e-3 / 3.0;
+    let bp_total = 2.0 * ff_total;
+    for (i, layer) in layers.iter_mut().enumerate() {
+        let layer_params: usize = layer.tensor_ids.iter().map(|&t| tensors[t].elements).sum();
+        let share = 0.5 / n_layers as f64
+            + 0.5 * layer_params as f64 / total_params as f64;
+        layer.ff_time = SimDuration::from_secs_f64(ff_total * share)
+            .max(SimDuration::from_nanos(1));
+        layer.bp_time = SimDuration::from_secs_f64(bp_total * share)
+            .max(SimDuration::from_nanos(1));
+        let _ = i;
+    }
+
+    let profile = ModelProfile {
+        name: spec.name.to_owned(),
+        batch_size: spec.default_batch_size,
+        tensors,
+        layers,
+    };
+    profile.validate();
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_counts_match_exactly() {
+        let expect = [
+            (Model::ResNet50, 64, 107, 161, 25_600_000),
+            (Model::DenseNet201, 32, 402, 604, 20_000_000),
+            (Model::InceptionV4, 64, 299, 449, 42_700_000),
+            (Model::BertBase, 64, 105, 206, 110_100_000),
+            (Model::BertLarge, 32, 201, 398, 336_200_000),
+        ];
+        for (m, bs, layers, tensors, params) in expect {
+            let p = m.profile();
+            p.validate();
+            assert_eq!(p.batch_size, bs, "{}", p.name);
+            assert_eq!(p.num_layers(), layers, "{}", p.name);
+            assert_eq!(p.num_tensors(), tensors, "{}", p.name);
+            assert_eq!(p.num_params(), params, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn bp_is_twice_ff() {
+        for m in Model::ALL {
+            let p = m.profile();
+            let ratio = p.bp_time().as_secs_f64() / p.ff_time().as_secs_f64();
+            assert!((ratio - 2.0).abs() < 0.01, "{}: {ratio}", p.name);
+        }
+    }
+
+    #[test]
+    fn compute_time_matches_calibration() {
+        for m in Model::ALL {
+            let p = m.profile();
+            let ms = p.compute_time().as_millis_f64();
+            let want = m.spec().compute_ms;
+            assert!((ms - want).abs() < 1.0, "{}: {ms} vs {want}", p.name);
+        }
+    }
+
+    #[test]
+    fn cnns_are_imbalanced_bert_is_balanced() {
+        // Coefficient of variation of weight-tensor sizes.
+        let cv = |m: Model| {
+            let p = m.profile();
+            // Use per-layer parameter counts.
+            let sizes: Vec<f64> = p
+                .layers
+                .iter()
+                .skip(if m.spec().embedding > 0 { 1 } else { 0 })
+                .map(|l| {
+                    l.tensor_ids
+                        .iter()
+                        .map(|&t| p.tensors[t].elements as f64)
+                        .sum::<f64>()
+                })
+                .collect();
+            let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+            let var = sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64;
+            var.sqrt() / mean
+        };
+        for m in Model::CNNS {
+            assert!(cv(m) > 0.8, "{:?} CV {}", m, cv(m));
+        }
+        assert!(cv(Model::BertBase) < 0.3, "BERT-Base CV {}", cv(Model::BertBase));
+        assert!(cv(Model::BertLarge) < 0.3, "BERT-Large CV {}", cv(Model::BertLarge));
+    }
+
+    #[test]
+    fn bert_embedding_dominates_first_layer() {
+        let p = Model::BertBase.profile();
+        let first: usize = p.layers[0]
+            .tensor_ids
+            .iter()
+            .map(|&t| p.tensors[t].elements)
+            .sum();
+        assert!(first > 15_000_000, "embedding layer has {first} params");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Model::ResNet50.name(), "ResNet-50");
+        assert_eq!(Model::BertLarge.name(), "BERT-Large");
+    }
+
+    #[test]
+    fn batch_profile_scales_compute() {
+        let p32 = Model::ResNet50.profile_with_batch(32);
+        let p64 = Model::ResNet50.profile();
+        let ratio = p64.compute_time().as_secs_f64() / p32.compute_time().as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+}

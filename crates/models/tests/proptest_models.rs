@@ -1,0 +1,84 @@
+//! Property-based tests for model-profile synthesis: arbitrary specs must
+//! yield valid profiles with exact counts, and batch rescaling must be
+//! linear in compute while leaving communication volume untouched.
+
+use dear_models::{synthesize, Model, ModelSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        1usize..120,   // layers
+        0usize..120,   // extra tensors (clamped to layers)
+        1usize..5_000, // params in thousands
+        1u64..2_000,   // compute in tenths of ms
+        0.0f64..6.0,   // growth
+        any::<bool>(), // embedding head
+    )
+        .prop_map(|(layers, extra, params_k, compute, growth, emb)| {
+            let tensors = (layers + extra).min(2 * layers);
+            let params = params_k * 1_000 + 2 * tensors; // headroom for min sizes
+            ModelSpec {
+                name: "prop",
+                default_batch_size: 32,
+                layers,
+                tensors,
+                params,
+                compute_ms: compute as f64 / 10.0,
+                growth,
+                embedding: if emb && layers > 2 { params / 4 } else { 0 },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn synthesized_profiles_match_spec_exactly(spec in arb_spec()) {
+        let p = synthesize(&spec);
+        p.validate();
+        prop_assert_eq!(p.num_layers(), spec.layers);
+        prop_assert_eq!(p.num_tensors(), spec.tensors);
+        prop_assert_eq!(p.num_params(), spec.params);
+        let ms = p.compute_time().as_millis_f64();
+        prop_assert!((ms - spec.compute_ms).abs() < 0.02 * spec.compute_ms.max(0.1) + 0.01,
+            "compute {ms} vs spec {}", spec.compute_ms);
+    }
+
+    #[test]
+    fn bp_to_ff_ratio_is_two(spec in arb_spec()) {
+        let p = synthesize(&spec);
+        let ratio = p.bp_time().as_secs_f64() / p.ff_time().as_secs_f64();
+        prop_assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_rescale_is_linear_in_compute(spec in arb_spec(), factor in 2usize..5) {
+        let p = synthesize(&spec);
+        let q = p.with_batch_size(p.batch_size * factor);
+        let ratio = q.compute_time().as_secs_f64() / p.compute_time().as_secs_f64();
+        prop_assert!((ratio - factor as f64).abs() < 0.05 * factor as f64,
+            "ratio {ratio} vs {factor}");
+        prop_assert_eq!(q.gradient_bytes(), p.gradient_bytes());
+        prop_assert_eq!(q.num_tensors(), p.num_tensors());
+    }
+
+    #[test]
+    fn backward_order_is_a_permutation(spec in arb_spec()) {
+        let p = synthesize(&spec);
+        let mut order = p.backward_tensor_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..p.num_tensors()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn paper_models_survive_batch_extremes() {
+    for m in Model::ALL {
+        for bs in [1usize, 512] {
+            let p = m.profile_with_batch(bs);
+            p.validate();
+            assert_eq!(p.batch_size, bs);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Closed-form analysis from the paper: the maximum achievable speedup
+//! (Eq. 6), the perfect-overlap iteration times of DeAR and the baselines
+//! (Eqs. 7–8), and the improvement regimes (Eq. 9).
+
+use dear_models::ModelProfile;
+use dear_sim::SimDuration;
+
+use crate::config::ClusterConfig;
+
+/// Inputs to the closed-form analysis, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisInputs {
+    /// Feed-forward compute time `t_ff`.
+    pub t_ff: f64,
+    /// Backpropagation compute time `t_bp`.
+    pub t_bp: f64,
+    /// Reduce-scatter time `t_rs` (bandwidth bound).
+    pub t_rs: f64,
+    /// All-gather time `t_ag` (bandwidth bound).
+    pub t_ag: f64,
+}
+
+impl AnalysisInputs {
+    /// Derives the inputs for `model` on `cluster`, using the bandwidth
+    /// lower bound `t_ar ≥ 2m/B` exactly as §VI-E does (`t_rs = t_ag =
+    /// m/B`).
+    #[must_use]
+    pub fn for_model(model: &ModelProfile, cluster: &ClusterConfig) -> Self {
+        let m = model.gradient_bytes() as f64;
+        let b = cluster.network.bandwidth_bytes_per_sec();
+        let half = m / b;
+        AnalysisInputs {
+            t_ff: model.ff_time().as_secs_f64(),
+            t_bp: model.bp_time().as_secs_f64(),
+            t_rs: half,
+            t_ag: half,
+        }
+    }
+
+    /// All-reduce time `t_ar = t_rs + t_ag`.
+    #[must_use]
+    pub fn t_ar(&self) -> f64 {
+        self.t_rs + self.t_ag
+    }
+}
+
+/// Eq. 6: the maximum speedup of any communication-overlapping scheduler on
+/// `workers` GPUs over one GPU.
+#[must_use]
+pub fn max_speedup(inputs: &AnalysisInputs, workers: usize) -> f64 {
+    let compute = inputs.t_ff + inputs.t_bp;
+    let hidden = inputs.t_rs.min(inputs.t_bp) + inputs.t_ag.min(inputs.t_ff);
+    workers as f64 * compute / (compute + inputs.t_ar() - hidden)
+}
+
+/// Eq. 7: DeAR's iteration time with perfect overlapping:
+/// `max(t_ff, t_ag) + max(t_bp, t_rs)`.
+#[must_use]
+pub fn dear_optimal_iter(inputs: &AnalysisInputs) -> f64 {
+    inputs.t_ff.max(inputs.t_ag) + inputs.t_bp.max(inputs.t_rs)
+}
+
+/// Eq. 8: the baseline's (Horovod/DDP) iteration time with perfect
+/// overlapping: `t_ff + max(t_bp, t_ar)`.
+#[must_use]
+pub fn baseline_optimal_iter(inputs: &AnalysisInputs) -> f64 {
+    inputs.t_ff + inputs.t_bp.max(inputs.t_ar())
+}
+
+/// Eq. 9: the closed-form gap `t_baseline − t_DeAR` under the paper's
+/// assumptions `t_ar = 2·t_rs = 2·t_ag` and `t_bp = 2·t_ff`, as a function
+/// of `(t_ff, t_ag)`.
+#[must_use]
+pub fn eq9_gap(t_ff: f64, t_ag: f64) -> f64 {
+    if t_ag <= t_ff {
+        0.0
+    } else if t_ag <= 2.0 * t_ff {
+        t_ag - t_ff
+    } else {
+        t_ff
+    }
+}
+
+/// Bundles Table II's row for one model/cluster: theoretical max speedup.
+#[must_use]
+pub fn table2_max_speedup(model: &ModelProfile, cluster: &ClusterConfig) -> f64 {
+    max_speedup(&AnalysisInputs::for_model(model, cluster), cluster.workers)
+}
+
+/// The simulated speedup achievable by a perfect DeAR (Eq. 7), as a
+/// multiple of a single GPU — used as the "S" reference in Table II.
+#[must_use]
+pub fn dear_optimal_speedup(model: &ModelProfile, cluster: &ClusterConfig) -> f64 {
+    let inputs = AnalysisInputs::for_model(model, cluster);
+    let compute = inputs.t_ff + inputs.t_bp;
+    cluster.workers as f64 * compute / dear_optimal_iter(&inputs)
+}
+
+/// Helper converting a duration to seconds for analysis call sites.
+#[must_use]
+pub fn secs(d: SimDuration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_models::Model;
+
+    #[test]
+    fn table2_10gbe_matches_paper() {
+        // Paper Table II, 10GbE row: 61.6, 64, 59.8, 25.5, 12.1.
+        let cluster = ClusterConfig::paper_10gbe();
+        let expect = [
+            (Model::ResNet50, 61.6),
+            (Model::DenseNet201, 64.0),
+            (Model::InceptionV4, 59.8),
+            (Model::BertBase, 25.5),
+            (Model::BertLarge, 12.1),
+        ];
+        for (m, smax) in expect {
+            let got = table2_max_speedup(&m.profile(), &cluster);
+            assert!(
+                (got - smax).abs() / smax < 0.03,
+                "{}: got {got:.1}, paper {smax}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_100gbib_matches_paper() {
+        // Paper Table II, 100GbIB row: 64, 64, 64, 64, 51.8.
+        let cluster = ClusterConfig::paper_100gbib();
+        let expect = [
+            (Model::ResNet50, 64.0),
+            (Model::DenseNet201, 64.0),
+            (Model::InceptionV4, 64.0),
+            (Model::BertBase, 64.0),
+            (Model::BertLarge, 51.8),
+        ];
+        for (m, smax) in expect {
+            let got = table2_max_speedup(&m.profile(), &cluster);
+            assert!(
+                (got - smax).abs() / smax < 0.04,
+                "{}: got {got:.1}, paper {smax}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dear_never_slower_than_baseline_in_closed_form() {
+        // Eq. 9's conclusion: t_baseline − t_DeAR ≥ 0 everywhere.
+        for t_ag_over_tff in [0.1, 0.5, 1.0, 1.5, 2.0, 3.0, 10.0] {
+            let t_ff = 1.0;
+            let t_ag = t_ag_over_tff;
+            let inputs = AnalysisInputs {
+                t_ff,
+                t_bp: 2.0 * t_ff,
+                t_rs: t_ag,
+                t_ag,
+            };
+            let gap = baseline_optimal_iter(&inputs) - dear_optimal_iter(&inputs);
+            assert!(gap >= -1e-12, "negative gap at ratio {t_ag_over_tff}");
+            // Closed-form Eq. 9 matches the general formulas under its
+            // assumptions.
+            assert!(
+                (gap - eq9_gap(t_ff, t_ag)).abs() < 1e-12,
+                "gap {gap} vs eq9 {} at ratio {t_ag_over_tff}",
+                eq9_gap(t_ff, t_ag)
+            );
+        }
+    }
+
+    #[test]
+    fn eq9_saturates_at_one_feed_forward() {
+        // "the saved iteration time can be at most one feed-forward cost".
+        assert_eq!(eq9_gap(1.0, 100.0), 1.0);
+        assert_eq!(eq9_gap(1.0, 0.5), 0.0);
+        assert!((eq9_gap(1.0, 1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_speedup_caps_at_linear() {
+        let inputs = AnalysisInputs {
+            t_ff: 1.0,
+            t_bp: 2.0,
+            t_rs: 0.1,
+            t_ag: 0.1,
+        };
+        let s = max_speedup(&inputs, 64);
+        assert!((s - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! ByteScheduler (Peng et al., SOSP'19) under the all-reduce architecture
+//! (§II-D, Fig. 1d): priority scheduling plus tensor partitioning.
+//!
+//! Large tensors are split into partitions; communication is issued by
+//! priority (earlier-forward layers first) rather than FIFO, which lets
+//! low-index layers' gradients arrive in time for the next feed-forward —
+//! but under all-reduce each re-ordered tensor requires a cross-worker
+//! **negotiation** (all workers must agree the tensor is ready), and each
+//! extra partition pays a full all-reduce startup `(P−1)α`. Those two
+//! overheads are exactly why the paper finds ByteScheduler uncompetitive
+//! on CNNs over 10GbE.
+
+use dear_models::ModelProfile;
+use dear_sim::{SimDuration, TaskId, TaskKind, Timeline};
+
+use crate::config::ClusterConfig;
+use crate::geometry::TensorGeometry;
+use crate::report::Scheduler;
+
+/// The ByteScheduler simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteSchedulerSim {
+    /// Maximum partition size in bytes (tensors larger than this split).
+    partition_bytes: u64,
+}
+
+impl Default for ByteSchedulerSim {
+    fn default() -> Self {
+        ByteSchedulerSim::new(8 << 20)
+    }
+}
+
+impl ByteSchedulerSim {
+    /// Creates the scheduler with an explicit partition size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition_bytes == 0`.
+    #[must_use]
+    pub fn new(partition_bytes: u64) -> Self {
+        assert!(partition_bytes > 0, "partition size must be positive");
+        ByteSchedulerSim { partition_bytes }
+    }
+
+    /// Per-partition negotiation latency: a tiny synchronization collective
+    /// (~2⌈log₂P⌉ messages of a few bytes) serialized on the comm stream.
+    fn negotiation_cost(&self, cluster: &ClusterConfig) -> SimDuration {
+        let rounds = 2.0 * (cluster.workers as f64).log2().ceil().max(1.0);
+        SimDuration::from_nanos((rounds * cluster.network.alpha_ns).round() as u64)
+    }
+}
+
+/// A communication work item: one partition of one tensor.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Forward layer index — doubles as the priority (lower = sooner).
+    layer: usize,
+    bytes: u64,
+}
+
+impl Scheduler for ByteSchedulerSim {
+    fn name(&self) -> String {
+        "ByteScheduler".to_owned()
+    }
+
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline {
+        let geo = TensorGeometry::new(model);
+        let mut tl = Timeline::new();
+        let compute = tl.add_stream("compute");
+        let comm = tl.add_stream("comm");
+        let num_layers = model.num_layers();
+        let negotiation = self.negotiation_cost(cluster);
+
+        // Communication tasks per layer from the previous iteration; FF of
+        // layer l waits for that layer's partitions only (the priority
+        // scheduling payoff).
+        let mut prev_layer_comm: Vec<Vec<TaskId>> = vec![Vec::new(); num_layers];
+        for iter in 0..iters {
+            // Feed-forward, per-layer gated on the previous iteration's
+            // partitions of that layer.
+            for (li, layer) in model.layers.iter().enumerate() {
+                let deps = std::mem::take(&mut prev_layer_comm[li]);
+                tl.schedule(
+                    compute,
+                    format!("FF[i{iter},l{li}]"),
+                    TaskKind::FeedForward,
+                    layer.ff_time,
+                    &deps,
+                );
+            }
+            // Backprop.
+            let mut bp_task = vec![None; num_layers];
+            for li in (0..num_layers).rev() {
+                let t = tl.schedule(
+                    compute,
+                    format!("BP[i{iter},l{li}]"),
+                    TaskKind::Backprop,
+                    model.layers[li].bp_time,
+                    &[],
+                );
+                bp_task[li] = Some(t);
+            }
+            // Build the partition list in ready order, then issue by
+            // priority among the ready set. We emulate the priority queue
+            // by sorting each layer's partitions and, within the window of
+            // already-ready work, letting lower layers preempt the queue:
+            // partitions are issued layer-by-layer in the order the
+            // *scheduler* would drain them, with each partition's start
+            // additionally gated on its own BP task.
+            let mut partitions: Vec<Partition> = Vec::new();
+            for item in 0..geo.num_items() {
+                let layer = geo.layer_of_item[item];
+                let mut remaining = geo.item_bytes[item];
+                while remaining > 0 {
+                    let bytes = remaining.min(self.partition_bytes);
+                    partitions.push(Partition { layer, bytes });
+                    remaining -= bytes;
+                }
+            }
+            // Priority order: ascending layer (layer 0's gradients are
+            // needed first next iteration). Ready-time gating comes from
+            // the BP dependency, and the timeline's stream FIFO plus the
+            // dependency produces the blocking behaviour of a real queue.
+            let mut order: Vec<usize> = (0..partitions.len()).collect();
+            order.sort_by_key(|&i| partitions[i].layer);
+            let mut layer_comm: Vec<Vec<TaskId>> = vec![Vec::new(); num_layers];
+            for &pi in &order {
+                let p = &partitions[pi];
+                let dep = bp_task[p.layer].expect("BP scheduled for every layer");
+                // Negotiation then the partition's all-reduce.
+                let neg = tl.schedule(
+                    comm,
+                    format!("NEG[i{iter},l{}]", p.layer),
+                    TaskKind::Communication,
+                    negotiation,
+                    &[dep],
+                );
+                let ar = tl.schedule(
+                    comm,
+                    format!("AR[i{iter},l{}]", p.layer),
+                    TaskKind::Communication,
+                    cluster.network.ring_all_reduce(p.bytes, cluster.workers),
+                    &[neg],
+                );
+                layer_comm[p.layer].push(ar);
+            }
+            prev_layer_comm = layer_comm;
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wfbp::WfbpScheduler;
+    use dear_models::Model;
+
+    #[test]
+    fn bytescheduler_loses_to_wfbp_on_cnns_over_10gbe() {
+        // Fig. 6: "ByteScheduler runs very slow in most cases especially on
+        // CNNs... its bars are very low (e.g. < 0.9)".
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
+        let bs = ByteSchedulerSim::default().simulate(&model, &cluster);
+        assert!(
+            bs.iter_time > wfbp.iter_time,
+            "ByteScheduler {} <= WFBP {}",
+            bs.iter_time,
+            wfbp.iter_time
+        );
+    }
+
+    #[test]
+    fn bytescheduler_is_competitive_on_bert() {
+        // Fig. 6: "on BERT models which have much larger tensor sizes, the
+        // performance of ByteScheduler is relatively good".
+        let model = Model::BertBase.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
+        let bs = ByteSchedulerSim::default().simulate(&model, &cluster);
+        let ratio = wfbp.iter_time.as_secs_f64() / bs.iter_time.as_secs_f64();
+        assert!(ratio > 0.85, "ByteScheduler/WFBP speedup {ratio} too low on BERT");
+    }
+
+    #[test]
+    fn smaller_partitions_mean_more_overhead() {
+        let model = Model::BertBase.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let coarse = ByteSchedulerSim::new(32 << 20).simulate(&model, &cluster);
+        let fine = ByteSchedulerSim::new(1 << 20).simulate(&model, &cluster);
+        assert!(fine.total_comm > coarse.total_comm);
+    }
+
+    #[test]
+    fn partitioning_counts_are_correct() {
+        // A 20 MB tensor with 8 MB partitions → 3 partitions.
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let tl = ByteSchedulerSim::default().build(&model, &cluster, 1);
+        let ar_count = tl
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("AR"))
+            .count();
+        let geo = TensorGeometry::new(&model);
+        let expect: usize = geo
+            .item_bytes
+            .iter()
+            .map(|&b| (b.div_ceil(8 << 20)).max(1) as usize)
+            .sum();
+        assert_eq!(ar_count, expect);
+    }
+}

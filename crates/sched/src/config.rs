@@ -1,0 +1,90 @@
+//! Cluster configuration shared by all schedulers.
+
+use dear_collectives::{CostModel, NetworkPreset};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous data-parallel cluster: `workers` GPUs joined by one
+/// interconnect cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of data-parallel workers (GPUs).
+    pub workers: usize,
+    /// Interconnect α-β model.
+    pub network: CostModel,
+    /// Display label, e.g. `"64x10GbE"`.
+    pub label: String,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster from a named preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn new(workers: usize, preset: NetworkPreset) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ClusterConfig {
+            workers,
+            network: preset.cost_model(),
+            label: format!("{}x{}", workers, preset.label()),
+        }
+    }
+
+    /// Creates a cluster with an explicit cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn custom(workers: usize, network: CostModel, label: impl Into<String>) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ClusterConfig {
+            workers,
+            network,
+            label: label.into(),
+        }
+    }
+
+    /// The paper's main testbed: 64 GPUs over 10 Gb/s Ethernet.
+    #[must_use]
+    pub fn paper_10gbe() -> Self {
+        ClusterConfig::new(64, NetworkPreset::TenGbE)
+    }
+
+    /// The paper's second testbed: 64 GPUs over 100 Gb/s InfiniBand.
+    ///
+    /// The β here reflects the *effective* per-ring bandwidth implied by the
+    /// paper's Table II bounds (≈5.8 GB/s, i.e. ≈46% of line rate — four
+    /// GPUs share each NIC), not the 12.5 GB/s line rate.
+    #[must_use]
+    pub fn paper_100gbib() -> Self {
+        ClusterConfig::custom(64, CostModel::new(2_500.0, 0.172, 0.0), "64x100GbIB")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_labels() {
+        assert_eq!(ClusterConfig::paper_10gbe().label, "64x10GbE");
+        assert_eq!(ClusterConfig::paper_100gbib().label, "64x100GbIB");
+        assert_eq!(ClusterConfig::new(8, NetworkPreset::TenGbE).workers, 8);
+    }
+
+    #[test]
+    fn ib_is_faster_than_ethernet() {
+        let e = ClusterConfig::paper_10gbe();
+        let ib = ClusterConfig::paper_100gbib();
+        let bytes = 100 << 20;
+        assert!(ib.network.ring_all_reduce(bytes, 64) < e.network.ring_all_reduce(bytes, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ClusterConfig::new(0, NetworkPreset::TenGbE);
+    }
+}

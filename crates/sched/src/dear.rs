@@ -1,0 +1,459 @@
+//! The DeAR scheduler (§III): every gradient group's all-reduce is
+//! decoupled into a reduce-scatter pipelined with backprop (**BackPipe**)
+//! and an all-gather pipelined with the *next* iteration's feed-forward
+//! (**FeedPipe**) — no re-ordering, no negotiation, no partitioning.
+//!
+//! Communication tasks are issued in a globally consistent order: groups in
+//! backward order during BP (reduce-scatter), then the same groups in
+//! forward order during FF (all-gather), so all workers stay in lock-step
+//! without negotiating (§III-B).
+
+use dear_collectives::CostModel;
+use dear_fusion::FusionPlan;
+use dear_models::ModelProfile;
+use dear_sim::{SimDuration, TaskId, TaskKind, Timeline};
+
+use crate::config::ClusterConfig;
+use crate::geometry::TensorGeometry;
+use crate::report::Scheduler;
+
+/// Which decoupled all-reduce family DeAR schedules (§VII-A: any
+/// all-reduce that splits into two continuous operations works).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectiveFamily {
+    /// Flat ring: OP1 = ring reduce-scatter, OP2 = ring all-gather (the
+    /// paper's running example).
+    FlatRing,
+    /// Hierarchical 2-level ring: OP1 = intra-RS + inter-RS, OP2 =
+    /// inter-AG + intra-AG (Mikami et al.).
+    Hierarchical {
+        /// Workers per node.
+        gpus_per_node: usize,
+        /// Intra-node fabric model (e.g. NVLink).
+        intra: CostModel,
+    },
+    /// Double binary tree: OP1 = tree reduce, OP2 = tree broadcast
+    /// (Sanders et al., NCCL at scale).
+    DoubleBinaryTree,
+}
+
+impl CollectiveFamily {
+    /// OP1 cost of a `bytes`-sized group on `cluster`.
+    #[must_use]
+    pub fn op1_cost(&self, cluster: &ClusterConfig, bytes: u64) -> SimDuration {
+        match self {
+            CollectiveFamily::FlatRing => {
+                cluster.network.ring_reduce_scatter(bytes, cluster.workers)
+            }
+            CollectiveFamily::Hierarchical {
+                gpus_per_node,
+                intra,
+            } => {
+                let nodes = (cluster.workers / gpus_per_node).max(1);
+                cluster
+                    .network
+                    .hierarchical_rs_phase(intra, bytes, nodes, *gpus_per_node)
+            }
+            CollectiveFamily::DoubleBinaryTree => cluster
+                .network
+                .double_tree_reduce_phase(bytes, cluster.workers),
+        }
+    }
+
+    /// OP2 cost of a `bytes`-sized group on `cluster`.
+    #[must_use]
+    pub fn op2_cost(&self, cluster: &ClusterConfig, bytes: u64) -> SimDuration {
+        match self {
+            CollectiveFamily::FlatRing => {
+                cluster.network.ring_all_gather(bytes, cluster.workers)
+            }
+            CollectiveFamily::Hierarchical {
+                gpus_per_node,
+                intra,
+            } => {
+                let nodes = (cluster.workers / gpus_per_node).max(1);
+                cluster
+                    .network
+                    .hierarchical_ag_phase(intra, bytes, nodes, *gpus_per_node)
+            }
+            CollectiveFamily::DoubleBinaryTree => cluster
+                .network
+                .double_tree_broadcast_phase(bytes, cluster.workers),
+        }
+    }
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectiveFamily::FlatRing => "ring",
+            CollectiveFamily::Hierarchical { .. } => "hierarchical",
+            CollectiveFamily::DoubleBinaryTree => "double-tree",
+        }
+    }
+}
+
+/// How DeAR fuses tensors (the Fig. 9 variants).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DearFusion {
+    /// No fusion: per-tensor RS/AG pairs ("DeAR w/o TF", Fig. 6).
+    None,
+    /// Fixed consecutive-layer-count fusion ("DeAR-NL", 4 layers).
+    LayerCount(usize),
+    /// Fixed buffer-size threshold ("DeAR-FB", 5 MB in Fig. 9; the buffer
+    /// BO tunes in "DeAR-BO").
+    BufferBytes(u64),
+    /// An explicit plan over the backward ready order.
+    Explicit(FusionPlan),
+}
+
+/// The DeAR scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DearScheduler {
+    fusion: DearFusion,
+    name: String,
+    family: CollectiveFamily,
+}
+
+impl DearScheduler {
+    /// DeAR without tensor fusion (the Fig. 6 configuration).
+    #[must_use]
+    pub fn unfused() -> Self {
+        DearScheduler {
+            fusion: DearFusion::None,
+            name: "DeAR".to_owned(),
+            family: CollectiveFamily::FlatRing,
+        }
+    }
+
+    /// DeAR-NL: fuse a fixed number of consecutive layers (Fig. 9 uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    #[must_use]
+    pub fn fixed_layer_count(layers: usize) -> Self {
+        assert!(layers > 0, "layer count must be positive");
+        DearScheduler {
+            fusion: DearFusion::LayerCount(layers),
+            name: "DeAR-NL".to_owned(),
+            family: CollectiveFamily::FlatRing,
+        }
+    }
+
+    /// DeAR-FB: fixed buffer-size threshold (Fig. 9 uses 5 MB).
+    #[must_use]
+    pub fn fixed_buffer(buffer_bytes: u64) -> Self {
+        DearScheduler {
+            fusion: DearFusion::BufferBytes(buffer_bytes),
+            name: "DeAR-FB".to_owned(),
+            family: CollectiveFamily::FlatRing,
+        }
+    }
+
+    /// A named buffer variant (used by the BO tuning loop: "DeAR-BO"
+    /// evaluates candidate buffer sizes through this constructor).
+    #[must_use]
+    pub fn with_buffer(name: impl Into<String>, buffer_bytes: u64) -> Self {
+        DearScheduler {
+            fusion: DearFusion::BufferBytes(buffer_bytes),
+            name: name.into(),
+            family: CollectiveFamily::FlatRing,
+        }
+    }
+
+    /// An explicit fusion plan.
+    #[must_use]
+    pub fn with_plan(name: impl Into<String>, plan: FusionPlan) -> Self {
+        DearScheduler {
+            fusion: DearFusion::Explicit(plan),
+            name: name.into(),
+            family: CollectiveFamily::FlatRing,
+        }
+    }
+
+    /// Selects the decoupled all-reduce family (default: flat ring).
+    #[must_use]
+    pub fn with_family(mut self, family: CollectiveFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    fn plan_for(&self, geo: &TensorGeometry, model: &ModelProfile) -> FusionPlan {
+        match &self.fusion {
+            DearFusion::None => FusionPlan::singletons(geo.num_items()),
+            DearFusion::BufferBytes(buffer) => {
+                FusionPlan::by_buffer_bytes(&geo.item_bytes, *buffer)
+            }
+            DearFusion::LayerCount(k) => {
+                // Group the items of each k consecutive layers in backward
+                // order. Layers are traversed last-to-first; item ranges are
+                // contiguous because the ready order is layer-major.
+                let mut groups = Vec::new();
+                let mut start = 0usize;
+                let mut layers_in_group = 0usize;
+                let mut cursor = 0usize;
+                for li in (0..model.num_layers()).rev() {
+                    cursor += geo.items_of_layer[li].len();
+                    layers_in_group += 1;
+                    if layers_in_group == *k {
+                        groups.push(start..cursor);
+                        start = cursor;
+                        layers_in_group = 0;
+                    }
+                }
+                if start < cursor {
+                    groups.push(start..cursor);
+                }
+                FusionPlan::from_groups(geo.num_items(), groups)
+            }
+            DearFusion::Explicit(plan) => {
+                assert_eq!(
+                    plan.len_items(),
+                    geo.num_items(),
+                    "explicit plan does not match model tensor count"
+                );
+                plan.clone()
+            }
+        }
+    }
+}
+
+impl Scheduler for DearScheduler {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline {
+        let geo = TensorGeometry::new(model);
+        let plan = self.plan_for(&geo, model);
+        let mut tl = Timeline::new();
+        let compute = tl.add_stream("compute");
+        let comm = tl.add_stream("comm");
+        let num_layers = model.num_layers();
+        let num_groups = plan.num_groups();
+
+        // For each forward layer, the set of groups whose all-gather must
+        // complete before its FF (a layer's tensors may straddle groups).
+        let mut groups_gating_layer: Vec<Vec<usize>> = vec![Vec::new(); num_layers];
+        for (g, range) in plan.groups().iter().enumerate() {
+            for item in range.clone() {
+                let layer = geo.layer_of_item[item];
+                if !groups_gating_layer[layer].contains(&g) {
+                    groups_gating_layer[layer].push(g);
+                }
+            }
+        }
+
+        // Reduce-scatter tasks of the previous iteration (FeedPipe sources).
+        let mut prev_rs: Vec<TaskId> = Vec::new();
+        for iter in 0..iters {
+            // ---- FeedPipe: all-gathers of the previous iteration overlap
+            // with this iteration's feed-forward. AGs are issued in forward
+            // group order (the last plan group holds the first layers).
+            let mut ag_of_group: Vec<Option<TaskId>> = vec![None; num_groups];
+            if iter > 0 {
+                for g in (0..num_groups).rev() {
+                    let bytes = plan.group_bytes(g, &geo.item_bytes);
+                    let cost = self.family.op2_cost(cluster, bytes);
+                    // OP1/OP2 dependency: every AG follows the completion of
+                    // the previous iteration's BackPipe synchronization.
+                    let t = tl.schedule(
+                        comm,
+                        format!("AG[i{},g{g}]", iter - 1),
+                        TaskKind::Communication,
+                        cost,
+                        &prev_rs,
+                    );
+                    ag_of_group[g] = Some(t);
+                }
+            }
+            // Feed-forward, gated per layer on its groups' all-gathers.
+            for (li, layer) in model.layers.iter().enumerate() {
+                let deps: Vec<TaskId> = if iter > 0 {
+                    groups_gating_layer[li]
+                        .iter()
+                        .map(|&g| ag_of_group[g].expect("AG scheduled for every group"))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                tl.schedule(
+                    compute,
+                    format!("FF[i{iter},l{li}]"),
+                    TaskKind::FeedForward,
+                    layer.ff_time,
+                    &deps,
+                );
+            }
+            // ---- BackPipe: backprop with reduce-scatters chasing it.
+            let mut bp_task = vec![None; num_layers];
+            for li in (0..num_layers).rev() {
+                let t = tl.schedule(
+                    compute,
+                    format!("BP[i{iter},l{li}]"),
+                    TaskKind::Backprop,
+                    model.layers[li].bp_time,
+                    &[],
+                );
+                bp_task[li] = Some(t);
+            }
+            let mut rs_tasks = Vec::with_capacity(num_groups);
+            for (g, range) in plan.groups().iter().enumerate() {
+                let trigger = geo.trigger_layer(range.start, range.end);
+                let bytes = plan.group_bytes(g, &geo.item_bytes);
+                let cost = self.family.op1_cost(cluster, bytes);
+                let dep = bp_task[trigger].expect("BP scheduled for every layer");
+                rs_tasks.push(tl.schedule(
+                    comm,
+                    format!("RS[i{iter},g{g}]"),
+                    TaskKind::Communication,
+                    cost,
+                    &[dep],
+                ));
+            }
+            prev_rs = rs_tasks;
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wfbp::WfbpScheduler;
+    use dear_models::Model;
+
+    #[test]
+    fn dear_beats_wfbp_without_fusion() {
+        // Fig. 6: DeAR achieves 6–19% improvement over WFBP.
+        for m in [Model::ResNet50, Model::BertBase] {
+            let model = m.profile();
+            let cluster = ClusterConfig::paper_10gbe();
+            let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
+            let dear = DearScheduler::unfused().simulate(&model, &cluster);
+            assert!(
+                dear.iter_time < wfbp.iter_time,
+                "{}: DeAR {} >= WFBP {}",
+                model.name,
+                dear.iter_time,
+                wfbp.iter_time
+            );
+        }
+    }
+
+    #[test]
+    fn dear_with_fusion_beats_horovod() {
+        // Fig. 7's headline: DeAR (25 MB buffer) vs Horovod.
+        for m in Model::ALL {
+            let model = m.profile();
+            let cluster = ClusterConfig::paper_10gbe();
+            let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
+            let dear =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            assert!(
+                dear.iter_time <= horovod.iter_time,
+                "{}: DeAR {} > Horovod {}",
+                model.name,
+                dear.iter_time,
+                horovod.iter_time
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_never_faster_than_compute_or_comm_bound() {
+        let model = Model::BertLarge.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let dear = DearScheduler::fixed_buffer(25 << 20).simulate(&model, &cluster);
+        // Lower bounds: compute time, and the bandwidth bound on AR.
+        assert!(dear.iter_time >= model.compute_time());
+        let bw_bound = cluster
+            .network
+            .all_reduce_bandwidth_bound(model.gradient_bytes(), cluster.workers);
+        assert!(dear.iter_time >= bw_bound);
+    }
+
+    #[test]
+    fn layer_count_fusion_covers_all_items() {
+        let model = Model::DenseNet201.profile();
+        let geo = TensorGeometry::new(&model);
+        let sched = DearScheduler::fixed_layer_count(4);
+        let plan = sched.plan_for(&geo, &model);
+        plan.validate();
+        assert_eq!(plan.len_items(), model.num_tensors());
+        // ~L/4 groups.
+        let expect = model.num_layers().div_ceil(4);
+        assert_eq!(plan.num_groups(), expect);
+    }
+
+    #[test]
+    fn unfused_dear_has_one_rs_and_ag_per_tensor() {
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let tl = DearScheduler::unfused().build(&model, &cluster, 2);
+        let rs = tl.tasks().iter().filter(|t| t.label.starts_with("RS")).count();
+        let ag = tl.tasks().iter().filter(|t| t.label.starts_with("AG")).count();
+        assert_eq!(rs, 2 * model.num_tensors());
+        assert_eq!(ag, model.num_tensors()); // only iteration 1 gathers iter 0
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(DearScheduler::unfused().name(), "DeAR");
+        assert_eq!(DearScheduler::fixed_layer_count(4).name(), "DeAR-NL");
+        assert_eq!(DearScheduler::fixed_buffer(5 << 20).name(), "DeAR-FB");
+    }
+
+    #[test]
+    fn collective_families_all_schedule() {
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let ring = DearScheduler::fixed_buffer(25 << 20).simulate(&model, &cluster);
+        let hier = DearScheduler::fixed_buffer(25 << 20)
+            .with_family(CollectiveFamily::Hierarchical {
+                gpus_per_node: 4,
+                intra: dear_collectives::CostModel::nvlink(),
+            })
+            .simulate(&model, &cluster);
+        let tree = DearScheduler::fixed_buffer(25 << 20)
+            .with_family(CollectiveFamily::DoubleBinaryTree)
+            .simulate(&model, &cluster);
+        for r in [&ring, &hier, &tree] {
+            assert!(r.iter_time >= model.compute_time());
+        }
+        // Hierarchical over a fast intra-node fabric beats the flat ring on
+        // a 16-node x 4-GPU 10GbE cluster.
+        assert!(hier.iter_time < ring.iter_time, "hier {} >= ring {}", hier.iter_time, ring.iter_time);
+        let _ = tree;
+    }
+
+    #[test]
+    fn family_op_costs_compose_to_full_all_reduce() {
+        let cluster = ClusterConfig::paper_10gbe();
+        let fam = CollectiveFamily::FlatRing;
+        let bytes = 25 << 20;
+        assert_eq!(
+            fam.op1_cost(&cluster, bytes) + fam.op2_cost(&cluster, bytes),
+            cluster.network.ring_all_reduce(bytes, cluster.workers)
+        );
+        assert_eq!(fam.label(), "ring");
+    }
+
+    #[test]
+    fn comm_total_equals_rs_plus_ag_cost() {
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+        let geo = TensorGeometry::new(&model);
+        let plan = FusionPlan::by_buffer_bytes(&geo.item_bytes, 25 << 20);
+        let mut expect = dear_sim::SimDuration::ZERO;
+        for g in 0..plan.num_groups() {
+            let bytes = plan.group_bytes(g, &geo.item_bytes);
+            expect += cluster.network.ring_reduce_scatter(bytes, cluster.workers);
+            expect += cluster.network.ring_all_gather(bytes, cluster.workers);
+        }
+        let diff = dear.total_comm.as_secs_f64() - expect.as_secs_f64();
+        assert!(diff.abs() < 1e-6, "total {} vs expect {}", dear.total_comm, expect);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tensor geometry: mapping between layers, tensors, and the backward
+//! ready order that fusion plans are expressed over.
+
+use dear_models::ModelProfile;
+
+/// Precomputed index maps for one model.
+///
+/// "Items" are tensors renumbered by their gradient-ready order during
+/// backprop (item 0 = first tensor whose gradient is ready = a tensor of
+/// the last layer). Fusion plans partition items.
+#[derive(Debug, Clone)]
+pub struct TensorGeometry {
+    /// `ready_order[item] = tensor id`.
+    pub ready_order: Vec<usize>,
+    /// Bytes per item (ready order).
+    pub item_bytes: Vec<u64>,
+    /// Layer index (forward numbering) per item.
+    pub layer_of_item: Vec<usize>,
+    /// Items belonging to each layer (forward numbering).
+    pub items_of_layer: Vec<Vec<usize>>,
+}
+
+impl TensorGeometry {
+    /// Builds the maps for `model`.
+    #[must_use]
+    pub fn new(model: &ModelProfile) -> Self {
+        let ready_order = model.backward_tensor_order();
+        let item_bytes = ready_order
+            .iter()
+            .map(|&t| model.tensor_bytes(t))
+            .collect();
+        let mut tensor_layer = vec![0usize; model.num_tensors()];
+        for (li, layer) in model.layers.iter().enumerate() {
+            for &t in &layer.tensor_ids {
+                tensor_layer[t] = li;
+            }
+        }
+        let layer_of_item: Vec<usize> =
+            ready_order.iter().map(|&t| tensor_layer[t]).collect();
+        let mut items_of_layer = vec![Vec::new(); model.num_layers()];
+        for (item, &layer) in layer_of_item.iter().enumerate() {
+            items_of_layer[layer].push(item);
+        }
+        TensorGeometry {
+            ready_order,
+            item_bytes,
+            layer_of_item,
+            items_of_layer,
+        }
+    }
+
+    /// Number of items (= tensors).
+    #[must_use]
+    pub fn num_items(&self) -> usize {
+        self.ready_order.len()
+    }
+
+    /// The layer whose backprop completion makes the item range
+    /// `[start, end)` fully ready: the layer of the **last** item, which is
+    /// the lowest-indexed (earliest-forward) layer in the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn trigger_layer(&self, start: usize, end: usize) -> usize {
+        assert!(start < end && end <= self.num_items(), "bad item range");
+        self.layer_of_item[end - 1]
+    }
+
+    /// The earliest forward layer with an item in `[start, end)` — the
+    /// layer whose feed-forward must wait for this group's all-gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn first_forward_layer(&self, start: usize, end: usize) -> usize {
+        assert!(start < end && end <= self.num_items(), "bad item range");
+        self.layer_of_item[start..end]
+            .iter()
+            .copied()
+            .min()
+            .expect("non-empty range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_models::Model;
+
+    #[test]
+    fn ready_order_is_backward() {
+        let model = Model::ResNet50.profile();
+        let geo = TensorGeometry::new(&model);
+        assert_eq!(geo.num_items(), model.num_tensors());
+        // First item belongs to the last layer, last item to the first.
+        assert_eq!(geo.layer_of_item[0], model.num_layers() - 1);
+        assert_eq!(*geo.layer_of_item.last().unwrap(), 0);
+        // Layer indices are non-increasing along the ready order.
+        for w in geo.layer_of_item.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn items_of_layer_inverts_layer_of_item() {
+        let model = Model::BertBase.profile();
+        let geo = TensorGeometry::new(&model);
+        for (layer, items) in geo.items_of_layer.iter().enumerate() {
+            for &item in items {
+                assert_eq!(geo.layer_of_item[item], layer);
+            }
+        }
+        let total: usize = geo.items_of_layer.iter().map(Vec::len).sum();
+        assert_eq!(total, geo.num_items());
+    }
+
+    #[test]
+    fn trigger_and_first_forward_layers() {
+        let model = Model::ResNet50.profile();
+        let geo = TensorGeometry::new(&model);
+        let n = geo.num_items();
+        // The whole-model group triggers on layer 0 and gates layer 0.
+        assert_eq!(geo.trigger_layer(0, n), 0);
+        assert_eq!(geo.first_forward_layer(0, n), 0);
+        // A singleton group of item 0 belongs to the last layer.
+        assert_eq!(geo.trigger_layer(0, 1), model.num_layers() - 1);
+        assert_eq!(geo.first_forward_layer(0, 1), model.num_layers() - 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dear-sched — iteration schedulers on a common simulation substrate
+//!
+//! All the scheduling algorithms the paper evaluates, implemented over the
+//! same timeline simulator so their comparison is apples-to-apples:
+//!
+//! - [`WfbpScheduler`]: wait-free backpropagation (Fig. 1b), plus its fused
+//!   variants — Horovod (64 MB buffer), PyTorch-DDP (25 MB buckets), and
+//!   arbitrary [`dear_fusion::FusionPlan`]s (Fig. 1c).
+//! - [`MgWfbpScheduler`]: merged-gradient WFBP (INFOCOM'19).
+//! - [`ByteSchedulerSim`]: priority scheduling + tensor partitioning with
+//!   per-partition negotiation (Fig. 1d) — the overheads §II-D analyzes.
+//! - [`DearScheduler`]: the paper's contribution (Fig. 2) — reduce-scatter
+//!   pipelined with backprop (BackPipe) and all-gather pipelined with the
+//!   next iteration's feed-forward (FeedPipe), with the fusion ablations of
+//!   Fig. 9 (none / NL / FB / explicit plans for BO).
+//! - [`analysis`]: the closed forms of Eqs. 6–9 and Table II.
+//!
+//! # Examples
+//!
+//! Reproduce the headline comparison on a 64-GPU 10GbE cluster:
+//!
+//! ```
+//! use dear_models::Model;
+//! use dear_sched::{ClusterConfig, DearScheduler, Scheduler, WfbpScheduler};
+//!
+//! let model = Model::ResNet50.profile();
+//! let cluster = ClusterConfig::paper_10gbe();
+//! let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
+//! let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+//! assert!(dear.iter_time <= horovod.iter_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+mod bytescheduler;
+mod config;
+mod dear;
+mod geometry;
+mod mgwfbp;
+mod oracle;
+mod report;
+mod wfbp;
+mod zero;
+
+pub use bytescheduler::ByteSchedulerSim;
+pub use config::ClusterConfig;
+pub use dear::{CollectiveFamily, DearFusion, DearScheduler};
+pub use geometry::TensorGeometry;
+pub use mgwfbp::{wfbp_lower_bound, MgWfbpScheduler};
+pub use oracle::OracleScheduler;
+pub use report::{IterationReport, Scheduler};
+pub use wfbp::{WfbpFusion, WfbpScheduler};
+pub use zero::ZeroScheduler;

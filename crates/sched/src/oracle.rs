@@ -1,0 +1,242 @@
+//! Oracle schedulers: the perfect-overlap lower bounds of Eqs. 7 and 8,
+//! realized as degenerate timelines so they compose with the rest of the
+//! harness (speedup plots, breakdown tables, sanity tests).
+//!
+//! `OracleDear` materializes `max(t_ff, t_ag) + max(t_bp, t_rs)` — the
+//! best any DeAR-style two-phase schedule can do; `OracleWfbp` materializes
+//! `t_ff + max(t_bp, t_ar)` — the best any backprop-only overlap can do.
+//! Both charge the *bandwidth-optimal* single fused collective (no startup
+//! terms), so every real scheduler must be at least as slow.
+
+use dear_models::ModelProfile;
+use dear_sim::{SimDuration, TaskKind, Timeline};
+
+use crate::config::ClusterConfig;
+use crate::report::Scheduler;
+
+/// Which bound the oracle realizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bound {
+    /// Eq. 7: DeAR with perfect two-phase overlap.
+    Dear,
+    /// Eq. 8: WFBP-family with perfect backprop overlap.
+    Wfbp,
+}
+
+/// The perfect-overlap oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleScheduler {
+    bound: Bound,
+}
+
+impl OracleScheduler {
+    /// Eq. 7 oracle: `max(t_ff, t_ag) + max(t_bp, t_rs)`.
+    #[must_use]
+    pub fn dear() -> Self {
+        OracleScheduler { bound: Bound::Dear }
+    }
+
+    /// Eq. 8 oracle: `t_ff + max(t_bp, t_ar)`.
+    #[must_use]
+    pub fn wfbp() -> Self {
+        OracleScheduler { bound: Bound::Wfbp }
+    }
+
+    /// The per-iteration bound, directly.
+    #[must_use]
+    pub fn iteration_bound(
+        &self,
+        model: &ModelProfile,
+        cluster: &ClusterConfig,
+    ) -> SimDuration {
+        let t_ff = model.ff_time();
+        let t_bp = model.bp_time();
+        // Bandwidth-optimal halves: no startup, perfectly fused.
+        let half = cluster
+            .network
+            .all_reduce_bandwidth_bound(model.gradient_bytes(), cluster.workers)
+            / 2;
+        match self.bound {
+            Bound::Dear => t_ff.max(half) + t_bp.max(half),
+            Bound::Wfbp => t_ff + t_bp.max(half * 2),
+        }
+    }
+}
+
+impl Scheduler for OracleScheduler {
+    fn name(&self) -> String {
+        match self.bound {
+            Bound::Dear => "Oracle-DeAR".to_owned(),
+            Bound::Wfbp => "Oracle-WFBP".to_owned(),
+        }
+    }
+
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline {
+        // One fused compute block and one fused comm block per phase,
+        // placed to realize the bound exactly.
+        let mut tl = Timeline::new();
+        let compute = tl.add_stream("compute");
+        let comm = tl.add_stream("comm");
+        let t_ff = model.ff_time();
+        let t_bp = model.bp_time();
+        let half = cluster
+            .network
+            .all_reduce_bandwidth_bound(model.gradient_bytes(), cluster.workers)
+            / 2;
+        for iter in 0..iters {
+            match self.bound {
+                Bound::Dear => {
+                    // Phase A: FF ∥ AG(prev); Phase B: BP ∥ RS.
+                    let ff = tl.schedule(
+                        compute,
+                        format!("FF[i{iter}]"),
+                        TaskKind::FeedForward,
+                        t_ff,
+                        &[],
+                    );
+                    if iter > 0 {
+                        let ag_start = tl.task(ff).start;
+                        let _ = tl.schedule_not_before(
+                            comm,
+                            format!("AG[i{}]", iter - 1),
+                            TaskKind::Communication,
+                            half,
+                            &[],
+                            ag_start,
+                        );
+                    }
+                    // BP starts when both FF and (if longer) AG are done —
+                    // phase barrier.
+                    let phase_a_end = tl.stream_free_at(compute).max(if iter > 0 {
+                        tl.stream_free_at(comm)
+                    } else {
+                        tl.stream_free_at(compute)
+                    });
+                    let bp = tl.schedule_not_before(
+                        compute,
+                        format!("BP[i{iter}]"),
+                        TaskKind::Backprop,
+                        t_bp,
+                        &[],
+                        phase_a_end,
+                    );
+                    let rs_start = tl.task(bp).start;
+                    let _ = tl.schedule_not_before(
+                        comm,
+                        format!("RS[i{iter}]"),
+                        TaskKind::Communication,
+                        half,
+                        &[],
+                        rs_start,
+                    );
+                }
+                Bound::Wfbp => {
+                    // FF gated on the previous iteration's AR; BP ∥ AR.
+                    let prev_comm = tl.stream_free_at(comm);
+                    let ff = tl.schedule_not_before(
+                        compute,
+                        format!("FF[i{iter}]"),
+                        TaskKind::FeedForward,
+                        t_ff,
+                        &[],
+                        prev_comm,
+                    );
+                    let bp = tl.schedule(
+                        compute,
+                        format!("BP[i{iter}]"),
+                        TaskKind::Backprop,
+                        t_bp,
+                        &[],
+                    );
+                    let _ = ff;
+                    let ar_start = tl.task(bp).start;
+                    let _ = tl.schedule_not_before(
+                        comm,
+                        format!("AR[i{iter}]"),
+                        TaskKind::Communication,
+                        half * 2,
+                        &[],
+                        ar_start,
+                    );
+                }
+            }
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dear::DearScheduler;
+    use crate::wfbp::WfbpScheduler;
+    use dear_models::Model;
+
+    #[test]
+    fn oracle_timelines_realize_the_closed_forms() {
+        for m in Model::ALL {
+            let model = m.profile();
+            for cluster in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()] {
+                for oracle in [OracleScheduler::dear(), OracleScheduler::wfbp()] {
+                    let report = oracle.simulate(&model, &cluster);
+                    let bound = oracle.iteration_bound(&model, &cluster);
+                    let diff = report.iter_time.as_secs_f64() - bound.as_secs_f64();
+                    assert!(
+                        diff.abs() < 1e-6,
+                        "{} on {} {}: sim {} vs bound {}",
+                        oracle.name(),
+                        model.name,
+                        cluster.label,
+                        report.iter_time,
+                        bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_schedulers_never_beat_their_oracles() {
+        for m in Model::ALL {
+            let model = m.profile();
+            let cluster = ClusterConfig::paper_10gbe();
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let dear_oracle = OracleScheduler::dear().simulate(&model, &cluster);
+            assert!(
+                dear.iter_time >= dear_oracle.iter_time,
+                "{}: DeAR {} < oracle {}",
+                model.name,
+                dear.iter_time,
+                dear_oracle.iter_time
+            );
+            let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
+            let wfbp_oracle = OracleScheduler::wfbp().simulate(&model, &cluster);
+            assert!(horovod.iter_time >= wfbp_oracle.iter_time);
+        }
+    }
+
+    #[test]
+    fn dear_oracle_never_slower_than_wfbp_oracle() {
+        // Eq. 9's headline, at the oracle level, across models and networks.
+        for m in Model::ALL {
+            for cluster in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()] {
+                let model = m.profile();
+                let d = OracleScheduler::dear().iteration_bound(&model, &cluster);
+                let w = OracleScheduler::wfbp().iteration_bound(&model, &cluster);
+                assert!(d <= w, "{} on {}: {} > {}", model.name, cluster.label, d, w);
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grained_dear_approaches_its_oracle_on_fast_networks() {
+        // On 100GbIB the startup terms are small, so DeAR with a reasonable
+        // buffer should be within ~15% of the Eq. 7 bound.
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_100gbib();
+        let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+        let oracle = OracleScheduler::dear().simulate(&model, &cluster);
+        let ratio = dear.iter_time.as_secs_f64() / oracle.iter_time.as_secs_f64();
+        assert!(ratio < 1.15, "DeAR/oracle = {ratio}");
+    }
+}

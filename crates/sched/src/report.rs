@@ -1,0 +1,130 @@
+//! The common scheduler interface and its simulation report.
+
+use dear_models::ModelProfile;
+use dear_sim::{SimDuration, TaskKind, Timeline};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ClusterConfig;
+
+/// Iterations discarded before measuring (pipelines reach steady state).
+const WARMUP_ITERS: usize = 2;
+/// Iterations measured.
+const MEASURE_ITERS: usize = 4;
+
+/// Steady-state per-iteration results of one scheduler on one model/cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Model name.
+    pub model: String,
+    /// Cluster label.
+    pub cluster: String,
+    /// Per-GPU batch size.
+    pub batch_size: usize,
+    /// Steady-state iteration time.
+    pub iter_time: SimDuration,
+    /// Feed-forward compute per iteration (`t_ff`).
+    pub ff_time: SimDuration,
+    /// Backpropagation compute per iteration (`t_bp`).
+    pub bp_time: SimDuration,
+    /// Communication time **not** hidden by computation (the blue bars of
+    /// the paper's Fig. 8).
+    pub exposed_comm: SimDuration,
+    /// Total communication stream busy time per iteration.
+    pub total_comm: SimDuration,
+}
+
+impl IterationReport {
+    /// Cluster throughput in samples per second
+    /// (`workers × batch / iter_time`).
+    #[must_use]
+    pub fn throughput(&self, workers: usize) -> f64 {
+        workers as f64 * self.batch_size as f64 / self.iter_time.as_secs_f64()
+    }
+
+    /// Speedup over a single GPU running the same model
+    /// (`P · compute_time / iter_time`).
+    #[must_use]
+    pub fn speedup_vs_single_gpu(&self, workers: usize) -> f64 {
+        workers as f64 * (self.ff_time + self.bp_time).as_secs_f64()
+            / self.iter_time.as_secs_f64()
+    }
+
+    /// Scaling efficiency in `[0, 1]`: speedup / workers.
+    #[must_use]
+    pub fn scaling_efficiency(&self, workers: usize) -> f64 {
+        self.speedup_vs_single_gpu(workers) / workers as f64
+    }
+}
+
+/// An iteration scheduler that can be simulated on a model/cluster pair.
+pub trait Scheduler {
+    /// Display name (matches the paper's figure legends).
+    fn name(&self) -> String;
+
+    /// Builds a timeline of `iters` consecutive training iterations.
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline;
+
+    /// Simulates to steady state and reports per-iteration metrics.
+    ///
+    /// Uses the makespan-difference method: the first two warmup
+    /// iterations are discarded, and per-iteration quantities are averaged
+    /// over the next four.
+    fn simulate(&self, model: &ModelProfile, cluster: &ClusterConfig) -> IterationReport {
+        let warm = self.build(model, cluster, WARMUP_ITERS);
+        let full = self.build(model, cluster, WARMUP_ITERS + MEASURE_ITERS);
+        warm.assert_streams_serial();
+        full.assert_streams_serial();
+        let compute_kinds = [TaskKind::FeedForward, TaskKind::Backprop];
+        let iter_time =
+            (full.makespan() - warm.makespan()) / MEASURE_ITERS as u64;
+        let exposed = full
+            .exposed_time(TaskKind::Communication, &compute_kinds)
+            .saturating_sub(warm.exposed_time(TaskKind::Communication, &compute_kinds))
+            / MEASURE_ITERS as u64;
+        let total_comm = (full.busy_time(TaskKind::Communication)
+            - warm.busy_time(TaskKind::Communication))
+            / MEASURE_ITERS as u64;
+        IterationReport {
+            scheduler: self.name(),
+            model: model.name.clone(),
+            cluster: cluster.label.clone(),
+            batch_size: model.batch_size,
+            iter_time,
+            ff_time: model.ff_time(),
+            bp_time: model.bp_time(),
+            exposed_comm: exposed,
+            total_comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> IterationReport {
+        IterationReport {
+            scheduler: "test".into(),
+            model: "toy".into(),
+            cluster: "2xTest".into(),
+            batch_size: 32,
+            iter_time: SimDuration::from_millis(100),
+            ff_time: SimDuration::from_millis(20),
+            bp_time: SimDuration::from_millis(40),
+            exposed_comm: SimDuration::from_millis(40),
+            total_comm: SimDuration::from_millis(70),
+        }
+    }
+
+    #[test]
+    fn throughput_and_speedup() {
+        let r = toy_report();
+        // 8 workers × 32 samples / 0.1 s = 2560 samples/s.
+        assert!((r.throughput(8) - 2560.0).abs() < 1e-9);
+        // 8 × 60 ms compute / 100 ms = 4.8× speedup, 60% efficiency.
+        assert!((r.speedup_vs_single_gpu(8) - 4.8).abs() < 1e-9);
+        assert!((r.scaling_efficiency(8) - 0.6).abs() < 1e-9);
+    }
+}

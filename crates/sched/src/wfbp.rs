@@ -1,0 +1,261 @@
+//! Wait-free backpropagation schedulers (Fig. 1b/1c): per-group ring
+//! all-reduces pipelined with backprop only; the next iteration's
+//! feed-forward waits for **all** communication of the current iteration.
+//!
+//! With [`FusionPlan::singletons`] this is plain WFBP (Poseidon,
+//! S-Caffe); with a 64 MB buffer it is Horovod's default; with 25 MB it is
+//! PyTorch-DDP's bucketing.
+
+use dear_fusion::FusionPlan;
+use dear_models::ModelProfile;
+use dear_sim::{TaskId, TaskKind, Timeline};
+
+use crate::config::ClusterConfig;
+use crate::geometry::TensorGeometry;
+use crate::report::Scheduler;
+
+/// How a WFBP-family scheduler fuses tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WfbpFusion {
+    /// One all-reduce per tensor (no fusion) — plain WFBP.
+    None,
+    /// Greedy buffer-threshold fusion with the given byte budget.
+    BufferBytes(u64),
+    /// An explicit plan over the backward ready order.
+    Explicit(FusionPlan),
+}
+
+/// The WFBP scheduler family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfbpScheduler {
+    fusion: WfbpFusion,
+    name: String,
+    /// Whether each group pays a cross-worker coordination round before its
+    /// collective launches (dynamic merging à la MG-WFBP requires workers
+    /// to agree a merged group is ready; static bucketing does not).
+    coordinated: bool,
+}
+
+impl WfbpScheduler {
+    /// Plain WFBP: per-tensor all-reduce, FIFO.
+    #[must_use]
+    pub fn unfused() -> Self {
+        WfbpScheduler {
+            fusion: WfbpFusion::None,
+            name: "WFBP".to_owned(),
+            coordinated: false,
+        }
+    }
+
+    /// Horovod: fixed 64 MB fusion buffer (its default).
+    #[must_use]
+    pub fn horovod() -> Self {
+        WfbpScheduler {
+            fusion: WfbpFusion::BufferBytes(64 << 20),
+            name: "Horovod".to_owned(),
+            coordinated: false,
+        }
+    }
+
+    /// PyTorch-DDP: fixed 25 MB bucket.
+    #[must_use]
+    pub fn pytorch_ddp() -> Self {
+        WfbpScheduler {
+            fusion: WfbpFusion::BufferBytes(25 << 20),
+            name: "PyTorch-DDP".to_owned(),
+            coordinated: false,
+        }
+    }
+
+    /// A named buffer-threshold variant (e.g. for the Fig. 9 ablations).
+    #[must_use]
+    pub fn with_buffer(name: impl Into<String>, buffer_bytes: u64) -> Self {
+        WfbpScheduler {
+            fusion: WfbpFusion::BufferBytes(buffer_bytes),
+            name: name.into(),
+            coordinated: false,
+        }
+    }
+
+    /// An explicit fusion plan.
+    #[must_use]
+    pub fn with_plan(name: impl Into<String>, plan: FusionPlan) -> Self {
+        WfbpScheduler {
+            fusion: WfbpFusion::Explicit(plan),
+            name: name.into(),
+            coordinated: false,
+        }
+    }
+
+    /// Enables the per-group cross-worker coordination round (used by
+    /// dynamically-merging schedulers such as MG-WFBP).
+    #[must_use]
+    pub fn coordinated(mut self) -> Self {
+        self.coordinated = true;
+        self
+    }
+
+    fn plan_for(&self, geo: &TensorGeometry) -> FusionPlan {
+        match &self.fusion {
+            WfbpFusion::None => FusionPlan::singletons(geo.num_items()),
+            WfbpFusion::BufferBytes(buffer) => {
+                FusionPlan::by_buffer_bytes(&geo.item_bytes, *buffer)
+            }
+            WfbpFusion::Explicit(plan) => {
+                assert_eq!(
+                    plan.len_items(),
+                    geo.num_items(),
+                    "explicit plan does not match model tensor count"
+                );
+                plan.clone()
+            }
+        }
+    }
+}
+
+impl Scheduler for WfbpScheduler {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline {
+        let geo = TensorGeometry::new(model);
+        let plan = self.plan_for(&geo);
+        let mut tl = Timeline::new();
+        let compute = tl.add_stream("compute");
+        let comm = tl.add_stream("comm");
+        let num_layers = model.num_layers();
+
+        // All-reduce tasks of the previous iteration (the next FF waits for
+        // every one of them — WFBP's iteration barrier).
+        let mut prev_ar: Vec<TaskId> = Vec::new();
+        for iter in 0..iters {
+            // Feed-forward, first layer to last, gated on the barrier.
+            for (li, layer) in model.layers.iter().enumerate() {
+                let deps: Vec<TaskId> = if li == 0 { prev_ar.clone() } else { Vec::new() };
+                tl.schedule(
+                    compute,
+                    format!("FF[i{iter},l{li}]"),
+                    TaskKind::FeedForward,
+                    layer.ff_time,
+                    &deps,
+                );
+            }
+            // Backprop, last layer to first, with group all-reduces chasing.
+            let mut bp_task = vec![None; num_layers];
+            for li in (0..num_layers).rev() {
+                let t = tl.schedule(
+                    compute,
+                    format!("BP[i{iter},l{li}]"),
+                    TaskKind::Backprop,
+                    model.layers[li].bp_time,
+                    &[],
+                );
+                bp_task[li] = Some(t);
+            }
+            let mut ar_tasks = Vec::with_capacity(plan.num_groups());
+            // Dynamic mergers pay a small readiness-agreement round per
+            // group (~2 log2(P) latency-bound messages).
+            let coordination = if self.coordinated {
+                let rounds = 2.0 * (cluster.workers as f64).log2().ceil().max(1.0);
+                dear_sim::SimDuration::from_nanos(
+                    (rounds * cluster.network.alpha_ns).round() as u64,
+                )
+            } else {
+                dear_sim::SimDuration::ZERO
+            };
+            for (g, range) in plan.groups().iter().enumerate() {
+                let trigger = geo.trigger_layer(range.start, range.end);
+                let bytes = plan.group_bytes(g, &geo.item_bytes);
+                let cost = coordination
+                    + cluster.network.ring_all_reduce(bytes, cluster.workers);
+                let dep = bp_task[trigger].expect("BP scheduled for every layer");
+                ar_tasks.push(tl.schedule(
+                    comm,
+                    format!("AR[i{iter},g{g}]"),
+                    TaskKind::Communication,
+                    cost,
+                    &[dep],
+                ));
+            }
+            prev_ar = ar_tasks;
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_models::Model;
+    use dear_sim::SimDuration;
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::paper_10gbe()
+    }
+
+    #[test]
+    fn iteration_time_at_least_compute_time() {
+        let model = Model::ResNet50.profile();
+        let report = WfbpScheduler::horovod().simulate(&model, &small_cluster());
+        assert!(report.iter_time >= model.compute_time());
+    }
+
+    #[test]
+    fn fusion_reduces_iteration_time_on_high_latency_nets() {
+        let model = Model::ResNet50.profile();
+        let cluster = small_cluster();
+        let unfused = WfbpScheduler::unfused().simulate(&model, &cluster);
+        let fused = WfbpScheduler::horovod().simulate(&model, &cluster);
+        assert!(
+            fused.iter_time < unfused.iter_time,
+            "fused {} >= unfused {}",
+            fused.iter_time,
+            unfused.iter_time
+        );
+    }
+
+    #[test]
+    fn communication_is_partially_hidden() {
+        let model = Model::ResNet50.profile();
+        let report = WfbpScheduler::horovod().simulate(&model, &small_cluster());
+        assert!(report.exposed_comm < report.total_comm);
+        assert!(!report.exposed_comm.is_zero(), "10GbE comm cannot fully hide");
+    }
+
+    #[test]
+    fn single_worker_has_zero_comm() {
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::custom(
+            1,
+            dear_collectives::CostModel::ten_gbe(),
+            "1xTest",
+        );
+        let report = WfbpScheduler::unfused().simulate(&model, &cluster);
+        assert_eq!(report.total_comm, SimDuration::ZERO);
+        // Iteration time is exactly compute time.
+        let diff = report.iter_time.as_secs_f64() - model.compute_time().as_secs_f64();
+        assert!(diff.abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(WfbpScheduler::horovod().name(), "Horovod");
+        assert_eq!(WfbpScheduler::pytorch_ddp().name(), "PyTorch-DDP");
+        assert_eq!(WfbpScheduler::unfused().name(), "WFBP");
+    }
+
+    #[test]
+    fn explicit_plan_is_honored() {
+        let model = Model::BertBase.profile();
+        let geo_n = model.num_tensors();
+        let plan = FusionPlan::single_group(geo_n);
+        let one_shot = WfbpScheduler::with_plan("AllAtOnce", plan).simulate(&model, &small_cluster());
+        // One huge all-reduce: total comm equals the single fused cost.
+        let expect = small_cluster()
+            .network
+            .ring_all_reduce(model.gradient_bytes(), 64);
+        let diff = one_shot.total_comm.as_secs_f64() - expect.as_secs_f64();
+        assert!(diff.abs() < 1e-6, "total_comm {}", one_shot.total_comm);
+    }
+}

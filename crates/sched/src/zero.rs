@@ -1,0 +1,200 @@
+//! ZeRO-style parameter sharding (Rajbhandari et al.), simulated for the
+//! §VII-B comparison: "ZeRO requires one all-gather for each forward pass
+//! and one extra all-gather for each backward pass, which unfortunately
+//! has increased the total communication overheads compared with DeAR."
+//!
+//! Parameters live sharded; every iteration gathers them twice (before
+//! forward and again before backward, since activations of the gathered
+//! weights are freed) and reduce-scatters the gradients — `1.5×` the ring
+//! all-reduce volume, versus DeAR's `1.0×`.
+
+use dear_fusion::FusionPlan;
+use dear_models::ModelProfile;
+use dear_sim::{TaskId, TaskKind, Timeline};
+
+use crate::config::ClusterConfig;
+use crate::geometry::TensorGeometry;
+use crate::report::Scheduler;
+
+/// The simulated ZeRO (stage-3 / FSDP-style) scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroScheduler {
+    buffer_bytes: u64,
+}
+
+impl ZeroScheduler {
+    /// Creates the scheduler with a fusion ("unit") buffer, analogous to
+    /// FSDP's wrapping granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_bytes == 0`.
+    #[must_use]
+    pub fn new(buffer_bytes: u64) -> Self {
+        assert!(buffer_bytes > 0, "buffer size must be positive");
+        ZeroScheduler { buffer_bytes }
+    }
+}
+
+impl Default for ZeroScheduler {
+    fn default() -> Self {
+        ZeroScheduler::new(25 << 20)
+    }
+}
+
+impl Scheduler for ZeroScheduler {
+    fn name(&self) -> String {
+        "ZeRO".to_owned()
+    }
+
+    fn build(&self, model: &ModelProfile, cluster: &ClusterConfig, iters: usize) -> Timeline {
+        let geo = TensorGeometry::new(model);
+        let plan = FusionPlan::by_buffer_bytes(&geo.item_bytes, self.buffer_bytes);
+        let num_groups = plan.num_groups();
+        let num_layers = model.num_layers();
+        let mut tl = Timeline::new();
+        let compute = tl.add_stream("compute");
+        let comm = tl.add_stream("comm");
+
+        // Gating maps (same as DeAR): which groups hold each layer's tensors.
+        let mut groups_gating_layer: Vec<Vec<usize>> = vec![Vec::new(); num_layers];
+        for (g, range) in plan.groups().iter().enumerate() {
+            for item in range.clone() {
+                let layer = geo.layer_of_item[item];
+                if !groups_gating_layer[layer].contains(&g) {
+                    groups_gating_layer[layer].push(g);
+                }
+            }
+        }
+
+        let mut prev_rs: Vec<TaskId> = Vec::new();
+        for iter in 0..iters {
+            // Forward all-gather: parameters are sharded, so EVERY forward
+            // pass gathers them (iteration 0 included), in forward group
+            // order, gated on the previous iteration's reduce-scatters.
+            let mut ag_fwd: Vec<Option<TaskId>> = vec![None; num_groups];
+            for g in (0..num_groups).rev() {
+                let bytes = plan.group_bytes(g, &geo.item_bytes);
+                let cost = cluster.network.ring_all_gather(bytes, cluster.workers);
+                let t = tl.schedule(
+                    comm,
+                    format!("AGf[i{iter},g{g}]"),
+                    TaskKind::Communication,
+                    cost,
+                    &prev_rs,
+                );
+                ag_fwd[g] = Some(t);
+            }
+            for (li, layer) in model.layers.iter().enumerate() {
+                let deps: Vec<TaskId> = groups_gating_layer[li]
+                    .iter()
+                    .map(|&g| ag_fwd[g].expect("forward AG scheduled"))
+                    .collect();
+                tl.schedule(
+                    compute,
+                    format!("FF[i{iter},l{li}]"),
+                    TaskKind::FeedForward,
+                    layer.ff_time,
+                    &deps,
+                );
+            }
+            // Backward: the gathered parameters were freed after forward, so
+            // ZeRO gathers AGAIN, in backward group order, then reduce-
+            // scatters each group's gradients when ready.
+            let mut ag_bwd: Vec<Option<TaskId>> = Vec::with_capacity(num_groups);
+            for g in 0..num_groups {
+                let bytes = plan.group_bytes(g, &geo.item_bytes);
+                let cost = cluster.network.ring_all_gather(bytes, cluster.workers);
+                ag_bwd.push(Some(tl.schedule(
+                    comm,
+                    format!("AGb[i{iter},g{g}]"),
+                    TaskKind::Communication,
+                    cost,
+                    &[],
+                )));
+            }
+            let mut bp_task = vec![None; num_layers];
+            for li in (0..num_layers).rev() {
+                let deps: Vec<TaskId> = groups_gating_layer[li]
+                    .iter()
+                    .map(|&g| ag_bwd[g].expect("backward AG scheduled"))
+                    .collect();
+                let t = tl.schedule(
+                    compute,
+                    format!("BP[i{iter},l{li}]"),
+                    TaskKind::Backprop,
+                    model.layers[li].bp_time,
+                    &deps,
+                );
+                bp_task[li] = Some(t);
+            }
+            let mut rs_tasks = Vec::with_capacity(num_groups);
+            for (g, range) in plan.groups().iter().enumerate() {
+                let trigger = geo.trigger_layer(range.start, range.end);
+                let bytes = plan.group_bytes(g, &geo.item_bytes);
+                let cost = cluster.network.ring_reduce_scatter(bytes, cluster.workers);
+                let dep = bp_task[trigger].expect("BP scheduled for every layer");
+                rs_tasks.push(tl.schedule(
+                    comm,
+                    format!("RS[i{iter},g{g}]"),
+                    TaskKind::Communication,
+                    cost,
+                    &[dep],
+                ));
+            }
+            prev_rs = rs_tasks;
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dear::DearScheduler;
+    use dear_models::Model;
+
+    #[test]
+    fn zero_moves_one_and_a_half_times_dears_bytes() {
+        // §VII-B: two all-gathers + one reduce-scatter vs DeAR's one + one.
+        let model = Model::BertBase.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let zero = ZeroScheduler::default().simulate(&model, &cluster);
+        let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+        let ratio = zero.total_comm.as_secs_f64() / dear.total_comm.as_secs_f64();
+        assert!(
+            (ratio - 1.5).abs() < 0.05,
+            "comm volume ratio {ratio}, expected ~1.5"
+        );
+    }
+
+    #[test]
+    fn dear_is_faster_than_zero_when_communication_matters() {
+        let cluster = ClusterConfig::paper_10gbe();
+        for m in Model::ALL {
+            let model = m.profile();
+            let zero = ZeroScheduler::default().simulate(&model, &cluster);
+            let dear =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            assert!(
+                dear.iter_time <= zero.iter_time,
+                "{}: DeAR {} > ZeRO {}",
+                model.name,
+                dear.iter_time,
+                zero.iter_time
+            );
+        }
+    }
+
+    #[test]
+    fn zero_timeline_is_well_formed() {
+        let model = Model::ResNet50.profile();
+        let cluster = ClusterConfig::paper_10gbe();
+        let tl = ZeroScheduler::new(8 << 20).build(&model, &cluster, 3);
+        tl.assert_streams_serial();
+        // Two AGs and one RS per group per iteration.
+        let ag = tl.tasks().iter().filter(|t| t.label.starts_with("AG")).count();
+        let rs = tl.tasks().iter().filter(|t| t.label.starts_with("RS")).count();
+        assert_eq!(ag, 2 * rs);
+    }
+}

@@ -1,0 +1,230 @@
+//! A minimal deterministic event-driven simulation kernel.
+//!
+//! Events carry a user payload `E`; the caller supplies a handler when the
+//! simulation is run. Events scheduled for the same instant are delivered in
+//! the order they were scheduled (FIFO tie-breaking), which makes runs
+//! bit-reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Internal heap entry: min-ordered by `(time, seq)`.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation driver.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::{EventSim, SimDuration, SimTime};
+///
+/// let mut sim = EventSim::new();
+/// sim.schedule_at(SimTime::from_nanos(10), "b");
+/// sim.schedule_at(SimTime::from_nanos(5), "a");
+/// let mut seen = Vec::new();
+/// sim.run(|sim, event| {
+///     seen.push((sim.now().as_nanos(), event));
+///     if event == "a" {
+///         sim.schedule_after(SimDuration::from_nanos(2), "a2");
+///     }
+/// });
+/// assert_eq!(seen, vec![(5, "a"), (7, "a2"), (10, "b")]);
+/// ```
+#[derive(Default)]
+pub struct EventSim<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<E>>,
+    processed: u64,
+}
+
+impl<E> EventSim<E> {
+    /// Creates an empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventSim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulation clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of events delivered so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` for delivery at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the simulated past.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "cannot schedule an event in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedules `payload` for delivery `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its delivery time.
+    pub fn step(&mut self) -> Option<E> {
+        let entry = self.queue.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.processed += 1;
+        Some(entry.payload)
+    }
+
+    /// Runs the simulation to completion, delivering every event to
+    /// `handler`. The handler may schedule further events.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, E),
+    {
+        while let Some(event) = self.step() {
+            handler(self, event);
+        }
+    }
+
+    /// Runs until the clock would pass `deadline`; events at exactly
+    /// `deadline` are delivered. Returns the number of events delivered.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, E),
+    {
+        let mut delivered = 0;
+        while let Some(entry) = self.queue.peek() {
+            if entry.time > deadline {
+                break;
+            }
+            let event = self.step().expect("peeked entry must pop");
+            handler(self, event);
+            delivered += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        delivered
+    }
+}
+
+impl<E> std::fmt::Debug for EventSim<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim = EventSim::new();
+        sim.schedule_at(SimTime::from_nanos(30), 3);
+        sim.schedule_at(SimTime::from_nanos(10), 1);
+        sim.schedule_at(SimTime::from_nanos(20), 2);
+        let mut order = Vec::new();
+        sim.run(|_, e| order.push(e));
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_breaking_at_equal_times() {
+        let mut sim = EventSim::new();
+        for i in 0..100 {
+            sim.schedule_at(SimTime::from_nanos(7), i);
+        }
+        let mut order = Vec::new();
+        sim.run(|_, e| order.push(e));
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_cascade_events() {
+        let mut sim = EventSim::new();
+        sim.schedule_at(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        sim.run(|sim, depth| {
+            count += 1;
+            if depth < 5 {
+                sim.schedule_after(SimDuration::from_nanos(1), depth + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(sim.now(), SimTime::from_nanos(5));
+        assert_eq!(sim.processed(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = EventSim::new();
+        sim.schedule_at(SimTime::from_nanos(5), "early");
+        sim.schedule_at(SimTime::from_nanos(15), "late");
+        let mut seen = Vec::new();
+        let n = sim.run_until(SimTime::from_nanos(10), |_, e| seen.push(e));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec!["early"]);
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = EventSim::new();
+        sim.schedule_at(SimTime::from_nanos(10), ());
+        sim.step();
+        sim.schedule_at(SimTime::from_nanos(3), ());
+    }
+}

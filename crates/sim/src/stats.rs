@@ -1,0 +1,132 @@
+//! Small statistics helpers used across the experiment harness.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains non-finite values.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            xs.iter().all(|x| x.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the
+/// sorted sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "cannot take a quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean of strictly positive observations.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+#[must_use]
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "cannot average an empty sample");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geometric mean requires positive values"
+    );
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_single_observation_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[0.0, 1.0]);
+    }
+}

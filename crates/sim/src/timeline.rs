@@ -1,0 +1,482 @@
+//! Dependency-driven timeline construction.
+//!
+//! Training-iteration schedulers are simulated by placing *tasks* onto
+//! *streams* (serially-occupied resources such as a GPU compute stream or a
+//! NIC communication stream). A task starts at the latest of (a) the time its
+//! stream becomes free and (b) the finish times of all its dependencies; it
+//! then occupies the stream for its duration. This models exactly the
+//! DAG-plus-FIFO-queue semantics of CUDA streams and NCCL communicators that
+//! the DeAR paper's timelines (Figs. 1 and 2) describe.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a stream within a [`Timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub usize);
+
+/// Identifies a scheduled task within a [`Timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// Broad classification of a task, used by breakdown reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Feed-forward computation.
+    FeedForward,
+    /// Backpropagation computation.
+    Backprop,
+    /// Communication (any collective phase).
+    Communication,
+    /// Anything else (parameter update, synchronization, bookkeeping).
+    Other,
+}
+
+/// A task as recorded on the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id (position in the timeline's task list).
+    pub id: TaskId,
+    /// Stream the task occupied.
+    pub stream: StreamId,
+    /// Human-readable label, e.g. `"BP[12]"` or `"RS[g3]"`.
+    pub label: String,
+    /// Classification for breakdowns.
+    pub kind: TaskKind,
+    /// Start instant.
+    pub start: SimTime,
+    /// Finish instant (`start + duration`).
+    pub end: SimTime,
+}
+
+impl Task {
+    /// The task's duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A named serially-occupied resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Stream {
+    name: String,
+    free_at: SimTime,
+}
+
+/// A deterministic task timeline over a set of streams.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::{SimDuration, TaskKind, Timeline};
+///
+/// let mut tl = Timeline::new();
+/// let compute = tl.add_stream("compute");
+/// let comm = tl.add_stream("comm");
+/// let bp = tl.schedule(compute, "BP", TaskKind::Backprop, SimDuration::from_micros(100), &[]);
+/// // The all-reduce depends on BP finishing but runs on the comm stream.
+/// let ar = tl.schedule(comm, "AR", TaskKind::Communication, SimDuration::from_micros(40), &[bp]);
+/// assert_eq!(tl.task(ar).start, tl.task(bp).end);
+/// assert_eq!(tl.makespan(), SimDuration::from_micros(140));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    streams: Vec<Stream>,
+    tasks: Vec<Task>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Adds a stream named `name`, free from time zero.
+    pub fn add_stream(&mut self, name: impl Into<String>) -> StreamId {
+        self.streams.push(Stream {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+        });
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of streams.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The name given to `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` does not belong to this timeline.
+    #[must_use]
+    pub fn stream_name(&self, stream: StreamId) -> &str {
+        &self.streams[stream.0].name
+    }
+
+    /// The time at which `stream` becomes free.
+    #[must_use]
+    pub fn stream_free_at(&self, stream: StreamId) -> SimTime {
+        self.streams[stream.0].free_at
+    }
+
+    /// Schedules a task on `stream`, starting no earlier than the finish of
+    /// every dependency and the stream's own availability.
+    ///
+    /// Returns the new task's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` or any dependency id is invalid.
+    pub fn schedule(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        kind: TaskKind,
+        duration: SimDuration,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.schedule_not_before(stream, label, kind, duration, deps, SimTime::ZERO)
+    }
+
+    /// Like [`Timeline::schedule`] but with an additional explicit
+    /// earliest-start constraint.
+    pub fn schedule_not_before(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        kind: TaskKind,
+        duration: SimDuration,
+        deps: &[TaskId],
+        not_before: SimTime,
+    ) -> TaskId {
+        let mut start = self.streams[stream.0].free_at.max(not_before);
+        for dep in deps {
+            start = start.max(self.tasks[dep.0].end);
+        }
+        let end = start + duration;
+        self.streams[stream.0].free_at = end;
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            id,
+            stream,
+            label: label.into(),
+            kind,
+            start,
+            end,
+        });
+        id
+    }
+
+    /// The recorded task for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this timeline.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// All tasks in scheduling order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The finish time of the latest task (time zero if empty).
+    #[must_use]
+    pub fn finish_time(&self) -> SimTime {
+        self.tasks
+            .iter()
+            .map(|t| t.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total simulated span from time zero to the latest finish.
+    #[must_use]
+    pub fn makespan(&self) -> SimDuration {
+        self.finish_time() - SimTime::ZERO
+    }
+
+    /// Sum of task durations of the given kind across all streams.
+    #[must_use]
+    pub fn busy_time(&self, kind: TaskKind) -> SimDuration {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(Task::duration)
+            .sum()
+    }
+
+    /// Sum of task durations on one stream.
+    #[must_use]
+    pub fn stream_busy_time(&self, stream: StreamId) -> SimDuration {
+        self.tasks
+            .iter()
+            .filter(|t| t.stream == stream)
+            .map(Task::duration)
+            .sum()
+    }
+
+    /// The portion of tasks of `kind` **not** overlapped by any task of
+    /// `other` — e.g. exposed communication time not hidden by computation.
+    ///
+    /// Computed by interval arithmetic over the union of `other` intervals.
+    #[must_use]
+    pub fn exposed_time(&self, kind: TaskKind, other: &[TaskKind]) -> SimDuration {
+        self.exposed_time_filtered(|t| t.kind == kind, other)
+    }
+
+    /// Like [`Timeline::exposed_time`], but the measured tasks are selected
+    /// by an arbitrary predicate (e.g. only reduce-scatter tasks by label).
+    #[must_use]
+    pub fn exposed_time_filtered(
+        &self,
+        select: impl Fn(&Task) -> bool,
+        other: &[TaskKind],
+    ) -> SimDuration {
+        let mut cover: Vec<(SimTime, SimTime)> = self
+            .tasks
+            .iter()
+            .filter(|t| other.contains(&t.kind))
+            .map(|t| (t.start, t.end))
+            .collect();
+        cover.sort();
+        // Merge the cover into disjoint intervals.
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+        for (s, e) in cover {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let mut exposed = SimDuration::ZERO;
+        for t in self.tasks.iter().filter(|t| select(t)) {
+            let mut cursor = t.start;
+            for &(cs, ce) in &merged {
+                if ce <= cursor {
+                    continue;
+                }
+                if cs >= t.end {
+                    break;
+                }
+                if cs > cursor {
+                    exposed += cs.min(t.end) - cursor;
+                }
+                cursor = cursor.max(ce.min(t.end));
+                if cursor >= t.end {
+                    break;
+                }
+            }
+            if cursor < t.end {
+                exposed += t.end - cursor;
+            }
+        }
+        exposed
+    }
+
+    /// Renders an ASCII Gantt chart, one row per stream, `width` columns.
+    ///
+    /// Intended for debugging and example output, not parsing.
+    #[must_use]
+    pub fn render_gantt(&self, width: usize) -> String {
+        let total = self.makespan().as_nanos().max(1);
+        let name_w = self
+            .streams
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0);
+        let mut rows = String::new();
+        for (idx, s) in self.streams.iter().enumerate() {
+            let mut row = vec![b'.'; width];
+            for t in self.tasks.iter().filter(|t| t.stream == StreamId(idx)) {
+                let a = (t.start.as_nanos() * width as u64 / total) as usize;
+                let b = ((t.end.as_nanos() * width as u64).div_ceil(total) as usize).min(width);
+                let ch = t.label.bytes().next().unwrap_or(b'#');
+                for cell in &mut row[a..b.max(a + 1).min(width)] {
+                    *cell = ch;
+                }
+            }
+            rows.push_str(&format!(
+                "{:<name_w$} |{}|\n",
+                s.name,
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        rows
+    }
+
+    /// Per-kind totals, convenient for quick reporting.
+    #[must_use]
+    pub fn kind_totals(&self) -> HashMap<TaskKind, SimDuration> {
+        let mut map = HashMap::new();
+        for t in &self.tasks {
+            *map.entry(t.kind).or_insert(SimDuration::ZERO) += t.duration();
+        }
+        map
+    }
+
+    /// Asserts that no two tasks on the same stream overlap. Used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) if two tasks overlap.
+    pub fn assert_streams_serial(&self) {
+        let mut per_stream: HashMap<StreamId, Vec<&Task>> = HashMap::new();
+        for t in &self.tasks {
+            per_stream.entry(t.stream).or_default().push(t);
+        }
+        for (stream, mut tasks) in per_stream {
+            tasks.sort_by_key(|t| t.start);
+            for pair in tasks.windows(2) {
+                assert!(
+                    pair[0].end <= pair[1].start,
+                    "tasks {:?} and {:?} overlap on stream {:?}",
+                    pair[0].label,
+                    pair[1].label,
+                    stream
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn tasks_on_one_stream_serialize() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("s");
+        let a = tl.schedule(s, "a", TaskKind::Other, us(10), &[]);
+        let b = tl.schedule(s, "b", TaskKind::Other, us(5), &[]);
+        assert_eq!(tl.task(b).start, tl.task(a).end);
+        tl.assert_streams_serial();
+    }
+
+    #[test]
+    fn dependencies_delay_start_across_streams() {
+        let mut tl = Timeline::new();
+        let s1 = tl.add_stream("compute");
+        let s2 = tl.add_stream("comm");
+        let a = tl.schedule(s1, "a", TaskKind::Backprop, us(10), &[]);
+        let b = tl.schedule(s2, "b", TaskKind::Communication, us(3), &[a]);
+        assert_eq!(tl.task(b).start.as_nanos(), 10_000);
+        assert_eq!(tl.makespan(), us(13));
+    }
+
+    #[test]
+    fn not_before_constraint_applies() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("s");
+        let t = tl.schedule_not_before(
+            s,
+            "x",
+            TaskKind::Other,
+            us(1),
+            &[],
+            SimTime::from_nanos(42_000),
+        );
+        assert_eq!(tl.task(t).start.as_nanos(), 42_000);
+    }
+
+    #[test]
+    fn exposed_time_full_overlap_is_zero() {
+        let mut tl = Timeline::new();
+        let c = tl.add_stream("compute");
+        let n = tl.add_stream("comm");
+        let bp = tl.schedule(c, "bp", TaskKind::Backprop, us(100), &[]);
+        let _ar = tl.schedule(n, "ar", TaskKind::Communication, us(40), &[]);
+        let _ = bp;
+        assert_eq!(
+            tl.exposed_time(TaskKind::Communication, &[TaskKind::Backprop]),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn exposed_time_partial_overlap() {
+        let mut tl = Timeline::new();
+        let c = tl.add_stream("compute");
+        let n = tl.add_stream("comm");
+        // compute busy [0, 50); comm busy [30, 90) => exposed = 40us.
+        let _ = tl.schedule(c, "bp", TaskKind::Backprop, us(50), &[]);
+        let _ = tl.schedule_not_before(
+            n,
+            "ar",
+            TaskKind::Communication,
+            us(60),
+            &[],
+            SimTime::from_nanos(30_000),
+        );
+        assert_eq!(
+            tl.exposed_time(TaskKind::Communication, &[TaskKind::Backprop]),
+            us(40)
+        );
+    }
+
+    #[test]
+    fn exposed_time_with_disjoint_cover_pieces() {
+        let mut tl = Timeline::new();
+        let c = tl.add_stream("compute");
+        let n = tl.add_stream("comm");
+        // compute busy [0,10) and [20,30); comm busy [0,30) => exposed 10.
+        let _ = tl.schedule(c, "ff1", TaskKind::FeedForward, us(10), &[]);
+        let _ = tl.schedule_not_before(
+            c,
+            "ff2",
+            TaskKind::FeedForward,
+            us(10),
+            &[],
+            SimTime::from_nanos(20_000),
+        );
+        let _ = tl.schedule(n, "ar", TaskKind::Communication, us(30), &[]);
+        assert_eq!(
+            tl.exposed_time(TaskKind::Communication, &[TaskKind::FeedForward]),
+            us(10)
+        );
+    }
+
+    #[test]
+    fn busy_time_sums_by_kind() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("s");
+        tl.schedule(s, "a", TaskKind::FeedForward, us(5), &[]);
+        tl.schedule(s, "b", TaskKind::FeedForward, us(7), &[]);
+        tl.schedule(s, "c", TaskKind::Backprop, us(11), &[]);
+        assert_eq!(tl.busy_time(TaskKind::FeedForward), us(12));
+        assert_eq!(tl.busy_time(TaskKind::Backprop), us(11));
+        assert_eq!(tl.stream_busy_time(StreamId(0)), us(23));
+        let totals = tl.kind_totals();
+        assert_eq!(totals[&TaskKind::FeedForward], us(12));
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut tl = Timeline::new();
+        let s1 = tl.add_stream("compute");
+        let s2 = tl.add_stream("comm");
+        tl.schedule(s1, "B", TaskKind::Backprop, us(10), &[]);
+        tl.schedule(s2, "R", TaskKind::Communication, us(10), &[]);
+        let g = tl.render_gantt(20);
+        assert!(g.contains("compute"));
+        assert!(g.contains('B'));
+        assert!(g.contains('R'));
+        assert_eq!(g.lines().count(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Chrome-tracing export: dump a [`Timeline`] as a `chrome://tracing` /
+//! Perfetto-compatible JSON array, one complete event per task, one
+//! "thread" per stream.
+
+use crate::timeline::Timeline;
+
+/// Serializes the timeline in the Chrome trace-event format (JSON array of
+/// complete `"X"` events; timestamps in microseconds).
+///
+/// Load the output in `chrome://tracing` or <https://ui.perfetto.dev> to
+/// inspect schedules visually.
+#[must_use]
+pub fn to_chrome_trace(tl: &Timeline) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    // Thread-name metadata so streams are labelled.
+    for tid in 0..tl.stream_count() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(tl.stream_name(crate::timeline::StreamId(tid)))
+        ));
+    }
+    for task in tl.tasks() {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  {{\"name\":{},\"cat\":\"{:?}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{:.3},\"dur\":{:.3}}}",
+            json_string(&task.label),
+            task.kind,
+            task.stream.0,
+            task.start.as_nanos() as f64 / 1e3,
+            task.duration().as_nanos() as f64 / 1e3,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Minimal JSON string escaping for labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimDuration, TaskKind};
+
+    #[test]
+    fn trace_contains_every_task_and_stream() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream("compute");
+        let b = tl.add_stream("comm");
+        tl.schedule(a, "BP[0]", TaskKind::Backprop, SimDuration::from_micros(5), &[]);
+        tl.schedule(b, "RS[0]", TaskKind::Communication, SimDuration::from_micros(3), &[]);
+        let json = to_chrome_trace(&tl);
+        assert!(json.contains("\"BP[0]\""));
+        assert!(json.contains("\"RS[0]\""));
+        assert!(json.contains("\"compute\""));
+        assert!(json.contains("\"comm\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Must be syntactically valid JSON (cheap structural check).
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2); // one per task
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2); // one per stream
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn durations_are_microseconds() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("s");
+        tl.schedule(s, "t", TaskKind::Other, SimDuration::from_micros(7), &[]);
+        let json = to_chrome_trace(&tl);
+        assert!(json.contains("\"dur\":7.000"), "{json}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Scheduler shoot-out on a simulated 64-GPU cluster.
+//!
+//! Simulates one of the paper's workloads (ResNet-50 by default; pass a
+//! model name as the first argument) across every scheduler on both of the
+//! paper's interconnects, printing iteration times, exposed communication,
+//! speedups, and a Gantt sketch of the DeAR pipeline.
+//!
+//! Run with: `cargo run --release --example cluster_comparison [model]`
+//! where `model` is one of `resnet50 | densenet201 | inceptionv4 |
+//! bertbase | bertlarge`.
+
+use dear::models::Model;
+use dear::sched::{
+    ByteSchedulerSim, ClusterConfig, DearScheduler, MgWfbpScheduler, OracleScheduler, Scheduler,
+    WfbpScheduler,
+};
+
+fn parse_model(arg: Option<String>) -> Model {
+    match arg.as_deref() {
+        None | Some("resnet50") => Model::ResNet50,
+        Some("densenet201") => Model::DenseNet201,
+        Some("inceptionv4") => Model::InceptionV4,
+        Some("bertbase") => Model::BertBase,
+        Some("bertlarge") => Model::BertLarge,
+        Some(other) => {
+            eprintln!("unknown model {other:?}; using ResNet-50");
+            Model::ResNet50
+        }
+    }
+}
+
+fn main() {
+    let model = parse_model(std::env::args().nth(1)).profile();
+    println!(
+        "{}: {} layers, {} tensors, {:.1}M parameters, batch {}\n",
+        model.name,
+        model.num_layers(),
+        model.num_tensors(),
+        model.num_params() as f64 / 1e6,
+        model.batch_size
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(WfbpScheduler::unfused()),
+        Box::new(WfbpScheduler::horovod()),
+        Box::new(WfbpScheduler::pytorch_ddp()),
+        Box::new(MgWfbpScheduler::new()),
+        Box::new(ByteSchedulerSim::default()),
+        Box::new(DearScheduler::unfused()),
+        Box::new(DearScheduler::with_buffer("DeAR-25MB", 25 << 20)),
+        Box::new(OracleScheduler::wfbp()),
+        Box::new(OracleScheduler::dear()),
+    ];
+
+    for cluster in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()] {
+        println!("== {} ==", cluster.label);
+        println!(
+            "{:<14} {:>10} {:>12} {:>10} {:>12}",
+            "scheduler", "iter (ms)", "exposed (ms)", "speedup", "efficiency"
+        );
+        for sched in &schedulers {
+            let r = sched.simulate(&model, &cluster);
+            println!(
+                "{:<14} {:>10.1} {:>12.1} {:>9.1}x {:>11.1}%",
+                r.scheduler,
+                r.iter_time.as_millis_f64(),
+                r.exposed_comm.as_millis_f64(),
+                r.speedup_vs_single_gpu(cluster.workers),
+                100.0 * r.scaling_efficiency(cluster.workers),
+            );
+        }
+        println!();
+    }
+
+    // Gantt sketch of two DeAR iterations (compute vs comm streams).
+    println!("DeAR pipeline, two iterations on 64x10GbE (F=feed-forward, B=backprop,");
+    println!("R=reduce-scatter, A=all-gather):\n");
+    let tl = DearScheduler::with_buffer("DeAR", 25 << 20).build(
+        &model,
+        &ClusterConfig::paper_10gbe(),
+        2,
+    );
+    print!("{}", tl.render_gantt(100));
+}

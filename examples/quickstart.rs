@@ -1,0 +1,77 @@
+//! Quickstart: the paper's Listing 1, in Rust.
+//!
+//! Trains a small classifier with DeAR on a 4-worker in-process cluster:
+//! reduce-scatter overlapped with backprop (BackPipe), sharded optimizer
+//! update, all-gather of updated parameters overlapped with the next
+//! feed-forward (FeedPipe). Verifies that all workers end with identical
+//! models and that the loss decreases.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dear::{run_training, TrainConfig};
+use dear_minidnn::{accuracy, BlobDataset, Linear, Relu, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_model() -> Sequential {
+    // Every rank seeds identically so initial parameters agree (the paper's
+    // systems broadcast initial parameters; a shared seed is equivalent).
+    let mut rng = StdRng::seed_from_u64(42);
+    Sequential::new()
+        .push(Linear::new(8, 64, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(64, 32, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(32, 5, &mut rng))
+}
+
+fn main() {
+    let world = 4;
+    let global_batch = 64;
+    let steps = 150;
+    let data = BlobDataset::new(8, 5, 0.4, 7);
+
+    // dear.init() + dear.DistOptim(...) from Listing 1:
+    let config = TrainConfig {
+        lr: 0.1,
+        momentum: 0.9,
+        fusion_buffer: Some(2 << 10), // 2 KB buffer => several fused groups
+        ..TrainConfig::default()
+    };
+
+    println!("training on {world} workers, global batch {global_batch}, {steps} steps");
+    let results = run_training(world, config, |handle| {
+        let rank = handle.rank();
+        let mut net = build_model();
+        let mut optim = handle.into_optim(&net);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for step in 0..steps {
+            let (x, labels) = data.shard(step, global_batch, rank, world);
+            let loss = optim.train_step(&mut net, &x, &labels);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+            if rank == 0 && step % 30 == 0 {
+                println!("  step {step:>3}: loss {loss:.4} ({} fusion groups)", optim.num_groups());
+            }
+        }
+        // Listing 1 lines 12-13: synchronize before evaluation.
+        optim.synchronize(&mut net);
+        let (x, labels) = data.batch(1_000_000, 512);
+        let acc = accuracy(&net.forward(&x), &labels);
+        (first_loss.expect("trained at least one step"), last_loss, acc, net.flat_params())
+    });
+
+    let (first, last, acc, params0) = results[0].clone();
+    println!("\nrank 0: loss {first:.4} -> {last:.4}, validation accuracy {:.1}%", acc * 100.0);
+    for (rank, (_, _, _, params)) in results.iter().enumerate().skip(1) {
+        assert_eq!(
+            &params0, params,
+            "rank {rank} diverged from rank 0 — S-SGD consistency broken"
+        );
+    }
+    println!("all {world} workers hold bit-identical parameters: S-SGD semantics preserved");
+    assert!(last < 0.5 * first, "loss should halve during training");
+    assert!(acc > 0.8, "validation accuracy should exceed 80%");
+    println!("quickstart OK");
+}

@@ -1,0 +1,218 @@
+//! The paper's evaluation claims, encoded as integration tests over the
+//! simulation stack. Each test names the artifact it guards.
+
+use dear::models::Model;
+use dear::sched::analysis::{
+    baseline_optimal_iter, dear_optimal_iter, table2_max_speedup, AnalysisInputs,
+};
+use dear::sched::{
+    ByteSchedulerSim, ClusterConfig, DearScheduler, MgWfbpScheduler, Scheduler, WfbpScheduler,
+};
+
+#[test]
+fn table1_model_statistics_are_exact() {
+    let expect = [
+        (Model::ResNet50, 64, 107, 161, 25_600_000usize),
+        (Model::DenseNet201, 32, 402, 604, 20_000_000),
+        (Model::InceptionV4, 64, 299, 449, 42_700_000),
+        (Model::BertBase, 64, 105, 206, 110_100_000),
+        (Model::BertLarge, 32, 201, 398, 336_200_000),
+    ];
+    for (m, bs, layers, tensors, params) in expect {
+        let p = m.profile();
+        assert_eq!(p.batch_size, bs);
+        assert_eq!(p.num_layers(), layers);
+        assert_eq!(p.num_tensors(), tensors);
+        assert_eq!(p.num_params(), params);
+    }
+}
+
+#[test]
+fn table2_smax_rows_match_paper_within_tolerance() {
+    let rows_10gbe = [61.6, 64.0, 59.8, 25.5, 12.1];
+    let rows_ib = [64.0, 64.0, 64.0, 64.0, 51.8];
+    for (cluster, rows) in [
+        (ClusterConfig::paper_10gbe(), rows_10gbe),
+        (ClusterConfig::paper_100gbib(), rows_ib),
+    ] {
+        for (m, expected) in Model::ALL.into_iter().zip(rows) {
+            let got = table2_max_speedup(&m.profile(), &cluster);
+            assert!(
+                (got - expected).abs() / expected < 0.04,
+                "{} on {}: {got:.1} vs paper {expected}",
+                m.name(),
+                cluster.label
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_dear_beats_wfbp_without_fusion_on_10gbe() {
+    let cluster = ClusterConfig::paper_10gbe();
+    for m in Model::ALL {
+        let model = m.profile();
+        let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
+        let dear = DearScheduler::unfused().simulate(&model, &cluster);
+        let gain = wfbp.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0;
+        assert!(gain > 0.02, "{}: DeAR gain only {:.1}%", m.name(), 100.0 * gain);
+    }
+}
+
+#[test]
+fn fig6_bytescheduler_underperforms_wfbp_on_cnns_over_10gbe() {
+    let cluster = ClusterConfig::paper_10gbe();
+    for m in Model::CNNS {
+        let model = m.profile();
+        let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
+        let bs = ByteSchedulerSim::default().simulate(&model, &cluster);
+        assert!(
+            bs.iter_time.as_secs_f64() > 1.05 * wfbp.iter_time.as_secs_f64(),
+            "{}: ByteScheduler should trail WFBP clearly",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_dear_beats_every_wfbp_family_baseline_on_10gbe_64gpus() {
+    let cluster = ClusterConfig::paper_10gbe();
+    for m in Model::ALL {
+        let model = m.profile();
+        let dear =
+            DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+        for baseline in [
+            WfbpScheduler::horovod().simulate(&model, &cluster),
+            WfbpScheduler::pytorch_ddp().simulate(&model, &cluster),
+        ] {
+            assert!(
+                dear.iter_time < baseline.iter_time,
+                "{}: DeAR {} >= {} {}",
+                m.name(),
+                dear.iter_time,
+                baseline.scheduler,
+                baseline.iter_time
+            );
+        }
+        // MG-WFBP (with realistic profiling noise) does not beat DeAR by
+        // more than a whisker anywhere.
+        let mg = MgWfbpScheduler::new().simulate(&model, &cluster);
+        assert!(
+            mg.iter_time.as_secs_f64() > 0.97 * dear.iter_time.as_secs_f64(),
+            "{}: MG-WFBP unreasonably fast",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_gains_are_larger_on_10gbe_than_on_100gbib() {
+    // §VI-D/I: the optimization room shrinks as the network gets faster.
+    let mut gain_sum = [0.0f64; 2];
+    for (i, cluster) in [ClusterConfig::paper_10gbe(), ClusterConfig::paper_100gbib()]
+        .iter()
+        .enumerate()
+    {
+        for m in Model::ALL {
+            let model = m.profile();
+            let horovod = WfbpScheduler::horovod().simulate(&model, cluster);
+            let dear =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
+            gain_sum[i] +=
+                horovod.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0;
+        }
+    }
+    assert!(
+        gain_sum[0] > 1.5 * gain_sum[1],
+        "10GbE total gain {:.3} not clearly above IB {:.3}",
+        gain_sum[0],
+        gain_sum[1]
+    );
+}
+
+#[test]
+fn fig8_rs_hides_better_than_ag() {
+    // §VI-F: reduce-scatter overlaps the (2x longer) backprop, so its
+    // exposed share is smaller than all-gather's.
+    use dear_sim::TaskKind;
+    let cluster = ClusterConfig::paper_10gbe();
+    let compute = [TaskKind::FeedForward, TaskKind::Backprop];
+    for m in Model::ALL {
+        let model = m.profile();
+        let sched = DearScheduler::with_buffer("DeAR", 25 << 20);
+        let warm = sched.build(&model, &cluster, 2);
+        let full = sched.build(&model, &cluster, 6);
+        let split = |tl: &dear_sim::Timeline, prefix: &str| {
+            tl.exposed_time_filtered(
+                |t| t.kind == TaskKind::Communication && t.label.starts_with(prefix),
+                &compute,
+            )
+        };
+        let rs = split(&full, "RS").saturating_sub(split(&warm, "RS"));
+        let ag = split(&full, "AG").saturating_sub(split(&warm, "AG"));
+        assert!(rs < ag, "{}: RS exposed {} >= AG exposed {}", m.name(), rs, ag);
+    }
+}
+
+#[test]
+fn fig9_fusion_indispensable_for_dear() {
+    // §VI-G: DeAR-BO achieves 1.35x-4.54x over DeAR w/o TF on 10GbE.
+    let cluster = ClusterConfig::paper_10gbe();
+    for m in [Model::ResNet50, Model::DenseNet201, Model::BertBase] {
+        let model = m.profile();
+        let unfused = DearScheduler::unfused().simulate(&model, &cluster);
+        let fused = DearScheduler::fixed_buffer(25 << 20).simulate(&model, &cluster);
+        let ratio = unfused.iter_time.as_secs_f64() / fused.iter_time.as_secs_f64();
+        assert!(ratio > 1.3, "{}: fusion speedup only {ratio:.2}x", m.name());
+    }
+}
+
+#[test]
+fn fig9_nl_fusion_suits_bert_better_than_cnns() {
+    // §VI-G: DeAR-NL underperforms DeAR-FB on CNNs (imbalanced layers) but
+    // beats it on BERT (balanced layers).
+    let cluster = ClusterConfig::paper_10gbe();
+    let rel = |m: Model| {
+        let model = m.profile();
+        let nl = DearScheduler::fixed_layer_count(4).simulate(&model, &cluster);
+        let fb = DearScheduler::fixed_buffer(5 << 20).simulate(&model, &cluster);
+        fb.iter_time.as_secs_f64() / nl.iter_time.as_secs_f64() // >1: NL wins
+    };
+    assert!(rel(Model::DenseNet201) < 1.0, "NL should lose on DenseNet");
+    assert!(rel(Model::BertBase) > 1.0, "NL should win on BERT-Base");
+}
+
+#[test]
+fn eq9_gap_never_negative_and_saturates() {
+    for ratio in 0..50 {
+        let t_ff = 1.0;
+        let t_ag = ratio as f64 * 0.1;
+        let inputs = AnalysisInputs {
+            t_ff,
+            t_bp: 2.0,
+            t_rs: t_ag,
+            t_ag,
+        };
+        let gap = baseline_optimal_iter(&inputs) - dear_optimal_iter(&inputs);
+        assert!(gap >= -1e-12);
+        assert!(gap <= t_ff + 1e-12);
+    }
+}
+
+#[test]
+fn fig11_dear_wins_at_every_batch_size() {
+    let cluster = ClusterConfig::paper_10gbe();
+    for m in [Model::ResNet50, Model::BertBase] {
+        for bs in [16usize, 32, 64, 128] {
+            let model = m.profile_with_batch(bs);
+            let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
+            let dear =
+                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            assert!(
+                dear.iter_time <= horovod.iter_time,
+                "{} bs={bs}: DeAR slower than Horovod",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based integration tests: scheduler invariants that must hold
+//! for *arbitrary* models, fusion plans, and cluster configurations — not
+//! just the five paper models.
+
+use dear::fusion::FusionPlan;
+use dear::models::{synthesize, ModelSpec};
+use dear::sched::{
+    ByteSchedulerSim, ClusterConfig, DearScheduler, MgWfbpScheduler, Scheduler, TensorGeometry,
+    WfbpScheduler,
+};
+use dear_collectives::CostModel;
+use proptest::prelude::*;
+
+/// An arbitrary small model spec (kept small so simulation stays fast).
+fn arb_model() -> impl Strategy<Value = dear::models::ModelProfile> {
+    (2usize..40, 0usize..30, 1usize..200, 1u64..2_000, 0.0f64..5.0).prop_map(
+        |(layers, extra_tensors, params_k, compute_us, growth)| {
+            let tensors = (layers + extra_tensors).min(2 * layers);
+            synthesize(&ModelSpec {
+                name: "prop",
+                default_batch_size: 32,
+                layers,
+                tensors,
+                params: params_k * 1_000 + tensors, // ensure >= 1 per tensor
+                compute_ms: compute_us as f64 / 1_000.0 + 0.05,
+                growth,
+                embedding: 0,
+            })
+        },
+    )
+}
+
+fn arb_cluster() -> impl Strategy<Value = ClusterConfig> {
+    (2usize..65, 100.0f64..50_000.0, 0.01f64..2.0).prop_map(|(workers, alpha, beta)| {
+        ClusterConfig::custom(workers, CostModel::new(alpha, beta, 0.0), "prop")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iteration_time_at_least_compute_and_bandwidth_bounds(
+        model in arb_model(),
+        cluster in arb_cluster(),
+    ) {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(WfbpScheduler::unfused()),
+            Box::new(WfbpScheduler::horovod()),
+            Box::new(MgWfbpScheduler::new()),
+            Box::new(ByteSchedulerSim::default()),
+            Box::new(DearScheduler::unfused()),
+            Box::new(DearScheduler::fixed_buffer(1 << 20)),
+        ];
+        let bw_bound = cluster
+            .network
+            .all_reduce_bandwidth_bound(model.gradient_bytes(), cluster.workers);
+        for s in schedulers {
+            let r = s.simulate(&model, &cluster);
+            prop_assert!(
+                r.iter_time >= model.compute_time(),
+                "{}: iter {} < compute {}", r.scheduler, r.iter_time, model.compute_time()
+            );
+            prop_assert!(
+                r.iter_time >= bw_bound,
+                "{}: iter {} < bandwidth bound {}", r.scheduler, r.iter_time, bw_bound
+            );
+            prop_assert!(r.exposed_comm <= r.total_comm);
+            prop_assert!(r.exposed_comm <= r.iter_time);
+        }
+    }
+
+    #[test]
+    fn dear_never_loses_to_wfbp_at_equal_granularity(
+        model in arb_model(),
+        cluster in arb_cluster(),
+        buffer_kb in 1u64..100_000,
+    ) {
+        // With the *same* fusion plan, DeAR's extra FeedPipe overlap can
+        // only help (same total communication, strictly more overlap
+        // opportunity).
+        let geo = TensorGeometry::new(&model);
+        let plan = FusionPlan::by_buffer_bytes(&geo.item_bytes, buffer_kb << 10);
+        let wfbp = WfbpScheduler::with_plan("WFBP", plan.clone()).simulate(&model, &cluster);
+        let dear = DearScheduler::with_plan("DeAR", plan).simulate(&model, &cluster);
+        // Allow a hair of slack for warmup-window rounding.
+        prop_assert!(
+            dear.iter_time.as_secs_f64() <= wfbp.iter_time.as_secs_f64() * 1.001 + 1e-9,
+            "DeAR {} > WFBP {}", dear.iter_time, wfbp.iter_time
+        );
+    }
+
+    #[test]
+    fn dear_total_comm_equals_wfbp_total_comm_at_equal_plan(
+        model in arb_model(),
+        cluster in arb_cluster(),
+        buffer_kb in 1u64..100_000,
+    ) {
+        // Zero-overhead decoupling: the communication *volume* (stream busy
+        // time) is identical — DeAR only moves it around.
+        let geo = TensorGeometry::new(&model);
+        let plan = FusionPlan::by_buffer_bytes(&geo.item_bytes, buffer_kb << 10);
+        let wfbp = WfbpScheduler::with_plan("WFBP", plan.clone()).simulate(&model, &cluster);
+        let dear = DearScheduler::with_plan("DeAR", plan).simulate(&model, &cluster);
+        let a = wfbp.total_comm.as_secs_f64();
+        let b = dear.total_comm.as_secs_f64();
+        prop_assert!((a - b).abs() <= 1e-9 + 1e-6 * a.max(b), "WFBP {a} vs DeAR {b}");
+    }
+
+    #[test]
+    fn single_worker_runs_at_compute_speed(model in arb_model()) {
+        let cluster = ClusterConfig::custom(1, CostModel::ten_gbe(), "single");
+        for s in [
+            Box::new(DearScheduler::fixed_buffer(1 << 20)) as Box<dyn Scheduler>,
+            Box::new(WfbpScheduler::horovod()),
+        ] {
+            let r = s.simulate(&model, &cluster);
+            let diff = r.iter_time.as_secs_f64() - model.compute_time().as_secs_f64();
+            prop_assert!(diff.abs() < 1e-6, "{}: {diff}", r.scheduler);
+        }
+    }
+
+    #[test]
+    fn fusion_plans_cover_model_tensors_exactly(
+        model in arb_model(),
+        buffer_kb in 1u64..10_000,
+        count in 1usize..20,
+    ) {
+        let geo = TensorGeometry::new(&model);
+        for plan in [
+            FusionPlan::by_buffer_bytes(&geo.item_bytes, buffer_kb << 10),
+            FusionPlan::by_count(geo.num_items(), count),
+            FusionPlan::singletons(geo.num_items()),
+            FusionPlan::single_group(geo.num_items()),
+        ] {
+            plan.validate();
+            prop_assert_eq!(plan.len_items(), model.num_tensors());
+            // Total bytes across groups equal the model's gradient bytes.
+            let total: u64 = (0..plan.num_groups())
+                .map(|g| plan.group_bytes(g, &geo.item_bytes))
+                .sum();
+            prop_assert_eq!(total, model.gradient_bytes());
+        }
+    }
+
+    #[test]
+    fn timelines_keep_streams_serial(
+        model in arb_model(),
+        cluster in arb_cluster(),
+    ) {
+        for s in [
+            Box::new(DearScheduler::fixed_buffer(512 << 10)) as Box<dyn Scheduler>,
+            Box::new(WfbpScheduler::pytorch_ddp()),
+            Box::new(ByteSchedulerSim::new(1 << 20)),
+            Box::new(MgWfbpScheduler::new()),
+        ] {
+            let tl = s.build(&model, &cluster, 3);
+            tl.assert_streams_serial();
+        }
+    }
+
+    #[test]
+    fn faster_networks_never_slow_any_scheduler(
+        model in arb_model(),
+        workers in 2usize..33,
+        alpha in 500.0f64..30_000.0,
+        beta in 0.05f64..1.5,
+    ) {
+        let slow = ClusterConfig::custom(workers, CostModel::new(alpha, beta, 0.0), "slow");
+        let fast = ClusterConfig::custom(
+            workers,
+            CostModel::new(alpha / 2.0, beta / 2.0, 0.0),
+            "fast",
+        );
+        for s in [
+            Box::new(DearScheduler::fixed_buffer(1 << 20)) as Box<dyn Scheduler>,
+            Box::new(WfbpScheduler::horovod()),
+        ] {
+            let r_slow = s.simulate(&model, &slow);
+            let r_fast = s.simulate(&model, &fast);
+            prop_assert!(
+                r_fast.iter_time <= r_slow.iter_time,
+                "{}: faster network increased iteration time", r_fast.scheduler
+            );
+        }
+    }
+}
