@@ -107,17 +107,61 @@ fn bench_hierarchical(c: &mut Criterion) {
         b.iter(|| {
             run_cluster(shape.world(), |comm| {
                 let mut data = vec![1.0f32; elems];
-                hierarchical_all_reduce(comm.transport(), shape, &mut data, ReduceOp::Sum)
-                    .unwrap();
+                hierarchical_all_reduce(comm.transport(), shape, &mut data, ReduceOp::Sum).unwrap();
                 data[0]
             })
         });
     });
 }
 
+fn bench_monolithic_vs_segmented(c: &mut Criterion) {
+    // Headline comparison at the paper's 25MB fusion buffer; the full size
+    // and segment sweeps live in the `segmented_pipeline` bench (numbers
+    // committed under results/segmented_pipeline.txt).
+    use dear_collectives::{
+        ring_all_reduce_seg, CostModel, DelayFabric, LocalFabric, SegmentConfig,
+    };
+    let world = 4;
+    let elems = (25 << 20) / 4;
+    let mut group = c.benchmark_group("monolithic_vs_segmented_25mb_10gbe");
+    group.throughput(Throughput::Bytes(25 << 20));
+    for (name, seg) in [
+        ("monolithic", SegmentConfig::MONOLITHIC),
+        ("segmented_1mb", SegmentConfig::new(1 << 20)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let eps = LocalFabric::create(world);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = eps
+                        .into_iter()
+                        .map(|ep| {
+                            // Both link endpoints must be wrapped: delays
+                            // are stamped by the sender's DelayFabric and
+                            // observed by the receiver's.
+                            let t = DelayFabric::new(ep, CostModel::ten_gbe());
+                            s.spawn(move || {
+                                let mut data = vec![1.0f32; elems];
+                                ring_all_reduce_seg(&t, &mut data, ReduceOp::Sum, seg).unwrap();
+                                data[0]
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("rank panicked"))
+                        .collect::<Vec<_>>()
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ring_vs_decoupled, bench_algorithms, bench_compression, bench_hierarchical
+    targets = bench_ring_vs_decoupled, bench_algorithms, bench_compression, bench_hierarchical,
+        bench_monolithic_vs_segmented
 }
 criterion_main!(benches);

@@ -20,14 +20,10 @@ fn bench_simulate(c: &mut Criterion) {
                 b.iter(|| s.simulate(model, &cluster).iter_time);
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("horovod", m.name()),
-            &model,
-            |b, model| {
-                let s = WfbpScheduler::horovod();
-                b.iter(|| s.simulate(model, &cluster).iter_time);
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("horovod", m.name()), &model, |b, model| {
+            let s = WfbpScheduler::horovod();
+            b.iter(|| s.simulate(model, &cluster).iter_time);
+        });
         group.bench_with_input(
             BenchmarkId::new("mgwfbp_plan", m.name()),
             &model,

@@ -1,0 +1,157 @@
+//! Monolithic vs segment-pipelined ring all-reduce over an emulated
+//! network: both endpoints of every link are wrapped in [`DelayFabric`],
+//! whose link clock serializes messages without blocking the sender — so
+//! splitting each ring step's chunk into wire segments lets segment `k+1`'s
+//! serialization delay overlap segment `k`'s CPU reduction, exactly the
+//! NCCL-style pipelining the paper's ring derivation assumes.
+//!
+//! Run with `cargo bench -p dear-bench --bench segmented_pipeline`; the
+//! committed numbers live in `results/segmented_pipeline.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dear_collectives::{
+    ring_all_reduce_seg, CostModel, DelayFabric, LocalEndpoint, LocalFabric, ReduceOp,
+    SegmentConfig, Transport,
+};
+
+const WORLD: usize = 4;
+const MB: usize = 1 << 20;
+
+/// Spawns one thread per rank, each holding a [`DelayFabric`]-wrapped
+/// endpoint (delays are observed at the receiver, so every rank must be
+/// wrapped), and returns the per-rank results.
+fn run_delayed_cluster<R, F>(world: usize, model: CostModel, f: F) -> Vec<R>
+where
+    F: Fn(&DelayFabric<LocalEndpoint>) -> R + Sync,
+    R: Send,
+{
+    let eps = LocalFabric::create(world);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let t = DelayFabric::new(ep, model);
+                let f = &f;
+                s.spawn(move || f(&t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+fn bench_monolithic_vs_segmented(c: &mut Criterion) {
+    // 10GbE is where the paper fuses 25MB buffers; α = 22.5 µs, β = 0.8 ns/B.
+    let model = CostModel::ten_gbe();
+    let mut group = c.benchmark_group("seg_pipeline_10gbe");
+    for &bytes in &[MB, 4 * MB, 16 * MB, 25 * MB, 64 * MB] {
+        let elems = bytes / 4;
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("monolithic", bytes / MB),
+            &elems,
+            |b, &n| {
+                b.iter(|| {
+                    run_delayed_cluster(WORLD, model, |t| {
+                        let mut data = vec![1.0f32; n];
+                        ring_all_reduce_seg(t, &mut data, ReduceOp::Sum, SegmentConfig::MONOLITHIC)
+                            .unwrap();
+                        data[0]
+                    })
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("segmented_1mb", bytes / MB),
+            &elems,
+            |b, &n| {
+                let seg = SegmentConfig::new(MB);
+                b.iter(|| {
+                    run_delayed_cluster(WORLD, model, |t| {
+                        let mut data = vec![1.0f32; n];
+                        ring_all_reduce_seg(t, &mut data, ReduceOp::Sum, seg).unwrap();
+                        data[0]
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_segment_size_sweep(c: &mut Criterion) {
+    // Fix the paper's 25MB fusion buffer and sweep the segment size: too
+    // small pays S·α in latency, too large stops hiding the reduction.
+    let model = CostModel::ten_gbe();
+    let bytes = 25 * MB;
+    let elems = bytes / 4;
+    let mut group = c.benchmark_group("seg_size_sweep_25mb");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for &seg_bytes in &[64 * 1024, 256 * 1024, MB, 4 * MB] {
+        let seg = SegmentConfig::new(seg_bytes);
+        group.bench_with_input(
+            BenchmarkId::new("segment_kib", seg_bytes / 1024),
+            &elems,
+            |b, &n| {
+                b.iter(|| {
+                    run_delayed_cluster(WORLD, model, |t| {
+                        let mut data = vec![1.0f32; n];
+                        ring_all_reduce_seg(t, &mut data, ReduceOp::Sum, seg).unwrap();
+                        data[0]
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_undelayed_overhead(c: &mut Criterion) {
+    // Without injected delays, segmentation is pure overhead (extra sends
+    // plus pool traffic); this pins down how small that overhead is.
+    let bytes = 25 * MB;
+    let elems = bytes / 4;
+    let mut group = c.benchmark_group("seg_overhead_no_delay");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for (name, seg) in [
+        ("monolithic", SegmentConfig::MONOLITHIC),
+        ("segmented_1mb", SegmentConfig::new(MB)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let eps = LocalFabric::create(WORLD);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = eps
+                        .into_iter()
+                        .map(|ep| {
+                            s.spawn(move || {
+                                let mut data = vec![1.0f32; elems];
+                                ring_all_reduce_seg(&ep, &mut data, ReduceOp::Sum, seg).unwrap();
+                                data[0]
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("rank panicked"))
+                        .collect::<Vec<_>>()
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Keeps the unused-import lint honest: the helper is generic over
+/// [`Transport`] wrappers.
+#[allow(dead_code)]
+fn _assert_transport<T: Transport>(_: &T) {}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_monolithic_vs_segmented, bench_segment_size_sweep, bench_undelayed_overhead
+}
+criterion_main!(benches);

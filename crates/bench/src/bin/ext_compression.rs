@@ -9,8 +9,8 @@
 
 use dear_bench::{write_json, TableBuilder};
 use dear_collectives::{
-    compressed_aggregate, compressed_aggregate_wire_bytes, run_cluster, Compressor,
-    ErrorFeedback, ReduceOp, TopK, Uniform8,
+    compressed_aggregate, compressed_aggregate_wire_bytes, run_cluster, Compressor, ErrorFeedback,
+    ReduceOp, TopK, Uniform8,
 };
 use dear_models::Model;
 

@@ -24,8 +24,7 @@ fn main() {
         ]);
         for m in Model::ALL {
             let model = m.profile();
-            let dear =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
             let zero = ZeroScheduler::default().simulate(&model, &cluster);
             let ratio = zero.total_comm.as_secs_f64() / dear.total_comm.as_secs_f64();
             table.row(vec![

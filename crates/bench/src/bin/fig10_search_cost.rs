@@ -103,12 +103,13 @@ fn main() {
                 .iter()
                 .map(|&s| {
                     let mut t = mk(s);
-                    trials_to_good(t.as_mut(), &model, &cluster, s, target, 0.02, max_trials)
-                        as f64
+                    trials_to_good(t.as_mut(), &model, &cluster, s, target, 0.02, max_trials) as f64
                 })
                 .collect()
         };
-        let bo = Summary::of(&run(&|s| Box::new(BayesOpt::new(Domain::paper_default(), s))));
+        let bo = Summary::of(&run(&|s| {
+            Box::new(BayesOpt::new(Domain::paper_default(), s))
+        }));
         let rnd = Summary::of(&run(&|s| {
             Box::new(RandomSearch::new(Domain::paper_default(), s))
         }));
@@ -153,8 +154,7 @@ fn main() {
                     let mut t = mk(s);
                     for trial in 1..=budget {
                         let x = t.suggest();
-                        let measured =
-                            throughput_at(&model, &cluster, x) * noise(s, trial as u64);
+                        let measured = throughput_at(&model, &cluster, x) * noise(s, trial as u64);
                         t.observe(x, measured);
                     }
                     let incumbent = t.best().expect("observed").0;
@@ -162,7 +162,9 @@ fn main() {
                 })
                 .collect()
         };
-        let bo = Summary::of(&run(&|s| Box::new(BayesOpt::new(Domain::paper_default(), s))));
+        let bo = Summary::of(&run(&|s| {
+            Box::new(BayesOpt::new(Domain::paper_default(), s))
+        }));
         let rnd = Summary::of(&run(&|s| {
             Box::new(RandomSearch::new(Domain::paper_default(), s))
         }));

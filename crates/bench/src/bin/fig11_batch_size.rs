@@ -47,8 +47,7 @@ fn main() {
             let ddp = thr(WfbpScheduler::pytorch_ddp().simulate(&model, &cluster));
             let mg = thr(MgWfbpScheduler::new().simulate(&model, &cluster));
             let bytes = thr(ByteSchedulerSim::default().simulate(&model, &cluster));
-            let dear =
-                thr(DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster));
+            let dear = thr(DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster));
             let dear_bo = dear_bo(&model, &cluster).max(dear);
             let best_other = horovod.max(ddp).max(mg).max(bytes);
             table.row(vec![

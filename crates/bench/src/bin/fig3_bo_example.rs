@@ -27,11 +27,18 @@ fn main() {
         let x = bo.suggest();
         let y = objective(x);
         bo.observe(x, y);
-        println!("  {:>2}: buffer {:>5.1} MB -> {y:.0} samples/s", i + 1, x / MB);
+        println!(
+            "  {:>2}: buffer {:>5.1} MB -> {y:.0} samples/s",
+            i + 1,
+            x / MB
+        );
         samples.push(serde_json::json!({ "buffer_mb": x / MB, "throughput": y }));
     }
     let (best_x, best_y) = bo.best().expect("nine samples observed");
-    println!("\nbest after 9 samples: {:.1} MB at {best_y:.0} samples/s", best_x / MB);
+    println!(
+        "\nbest after 9 samples: {:.1} MB at {best_y:.0} samples/s",
+        best_x / MB
+    );
 
     println!("\nposterior over 1..100 MB:");
     let mut table = TableBuilder::new(&["buffer (MB)", "mean", "std", "true"]);

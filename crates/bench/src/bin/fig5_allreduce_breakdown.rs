@@ -16,7 +16,14 @@ fn model_view(artifact: &mut Vec<serde_json::Value>) {
     println!("(a/b) alpha-beta model, 64 workers, 10GbE\n");
     let net = CostModel::ten_gbe();
     let world = 64;
-    let mut table = TableBuilder::new(&["size", "AR (ms)", "RS (ms)", "AG (ms)", "RSAG (ms)", "RSAG/AR"]);
+    let mut table = TableBuilder::new(&[
+        "size",
+        "AR (ms)",
+        "RS (ms)",
+        "AG (ms)",
+        "RSAG (ms)",
+        "RSAG/AR",
+    ]);
     let sizes: Vec<u64> = vec![
         1 << 10,
         16 << 10,

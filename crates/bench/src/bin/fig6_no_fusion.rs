@@ -12,13 +12,7 @@ fn main() {
     let mut artifact = Vec::new();
     for cluster in &clusters {
         println!("== {} ==", cluster.label);
-        let mut table = TableBuilder::new(&[
-            "Model",
-            "WFBP",
-            "ByteScheduler",
-            "DeAR",
-            "DeAR gain",
-        ]);
+        let mut table = TableBuilder::new(&["Model", "WFBP", "ByteScheduler", "DeAR", "DeAR gain"]);
         for m in Model::ALL {
             let model = m.profile();
             let wfbp = WfbpScheduler::unfused().simulate(&model, cluster);

@@ -6,9 +6,7 @@
 use dear_bench::{write_json, TableBuilder};
 use dear_collectives::NetworkPreset;
 use dear_models::Model;
-use dear_sched::{
-    ClusterConfig, DearScheduler, MgWfbpScheduler, Scheduler, WfbpScheduler,
-};
+use dear_sched::{ClusterConfig, DearScheduler, MgWfbpScheduler, Scheduler, WfbpScheduler};
 
 fn cluster_for(workers: usize, ib: bool) -> ClusterConfig {
     if ib {
@@ -44,8 +42,7 @@ fn main() {
                 let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
                 let ddp = WfbpScheduler::pytorch_ddp().simulate(&model, &cluster);
                 let mg = MgWfbpScheduler::new().simulate(&model, &cluster);
-                let dear =
-                    DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+                let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
                 let base = horovod.iter_time.as_secs_f64();
                 let s = |r: &dear_sched::IterationReport| base / r.iter_time.as_secs_f64();
                 table.row(vec![

@@ -39,10 +39,8 @@ fn main() {
                 &compute_kinds,
             )
         };
-        let rs_only =
-            (split(&full, "RS").saturating_sub(split(&warm, "RS"))) / 4;
-        let ag_only =
-            (split(&full, "AG").saturating_sub(split(&warm, "AG"))) / 4;
+        let rs_only = (split(&full, "RS").saturating_sub(split(&warm, "RS"))) / 4;
+        let ag_only = (split(&full, "AG").saturating_sub(split(&warm, "AG"))) / 4;
         table.row(vec![
             model.name.clone(),
             format!("{:.1}", model.ff_time().as_millis_f64()),

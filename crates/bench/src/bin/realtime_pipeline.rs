@@ -72,7 +72,12 @@ fn median_run(mode: PipelineMode, world: usize, steps: u64) -> f64 {
 fn main() {
     println!("Real threaded runtime: DeAR vs WFBP wall-clock throughput\n");
     let steps = 25;
-    let mut table = TableBuilder::new(&["workers", "WFBP (samples/s)", "DeAR (samples/s)", "DeAR gain"]);
+    let mut table = TableBuilder::new(&[
+        "workers",
+        "WFBP (samples/s)",
+        "DeAR (samples/s)",
+        "DeAR gain",
+    ]);
     let mut artifact = Vec::new();
     #[allow(clippy::single_element_loop)] // more worlds are meaningful on multi-core hosts
     for world in [2usize] {

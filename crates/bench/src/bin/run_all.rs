@@ -37,7 +37,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; artifacts in results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; artifacts in results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);

@@ -12,13 +12,11 @@ fn main() {
     let mut artifact = Vec::new();
     for cluster in &clusters {
         println!("== {} ==", cluster.label);
-        let mut table =
-            TableBuilder::new(&["Model", "S^max", "S (DeAR sim)", "S/S^max"]);
+        let mut table = TableBuilder::new(&["Model", "S^max", "S (DeAR sim)", "S/S^max"]);
         for m in Model::ALL {
             let model = m.profile();
             let smax = table2_max_speedup(&model, cluster);
-            let report =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
+            let report = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
             let s = report.speedup_vs_single_gpu(cluster.workers);
             table.row(vec![
                 model.name.clone(),

@@ -16,7 +16,10 @@ fn main() {
     let cases: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("wfbp", Box::new(WfbpScheduler::unfused())),
         ("horovod", Box::new(WfbpScheduler::horovod())),
-        ("dear_25mb", Box::new(DearScheduler::with_buffer("DeAR", 25 << 20))),
+        (
+            "dear_25mb",
+            Box::new(DearScheduler::with_buffer("DeAR", 25 << 20)),
+        ),
     ];
     for (name, sched) in cases {
         let tl = sched.build(&model, &cluster, 2);

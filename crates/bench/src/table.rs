@@ -78,8 +78,11 @@ pub fn write_json(name: &str, value: &serde_json::Value) -> String {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("cannot create results/");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("cannot write artifact");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("cannot write artifact");
     path.display().to_string()
 }
 

@@ -2,12 +2,17 @@
 //! and the `run_cluster` harness that spawns one thread per rank.
 
 use crate::error::CollectiveError;
-use crate::hierarchical::{hierarchical_all_reduce, ClusterShape};
+use crate::hierarchical::{hierarchical_all_reduce_seg, ClusterShape};
 use crate::reduce::ReduceOp;
-use crate::rhd::rhd_all_reduce;
-use crate::ring::{ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter};
-use crate::transport::{LocalFabric, LocalEndpoint, Transport};
-use crate::tree::{double_tree_all_reduce, naive_all_reduce, tree_broadcast, tree_reduce};
+use crate::rhd::rhd_all_reduce_seg;
+use crate::ring::{
+    ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk, ring_reduce_scatter_seg,
+};
+use crate::segment::SegmentConfig;
+use crate::transport::{LocalEndpoint, LocalFabric, Transport};
+use crate::tree::{
+    double_tree_all_reduce_seg, naive_all_reduce_seg, tree_broadcast_seg, tree_reduce_seg,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -44,16 +49,15 @@ pub enum AllReduceAlgorithm {
 pub struct Communicator<T> {
     transport: T,
     algorithm: AllReduceAlgorithm,
+    segments: SegmentConfig,
 }
 
 impl<T: Transport> Communicator<T> {
-    /// Wraps `transport` with the default (ring) algorithm.
+    /// Wraps `transport` with the default (ring) algorithm and monolithic
+    /// (unsegmented) messages.
     #[must_use]
     pub fn new(transport: T) -> Self {
-        Communicator {
-            transport,
-            algorithm: AllReduceAlgorithm::Ring,
-        }
+        Communicator::with_algorithm(transport, AllReduceAlgorithm::Ring)
     }
 
     /// Wraps `transport` selecting `algorithm` for all-reduce.
@@ -62,7 +66,23 @@ impl<T: Transport> Communicator<T> {
         Communicator {
             transport,
             algorithm,
+            segments: SegmentConfig::MONOLITHIC,
         }
+    }
+
+    /// Sets the segment-pipelining config used by every collective on this
+    /// communicator (see [`SegmentConfig`]). Results are bit-identical for
+    /// any setting; only the timing changes.
+    #[must_use]
+    pub fn with_segments(mut self, segments: SegmentConfig) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// The segment-pipelining config in effect.
+    #[must_use]
+    pub fn segments(&self) -> SegmentConfig {
+        self.segments
     }
 
     /// This rank.
@@ -88,15 +108,16 @@ impl<T: Transport> Communicator<T> {
     ///
     /// Propagates algorithm and transport errors.
     pub fn all_reduce(&self, data: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError> {
+        let seg = self.segments;
         match self.algorithm {
-            AllReduceAlgorithm::Ring => ring_all_reduce(&self.transport, data, op),
+            AllReduceAlgorithm::Ring => ring_all_reduce_seg(&self.transport, data, op, seg),
             AllReduceAlgorithm::RecursiveHalvingDoubling => {
-                rhd_all_reduce(&self.transport, data, op)
+                rhd_all_reduce_seg(&self.transport, data, op, seg)
             }
             AllReduceAlgorithm::DoubleBinaryTree => {
-                double_tree_all_reduce(&self.transport, data, op)
+                double_tree_all_reduce_seg(&self.transport, data, op, seg)
             }
-            AllReduceAlgorithm::NaiveTree => naive_all_reduce(&self.transport, data, op),
+            AllReduceAlgorithm::NaiveTree => naive_all_reduce_seg(&self.transport, data, op, seg),
         }
     }
 
@@ -125,7 +146,7 @@ impl<T: Transport> Communicator<T> {
         data: &mut [f32],
         op: ReduceOp,
     ) -> Result<std::ops::Range<usize>, CollectiveError> {
-        ring_reduce_scatter(&self.transport, data, op)
+        ring_reduce_scatter_seg(&self.transport, data, op, self.segments)
     }
 
     /// Ring all-gather (DeAR's OP2) from this rank's canonical owned chunk.
@@ -135,7 +156,7 @@ impl<T: Transport> Communicator<T> {
     /// Propagates transport errors.
     pub fn all_gather(&self, data: &mut [f32]) -> Result<(), CollectiveError> {
         let owned = ring_owned_chunk(self.rank(), self.world_size());
-        ring_all_gather(&self.transport, data, owned)
+        ring_all_gather_seg(&self.transport, data, owned, self.segments)
     }
 
     /// Hierarchical all-reduce for a two-level cluster.
@@ -149,7 +170,7 @@ impl<T: Transport> Communicator<T> {
         data: &mut [f32],
         op: ReduceOp,
     ) -> Result<(), CollectiveError> {
-        hierarchical_all_reduce(&self.transport, shape, data, op)
+        hierarchical_all_reduce_seg(&self.transport, shape, data, op, self.segments)
     }
 
     /// Tree reduce to `root`.
@@ -163,7 +184,7 @@ impl<T: Transport> Communicator<T> {
         root: usize,
         op: ReduceOp,
     ) -> Result<(), CollectiveError> {
-        tree_reduce(&self.transport, data, root, op)
+        tree_reduce_seg(&self.transport, data, root, op, self.segments)
     }
 
     /// Tree broadcast from `root`.
@@ -172,7 +193,7 @@ impl<T: Transport> Communicator<T> {
     ///
     /// Propagates transport errors.
     pub fn broadcast(&self, data: &mut [f32], root: usize) -> Result<(), CollectiveError> {
-        tree_broadcast(&self.transport, data, root)
+        tree_broadcast_seg(&self.transport, data, root, self.segments)
     }
 
     /// Synchronizes all ranks (a zero-byte all-reduce).
@@ -182,7 +203,7 @@ impl<T: Transport> Communicator<T> {
     /// Propagates transport errors.
     pub fn barrier(&self) -> Result<(), CollectiveError> {
         let mut token = [0.0f32; 1];
-        naive_all_reduce(&self.transport, &mut token, ReduceOp::Sum)
+        naive_all_reduce_seg(&self.transport, &mut token, ReduceOp::Sum, self.segments)
     }
 }
 

@@ -101,7 +101,11 @@ impl Compressor for TopK {
 
     fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]) {
         let k = compressed.payload[0] as usize;
-        assert_eq!(compressed.payload.len(), 1 + 2 * k, "malformed top-k payload");
+        assert_eq!(
+            compressed.payload.len(),
+            1 + 2 * k,
+            "malformed top-k payload"
+        );
         for pair in compressed.payload[1..].chunks_exact(2) {
             let idx = pair[0] as usize;
             out[idx] += pair[1];
@@ -256,8 +260,8 @@ pub fn ring_all_gather_variable<T: Transport>(
     let mut current_owner = rank;
     payloads[rank] = Some(own);
     for _ in 0..world.saturating_sub(1) {
-        t.send(next, current)?;
-        let incoming = t.recv(prev)?;
+        t.send(next, current.into())?;
+        let incoming = t.recv(prev)?.into_payload();
         current_owner = (current_owner + world - 1) % world;
         payloads[current_owner] = Some(incoming.clone());
         current = incoming;
@@ -366,7 +370,10 @@ mod tests {
         let payload = ef.compress_with_feedback(&c, &mut grad2);
         let mut out = vec![0.0; 4];
         c.accumulate_into(&payload, &mut out);
-        assert!((out[1] - 0.2).abs() < 1e-6, "compensated value sent: {out:?}");
+        assert!(
+            (out[1] - 0.2).abs() < 1e-6,
+            "compensated value sent: {out:?}"
+        );
     }
 
     #[test]
@@ -407,14 +414,19 @@ mod tests {
         let world = 3;
         let d = 64;
         let results = run_world(world, |ep| {
-            let mut data: Vec<f32> = (0..d).map(|i| ((ep.rank() + i) as f32 * 0.1).cos()).collect();
+            let mut data: Vec<f32> = (0..d)
+                .map(|i| ((ep.rank() + i) as f32 * 0.1).cos())
+                .collect();
             let mut ef = ErrorFeedback::new();
             compressed_aggregate(&ep, &mut data, &Uniform8::new(32), &mut ef).unwrap();
             data
         });
         let expect: Vec<f32> = (0..d)
             .map(|i| {
-                (0..world).map(|r| ((r + i) as f32 * 0.1).cos()).sum::<f32>() / world as f32
+                (0..world)
+                    .map(|r| ((r + i) as f32 * 0.1).cos())
+                    .sum::<f32>()
+                    / world as f32
             })
             .collect();
         for data in results {

@@ -45,7 +45,10 @@ impl fmt::Display for CollectiveError {
                 write!(f, "peer {peer} disconnected")
             }
             CollectiveError::SizeMismatch { expected, actual } => {
-                write!(f, "buffer size mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} elements, got {actual}"
+                )
             }
             CollectiveError::UnsupportedWorld { world, requirement } => {
                 write!(f, "world size {world} unsupported: requires {requirement}")
@@ -65,8 +68,14 @@ mod tests {
         let samples: Vec<CollectiveError> = vec![
             CollectiveError::InvalidRank { rank: 3, world: 2 },
             CollectiveError::Disconnected { peer: 1 },
-            CollectiveError::SizeMismatch { expected: 4, actual: 5 },
-            CollectiveError::UnsupportedWorld { world: 6, requirement: "power of two" },
+            CollectiveError::SizeMismatch {
+                expected: 4,
+                actual: 5,
+            },
+            CollectiveError::UnsupportedWorld {
+                world: 6,
+                requirement: "power of two",
+            },
         ];
         for e in samples {
             let s = e.to_string();

@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
-use crate::ring::{ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter};
+use crate::ring::{
+    ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk, ring_reduce_scatter_seg,
+};
+use crate::segment::SegmentConfig;
 use crate::transport::{GroupTransport, Transport};
 
 /// Shape of a two-level cluster.
@@ -32,7 +35,10 @@ impl ClusterShape {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
-        assert!(nodes > 0 && gpus_per_node > 0, "cluster dims must be positive");
+        assert!(
+            nodes > 0 && gpus_per_node > 0,
+            "cluster dims must be positive"
+        );
         ClusterShape {
             nodes,
             gpus_per_node,
@@ -78,6 +84,22 @@ pub fn hierarchical_all_reduce<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
+    hierarchical_all_reduce_seg(t, shape, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`hierarchical_all_reduce`] with segment pipelining passed through to
+/// every ring phase. Bit-identical to the monolithic call.
+///
+/// # Errors
+///
+/// As [`hierarchical_all_reduce`].
+pub fn hierarchical_all_reduce_seg<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     if t.world_size() != shape.world() {
         return Err(CollectiveError::UnsupportedWorld {
             world: t.world_size(),
@@ -91,21 +113,23 @@ pub fn hierarchical_all_reduce<T: Transport>(
     let intra_members = Arc::new(shape.node_group(rank));
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     let local_rank = intra.rank();
-    let owned = ring_reduce_scatter(&intra, data, op)?;
+    let owned = ring_reduce_scatter_seg(&intra, data, op, seg)?;
 
     // Phase 2: inter-node ring all-reduce over the owned shard.
     if shape.nodes > 1 {
         let cross_members = Arc::new(shape.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
-        let mut shard = data[owned.clone()].to_vec();
-        ring_all_reduce(&cross, &mut shard, op)?;
+        let mut shard = t.take_buffer(owned.len());
+        shard.extend_from_slice(&data[owned.clone()]);
+        ring_all_reduce_seg(&cross, &mut shard, op, seg)?;
         data[owned].copy_from_slice(&shard);
+        t.recycle_buffer(shard);
     }
 
     // Phase 3: intra-node ring all-gather.
     let intra_members = Arc::new(shape.node_group(rank));
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
-    ring_all_gather(&intra, data, ring_owned_chunk(local_rank, g))?;
+    ring_all_gather_seg(&intra, data, ring_owned_chunk(local_rank, g), seg)?;
     Ok(())
 }
 
@@ -140,6 +164,22 @@ pub fn hierarchical_reduce_scatter_phase<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<HierarchicalShard, CollectiveError> {
+    hierarchical_reduce_scatter_phase_seg(t, shape, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`hierarchical_reduce_scatter_phase`] with segment pipelining passed
+/// through to both ring phases.
+///
+/// # Errors
+///
+/// As [`hierarchical_reduce_scatter_phase`].
+pub fn hierarchical_reduce_scatter_phase_seg<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<HierarchicalShard, CollectiveError> {
     if t.world_size() != shape.world() {
         return Err(CollectiveError::UnsupportedWorld {
             world: t.world_size(),
@@ -149,12 +189,12 @@ pub fn hierarchical_reduce_scatter_phase<T: Transport>(
     let rank = t.rank();
     let intra_members = Arc::new(shape.node_group(rank));
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
-    let intra_owned = ring_reduce_scatter(&intra, data, op)?;
+    let intra_owned = ring_reduce_scatter_seg(&intra, data, op, seg)?;
     let mut shard = data[intra_owned.clone()].to_vec();
     if shape.nodes > 1 {
         let cross_members = Arc::new(shape.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
-        ring_reduce_scatter(&cross, &mut shard, op)?;
+        ring_reduce_scatter_seg(&cross, &mut shard, op, seg)?;
     }
     Ok(HierarchicalShard { intra_owned, shard })
 }
@@ -170,7 +210,23 @@ pub fn hierarchical_all_gather_phase<T: Transport>(
     t: &T,
     shape: ClusterShape,
     data: &mut [f32],
+    carry: HierarchicalShard,
+) -> Result<(), CollectiveError> {
+    hierarchical_all_gather_phase_seg(t, shape, data, carry, SegmentConfig::MONOLITHIC)
+}
+
+/// [`hierarchical_all_gather_phase`] with segment pipelining passed through
+/// to both ring phases.
+///
+/// # Errors
+///
+/// As [`hierarchical_all_gather_phase`].
+pub fn hierarchical_all_gather_phase_seg<T: Transport>(
+    t: &T,
+    shape: ClusterShape,
+    data: &mut [f32],
     mut carry: HierarchicalShard,
+    seg: SegmentConfig,
 ) -> Result<(), CollectiveError> {
     if t.world_size() != shape.world() {
         return Err(CollectiveError::UnsupportedWorld {
@@ -184,17 +240,18 @@ pub fn hierarchical_all_gather_phase<T: Transport>(
         let cross_members = Arc::new(shape.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
         let cross_rank = cross.rank();
-        ring_all_gather(
+        ring_all_gather_seg(
             &cross,
             &mut carry.shard,
             ring_owned_chunk(cross_rank, shape.nodes),
+            seg,
         )?;
     }
     data[carry.intra_owned].copy_from_slice(&carry.shard);
     let intra_members = Arc::new(shape.node_group(rank));
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     let local_rank = intra.rank();
-    ring_all_gather(&intra, data, ring_owned_chunk(local_rank, g))?;
+    ring_all_gather_seg(&intra, data, ring_owned_chunk(local_rank, g), seg)?;
     Ok(())
 }
 
@@ -240,7 +297,10 @@ mod tests {
                 .unwrap_err()
         });
         for err in results {
-            assert!(matches!(err, CollectiveError::UnsupportedWorld { world: 4, .. }));
+            assert!(matches!(
+                err,
+                CollectiveError::UnsupportedWorld { world: 4, .. }
+            ));
         }
     }
 
@@ -267,9 +327,8 @@ mod tests {
             let expect = expected_sum(world, d);
             let results = run_world(world, |ep| {
                 let mut data = rank_data(ep.rank(), d);
-                let carry =
-                    hierarchical_reduce_scatter_phase(&ep, shape, &mut data, ReduceOp::Sum)
-                        .unwrap();
+                let carry = hierarchical_reduce_scatter_phase(&ep, shape, &mut data, ReduceOp::Sum)
+                    .unwrap();
                 // ... in DeAR, backprop of earlier layers and the next
                 // iteration's feed-forward happen between the phases ...
                 hierarchical_all_gather_phase(&ep, shape, &mut data, carry).unwrap();

@@ -55,13 +55,12 @@ mod hierarchical;
 mod reduce;
 mod rhd;
 mod ring;
+mod segment;
 mod transport;
 mod tree;
 
 pub use chunk::{chunk_range, chunk_ranges};
-pub use communicator::{
-    run_cluster, run_cluster_with, AllReduceAlgorithm, Communicator,
-};
+pub use communicator::{run_cluster, run_cluster_with, AllReduceAlgorithm, Communicator};
 pub use compress::{
     compressed_aggregate, compressed_aggregate_wire_bytes, ring_all_gather_variable, Compressed,
     Compressor, ErrorFeedback, TopK, Uniform8,
@@ -69,14 +68,21 @@ pub use compress::{
 pub use cost::{CostModel, NetworkPreset};
 pub use error::CollectiveError;
 pub use hierarchical::{
-    hierarchical_all_gather_phase, hierarchical_all_reduce, hierarchical_reduce_scatter_phase,
-    ClusterShape, HierarchicalShard,
+    hierarchical_all_gather_phase, hierarchical_all_gather_phase_seg, hierarchical_all_reduce,
+    hierarchical_all_reduce_seg, hierarchical_reduce_scatter_phase,
+    hierarchical_reduce_scatter_phase_seg, ClusterShape, HierarchicalShard,
 };
 pub use reduce::ReduceOp;
-pub use rhd::rhd_all_reduce;
-pub use ring::{ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter};
+pub use rhd::{rhd_all_reduce, rhd_all_reduce_seg};
+pub use ring::{
+    ring_all_gather, ring_all_gather_seg, ring_all_reduce, ring_all_reduce_seg, ring_owned_chunk,
+    ring_reduce_scatter, ring_reduce_scatter_seg,
+};
+pub use segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 pub use transport::{DelayFabric, GroupTransport, LocalEndpoint, LocalFabric, Message, Transport};
 pub use tree::{
-    double_tree_all_reduce, double_tree_broadcast_phase, double_tree_reduce_phase,
-    naive_all_reduce, tree_broadcast, tree_reduce,
+    double_tree_all_reduce, double_tree_all_reduce_seg, double_tree_broadcast_phase,
+    double_tree_broadcast_phase_seg, double_tree_reduce_phase, double_tree_reduce_phase_seg,
+    naive_all_reduce, naive_all_reduce_seg, tree_broadcast, tree_broadcast_seg, tree_reduce,
+    tree_reduce_seg,
 };

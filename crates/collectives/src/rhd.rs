@@ -11,6 +11,7 @@
 
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
+use crate::segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 use crate::transport::Transport;
 
 /// Recursive halving-doubling all-reduce over `data`, in place.
@@ -27,6 +28,21 @@ pub fn rhd_all_reduce<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
+    rhd_all_reduce_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`rhd_all_reduce`] with each exchanged half split per `seg` (see
+/// [`crate::SegmentConfig`]). Bit-identical to the monolithic call.
+///
+/// # Errors
+///
+/// As [`rhd_all_reduce`].
+pub fn rhd_all_reduce_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     let world = t.world_size();
     let rank = t.rank();
     if world == 1 {
@@ -40,12 +56,10 @@ pub fn rhd_all_reduce<T: Transport>(
     // plus all ranks >= 2*rem.
     let core_rank: Option<usize> = if rank < 2 * rem {
         if rank.is_multiple_of(2) {
-            t.send(rank + 1, data.to_vec())?;
+            send_segmented(t, rank + 1, data, seg)?;
             None
         } else {
-            let incoming = t.recv(rank - 1)?;
-            check_len(data.len(), incoming.len())?;
-            op.accumulate(data, &incoming);
+            recv_segmented_reduce(t, rank - 1, data, op, seg)?;
             Some(rank / 2)
         }
     } else {
@@ -78,10 +92,8 @@ pub fn rhd_all_reduce<T: Transport>(
             } else {
                 (lo..mid, mid..hi)
             };
-            t.send(partner, data[send_range].to_vec())?;
-            let incoming = t.recv(partner)?;
-            check_len(keep_range.len(), incoming.len())?;
-            op.accumulate(&mut data[keep_range.clone()], &incoming);
+            send_segmented(t, partner, &data[send_range], seg)?;
+            recv_segmented_reduce(t, partner, &mut data[keep_range.clone()], op, seg)?;
             lo = keep_range.start;
             hi = keep_range.end;
             dist /= 2;
@@ -91,12 +103,10 @@ pub fn rhd_all_reduce<T: Transport>(
         while dist < pof2 {
             let (plo, phi) = segs.pop().expect("one segment per halving step");
             let partner = to_global(crank ^ dist);
-            t.send(partner, data[lo..hi].to_vec())?;
-            let incoming = t.recv(partner)?;
             // The partner fills whichever side of [plo, phi) we do not hold.
             let recv_range = if plo < lo { plo..lo } else { hi..phi };
-            check_len(recv_range.len(), incoming.len())?;
-            data[recv_range].copy_from_slice(&incoming);
+            send_segmented(t, partner, &data[lo..hi], seg)?;
+            recv_segmented_copy(t, partner, &mut data[recv_range], seg)?;
             lo = plo;
             hi = phi;
             dist *= 2;
@@ -109,22 +119,12 @@ pub fn rhd_all_reduce<T: Transport>(
     // even partners.
     if rank < 2 * rem {
         if !rank.is_multiple_of(2) {
-            t.send(rank - 1, data.to_vec())?;
+            send_segmented(t, rank - 1, data, seg)?;
         } else {
-            let incoming = t.recv(rank + 1)?;
-            check_len(data.len(), incoming.len())?;
-            data.copy_from_slice(&incoming);
+            recv_segmented_copy(t, rank + 1, data, seg)?;
         }
     }
     Ok(())
-}
-
-fn check_len(expected: usize, actual: usize) -> Result<(), CollectiveError> {
-    if expected == actual {
-        Ok(())
-    } else {
-        Err(CollectiveError::SizeMismatch { expected, actual })
-    }
 }
 
 fn prev_power_of_two(n: usize) -> usize {

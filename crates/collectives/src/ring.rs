@@ -11,6 +11,7 @@ use std::ops::Range;
 use crate::chunk::chunk_range;
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
+use crate::segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 use crate::transport::Transport;
 
 /// The chunk index that [`ring_reduce_scatter`] leaves fully reduced on
@@ -38,6 +39,23 @@ pub fn ring_reduce_scatter<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<Range<usize>, CollectiveError> {
+    ring_reduce_scatter_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`ring_reduce_scatter`] with segment pipelining: each step's chunk is
+/// split per `seg` and all segments are queued before the step's receives,
+/// so segment `k+1`'s serialization overlaps segment `k`'s reduction.
+/// Bit-identical to the monolithic call for any `seg`.
+///
+/// # Errors
+///
+/// As [`ring_reduce_scatter`].
+pub fn ring_reduce_scatter_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<Range<usize>, CollectiveError> {
     let world = t.world_size();
     let rank = t.rank();
     let d = data.len();
@@ -50,16 +68,9 @@ pub fn ring_reduce_scatter<T: Transport>(
         let send_idx = (rank + world - step) % world;
         let recv_idx = (rank + 2 * world - step - 1) % world;
         let send_range = chunk_range(d, world, send_idx);
-        t.send(next, data[send_range].to_vec())?;
-        let incoming = t.recv(prev)?;
+        send_segmented(t, next, &data[send_range], seg)?;
         let recv_range = chunk_range(d, world, recv_idx);
-        if incoming.len() != recv_range.len() {
-            return Err(CollectiveError::SizeMismatch {
-                expected: recv_range.len(),
-                actual: incoming.len(),
-            });
-        }
-        op.accumulate(&mut data[recv_range], &incoming);
+        recv_segmented_reduce(t, prev, &mut data[recv_range], op, seg)?;
     }
     Ok(chunk_range(d, world, ring_owned_chunk(rank, world)))
 }
@@ -81,6 +92,21 @@ pub fn ring_all_gather<T: Transport>(
     data: &mut [f32],
     owned_chunk: usize,
 ) -> Result<(), CollectiveError> {
+    ring_all_gather_seg(t, data, owned_chunk, SegmentConfig::MONOLITHIC)
+}
+
+/// [`ring_all_gather`] with segment pipelining (see
+/// [`ring_reduce_scatter_seg`]). Bit-identical to the monolithic call.
+///
+/// # Errors
+///
+/// As [`ring_all_gather`].
+pub fn ring_all_gather_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    owned_chunk: usize,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     let world = t.world_size();
     let d = data.len();
     if world == 1 {
@@ -93,16 +119,9 @@ pub fn ring_all_gather<T: Transport>(
         let send_idx = (owned_chunk + world - step) % world;
         let recv_idx = (owned_chunk + 2 * world - step - 1) % world;
         let send_range = chunk_range(d, world, send_idx);
-        t.send(next, data[send_range].to_vec())?;
-        let incoming = t.recv(prev)?;
+        send_segmented(t, next, &data[send_range], seg)?;
         let recv_range = chunk_range(d, world, recv_idx);
-        if incoming.len() != recv_range.len() {
-            return Err(CollectiveError::SizeMismatch {
-                expected: recv_range.len(),
-                actual: incoming.len(),
-            });
-        }
-        data[recv_range].copy_from_slice(&incoming);
+        recv_segmented_copy(t, prev, &mut data[recv_range], seg)?;
     }
     Ok(())
 }
@@ -120,9 +139,24 @@ pub fn ring_all_reduce<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
-    ring_reduce_scatter(t, data, op)?;
+    ring_all_reduce_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`ring_all_reduce`] with segment pipelining in both phases.
+/// Bit-identical to the monolithic call for any `seg`.
+///
+/// # Errors
+///
+/// As [`ring_all_reduce`].
+pub fn ring_all_reduce_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
+    ring_reduce_scatter_seg(t, data, op, seg)?;
     let owned = ring_owned_chunk(t.rank(), t.world_size());
-    ring_all_gather(t, data, owned)
+    ring_all_gather_seg(t, data, owned, seg)
 }
 
 #[cfg(test)]
@@ -181,7 +215,13 @@ mod tests {
         let d = 9;
         let results = run_world(world, |ep| {
             let mut data: Vec<f32> = (0..d)
-                .map(|i| if i % world == ep.rank() { 100.0 } else { ep.rank() as f32 })
+                .map(|i| {
+                    if i % world == ep.rank() {
+                        100.0
+                    } else {
+                        ep.rank() as f32
+                    }
+                })
                 .collect();
             ring_all_reduce(&ep, &mut data, ReduceOp::Max).unwrap();
             data
@@ -210,6 +250,58 @@ mod tests {
         let results = run_world(world, |ep| {
             let mut data = rank_data(ep.rank(), d);
             ring_all_reduce(&ep, &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        for data in results {
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn segmented_matches_monolithic_when_segment_does_not_divide_chunk() {
+        // d=23, world=4 => chunks of 6/6/6/5 elements; 2-element (8-byte)
+        // segments leave a ragged tail in every chunk.
+        let world = 4;
+        let d = 23;
+        let seg = SegmentConfig::new(8);
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            ring_all_reduce_seg(&ep, &mut data, ReduceOp::Sum, seg).unwrap();
+            data
+        });
+        for data in results {
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn segment_larger_than_chunk_degenerates_to_monolithic() {
+        let world = 3;
+        let d = 12; // 4-element chunks = 16 bytes, far below the segment cap
+        let seg = SegmentConfig::new(1 << 20);
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            ring_all_reduce_seg(&ep, &mut data, ReduceOp::Sum, seg).unwrap();
+            data
+        });
+        for data in results {
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn segmented_handles_empty_chunks_when_d_below_world() {
+        // d < P: some ring steps move zero-length chunks; segmentation must
+        // still send exactly one (empty) message per step to stay lock-step.
+        let world = 6;
+        let d = 3;
+        let seg = SegmentConfig::new(4);
+        let expect = expected_sum(world, d);
+        let results = run_world(world, |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            ring_all_reduce_seg(&ep, &mut data, ReduceOp::Sum, seg).unwrap();
             data
         });
         for data in results {

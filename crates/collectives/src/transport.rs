@@ -6,16 +6,101 @@
 //! delays so that real runs exhibit network-like timing.
 
 use std::fmt;
-use std::sync::Arc;
-use std::time::Duration;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::cost::CostModel;
 use crate::error::CollectiveError;
 
-/// A payload travelling between ranks: a vector of `f32` gradient elements.
-pub type Message = Vec<f32>;
+/// A payload travelling between ranks: a vector of `f32` gradient elements,
+/// optionally stamped with the wall-clock instant at which the simulated
+/// network finishes delivering it (set by [`DelayFabric`] on send, honoured
+/// by [`DelayFabric`] on receive).
+///
+/// Dereferences to `[f32]`, so receivers can read the elements directly;
+/// call [`Message::into_payload`] to reclaim the backing vector (and hand it
+/// back to the transport's buffer pool via [`Transport::recycle_buffer`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    payload: Vec<f32>,
+    deliver_at: Option<Instant>,
+}
+
+impl Message {
+    /// Wraps a payload with no delivery stamp.
+    #[must_use]
+    pub fn new(payload: Vec<f32>) -> Self {
+        Message {
+            payload,
+            deliver_at: None,
+        }
+    }
+
+    /// The elements carried by this message.
+    #[must_use]
+    pub fn payload(&self) -> &[f32] {
+        &self.payload
+    }
+
+    /// Consumes the message, returning the backing vector for reuse.
+    #[must_use]
+    pub fn into_payload(self) -> Vec<f32> {
+        self.payload
+    }
+
+    /// The simulated delivery instant, if a delaying transport stamped one.
+    #[must_use]
+    pub fn deliver_at(&self) -> Option<Instant> {
+        self.deliver_at
+    }
+
+    /// Stamps the delivery instant (keeping the later of two stamps, so
+    /// nested delaying transports compose as consecutive hops).
+    #[must_use]
+    pub fn with_deliver_at(mut self, at: Instant) -> Self {
+        self.deliver_at = Some(match self.deliver_at {
+            Some(prev) => prev.max(at),
+            None => at,
+        });
+        self
+    }
+
+    /// Clears the delivery stamp (after the wait has been served).
+    #[must_use]
+    pub fn without_deliver_at(mut self) -> Self {
+        self.deliver_at = None;
+        self
+    }
+}
+
+impl From<Vec<f32>> for Message {
+    fn from(payload: Vec<f32>) -> Self {
+        Message::new(payload)
+    }
+}
+
+impl Deref for Message {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.payload
+    }
+}
+
+impl PartialEq<Vec<f32>> for Message {
+    fn eq(&self, other: &Vec<f32>) -> bool {
+        &self.payload == other
+    }
+}
+
+impl PartialEq<[f32]> for Message {
+    fn eq(&self, other: &[f32]) -> bool {
+        self.payload.as_slice() == other
+    }
+}
 
 /// Point-to-point message transport between the workers of one job.
 ///
@@ -47,6 +132,24 @@ pub trait Transport {
     /// has hung up.
     fn recv(&self, from: usize) -> Result<Message, CollectiveError>;
 
+    /// Takes a reusable send/receive buffer of at least `capacity` elements
+    /// from the transport's pool (empty, ready for `extend_from_slice`).
+    ///
+    /// The default allocates; pooling transports override this together
+    /// with [`Transport::recycle_buffer`] so that steady-state collectives
+    /// run allocation-free.
+    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        Vec::with_capacity(capacity)
+    }
+
+    /// Returns a buffer (typically the payload of a received [`Message`])
+    /// to the transport's pool for reuse by a later [`Transport::take_buffer`].
+    ///
+    /// The default drops it.
+    fn recycle_buffer(&self, buf: Vec<f32>) {
+        drop(buf);
+    }
+
     /// Validates a peer rank, shared by implementations.
     fn check_peer(&self, peer: usize) -> Result<(), CollectiveError> {
         if peer >= self.world_size() || peer == self.rank() {
@@ -60,6 +163,10 @@ pub trait Transport {
     }
 }
 
+/// Buffers kept per endpoint; bounds pool memory at roughly
+/// `POOL_CAP × largest-segment` elements.
+const POOL_CAP: usize = 64;
+
 /// One rank's endpoint of a [`LocalFabric`].
 pub struct LocalEndpoint {
     rank: usize,
@@ -68,6 +175,10 @@ pub struct LocalEndpoint {
     senders: Vec<Option<Sender<Message>>>,
     /// `receivers[from]` carries messages from `from` to this rank.
     receivers: Vec<Option<Receiver<Message>>>,
+    /// Reusable buffers. Ring rounds are symmetric (each received payload is
+    /// recycled here and each send takes one out), so the pool reaches a
+    /// steady state after the first round and sends stop allocating.
+    pool: Mutex<Vec<Vec<f32>>>,
 }
 
 impl fmt::Debug for LocalEndpoint {
@@ -90,7 +201,7 @@ impl fmt::Debug for LocalEndpoint {
 /// let b = eps.pop().unwrap();
 /// let a = eps.pop().unwrap();
 /// std::thread::scope(|s| {
-///     s.spawn(|| a.send(1, vec![1.0, 2.0]).unwrap());
+///     s.spawn(|| a.send(1, vec![1.0, 2.0].into()).unwrap());
 ///     s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![1.0, 2.0]));
 /// });
 /// ```
@@ -107,10 +218,12 @@ impl LocalFabric {
     pub fn create(world: usize) -> Vec<LocalEndpoint> {
         assert!(world > 0, "world size must be positive");
         // channels[from][to]
-        let mut senders: Vec<Vec<Option<Sender<Message>>>> =
-            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
-            (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
         for from in 0..world {
             for to in 0..world {
                 if from == to {
@@ -130,6 +243,7 @@ impl LocalFabric {
                 world,
                 senders,
                 receivers,
+                pool: Mutex::new(Vec::new()),
             })
             .collect()
     }
@@ -161,42 +275,75 @@ impl Transport for LocalEndpoint {
             .recv()
             .map_err(|_| CollectiveError::Disconnected { peer: from })
     }
+
+    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        match pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    fn recycle_buffer(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
 }
 
-/// A transport decorator that injects α-β wall-clock delays on every send,
-/// so that real threaded runs show network-like behaviour (startup latency
-/// per message plus per-byte serialization time).
+/// A transport decorator that injects α-β wall-clock delays, so that real
+/// threaded runs show network-like behaviour (startup latency per message
+/// plus per-byte serialization time).
 ///
-/// The delay is charged on the **sender** side, which models serialization
-/// onto the wire and keeps lock-step ring algorithms faithful: every round
-/// of a ring costs one `p2p` delay, as in the cost model.
+/// Delays are modelled with a **per-destination link clock** and a
+/// delivery timestamp instead of a sender-side sleep. `send` computes when
+/// the link finishes serializing the message — `max(now, link busy-until) +
+/// p2p(bytes)` — stamps that instant on the [`Message`], advances the link
+/// clock, and forwards immediately without blocking. The **receiver's**
+/// `recv` then sleeps until the stamp before handing the payload over.
+///
+/// The total per-hop cost is unchanged (every ring round still pays one
+/// `p2p` delay, as in the [`CostModel`]), but because the sending thread is
+/// never blocked, segment `k` of a pipelined collective can be serialized
+/// onto the link while the receiver is still reducing segment `k−1` — the
+/// overlap that NCCL-style segmentation exploits. Both sides of a link must
+/// be wrapped for the delay to be observed.
 #[derive(Debug)]
 pub struct DelayFabric<T> {
     inner: T,
     model: CostModel,
     /// Scales injected delays (1.0 = real scale). Tests use small factors.
     time_scale: f64,
+    /// `busy_until[to]`: when the outgoing link to `to` finishes serializing
+    /// the last message queued on it.
+    busy_until: Mutex<Vec<Option<Instant>>>,
 }
 
 impl<T: Transport> DelayFabric<T> {
     /// Wraps `inner`, delaying each send per `model`.
     #[must_use]
     pub fn new(inner: T, model: CostModel) -> Self {
-        DelayFabric {
-            inner,
-            model,
-            time_scale: 1.0,
-        }
+        Self::with_scale(inner, model, 1.0)
     }
 
     /// Wraps `inner` with delays scaled by `time_scale` (useful to keep
     /// tests fast while preserving relative timings).
     #[must_use]
     pub fn with_scale(inner: T, model: CostModel, time_scale: f64) -> Self {
+        let world = inner.world_size();
         DelayFabric {
             inner,
             model,
             time_scale,
+            busy_until: Mutex::new(vec![None; world]),
         }
     }
 
@@ -221,16 +368,41 @@ impl<T: Transport> Transport for DelayFabric<T> {
     }
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        self.check_peer(to)?;
         let bytes = (msg.len() * std::mem::size_of::<f32>()) as u64;
-        let delay = self.model.p2p(bytes).as_secs_f64() * self.time_scale;
-        if delay > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(delay));
-        }
-        self.inner.send(to, msg)
+        let wire = self.model.p2p(bytes).as_secs_f64() * self.time_scale;
+        let wire = std::time::Duration::from_secs_f64(wire.max(0.0));
+        let now = Instant::now();
+        let ready = {
+            let mut clocks = self.busy_until.lock().expect("link clock poisoned");
+            let start = match clocks[to] {
+                Some(t) if t > now => t,
+                _ => now,
+            };
+            let ready = start + wire;
+            clocks[to] = Some(ready);
+            ready
+        };
+        self.inner.send(to, msg.with_deliver_at(ready))
     }
 
     fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
-        self.inner.recv(from)
+        let msg = self.inner.recv(from)?;
+        if let Some(at) = msg.deliver_at() {
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        }
+        Ok(msg.without_deliver_at())
+    }
+
+    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        self.inner.take_buffer(capacity)
+    }
+
+    fn recycle_buffer(&self, buf: Vec<f32>) {
+        self.inner.recycle_buffer(buf);
     }
 }
 
@@ -292,6 +464,14 @@ impl<T: Transport> Transport for GroupTransport<'_, T> {
         self.check_peer(from)?;
         self.inner.recv(self.members[from])
     }
+
+    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        self.inner.take_buffer(capacity)
+    }
+
+    fn recycle_buffer(&self, buf: Vec<f32>) {
+        self.inner.recycle_buffer(buf);
+    }
 }
 
 #[cfg(test)]
@@ -305,8 +485,8 @@ mod tests {
         let a = eps.pop().unwrap();
         std::thread::scope(|s| {
             s.spawn(|| {
-                a.send(1, vec![1.0]).unwrap();
-                a.send(1, vec![2.0]).unwrap();
+                a.send(1, vec![1.0].into()).unwrap();
+                a.send(1, vec![2.0].into()).unwrap();
             });
             s.spawn(|| {
                 assert_eq!(b.recv(0).unwrap(), vec![1.0]);
@@ -318,15 +498,18 @@ mod tests {
     #[test]
     fn send_to_self_is_invalid() {
         let eps = LocalFabric::create(2);
-        let err = eps[0].send(0, vec![]).unwrap_err();
+        let err = eps[0].send(0, vec![].into()).unwrap_err();
         assert!(matches!(err, CollectiveError::InvalidRank { rank: 0, .. }));
     }
 
     #[test]
     fn send_out_of_range_is_invalid() {
         let eps = LocalFabric::create(2);
-        let err = eps[0].send(5, vec![]).unwrap_err();
-        assert!(matches!(err, CollectiveError::InvalidRank { rank: 5, world: 2 }));
+        let err = eps[0].send(5, vec![].into()).unwrap_err();
+        assert!(matches!(
+            err,
+            CollectiveError::InvalidRank { rank: 5, world: 2 }
+        ));
     }
 
     #[test]
@@ -346,8 +529,8 @@ mod tests {
         let a = eps.pop().unwrap();
         std::thread::scope(|s| {
             s.spawn(|| {
-                a.send(2, vec![9.0]).unwrap();
-                a.send(1, vec![7.0]).unwrap();
+                a.send(2, vec![9.0].into()).unwrap();
+                a.send(1, vec![7.0].into()).unwrap();
             });
             s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![7.0]));
             s.spawn(|| assert_eq!(c.recv(0).unwrap(), vec![9.0]));
@@ -355,18 +538,61 @@ mod tests {
     }
 
     #[test]
-    fn delay_fabric_preserves_payloads_and_slows_sends() {
+    fn delay_fabric_preserves_payloads_and_slows_delivery() {
+        // Delay is observed at the receiver (deliver-at stamp), so both
+        // sides of the link are wrapped, as in a real cluster.
         let mut eps = LocalFabric::create(2);
-        let b = eps.pop().unwrap();
-        let a = DelayFabric::new(eps.pop().unwrap(), CostModel::new(2_000_000.0, 0.0, 0.0));
+        let model = CostModel::new(2_000_000.0, 0.0, 0.0);
+        let b = DelayFabric::new(eps.pop().unwrap(), model);
+        let a = DelayFabric::new(eps.pop().unwrap(), model);
         let t0 = std::time::Instant::now();
         std::thread::scope(|s| {
-            s.spawn(|| a.send(1, vec![3.0]).unwrap());
+            s.spawn(|| a.send(1, vec![3.0].into()).unwrap());
             s.spawn(|| assert_eq!(b.recv(0).unwrap(), vec![3.0]));
         });
-        assert!(t0.elapsed() >= Duration::from_millis(2));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
         assert_eq!(a.rank(), 0);
         assert_eq!(a.world_size(), 2);
+    }
+
+    #[test]
+    fn delay_fabric_send_does_not_block_the_sender() {
+        // The sender queues both messages immediately; the link clock
+        // serializes them so the second arrives one wire-time later.
+        let mut eps = LocalFabric::create(2);
+        let model = CostModel::new(2_000_000.0, 0.0, 0.0); // 2 ms per message
+        let b = DelayFabric::new(eps.pop().unwrap(), model);
+        let a = DelayFabric::new(eps.pop().unwrap(), model);
+        let t0 = std::time::Instant::now();
+        a.send(1, vec![1.0].into()).unwrap();
+        a.send(1, vec![2.0].into()).unwrap();
+        let sender_elapsed = t0.elapsed();
+        assert!(
+            sender_elapsed < std::time::Duration::from_millis(2),
+            "sender blocked for {sender_elapsed:?}"
+        );
+        assert_eq!(b.recv(0).unwrap(), vec![1.0]);
+        assert_eq!(b.recv(0).unwrap(), vec![2.0]);
+        // Two serialized messages: at least 2 × 2 ms of link time.
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(4));
+    }
+
+    #[test]
+    fn local_endpoint_pool_reuses_buffers() {
+        let eps = LocalFabric::create(2);
+        let mut buf = eps[0].take_buffer(16);
+        buf.extend_from_slice(&[1.0, 2.0]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        eps[0].recycle_buffer(buf);
+        let again = eps[0].take_buffer(8);
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(
+            again.as_ptr(),
+            ptr,
+            "pool should hand back the same allocation"
+        );
     }
 
     #[test]
@@ -379,7 +605,7 @@ mod tests {
         assert_eq!(g3.rank(), 1);
         assert_eq!(g1.world_size(), 2);
         std::thread::scope(|s| {
-            s.spawn(|| g1.send(1, vec![5.0]).unwrap());
+            s.spawn(|| g1.send(1, vec![5.0].into()).unwrap());
             s.spawn(|| assert_eq!(g3.recv(0).unwrap(), vec![5.0]));
         });
         // Non-member gets None.

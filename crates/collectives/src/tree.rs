@@ -9,6 +9,7 @@
 
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
+use crate::segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 use crate::transport::Transport;
 
 /// Binomial-tree reduce: after the call, `root` holds the element-wise
@@ -26,6 +27,22 @@ pub fn tree_reduce<T: Transport>(
     root: usize,
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
+    tree_reduce_seg(t, data, root, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`tree_reduce`] with each hop's message split per `seg`. Bit-identical
+/// to the monolithic call.
+///
+/// # Errors
+///
+/// As [`tree_reduce`].
+pub fn tree_reduce_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    root: usize,
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     let world = t.world_size();
     if root >= world {
         return Err(CollectiveError::InvalidRank { rank: root, world });
@@ -40,20 +57,13 @@ pub fn tree_reduce<T: Transport>(
         if vrank & mask != 0 {
             // Send accumulated data to the parent and exit.
             let parent = ((vrank ^ mask) + root) % world;
-            t.send(parent, data.to_vec())?;
+            send_segmented(t, parent, data, seg)?;
             return Ok(());
         }
         let vchild = vrank | mask;
         if vchild < world {
             let child = (vchild + root) % world;
-            let incoming = t.recv(child)?;
-            if incoming.len() != data.len() {
-                return Err(CollectiveError::SizeMismatch {
-                    expected: data.len(),
-                    actual: incoming.len(),
-                });
-            }
-            op.accumulate(data, &incoming);
+            recv_segmented_reduce(t, child, data, op, seg)?;
         }
         mask <<= 1;
     }
@@ -72,6 +82,21 @@ pub fn tree_broadcast<T: Transport>(
     t: &T,
     data: &mut [f32],
     root: usize,
+) -> Result<(), CollectiveError> {
+    tree_broadcast_seg(t, data, root, SegmentConfig::MONOLITHIC)
+}
+
+/// [`tree_broadcast`] with each hop's message split per `seg`.
+/// Bit-identical to the monolithic call.
+///
+/// # Errors
+///
+/// As [`tree_broadcast`].
+pub fn tree_broadcast_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    root: usize,
+    seg: SegmentConfig,
 ) -> Result<(), CollectiveError> {
     let world = t.world_size();
     if root >= world {
@@ -92,14 +117,7 @@ pub fn tree_broadcast<T: Transport>(
     if vrank != 0 {
         let parent_mask = vrank & vrank.wrapping_neg(); // lowest set bit
         let parent = ((vrank ^ parent_mask) + root) % world;
-        let incoming = t.recv(parent)?;
-        if incoming.len() != data.len() {
-            return Err(CollectiveError::SizeMismatch {
-                expected: data.len(),
-                actual: incoming.len(),
-            });
-        }
-        data.copy_from_slice(&incoming);
+        recv_segmented_copy(t, parent, data, seg)?;
         // Only forward along masks below our own bit.
         mask = parent_mask >> 1;
     }
@@ -107,7 +125,7 @@ pub fn tree_broadcast<T: Transport>(
         let vchild = vrank | mask;
         if vchild != vrank && vchild < world {
             let child = (vchild + root) % world;
-            t.send(child, data.to_vec())?;
+            send_segmented(t, child, data, seg)?;
         }
         mask >>= 1;
     }
@@ -126,8 +144,22 @@ pub fn naive_all_reduce<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
-    tree_reduce(t, data, 0, op)?;
-    tree_broadcast(t, data, 0)
+    naive_all_reduce_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`naive_all_reduce`] with each hop's message split per `seg`.
+///
+/// # Errors
+///
+/// Propagates errors from the two phases.
+pub fn naive_all_reduce_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
+    tree_reduce_seg(t, data, 0, op, seg)?;
+    tree_broadcast_seg(t, data, 0, seg)
 }
 
 /// Double-binary-tree all-reduce: the message is split in half; each half is
@@ -147,8 +179,22 @@ pub fn double_tree_all_reduce<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
-    double_tree_reduce_phase(t, data, op)?;
-    double_tree_broadcast_phase(t, data)
+    double_tree_all_reduce_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`double_tree_all_reduce`] with each hop's message split per `seg`.
+///
+/// # Errors
+///
+/// Propagates errors from the phases.
+pub fn double_tree_all_reduce_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
+    double_tree_reduce_phase_seg(t, data, op, seg)?;
+    double_tree_broadcast_phase_seg(t, data, seg)
 }
 
 /// Roots used by the two complementary trees.
@@ -170,6 +216,20 @@ pub fn double_tree_reduce_phase<T: Transport>(
     data: &mut [f32],
     op: ReduceOp,
 ) -> Result<(), CollectiveError> {
+    double_tree_reduce_phase_seg(t, data, op, SegmentConfig::MONOLITHIC)
+}
+
+/// [`double_tree_reduce_phase`] with each hop's message split per `seg`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn double_tree_reduce_phase_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     let world = t.world_size();
     if world == 1 {
         return Ok(());
@@ -181,8 +241,8 @@ pub fn double_tree_reduce_phase<T: Transport>(
     // reduces the high half rooted at world-1. Mirroring is achieved by
     // re-rooting the same binomial tree, which yields a different topology
     // and spreads load.
-    tree_reduce(t, lo, root_a, op)?;
-    tree_reduce(t, hi, root_b, op)?;
+    tree_reduce_seg(t, lo, root_a, op, seg)?;
+    tree_reduce_seg(t, hi, root_b, op, seg)?;
     Ok(())
 }
 
@@ -196,6 +256,19 @@ pub fn double_tree_broadcast_phase<T: Transport>(
     t: &T,
     data: &mut [f32],
 ) -> Result<(), CollectiveError> {
+    double_tree_broadcast_phase_seg(t, data, SegmentConfig::MONOLITHIC)
+}
+
+/// [`double_tree_broadcast_phase`] with each hop's message split per `seg`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn double_tree_broadcast_phase_seg<T: Transport>(
+    t: &T,
+    data: &mut [f32],
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
     let world = t.world_size();
     if world == 1 {
         return Ok(());
@@ -203,8 +276,8 @@ pub fn double_tree_broadcast_phase<T: Transport>(
     let (root_a, root_b) = double_tree_roots(world);
     let mid = data.len() / 2;
     let (lo, hi) = data.split_at_mut(mid);
-    tree_broadcast(t, lo, root_a)?;
-    tree_broadcast(t, hi, root_b)?;
+    tree_broadcast_seg(t, lo, root_a, seg)?;
+    tree_broadcast_seg(t, hi, root_b, seg)?;
     Ok(())
 }
 

@@ -35,10 +35,10 @@ impl Transport for FailingTransport {
         self.inner.world_size()
     }
     fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
-        if self.send_budget.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
-            b.checked_sub(1)
-        })
-        .is_err()
+        if self
+            .send_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_err()
         {
             return Err(CollectiveError::Disconnected { peer: to });
         }
@@ -130,8 +130,7 @@ fn remaining_all_reduce_variants_surface_send_failure() {
 fn hierarchical_surfaces_send_failure() {
     let errs = run_failing(4, 0, |t| {
         let mut data = vec![1.0f32; 8];
-        hierarchical_all_reduce(&t, ClusterShape::new(2, 2), &mut data, ReduceOp::Sum)
-            .unwrap_err()
+        hierarchical_all_reduce(&t, ClusterShape::new(2, 2), &mut data, ReduceOp::Sum).unwrap_err()
     });
     for e in errs {
         assert!(matches!(e, CollectiveError::Disconnected { .. }));

@@ -4,9 +4,9 @@
 //! composition must be *bitwise* identical to the fused ring all-reduce.
 
 use dear_collectives::{
-    chunk_ranges, hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_owned_chunk,
-    ring_reduce_scatter, run_cluster, run_cluster_with, AllReduceAlgorithm, ClusterShape,
-    ReduceOp, Transport,
+    chunk_ranges, hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_all_reduce_seg,
+    ring_owned_chunk, ring_reduce_scatter, run_cluster, run_cluster_with, AllReduceAlgorithm,
+    ClusterShape, ReduceOp, SegmentConfig, Transport,
 };
 use proptest::prelude::*;
 
@@ -172,6 +172,64 @@ proptest! {
                 prop_assert!(a.is_finite());
                 prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0));
             }
+        }
+    }
+
+    #[test]
+    fn segmented_ring_is_bitwise_identical_to_monolithic(
+        world in 1usize..9,
+        d in 0usize..200,
+        max_segment_bytes in 1usize..256,
+        salt in any::<u64>(),
+    ) {
+        // Segment pipelining is a pure scheduling change: splitting each
+        // ring step's chunk into wire segments must not perturb a single
+        // bit of the result, for any segment size — including segments that
+        // don't divide the chunk, sub-element segment sizes (rounded up to
+        // one element), and segments larger than the whole chunk.
+        let monolithic = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            ring_all_reduce(comm.transport(), &mut data, ReduceOp::Sum).unwrap();
+            data
+        });
+        let seg = SegmentConfig::new(max_segment_bytes);
+        let segmented = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            ring_all_reduce_seg(comm.transport(), &mut data, ReduceOp::Sum, seg).unwrap();
+            data
+        });
+        prop_assert_eq!(monolithic, segmented);
+    }
+
+    #[test]
+    fn segmented_communicator_agrees_across_algorithms(
+        world in 1usize..7,
+        d in 0usize..96,
+        max_segment_bytes in 4usize..64,
+        salt in any::<u64>(),
+    ) {
+        // Same property through the facade, for every algorithm family:
+        // a segmented communicator must produce the same bits as an
+        // unsegmented one.
+        for algo in [
+            AllReduceAlgorithm::Ring,
+            AllReduceAlgorithm::RecursiveHalvingDoubling,
+            AllReduceAlgorithm::DoubleBinaryTree,
+            AllReduceAlgorithm::NaiveTree,
+        ] {
+            let plain = run_cluster_with(world, algo, |comm| {
+                let mut data = rank_data(comm.rank(), d, salt);
+                comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                data
+            });
+            let seg = SegmentConfig::new(max_segment_bytes);
+            let segmented = run_cluster_with(world, algo, |comm| {
+                let comm = comm.with_segments(seg);
+                let mut data = rank_data(comm.rank(), d, salt);
+                comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                data
+            });
+            prop_assert_eq!(plain, segmented);
         }
     }
 

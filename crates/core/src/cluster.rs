@@ -4,7 +4,7 @@
 
 use crossbeam_channel::unbounded;
 
-use dear_collectives::{CostModel, DelayFabric, LocalFabric, Transport};
+use dear_collectives::{CostModel, DelayFabric, LocalFabric, SegmentConfig, Transport};
 use dear_minidnn::{Sequential, Sgd};
 
 use crate::comm::{run_comm_thread, CommJob, CommLayout, CommResult, HyperParams, OptimKind};
@@ -37,6 +37,9 @@ pub struct TrainConfig {
     pub mode: PipelineMode,
     /// Optional injected network delays.
     pub delay: Option<DelayConfig>,
+    /// Segment-pipelining config for the comm thread's collectives
+    /// (monolithic by default; results are bit-identical either way).
+    pub segments: SegmentConfig,
 }
 
 impl Default for TrainConfig {
@@ -49,6 +52,7 @@ impl Default for TrainConfig {
             optim: OptimKind::Sgd,
             mode: PipelineMode::Dear,
             delay: None,
+            segments: SegmentConfig::MONOLITHIC,
         }
     }
 }
@@ -121,13 +125,15 @@ impl WorkerHandle {
                     self.config.momentum,
                     self.config.weight_decay,
                 )) as Box<dyn dear_minidnn::Optimizer>,
-                OptimKind::Adam { beta1, beta2, eps } => Box::new(dear_minidnn::Adam::with_options(
-                    self.config.lr,
-                    beta1,
-                    beta2,
-                    eps,
-                    self.config.weight_decay,
-                )),
+                OptimKind::Adam { beta1, beta2, eps } => {
+                    Box::new(dear_minidnn::Adam::with_options(
+                        self.config.lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        self.config.weight_decay,
+                    ))
+                }
             }),
             PipelineMode::Dear => None,
         };
@@ -165,6 +171,7 @@ where
             let (res_tx, res_rx) = unbounded::<CommResult>();
             let (layout_tx, layout_rx) = unbounded::<(CommLayout, usize)>();
             let delay = config.delay;
+            let segments = config.segments;
             // Comm thread: waits for the worker's layout, then serves jobs.
             s.spawn(move || {
                 let Ok((layout, total)) = layout_rx.recv() else {
@@ -173,9 +180,9 @@ where
                 match delay {
                     Some(d) => {
                         let t = DelayFabric::with_scale(ep, d.model, d.scale);
-                        run_comm_thread(t, layout, hyper, total, &job_rx, &res_tx);
+                        run_comm_thread(t, layout, hyper, total, segments, &job_rx, &res_tx);
                     }
-                    None => run_comm_thread(ep, layout, hyper, total, &job_rx, &res_tx),
+                    None => run_comm_thread(ep, layout, hyper, total, segments, &job_rx, &res_tx),
                 }
             });
             let handle = WorkerHandle {
@@ -281,11 +288,7 @@ mod tests {
         // And match the single-GPU reference on the full batch.
         let mut reference = build_net(7);
         let data = BlobDataset::new(6, 3, 0.4, 99);
-        let _ = train_single_reference(
-            &mut reference,
-            &config,
-            (0..20).map(|s| data.batch(s, 32)),
-        );
+        let _ = train_single_reference(&mut reference, &config, (0..20).map(|s| data.batch(s, 32)));
         let diff = max_rel_diff(&params[0], &reference.flat_params());
         assert!(diff < 2e-3, "max relative diff {diff}");
     }
@@ -302,11 +305,7 @@ mod tests {
         let params = train_distributed(3, config, 15, 30);
         let mut reference = build_net(7);
         let data = BlobDataset::new(6, 3, 0.4, 99);
-        let _ = train_single_reference(
-            &mut reference,
-            &config,
-            (0..15).map(|s| data.batch(s, 30)),
-        );
+        let _ = train_single_reference(&mut reference, &config, (0..15).map(|s| data.batch(s, 30)));
         let diff = max_rel_diff(&params[0], &reference.flat_params());
         assert!(diff < 5e-3, "max relative diff {diff}");
     }
@@ -506,6 +505,26 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_value_is_exact_above_f32_precision() {
+        // The BO buffer-size sync broadcasts byte counts above 2^24, where
+        // f32 has no integer resolution: 26_214_401 as f32 rounds to
+        // 26_214_400, so the old single-f32 broadcast left the root with a
+        // different fusion layout than every other rank. The value must
+        // round-trip exactly on all ranks, including the root.
+        let value = f64::from(25u32 << 20) + 1.0; // 26_214_401.0
+        assert_ne!(value as f32 as f64, value, "test value must not fit f32");
+        for probe in [value, -value, 1e300, f64::from(u32::MAX) + 2.0, 0.1] {
+            let got = run_training(4, TrainConfig::default(), |handle| {
+                let net = build_net(3);
+                let mut optim = handle.into_optim(&net);
+                let sent = if optim.rank() == 1 { probe } else { 0.0 };
+                optim.broadcast_value(1, sent)
+            });
+            assert_eq!(got, vec![probe; 4], "broadcast of {probe} not exact");
+        }
+    }
+
+    #[test]
     fn lr_schedule_matches_reference() {
         let data = BlobDataset::new(6, 3, 0.4, 42);
         let config = TrainConfig {
@@ -584,11 +603,7 @@ mod tests {
         }
         // Matches the single-GPU reference (momentum state survived).
         let mut reference = build_net(7);
-        let _ = train_single_reference(
-            &mut reference,
-            &config,
-            (0..20).map(|s| data.batch(s, 30)),
-        );
+        let _ = train_single_reference(&mut reference, &config, (0..20).map(|s| data.batch(s, 30)));
         let diff = max_rel_diff(&params[0], &reference.flat_params());
         assert!(diff < 5e-3, "max relative diff {diff}");
     }

@@ -15,8 +15,8 @@
 use crossbeam_channel::{Receiver, Sender};
 
 use dear_collectives::{
-    ring_all_gather, ring_all_reduce, ring_owned_chunk, ring_reduce_scatter, tree_broadcast,
-    naive_all_reduce, ReduceOp, Transport,
+    naive_all_reduce_seg, ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk,
+    ring_reduce_scatter_seg, tree_broadcast_seg, ReduceOp, SegmentConfig, Transport,
 };
 
 use crate::layout::GroupLayout;
@@ -176,6 +176,7 @@ pub fn run_comm_thread<T: Transport>(
     mut layout: CommLayout,
     mut hyper: HyperParams,
     total_elements: usize,
+    segments: SegmentConfig,
     jobs: &Receiver<CommJob>,
     results: &Sender<CommResult>,
 ) {
@@ -204,8 +205,9 @@ pub fn run_comm_thread<T: Transport>(
                     // (bias correction is per-iteration, shared by shards).
                     adam_step += 1;
                 }
-                let owned = ring_reduce_scatter(&transport, &mut grads, ReduceOp::Sum)
-                    .expect("reduce-scatter failed");
+                let owned =
+                    ring_reduce_scatter_seg(&transport, &mut grads, ReduceOp::Sum, segments)
+                        .expect("reduce-scatter failed");
                 // Optimizer update on the owned shard only; every element is
                 // owned by exactly one rank, so the union of shards is the
                 // full S-SGD update of Eq. 2.
@@ -227,8 +229,11 @@ pub fn run_comm_thread<T: Transport>(
                         if second_moment.len() != total_elements {
                             second_moment = vec![0.0; total_elements];
                         }
-                        let bias1 = 1.0 - beta1.powf(adam_step as f32);
-                        let bias2 = 1.0 - beta2.powf(adam_step as f32);
+                        // Bias correction in f64: 1 − βᵗ underflows f32
+                        // precision once βᵗ ≈ 1 − 1e-7 (β₂ = 0.999 reaches
+                        // that within ~7 steps of t where f32 rounding shows).
+                        let bias1 = (1.0 - f64::from(beta1).powi(adam_step as i32)) as f32;
+                        let bias2 = (1.0 - f64::from(beta2).powi(adam_step as i32)) as f32;
                         for &(off, len, goff) in &meta.items {
                             let lo = owned.start.max(off);
                             let hi = owned.end.min(off + len);
@@ -251,15 +256,20 @@ pub fn run_comm_thread<T: Transport>(
                 // Forward order = reverse of backward arrival order, so the
                 // first layers' parameters arrive first (FeedPipe).
                 for (group, mut params) in stash.drain(..).rev() {
-                    ring_all_gather(&transport, &mut params, ring_owned_chunk(rank, world))
-                        .expect("all-gather failed");
+                    ring_all_gather_seg(
+                        &transport,
+                        &mut params,
+                        ring_owned_chunk(rank, world),
+                        segments,
+                    )
+                    .expect("all-gather failed");
                     results
                         .send(CommResult::Params { group, params })
                         .expect("training thread hung up");
                 }
             }
             CommJob::AllReduce { group, mut grads } => {
-                ring_all_reduce(&transport, &mut grads, ReduceOp::Sum)
+                ring_all_reduce_seg(&transport, &mut grads, ReduceOp::Sum, segments)
                     .expect("all-reduce failed");
                 let inv_p = 1.0 / world as f32;
                 for g in &mut grads {
@@ -270,15 +280,26 @@ pub fn run_comm_thread<T: Transport>(
                     .expect("training thread hung up");
             }
             CommJob::Broadcast { root, value } => {
-                let mut buf = [value as f32];
-                tree_broadcast(&transport, &mut buf, root).expect("broadcast failed");
+                // The fabric carries f32, but BO broadcasts byte counts that
+                // exceed 2^24 (e.g. the paper's 25 MB buffer, 26_214_401
+                // bytes with headers) — an `as f32` cast rounds those, and a
+                // root-vs-peer mismatch splits the cluster into different
+                // fusion layouts. Ship the exact f64 as two f32 bit-words
+                // instead; tree_broadcast only copies, so bits survive.
+                let bits = value.to_bits();
+                let mut buf = [
+                    f32::from_bits((bits >> 32) as u32),
+                    f32::from_bits(bits as u32),
+                ];
+                tree_broadcast_seg(&transport, &mut buf, root, segments).expect("broadcast failed");
+                let bits = (u64::from(buf[0].to_bits()) << 32) | u64::from(buf[1].to_bits());
                 results
-                    .send(CommResult::Broadcast(f64::from(buf[0])))
+                    .send(CommResult::Broadcast(f64::from_bits(bits)))
                     .expect("training thread hung up");
             }
             CommJob::Barrier => {
                 let mut token = [0.0f32];
-                naive_all_reduce(&transport, &mut token, ReduceOp::Sum)
+                naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, segments)
                     .expect("barrier failed");
                 results
                     .send(CommResult::BarrierDone)
@@ -294,10 +315,10 @@ pub fn run_comm_thread<T: Transport>(
                 // lives only on its owner (zero elsewhere), so a sum
                 // all-reduce reconstructs the full state, after which each
                 // rank keeps only the shards it owns under the new layout.
-                ring_all_reduce(&transport, &mut velocity, ReduceOp::Sum)
+                ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, segments)
                     .expect("velocity redistribution failed");
                 if !second_moment.is_empty() {
-                    ring_all_reduce(&transport, &mut second_moment, ReduceOp::Sum)
+                    ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, segments)
                         .expect("second-moment redistribution failed");
                 }
                 let mut owned_mask = vec![false; velocity.len()];

@@ -217,7 +217,10 @@ impl DistOptim {
     /// the next forward); WFBP synchronously collects averaged gradients
     /// and steps the local optimizer.
     fn finish_iteration(&mut self, net: &mut Sequential) {
-        assert!(self.tracker.all_complete(), "not all gradients were produced");
+        assert!(
+            self.tracker.all_complete(),
+            "not all gradients were produced"
+        );
         match self.mode {
             PipelineMode::Dear => {
                 self.jobs
@@ -333,7 +336,10 @@ impl DistOptim {
     /// Panics if called with communication outstanding, or if the values
     /// are invalid (non-positive learning rate, momentum outside `[0, 1)`).
     pub fn set_hyper(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
-        assert_eq!(self.pending, 0, "hyper change requires a synchronized state");
+        assert_eq!(
+            self.pending, 0,
+            "hyper change requires a synchronized state"
+        );
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         self.jobs
@@ -345,8 +351,11 @@ impl DistOptim {
             }))
             .expect("comm thread hung up");
         if self.local_optim.is_some() {
-            self.local_optim =
-                Some(Box::new(dear_minidnn::Sgd::with_options(lr, momentum, weight_decay)));
+            self.local_optim = Some(Box::new(dear_minidnn::Sgd::with_options(
+                lr,
+                momentum,
+                weight_decay,
+            )));
         }
     }
 
@@ -359,7 +368,10 @@ impl DistOptim {
     ///
     /// Panics if called with communication outstanding.
     pub fn set_fusion_buffer(&mut self, net: &Sequential, buffer_bytes: Option<u64>) {
-        assert_eq!(self.pending, 0, "re-bucketing requires a synchronized state");
+        assert_eq!(
+            self.pending, 0,
+            "re-bucketing requires a synchronized state"
+        );
         let layout = GroupLayout::from_buffer(net, buffer_bytes);
         self.jobs
             .send(CommJob::Reconfigure {

@@ -18,7 +18,8 @@ pub fn normal_cdf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     let erf = if x >= 0.0 { erf } else { -erf };
     0.5 * (1.0 + erf)
@@ -75,8 +76,10 @@ impl GaussianProcess {
     /// Panics if any hyper-parameter is not positive.
     #[must_use]
     pub fn new(length_scale: f64, signal_var: f64, noise_var: f64) -> Self {
-        assert!(length_scale > 0.0 && signal_var > 0.0 && noise_var > 0.0,
-            "hyper-parameters must be positive");
+        assert!(
+            length_scale > 0.0 && signal_var > 0.0 && noise_var > 0.0,
+            "hyper-parameters must be positive"
+        );
         GaussianProcess {
             length_scale,
             signal_var,
@@ -161,13 +164,9 @@ impl GaussianProcess {
             .collect();
         let mean_n: f64 = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
         let v = chol.solve_lower(&k_star);
-        let var_n = (self.kernel(nx, nx) + self.noise_var
-            - v.iter().map(|x| x * x).sum::<f64>())
-        .max(0.0);
-        (
-            mean_n * self.y_std + self.y_mean,
-            var_n.sqrt() * self.y_std,
-        )
+        let var_n =
+            (self.kernel(nx, nx) + self.noise_var - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (mean_n * self.y_std + self.y_mean, var_n.sqrt() * self.y_std)
     }
 
     /// Number of fitted observations.
@@ -242,9 +241,7 @@ mod tests {
         gp.fit(&xs, &ys);
         let best_x = (1..=100)
             .map(|i| i as f64)
-            .max_by(|&a, &b| {
-                gp.predict(a).0.partial_cmp(&gp.predict(b).0).unwrap()
-            })
+            .max_by(|&a, &b| gp.predict(a).0.partial_cmp(&gp.predict(b).0).unwrap())
             .unwrap();
         assert!((best_x - 35.0).abs() < 10.0, "GP peak at {best_x}");
     }

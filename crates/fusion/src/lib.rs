@@ -45,4 +45,6 @@ pub use gp::{expected_improvement, normal_cdf, normal_pdf, GaussianProcess};
 pub use linalg::Cholesky;
 pub use plan::FusionPlan;
 pub use tracker::GroupTracker;
-pub use tuner::{trials_to_reach, trials_to_stable, BayesOpt, Domain, GridSearch, RandomSearch, Tuner};
+pub use tuner::{
+    trials_to_reach, trials_to_stable, BayesOpt, Domain, GridSearch, RandomSearch, Tuner,
+};

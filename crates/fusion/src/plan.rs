@@ -131,17 +131,15 @@ impl FusionPlan {
     pub fn group_of(&self, item: usize) -> usize {
         assert!(item < self.n, "item {item} out of range");
         // Groups are sorted by start; binary search.
-        match self
-            .groups
-            .binary_search_by(|g| {
-                if g.end <= item {
-                    std::cmp::Ordering::Less
-                } else if g.start > item {
-                    std::cmp::Ordering::Greater
-                } else {
-                    std::cmp::Ordering::Equal
-                }
-            }) {
+        match self.groups.binary_search_by(|g| {
+            if g.end <= item {
+                std::cmp::Ordering::Less
+            } else if g.start > item {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
             Ok(g) => g,
             Err(_) => unreachable!("plan invariant: every item covered"),
         }
@@ -244,11 +242,7 @@ mod tests {
         let sizes: Vec<u64> = (0..50).map(|i| (i * 37 % 23) + 1).collect();
         let p = FusionPlan::by_buffer_bytes(&sizes, 40);
         for item in 0..50 {
-            let scan = p
-                .groups()
-                .iter()
-                .position(|g| g.contains(&item))
-                .unwrap();
+            let scan = p.groups().iter().position(|g| g.contains(&item)).unwrap();
             assert_eq!(p.group_of(item), scan);
         }
     }

@@ -151,8 +151,7 @@ impl Tuner for BayesOpt {
                 let jitter = self.rng.gen_range(-0.06..0.06) * span;
                 self.domain.clamp(incumbent_x + jitter)
             } else {
-                let frac =
-                    (i as f64 + self.rng.gen_range(0.0..1.0)) / self.candidates as f64;
+                let frac = (i as f64 + self.rng.gen_range(0.0..1.0)) / self.candidates as f64;
                 self.domain.clamp(self.domain.lo + frac * span)
             };
             let (mean, std) = self.gp.predict(x);

@@ -2,8 +2,8 @@
 //! machinery.
 
 use dear_fusion::{
-    expected_improvement, normal_cdf, BayesOpt, Domain, FusionPlan, GaussianProcess,
-    GroupTracker, Tuner,
+    expected_improvement, normal_cdf, BayesOpt, Domain, FusionPlan, GaussianProcess, GroupTracker,
+    Tuner,
 };
 use proptest::prelude::*;
 

@@ -83,9 +83,11 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, net: &mut Sequential) {
         self.step += 1;
-        let t = self.step as f32;
-        let bias1 = 1.0 - self.beta1.powf(t);
-        let bias2 = 1.0 - self.beta2.powf(t);
+        // Bias correction in f64 (matches the comm-thread sharded Adam):
+        // 1 − βᵗ loses all precision in f32 once βᵗ rounds to 1.
+        let t = self.step as i32;
+        let bias1 = (1.0 - f64::from(self.beta1).powi(t)) as f32;
+        let bias2 = (1.0 - f64::from(self.beta2).powi(t)) as f32;
         let mut tensor_idx = 0;
         for layer in net.layers_mut() {
             let grads: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.data().to_vec()).collect();
@@ -96,7 +98,11 @@ impl Optimizer for Adam {
                 }
                 let m = &mut self.m[tensor_idx];
                 let v = &mut self.v[tensor_idx];
-                assert_eq!(m.len(), p.len(), "parameter tensor size changed between steps");
+                assert_eq!(
+                    m.len(),
+                    p.len(),
+                    "parameter tensor size changed between steps"
+                );
                 let data = p.data_mut();
                 for i in 0..data.len() {
                     let grad = g[i] + self.weight_decay * data[i];

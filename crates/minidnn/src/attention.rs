@@ -43,7 +43,9 @@ impl SelfAttention {
         assert!(seq > 0 && dim > 0, "dims must be positive");
         let limit = (3.0 / dim as f32).sqrt();
         let mut mk = |_: &str| {
-            let data: Vec<f32> = (0..dim * dim).map(|_| rng.gen_range(-limit..=limit)).collect();
+            let data: Vec<f32> = (0..dim * dim)
+                .map(|_| rng.gen_range(-limit..=limit))
+                .collect();
             Tensor::from_vec(&[dim, dim], data)
         };
         SelfAttention {
@@ -132,8 +134,7 @@ impl Layer for SelfAttention {
         let mut grad_in = Tensor::zeros(&[batch, self.features()]);
         for b in 0..batch {
             let (x, q, k, v, attn, context) = &self.cache[b];
-            let dy_row =
-                &grad_output.data()[b * self.features()..(b + 1) * self.features()];
+            let dy_row = &grad_output.data()[b * self.features()..(b + 1) * self.features()];
             let dy = self.unflatten(dy_row);
             // y = context · Wo
             self.grad_wo.axpy(1.0, &context.t_matmul(&dy));
@@ -144,9 +145,7 @@ impl Layer for SelfAttention {
             // softmax backward, row-wise: ds = a ⊙ (da − Σ a·da)
             let mut dscores = Tensor::zeros(&[self.seq, self.seq]);
             for r in 0..self.seq {
-                let dot: f32 = (0..self.seq)
-                    .map(|c| attn.at(r, c) * dattn.at(r, c))
-                    .sum();
+                let dot: f32 = (0..self.seq).map(|c| attn.at(r, c) * dattn.at(r, c)).sum();
                 for c in 0..self.seq {
                     *dscores.at_mut(r, c) = attn.at(r, c) * (dattn.at(r, c) - dot) * scale;
                 }
@@ -177,7 +176,12 @@ impl Layer for SelfAttention {
         vec![&self.grad_wq, &self.grad_wk, &self.grad_wv, &self.grad_wo]
     }
     fn grads_mut(&mut self) -> Vec<&mut Tensor> {
-        vec![&mut self.grad_wq, &mut self.grad_wk, &mut self.grad_wv, &mut self.grad_wo]
+        vec![
+            &mut self.grad_wq,
+            &mut self.grad_wk,
+            &mut self.grad_wv,
+            &mut self.grad_wo,
+        ]
     }
 }
 
@@ -266,6 +270,9 @@ mod tests {
             net.backward(&dloss);
             opt.step(&mut net);
         }
-        assert!(last < 0.3 * first, "attention net did not learn: {first} -> {last}");
+        assert!(
+            last < 0.3 * first,
+            "attention net did not learn: {first} -> {last}"
+        );
     }
 }

@@ -48,8 +48,14 @@ impl Conv2d {
         pad: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(in_c > 0 && out_c > 0 && h > 0 && w > 0 && k > 0, "dims must be positive");
-        assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than padded input");
+        assert!(
+            in_c > 0 && out_c > 0 && h > 0 && w > 0 && k > 0,
+            "dims must be positive"
+        );
+        assert!(
+            h + 2 * pad >= k && w + 2 * pad >= k,
+            "kernel larger than padded input"
+        );
         let fan_in = (in_c * k * k) as f32;
         let limit = (3.0 / fan_in).sqrt();
         let weight_data: Vec<f32> = (0..out_c * in_c * k * k)
@@ -130,8 +136,8 @@ impl Layer for Conv2d {
                                     let ih = y as isize + kh as isize - self.pad as isize;
                                     let iw = x as isize + kw as isize - self.pad as isize;
                                     let (r, c) = self.widx(oc, ic, kh, kw);
-                                    acc += self.weight.at(r, c)
-                                        * self.input_at(input, b, ic, ih, iw);
+                                    acc +=
+                                        self.weight.at(r, c) * self.input_at(input, b, ic, ih, iw);
                                 }
                             }
                         }
@@ -151,7 +157,11 @@ impl Layer for Conv2d {
             .expect("backward called before forward");
         let batch = grad_output.rows();
         let (oh, ow) = (self.out_h(), self.out_w());
-        assert_eq!(grad_output.cols(), self.out_c * oh * ow, "conv2d grad shape");
+        assert_eq!(
+            grad_output.cols(),
+            self.out_c * oh * ow,
+            "conv2d grad shape"
+        );
         let mut grad_in = Tensor::zeros(&[batch, self.in_c * self.h * self.w]);
         for b in 0..batch {
             for oc in 0..self.out_c {
@@ -175,11 +185,9 @@ impl Layer for Conv2d {
                                         continue;
                                     }
                                     let (r, c) = self.widx(oc, ic, kh, kw);
-                                    let in_idx = ic * self.h * self.w
-                                        + ih as usize * self.w
-                                        + iw as usize;
-                                    *self.grad_weight.at_mut(r, c) +=
-                                        dy * input.at(b, in_idx);
+                                    let in_idx =
+                                        ic * self.h * self.w + ih as usize * self.w + iw as usize;
+                                    *self.grad_weight.at_mut(r, c) += dy * input.at(b, in_idx);
                                     *grad_in.at_mut(b, in_idx) += dy * self.weight.at(r, c);
                                 }
                             }
@@ -300,7 +308,10 @@ mod tests {
             net.backward(&dloss);
             opt.step(&mut net);
         }
-        assert!(last < 0.3 * first, "conv net did not learn: {first} -> {last}");
+        assert!(
+            last < 0.3 * first,
+            "conv net did not learn: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl Embedding {
     #[must_use]
     pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
         assert!(vocab > 0 && dim > 0, "dims must be positive");
-        let data: Vec<f32> = (0..vocab * dim).map(|_| rng.gen_range(-0.1..=0.1)).collect();
+        let data: Vec<f32> = (0..vocab * dim)
+            .map(|_| rng.gen_range(-0.1..=0.1))
+            .collect();
         Embedding {
             vocab,
             dim,
@@ -89,7 +91,11 @@ impl Layer for Embedding {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let batch = grad_output.rows();
-        assert_eq!(self.cached_ids.len(), batch, "backward called before forward");
+        assert_eq!(
+            self.cached_ids.len(),
+            batch,
+            "backward called before forward"
+        );
         let seq = self.cached_ids.first().map_or(0, Vec::len);
         assert_eq!(grad_output.cols(), seq * self.dim, "embedding grad shape");
         for (b, ids) in self.cached_ids.iter().enumerate() {
@@ -141,7 +147,9 @@ mod tests {
     fn out_of_range_ids_map_to_padding() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut emb = Embedding::new(3, 1, &mut rng);
-        emb.params_mut()[0].data_mut().copy_from_slice(&[7., 8., 9.]);
+        emb.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(&[7., 8., 9.]);
         let ids = Tensor::from_vec(&[1, 4], vec![-1.0, 99.0, f32::NAN, 1.0]);
         let y = emb.forward(&ids);
         assert_eq!(y.data(), &[7., 7., 7., 8.]);
@@ -156,7 +164,7 @@ mod tests {
         let dy = Tensor::from_vec(&[1, 6], vec![1., 2., 3., 4., 5., 6.]);
         let dx = emb.backward(&dy);
         assert_eq!(dx.data(), &[0., 0., 0.]); // ids are not differentiable
-        // Token 1 used twice: gradients accumulate.
+                                              // Token 1 used twice: gradients accumulate.
         assert_eq!(&emb.grads()[0].data()[2..4], &[4., 6.]);
         assert_eq!(&emb.grads()[0].data()[4..6], &[5., 6.]);
         assert_eq!(&emb.grads()[0].data()[0..2], &[0., 0.]);
@@ -192,6 +200,9 @@ mod tests {
             net.backward(&dloss);
             opt.step(&mut net);
         }
-        assert!(last < 0.1 * first, "embedding net did not learn: {first} -> {last}");
+        assert!(
+            last < 0.1 * first,
+            "embedding net did not learn: {first} -> {last}"
+        );
     }
 }

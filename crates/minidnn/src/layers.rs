@@ -29,7 +29,10 @@ impl Linear {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         let weight_data: Vec<f32> = (0..in_dim * out_dim)
             .map(|_| rng.gen_range(-limit..=limit))
@@ -316,8 +319,7 @@ impl Layer for LayerNorm {
             let std = self.cached_std[r];
             for c in 0..self.dim {
                 let gdy = self.gain.data()[c] * grad_output.at(r, c);
-                *grad_in.at_mut(r, c) =
-                    (gdy - sum_gdy / d - norm.at(r, c) * sum_gdy_n / d) / std;
+                *grad_in.at_mut(r, c) = (gdy - sum_gdy / d - norm.at(r, c) * sum_gdy_n / d) / std;
             }
         }
         grad_in

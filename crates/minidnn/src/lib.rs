@@ -63,14 +63,14 @@ mod network;
 mod optim;
 mod tensor;
 
+pub use adam::Adam;
+pub use attention::SelfAttention;
+pub use conv::Conv2d;
 pub use data::BlobDataset;
 pub use embedding::Embedding;
 pub use layer::Layer;
-pub use attention::SelfAttention;
-pub use conv::Conv2d;
 pub use layers::{LayerNorm, Linear, Relu, Tanh};
 pub use loss::{accuracy, mse, softmax_cross_entropy};
 pub use network::Sequential;
-pub use adam::Adam;
 pub use optim::{Optimizer, Sgd};
 pub use tensor::Tensor;

@@ -20,7 +20,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     let mut grad = Tensor::zeros(&[batch, classes]);
     let mut total_loss = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         // Numerically stable softmax.
         let row_max = (0..classes)
             .map(|c| logits.at(r, c))

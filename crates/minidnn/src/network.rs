@@ -18,7 +18,10 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
-            .field("layers", &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -135,7 +138,11 @@ impl Sequential {
     ///
     /// Panics if `flat.len()` does not equal [`Sequential::param_count`].
     pub fn set_flat_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             for p in layer.params_mut() {

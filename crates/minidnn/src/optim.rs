@@ -83,7 +83,11 @@ impl Optimizer for Sgd {
                     self.velocity.push(vec![0.0; p.len()]);
                 }
                 let v = &mut self.velocity[tensor_idx];
-                assert_eq!(v.len(), p.len(), "parameter tensor size changed between steps");
+                assert_eq!(
+                    v.len(),
+                    p.len(),
+                    "parameter tensor size changed between steps"
+                );
                 let data = p.data_mut();
                 for i in 0..data.len() {
                     let grad = g[i] + self.weight_decay * data[i];
@@ -125,7 +129,10 @@ mod tests {
             net.backward(&dl);
             opt.step(&mut net);
         }
-        assert!(losses[199] < 0.01 * losses[0].max(0.01), "did not converge: {losses:?}");
+        assert!(
+            losses[199] < 0.01 * losses[0].max(0.01),
+            "did not converge: {losses:?}"
+        );
     }
 
     #[test]

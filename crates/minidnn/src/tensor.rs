@@ -270,7 +270,10 @@ mod tests {
         assert_eq!(a.t_matmul(&b), at.matmul(&b));
         // b (2x4) @ cᵀ where c is 3x4
         let c = Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32).collect());
-        let ct = Tensor::from_vec(&[4, 3], vec![0., 4., 8., 1., 5., 9., 2., 6., 10., 3., 7., 11.]);
+        let ct = Tensor::from_vec(
+            &[4, 3],
+            vec![0., 4., 8., 1., 5., 9., 2., 6., 10., 3., 7., 11.],
+        );
         assert_eq!(b.matmul_t(&c), b.matmul(&ct));
     }
 

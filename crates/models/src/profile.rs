@@ -128,7 +128,11 @@ impl ModelProfile {
     pub fn validate(&self) {
         let mut owner = vec![usize::MAX; self.tensors.len()];
         for (li, layer) in self.layers.iter().enumerate() {
-            assert!(!layer.tensor_ids.is_empty(), "layer {} owns no tensors", layer.name);
+            assert!(
+                !layer.tensor_ids.is_empty(),
+                "layer {} owns no tensors",
+                layer.name
+            );
             for &tid in &layer.tensor_ids {
                 assert!(tid < self.tensors.len(), "tensor id {tid} out of range");
                 assert_eq!(
@@ -139,8 +143,16 @@ impl ModelProfile {
                 );
                 owner[tid] = li;
             }
-            assert!(!layer.ff_time.is_zero(), "layer {} has zero ff time", layer.name);
-            assert!(!layer.bp_time.is_zero(), "layer {} has zero bp time", layer.name);
+            assert!(
+                !layer.ff_time.is_zero(),
+                "layer {} has zero ff time",
+                layer.name
+            );
+            assert!(
+                !layer.bp_time.is_zero(),
+                "layer {} has zero bp time",
+                layer.name
+            );
         }
         assert!(
             owner.iter().all(|&o| o != usize::MAX),

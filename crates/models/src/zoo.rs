@@ -156,8 +156,10 @@ impl Model {
 pub fn synthesize(spec: &ModelSpec) -> ModelProfile {
     let n_layers = spec.layers;
     let n_tensors = spec.tensors;
-    assert!(n_layers > 0 && n_tensors >= n_layers && n_tensors <= 2 * n_layers,
-        "tensor count must be in [layers, 2*layers]");
+    assert!(
+        n_layers > 0 && n_tensors >= n_layers && n_tensors <= 2 * n_layers,
+        "tensor count must be in [layers, 2*layers]"
+    );
 
     // Which layers carry a bias tensor (2 tensors): spread evenly.
     let two_tensor_layers = n_tensors - n_layers;
@@ -233,12 +235,11 @@ pub fn synthesize(spec: &ModelSpec) -> ModelProfile {
     let bp_total = 2.0 * ff_total;
     for (i, layer) in layers.iter_mut().enumerate() {
         let layer_params: usize = layer.tensor_ids.iter().map(|&t| tensors[t].elements).sum();
-        let share = 0.5 / n_layers as f64
-            + 0.5 * layer_params as f64 / total_params as f64;
-        layer.ff_time = SimDuration::from_secs_f64(ff_total * share)
-            .max(SimDuration::from_nanos(1));
-        layer.bp_time = SimDuration::from_secs_f64(bp_total * share)
-            .max(SimDuration::from_nanos(1));
+        let share = 0.5 / n_layers as f64 + 0.5 * layer_params as f64 / total_params as f64;
+        layer.ff_time =
+            SimDuration::from_secs_f64(ff_total * share).max(SimDuration::from_nanos(1));
+        layer.bp_time =
+            SimDuration::from_secs_f64(bp_total * share).max(SimDuration::from_nanos(1));
         let _ = i;
     }
 
@@ -318,8 +319,16 @@ mod tests {
         for m in Model::CNNS {
             assert!(cv(m) > 0.8, "{:?} CV {}", m, cv(m));
         }
-        assert!(cv(Model::BertBase) < 0.3, "BERT-Base CV {}", cv(Model::BertBase));
-        assert!(cv(Model::BertLarge) < 0.3, "BERT-Large CV {}", cv(Model::BertLarge));
+        assert!(
+            cv(Model::BertBase) < 0.3,
+            "BERT-Base CV {}",
+            cv(Model::BertBase)
+        );
+        assert!(
+            cv(Model::BertLarge) < 0.3,
+            "BERT-Large CV {}",
+            cv(Model::BertLarge)
+        );
     }
 
     #[test]

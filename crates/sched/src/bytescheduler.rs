@@ -181,7 +181,10 @@ mod tests {
         let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
         let bs = ByteSchedulerSim::default().simulate(&model, &cluster);
         let ratio = wfbp.iter_time.as_secs_f64() / bs.iter_time.as_secs_f64();
-        assert!(ratio > 0.85, "ByteScheduler/WFBP speedup {ratio} too low on BERT");
+        assert!(
+            ratio > 0.85,
+            "ByteScheduler/WFBP speedup {ratio} too low on BERT"
+        );
     }
 
     #[test]

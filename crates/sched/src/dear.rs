@@ -64,9 +64,7 @@ impl CollectiveFamily {
     #[must_use]
     pub fn op2_cost(&self, cluster: &ClusterConfig, bytes: u64) -> SimDuration {
         match self {
-            CollectiveFamily::FlatRing => {
-                cluster.network.ring_all_gather(bytes, cluster.workers)
-            }
+            CollectiveFamily::FlatRing => cluster.network.ring_all_gather(bytes, cluster.workers),
             CollectiveFamily::Hierarchical {
                 gpus_per_node,
                 intra,
@@ -349,8 +347,7 @@ mod tests {
             let model = m.profile();
             let cluster = ClusterConfig::paper_10gbe();
             let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
-            let dear =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
             assert!(
                 dear.iter_time <= horovod.iter_time,
                 "{}: DeAR {} > Horovod {}",
@@ -392,8 +389,16 @@ mod tests {
         let model = Model::ResNet50.profile();
         let cluster = ClusterConfig::paper_10gbe();
         let tl = DearScheduler::unfused().build(&model, &cluster, 2);
-        let rs = tl.tasks().iter().filter(|t| t.label.starts_with("RS")).count();
-        let ag = tl.tasks().iter().filter(|t| t.label.starts_with("AG")).count();
+        let rs = tl
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("RS"))
+            .count();
+        let ag = tl
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("AG"))
+            .count();
         assert_eq!(rs, 2 * model.num_tensors());
         assert_eq!(ag, model.num_tensors()); // only iteration 1 gathers iter 0
     }
@@ -424,7 +429,12 @@ mod tests {
         }
         // Hierarchical over a fast intra-node fabric beats the flat ring on
         // a 16-node x 4-GPU 10GbE cluster.
-        assert!(hier.iter_time < ring.iter_time, "hier {} >= ring {}", hier.iter_time, ring.iter_time);
+        assert!(
+            hier.iter_time < ring.iter_time,
+            "hier {} >= ring {}",
+            hier.iter_time,
+            ring.iter_time
+        );
         let _ = tree;
     }
 
@@ -454,6 +464,11 @@ mod tests {
             expect += cluster.network.ring_all_gather(bytes, cluster.workers);
         }
         let diff = dear.total_comm.as_secs_f64() - expect.as_secs_f64();
-        assert!(diff.abs() < 1e-6, "total {} vs expect {}", dear.total_comm, expect);
+        assert!(
+            diff.abs() < 1e-6,
+            "total {} vs expect {}",
+            dear.total_comm,
+            expect
+        );
     }
 }

@@ -25,18 +25,14 @@ impl TensorGeometry {
     #[must_use]
     pub fn new(model: &ModelProfile) -> Self {
         let ready_order = model.backward_tensor_order();
-        let item_bytes = ready_order
-            .iter()
-            .map(|&t| model.tensor_bytes(t))
-            .collect();
+        let item_bytes = ready_order.iter().map(|&t| model.tensor_bytes(t)).collect();
         let mut tensor_layer = vec![0usize; model.num_tensors()];
         for (li, layer) in model.layers.iter().enumerate() {
             for &t in &layer.tensor_ids {
                 tensor_layer[t] = li;
             }
         }
-        let layer_of_item: Vec<usize> =
-            ready_order.iter().map(|&t| tensor_layer[t]).collect();
+        let layer_of_item: Vec<usize> = ready_order.iter().map(|&t| tensor_layer[t]).collect();
         let mut items_of_layer = vec![Vec::new(); model.num_layers()];
         for (item, &layer) in layer_of_item.iter().enumerate() {
             items_of_layer[layer].push(item);

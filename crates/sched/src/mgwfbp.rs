@@ -114,7 +114,11 @@ impl MgWfbpScheduler {
         for i in 0..n {
             acc_bytes += geo.item_bytes[i];
             let group_ready = ready[i];
-            let next_ready = if i + 1 < n { ready[i + 1] } else { SimTime::MAX };
+            let next_ready = if i + 1 < n {
+                ready[i + 1]
+            } else {
+                SimTime::MAX
+            };
             // If the channel is (or the group would be) still unavailable
             // when the next tensor arrives, merging it costs nothing.
             let would_start = comm_free.max(group_ready);

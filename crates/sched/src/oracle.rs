@@ -44,11 +44,7 @@ impl OracleScheduler {
 
     /// The per-iteration bound, directly.
     #[must_use]
-    pub fn iteration_bound(
-        &self,
-        model: &ModelProfile,
-        cluster: &ClusterConfig,
-    ) -> SimDuration {
+    pub fn iteration_bound(&self, model: &ModelProfile, cluster: &ClusterConfig) -> SimDuration {
         let t_ff = model.ff_time();
         let t_bp = model.bp_time();
         // Bandwidth-optimal halves: no startup, perfectly fused.

@@ -47,8 +47,7 @@ impl IterationReport {
     /// (`P · compute_time / iter_time`).
     #[must_use]
     pub fn speedup_vs_single_gpu(&self, workers: usize) -> f64 {
-        workers as f64 * (self.ff_time + self.bp_time).as_secs_f64()
-            / self.iter_time.as_secs_f64()
+        workers as f64 * (self.ff_time + self.bp_time).as_secs_f64() / self.iter_time.as_secs_f64()
     }
 
     /// Scaling efficiency in `[0, 1]`: speedup / workers.
@@ -77,8 +76,7 @@ pub trait Scheduler {
         warm.assert_streams_serial();
         full.assert_streams_serial();
         let compute_kinds = [TaskKind::FeedForward, TaskKind::Backprop];
-        let iter_time =
-            (full.makespan() - warm.makespan()) / MEASURE_ITERS as u64;
+        let iter_time = (full.makespan() - warm.makespan()) / MEASURE_ITERS as u64;
         let exposed = full
             .exposed_time(TaskKind::Communication, &compute_kinds)
             .saturating_sub(warm.exposed_time(TaskKind::Communication, &compute_kinds))

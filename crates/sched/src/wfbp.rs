@@ -158,17 +158,14 @@ impl Scheduler for WfbpScheduler {
             // group (~2 log2(P) latency-bound messages).
             let coordination = if self.coordinated {
                 let rounds = 2.0 * (cluster.workers as f64).log2().ceil().max(1.0);
-                dear_sim::SimDuration::from_nanos(
-                    (rounds * cluster.network.alpha_ns).round() as u64,
-                )
+                dear_sim::SimDuration::from_nanos((rounds * cluster.network.alpha_ns).round() as u64)
             } else {
                 dear_sim::SimDuration::ZERO
             };
             for (g, range) in plan.groups().iter().enumerate() {
                 let trigger = geo.trigger_layer(range.start, range.end);
                 let bytes = plan.group_bytes(g, &geo.item_bytes);
-                let cost = coordination
-                    + cluster.network.ring_all_reduce(bytes, cluster.workers);
+                let cost = coordination + cluster.network.ring_all_reduce(bytes, cluster.workers);
                 let dep = bp_task[trigger].expect("BP scheduled for every layer");
                 ar_tasks.push(tl.schedule(
                     comm,
@@ -220,17 +217,16 @@ mod tests {
         let model = Model::ResNet50.profile();
         let report = WfbpScheduler::horovod().simulate(&model, &small_cluster());
         assert!(report.exposed_comm < report.total_comm);
-        assert!(!report.exposed_comm.is_zero(), "10GbE comm cannot fully hide");
+        assert!(
+            !report.exposed_comm.is_zero(),
+            "10GbE comm cannot fully hide"
+        );
     }
 
     #[test]
     fn single_worker_has_zero_comm() {
         let model = Model::ResNet50.profile();
-        let cluster = ClusterConfig::custom(
-            1,
-            dear_collectives::CostModel::ten_gbe(),
-            "1xTest",
-        );
+        let cluster = ClusterConfig::custom(1, dear_collectives::CostModel::ten_gbe(), "1xTest");
         let report = WfbpScheduler::unfused().simulate(&model, &cluster);
         assert_eq!(report.total_comm, SimDuration::ZERO);
         // Iteration time is exactly compute time.
@@ -250,7 +246,8 @@ mod tests {
         let model = Model::BertBase.profile();
         let geo_n = model.num_tensors();
         let plan = FusionPlan::single_group(geo_n);
-        let one_shot = WfbpScheduler::with_plan("AllAtOnce", plan).simulate(&model, &small_cluster());
+        let one_shot =
+            WfbpScheduler::with_plan("AllAtOnce", plan).simulate(&model, &small_cluster());
         // One huge all-reduce: total comm equals the single fused cost.
         let expect = small_cluster()
             .network

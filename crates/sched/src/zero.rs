@@ -174,8 +174,7 @@ mod tests {
         for m in Model::ALL {
             let model = m.profile();
             let zero = ZeroScheduler::default().simulate(&model, &cluster);
-            let dear =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
             assert!(
                 dear.iter_time <= zero.iter_time,
                 "{}: DeAR {} > ZeRO {}",
@@ -193,8 +192,16 @@ mod tests {
         let tl = ZeroScheduler::new(8 << 20).build(&model, &cluster, 3);
         tl.assert_streams_serial();
         // Two AGs and one RS per group per iteration.
-        let ag = tl.tasks().iter().filter(|t| t.label.starts_with("AG")).count();
-        let rs = tl.tasks().iter().filter(|t| t.label.starts_with("RS")).count();
+        let ag = tl
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("AG"))
+            .count();
+        let rs = tl
+            .tasks()
+            .iter()
+            .filter(|t| t.label.starts_with("RS"))
+            .count();
         assert_eq!(ag, 2 * rs);
     }
 }

@@ -50,9 +50,9 @@
 
 mod engine;
 pub mod stats;
-pub mod trace;
 mod time;
 mod timeline;
+pub mod trace;
 
 pub use engine::EventSim;
 pub use time::{SimDuration, SimTime};

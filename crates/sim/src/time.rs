@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_micros(3);
 /// assert_eq!(t.as_nanos(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -36,7 +38,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_secs_f64(), 0.0025);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -326,9 +330,18 @@ mod tests {
     fn sum_and_scaling() {
         let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total, SimDuration::from_micros(10));
-        assert_eq!(SimDuration::from_micros(10) * 3u64, SimDuration::from_micros(30));
-        assert_eq!(SimDuration::from_micros(10) / 2, SimDuration::from_micros(5));
-        assert_eq!(SimDuration::from_micros(10) * 0.5, SimDuration::from_micros(5));
+        assert_eq!(
+            SimDuration::from_micros(10) * 3u64,
+            SimDuration::from_micros(30)
+        );
+        assert_eq!(
+            SimDuration::from_micros(10) / 2,
+            SimDuration::from_micros(5)
+        );
+        assert_eq!(
+            SimDuration::from_micros(10) * 0.5,
+            SimDuration::from_micros(5)
+        );
     }
 
     #[test]

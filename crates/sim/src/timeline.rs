@@ -290,12 +290,7 @@ impl Timeline {
     #[must_use]
     pub fn render_gantt(&self, width: usize) -> String {
         let total = self.makespan().as_nanos().max(1);
-        let name_w = self
-            .streams
-            .iter()
-            .map(|s| s.name.len())
-            .max()
-            .unwrap_or(0);
+        let name_w = self.streams.iter().map(|s| s.name.len()).max().unwrap_or(0);
         let mut rows = String::new();
         for (idx, s) in self.streams.iter().enumerate() {
             let mut row = vec![b'.'; width];

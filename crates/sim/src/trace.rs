@@ -68,8 +68,20 @@ mod tests {
         let mut tl = Timeline::new();
         let a = tl.add_stream("compute");
         let b = tl.add_stream("comm");
-        tl.schedule(a, "BP[0]", TaskKind::Backprop, SimDuration::from_micros(5), &[]);
-        tl.schedule(b, "RS[0]", TaskKind::Communication, SimDuration::from_micros(3), &[]);
+        tl.schedule(
+            a,
+            "BP[0]",
+            TaskKind::Backprop,
+            SimDuration::from_micros(5),
+            &[],
+        );
+        tl.schedule(
+            b,
+            "RS[0]",
+            TaskKind::Communication,
+            SimDuration::from_micros(3),
+            &[],
+        );
         let json = to_chrome_trace(&tl);
         assert!(json.contains("\"BP[0]\""));
         assert!(json.contains("\"RS[0]\""));

@@ -19,7 +19,9 @@ fn kind_of(code: u8) -> TaskKind {
 
 fn build_timeline(streams: usize, descs: &[TaskDesc]) -> Timeline {
     let mut tl = Timeline::new();
-    let stream_ids: Vec<_> = (0..streams).map(|i| tl.add_stream(format!("s{i}"))).collect();
+    let stream_ids: Vec<_> = (0..streams)
+        .map(|i| tl.add_stream(format!("s{i}")))
+        .collect();
     let mut ids = Vec::new();
     for &(s, k, d, dep_back) in descs {
         let deps: Vec<_> = if dep_back > 0 && !ids.is_empty() {

@@ -21,7 +21,8 @@ fn build_model() -> Sequential {
             .push(Relu::new())
             .push(Linear::new(64, 64, &mut rng));
     }
-    net.push(LayerNorm::new(64)).push(Linear::new(64, 6, &mut rng))
+    net.push(LayerNorm::new(64))
+        .push(Linear::new(64, 6, &mut rng))
 }
 
 fn main() {
@@ -40,7 +41,11 @@ fn main() {
 
     println!(
         "Adam + LayerNorm on {world} workers ({} learnable tensors)\n",
-        build_model().layers().iter().map(|l| l.params().len()).sum::<usize>()
+        build_model()
+            .layers()
+            .iter()
+            .map(|l| l.params().len())
+            .sum::<usize>()
     );
     let results = run_training(world, config, |handle| {
         let rank = handle.rank();

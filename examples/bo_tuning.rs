@@ -45,10 +45,9 @@ fn main() {
         let mut net = build_model();
         let mut optim = handle.into_optim(&net);
         // Only rank 0 owns the tuner; a tiny domain suits the tiny model.
-        let tuner = (rank == 0)
-            .then(|| BayesOpt::new(Domain::new(8.0 * 1024.0, 512.0 * 1024.0), 1));
-        let mut tuning =
-            OnlineTuning::new(tuner, window, global_batch as f64, initial);
+        let tuner =
+            (rank == 0).then(|| BayesOpt::new(Domain::new(8.0 * 1024.0, 512.0 * 1024.0), 1));
+        let mut tuning = OnlineTuning::new(tuner, window, global_batch as f64, initial);
         let mut step = 0u64;
         let mut history = Vec::new();
         for _ in 0..windows {
@@ -86,5 +85,8 @@ fn main() {
     for (rank, (_, params)) in results.iter().enumerate().skip(1) {
         assert_eq!(params0, params, "rank {rank} diverged during tuning");
     }
-    println!("\nall ranks consistent across {} re-bucketings: OK", history.len());
+    println!(
+        "\nall ranks consistent across {} re-bucketings: OK",
+        history.len()
+    );
 }

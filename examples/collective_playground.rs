@@ -25,12 +25,16 @@ fn main() {
     let mut outputs = Vec::new();
     for algo in algorithms {
         let results = run_cluster_with(world, algo, |comm| {
-            let mut data: Vec<f32> =
-                (0..elems).map(|i| ((comm.rank() + 1) * (i % 17 + 1)) as f32).collect();
+            let mut data: Vec<f32> = (0..elems)
+                .map(|i| ((comm.rank() + 1) * (i % 17 + 1)) as f32)
+                .collect();
             comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
             data
         });
-        println!("{algo:?}: rank agreement {}", results.windows(2).all(|w| w[0] == w[1]));
+        println!(
+            "{algo:?}: rank agreement {}",
+            results.windows(2).all(|w| w[0] == w[1])
+        );
         outputs.push(results[0].clone());
     }
     let reference = &outputs[0];
@@ -53,7 +57,10 @@ fn main() {
     println!("sum of ranks 0..8 = {} (expected 28)", results[0]);
 
     println!("\n== cost model: the decoupling identity (64 workers) ==\n");
-    for (name, net) in [("10GbE", CostModel::ten_gbe()), ("100GbIB", CostModel::hundred_gb_ib())] {
+    for (name, net) in [
+        ("10GbE", CostModel::ten_gbe()),
+        ("100GbIB", CostModel::hundred_gb_ib()),
+    ] {
         println!("{name}:");
         println!(
             "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",

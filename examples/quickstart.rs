@@ -52,18 +52,29 @@ fn main() {
             first_loss.get_or_insert(loss);
             last_loss = loss;
             if rank == 0 && step % 30 == 0 {
-                println!("  step {step:>3}: loss {loss:.4} ({} fusion groups)", optim.num_groups());
+                println!(
+                    "  step {step:>3}: loss {loss:.4} ({} fusion groups)",
+                    optim.num_groups()
+                );
             }
         }
         // Listing 1 lines 12-13: synchronize before evaluation.
         optim.synchronize(&mut net);
         let (x, labels) = data.batch(1_000_000, 512);
         let acc = accuracy(&net.forward(&x), &labels);
-        (first_loss.expect("trained at least one step"), last_loss, acc, net.flat_params())
+        (
+            first_loss.expect("trained at least one step"),
+            last_loss,
+            acc,
+            net.flat_params(),
+        )
     });
 
     let (first, last, acc, params0) = results[0].clone();
-    println!("\nrank 0: loss {first:.4} -> {last:.4}, validation accuracy {:.1}%", acc * 100.0);
+    println!(
+        "\nrank 0: loss {first:.4} -> {last:.4}, validation accuracy {:.1}%",
+        acc * 100.0
+    );
     for (rank, (_, _, _, params)) in results.iter().enumerate().skip(1) {
         assert_eq!(
             &params0, params,

@@ -1,5 +1,5 @@
-pub use dear_core::*;
 pub use dear_collectives as collectives;
+pub use dear_core::*;
 pub use dear_fusion as fusion;
 pub use dear_minidnn as minidnn;
 pub use dear_models as models;

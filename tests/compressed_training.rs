@@ -4,8 +4,8 @@
 //! identifies when compression pays off.
 
 use dear::collectives::{
-    compressed_aggregate, compressed_aggregate_wire_bytes, run_cluster, Compressor,
-    ErrorFeedback, TopK, Uniform8,
+    compressed_aggregate, compressed_aggregate_wire_bytes, run_cluster, Compressor, ErrorFeedback,
+    TopK, Uniform8,
 };
 use dear::minidnn::{accuracy, softmax_cross_entropy, BlobDataset, Linear, Relu, Sequential, Sgd};
 use rand::rngs::StdRng;
@@ -72,7 +72,10 @@ fn topk_with_error_feedback_converges() {
 fn quantized_training_converges() {
     let accs = train_compressed(Uniform8::new(128), 100);
     for (rank, acc) in accs.iter().enumerate() {
-        assert!(*acc > 0.85, "rank {rank}: accuracy {acc} with 8-bit quantization");
+        assert!(
+            *acc > 0.85,
+            "rank {rank}: accuracy {acc} with 8-bit quantization"
+        );
     }
 }
 

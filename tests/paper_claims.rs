@@ -55,7 +55,12 @@ fn fig6_dear_beats_wfbp_without_fusion_on_10gbe() {
         let wfbp = WfbpScheduler::unfused().simulate(&model, &cluster);
         let dear = DearScheduler::unfused().simulate(&model, &cluster);
         let gain = wfbp.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0;
-        assert!(gain > 0.02, "{}: DeAR gain only {:.1}%", m.name(), 100.0 * gain);
+        assert!(
+            gain > 0.02,
+            "{}: DeAR gain only {:.1}%",
+            m.name(),
+            100.0 * gain
+        );
     }
 }
 
@@ -79,8 +84,7 @@ fn fig7_dear_beats_every_wfbp_family_baseline_on_10gbe_64gpus() {
     let cluster = ClusterConfig::paper_10gbe();
     for m in Model::ALL {
         let model = m.profile();
-        let dear =
-            DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+        let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
         for baseline in [
             WfbpScheduler::horovod().simulate(&model, &cluster),
             WfbpScheduler::pytorch_ddp().simulate(&model, &cluster),
@@ -116,10 +120,8 @@ fn fig7_gains_are_larger_on_10gbe_than_on_100gbib() {
         for m in Model::ALL {
             let model = m.profile();
             let horovod = WfbpScheduler::horovod().simulate(&model, cluster);
-            let dear =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
-            gain_sum[i] +=
-                horovod.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0;
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, cluster);
+            gain_sum[i] += horovod.iter_time.as_secs_f64() / dear.iter_time.as_secs_f64() - 1.0;
         }
     }
     assert!(
@@ -150,7 +152,13 @@ fn fig8_rs_hides_better_than_ag() {
         };
         let rs = split(&full, "RS").saturating_sub(split(&warm, "RS"));
         let ag = split(&full, "AG").saturating_sub(split(&warm, "AG"));
-        assert!(rs < ag, "{}: RS exposed {} >= AG exposed {}", m.name(), rs, ag);
+        assert!(
+            rs < ag,
+            "{}: RS exposed {} >= AG exposed {}",
+            m.name(),
+            rs,
+            ag
+        );
     }
 }
 
@@ -206,8 +214,7 @@ fn fig11_dear_wins_at_every_batch_size() {
         for bs in [16usize, 32, 64, 128] {
             let model = m.profile_with_batch(bs);
             let horovod = WfbpScheduler::horovod().simulate(&model, &cluster);
-            let dear =
-                DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
+            let dear = DearScheduler::with_buffer("DeAR", 25 << 20).simulate(&model, &cluster);
             assert!(
                 dear.iter_time <= horovod.iter_time,
                 "{} bs={bs}: DeAR slower than Horovod",

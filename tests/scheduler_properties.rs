@@ -13,8 +13,14 @@ use proptest::prelude::*;
 
 /// An arbitrary small model spec (kept small so simulation stays fast).
 fn arb_model() -> impl Strategy<Value = dear::models::ModelProfile> {
-    (2usize..40, 0usize..30, 1usize..200, 1u64..2_000, 0.0f64..5.0).prop_map(
-        |(layers, extra_tensors, params_k, compute_us, growth)| {
+    (
+        2usize..40,
+        0usize..30,
+        1usize..200,
+        1u64..2_000,
+        0.0f64..5.0,
+    )
+        .prop_map(|(layers, extra_tensors, params_k, compute_us, growth)| {
             let tensors = (layers + extra_tensors).min(2 * layers);
             synthesize(&ModelSpec {
                 name: "prop",
@@ -26,8 +32,7 @@ fn arb_model() -> impl Strategy<Value = dear::models::ModelProfile> {
                 growth,
                 embedding: 0,
             })
-        },
-    )
+        })
 }
 
 fn arb_cluster() -> impl Strategy<Value = ClusterConfig> {

@@ -3,9 +3,7 @@
 //! full DeAR pipeline on the real threaded runtime — the workload family
 //! behind the paper's NLP rows.
 
-use dear::minidnn::{
-    accuracy, BlobDataset, LayerNorm, Linear, Relu, SelfAttention, Sequential,
-};
+use dear::minidnn::{accuracy, BlobDataset, LayerNorm, Linear, Relu, SelfAttention, Sequential};
 use dear::{run_training, OptimKind, PipelineMode, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

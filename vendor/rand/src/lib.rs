@@ -1,0 +1,193 @@
+//! Offline stand-in for `rand`, implementing the subset this workspace uses:
+//! the [`Rng`] extension trait (`gen_range` over half-open and inclusive
+//! ranges of ints and floats), [`SeedableRng`], and [`rngs::StdRng`] backed
+//! by xoshiro256++. Deterministic for a given seed; not the upstream stream.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types uniformly sampleable from a range. Mirrors upstream's
+/// `SampleUniform` so that [`SampleRange`] can be one blanket impl — that
+/// single impl is what lets the compiler unify untyped float/int literals in
+/// `rng.gen_range(-1.0..1.0)` with the expected output type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = if inclusive {
+                    let s = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if s == 0 {
+                        // Full-width range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    s
+                } else {
+                    (hi as u64).wrapping_sub(lo as u64)
+                };
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Inclusive ranges reach the upper endpoint via rounding.
+                let denom = if inclusive { (1u64 << 53) - 1 } else { 1u64 << 53 };
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / denom as f64);
+                lo + ((hi - lo) as f64 * unit) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Range types from which [`Rng::gen_range`] can sample a single value.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// Convenience extension over [`RngCore`], blanket-implemented for every
+/// generator.
+pub trait Rng: RngCore {
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use rand_core::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // Never allow the all-zero state (xoshiro's fixed point).
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+            let y = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&y));
+            let z = rng.gen_range(-0.1f32..=0.1);
+            assert!((-0.1..=0.1).contains(&z));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

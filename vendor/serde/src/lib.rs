@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` (JSON output goes through `serde_json::Value`
+//! built with `json!`), so the traits are markers and the derives are no-ops.
+//! Traits and derive macros share names but live in different namespaces, so
+//! `use serde::{Serialize, Deserialize}` imports both, exactly like upstream.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//! Nothing in the workspace consumes the generated impls (serialization goes
+//! through `serde_json::Value`), so deriving nothing is sound.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
