@@ -1,0 +1,76 @@
+//! Real-socket overhead: the same collectives over the in-process
+//! `LocalFabric` vs `dear-net`'s TCP loopback, at the paper's 25 MB fusion
+//! buffer. The gap between the two is the cost of serialization + kernel
+//! socket hops — what a real deployment pays on top of the algorithmic
+//! cost the other benches measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dear_collectives::{
+    rhd_all_reduce_seg, ring_all_reduce_seg, tree_broadcast_seg, tree_reduce_seg, LocalFabric,
+    ReduceOp, SegmentConfig, Transport,
+};
+use dear_net::tcp_loopback;
+
+const WORLD: usize = 4;
+const BYTES: usize = 25 << 20;
+const ELEMS: usize = BYTES / 4;
+
+fn run_all<T: Transport + Sync>(eps: &[T], f: impl Fn(&T) + Sync) {
+    std::thread::scope(|s| {
+        for ep in eps {
+            s.spawn(|| f(ep));
+        }
+    });
+}
+
+fn bench_fabric<T: Transport + Sync>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    fabric: &str,
+    eps: &[T],
+) {
+    let seg = SegmentConfig::new(1 << 20); // the repo's segmented default
+    group.bench_function(BenchmarkId::new("ring_all_reduce", fabric), |b| {
+        b.iter(|| {
+            run_all(eps, |ep| {
+                let mut data = vec![1.0f32; ELEMS];
+                ring_all_reduce_seg(ep, &mut data, ReduceOp::Sum, seg).unwrap();
+            });
+        });
+    });
+    group.bench_function(BenchmarkId::new("rhd_all_reduce", fabric), |b| {
+        b.iter(|| {
+            run_all(eps, |ep| {
+                let mut data = vec![1.0f32; ELEMS];
+                rhd_all_reduce_seg(ep, &mut data, ReduceOp::Sum, seg).unwrap();
+            });
+        });
+    });
+    group.bench_function(BenchmarkId::new("tree_reduce_bcast", fabric), |b| {
+        b.iter(|| {
+            run_all(eps, |ep| {
+                let mut data = vec![1.0f32; ELEMS];
+                tree_reduce_seg(ep, &mut data, 0, ReduceOp::Sum, seg).unwrap();
+                tree_broadcast_seg(ep, &mut data, 0, seg).unwrap();
+            });
+        });
+    });
+}
+
+fn bench_local_vs_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_vs_tcp_25mb");
+    group.throughput(Throughput::Bytes(BYTES as u64));
+    // One mesh per fabric, reused across iterations — what a training run
+    // does; rendezvous cost is excluded from the measurement.
+    let local = LocalFabric::create(WORLD);
+    bench_fabric(&mut group, "local_fabric", &local);
+    let tcp = tcp_loopback(WORLD).expect("tcp loopback rendezvous");
+    bench_fabric(&mut group, "tcp_loopback", &tcp);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_local_vs_tcp
+}
+criterion_main!(benches);

@@ -19,6 +19,14 @@ pub enum CollectiveError {
         /// The peer that hung up.
         peer: usize,
     },
+    /// A blocking send or receive exceeded its configured deadline. The
+    /// operation did **not** complete; the collective must be abandoned.
+    Timeout {
+        /// The peer the operation was waiting on.
+        peer: usize,
+        /// The configured deadline, in milliseconds.
+        millis: u64,
+    },
     /// Participants disagreed on buffer lengths.
     SizeMismatch {
         /// Expected element count.
@@ -44,6 +52,9 @@ impl fmt::Display for CollectiveError {
             CollectiveError::Disconnected { peer } => {
                 write!(f, "peer {peer} disconnected")
             }
+            CollectiveError::Timeout { peer, millis } => {
+                write!(f, "timed out after {millis} ms waiting on peer {peer}")
+            }
             CollectiveError::SizeMismatch { expected, actual } => {
                 write!(
                     f,
@@ -68,6 +79,10 @@ mod tests {
         let samples: Vec<CollectiveError> = vec![
             CollectiveError::InvalidRank { rank: 3, world: 2 },
             CollectiveError::Disconnected { peer: 1 },
+            CollectiveError::Timeout {
+                peer: 2,
+                millis: 500,
+            },
             CollectiveError::SizeMismatch {
                 expected: 4,
                 actual: 5,

@@ -8,7 +8,7 @@
 use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
@@ -23,6 +23,17 @@ use crate::error::CollectiveError;
 /// Dereferences to `[f32]`, so receivers can read the elements directly;
 /// call [`Message::into_payload`] to reclaim the backing vector (and hand it
 /// back to the transport's buffer pool via [`Transport::recycle_buffer`]).
+///
+/// # Wire safety
+///
+/// The `deliver_at` stamp is a **local-fabric-only** concern: it is an
+/// in-process [`Instant`], meaningless in another process and impossible to
+/// serialize. Transports that put messages on a real wire (e.g. `dear-net`'s
+/// TCP endpoint) must consume messages through
+/// [`Message::into_wire_payload`], which debug-asserts that no stamp is
+/// present — so timing semantics are never silently dropped at a
+/// serialization boundary. Consequently [`DelayFabric`] (the only stamper)
+/// must only ever wrap in-process transports, never a wire transport.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     payload: Vec<f32>,
@@ -48,6 +59,22 @@ impl Message {
     /// Consumes the message, returning the backing vector for reuse.
     #[must_use]
     pub fn into_payload(self) -> Vec<f32> {
+        self.payload
+    }
+
+    /// Consumes the message for serialization onto a real wire, returning
+    /// the payload. The `deliver_at` stamp cannot cross a process boundary
+    /// (it is an in-process [`Instant`]); a stamped message reaching a wire
+    /// transport is a composition bug (a [`DelayFabric`] wrapping a wire
+    /// transport), so this debug-asserts the stamp is absent rather than
+    /// silently dropping it.
+    #[must_use]
+    pub fn into_wire_payload(self) -> Vec<f32> {
+        debug_assert!(
+            self.deliver_at.is_none(),
+            "deliver_at stamp reached a serialization boundary: \
+             DelayFabric must not wrap a wire transport"
+        );
         self.payload
     }
 
@@ -128,9 +155,24 @@ pub trait Transport {
     /// # Errors
     ///
     /// Returns [`CollectiveError::InvalidRank`] if `from` is out of range or
-    /// equals this rank, and [`CollectiveError::Disconnected`] if the peer
-    /// has hung up.
+    /// equals this rank, [`CollectiveError::Disconnected`] if the peer has
+    /// hung up, and [`CollectiveError::Timeout`] if a receive deadline is
+    /// configured (see [`Transport::set_recv_timeout`]) and expires first.
     fn recv(&self, from: usize) -> Result<Message, CollectiveError>;
+
+    /// Sets a deadline for subsequent [`Transport::recv`] calls: when no
+    /// message arrives within `timeout`, `recv` returns
+    /// [`CollectiveError::Timeout`] instead of blocking forever — so a
+    /// wedged collective (peer crashed, deadlock) fails fast instead of
+    /// hanging the job. `None` restores indefinite blocking.
+    ///
+    /// Returns `true` if the transport honours the knob. The default does
+    /// nothing and returns `false`; decorators forward to their inner
+    /// transport.
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        let _ = timeout;
+        false
+    }
 
     /// Takes a reusable send/receive buffer of at least `capacity` elements
     /// from the transport's pool (empty, ready for `extend_from_slice`).
@@ -179,6 +221,9 @@ pub struct LocalEndpoint {
     /// recycled here and each send takes one out), so the pool reaches a
     /// steady state after the first round and sends stop allocating.
     pool: Mutex<Vec<Vec<f32>>>,
+    /// Optional deadline applied to every `recv` (see
+    /// [`Transport::set_recv_timeout`]).
+    recv_timeout: Mutex<Option<Duration>>,
 }
 
 impl fmt::Debug for LocalEndpoint {
@@ -244,6 +289,7 @@ impl LocalFabric {
                 senders,
                 receivers,
                 pool: Mutex::new(Vec::new()),
+                recv_timeout: Mutex::new(None),
             })
             .collect()
     }
@@ -269,11 +315,29 @@ impl Transport for LocalEndpoint {
 
     fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
         self.check_peer(from)?;
-        self.receivers[from]
+        let rx = self.receivers[from]
             .as_ref()
-            .expect("validated peer has a channel")
-            .recv()
-            .map_err(|_| CollectiveError::Disconnected { peer: from })
+            .expect("validated peer has a channel");
+        let timeout = *self.recv_timeout.lock().expect("recv timeout poisoned");
+        match timeout {
+            None => rx
+                .recv()
+                .map_err(|_| CollectiveError::Disconnected { peer: from }),
+            Some(dl) => rx.recv_timeout(dl).map_err(|e| match e {
+                crossbeam_channel::RecvTimeoutError::Timeout => CollectiveError::Timeout {
+                    peer: from,
+                    millis: dl.as_millis() as u64,
+                },
+                crossbeam_channel::RecvTimeoutError::Disconnected => {
+                    CollectiveError::Disconnected { peer: from }
+                }
+            }),
+        }
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        *self.recv_timeout.lock().expect("recv timeout poisoned") = timeout;
+        true
     }
 
     fn take_buffer(&self, capacity: usize) -> Vec<f32> {
@@ -397,6 +461,10 @@ impl<T: Transport> Transport for DelayFabric<T> {
         Ok(msg.without_deliver_at())
     }
 
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        self.inner.set_recv_timeout(timeout)
+    }
+
     fn take_buffer(&self, capacity: usize) -> Vec<f32> {
         self.inner.take_buffer(capacity)
     }
@@ -463,6 +531,10 @@ impl<T: Transport> Transport for GroupTransport<'_, T> {
     fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
         self.check_peer(from)?;
         self.inner.recv(self.members[from])
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        self.inner.set_recv_timeout(timeout)
     }
 
     fn take_buffer(&self, capacity: usize) -> Vec<f32> {
@@ -593,6 +665,61 @@ mod tests {
             ptr,
             "pool should hand back the same allocation"
         );
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_instead_of_hanging() {
+        let eps = LocalFabric::create(2);
+        assert!(eps[0].set_recv_timeout(Some(Duration::from_millis(10))));
+        let err = eps[0].recv(1).unwrap_err();
+        assert_eq!(
+            err,
+            CollectiveError::Timeout {
+                peer: 1,
+                millis: 10
+            }
+        );
+        // Clearing the deadline restores indefinite blocking semantics; a
+        // queued message is still delivered.
+        assert!(eps[0].set_recv_timeout(None));
+        eps[1].send(0, vec![4.0].into()).unwrap();
+        assert_eq!(eps[0].recv(1).unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn recv_timeout_forwards_through_decorators() {
+        let mut eps = LocalFabric::create(2);
+        let _b = eps.pop().unwrap();
+        let a = DelayFabric::new(eps.pop().unwrap(), CostModel::new(0.0, 0.0, 0.0));
+        assert!(a.set_recv_timeout(Some(Duration::from_millis(5))));
+        assert!(matches!(
+            a.recv(1).unwrap_err(),
+            CollectiveError::Timeout { peer: 1, .. }
+        ));
+        let eps = LocalFabric::create(3);
+        let members = Arc::new(vec![0usize, 2]);
+        let g = GroupTransport::new(&eps[0], members).unwrap();
+        assert!(g.set_recv_timeout(Some(Duration::from_millis(5))));
+        // Group rank 1 is global rank 2; the timeout set through the view
+        // applies to the underlying endpoint.
+        assert!(matches!(
+            g.recv(1).unwrap_err(),
+            CollectiveError::Timeout { peer: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn wire_payload_roundtrip_without_stamp() {
+        let msg = Message::new(vec![1.0, 2.0]);
+        assert_eq!(msg.into_wire_payload(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "serialization boundary")]
+    fn wire_payload_rejects_stamped_message() {
+        let msg = Message::new(vec![1.0]).with_deliver_at(Instant::now());
+        let _ = msg.into_wire_payload();
     }
 
     #[test]

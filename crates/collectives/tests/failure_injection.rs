@@ -5,9 +5,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dear_collectives::{
-    double_tree_all_reduce, hierarchical_all_reduce, naive_all_reduce, rhd_all_reduce,
-    ring_all_gather, ring_all_reduce, ring_reduce_scatter, tree_broadcast, tree_reduce,
-    ClusterShape, CollectiveError, LocalEndpoint, LocalFabric, Message, ReduceOp, Transport,
+    double_tree_all_reduce, double_tree_all_reduce_seg, hierarchical_all_reduce,
+    hierarchical_all_reduce_seg, naive_all_reduce, naive_all_reduce_seg, rhd_all_reduce,
+    rhd_all_reduce_seg, ring_all_gather, ring_all_gather_seg, ring_all_reduce, ring_all_reduce_seg,
+    ring_reduce_scatter, ring_reduce_scatter_seg, tree_broadcast, tree_broadcast_seg, tree_reduce,
+    tree_reduce_seg, ClusterShape, CollectiveError, LocalEndpoint, LocalFabric, Message, ReduceOp,
+    SegmentConfig, Transport,
+};
+
+/// Small enough that every 16-element test buffer splits into several wire
+/// segments, exercising the mid-collective segment loops.
+const SEG: SegmentConfig = SegmentConfig {
+    max_segment_bytes: 8, // two f32s per segment
 };
 
 /// A transport whose sends start failing after a budget is exhausted.
@@ -147,6 +156,101 @@ fn partial_budget_failures_error_on_every_rank_without_hanging() {
         ring_all_reduce(&t, &mut data, ReduceOp::Sum).is_err()
     });
     assert!(errs.into_iter().all(|e| e));
+}
+
+#[test]
+fn segmented_ring_collectives_surface_send_failure() {
+    let errs = run_failing(4, 0, |t| {
+        let mut a = vec![1.0f32; 16];
+        let mut b = vec![1.0f32; 16];
+        let mut c = vec![1.0f32; 16];
+        (
+            ring_all_reduce_seg(&t, &mut a, ReduceOp::Sum, SEG).unwrap_err(),
+            ring_reduce_scatter_seg(&t, &mut b, ReduceOp::Sum, SEG).unwrap_err(),
+            ring_all_gather_seg(&t, &mut c, 0, SEG).unwrap_err(),
+        )
+    });
+    for (ar, rs, ag) in errs {
+        assert!(matches!(ar, CollectiveError::Disconnected { .. }));
+        assert!(matches!(rs, CollectiveError::Disconnected { .. }));
+        assert!(matches!(ag, CollectiveError::Disconnected { .. }));
+    }
+}
+
+#[test]
+fn segmented_tree_collectives_surface_send_failure() {
+    let results = run_failing(4, 0, |t| {
+        let mut data = vec![1.0f32; 16];
+        let reduce_err = tree_reduce_seg(&t, &mut data, 0, ReduceOp::Sum, SEG).is_err();
+        let bcast_err = tree_broadcast_seg(&t, &mut data, t.rank(), SEG).is_err();
+        (reduce_err, bcast_err)
+    });
+    for (reduce_err, bcast_err) in results {
+        assert!(reduce_err);
+        assert!(bcast_err);
+    }
+}
+
+#[test]
+fn segmented_all_reduce_variants_surface_send_failure() {
+    let errs = run_failing(4, 0, |t| {
+        let mut a = vec![1.0f32; 16];
+        let mut b = vec![1.0f32; 16];
+        let mut c = vec![1.0f32; 16];
+        let mut d = vec![1.0f32; 16];
+        (
+            rhd_all_reduce_seg(&t, &mut a, ReduceOp::Sum, SEG).is_err(),
+            double_tree_all_reduce_seg(&t, &mut b, ReduceOp::Sum, SEG).is_err(),
+            naive_all_reduce_seg(&t, &mut c, ReduceOp::Sum, SEG).is_err(),
+            hierarchical_all_reduce_seg(&t, ClusterShape::new(2, 2), &mut d, ReduceOp::Sum, SEG)
+                .is_err(),
+        )
+    });
+    for (rhd, dt, naive, hier) in errs {
+        assert!(rhd && dt && naive && hier);
+    }
+}
+
+#[test]
+fn segmented_partial_budget_failures_error_on_every_rank_without_hanging() {
+    // A few sends succeed, so the failure lands mid-collective — between
+    // segments of one chunk, the hardest spot to unwind from.
+    for budget in [1, 3, 5] {
+        let errs = run_failing(4, budget, |t| {
+            let mut data = vec![1.0f32; 16];
+            ring_all_reduce_seg(&t, &mut data, ReduceOp::Sum, SEG).is_err()
+        });
+        assert!(errs.into_iter().all(|e| e), "budget {budget}");
+    }
+}
+
+#[test]
+fn recv_timeout_unblocks_a_rank_whose_peer_died_mid_collective() {
+    // Rank 1 fails its first send and returns; rank 0's ring step then
+    // waits on a message that will never come. With a recv deadline set it
+    // gets Timeout instead of hanging the test forever.
+    let eps = LocalFabric::create(2);
+    let results: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                s.spawn(move || {
+                    assert!(ep.set_recv_timeout(Some(std::time::Duration::from_millis(200))));
+                    if ep.rank() == 1 {
+                        return true; // dies before participating
+                    }
+                    let mut data = vec![1.0f32; 16];
+                    let err = ring_all_reduce_seg(&ep, &mut data, ReduceOp::Sum, SEG).unwrap_err();
+                    matches!(
+                        err,
+                        CollectiveError::Timeout { .. } | CollectiveError::Disconnected { .. }
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(results.into_iter().all(|ok| ok));
 }
 
 #[test]

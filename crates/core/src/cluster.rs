@@ -150,6 +150,60 @@ impl WorkerHandle {
     }
 }
 
+/// Runs ONE rank of a distributed job over an arbitrary [`Transport`]: the
+/// comm thread is spawned around `transport`, `f` runs on the calling
+/// thread with a [`WorkerHandle`], and the comm thread is joined before
+/// returning. This is the entry point a real multi-process deployment uses
+/// — build a transport (e.g. `dear-net`'s `TcpEndpoint` from `RANK` /
+/// `WORLD_SIZE` / `MASTER_ADDR`) and hand it here; [`run_training`] is the
+/// in-process convenience that calls this once per rank over a
+/// [`LocalFabric`].
+///
+/// # Panics
+///
+/// Panics if the comm thread panicked (e.g. a collective failed with a
+/// transport error) — by then the worker closure has usually already
+/// panicked itself on the dead job channel.
+pub fn run_worker<T, F, R>(transport: T, config: TrainConfig, f: F) -> R
+where
+    T: Transport + Send + 'static,
+    F: FnOnce(WorkerHandle) -> R,
+{
+    let rank = transport.rank();
+    let world = transport.world_size();
+    let hyper = config.hyper();
+    let delay = config.delay;
+    let segments = config.segments;
+    let (job_tx, job_rx) = unbounded::<CommJob>();
+    let (res_tx, res_rx) = unbounded::<CommResult>();
+    let (layout_tx, layout_rx) = unbounded::<(CommLayout, usize)>();
+    // Comm thread: waits for the worker's layout, then serves jobs until
+    // the worker drops its job sender.
+    let comm = std::thread::spawn(move || {
+        let Ok((layout, total)) = layout_rx.recv() else {
+            return; // worker dropped its handle without training
+        };
+        match delay {
+            Some(d) => {
+                let t = DelayFabric::with_scale(transport, d.model, d.scale);
+                run_comm_thread(t, layout, hyper, total, segments, &job_rx, &res_tx);
+            }
+            None => run_comm_thread(transport, layout, hyper, total, segments, &job_rx, &res_tx),
+        }
+    });
+    let handle = WorkerHandle {
+        rank,
+        world,
+        config,
+        jobs: job_tx,
+        results: res_rx,
+        layout_tx,
+    };
+    let out = f(handle);
+    comm.join().expect("comm thread panicked");
+    out
+}
+
 /// Spawns `world` workers (each with a companion comm thread over a shared
 /// in-process fabric), runs `f` on every rank, and returns the per-rank
 /// results in rank order.
@@ -163,38 +217,14 @@ where
     R: Send,
 {
     let endpoints = LocalFabric::create(world);
-    let hyper = config.hyper();
     std::thread::scope(|s| {
-        let mut worker_handles = Vec::new();
-        for (rank, ep) in endpoints.into_iter().enumerate() {
-            let (job_tx, job_rx) = unbounded::<CommJob>();
-            let (res_tx, res_rx) = unbounded::<CommResult>();
-            let (layout_tx, layout_rx) = unbounded::<(CommLayout, usize)>();
-            let delay = config.delay;
-            let segments = config.segments;
-            // Comm thread: waits for the worker's layout, then serves jobs.
-            s.spawn(move || {
-                let Ok((layout, total)) = layout_rx.recv() else {
-                    return; // worker dropped its handle without training
-                };
-                match delay {
-                    Some(d) => {
-                        let t = DelayFabric::with_scale(ep, d.model, d.scale);
-                        run_comm_thread(t, layout, hyper, total, segments, &job_rx, &res_tx);
-                    }
-                    None => run_comm_thread(ep, layout, hyper, total, segments, &job_rx, &res_tx),
-                }
-            });
-            let handle = WorkerHandle {
-                rank,
-                world,
-                config,
-                jobs: job_tx,
-                results: res_rx,
-                layout_tx,
-            };
-            worker_handles.push(s.spawn(|| f(handle)));
-        }
+        let worker_handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let f = &f;
+                s.spawn(move || run_worker(ep, config, f))
+            })
+            .collect();
         worker_handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))

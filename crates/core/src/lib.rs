@@ -56,7 +56,9 @@ mod dist_optim;
 mod layout;
 pub mod tuning;
 
-pub use cluster::{run_training, train_single_reference, DelayConfig, TrainConfig, WorkerHandle};
+pub use cluster::{
+    run_training, run_worker, train_single_reference, DelayConfig, TrainConfig, WorkerHandle,
+};
 pub use comm::{CommLayout, HyperParams, OptimKind};
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};

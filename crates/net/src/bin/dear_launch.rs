@@ -1,0 +1,136 @@
+//! `dear-launch` — spawn and supervise a multi-process DeAR world.
+//!
+//! ```text
+//! dear-launch --world 4 -- ./my-worker --flag     # run any worker command
+//! dear-launch --world 4 --demo --steps 30         # built-in training demo
+//! ```
+//!
+//! Every worker is started with `RANK`, `WORLD_SIZE`, `MASTER_ADDR` and
+//! `MASTER_PORT` set (the `torchrun` convention); workers build a
+//! `TcpEndpoint` from that environment (`NetConfig::from_env`). The first
+//! worker to fail gets the rest killed and `dear-launch` exits non-zero.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dear_net::{launch_world, run_demo_worker, LaunchOptions, NetError};
+
+const USAGE: &str = "\
+usage: dear-launch --world N [options] -- <worker command...>
+       dear-launch --world N [options] --demo
+
+options:
+  --world N            number of worker processes (required)
+  --master-addr HOST   rendezvous host (default 127.0.0.1)
+  --master-port PORT   rendezvous port (default: pick a free port)
+  --timeout-secs T     kill everything after T seconds
+  --demo               run the built-in DeAR training demo as the worker
+  --steps S            demo training steps (default 30)
+";
+
+struct Cli {
+    opts: LaunchOptions,
+    demo: bool,
+    steps: u64,
+    command: Vec<String>,
+}
+
+fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
+    let mut world = None;
+    let mut opts = LaunchOptions::new(0);
+    let mut demo = false;
+    let mut steps = 30u64;
+    let mut command = Vec::new();
+    let mut i = 0;
+    let take_value = |args: &Vec<String>, i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--world" => {
+                let v = take_value(&args, &mut i, "--world")?;
+                world = Some(v.parse().map_err(|_| format!("bad --world {v}"))?);
+            }
+            "--master-addr" => opts.master_host = take_value(&args, &mut i, "--master-addr")?,
+            "--master-port" => {
+                let v = take_value(&args, &mut i, "--master-port")?;
+                opts.master_port = Some(v.parse().map_err(|_| format!("bad --master-port {v}"))?);
+            }
+            "--timeout-secs" => {
+                let v = take_value(&args, &mut i, "--timeout-secs")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad --timeout-secs {v}"))?;
+                opts.timeout = Some(Duration::from_secs(secs));
+            }
+            "--demo" => demo = true,
+            "--steps" => {
+                let v = take_value(&args, &mut i, "--steps")?;
+                steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
+            }
+            "--" => {
+                command = args.split_off(i + 1);
+                break;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let Some(world) = world else {
+        return Err("--world is required".to_string());
+    };
+    opts.world = world;
+    if demo != command.is_empty() {
+        return Err("pass exactly one of --demo or `-- <worker command>`".to_string());
+    }
+    Ok(Cli {
+        opts,
+        demo,
+        steps,
+        command,
+    })
+}
+
+fn run() -> Result<(), NetError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Internal re-entry: `dear-launch` relaunches itself as the demo
+    // worker, so `--demo` needs no separate worker binary.
+    if args.first().is_some_and(|a| a == "--demo-worker") {
+        let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+        let summary = run_demo_worker(steps)?;
+        println!("{}", summary.to_line());
+        return Ok(());
+    }
+    let cli = match parse_cli(args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("dear-launch: {msg}\n\n{USAGE}");
+            return Err(NetError::Config(msg));
+        }
+    };
+    let command = if cli.demo {
+        let me = std::env::current_exe()
+            .map_err(|e| NetError::io("locating the dear-launch binary", e))?;
+        vec![
+            me.to_string_lossy().into_owned(),
+            "--demo-worker".to_string(),
+            cli.steps.to_string(),
+        ]
+    } else {
+        cli.command
+    };
+    launch_world(&command, &cli.opts)?;
+    eprintln!("dear-launch: all {} ranks exited cleanly", cli.opts.world);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dear-launch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Endpoint configuration and the `dear-net` error type.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// Environment variable naming follows the `torchrun` convention (`RANK`,
+/// `WORLD_SIZE`, `MASTER_ADDR`, `MASTER_PORT`) plus `DEAR_*` knobs for the
+/// timeout/backoff behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of ranks in the job.
+    pub world: usize,
+    /// This process's rank, or `None` to let the master assign one (rank 0
+    /// — the master — must always be explicit).
+    pub rank: Option<usize>,
+    /// The rendezvous address (`host:port`) — rank 0's listener.
+    pub master_addr: String,
+    /// Host this rank's own listener binds (and advertises, unless it is
+    /// `0.0.0.0`, in which case peers are told the address the master
+    /// observed).
+    pub listen_host: String,
+    /// Total budget for establishing one outgoing connection, including
+    /// retries (exponential backoff from [`NetConfig::CONNECT_BACKOFF_MIN`]
+    /// to [`NetConfig::CONNECT_BACKOFF_MAX`]).
+    pub connect_timeout: Duration,
+    /// Per-socket read/write deadline during the rendezvous handshake.
+    pub handshake_timeout: Duration,
+    /// Deadline for [`send`] when a peer's outbox stays full (backpressure
+    /// from a stalled peer); also the socket write deadline of the writer
+    /// threads.
+    ///
+    /// [`send`]: dear_collectives::Transport::send
+    pub send_timeout: Duration,
+    /// Deadline for [`recv`]; `None` blocks forever. Defaults to 30 s so a
+    /// dead peer surfaces as [`CollectiveError::Timeout`] instead of a hang.
+    ///
+    /// [`recv`]: dear_collectives::Transport::recv
+    /// [`CollectiveError::Timeout`]: dear_collectives::CollectiveError::Timeout
+    pub recv_timeout: Option<Duration>,
+    /// Bounded per-peer outbox depth, in frames. `send` only blocks once
+    /// this many frames are queued on one peer — enough that segmented
+    /// collectives never stall the comm thread in the steady state.
+    pub outbox_frames: usize,
+}
+
+impl NetConfig {
+    /// First retry delay when a connect is refused (the peer's listener is
+    /// not up yet).
+    pub const CONNECT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+    /// Backoff cap; doubling stops here.
+    pub const CONNECT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+    /// A configuration for `world` ranks with rendezvous at `master_addr`,
+    /// defaulting to loopback-friendly timeouts (10 s connect/handshake,
+    /// 30 s send/recv, 128-frame outboxes).
+    #[must_use]
+    pub fn new(world: usize, rank: usize, master_addr: impl Into<String>) -> Self {
+        NetConfig {
+            world,
+            rank: Some(rank),
+            master_addr: master_addr.into(),
+            listen_host: "127.0.0.1".to_string(),
+            connect_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(10),
+            send_timeout: Duration::from_secs(30),
+            recv_timeout: Some(Duration::from_secs(30)),
+            outbox_frames: 128,
+        }
+    }
+
+    /// Builds a configuration from the environment: `RANK`, `WORLD_SIZE`,
+    /// `MASTER_ADDR` (default `127.0.0.1`), `MASTER_PORT` (default 29400),
+    /// and optional `DEAR_LISTEN_HOST`, `DEAR_CONNECT_TIMEOUT_MS`,
+    /// `DEAR_SEND_TIMEOUT_MS`, `DEAR_RECV_TIMEOUT_MS` (0 disables the recv
+    /// deadline), `DEAR_OUTBOX_FRAMES`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Config`] when a required variable is missing or
+    /// unparsable.
+    pub fn from_env() -> Result<Self, NetError> {
+        fn var(name: &str) -> Result<String, NetError> {
+            std::env::var(name).map_err(|_| NetError::Config(format!("{name} is not set")))
+        }
+        fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, NetError> {
+            raw.parse()
+                .map_err(|_| NetError::Config(format!("{name}={raw} is not a valid value")))
+        }
+        let rank: usize = parse("RANK", &var("RANK")?)?;
+        let world: usize = parse("WORLD_SIZE", &var("WORLD_SIZE")?)?;
+        if world == 0 || rank >= world {
+            return Err(NetError::Config(format!(
+                "RANK={rank} out of range for WORLD_SIZE={world}"
+            )));
+        }
+        let host = std::env::var("MASTER_ADDR").unwrap_or_else(|_| "127.0.0.1".to_string());
+        let port = std::env::var("MASTER_PORT").unwrap_or_else(|_| "29400".to_string());
+        let port: u16 = parse("MASTER_PORT", &port)?;
+        let mut cfg = NetConfig::new(world, rank, format!("{host}:{port}"));
+        if let Ok(listen) = std::env::var("DEAR_LISTEN_HOST") {
+            cfg.listen_host = listen;
+        }
+        if let Ok(ms) = std::env::var("DEAR_CONNECT_TIMEOUT_MS") {
+            cfg.connect_timeout = Duration::from_millis(parse("DEAR_CONNECT_TIMEOUT_MS", &ms)?);
+            cfg.handshake_timeout = cfg.connect_timeout;
+        }
+        if let Ok(ms) = std::env::var("DEAR_SEND_TIMEOUT_MS") {
+            cfg.send_timeout = Duration::from_millis(parse("DEAR_SEND_TIMEOUT_MS", &ms)?);
+        }
+        if let Ok(ms) = std::env::var("DEAR_RECV_TIMEOUT_MS") {
+            let ms: u64 = parse("DEAR_RECV_TIMEOUT_MS", &ms)?;
+            cfg.recv_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Ok(n) = std::env::var("DEAR_OUTBOX_FRAMES") {
+            cfg.outbox_frames = parse::<usize>("DEAR_OUTBOX_FRAMES", &n)?.max(1);
+        }
+        Ok(cfg)
+    }
+}
+
+/// Errors raised while establishing or tearing down a TCP cluster (runtime
+/// send/recv failures surface as
+/// [`CollectiveError`](dear_collectives::CollectiveError) instead, through
+/// the `Transport` trait).
+#[derive(Debug)]
+pub enum NetError {
+    /// An I/O operation failed; `context` says which.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A bounded wait expired.
+    Timeout {
+        /// What was being waited for.
+        context: String,
+        /// The configured deadline.
+        after: Duration,
+    },
+    /// The remote spoke the protocol incorrectly (bad frame, rank clash…).
+    Protocol(String),
+    /// The configuration (flags or environment) is invalid.
+    Config(String),
+}
+
+impl NetError {
+    /// Wraps an I/O error with context.
+    #[must_use]
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, source } => write!(f, "{context}: {source}"),
+            NetError::Timeout { context, after } => {
+                write!(f, "timed out after {after:?} while {context}")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = NetConfig::new(4, 1, "127.0.0.1:29400");
+        assert_eq!(cfg.world, 4);
+        assert_eq!(cfg.rank, Some(1));
+        assert!(cfg.recv_timeout.is_some());
+        assert!(cfg.outbox_frames > 0);
+    }
+
+    #[test]
+    fn error_display_carries_context() {
+        let e = NetError::io(
+            "connecting to 127.0.0.1:1",
+            io::Error::new(io::ErrorKind::ConnectionRefused, "refused"),
+        );
+        assert!(e.to_string().contains("127.0.0.1:1"));
+        let t = NetError::Timeout {
+            context: "waiting for HELLO".into(),
+            after: Duration::from_secs(1),
+        };
+        assert!(t.to_string().contains("waiting for HELLO"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The `dear-launch --demo` worker: a small but complete DeAR training run
+//! over a real [`TcpEndpoint`], used by the multi-process smoke tests and
+//! as a copy-paste template for real deployments.
+
+use dear_collectives::Transport;
+use dear_core::{run_worker, TrainConfig};
+use dear_minidnn::{softmax_cross_entropy, BlobDataset, Linear, Relu, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{NetConfig, NetError};
+use crate::endpoint::TcpEndpoint;
+
+/// What one demo worker produced. `eval_loss` and `params_hash` are
+/// computed after `synchronize`, on a batch every rank derives identically,
+/// so they are **bit-identical across ranks** — the launcher smoke test
+/// asserts exactly that.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemoSummary {
+    /// This worker's rank.
+    pub rank: usize,
+    /// World size.
+    pub world: usize,
+    /// Cross-entropy on a fixed held-out batch after training.
+    pub eval_loss: f32,
+    /// Order-sensitive FNV-style hash of the final parameter bits.
+    pub params_hash: u64,
+}
+
+impl DemoSummary {
+    /// The stable one-line form the launcher smoke test parses.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "dear-demo rank={} world={} eval_loss={:.6} params_hash={:016x}",
+            self.rank, self.world, self.eval_loss, self.params_hash
+        )
+    }
+}
+
+/// Hashes parameter bits order-sensitively (FNV-1a over the `f32` bits).
+#[must_use]
+pub fn hash_params(params: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn demo_net(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new()
+        .push(Linear::new(6, 16, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(16, 8, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(8, 3, &mut rng))
+}
+
+/// Joins the cluster described by the environment (`RANK`, `WORLD_SIZE`,
+/// `MASTER_ADDR`, `MASTER_PORT`, `DEAR_*`) and trains the demo network for
+/// `steps` data-parallel steps.
+///
+/// For failure-propagation tests, `DEAR_DEMO_EXIT_RANK` /
+/// `DEAR_DEMO_EXIT_AT_STEP` make exactly one rank die abruptly
+/// (`process::exit`, indistinguishable from a kill at the network layer)
+/// mid-training; the surviving ranks must then error out of their
+/// collectives instead of hanging.
+///
+/// # Errors
+///
+/// Returns [`NetError`] when the environment is invalid or rendezvous
+/// fails.
+///
+/// # Panics
+///
+/// Panics (taking the process down with a non-zero status) when a
+/// collective fails mid-training — e.g. a peer died and the configured
+/// `DEAR_RECV_TIMEOUT_MS` or a disconnect surfaced.
+pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
+    let cfg = NetConfig::from_env()?;
+    let transport = TcpEndpoint::connect(&cfg)?;
+    let rank = transport.rank();
+    let world = transport.world_size();
+    let exit_rank: Option<usize> = std::env::var("DEAR_DEMO_EXIT_RANK")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let exit_step: u64 = std::env::var("DEAR_DEMO_EXIT_AT_STEP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let data = BlobDataset::new(6, 3, 0.4, 99);
+    let train_cfg = TrainConfig {
+        fusion_buffer: Some(512), // several groups => real pipelining
+        ..TrainConfig::default()
+    };
+    let (eval_loss, params_hash) = run_worker(transport, train_cfg, move |handle| {
+        let mut net = demo_net(7);
+        let mut optim = handle.into_optim(&net);
+        for step in 0..steps {
+            if exit_rank == Some(rank) && step == exit_step {
+                eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
+                std::process::exit(41);
+            }
+            let (x, labels) = data.shard(step, 8 * world, rank, world);
+            let _ = optim.train_step(&mut net, &x, &labels);
+        }
+        optim.synchronize(&mut net);
+        let (x, labels) = data.batch(1_000_000, 64);
+        let logits = net.forward(&x);
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        (loss, hash_params(&net.flat_params()))
+    });
+    Ok(DemoSummary {
+        rank,
+        world,
+        eval_loss,
+        params_hash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_hash_is_order_sensitive() {
+        let a = hash_params(&[1.0, 2.0]);
+        let b = hash_params(&[2.0, 1.0]);
+        assert_ne!(a, b);
+        assert_eq!(a, hash_params(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn summary_line_is_parseable() {
+        let s = DemoSummary {
+            rank: 2,
+            world: 4,
+            eval_loss: 0.25,
+            params_hash: 0xdead_beef,
+        };
+        let line = s.to_line();
+        assert!(line.contains("rank=2"));
+        assert!(line.contains("params_hash=00000000deadbeef"));
+    }
+}

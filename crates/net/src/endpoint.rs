@@ -1,0 +1,743 @@
+//! `TcpEndpoint` — the real-socket implementation of
+//! [`Transport`], plus the rendezvous protocol that assembles a full mesh
+//! of peer connections before step 0.
+//!
+//! # Topology and rendezvous
+//!
+//! Every rank owns one TCP listener. Rank 0's listener doubles as the
+//! rendezvous master at `MASTER_ADDR`:
+//!
+//! 1. every worker connects to the master (retrying with exponential
+//!    backoff while the master is still starting) and sends `HELLO` with
+//!    its own listener address;
+//! 2. the master waits for `world − 1` HELLOs, assigns ranks (explicit
+//!    ranks are honoured, the rest are filled in arrival order), and
+//!    answers each worker with `WELCOME` carrying the full peer table. The
+//!    HELLO connection is kept — it *is* the mesh link between that worker
+//!    and rank 0;
+//! 3. each rank `r` dials ranks `1..r` (first frame: `IDENT r`) and
+//!    accepts ranks `r+1..world`, so every pair shares exactly one
+//!    connection — connects succeed before the peer calls `accept` thanks
+//!    to the listen backlog, so no ordering deadlock exists;
+//! 4. every worker sends `READY` to rank 0 once its mesh is complete;
+//!    rank 0 answers `GO` to all — the pre-step-0 barrier.
+//!
+//! # Data path
+//!
+//! Per peer, the endpoint runs a **writer thread** draining a bounded
+//! outbox (so [`Transport::send`] never blocks the comm thread's
+//! collectives until `outbox_frames` of backpressure have accumulated) and
+//! a **reader thread** demultiplexing incoming frames into that peer's
+//! inbox (so [`Transport::recv`] stays ordered per peer). Payload buffers
+//! come from a shared pool ([`Transport::take_buffer`] /
+//! [`Transport::recycle_buffer`]), so the steady-state hot path is
+//! allocation-free on both sides of the socket.
+//!
+//! Failures never hang: sends and receives carry configurable deadlines
+//! surfacing as [`CollectiveError::Timeout`], a dead peer surfaces as
+//! [`CollectiveError::Disconnected`], and dropping the endpoint sends
+//! shutdown frames, force-closes the sockets, and joins every thread.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{IpAddr, Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dear_collectives::{CollectiveError, Message, Transport};
+
+use crate::config::{NetConfig, NetError};
+use crate::frame::{
+    decode_f32s, decode_ident, encode_f32s, encode_ident, read_frame, write_frame, FrameKind,
+    Hello, Welcome,
+};
+
+/// Buffers kept in the shared pool; bounds pool memory at roughly
+/// `POOL_CAP × largest-segment` elements (matches `LocalEndpoint`).
+const POOL_CAP: usize = 64;
+
+/// Shared reusable `Vec<f32>` pool; reader threads take from it for
+/// incoming payloads, writer threads and `recycle_buffer` return to it.
+#[derive(Default)]
+struct BufferPool {
+    bufs: Mutex<Vec<Vec<f32>>>,
+}
+
+impl BufferPool {
+    fn take(&self, capacity: usize) -> Vec<f32> {
+        let mut pool = self.bufs.lock().expect("buffer pool poisoned");
+        match pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    fn recycle(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.bufs.lock().expect("buffer pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Commands consumed by a peer's writer thread.
+enum WriterCmd {
+    /// Frame this payload and put it on the wire, then recycle the buffer.
+    Data(Vec<f32>),
+    /// Write a graceful shutdown frame and exit.
+    Shutdown,
+}
+
+/// One rank's endpoint of a TCP cluster. See the [module docs](self) for
+/// the protocol; see [`crate::tcp_loopback`] for a single-process
+/// multi-thread variant used by tests and benches.
+pub struct TcpEndpoint {
+    rank: usize,
+    world: usize,
+    send_timeout: Duration,
+    recv_timeout: Mutex<Option<Duration>>,
+    /// `outboxes[p]` feeds peer `p`'s writer thread. `None` at own rank.
+    outboxes: Vec<Option<SyncSender<WriterCmd>>>,
+    /// `inboxes[p]` is fed by peer `p`'s reader thread. `None` at own rank.
+    inboxes: Vec<Option<Mutex<Receiver<Vec<f32>>>>>,
+    pool: Arc<BufferPool>,
+    writers: Vec<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+    /// Stream clones used by `Drop` to force blocked readers out.
+    peer_streams: Vec<TcpStream>,
+}
+
+impl fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpEndpoint")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl TcpEndpoint {
+    /// Joins (or, for rank 0, hosts) the rendezvous described in the
+    /// [module docs](self) and returns a ready endpoint: all `world − 1`
+    /// peer connections established and the step-0 barrier passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] when binding, connecting (after retries), or
+    /// the handshake fails or times out.
+    pub fn connect(cfg: &NetConfig) -> Result<TcpEndpoint, NetError> {
+        Self::connect_inner(cfg, None)
+    }
+
+    /// [`TcpEndpoint::connect`] with a pre-bound master listener — lets a
+    /// harness bind port 0 first and hand workers the resolved address.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpEndpoint::connect`]; also if `cfg.rank` is not `Some(0)`.
+    pub fn connect_with_listener(
+        cfg: &NetConfig,
+        listener: TcpListener,
+    ) -> Result<TcpEndpoint, NetError> {
+        if cfg.rank != Some(0) {
+            return Err(NetError::Config(
+                "a pre-bound master listener requires rank 0".to_string(),
+            ));
+        }
+        Self::connect_inner(cfg, Some(listener))
+    }
+
+    fn connect_inner(cfg: &NetConfig, pre: Option<TcpListener>) -> Result<TcpEndpoint, NetError> {
+        if cfg.world == 0 {
+            return Err(NetError::Config("world size must be positive".to_string()));
+        }
+        if cfg.world == 1 {
+            return Ok(TcpEndpoint {
+                rank: 0,
+                world: 1,
+                send_timeout: cfg.send_timeout,
+                recv_timeout: Mutex::new(cfg.recv_timeout),
+                outboxes: vec![None],
+                inboxes: vec![None],
+                pool: Arc::new(BufferPool::default()),
+                writers: Vec::new(),
+                readers: Vec::new(),
+                peer_streams: Vec::new(),
+            });
+        }
+        let (rank, streams) = match cfg.rank {
+            Some(0) => rendezvous_master(cfg, pre)?,
+            _ => rendezvous_worker(cfg)?,
+        };
+        Self::from_mesh(rank, cfg, streams)
+    }
+
+    /// Spawns the per-peer reader/writer threads over an established mesh.
+    fn from_mesh(
+        rank: usize,
+        cfg: &NetConfig,
+        streams: Vec<Option<TcpStream>>,
+    ) -> Result<TcpEndpoint, NetError> {
+        let world = cfg.world;
+        let pool = Arc::new(BufferPool::default());
+        let mut outboxes = Vec::with_capacity(world);
+        let mut inboxes = Vec::with_capacity(world);
+        let mut writers = Vec::new();
+        let mut readers = Vec::new();
+        let mut peer_streams = Vec::new();
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else {
+                if peer != rank {
+                    return Err(NetError::Protocol(format!(
+                        "rendezvous left no connection to rank {peer}"
+                    )));
+                }
+                outboxes.push(None);
+                inboxes.push(None);
+                continue;
+            };
+            stream
+                .set_nodelay(true)
+                .map_err(|e| NetError::io(format!("setting TCP_NODELAY for rank {peer}"), e))?;
+            // Handshake deadlines no longer apply: readers block until
+            // woken (Drop force-closes the socket), writers are bounded by
+            // the send deadline.
+            stream
+                .set_read_timeout(None)
+                .map_err(|e| NetError::io(format!("clearing read deadline for rank {peer}"), e))?;
+            let wstream = stream
+                .try_clone()
+                .map_err(|e| NetError::io(format!("cloning stream for rank {peer}"), e))?;
+            wstream
+                .set_write_timeout(Some(cfg.send_timeout))
+                .map_err(|e| NetError::io(format!("setting write deadline for rank {peer}"), e))?;
+            let shutdown_handle = stream
+                .try_clone()
+                .map_err(|e| NetError::io(format!("cloning stream for rank {peer}"), e))?;
+            let (otx, orx) = mpsc::sync_channel(cfg.outbox_frames);
+            let (itx, irx) = mpsc::channel();
+            let wpool = Arc::clone(&pool);
+            writers.push(std::thread::spawn(move || {
+                writer_loop(wstream, orx, &wpool)
+            }));
+            let rpool = Arc::clone(&pool);
+            readers.push(std::thread::spawn(move || reader_loop(stream, itx, &rpool)));
+            outboxes.push(Some(otx));
+            inboxes.push(Some(Mutex::new(irx)));
+            peer_streams.push(shutdown_handle);
+        }
+        Ok(TcpEndpoint {
+            rank,
+            world,
+            send_timeout: cfg.send_timeout,
+            recv_timeout: Mutex::new(cfg.recv_timeout),
+            outboxes,
+            inboxes,
+            pool,
+            writers,
+            readers,
+            peer_streams,
+        })
+    }
+}
+
+/// Writer thread: frames and flushes each queued payload, recycling the
+/// buffer. Exits on a `Shutdown` command (writing a graceful shutdown
+/// frame), on channel close (endpoint dropped), or on a write error —
+/// writes carry a socket deadline, so a wedged peer cannot block forever.
+fn writer_loop(stream: TcpStream, orx: Receiver<WriterCmd>, pool: &BufferPool) {
+    let mut w = BufWriter::with_capacity(64 * 1024, stream);
+    let mut bytes = Vec::new();
+    while let Ok(cmd) = orx.recv() {
+        match cmd {
+            WriterCmd::Data(buf) => {
+                encode_f32s(&buf, &mut bytes);
+                let ok = write_frame(&mut w, FrameKind::Data, &bytes).is_ok();
+                pool.recycle(buf);
+                if !ok || w.flush().is_err() {
+                    return; // dropping orx signals Disconnected to senders
+                }
+            }
+            WriterCmd::Shutdown => {
+                let _ = write_frame(&mut w, FrameKind::Shutdown, &[]);
+                let _ = w.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// Reader thread: demultiplexes incoming frames — data payloads go to the
+/// peer's inbox (in pooled buffers), a shutdown frame or any error ends
+/// the stream. Dropping the inbox sender is what turns a dead peer into
+/// [`CollectiveError::Disconnected`] on the receive side.
+fn reader_loop(stream: TcpStream, itx: mpsc::Sender<Vec<f32>>, pool: &BufferPool) {
+    let mut r = BufReader::with_capacity(64 * 1024, stream);
+    let mut body = Vec::new();
+    loop {
+        match read_frame(&mut r, &mut body) {
+            Ok(FrameKind::Data) => {
+                let mut buf = pool.take(body.len() / 4);
+                if decode_f32s(&body, &mut buf).is_err() || itx.send(buf).is_err() {
+                    return;
+                }
+            }
+            // Graceful shutdown, unexpected control frame, EOF, reset, or
+            // forced local close: in every case the stream is over.
+            Ok(_) | Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        self.check_peer(to)?;
+        let tx = self.outboxes[to].as_ref().expect("validated peer");
+        let mut cmd = WriterCmd::Data(msg.into_wire_payload());
+        let deadline = Instant::now() + self.send_timeout;
+        loop {
+            match tx.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(c)) => {
+                    if Instant::now() >= deadline {
+                        return Err(CollectiveError::Timeout {
+                            peer: to,
+                            millis: self.send_timeout.as_millis() as u64,
+                        });
+                    }
+                    cmd = c;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(CollectiveError::Disconnected { peer: to })
+                }
+            }
+        }
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.check_peer(from)?;
+        let rx = self.inboxes[from]
+            .as_ref()
+            .expect("validated peer")
+            .lock()
+            .expect("inbox poisoned");
+        let timeout = *self.recv_timeout.lock().expect("recv timeout poisoned");
+        let payload = match timeout {
+            None => rx
+                .recv()
+                .map_err(|_| CollectiveError::Disconnected { peer: from })?,
+            Some(dl) => rx.recv_timeout(dl).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => CollectiveError::Timeout {
+                    peer: from,
+                    millis: dl.as_millis() as u64,
+                },
+                mpsc::RecvTimeoutError::Disconnected => {
+                    CollectiveError::Disconnected { peer: from }
+                }
+            })?,
+        };
+        Ok(Message::new(payload))
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        *self.recv_timeout.lock().expect("recv timeout poisoned") = timeout;
+        true
+    }
+
+    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+        self.pool.take(capacity)
+    }
+
+    fn recycle_buffer(&self, buf: Vec<f32>) {
+        self.pool.recycle(buf);
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Queue a graceful shutdown frame where the outbox has room, then
+        // close every outbox: writers drain all queued data, write the
+        // shutdown frame, and exit (their write deadline bounds this even
+        // against a wedged peer).
+        for tx in self.outboxes.iter_mut() {
+            if let Some(tx) = tx.take() {
+                let _ = tx.try_send(WriterCmd::Shutdown);
+            }
+        }
+        for h in self.writers.drain(..) {
+            let _ = h.join();
+        }
+        // Force readers out of blocking reads. All frames we were owed have
+        // been consumed by completed collectives, so nothing of value is
+        // discarded.
+        for s in self.peer_streams.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Dials `addr`, retrying with exponential backoff (connection refused just
+/// means the peer's listener isn't up yet) until `cfg.connect_timeout`.
+fn connect_with_retry(addr: &str, cfg: &NetConfig) -> Result<TcpStream, NetError> {
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut backoff = NetConfig::CONNECT_BACKOFF_MIN;
+    loop {
+        let attempt = (|| -> std::io::Result<TcpStream> {
+            let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "address resolved to nothing")
+            })?;
+            let remaining = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_secs(2))
+                .max(Duration::from_millis(1));
+            TcpStream::connect_timeout(&sockaddr, remaining)
+        })();
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(NetError::Timeout {
+                        context: format!("connecting to {addr} (last error: {e})"),
+                        after: cfg.connect_timeout,
+                    });
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(NetConfig::CONNECT_BACKOFF_MAX);
+            }
+        }
+    }
+}
+
+/// Accepts one connection with a deadline (std listeners have no accept
+/// timeout, so this polls in non-blocking mode).
+fn accept_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+    what: &str,
+) -> Result<(TcpStream, std::net::SocketAddr), NetError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::io("setting listener non-blocking", e))?;
+    loop {
+        match listener.accept() {
+            Ok((s, peer)) => {
+                s.set_nonblocking(false)
+                    .map_err(|e| NetError::io("restoring blocking mode", e))?;
+                return Ok((s, peer));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Timeout {
+                        context: format!("waiting to accept {what}"),
+                        after: Duration::ZERO,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(NetError::io(format!("accepting {what}"), e)),
+        }
+    }
+}
+
+/// Applies the handshake socket deadlines to a rendezvous-phase stream.
+fn set_handshake_deadlines(s: &TcpStream, cfg: &NetConfig) -> Result<(), NetError> {
+    s.set_read_timeout(Some(cfg.handshake_timeout))
+        .map_err(|e| NetError::io("setting handshake read deadline", e))?;
+    s.set_write_timeout(Some(cfg.handshake_timeout))
+        .map_err(|e| NetError::io("setting handshake write deadline", e))
+}
+
+/// Reads one frame expecting `want`, surfacing anything else as a protocol
+/// violation.
+fn expect_frame(
+    s: &mut TcpStream,
+    want: FrameKind,
+    body: &mut Vec<u8>,
+    who: &str,
+) -> Result<(), NetError> {
+    let got = read_frame(s, body).map_err(|e| NetError::io(format!("reading from {who}"), e))?;
+    if got != want {
+        return Err(NetError::Protocol(format!(
+            "expected {want:?} from {who}, got {got:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Rank 0's side of the rendezvous: collect HELLOs, assign ranks, publish
+/// the peer table, then run the READY/GO barrier. The HELLO connections
+/// become rank 0's mesh links.
+fn rendezvous_master(
+    cfg: &NetConfig,
+    pre: Option<TcpListener>,
+) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
+    let world = cfg.world;
+    let listener = match pre {
+        Some(l) => l,
+        None => TcpListener::bind(&cfg.master_addr)
+            .map_err(|e| NetError::io(format!("binding master listener {}", cfg.master_addr), e))?,
+    };
+    let deadline = Instant::now() + cfg.handshake_timeout;
+    let mut body = Vec::new();
+    let mut pending: Vec<(TcpStream, Hello, IpAddr)> = Vec::with_capacity(world - 1);
+    while pending.len() < world - 1 {
+        let (mut s, peer) = accept_deadline(&listener, deadline, "a worker HELLO")?;
+        set_handshake_deadlines(&s, cfg)?;
+        expect_frame(&mut s, FrameKind::Hello, &mut body, "worker")?;
+        let hello = Hello::decode(&body).map_err(|e| NetError::io("decoding HELLO", e))?;
+        pending.push((s, hello, peer.ip()));
+    }
+    // Assign ranks: explicit requests first, then fill in arrival order.
+    let mut taken = vec![false; world];
+    taken[0] = true;
+    let mut assigned: Vec<Option<usize>> = vec![None; pending.len()];
+    for (i, (_, hello, _)) in pending.iter().enumerate() {
+        if hello.rank != u32::MAX {
+            let r = hello.rank as usize;
+            if r == 0 || r >= world || taken[r] {
+                return Err(NetError::Protocol(format!(
+                    "worker requested rank {r}, which is invalid or already taken (world {world})"
+                )));
+            }
+            taken[r] = true;
+            assigned[i] = Some(r);
+        }
+    }
+    for slot in assigned.iter_mut().filter(|s| s.is_none()) {
+        let r = taken.iter().position(|t| !t).expect("a free rank exists");
+        taken[r] = true;
+        *slot = Some(r);
+    }
+    // Build the dialable peer table.
+    let mut addrs = vec![String::new(); world];
+    addrs[0] = cfg.master_addr.clone();
+    for (i, (_, hello, seen_ip)) in pending.iter().enumerate() {
+        let rank = assigned[i].expect("all slots assigned");
+        let host = if hello.host.is_empty() || hello.host == "0.0.0.0" {
+            seen_ip.to_string()
+        } else {
+            hello.host.clone()
+        };
+        addrs[rank] = format!("{host}:{}", hello.port);
+    }
+    // WELCOME everyone; the HELLO connections become mesh links to rank 0.
+    let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    for ((mut s, _, _), rank) in pending.into_iter().zip(assigned) {
+        let rank = rank.expect("all slots assigned");
+        let welcome = Welcome {
+            rank: rank as u32,
+            world: world as u32,
+            addrs: addrs.clone(),
+        };
+        write_frame(&mut s, FrameKind::Welcome, &welcome.encode())
+            .map_err(|e| NetError::io(format!("sending WELCOME to rank {rank}"), e))?;
+        streams[rank] = Some(s);
+    }
+    // Barrier: one READY per worker, then GO to all.
+    for (r, slot) in streams.iter_mut().enumerate().skip(1) {
+        let s = slot.as_mut().expect("welcomed worker");
+        expect_frame(s, FrameKind::Ready, &mut body, &format!("rank {r}"))?;
+    }
+    for (r, slot) in streams.iter_mut().enumerate().skip(1) {
+        let s = slot.as_mut().expect("welcomed worker");
+        write_frame(s, FrameKind::Go, &[])
+            .map_err(|e| NetError::io(format!("sending GO to rank {r}"), e))?;
+    }
+    Ok((0, streams))
+}
+
+/// A worker's side of the rendezvous: HELLO the master, learn rank and
+/// peer table, dial lower ranks, accept higher ranks, then barrier.
+fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
+    let world = cfg.world;
+    let listener = TcpListener::bind((cfg.listen_host.as_str(), 0))
+        .map_err(|e| NetError::io(format!("binding worker listener on {}", cfg.listen_host), e))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| NetError::io("reading listener address", e))?
+        .port();
+    let mut master = connect_with_retry(&cfg.master_addr, cfg)?;
+    set_handshake_deadlines(&master, cfg)?;
+    let hello = Hello {
+        rank: cfg.rank.map_or(u32::MAX, |r| r as u32),
+        port,
+        host: if cfg.listen_host == "0.0.0.0" {
+            String::new()
+        } else {
+            cfg.listen_host.clone()
+        },
+    };
+    write_frame(&mut master, FrameKind::Hello, &hello.encode())
+        .map_err(|e| NetError::io("sending HELLO", e))?;
+    let mut body = Vec::new();
+    expect_frame(&mut master, FrameKind::Welcome, &mut body, "master")?;
+    let welcome = Welcome::decode(&body).map_err(|e| NetError::io("decoding WELCOME", e))?;
+    if welcome.world as usize != world {
+        return Err(NetError::Protocol(format!(
+            "master believes world is {}, this worker was configured for {world}",
+            welcome.world
+        )));
+    }
+    let rank = welcome.rank as usize;
+    if rank == 0 || rank >= world || cfg.rank.is_some_and(|r| r != rank) {
+        return Err(NetError::Protocol(format!(
+            "master assigned rank {rank}, configured rank {:?} (world {world})",
+            cfg.rank
+        )));
+    }
+    let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+    streams[0] = Some(master);
+    // Dial every lower non-zero rank, identifying ourselves.
+    for (peer, addr) in welcome.addrs.iter().enumerate().take(rank).skip(1) {
+        let mut s = connect_with_retry(addr, cfg)?;
+        set_handshake_deadlines(&s, cfg)?;
+        write_frame(&mut s, FrameKind::Ident, &encode_ident(rank as u32))
+            .map_err(|e| NetError::io(format!("sending IDENT to rank {peer}"), e))?;
+        streams[peer] = Some(s);
+    }
+    // Accept every higher rank.
+    let deadline = Instant::now() + cfg.handshake_timeout;
+    for _ in rank + 1..world {
+        let (mut s, _) = accept_deadline(&listener, deadline, "a peer IDENT")?;
+        set_handshake_deadlines(&s, cfg)?;
+        expect_frame(&mut s, FrameKind::Ident, &mut body, "peer")?;
+        let peer = decode_ident(&body).map_err(|e| NetError::io("decoding IDENT", e))? as usize;
+        if peer <= rank || peer >= world {
+            return Err(NetError::Protocol(format!(
+                "rank {peer} dialled rank {rank}; only higher ranks dial lower ones"
+            )));
+        }
+        if streams[peer].is_some() {
+            return Err(NetError::Protocol(format!("rank {peer} dialled twice")));
+        }
+        streams[peer] = Some(s);
+    }
+    // Mesh complete: barrier through rank 0.
+    let master = streams[0].as_mut().expect("master connection");
+    write_frame(master, FrameKind::Ready, &[]).map_err(|e| NetError::io("sending READY", e))?;
+    expect_frame(master, FrameKind::Go, &mut body, "master")?;
+    Ok((rank, streams))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopback::tcp_loopback;
+
+    #[test]
+    fn world_of_one_needs_no_sockets() {
+        let cfg = NetConfig::new(1, 0, "127.0.0.1:0");
+        let ep = TcpEndpoint::connect(&cfg).unwrap();
+        assert_eq!((ep.rank(), ep.world_size()), (0, 1));
+        assert!(matches!(
+            ep.send(0, vec![].into()).unwrap_err(),
+            CollectiveError::InvalidRank { .. }
+        ));
+    }
+
+    #[test]
+    fn send_recv_roundtrip_preserves_order_and_bits() {
+        let mut eps = tcp_loopback(2).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.send(1, vec![1.0, f32::NAN, -0.0].into()).unwrap();
+                a.send(1, vec![2.0].into()).unwrap();
+            });
+            s.spawn(|| {
+                let first = b.recv(0).unwrap();
+                assert_eq!(first.len(), 3);
+                assert_eq!(first[0].to_bits(), 1.0f32.to_bits());
+                assert!(first[1].is_nan());
+                assert_eq!(first[2].to_bits(), (-0.0f32).to_bits());
+                assert_eq!(b.recv(0).unwrap(), vec![2.0]);
+            });
+        });
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_instead_of_hanging() {
+        let eps = tcp_loopback(2).unwrap();
+        assert!(eps[0].set_recv_timeout(Some(Duration::from_millis(50))));
+        let err = eps[0].recv(1).unwrap_err();
+        assert!(matches!(err, CollectiveError::Timeout { peer: 1, .. }));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_disconnected() {
+        let mut eps = tcp_loopback(2).unwrap();
+        let b = eps.pop().unwrap();
+        drop(eps); // rank 0 shuts down gracefully
+        b.set_recv_timeout(Some(Duration::from_secs(5)));
+        let err = b.recv(0).unwrap_err();
+        assert_eq!(err, CollectiveError::Disconnected { peer: 0 });
+        // Sending to the departed peer eventually fails too (the writer
+        // thread may still accept a queued frame before noticing).
+        let mut saw_error = false;
+        for _ in 0..200 {
+            if b.send(0, vec![1.0].into()).is_err() {
+                saw_error = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_error, "send to a dead peer never failed");
+    }
+
+    #[test]
+    fn pool_reuses_buffers_across_recv() {
+        let mut eps = tcp_loopback(2).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![5.0; 8].into()).unwrap();
+        let msg = b.recv(0).unwrap();
+        let buf = msg.into_payload();
+        let cap = buf.capacity();
+        b.recycle_buffer(buf);
+        let again = b.take_buffer(4);
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap, "pool should hand back the buffer");
+    }
+
+    #[test]
+    fn explicit_rank_requests_are_honoured() {
+        let eps = tcp_loopback(4).unwrap();
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i);
+            assert_eq!(ep.world_size(), 4);
+        }
+    }
+
+    #[test]
+    fn connect_retry_times_out_against_nobody() {
+        let mut cfg = NetConfig::new(2, 1, "127.0.0.1:9"); // discard port
+        cfg.connect_timeout = Duration::from_millis(100);
+        let err = TcpEndpoint::connect(&cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Timeout { .. } | NetError::Io { .. }
+        ));
+    }
+}

@@ -1,0 +1,315 @@
+//! Wire framing: every byte on a `dear-net` socket travels inside a frame
+//! with a fixed 5-byte header — `[kind: u8][len: u32 LE]` — followed by
+//! `len` payload bytes. Gradient payloads are `f32` little-endian arrays;
+//! rendezvous control frames carry small hand-rolled binary bodies.
+//!
+//! Little-endian is the wire byte order regardless of host (the paper's
+//! testbeds are x86-64, but the format is explicit so heterogeneous hosts
+//! interoperate).
+
+use std::io::{self, Read, Write};
+
+/// Frame type tags. The numeric values are wire ABI; do not renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// An `f32` LE gradient/parameter payload (a [`Message`] payload).
+    ///
+    /// [`Message`]: dear_collectives::Message
+    Data = 1,
+    /// Graceful end-of-stream: the peer is done sending forever.
+    Shutdown = 2,
+    /// Worker → master: join request (`[rank: u32][port: u16][host utf8]`,
+    /// rank `u32::MAX` requests auto-assignment).
+    Hello = 3,
+    /// Master → worker: rank assignment and peer table
+    /// (`[rank: u32][world: u32]` then per rank `[len: u16][addr utf8]`).
+    Welcome = 4,
+    /// Mesh dial: first frame on a peer-to-peer connection, identifying the
+    /// dialling rank (`[rank: u32]`).
+    Ident = 5,
+    /// Worker → rank 0: full mesh established, ready for step 0.
+    Ready = 6,
+    /// Rank 0 → worker: all ranks ready, start.
+    Go = 7,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Data,
+            2 => FrameKind::Shutdown,
+            3 => FrameKind::Hello,
+            4 => FrameKind::Welcome,
+            5 => FrameKind::Ident,
+            6 => FrameKind::Ready,
+            7 => FrameKind::Go,
+            _ => return None,
+        })
+    }
+}
+
+/// Upper bound on a frame body; larger lengths are treated as stream
+/// corruption rather than honoured with a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Writes one frame. `body` is borrowed; the caller keeps its buffer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME_BYTES);
+    let mut header = [0u8; 5];
+    header[0] = kind as u8;
+    header[1..5].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(body)
+}
+
+/// Reads one frame into `body` (cleared and reused, so steady-state reads
+/// don't allocate). Returns the frame kind.
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` at end of stream, and `InvalidData` for unknown
+/// kinds or oversized lengths.
+pub fn read_frame<R: Read>(r: &mut R, body: &mut Vec<u8>) -> io::Result<FrameKind> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let kind = FrameKind::from_u8(header[0]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown frame kind {}", header[0]),
+        )
+    })?;
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    Ok(kind)
+}
+
+/// Encodes `elems` as the LE byte body of a [`FrameKind::Data`] frame into
+/// `out` (cleared and reused).
+pub fn encode_f32s(elems: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(elems.len() * 4);
+    for x in elems {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Decodes a [`FrameKind::Data`] body into `out` (cleared and reused).
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the body length is not a multiple of 4.
+pub fn decode_f32s(body: &[u8], out: &mut Vec<f32>) -> io::Result<()> {
+    if !body.len().is_multiple_of(4) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("data frame of {} bytes is not whole f32s", body.len()),
+        ));
+    }
+    out.clear();
+    out.reserve(body.len() / 4);
+    for chunk in body.chunks_exact(4) {
+        out.push(f32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
+    }
+    Ok(())
+}
+
+/// Body of a [`FrameKind::Hello`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Requested rank, or `u32::MAX` for auto-assignment.
+    pub rank: u32,
+    /// The worker's listener port.
+    pub port: u16,
+    /// Advertised host; empty means "use the address the master sees".
+    pub host: String,
+}
+
+impl Hello {
+    /// Serializes to a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.host.len());
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.port.to_le_bytes());
+        out.extend_from_slice(self.host.as_bytes());
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on truncation or malformed UTF-8.
+    pub fn decode(body: &[u8]) -> io::Result<Hello> {
+        if body.len() < 6 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "short HELLO"));
+        }
+        let rank = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let port = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        let host = std::str::from_utf8(&body[6..])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "HELLO host not UTF-8"))?
+            .to_string();
+        Ok(Hello { rank, port, host })
+    }
+}
+
+/// Body of a [`FrameKind::Welcome`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// The rank assigned to the receiving worker.
+    pub rank: u32,
+    /// World size.
+    pub world: u32,
+    /// Dialable `host:port` of every rank's listener, indexed by rank.
+    pub addrs: Vec<String>,
+}
+
+impl Welcome {
+    /// Serializes to a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.world.to_le_bytes());
+        for addr in &self.addrs {
+            out.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+            out.extend_from_slice(addr.as_bytes());
+        }
+        out
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on truncation or malformed UTF-8.
+    pub fn decode(body: &[u8]) -> io::Result<Welcome> {
+        let short = || io::Error::new(io::ErrorKind::InvalidData, "short WELCOME");
+        if body.len() < 8 {
+            return Err(short());
+        }
+        let rank = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+        let world = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+        let mut addrs = Vec::with_capacity(world as usize);
+        let mut at = 8usize;
+        for _ in 0..world {
+            if body.len() < at + 2 {
+                return Err(short());
+            }
+            let len = u16::from_le_bytes(body[at..at + 2].try_into().expect("2 bytes")) as usize;
+            at += 2;
+            if body.len() < at + len {
+                return Err(short());
+            }
+            let addr = std::str::from_utf8(&body[at..at + len])
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "WELCOME addr not UTF-8"))?
+                .to_string();
+            addrs.push(addr);
+            at += len;
+        }
+        Ok(Welcome { rank, world, addrs })
+    }
+}
+
+/// Encodes the 4-byte body of an [`FrameKind::Ident`] frame.
+#[must_use]
+pub fn encode_ident(rank: u32) -> [u8; 4] {
+    rank.to_le_bytes()
+}
+
+/// Decodes an [`FrameKind::Ident`] body.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the body is not exactly 4 bytes.
+pub fn decode_ident(body: &[u8]) -> io::Result<u32> {
+    let bytes: [u8; 4] = body
+        .try_into()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "short IDENT"))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_byte_pipe() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Data, &[1, 2, 3, 4]).unwrap();
+        write_frame(&mut wire, FrameKind::Shutdown, &[]).unwrap();
+        let mut cursor = &wire[..];
+        let mut body = Vec::new();
+        assert_eq!(read_frame(&mut cursor, &mut body).unwrap(), FrameKind::Data);
+        assert_eq!(body, vec![1, 2, 3, 4]);
+        assert_eq!(
+            read_frame(&mut cursor, &mut body).unwrap(),
+            FrameKind::Shutdown
+        );
+        assert!(body.is_empty());
+        assert_eq!(
+            read_frame(&mut cursor, &mut body).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_invalid_data() {
+        let wire = [99u8, 0, 0, 0, 0];
+        let mut body = Vec::new();
+        assert_eq!(
+            read_frame(&mut &wire[..], &mut body).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn f32_codec_is_bit_exact() {
+        let elems = [0.0f32, -1.5, f32::MIN_POSITIVE, f32::NAN, 1e30, -0.0];
+        let mut bytes = Vec::new();
+        encode_f32s(&elems, &mut bytes);
+        assert_eq!(bytes.len(), elems.len() * 4);
+        let mut back = Vec::new();
+        decode_f32s(&bytes, &mut back).unwrap();
+        for (a, b) in elems.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_f32s(&bytes[..3], &mut back).is_err());
+    }
+
+    #[test]
+    fn hello_welcome_roundtrip() {
+        let hello = Hello {
+            rank: u32::MAX,
+            port: 40_123,
+            host: String::new(),
+        };
+        assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+        let welcome = Welcome {
+            rank: 2,
+            world: 4,
+            addrs: vec![
+                "127.0.0.1:1".into(),
+                "127.0.0.1:2".into(),
+                "10.0.0.3:45000".into(),
+                "127.0.0.1:4".into(),
+            ],
+        };
+        assert_eq!(Welcome::decode(&welcome.encode()).unwrap(), welcome);
+        assert!(Welcome::decode(&welcome.encode()[..10]).is_err());
+        assert_eq!(decode_ident(&encode_ident(7)).unwrap(), 7);
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-process launching: spawn `world` copies of a worker command with
+//! the rendezvous environment (`RANK`, `WORLD_SIZE`, `MASTER_ADDR`,
+//! `MASTER_PORT`) set per rank, supervise them, and propagate failures —
+//! the moral equivalent of `torchrun`/`mpirun` for this repository.
+
+use std::process::{Child, Command, ExitStatus};
+use std::time::{Duration, Instant};
+
+use crate::config::NetError;
+
+/// How one launched world finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldOutcome {
+    /// Every rank exited with status 0.
+    AllExitedCleanly,
+}
+
+/// Options for [`launch_world`].
+#[derive(Debug, Clone)]
+pub struct LaunchOptions {
+    /// Number of worker processes.
+    pub world: usize,
+    /// Rendezvous host workers connect to (rank 0 binds it). Defaults to
+    /// loopback.
+    pub master_host: String,
+    /// Rendezvous port; `None` picks a free ephemeral port.
+    pub master_port: Option<u16>,
+    /// Overall wall-clock budget; on expiry every worker is killed and the
+    /// launch fails with [`NetError::Timeout`]. `None` waits forever.
+    pub timeout: Option<Duration>,
+    /// Extra `(name, value)` environment entries for every worker.
+    pub env: Vec<(String, String)>,
+}
+
+impl LaunchOptions {
+    /// Options for `world` workers rendezvousing on loopback.
+    #[must_use]
+    pub fn new(world: usize) -> Self {
+        LaunchOptions {
+            world,
+            master_host: "127.0.0.1".to_string(),
+            master_port: None,
+            timeout: None,
+            env: Vec::new(),
+        }
+    }
+}
+
+/// Asks the OS for a currently-free TCP port on loopback. The port is
+/// released before returning, so a race is possible but unlikely; rank 0
+/// rebinding it immediately makes this good enough for tests and
+/// single-host launches.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] if no ephemeral port can be bound at all.
+pub fn free_port() -> Result<u16, NetError> {
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| NetError::io("probing for a free port", e))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| NetError::io("reading probed port", e))?
+        .port();
+    Ok(port)
+}
+
+/// Spawns `opts.world` copies of `command` (argv, first element is the
+/// program) with per-rank rendezvous environment, then supervises them:
+///
+/// - if every rank exits 0, returns [`WorldOutcome::AllExitedCleanly`];
+/// - the first rank to exit non-zero (or die to a signal) gets the
+///   remaining ranks killed, and the launch fails with the failing rank's
+///   status in the error;
+/// - if `opts.timeout` expires first, everything is killed and the launch
+///   fails with [`NetError::Timeout`].
+///
+/// # Errors
+///
+/// Returns [`NetError`] as described above, or [`NetError::Config`] /
+/// [`NetError::Io`] when the command is empty or cannot be spawned.
+pub fn launch_world(command: &[String], opts: &LaunchOptions) -> Result<WorldOutcome, NetError> {
+    let Some((program, args)) = command.split_first() else {
+        return Err(NetError::Config("empty worker command".to_string()));
+    };
+    if opts.world == 0 {
+        return Err(NetError::Config("world size must be positive".to_string()));
+    }
+    let port = match opts.master_port {
+        Some(p) => p,
+        None => free_port()?,
+    };
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(opts.world);
+    for rank in 0..opts.world {
+        let mut cmd = Command::new(program);
+        cmd.args(args)
+            .env("RANK", rank.to_string())
+            .env("WORLD_SIZE", opts.world.to_string())
+            .env("MASTER_ADDR", &opts.master_host)
+            .env("MASTER_PORT", port.to_string())
+            .stdin(std::process::Stdio::null());
+        for (k, v) in &opts.env {
+            cmd.env(k, v);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(Some(child)),
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(NetError::io(format!("spawning rank {rank} ({program})"), e));
+            }
+        }
+    }
+    supervise(&mut children, opts.timeout)
+}
+
+/// Polls the children until all exit cleanly, one fails, or the deadline
+/// expires; kills the survivors in the latter two cases.
+fn supervise(
+    children: &mut [Option<Child>],
+    timeout: Option<Duration>,
+) -> Result<WorldOutcome, NetError> {
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        let mut all_done = true;
+        for rank in 0..children.len() {
+            let Some(child) = children[rank].as_mut() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => {
+                    children[rank] = None;
+                }
+                Ok(Some(status)) => {
+                    kill_all(children);
+                    return Err(NetError::Protocol(format!(
+                        "worker rank {rank} failed: {}",
+                        describe(status)
+                    )));
+                }
+                Ok(None) => all_done = false,
+                Err(e) => {
+                    kill_all(children);
+                    return Err(NetError::io(format!("waiting on rank {rank}"), e));
+                }
+            }
+        }
+        if all_done {
+            return Ok(WorldOutcome::AllExitedCleanly);
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                kill_all(children);
+                return Err(NetError::Timeout {
+                    context: "waiting for the worker world to finish".to_string(),
+                    after: timeout.unwrap_or_default(),
+                });
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn kill_all(children: &mut [Option<Child>]) {
+    for child in children.iter_mut().flatten() {
+        let _ = child.kill();
+    }
+    for child in children.iter_mut() {
+        if let Some(mut c) = child.take() {
+            let _ = c.wait();
+        }
+    }
+}
+
+fn describe(status: ExitStatus) -> String {
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => "killed by a signal".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_port_is_bindable() {
+        let port = free_port().unwrap();
+        assert!(port > 0);
+        // Typically still free immediately afterwards.
+        let rebind = std::net::TcpListener::bind(("127.0.0.1", port));
+        assert!(rebind.is_ok(), "probed port was not rebindable");
+    }
+
+    #[test]
+    fn empty_command_is_rejected() {
+        let err = launch_world(&[], &LaunchOptions::new(2)).unwrap_err();
+        assert!(matches!(err, NetError::Config(_)));
+    }
+
+    #[test]
+    fn clean_world_exits_cleanly() {
+        let cmd = vec!["true".to_string()];
+        let out = launch_world(&cmd, &LaunchOptions::new(3)).unwrap();
+        assert_eq!(out, WorldOutcome::AllExitedCleanly);
+    }
+
+    #[test]
+    fn failing_worker_fails_the_launch() {
+        let cmd = vec!["false".to_string()];
+        let err = launch_world(&cmd, &LaunchOptions::new(2)).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "got {err}");
+    }
+
+    #[test]
+    fn timeout_kills_a_stuck_world() {
+        let cmd = vec!["sleep".to_string(), "30".to_string()];
+        let mut opts = LaunchOptions::new(2);
+        opts.timeout = Some(Duration::from_millis(200));
+        let start = Instant::now();
+        let err = launch_world(&cmd, &opts).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }), "got {err}");
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,103 @@
+//! Single-process TCP loopback: all `world` ranks in one process, real
+//! sockets over `127.0.0.1`. This is the bridge between the in-process
+//! [`LocalFabric`](dear_collectives::LocalFabric) tests and true
+//! multi-process deployment — same wire protocol, same endpoint code, no
+//! process management.
+
+use std::net::TcpListener;
+
+use dear_collectives::Transport;
+
+use crate::config::NetConfig;
+use crate::endpoint::TcpEndpoint;
+use crate::NetError;
+
+/// Builds a `world`-rank TCP cluster inside this process and returns the
+/// endpoints in rank order. The master listener is bound on an ephemeral
+/// `127.0.0.1` port first, so no fixed port is needed and parallel test
+/// runs cannot collide.
+///
+/// # Errors
+///
+/// Returns the first [`NetError`] any rank hit during rendezvous.
+///
+/// # Panics
+///
+/// Panics if a rendezvous thread panics.
+pub fn tcp_loopback(world: usize) -> Result<Vec<TcpEndpoint>, NetError> {
+    tcp_loopback_with(world, |cfg| cfg)
+}
+
+/// [`tcp_loopback`] with a configuration hook applied to every rank's
+/// [`NetConfig`] before connecting (e.g. to shrink timeouts in tests).
+///
+/// # Errors
+///
+/// Returns the first [`NetError`] any rank hit during rendezvous.
+///
+/// # Panics
+///
+/// Panics if a rendezvous thread panics.
+pub fn tcp_loopback_with<F>(world: usize, tweak: F) -> Result<Vec<TcpEndpoint>, NetError>
+where
+    F: Fn(NetConfig) -> NetConfig,
+{
+    if world == 0 {
+        return Err(NetError::Config("world size must be positive".to_string()));
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| NetError::io("binding loopback master listener", e))?;
+    let master_addr = listener
+        .local_addr()
+        .map_err(|e| NetError::io("reading loopback master address", e))?
+        .to_string();
+    std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(world.saturating_sub(1));
+        for rank in 1..world {
+            let cfg = tweak(NetConfig::new(world, rank, master_addr.clone()));
+            workers.push(s.spawn(move || TcpEndpoint::connect(&cfg)));
+        }
+        let cfg0 = tweak(NetConfig::new(world, 0, master_addr.clone()));
+        let ep0 = TcpEndpoint::connect_with_listener(&cfg0, listener)?;
+        let mut endpoints = vec![ep0];
+        for handle in workers {
+            endpoints.push(handle.join().expect("loopback rank panicked")?);
+        }
+        endpoints.sort_by_key(|ep| ep.rank());
+        Ok(endpoints)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_assigns_every_rank_once() {
+        let eps = tcp_loopback(5).unwrap();
+        assert_eq!(eps.len(), 5);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i);
+            assert_eq!(ep.world_size(), 5);
+        }
+    }
+
+    #[test]
+    fn loopback_runs_a_real_all_reduce() {
+        let eps = tcp_loopback(4).unwrap();
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 32];
+                    dear_collectives::ring_all_reduce(
+                        ep,
+                        &mut data,
+                        dear_collectives::ReduceOp::Sum,
+                    )
+                    .unwrap();
+                    assert_eq!(data, vec![10.0; 32]); // 1+2+3+4
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end multi-process smoke tests: run the real `dear-launch`
+//! binary, four OS processes, real sockets, real DeAR training — and
+//! assert the trained models agree bit-for-bit across ranks. Also the
+//! failure path: killing one worker mid-step must fail the whole launch
+//! promptly instead of hanging.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const LAUNCH: &str = env!("CARGO_BIN_EXE_dear-launch");
+
+#[derive(Debug)]
+struct RankLine {
+    rank: usize,
+    world: usize,
+    eval_loss: String,
+    params_hash: String,
+}
+
+fn parse_lines(stdout: &str) -> Vec<RankLine> {
+    let mut out = Vec::new();
+    for line in stdout.lines().filter(|l| l.starts_with("dear-demo rank=")) {
+        let field = |key: &str| -> String {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("missing {key} in {line:?}"))
+                .to_string()
+        };
+        out.push(RankLine {
+            rank: field("rank").parse().unwrap(),
+            world: field("world").parse().unwrap(),
+            eval_loss: field("eval_loss"),
+            params_hash: field("params_hash"),
+        });
+    }
+    out
+}
+
+#[test]
+fn four_process_training_agrees_across_ranks() {
+    let output = Command::new(LAUNCH)
+        .args([
+            "--world",
+            "4",
+            "--demo",
+            "--steps",
+            "25",
+            "--timeout-secs",
+            "120",
+        ])
+        .env("DEAR_RECV_TIMEOUT_MS", "60000")
+        .output()
+        .expect("running dear-launch");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "launch failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let mut lines = parse_lines(&stdout);
+    assert_eq!(lines.len(), 4, "expected 4 rank lines in:\n{stdout}");
+    lines.sort_by_key(|l| l.rank);
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(line.rank, i);
+        assert_eq!(line.world, 4);
+        // Exact string equality == bit-identical loss and parameters.
+        assert_eq!(line.eval_loss, lines[0].eval_loss, "losses diverged");
+        assert_eq!(line.params_hash, lines[0].params_hash, "params diverged");
+    }
+}
+
+#[test]
+fn killing_one_worker_fails_the_world_without_hanging() {
+    let start = Instant::now();
+    let output = Command::new(LAUNCH)
+        .args([
+            "--world",
+            "4",
+            "--demo",
+            "--steps",
+            "400",
+            "--timeout-secs",
+            "120",
+        ])
+        // Rank 2 dies abruptly mid-training (process::exit — at the network
+        // layer indistinguishable from a kill). Survivors must surface a
+        // transport error within the configured recv deadline, and the
+        // launcher must kill the rest and exit non-zero.
+        .env("DEAR_DEMO_EXIT_RANK", "2")
+        .env("DEAR_DEMO_EXIT_AT_STEP", "150")
+        .env("DEAR_RECV_TIMEOUT_MS", "10000")
+        .output()
+        .expect("running dear-launch");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "launch unexpectedly succeeded; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("rank 2 failed") || stderr.contains("rank=2 dying"),
+        "failure not attributed to rank 2:\n{stderr}"
+    );
+    // Well inside the 120 s harness timeout: disconnects propagate
+    // immediately; 10 s of recv deadline is the worst case backstop.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "failure took {:?} to propagate",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn launcher_rejects_bad_usage() {
+    for args in [&["--world", "2"][..], &["--demo"][..]] {
+        let output = Command::new(LAUNCH)
+            .args(args)
+            .output()
+            .expect("running dear-launch");
+        assert!(!output.status.success(), "args {args:?} should fail");
+    }
+}

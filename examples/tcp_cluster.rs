@@ -1,0 +1,85 @@
+//! DeAR training over real TCP sockets.
+//!
+//! Two ways to run it:
+//!
+//! - **Single process** (no env): spins up a 4-rank TCP loopback cluster
+//!   in one process — real sockets, one thread per rank:
+//!   `cargo run --release --example tcp_cluster`
+//! - **Multi-process**: launch one process per rank, `torchrun`-style,
+//!   with the `dear-launch` supervisor setting `RANK` / `WORLD_SIZE` /
+//!   `MASTER_ADDR` / `MASTER_PORT` for each:
+//!   `cargo build --release --example tcp_cluster &&
+//!    cargo run --release -p dear-net --bin dear-launch -- --world 4 -- \
+//!        target/release/examples/tcp_cluster`
+
+use dear::net::{tcp_loopback, NetConfig, TcpEndpoint};
+use dear::{run_worker, TrainConfig};
+use dear_minidnn::{accuracy, BlobDataset, Linear, Relu, Sequential};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_net() -> Sequential {
+    let mut rng = StdRng::seed_from_u64(3); // same init on every rank
+    Sequential::new()
+        .push(Linear::new(6, 32, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(32, 16, &mut rng))
+        .push(Relu::new())
+        .push(Linear::new(16, 3, &mut rng))
+}
+
+/// One rank's training loop; identical for loopback and multi-process.
+fn train(transport: TcpEndpoint) -> (usize, f32) {
+    use dear_collectives::Transport;
+    let rank = transport.rank();
+    let world = transport.world_size();
+    let config = TrainConfig {
+        fusion_buffer: Some(2 << 10),
+        ..TrainConfig::default()
+    };
+    let data = BlobDataset::new(6, 3, 0.35, 17);
+    run_worker(transport, config, move |handle| {
+        let mut net = build_net();
+        let mut optim = handle.into_optim(&net);
+        for step in 0..60 {
+            let (x, labels) = data.shard(step, 16 * world, rank, world);
+            let loss = optim.train_step(&mut net, &x, &labels);
+            if rank == 0 && step % 20 == 0 {
+                println!("step {step:3}  rank0 shard loss {loss:.4}");
+            }
+        }
+        optim.synchronize(&mut net); // before validation
+        let (x, labels) = data.batch(1_000_000, 256);
+        let acc = accuracy(&net.forward(&x), &labels);
+        (rank, acc)
+    })
+}
+
+fn main() {
+    if std::env::var("RANK").is_ok() {
+        // Launched by `dear-launch` (or by hand with the env set): join the
+        // cluster described by the environment as one rank.
+        let cfg = NetConfig::from_env().expect("bad rendezvous environment");
+        let ep = TcpEndpoint::connect(&cfg).expect("rendezvous failed");
+        let (rank, acc) = train(ep);
+        println!("rank {rank}: validation accuracy {acc:.3}");
+        return;
+    }
+    // No env: whole cluster in this process, over loopback TCP.
+    let world = 4;
+    println!("running a {world}-rank TCP loopback cluster in one process");
+    let endpoints = tcp_loopback(world).expect("loopback rendezvous failed");
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| s.spawn(move || train(ep)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (rank, acc) in results {
+        println!("rank {rank}: validation accuracy {acc:.3}");
+    }
+}

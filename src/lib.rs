@@ -3,5 +3,6 @@ pub use dear_core::*;
 pub use dear_fusion as fusion;
 pub use dear_minidnn as minidnn;
 pub use dear_models as models;
+pub use dear_net as net;
 pub use dear_sched as sched;
 pub use dear_sim as sim;

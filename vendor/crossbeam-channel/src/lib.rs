@@ -1,10 +1,11 @@
 //! Offline stand-in for `crossbeam-channel`, implementing the subset of its
-//! API this workspace uses (`unbounded`, `Sender`, `Receiver`) on top of
-//! `std::sync::mpsc`. The receiver is wrapped in `Arc<Mutex<..>>` so it is
-//! `Clone + Sync` like the real crossbeam receiver.
+//! API this workspace uses (`unbounded`, `Sender`, `Receiver`, including
+//! `recv_timeout`) on top of `std::sync::mpsc`. The receiver is wrapped in
+//! `Arc<Mutex<..>>` so it is `Clone + Sync` like the real crossbeam receiver.
 
 use std::fmt;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Multi-producer sender half of an unbounded channel.
 pub struct Sender<T> {
@@ -30,6 +31,24 @@ pub enum TryRecvError {
     Empty,
     Disconnected,
 }
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 impl<T> fmt::Debug for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -91,6 +110,15 @@ impl<T> Receiver<T> {
         })
     }
 
+    /// Waits up to `timeout` for a value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let guard = self.inner.lock().expect("channel receiver poisoned");
+        guard.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
     /// Blocking iterator over received values, ending when senders disconnect.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { receiver: self }
@@ -146,5 +174,21 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
