@@ -41,6 +41,26 @@ pub enum CollectiveError {
         /// What the algorithm requires.
         requirement: &'static str,
     },
+    /// The endpoint was aborted locally — typically because a failure
+    /// detector (e.g. `dear-net`'s heartbeat monitor) declared `peer` dead
+    /// and tore the whole endpoint down so every in-flight collective
+    /// fails fast instead of waiting out its own deadline.
+    Aborted {
+        /// The peer whose death triggered the abort.
+        peer: usize,
+    },
+    /// A frame from `peer` carried a generation counter that does not match
+    /// this world's generation — the peer belongs to a previous incarnation
+    /// of a restarted world and its traffic must not be mixed into current
+    /// collectives.
+    StaleGeneration {
+        /// The peer that sent the stale frame.
+        peer: usize,
+        /// This world's generation.
+        expected: u64,
+        /// The generation stamped on the offending frame.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CollectiveError {
@@ -63,6 +83,22 @@ impl fmt::Display for CollectiveError {
             }
             CollectiveError::UnsupportedWorld { world, requirement } => {
                 write!(f, "world size {world} unsupported: requires {requirement}")
+            }
+            CollectiveError::Aborted { peer } => {
+                write!(
+                    f,
+                    "collective aborted: peer {peer} was declared dead by the failure detector"
+                )
+            }
+            CollectiveError::StaleGeneration {
+                peer,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "stale frame from peer {peer}: generation {actual}, this world is generation {expected}"
+                )
             }
         }
     }
@@ -91,12 +127,52 @@ mod tests {
                 world: 6,
                 requirement: "power of two",
             },
+            CollectiveError::Aborted { peer: 3 },
+            CollectiveError::StaleGeneration {
+                peer: 1,
+                expected: 4,
+                actual: 2,
+            },
         ];
         for e in samples {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(!s.ends_with('.'));
             assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn new_variants_display_the_ranks_and_generations() {
+        let aborted = CollectiveError::Aborted { peer: 7 }.to_string();
+        assert!(aborted.contains("peer 7"), "{aborted}");
+        assert!(aborted.contains("aborted"), "{aborted}");
+        let stale = CollectiveError::StaleGeneration {
+            peer: 2,
+            expected: 5,
+            actual: 3,
+        }
+        .to_string();
+        assert!(stale.contains("peer 2"), "{stale}");
+        assert!(stale.contains("generation 3"), "{stale}");
+        assert!(stale.contains("generation 5"), "{stale}");
+    }
+
+    #[test]
+    fn new_variants_are_leaf_errors_with_no_source() {
+        // CollectiveError is a leaf in the error chain: `source()` is None
+        // for every variant, including the elastic-runtime additions, so
+        // callers wrapping it (e.g. NetError) are the ones adding causes.
+        let samples = [
+            CollectiveError::Aborted { peer: 0 },
+            CollectiveError::StaleGeneration {
+                peer: 0,
+                expected: 1,
+                actual: 0,
+            },
+        ];
+        for e in samples {
+            assert!(e.source().is_none(), "{e} should have no source");
         }
     }
 

@@ -5,12 +5,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dear_collectives::{
-    double_tree_all_reduce, double_tree_all_reduce_seg, hierarchical_all_reduce,
-    hierarchical_all_reduce_seg, naive_all_reduce, naive_all_reduce_seg, rhd_all_reduce,
-    rhd_all_reduce_seg, ring_all_gather, ring_all_gather_seg, ring_all_reduce, ring_all_reduce_seg,
-    ring_reduce_scatter, ring_reduce_scatter_seg, tree_broadcast, tree_broadcast_seg, tree_reduce,
-    tree_reduce_seg, ClusterShape, CollectiveError, LocalEndpoint, LocalFabric, Message, ReduceOp,
-    SegmentConfig, Transport,
+    double_tree_all_reduce, double_tree_all_reduce_seg, hierarchical_all_gather_phase,
+    hierarchical_all_reduce, hierarchical_all_reduce_seg, hierarchical_reduce_scatter_phase,
+    naive_all_reduce, naive_all_reduce_seg, rhd_all_reduce, rhd_all_reduce_seg, ring_all_gather,
+    ring_all_gather_seg, ring_all_reduce, ring_all_reduce_seg, ring_reduce_scatter,
+    ring_reduce_scatter_seg, tree_broadcast, tree_broadcast_seg, tree_reduce, tree_reduce_seg,
+    ClusterShape, CollectiveError, LocalEndpoint, LocalFabric, Message, ReduceOp, SegmentConfig,
+    Transport,
 };
 
 /// Small enough that every 16-element test buffer splits into several wire
@@ -222,6 +223,62 @@ fn segmented_partial_budget_failures_error_on_every_rank_without_hanging() {
         });
         assert!(errs.into_iter().all(|e| e), "budget {budget}");
     }
+}
+
+#[test]
+fn hierarchical_partial_budget_failures_error_on_every_rank_without_hanging() {
+    // The 2-level ring (intra-node reduce-scatter → inter-node ring →
+    // intra-node all-gather) crosses two GroupTransport views; a failure
+    // landing inside the inter-node phase must still unwind every rank of
+    // every node group. Budgets chosen to hit each phase: 0 = first intra
+    // send, 1–2 = mid intra ring, 3 = inter-node phase (the full monolithic
+    // 2×2 collective completes in 4 sends per rank, so 3 is the last
+    // failing budget there).
+    for budget in [0usize, 1, 2, 3] {
+        for seg in [SegmentConfig::MONOLITHIC, SEG] {
+            let errs = run_failing(4, budget, |t| {
+                let mut data = vec![1.0f32; 16];
+                hierarchical_all_reduce_seg(
+                    &t,
+                    ClusterShape::new(2, 2),
+                    &mut data,
+                    ReduceOp::Sum,
+                    seg,
+                )
+                .is_err()
+            });
+            assert!(
+                errs.into_iter().all(|e| e),
+                "budget {budget}, seg {seg:?}: some rank returned Ok"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_phase_pair_surfaces_send_failure_in_either_phase() {
+    // The decoupled OP1/OP2 pair (what DeAR actually overlaps): whichever
+    // phase hits the exhausted budget must error; a shard obtained from a
+    // successful OP1 must still surface OP2's failure.
+    let errs = run_failing(4, 0, |t| {
+        let mut data = vec![1.0f32; 8];
+        hierarchical_reduce_scatter_phase(&t, ClusterShape::new(2, 2), &mut data, ReduceOp::Sum)
+            .unwrap_err()
+    });
+    for e in errs {
+        assert!(matches!(e, CollectiveError::Disconnected { .. }));
+    }
+    // Enough budget for OP1 (intra RS: 1 send, inter RS: 1 send per rank at
+    // world 2×2 with monolithic segments) but not OP2.
+    let results = run_failing(4, 2, |t| {
+        let mut data = vec![1.0f32; 8];
+        let shape = ClusterShape::new(2, 2);
+        match hierarchical_reduce_scatter_phase(&t, shape, &mut data, ReduceOp::Sum) {
+            Ok(shard) => hierarchical_all_gather_phase(&t, shape, &mut data, shard).is_err(),
+            Err(_) => true, // budget exhausted already in OP1 on this rank
+        }
+    });
+    assert!(results.into_iter().all(|failed| failed));
 }
 
 #[test]

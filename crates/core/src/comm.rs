@@ -99,6 +99,21 @@ pub struct HyperParams {
     pub kind: OptimKind,
 }
 
+/// The comm thread's sharded optimizer state, exportable for
+/// checkpointing and importable on resume. `velocity` doubles as Adam's
+/// first moment; `second_moment` is empty unless Adam has stepped. All
+/// vectors are keyed by **global flat offset**, with non-owned elements
+/// zero — each rank checkpoints and restores its own shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OptimState {
+    /// SGD velocity / Adam first moment, one element per model parameter.
+    pub velocity: Vec<f32>,
+    /// Adam second moment (empty for SGD).
+    pub second_moment: Vec<f32>,
+    /// Adam step counter (bias correction), shared by all shards.
+    pub adam_step: u64,
+}
+
 /// Jobs posted by the training thread.
 #[derive(Debug)]
 pub enum CommJob {
@@ -140,6 +155,12 @@ pub enum CommJob {
     /// Replace the optimizer hyper-parameters (e.g. a learning-rate
     /// schedule step). Applies to subsequent updates.
     SetHyper(HyperParams),
+    /// Clone the sharded optimizer state for checkpointing, replying with
+    /// [`CommResult::OptimState`]. Must be posted at an iteration boundary.
+    ExportOptimState,
+    /// Replace the sharded optimizer state (checkpoint resume). Must be
+    /// posted at an iteration boundary, before the first `RsUpdate`.
+    ImportOptimState(OptimState),
 }
 
 /// Replies sent back to the training thread.
@@ -163,6 +184,8 @@ pub enum CommResult {
     Broadcast(f64),
     /// Barrier completion.
     BarrierDone,
+    /// The exported optimizer state.
+    OptimState(OptimState),
 }
 
 /// Runs the comm-thread event loop until the job channel closes.
@@ -354,6 +377,37 @@ pub fn run_comm_thread<T: Transport>(
                     "hyper-parameter change must happen at an iteration boundary"
                 );
                 hyper = new_hyper;
+            }
+            CommJob::ExportOptimState => {
+                assert!(
+                    stash.is_empty(),
+                    "optimizer-state export must happen at an iteration boundary"
+                );
+                results
+                    .send(CommResult::OptimState(OptimState {
+                        velocity: velocity.clone(),
+                        second_moment: second_moment.clone(),
+                        adam_step,
+                    }))
+                    .expect("training thread hung up");
+            }
+            CommJob::ImportOptimState(state) => {
+                assert!(
+                    stash.is_empty(),
+                    "optimizer-state import must happen at an iteration boundary"
+                );
+                assert_eq!(
+                    state.velocity.len(),
+                    total_elements,
+                    "imported velocity length must match the model"
+                );
+                assert!(
+                    state.second_moment.is_empty() || state.second_moment.len() == total_elements,
+                    "imported second moment must be empty or match the model"
+                );
+                velocity = state.velocity;
+                second_moment = state.second_moment;
+                adam_step = state.adam_step;
             }
         }
     }

@@ -6,7 +6,7 @@ use crossbeam_channel::{Receiver, Sender};
 use dear_fusion::GroupTracker;
 use dear_minidnn::{softmax_cross_entropy, Layer, Optimizer, Sequential, Tensor};
 
-use crate::comm::{CommJob, CommLayout, CommResult, HyperParams};
+use crate::comm::{CommJob, CommLayout, CommResult, HyperParams, OptimState};
 use crate::layout::GroupLayout;
 
 /// Which pipelining scheme the runtime uses.
@@ -357,6 +357,47 @@ impl DistOptim {
                 weight_decay,
             )));
         }
+    }
+
+    /// Clones the comm thread's sharded optimizer state for checkpointing.
+    /// Must be called at an iteration boundary after
+    /// [`DistOptim::synchronize`]. Purely local — no communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding, or if the comm
+    /// thread has died.
+    #[must_use]
+    pub fn export_optim_state(&mut self) -> OptimState {
+        assert_eq!(
+            self.pending, 0,
+            "optimizer-state export requires a synchronized state"
+        );
+        self.jobs
+            .send(CommJob::ExportOptimState)
+            .expect("comm thread hung up");
+        match self.results.recv().expect("comm thread hung up") {
+            CommResult::OptimState(state) => state,
+            other => panic!("unexpected comm result in optimizer export: {other:?}"),
+        }
+    }
+
+    /// Replaces the comm thread's sharded optimizer state (checkpoint
+    /// resume). Must be called at an iteration boundary before the next
+    /// [`DistOptim::train_step`]. Purely local — no communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding, or if the comm
+    /// thread has died (a length mismatch panics the comm thread).
+    pub fn import_optim_state(&mut self, state: OptimState) {
+        assert_eq!(
+            self.pending, 0,
+            "optimizer-state import requires a synchronized state"
+        );
+        self.jobs
+            .send(CommJob::ImportOptimState(state))
+            .expect("comm thread hung up");
     }
 
     /// Installs a new fusion buffer size (the BO re-bucketing step). Must

@@ -50,15 +50,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 mod cluster;
 mod comm;
 mod dist_optim;
 mod layout;
 pub mod tuning;
 
+pub use checkpoint::{CheckpointError, CheckpointStore, TrainCheckpoint};
 pub use cluster::{
     run_training, run_worker, train_single_reference, DelayConfig, TrainConfig, WorkerHandle,
 };
-pub use comm::{CommLayout, HyperParams, OptimKind};
+pub use comm::{CommLayout, HyperParams, OptimKind, OptimState};
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};

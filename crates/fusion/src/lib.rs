@@ -46,5 +46,6 @@ pub use linalg::Cholesky;
 pub use plan::FusionPlan;
 pub use tracker::GroupTracker;
 pub use tuner::{
-    trials_to_reach, trials_to_stable, BayesOpt, Domain, GridSearch, RandomSearch, Tuner,
+    trials_to_reach, trials_to_stable, BayesOpt, BayesOptSnapshot, Domain, GridSearch,
+    RandomSearch, Tuner,
 };

@@ -78,8 +78,26 @@ pub struct BayesOpt {
     history: Vec<(f64, f64)>,
     gp: GaussianProcess,
     rng: ChaCha8Rng,
+    seed: u64,
     init_points: Vec<f64>,
     candidates: usize,
+}
+
+/// A serializable snapshot of a [`BayesOpt`] tuner, for checkpointing: the
+/// seed plus the observation history are sufficient to reconstruct the
+/// tuner bit-identically via [`BayesOpt::replay`], **provided** the tuner
+/// was driven with the strict suggest-then-observe alternation of the
+/// [`Tuner`] protocol (as `trials_to_stable` / the DeAR-BO loop do).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BayesOptSnapshot {
+    /// The search domain.
+    pub domain: Domain,
+    /// The EI exploration parameter.
+    pub xi: f64,
+    /// The RNG seed the tuner was created with.
+    pub seed: u64,
+    /// Every `(x, y)` observation, in order.
+    pub history: Vec<(f64, f64)>,
 }
 
 impl BayesOpt {
@@ -104,9 +122,44 @@ impl BayesOpt {
             // interpolate every kink exactly.
             gp: GaussianProcess::new(0.08, 1.0, 5e-3),
             rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
             init_points,
             candidates: 256,
         }
+    }
+
+    /// The observation history, in order.
+    #[must_use]
+    pub fn history(&self) -> &[(f64, f64)] {
+        &self.history
+    }
+
+    /// Captures the tuner's state for checkpointing. Pair with
+    /// [`BayesOpt::replay`].
+    #[must_use]
+    pub fn snapshot(&self) -> BayesOptSnapshot {
+        BayesOptSnapshot {
+            domain: self.domain,
+            xi: self.xi,
+            seed: self.seed,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Reconstructs a tuner from a [`BayesOptSnapshot`] by replaying the
+    /// recorded suggest/observe rounds against a fresh tuner with the same
+    /// seed. Because `suggest` is a pure function of (seed, history) under
+    /// the strict alternation protocol, the replayed tuner's RNG and GP
+    /// state — and therefore every future suggestion — are bit-identical
+    /// to the original's.
+    #[must_use]
+    pub fn replay(snapshot: &BayesOptSnapshot) -> Self {
+        let mut tuner = BayesOpt::new(snapshot.domain, snapshot.seed).with_xi(snapshot.xi);
+        for &(x, y) in &snapshot.history {
+            let _ = tuner.suggest(); // advance the RNG exactly as the original run did
+            tuner.observe(x, y);
+        }
+        tuner
     }
 
     /// Overrides the EI exploration parameter.
@@ -432,5 +485,35 @@ mod tests {
     fn non_finite_observation_rejected() {
         let mut bo = BayesOpt::new(Domain::paper_default(), 0);
         bo.observe(1e6, f64::NAN);
+    }
+
+    #[test]
+    fn replayed_snapshot_continues_bit_identically() {
+        // Drive a tuner for 6 rounds, snapshot, then continue both the
+        // original and the replayed copy for 4 more rounds: every future
+        // suggestion must agree to the bit, or a resumed DeAR-BO run would
+        // diverge from its uninterrupted twin.
+        let mut original = BayesOpt::new(Domain::paper_default(), 42).with_xi(0.07);
+        for _ in 0..6 {
+            let x = original.suggest();
+            let y = synthetic_objective(x);
+            original.observe(x, y);
+        }
+        let snap = original.snapshot();
+        assert_eq!(snap.history.len(), 6);
+        let mut resumed = BayesOpt::replay(&snap);
+        assert_eq!(resumed.history(), original.history());
+        for round in 0..4 {
+            let xo = original.suggest();
+            let xr = resumed.suggest();
+            assert_eq!(
+                xo.to_bits(),
+                xr.to_bits(),
+                "round {round}: {xo} vs {xr} diverged"
+            );
+            let y = synthetic_objective(xo);
+            original.observe(xo, y);
+            resumed.observe(xr, y);
+        }
     }
 }

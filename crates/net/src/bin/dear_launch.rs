@@ -3,6 +3,8 @@
 //! ```text
 //! dear-launch --world 4 -- ./my-worker --flag     # run any worker command
 //! dear-launch --world 4 --demo --steps 30         # built-in training demo
+//! dear-launch --world 4 --demo --max-restarts 3 \
+//!     --ckpt-dir /tmp/ckpt --chaos 2              # elastic + fault injection
 //! ```
 //!
 //! Every worker is started with `RANK`, `WORLD_SIZE`, `MASTER_ADDR` and
@@ -13,7 +15,10 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dear_net::{launch_world, run_demo_worker, LaunchOptions, NetError};
+use dear_net::{
+    launch_world, launch_world_elastic, run_demo_worker, ChaosPlan, LaunchOptions, NetError,
+    RestartPolicy,
+};
 
 const USAGE: &str = "\
 usage: dear-launch --world N [options] -- <worker command...>
@@ -26,6 +31,15 @@ options:
   --timeout-secs T     kill everything after T seconds
   --demo               run the built-in DeAR training demo as the worker
   --steps S            demo training steps (default 30)
+
+elastic options (any of these selects the supervised-restart path):
+  --max-restarts R     relaunch a failed world up to R times (default 0)
+  --backoff-ms MS      first restart delay, doubling per failure (default 250)
+  --ckpt-dir PATH      workers checkpoint here (sets DEAR_CKPT_DIR)
+  --ckpt-every K       checkpoint every K steps (sets DEAR_CKPT_EVERY)
+  --chaos N            inject N seeded kill/stall faults while supervising
+  --chaos-seed S       chaos plan seed (default 42)
+  --chaos-window-ms W  spread the faults over the first W ms (default 3000)
 ";
 
 struct Cli {
@@ -33,6 +47,11 @@ struct Cli {
     demo: bool,
     steps: u64,
     command: Vec<String>,
+    elastic: bool,
+    policy: RestartPolicy,
+    chaos_count: usize,
+    chaos_seed: u64,
+    chaos_window: Duration,
 }
 
 fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
@@ -41,6 +60,11 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let mut demo = false;
     let mut steps = 30u64;
     let mut command = Vec::new();
+    let mut elastic = false;
+    let mut policy = RestartPolicy::new(0);
+    let mut chaos_count = 0usize;
+    let mut chaos_seed = 42u64;
+    let mut chaos_window = Duration::from_millis(3000);
     let mut i = 0;
     let take_value = |args: &Vec<String>, i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -69,6 +93,42 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                 let v = take_value(&args, &mut i, "--steps")?;
                 steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
             }
+            "--max-restarts" => {
+                let v = take_value(&args, &mut i, "--max-restarts")?;
+                policy.max_restarts = v.parse().map_err(|_| format!("bad --max-restarts {v}"))?;
+                elastic = true;
+            }
+            "--backoff-ms" => {
+                let v = take_value(&args, &mut i, "--backoff-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --backoff-ms {v}"))?;
+                policy.backoff = Duration::from_millis(ms);
+                elastic = true;
+            }
+            "--ckpt-dir" => {
+                let v = take_value(&args, &mut i, "--ckpt-dir")?;
+                opts.env.push(("DEAR_CKPT_DIR".to_string(), v));
+            }
+            "--ckpt-every" => {
+                let v = take_value(&args, &mut i, "--ckpt-every")?;
+                let _: u64 = v.parse().map_err(|_| format!("bad --ckpt-every {v}"))?;
+                opts.env.push(("DEAR_CKPT_EVERY".to_string(), v));
+            }
+            "--chaos" => {
+                let v = take_value(&args, &mut i, "--chaos")?;
+                chaos_count = v.parse().map_err(|_| format!("bad --chaos {v}"))?;
+                elastic = true;
+            }
+            "--chaos-seed" => {
+                let v = take_value(&args, &mut i, "--chaos-seed")?;
+                chaos_seed = v.parse().map_err(|_| format!("bad --chaos-seed {v}"))?;
+            }
+            "--chaos-window-ms" => {
+                let v = take_value(&args, &mut i, "--chaos-window-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --chaos-window-ms {v}"))?;
+                chaos_window = Duration::from_millis(ms);
+            }
             "--" => {
                 command = args.split_off(i + 1);
                 break;
@@ -89,6 +149,11 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
         demo,
         steps,
         command,
+        elastic,
+        policy,
+        chaos_count,
+        chaos_seed,
+        chaos_window,
     })
 }
 
@@ -120,8 +185,22 @@ fn run() -> Result<(), NetError> {
     } else {
         cli.command
     };
-    launch_world(&command, &cli.opts)?;
-    eprintln!("dear-launch: all {} ranks exited cleanly", cli.opts.world);
+    if cli.elastic {
+        let chaos = ChaosPlan::generate(
+            cli.chaos_seed,
+            cli.opts.world,
+            cli.chaos_count,
+            cli.chaos_window,
+        );
+        let outcome = launch_world_elastic(&command, &cli.opts, &cli.policy, &chaos)?;
+        eprintln!(
+            "dear-launch: all {} ranks exited cleanly (generation {}, {} restart(s))",
+            cli.opts.world, outcome.generation, outcome.restarts
+        );
+    } else {
+        launch_world(&command, &cli.opts)?;
+        eprintln!("dear-launch: all {} ranks exited cleanly", cli.opts.world);
+    }
     Ok(())
 }
 

@@ -1,0 +1,109 @@
+//! Deterministic chaos injection for the elastic launcher.
+//!
+//! A [`ChaosPlan`] is a seeded, pre-generated schedule of faults — kill a
+//! random rank, or stall one with `SIGSTOP` for a while — that the
+//! supervisor applies while a world runs. Stalls exercise the heartbeat
+//! failure detector specifically: a stopped process keeps its sockets
+//! open, so only missing heartbeats reveal it. Because the plan is a pure
+//! function of its seed, a chaotic run is reproducible, and the harness
+//! can assert that training under chaos converges to the same result as
+//! an unperturbed run (checkpoints + restarts make the final model
+//! identical either way).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// `SIGKILL` the victim — an abrupt crash, no graceful shutdown.
+    Kill,
+    /// `SIGSTOP` the victim for the given duration, then `SIGCONT` — a
+    /// wedged-but-connected process, visible only to the failure detector.
+    Stall(Duration),
+}
+
+/// A scheduled fault: at `at` after the world first starts, apply
+/// `action` to rank `victim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Offset from the start of the (first) launch.
+    pub at: Duration,
+    /// The rank the fault hits.
+    pub victim: usize,
+    /// What happens to it.
+    pub action: ChaosAction,
+}
+
+/// A reproducible schedule of faults, sorted by time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    /// The events, ascending by [`ChaosEvent::at`].
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generates `count` events for a `world`-rank job, spread uniformly
+    /// over `window` after launch, from `seed`. Same inputs, same plan.
+    ///
+    /// Kills and stalls alternate by coin flip; stall lengths are drawn
+    /// between 200 ms and 1.5 s — long enough to trip a test-tuned
+    /// heartbeat budget, short enough for quick harness runs.
+    #[must_use]
+    pub fn generate(seed: u64, world: usize, count: usize, window: Duration) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: Vec<ChaosEvent> = (0..count)
+            .map(|_| {
+                let at = Duration::from_millis(rng.gen_range(0..window.as_millis().max(1) as u64));
+                let victim = rng.gen_range(0..world.max(1));
+                let action = if rng.gen_bool(0.5) {
+                    ChaosAction::Kill
+                } else {
+                    ChaosAction::Stall(Duration::from_millis(rng.gen_range(200..1500)))
+                };
+                ChaosEvent { at, victim, action }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        ChaosPlan { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let a = ChaosPlan::generate(7, 4, 6, Duration::from_secs(3));
+        let b = ChaosPlan::generate(7, 4, 6, Duration::from_secs(3));
+        assert_eq!(a, b);
+        let c = ChaosPlan::generate(8, 4, 6, Duration::from_secs(3));
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_bounds() {
+        let plan = ChaosPlan::generate(99, 4, 32, Duration::from_secs(2));
+        assert_eq!(plan.events.len(), 32);
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for e in &plan.events {
+            assert!(e.victim < 4);
+            assert!(e.at < Duration::from_secs(2));
+            if let ChaosAction::Stall(d) = e.action {
+                assert!(d >= Duration::from_millis(200) && d < Duration::from_millis(1500));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op_schedule() {
+        let plan = ChaosPlan::generate(1, 4, 0, Duration::from_secs(1));
+        assert!(plan.events.is_empty());
+        assert_eq!(plan, ChaosPlan::default());
+    }
+}

@@ -42,6 +42,20 @@ pub struct NetConfig {
     /// this many frames are queued on one peer — enough that segmented
     /// collectives never stall the comm thread in the steady state.
     pub outbox_frames: usize,
+    /// Heartbeat probe interval, or `None` to disable failure detection.
+    /// When enabled, a monitor thread sends a liveness frame to every peer
+    /// each interval and declares a peer dead once nothing (data or
+    /// heartbeat) has arrived from it for
+    /// [`NetConfig::heartbeat_miss_budget`] consecutive intervals.
+    pub heartbeat_interval: Option<Duration>,
+    /// Consecutive silent intervals tolerated before a peer is declared
+    /// dead and the endpoint aborts.
+    pub heartbeat_miss_budget: u32,
+    /// The world generation (restart attempt number). Stamped on every
+    /// data frame and checked by both the rendezvous handshake and the
+    /// data path so traffic from an earlier incarnation of a restarted
+    /// world is rejected instead of corrupting collectives.
+    pub generation: u64,
 }
 
 impl NetConfig {
@@ -66,6 +80,9 @@ impl NetConfig {
             send_timeout: Duration::from_secs(30),
             recv_timeout: Some(Duration::from_secs(30)),
             outbox_frames: 128,
+            heartbeat_interval: Some(Duration::from_secs(1)),
+            heartbeat_miss_budget: 5,
+            generation: 0,
         }
     }
 
@@ -73,7 +90,10 @@ impl NetConfig {
     /// `MASTER_ADDR` (default `127.0.0.1`), `MASTER_PORT` (default 29400),
     /// and optional `DEAR_LISTEN_HOST`, `DEAR_CONNECT_TIMEOUT_MS`,
     /// `DEAR_SEND_TIMEOUT_MS`, `DEAR_RECV_TIMEOUT_MS` (0 disables the recv
-    /// deadline), `DEAR_OUTBOX_FRAMES`.
+    /// deadline), `DEAR_OUTBOX_FRAMES`, `DEAR_HEARTBEAT_MS` (0 disables
+    /// the failure detector), `DEAR_HEARTBEAT_MISSES`, and
+    /// `DEAR_GENERATION` (set by the elastic launcher to the restart
+    /// attempt number).
     ///
     /// # Errors
     ///
@@ -114,6 +134,16 @@ impl NetConfig {
         }
         if let Ok(n) = std::env::var("DEAR_OUTBOX_FRAMES") {
             cfg.outbox_frames = parse::<usize>("DEAR_OUTBOX_FRAMES", &n)?.max(1);
+        }
+        if let Ok(ms) = std::env::var("DEAR_HEARTBEAT_MS") {
+            let ms: u64 = parse("DEAR_HEARTBEAT_MS", &ms)?;
+            cfg.heartbeat_interval = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Ok(n) = std::env::var("DEAR_HEARTBEAT_MISSES") {
+            cfg.heartbeat_miss_budget = parse::<u32>("DEAR_HEARTBEAT_MISSES", &n)?.max(1);
+        }
+        if let Ok(g) = std::env::var("DEAR_GENERATION") {
+            cfg.generation = parse("DEAR_GENERATION", &g)?;
         }
         Ok(cfg)
     }
@@ -189,6 +219,9 @@ mod tests {
         assert_eq!(cfg.rank, Some(1));
         assert!(cfg.recv_timeout.is_some());
         assert!(cfg.outbox_frames > 0);
+        assert_eq!(cfg.heartbeat_interval, Some(Duration::from_secs(1)));
+        assert!(cfg.heartbeat_miss_budget >= 1);
+        assert_eq!(cfg.generation, 0);
     }
 
     #[test]

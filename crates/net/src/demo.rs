@@ -2,8 +2,8 @@
 //! over a real [`TcpEndpoint`], used by the multi-process smoke tests and
 //! as a copy-paste template for real deployments.
 
-use dear_collectives::Transport;
-use dear_core::{run_worker, TrainConfig};
+use dear_collectives::{naive_all_reduce, ReduceOp, Transport};
+use dear_core::{run_worker, CheckpointStore, TrainCheckpoint, TrainConfig};
 use dear_minidnn::{softmax_cross_entropy, BlobDataset, Linear, Relu, Sequential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,22 +65,32 @@ fn demo_net(seed: u64) -> Sequential {
 /// `MASTER_ADDR`, `MASTER_PORT`, `DEAR_*`) and trains the demo network for
 /// `steps` data-parallel steps.
 ///
+/// With `DEAR_CKPT_DIR` set, every rank writes an atomic, checksummed
+/// checkpoint every `DEAR_CKPT_EVERY` steps (default 5) and, on startup,
+/// the world agrees on the newest step *all* ranks have a valid checkpoint
+/// for (a `Min` all-reduce over each rank's latest) and resumes from it
+/// bit-identically — this is what makes a supervised restart converge to
+/// the same final parameters as an uninterrupted run.
+///
 /// For failure-propagation tests, `DEAR_DEMO_EXIT_RANK` /
 /// `DEAR_DEMO_EXIT_AT_STEP` make exactly one rank die abruptly
 /// (`process::exit`, indistinguishable from a kill at the network layer)
 /// mid-training; the surviving ranks must then error out of their
-/// collectives instead of hanging.
+/// collectives instead of hanging. The injection only fires when the
+/// world generation (`DEAR_GENERATION`) equals `DEAR_DEMO_EXIT_GEN`
+/// (default 0), so under an elastic launcher the restarted world survives.
 ///
 /// # Errors
 ///
-/// Returns [`NetError`] when the environment is invalid or rendezvous
-/// fails.
+/// Returns [`NetError`] when the environment is invalid, rendezvous
+/// fails, or the checkpoint directory is unusable.
 ///
 /// # Panics
 ///
 /// Panics (taking the process down with a non-zero status) when a
 /// collective fails mid-training — e.g. a peer died and the configured
-/// `DEAR_RECV_TIMEOUT_MS` or a disconnect surfaced.
+/// `DEAR_RECV_TIMEOUT_MS` or a disconnect surfaced — or when a checkpoint
+/// write fails.
 pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
     let cfg = NetConfig::from_env()?;
     let transport = TcpEndpoint::connect(&cfg)?;
@@ -93,6 +103,56 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let exit_gen: u64 = std::env::var("DEAR_DEMO_EXIT_GEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let exit_here = exit_rank == Some(rank) && cfg.generation == exit_gen;
+    let ckpt_every: u64 = std::env::var("DEAR_CKPT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let store = match std::env::var("DEAR_CKPT_DIR") {
+        Ok(dir) => Some(
+            CheckpointStore::new(dir, rank)
+                .map_err(|e| NetError::Config(format!("checkpoint store: {e}")))?,
+        ),
+        Err(_) => None,
+    };
+    // Agree on the resume point before training: each rank offers the step
+    // of its newest *valid* checkpoint (−1 = none), and the world takes the
+    // minimum, so every rank is guaranteed to hold the chosen one (a rank
+    // killed mid-save only ever lags the others, and retention keeps
+    // several steps back). −1 anywhere means a fresh start everywhere.
+    let (start, resume) = match &store {
+        Some(store) => {
+            let mine = store.latest_valid();
+            let mut offer = [mine.as_ref().map_or(-1.0, |c| c.step as f32)];
+            naive_all_reduce(&transport, &mut offer, ReduceOp::Min)
+                .map_err(|e| NetError::Protocol(format!("resume-step agreement: {e}")))?;
+            if offer[0] < 0.0 {
+                (0, None)
+            } else {
+                let agreed = offer[0] as u64;
+                let ckpt = match mine {
+                    Some(c) if c.step == agreed => c,
+                    _ => TrainCheckpoint::load(&store.path_for(agreed)).map_err(|e| {
+                        NetError::Config(format!(
+                            "loading agreed checkpoint for step {agreed}: {e}"
+                        ))
+                    })?,
+                };
+                eprintln!(
+                    "dear-demo rank={rank} resuming from checkpoint at step {agreed} \
+                     (generation {})",
+                    cfg.generation
+                );
+                (agreed, Some(ckpt))
+            }
+        }
+        None => (0, None),
+    };
     let data = BlobDataset::new(6, 3, 0.4, 99);
     let train_cfg = TrainConfig {
         fusion_buffer: Some(512), // several groups => real pipelining
@@ -101,8 +161,31 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
     let (eval_loss, params_hash) = run_worker(transport, train_cfg, move |handle| {
         let mut net = demo_net(7);
         let mut optim = handle.into_optim(&net);
-        for step in 0..steps {
-            if exit_rank == Some(rank) && step == exit_step {
+        if let Some(ckpt) = resume {
+            net.set_flat_params(&ckpt.params);
+            optim.import_optim_state(ckpt.optim);
+        }
+        for step in start..steps {
+            if let Some(store) = &store {
+                // Checkpoint at the same boundaries on every generation
+                // (skipping the one we just resumed at): synchronize is
+                // numerics-neutral, so interrupted and uninterrupted runs
+                // still produce bit-identical parameters.
+                if step > start && step % ckpt_every == 0 {
+                    optim.synchronize(&mut net);
+                    let ckpt = TrainCheckpoint {
+                        step,
+                        params: net.flat_params(),
+                        optim: optim.export_optim_state(),
+                        rng: Vec::new(),
+                        tuner: None,
+                    };
+                    store
+                        .save(&ckpt)
+                        .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
+                }
+            }
+            if exit_here && step == exit_step {
                 eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
                 std::process::exit(41);
             }

@@ -37,6 +37,24 @@
 //! surfacing as [`CollectiveError::Timeout`], a dead peer surfaces as
 //! [`CollectiveError::Disconnected`], and dropping the endpoint sends
 //! shutdown frames, force-closes the sockets, and joins every thread.
+//!
+//! # Failure detection and world generations
+//!
+//! When [`NetConfig::heartbeat_interval`] is set, a **monitor thread**
+//! queues a heartbeat frame to every peer each interval and watches frame
+//! arrival times (any frame counts as liveness, so busy data links need no
+//! heartbeats). A peer silent for `heartbeat_miss_budget` consecutive
+//! intervals — without having sent a graceful shutdown — is declared dead:
+//! the monitor records the verdict and force-closes every socket, so all
+//! blocked sends and receives fail fast with [`CollectiveError::Aborted`]
+//! instead of each waiting out its own deadline.
+//!
+//! Every data frame is stamped with the world **generation** (the elastic
+//! launcher's restart counter, [`NetConfig::generation`]). The rendezvous
+//! rejects joins from a different generation, and the readers reject
+//! mismatched data frames with [`CollectiveError::StaleGeneration`] —
+//! traffic from a previous incarnation of a restarted world can never
+//! corrupt a live collective.
 
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
@@ -50,8 +68,8 @@ use dear_collectives::{CollectiveError, Message, Transport};
 
 use crate::config::{NetConfig, NetError};
 use crate::frame::{
-    decode_f32s, decode_ident, encode_f32s, encode_ident, read_frame, write_frame, FrameKind,
-    Hello, Welcome,
+    decode_f32s, decode_generation, decode_ident, encode_data_body, encode_generation,
+    encode_ident, read_frame, split_data_body, write_frame, FrameKind, Hello, Welcome,
 };
 
 /// Buffers kept in the shared pool; bounds pool memory at roughly
@@ -93,8 +111,60 @@ impl BufferPool {
 enum WriterCmd {
     /// Frame this payload and put it on the wire, then recycle the buffer.
     Data(Vec<f32>),
+    /// Write a liveness probe (the failure detector's periodic frame).
+    Heartbeat,
     /// Write a graceful shutdown frame and exit.
     Shutdown,
+}
+
+/// Liveness bookkeeping shared by the reader threads, the heartbeat
+/// monitor, and the send/recv error paths.
+struct Health {
+    inner: Mutex<HealthInner>,
+}
+
+struct HealthInner {
+    /// When each peer was last heard from (any frame). Indexed by rank;
+    /// the own-rank slot is unused.
+    last_seen: Vec<Instant>,
+    /// Peers that sent a graceful shutdown — gone, but not failed; exempt
+    /// from death detection.
+    departed: Vec<bool>,
+    /// Set once by the monitor when a peer misses its heartbeat budget;
+    /// the whole endpoint is torn down at that point.
+    aborted: Option<usize>,
+    /// Set by a reader on a generation mismatch: `(peer, actual)`.
+    stale: Option<(usize, u64)>,
+}
+
+impl Health {
+    fn new(world: usize) -> Self {
+        Health {
+            inner: Mutex::new(HealthInner {
+                last_seen: vec![Instant::now(); world],
+                departed: vec![false; world],
+                aborted: None,
+                stale: None,
+            }),
+        }
+    }
+
+    fn saw(&self, peer: usize) {
+        self.inner.lock().expect("health poisoned").last_seen[peer] = Instant::now();
+    }
+
+    fn mark_departed(&self, peer: usize) {
+        let mut h = self.inner.lock().expect("health poisoned");
+        h.departed[peer] = true;
+        h.last_seen[peer] = Instant::now();
+    }
+
+    fn mark_stale(&self, peer: usize, actual: u64) {
+        let mut h = self.inner.lock().expect("health poisoned");
+        if h.stale.is_none() {
+            h.stale = Some((peer, actual));
+        }
+    }
 }
 
 /// One rank's endpoint of a TCP cluster. See the [module docs](self) for
@@ -103,6 +173,7 @@ enum WriterCmd {
 pub struct TcpEndpoint {
     rank: usize,
     world: usize,
+    generation: u64,
     send_timeout: Duration,
     recv_timeout: Mutex<Option<Duration>>,
     /// `outboxes[p]` feeds peer `p`'s writer thread. `None` at own rank.
@@ -110,8 +181,11 @@ pub struct TcpEndpoint {
     /// `inboxes[p]` is fed by peer `p`'s reader thread. `None` at own rank.
     inboxes: Vec<Option<Mutex<Receiver<Vec<f32>>>>>,
     pool: Arc<BufferPool>,
+    health: Arc<Health>,
     writers: Vec<JoinHandle<()>>,
     readers: Vec<JoinHandle<()>>,
+    /// The heartbeat monitor: a stop channel plus its join handle.
+    monitor: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
     /// Stream clones used by `Drop` to force blocked readers out.
     peer_streams: Vec<TcpStream>,
 }
@@ -164,13 +238,16 @@ impl TcpEndpoint {
             return Ok(TcpEndpoint {
                 rank: 0,
                 world: 1,
+                generation: cfg.generation,
                 send_timeout: cfg.send_timeout,
                 recv_timeout: Mutex::new(cfg.recv_timeout),
                 outboxes: vec![None],
                 inboxes: vec![None],
                 pool: Arc::new(BufferPool::default()),
+                health: Arc::new(Health::new(1)),
                 writers: Vec::new(),
                 readers: Vec::new(),
+                monitor: None,
                 peer_streams: Vec::new(),
             });
         }
@@ -181,7 +258,8 @@ impl TcpEndpoint {
         Self::from_mesh(rank, cfg, streams)
     }
 
-    /// Spawns the per-peer reader/writer threads over an established mesh.
+    /// Spawns the per-peer reader/writer threads over an established mesh,
+    /// plus the heartbeat monitor when failure detection is enabled.
     fn from_mesh(
         rank: usize,
         cfg: &NetConfig,
@@ -189,6 +267,7 @@ impl TcpEndpoint {
     ) -> Result<TcpEndpoint, NetError> {
         let world = cfg.world;
         let pool = Arc::new(BufferPool::default());
+        let health = Arc::new(Health::new(world));
         let mut outboxes = Vec::with_capacity(world);
         let mut inboxes = Vec::with_capacity(world);
         let mut writers = Vec::new();
@@ -226,27 +305,136 @@ impl TcpEndpoint {
             let (otx, orx) = mpsc::sync_channel(cfg.outbox_frames);
             let (itx, irx) = mpsc::channel();
             let wpool = Arc::clone(&pool);
+            let generation = cfg.generation;
             writers.push(std::thread::spawn(move || {
-                writer_loop(wstream, orx, &wpool)
+                writer_loop(wstream, generation, orx, &wpool)
             }));
             let rpool = Arc::clone(&pool);
-            readers.push(std::thread::spawn(move || reader_loop(stream, itx, &rpool)));
+            let rhealth = Arc::clone(&health);
+            readers.push(std::thread::spawn(move || {
+                reader_loop(stream, peer, generation, itx, &rpool, &rhealth)
+            }));
             outboxes.push(Some(otx));
             inboxes.push(Some(Mutex::new(irx)));
             peer_streams.push(shutdown_handle);
         }
+        let monitor = match cfg.heartbeat_interval {
+            Some(interval) if world > 1 => {
+                let (stop_tx, stop_rx) = mpsc::channel();
+                let mhealth = Arc::clone(&health);
+                let mouts: Vec<Option<SyncSender<WriterCmd>>> = outboxes.clone();
+                let msockets: Vec<TcpStream> = peer_streams
+                    .iter()
+                    .map(|s| {
+                        s.try_clone()
+                            .map_err(|e| NetError::io("cloning stream for the monitor", e))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let budget = cfg.heartbeat_miss_budget.max(1);
+                let handle = std::thread::spawn(move || {
+                    heartbeat_monitor(interval, budget, &mhealth, &mouts, &msockets, &stop_rx)
+                });
+                Some((stop_tx, handle))
+            }
+            _ => None,
+        };
         Ok(TcpEndpoint {
             rank,
             world,
+            generation: cfg.generation,
             send_timeout: cfg.send_timeout,
             recv_timeout: Mutex::new(cfg.recv_timeout),
             outboxes,
             inboxes,
             pool,
+            health,
             writers,
             readers,
+            monitor,
             peer_streams,
         })
+    }
+
+    /// The world generation this endpoint was created in (the elastic
+    /// launcher's restart counter; 0 for a first launch).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Maps a low-level channel failure on `peer` to the richer verdict
+    /// the health state holds, if any: a stale-generation frame from that
+    /// peer, or an endpoint-wide abort by the failure detector.
+    fn failure_verdict(&self, peer: usize) -> Option<CollectiveError> {
+        let h = self.health.inner.lock().expect("health poisoned");
+        if let Some((p, actual)) = h.stale {
+            if p == peer {
+                return Some(CollectiveError::StaleGeneration {
+                    peer,
+                    expected: self.generation,
+                    actual,
+                });
+            }
+        }
+        h.aborted.map(|p| CollectiveError::Aborted { peer: p })
+    }
+}
+
+/// The failure-detector thread: each interval, queue a heartbeat to every
+/// live peer and check arrival times. A peer silent for `budget` intervals
+/// (and not gracefully departed) is declared dead — the verdict is
+/// recorded and every socket force-closed so all blocked operations
+/// surface [`CollectiveError::Aborted`] immediately.
+fn heartbeat_monitor(
+    interval: Duration,
+    budget: u32,
+    health: &Health,
+    outboxes: &[Option<SyncSender<WriterCmd>>],
+    sockets: &[TcpStream],
+    stop: &Receiver<()>,
+) {
+    let allowance = interval * budget;
+    loop {
+        match stop.recv_timeout(interval) {
+            Err(mpsc::RecvTimeoutError::Timeout) => (),
+            // Stop requested or the endpoint is gone either way.
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+        // Probe: a full outbox means data is flowing, which is liveness
+        // enough on its own — skip rather than block the monitor.
+        for tx in outboxes.iter().flatten() {
+            let _ = tx.try_send(WriterCmd::Heartbeat);
+        }
+        let now = Instant::now();
+        let verdict = {
+            let mut h = health.inner.lock().expect("health poisoned");
+            if h.aborted.is_some() {
+                return;
+            }
+            let dead = h
+                .last_seen
+                .iter()
+                .enumerate()
+                .find(|&(p, &seen)| {
+                    !h.departed[p]
+                        && outboxes.get(p).is_some_and(Option::is_some)
+                        && now.duration_since(seen) > allowance
+                })
+                .map(|(p, _)| p);
+            if let Some(p) = dead {
+                h.aborted = Some(p);
+            }
+            dead
+        };
+        if verdict.is_some() {
+            // Tear the endpoint down: closing the sockets pops readers out
+            // of blocked reads and fails writer writes, so every pending
+            // send/recv resolves now instead of at its own deadline.
+            for s in sockets {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            return;
+        }
     }
 }
 
@@ -254,17 +442,25 @@ impl TcpEndpoint {
 /// buffer. Exits on a `Shutdown` command (writing a graceful shutdown
 /// frame), on channel close (endpoint dropped), or on a write error —
 /// writes carry a socket deadline, so a wedged peer cannot block forever.
-fn writer_loop(stream: TcpStream, orx: Receiver<WriterCmd>, pool: &BufferPool) {
+fn writer_loop(stream: TcpStream, generation: u64, orx: Receiver<WriterCmd>, pool: &BufferPool) {
     let mut w = BufWriter::with_capacity(64 * 1024, stream);
     let mut bytes = Vec::new();
     while let Ok(cmd) = orx.recv() {
         match cmd {
             WriterCmd::Data(buf) => {
-                encode_f32s(&buf, &mut bytes);
+                encode_data_body(generation, &buf, &mut bytes);
                 let ok = write_frame(&mut w, FrameKind::Data, &bytes).is_ok();
                 pool.recycle(buf);
                 if !ok || w.flush().is_err() {
                     return; // dropping orx signals Disconnected to senders
+                }
+            }
+            WriterCmd::Heartbeat => {
+                if write_frame(&mut w, FrameKind::Heartbeat, &encode_generation(generation))
+                    .is_err()
+                    || w.flush().is_err()
+                {
+                    return;
                 }
             }
             WriterCmd::Shutdown => {
@@ -277,22 +473,56 @@ fn writer_loop(stream: TcpStream, orx: Receiver<WriterCmd>, pool: &BufferPool) {
 }
 
 /// Reader thread: demultiplexes incoming frames — data payloads go to the
-/// peer's inbox (in pooled buffers), a shutdown frame or any error ends
-/// the stream. Dropping the inbox sender is what turns a dead peer into
-/// [`CollectiveError::Disconnected`] on the receive side.
-fn reader_loop(stream: TcpStream, itx: mpsc::Sender<Vec<f32>>, pool: &BufferPool) {
+/// peer's inbox (in pooled buffers), heartbeats only refresh liveness, a
+/// shutdown frame or any error ends the stream. Every frame updates the
+/// peer's last-seen time; a frame stamped with a foreign generation
+/// records a stale verdict and ends the stream (surfacing as
+/// [`CollectiveError::StaleGeneration`] on the receive side). Dropping the
+/// inbox sender is what turns a dead peer into
+/// [`CollectiveError::Disconnected`].
+fn reader_loop(
+    stream: TcpStream,
+    peer: usize,
+    generation: u64,
+    itx: mpsc::Sender<Vec<f32>>,
+    pool: &BufferPool,
+    health: &Health,
+) {
     let mut r = BufReader::with_capacity(64 * 1024, stream);
     let mut body = Vec::new();
     loop {
         match read_frame(&mut r, &mut body) {
             Ok(FrameKind::Data) => {
-                let mut buf = pool.take(body.len() / 4);
-                if decode_f32s(&body, &mut buf).is_err() || itx.send(buf).is_err() {
+                health.saw(peer);
+                let Ok((stamp, raw)) = split_data_body(&body) else {
+                    return;
+                };
+                if stamp != generation {
+                    health.mark_stale(peer, stamp);
+                    return;
+                }
+                let mut buf = pool.take(raw.len() / 4);
+                if decode_f32s(raw, &mut buf).is_err() || itx.send(buf).is_err() {
                     return;
                 }
             }
-            // Graceful shutdown, unexpected control frame, EOF, reset, or
-            // forced local close: in every case the stream is over.
+            Ok(FrameKind::Heartbeat) => {
+                health.saw(peer);
+                match decode_generation(&body) {
+                    Ok(stamp) if stamp == generation => (),
+                    Ok(stamp) => {
+                        health.mark_stale(peer, stamp);
+                        return;
+                    }
+                    Err(_) => return,
+                }
+            }
+            Ok(FrameKind::Shutdown) => {
+                health.mark_departed(peer);
+                return;
+            }
+            // Unexpected control frame, EOF, reset, or forced local close:
+            // in every case the stream is over.
             Ok(_) | Err(_) => return,
         }
     }
@@ -326,7 +556,9 @@ impl Transport for TcpEndpoint {
                     std::thread::sleep(Duration::from_micros(200));
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    return Err(CollectiveError::Disconnected { peer: to })
+                    return Err(self
+                        .failure_verdict(to)
+                        .unwrap_or(CollectiveError::Disconnected { peer: to }))
                 }
             }
         }
@@ -341,17 +573,21 @@ impl Transport for TcpEndpoint {
             .expect("inbox poisoned");
         let timeout = *self.recv_timeout.lock().expect("recv timeout poisoned");
         let payload = match timeout {
-            None => rx
-                .recv()
-                .map_err(|_| CollectiveError::Disconnected { peer: from })?,
-            Some(dl) => rx.recv_timeout(dl).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => CollectiveError::Timeout {
-                    peer: from,
-                    millis: dl.as_millis() as u64,
-                },
-                mpsc::RecvTimeoutError::Disconnected => {
-                    CollectiveError::Disconnected { peer: from }
-                }
+            None => rx.recv().map_err(|_| {
+                self.failure_verdict(from)
+                    .unwrap_or(CollectiveError::Disconnected { peer: from })
+            })?,
+            Some(dl) => rx.recv_timeout(dl).map_err(|e| {
+                let plain = match e {
+                    mpsc::RecvTimeoutError::Timeout => CollectiveError::Timeout {
+                        peer: from,
+                        millis: dl.as_millis() as u64,
+                    },
+                    mpsc::RecvTimeoutError::Disconnected => {
+                        CollectiveError::Disconnected { peer: from }
+                    }
+                };
+                self.failure_verdict(from).unwrap_or(plain)
             })?,
         };
         Ok(Message::new(payload))
@@ -373,6 +609,13 @@ impl Transport for TcpEndpoint {
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
+        // Stop the heartbeat monitor first: it holds socket clones and
+        // must not race the orderly writer drain below by force-closing
+        // sockets over a false death verdict mid-teardown.
+        if let Some((stop_tx, handle)) = self.monitor.take() {
+            let _ = stop_tx.send(());
+            let _ = handle.join();
+        }
         // Queue a graceful shutdown frame where the outbox has room, then
         // close every outbox: writers drain all queued data, write the
         // shutdown frame, and exit (their write deadline bounds this even
@@ -506,6 +749,13 @@ fn rendezvous_master(
         set_handshake_deadlines(&s, cfg)?;
         expect_frame(&mut s, FrameKind::Hello, &mut body, "worker")?;
         let hello = Hello::decode(&body).map_err(|e| NetError::io("decoding HELLO", e))?;
+        if hello.generation != cfg.generation {
+            // A straggler from a previous incarnation of a restarted
+            // world: refuse it and keep waiting for current-generation
+            // members (the straggler sees its connection die).
+            drop(s);
+            continue;
+        }
         pending.push((s, hello, peer.ip()));
     }
     // Assign ranks: explicit requests first, then fill in arrival order.
@@ -548,6 +798,7 @@ fn rendezvous_master(
         let welcome = Welcome {
             rank: rank as u32,
             world: world as u32,
+            generation: cfg.generation,
             addrs: addrs.clone(),
         };
         write_frame(&mut s, FrameKind::Welcome, &welcome.encode())
@@ -582,6 +833,7 @@ fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>),
     let hello = Hello {
         rank: cfg.rank.map_or(u32::MAX, |r| r as u32),
         port,
+        generation: cfg.generation,
         host: if cfg.listen_host == "0.0.0.0" {
             String::new()
         } else {
@@ -597,6 +849,12 @@ fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>),
         return Err(NetError::Protocol(format!(
             "master believes world is {}, this worker was configured for {world}",
             welcome.world
+        )));
+    }
+    if welcome.generation != cfg.generation {
+        return Err(NetError::Protocol(format!(
+            "master is running generation {}, this worker was launched for generation {}",
+            welcome.generation, cfg.generation
         )));
     }
     let rank = welcome.rank as usize;
@@ -728,6 +986,119 @@ mod tests {
             assert_eq!(ep.rank(), i);
             assert_eq!(ep.world_size(), 4);
         }
+    }
+
+    /// A connected socket pair: `(accepted side, dialling side)`.
+    fn raw_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (server, client)
+    }
+
+    /// A rank-0, world-2 endpoint whose single peer link is `stream` —
+    /// lets tests drive the far side with raw frames.
+    fn endpoint_over(stream: TcpStream, cfg: &NetConfig) -> TcpEndpoint {
+        TcpEndpoint::from_mesh(0, cfg, vec![None, Some(stream)]).unwrap()
+    }
+
+    #[test]
+    fn silent_peer_is_declared_dead_and_aborts_the_endpoint() {
+        let (ours, _theirs) = raw_pair();
+        let mut cfg = NetConfig::new(2, 0, "127.0.0.1:0");
+        cfg.heartbeat_interval = Some(Duration::from_millis(30));
+        cfg.heartbeat_miss_budget = 3;
+        let ep = endpoint_over(ours, &cfg);
+        // The peer holds its socket open but never sends a byte: well
+        // before this 5 s recv deadline, the monitor must declare it dead
+        // and fail the recv with Aborted (not Timeout).
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let start = Instant::now();
+        let err = ep.recv(1).unwrap_err();
+        assert_eq!(err, CollectiveError::Aborted { peer: 1 });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "abort took {:?}, detector did not fire",
+            start.elapsed()
+        );
+        // Sends fail fast with the same verdict once the teardown lands.
+        let mut saw_abort = false;
+        for _ in 0..200 {
+            if let Err(e) = ep.send(1, vec![1.0].into()) {
+                assert_eq!(e, CollectiveError::Aborted { peer: 1 });
+                saw_abort = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_abort, "send to a dead peer never surfaced the abort");
+    }
+
+    #[test]
+    fn heartbeats_keep_an_idle_peer_alive_until_it_departs_gracefully() {
+        let (ours, theirs) = raw_pair();
+        let mut cfg = NetConfig::new(2, 0, "127.0.0.1:0");
+        cfg.heartbeat_interval = Some(Duration::from_millis(30));
+        cfg.heartbeat_miss_budget = 3;
+        let ep = endpoint_over(ours, &cfg);
+        let pulse = std::thread::spawn(move || {
+            let mut s = theirs;
+            // Idle for data but alive: heartbeats alone must hold off the
+            // detector for far longer than the 90 ms miss allowance.
+            for _ in 0..15 {
+                write_frame(&mut s, FrameKind::Heartbeat, &encode_generation(0)).unwrap();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            write_frame(&mut s, FrameKind::Shutdown, &[]).unwrap();
+        });
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let err = ep.recv(1).unwrap_err();
+        // Disconnected, not Aborted: a graceful departure is not a failure.
+        assert_eq!(err, CollectiveError::Disconnected { peer: 1 });
+        pulse.join().unwrap();
+    }
+
+    #[test]
+    fn stale_generation_frames_are_rejected_on_the_data_path() {
+        let (ours, theirs) = raw_pair();
+        let mut cfg = NetConfig::new(2, 0, "127.0.0.1:0");
+        cfg.generation = 5;
+        cfg.heartbeat_interval = None;
+        let ep = endpoint_over(ours, &cfg);
+        let mut s = theirs;
+        let mut body = Vec::new();
+        encode_data_body(4, &[1.0, 2.0], &mut body);
+        write_frame(&mut s, FrameKind::Data, &body).unwrap();
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let err = ep.recv(1).unwrap_err();
+        assert_eq!(
+            err,
+            CollectiveError::StaleGeneration {
+                peer: 1,
+                expected: 5,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    fn rendezvous_rejects_a_worker_from_another_generation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut mcfg = NetConfig::new(2, 0, addr.clone());
+        mcfg.generation = 1;
+        mcfg.handshake_timeout = Duration::from_millis(400);
+        let master =
+            std::thread::spawn(move || TcpEndpoint::connect_with_listener(&mcfg, listener));
+        let mut wcfg = NetConfig::new(2, 1, addr);
+        wcfg.generation = 0;
+        wcfg.handshake_timeout = Duration::from_secs(2);
+        // The master refuses the stale HELLO (dropping the connection) and
+        // then times out with nobody left to welcome; the worker sees its
+        // rendezvous link die instead of a WELCOME.
+        assert!(TcpEndpoint::connect(&wcfg).is_err());
+        assert!(master.join().unwrap().is_err());
     }
 
     #[test]

@@ -13,7 +13,10 @@ use std::io::{self, Read, Write};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameKind {
-    /// An `f32` LE gradient/parameter payload (a [`Message`] payload).
+    /// A generation-stamped `f32` LE gradient/parameter payload
+    /// (`[generation: u64][f32 LE...]` — a [`Message`] payload). The
+    /// generation lets a restarted world reject frames that straggle in
+    /// from a previous incarnation.
     ///
     /// [`Message`]: dear_collectives::Message
     Data = 1,
@@ -32,6 +35,10 @@ pub enum FrameKind {
     Ready = 6,
     /// Rank 0 → worker: all ranks ready, start.
     Go = 7,
+    /// Periodic liveness probe (`[generation: u64]`), sent by the
+    /// heartbeat monitor when a peer link has been idle. Carries no data;
+    /// any frame arriving counts as liveness.
+    Heartbeat = 8,
 }
 
 impl FrameKind {
@@ -44,6 +51,7 @@ impl FrameKind {
             5 => FrameKind::Ident,
             6 => FrameKind::Ready,
             7 => FrameKind::Go,
+            8 => FrameKind::Heartbeat,
             _ => return None,
         })
     }
@@ -126,6 +134,55 @@ pub fn decode_f32s(body: &[u8], out: &mut Vec<f32>) -> io::Result<()> {
     Ok(())
 }
 
+/// Encodes a [`FrameKind::Data`] body: an 8-byte LE generation stamp
+/// followed by the `f32` LE payload (`out` cleared and reused).
+pub fn encode_data_body(generation: u64, elems: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(8 + elems.len() * 4);
+    out.extend_from_slice(&generation.to_le_bytes());
+    for x in elems {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Splits a [`FrameKind::Data`] body into its generation stamp and the raw
+/// `f32` payload bytes.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the body is shorter than the stamp.
+pub fn split_data_body(body: &[u8]) -> io::Result<(u64, &[u8])> {
+    if body.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "data frame of {} bytes lacks a generation stamp",
+                body.len()
+            ),
+        ));
+    }
+    let generation = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    Ok((generation, &body[8..]))
+}
+
+/// Encodes the 8-byte body of a [`FrameKind::Heartbeat`] frame.
+#[must_use]
+pub fn encode_generation(generation: u64) -> [u8; 8] {
+    generation.to_le_bytes()
+}
+
+/// Decodes a [`FrameKind::Heartbeat`] body.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the body is not exactly 8 bytes.
+pub fn decode_generation(body: &[u8]) -> io::Result<u64> {
+    let bytes: [u8; 8] = body
+        .try_into()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "short HEARTBEAT"))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
 /// Body of a [`FrameKind::Hello`] frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
@@ -133,17 +190,23 @@ pub struct Hello {
     pub rank: u32,
     /// The worker's listener port.
     pub port: u16,
+    /// The world generation the worker believes it is joining; the master
+    /// rejects mismatches so a straggler from a killed incarnation cannot
+    /// join the restarted world.
+    pub generation: u64,
     /// Advertised host; empty means "use the address the master sees".
     pub host: String,
 }
 
 impl Hello {
-    /// Serializes to a frame body.
+    /// Serializes to a frame body
+    /// (`[rank: u32][port: u16][generation: u64][host utf8]`).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(6 + self.host.len());
+        let mut out = Vec::with_capacity(14 + self.host.len());
         out.extend_from_slice(&self.rank.to_le_bytes());
         out.extend_from_slice(&self.port.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(self.host.as_bytes());
         out
     }
@@ -154,15 +217,21 @@ impl Hello {
     ///
     /// Returns `InvalidData` on truncation or malformed UTF-8.
     pub fn decode(body: &[u8]) -> io::Result<Hello> {
-        if body.len() < 6 {
+        if body.len() < 14 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "short HELLO"));
         }
         let rank = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
         let port = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
-        let host = std::str::from_utf8(&body[6..])
+        let generation = u64::from_le_bytes(body[6..14].try_into().expect("8 bytes"));
+        let host = std::str::from_utf8(&body[14..])
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "HELLO host not UTF-8"))?
             .to_string();
-        Ok(Hello { rank, port, host })
+        Ok(Hello {
+            rank,
+            port,
+            generation,
+            host,
+        })
     }
 }
 
@@ -173,17 +242,21 @@ pub struct Welcome {
     pub rank: u32,
     /// World size.
     pub world: u32,
+    /// The master's world generation, authoritative for every member.
+    pub generation: u64,
     /// Dialable `host:port` of every rank's listener, indexed by rank.
     pub addrs: Vec<String>,
 }
 
 impl Welcome {
-    /// Serializes to a frame body.
+    /// Serializes to a frame body
+    /// (`[rank: u32][world: u32][generation: u64]` then the addr table).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.rank.to_le_bytes());
         out.extend_from_slice(&self.world.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
         for addr in &self.addrs {
             out.extend_from_slice(&(addr.len() as u16).to_le_bytes());
             out.extend_from_slice(addr.as_bytes());
@@ -198,13 +271,14 @@ impl Welcome {
     /// Returns `InvalidData` on truncation or malformed UTF-8.
     pub fn decode(body: &[u8]) -> io::Result<Welcome> {
         let short = || io::Error::new(io::ErrorKind::InvalidData, "short WELCOME");
-        if body.len() < 8 {
+        if body.len() < 16 {
             return Err(short());
         }
         let rank = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
         let world = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+        let generation = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
         let mut addrs = Vec::with_capacity(world as usize);
-        let mut at = 8usize;
+        let mut at = 16usize;
         for _ in 0..world {
             if body.len() < at + 2 {
                 return Err(short());
@@ -220,7 +294,12 @@ impl Welcome {
             addrs.push(addr);
             at += len;
         }
-        Ok(Welcome { rank, world, addrs })
+        Ok(Welcome {
+            rank,
+            world,
+            generation,
+            addrs,
+        })
     }
 }
 
@@ -295,12 +374,14 @@ mod tests {
         let hello = Hello {
             rank: u32::MAX,
             port: 40_123,
+            generation: 3,
             host: String::new(),
         };
         assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
         let welcome = Welcome {
             rank: 2,
             world: 4,
+            generation: 3,
             addrs: vec![
                 "127.0.0.1:1".into(),
                 "127.0.0.1:2".into(),
@@ -311,5 +392,38 @@ mod tests {
         assert_eq!(Welcome::decode(&welcome.encode()).unwrap(), welcome);
         assert!(Welcome::decode(&welcome.encode()[..10]).is_err());
         assert_eq!(decode_ident(&encode_ident(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn data_body_carries_its_generation_stamp() {
+        let elems = [1.0f32, -2.5, f32::NAN];
+        let mut body = Vec::new();
+        encode_data_body(41, &elems, &mut body);
+        assert_eq!(body.len(), 8 + elems.len() * 4);
+        let (generation, raw) = split_data_body(&body).unwrap();
+        assert_eq!(generation, 41);
+        let mut back = Vec::new();
+        decode_f32s(raw, &mut back).unwrap();
+        for (a, b) in elems.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(split_data_body(&body[..7]).is_err());
+    }
+
+    #[test]
+    fn heartbeat_body_roundtrip() {
+        assert_eq!(
+            decode_generation(&encode_generation(u64::MAX)).unwrap(),
+            u64::MAX
+        );
+        assert!(decode_generation(&[0u8; 7]).is_err());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Heartbeat, &encode_generation(2)).unwrap();
+        let mut body = Vec::new();
+        assert_eq!(
+            read_frame(&mut &wire[..], &mut body).unwrap(),
+            FrameKind::Heartbeat
+        );
+        assert_eq!(decode_generation(&body).unwrap(), 2);
     }
 }

@@ -2,10 +2,24 @@
 //! the rendezvous environment (`RANK`, `WORLD_SIZE`, `MASTER_ADDR`,
 //! `MASTER_PORT`) set per rank, supervise them, and propagate failures —
 //! the moral equivalent of `torchrun`/`mpirun` for this repository.
+//!
+//! [`launch_world_elastic`] adds the supervised-restart layer: when a
+//! rank dies, the survivors are killed, the supervisor backs off
+//! exponentially, and the whole world is relaunched on a fresh rendezvous
+//! port with `DEAR_GENERATION` bumped — workers resume from their latest
+//! checkpoint (see `dear_core::checkpoint`). The optional
+//! [`ChaosPlan`](crate::ChaosPlan) lets the supervisor itself inject
+//! crashes and `SIGSTOP` stalls on a deterministic schedule, which is how
+//! the fault-tolerance tests drive the failure detector end to end.
+//!
+//! All spawned children live inside a [`WorldGuard`]: a kill-on-drop
+//! owner, so a supervisor panic (or early `?` return) mid-launch can
+//! never orphan worker processes.
 
 use std::process::{Child, Command, ExitStatus};
 use std::time::{Duration, Instant};
 
+use crate::chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 use crate::config::NetError;
 
 /// How one launched world finished.
@@ -13,6 +27,70 @@ use crate::config::NetError;
 pub enum WorldOutcome {
     /// Every rank exited with status 0.
     AllExitedCleanly,
+}
+
+/// How an elastic (restartable) launch finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticOutcome {
+    /// Restarts consumed; 0 means the first generation ran to completion.
+    pub restarts: u32,
+    /// The generation that completed (equals `restarts`).
+    pub generation: u64,
+}
+
+/// Restart policy for [`launch_world_elastic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// World relaunches allowed after the initial attempt.
+    pub max_restarts: u32,
+    /// Delay before the first relaunch; doubles per restart.
+    pub backoff: Duration,
+    /// Upper bound for the doubled backoff.
+    pub backoff_cap: Duration,
+}
+
+impl RestartPolicy {
+    /// A policy allowing `max_restarts` relaunches with a 250 ms initial
+    /// backoff, doubling up to 5 s.
+    #[must_use]
+    pub fn new(max_restarts: u32) -> Self {
+        RestartPolicy {
+            max_restarts,
+            backoff: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Owns spawned worker processes and kills whatever is still running when
+/// dropped — the guarantee that no supervisor exit path (panic, `?`, chaos
+/// teardown) leaves orphaned workers holding ports and CPUs.
+#[derive(Debug, Default)]
+pub struct WorldGuard {
+    children: Vec<Option<Child>>,
+}
+
+impl WorldGuard {
+    /// Takes ownership of a spawned child.
+    pub fn adopt(&mut self, child: Child) {
+        self.children.push(Some(child));
+    }
+
+    /// OS process ids of the children still owned (not yet reaped).
+    #[must_use]
+    pub fn pids(&self) -> Vec<u32> {
+        self.children.iter().flatten().map(Child::id).collect()
+    }
+
+    fn slots(&mut self) -> &mut [Option<Child>] {
+        &mut self.children
+    }
+}
+
+impl Drop for WorldGuard {
+    fn drop(&mut self) {
+        kill_all(&mut self.children);
+    }
 }
 
 /// Options for [`launch_world`].
@@ -79,17 +157,30 @@ pub fn free_port() -> Result<u16, NetError> {
 /// Returns [`NetError`] as described above, or [`NetError::Config`] /
 /// [`NetError::Io`] when the command is empty or cannot be spawned.
 pub fn launch_world(command: &[String], opts: &LaunchOptions) -> Result<WorldOutcome, NetError> {
+    let port = match opts.master_port {
+        Some(p) => p,
+        None => free_port()?,
+    };
+    let mut guard = WorldGuard::default();
+    spawn_world(&mut guard, command, opts, port, 0)?;
+    supervise(guard.slots(), opts.timeout, None)
+}
+
+/// Spawns one generation of the world into `guard`. On any spawn failure
+/// the guard's drop (at the caller) reaps whatever did start.
+fn spawn_world(
+    guard: &mut WorldGuard,
+    command: &[String],
+    opts: &LaunchOptions,
+    port: u16,
+    generation: u64,
+) -> Result<(), NetError> {
     let Some((program, args)) = command.split_first() else {
         return Err(NetError::Config("empty worker command".to_string()));
     };
     if opts.world == 0 {
         return Err(NetError::Config("world size must be positive".to_string()));
     }
-    let port = match opts.master_port {
-        Some(p) => p,
-        None => free_port()?,
-    };
-    let mut children: Vec<Option<Child>> = Vec::with_capacity(opts.world);
     for rank in 0..opts.world {
         let mut cmd = Command::new(program);
         cmd.args(args)
@@ -97,29 +188,187 @@ pub fn launch_world(command: &[String], opts: &LaunchOptions) -> Result<WorldOut
             .env("WORLD_SIZE", opts.world.to_string())
             .env("MASTER_ADDR", &opts.master_host)
             .env("MASTER_PORT", port.to_string())
+            .env("DEAR_GENERATION", generation.to_string())
             .stdin(std::process::Stdio::null());
         for (k, v) in &opts.env {
             cmd.env(k, v);
         }
         match cmd.spawn() {
-            Ok(child) => children.push(Some(child)),
+            Ok(child) => guard.adopt(child),
             Err(e) => {
-                kill_all(&mut children);
                 return Err(NetError::io(format!("spawning rank {rank} ({program})"), e));
             }
         }
     }
-    supervise(&mut children, opts.timeout)
+    Ok(())
+}
+
+/// Relaunches worlds until one runs to completion or the restart budget is
+/// spent. Each generation gets a fresh rendezvous port (unless
+/// `opts.master_port` pins one) and `DEAR_GENERATION` set to the attempt
+/// number, so resumed workers find their checkpoints, re-rendezvous, and
+/// reject any straggler traffic from the killed incarnation. Failures back
+/// off exponentially per [`RestartPolicy`]. `opts.timeout` bounds the
+/// *whole* elastic run, restarts included.
+///
+/// A non-empty `chaos` plan is applied while supervising: event times are
+/// measured from the first launch and each event fires at most once, so a
+/// finite plan eventually leaves a clean world that can finish (provided
+/// the restart budget outlasts the plan's kills).
+///
+/// # Errors
+///
+/// Returns the last generation's failure once `policy.max_restarts` is
+/// exhausted, [`NetError::Timeout`] if the overall budget expires, or any
+/// spawn/config error immediately.
+pub fn launch_world_elastic(
+    command: &[String],
+    opts: &LaunchOptions,
+    policy: &RestartPolicy,
+    chaos: &ChaosPlan,
+) -> Result<ElasticOutcome, NetError> {
+    let start = Instant::now();
+    let deadline = opts.timeout.map(|t| start + t);
+    let mut driver = ChaosDriver::new(&chaos.events, start);
+    let mut backoff = policy.backoff;
+    let mut attempt: u32 = 0;
+    loop {
+        let port = match opts.master_port {
+            Some(p) => p,
+            // A fresh port per generation: the old master's listener may
+            // linger in TIME_WAIT, and a dead generation must not be
+            // dialable by accident.
+            None => free_port()?,
+        };
+        let mut guard = WorldGuard::default();
+        spawn_world(&mut guard, command, opts, port, u64::from(attempt))?;
+        let remaining = match deadline {
+            None => None,
+            Some(dl) => {
+                let left = dl.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(NetError::Timeout {
+                        context: "elastic launch budget exhausted".to_string(),
+                        after: opts.timeout.unwrap_or_default(),
+                    });
+                }
+                Some(left)
+            }
+        };
+        let result = supervise(guard.slots(), remaining, Some(&mut driver));
+        // Un-stall survivors before the guard kills them: SIGKILL works on
+        // stopped processes, but releasing keeps the bookkeeping simple
+        // for the next generation.
+        driver.release_all();
+        drop(guard);
+        match result {
+            Ok(WorldOutcome::AllExitedCleanly) => {
+                return Ok(ElasticOutcome {
+                    restarts: attempt,
+                    generation: u64::from(attempt),
+                })
+            }
+            Err(e @ NetError::Timeout { .. }) => return Err(e),
+            Err(e) => {
+                if attempt >= policy.max_restarts {
+                    return Err(NetError::Protocol(format!(
+                        "world failed and the restart budget ({}) is spent; last failure: {e}",
+                        policy.max_restarts
+                    )));
+                }
+                eprintln!(
+                    "[dear-launch] generation {attempt} failed ({e}); restarting in {backoff:?}"
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.backoff_cap);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Applies a [`ChaosPlan`] against live children: fires each due event at
+/// most once (kills via `Child::kill`, stalls via `SIGSTOP`/`SIGCONT`)
+/// with times measured from the elastic run's first launch.
+struct ChaosDriver<'a> {
+    events: &'a [ChaosEvent],
+    next: usize,
+    start: Instant,
+    /// `(resume_at, pid)` for currently stopped victims.
+    stalled: Vec<(Instant, u32)>,
+}
+
+impl<'a> ChaosDriver<'a> {
+    fn new(events: &'a [ChaosEvent], start: Instant) -> Self {
+        ChaosDriver {
+            events,
+            next: 0,
+            start,
+            stalled: Vec::new(),
+        }
+    }
+
+    fn poll(&mut self, children: &mut [Option<Child>]) {
+        let now = Instant::now();
+        self.stalled.retain(|&(resume_at, pid)| {
+            if now >= resume_at {
+                signal(pid, "CONT");
+                false
+            } else {
+                true
+            }
+        });
+        while let Some(e) = self.events.get(self.next) {
+            if now.duration_since(self.start) < e.at {
+                break;
+            }
+            self.next += 1;
+            let Some(child) = children.get_mut(e.victim).and_then(Option::as_mut) else {
+                continue; // victim already exited — the event is spent
+            };
+            match e.action {
+                ChaosAction::Kill => {
+                    let _ = child.kill();
+                }
+                ChaosAction::Stall(for_how_long) => {
+                    signal(child.id(), "STOP");
+                    self.stalled.push((now + for_how_long, child.id()));
+                }
+            }
+        }
+    }
+
+    /// Resumes every currently stalled victim (pre-teardown).
+    fn release_all(&mut self) {
+        for (_, pid) in self.stalled.drain(..) {
+            signal(pid, "CONT");
+        }
+    }
+}
+
+/// Sends `SIG<sig>` to `pid` via the portable `kill` utility (std has no
+/// direct signal API beyond `Child::kill`).
+fn signal(pid: u32, sig: &str) {
+    let _ = Command::new("kill")
+        .arg(format!("-{sig}"))
+        .arg(pid.to_string())
+        .stderr(std::process::Stdio::null())
+        .status();
 }
 
 /// Polls the children until all exit cleanly, one fails, or the deadline
-/// expires; kills the survivors in the latter two cases.
+/// expires; kills the survivors in the latter two cases. A chaos driver,
+/// when present, gets to inject faults between polls.
 fn supervise(
     children: &mut [Option<Child>],
     timeout: Option<Duration>,
+    mut chaos: Option<&mut ChaosDriver<'_>>,
 ) -> Result<WorldOutcome, NetError> {
     let deadline = timeout.map(|t| Instant::now() + t);
     loop {
+        if let Some(driver) = chaos.as_deref_mut() {
+            driver.poll(children);
+        }
         let mut all_done = true;
         for rank in 0..children.len() {
             let Some(child) = children[rank].as_mut() else {
@@ -219,5 +468,107 @@ mod tests {
         let err = launch_world(&cmd, &opts).unwrap_err();
         assert!(matches!(err, NetError::Timeout { .. }), "got {err}");
         assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn guard_drop_kills_what_it_owns() {
+        let mut guard = WorldGuard::default();
+        for _ in 0..2 {
+            guard.adopt(
+                Command::new("sleep")
+                    .arg("30")
+                    .stdin(std::process::Stdio::null())
+                    .spawn()
+                    .unwrap(),
+            );
+        }
+        let pids = guard.pids();
+        assert_eq!(pids.len(), 2);
+        drop(guard);
+        // `kill -0` probes liveness without sending anything: it must fail
+        // for every child once the guard has killed and reaped them.
+        for pid in pids {
+            let alive = Command::new("kill")
+                .args(["-0", &pid.to_string()])
+                .stderr(std::process::Stdio::null())
+                .status()
+                .unwrap()
+                .success();
+            assert!(!alive, "pid {pid} survived the guard drop");
+        }
+    }
+
+    #[test]
+    fn elastic_launch_retries_until_the_generation_that_succeeds() {
+        // Generations 0 and 1 fail, generation 2 exits 0 — the supervisor
+        // must consume exactly two restarts.
+        let cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            "test \"$DEAR_GENERATION\" -ge 2".to_string(),
+        ];
+        let mut policy = RestartPolicy::new(4);
+        policy.backoff = Duration::from_millis(10);
+        let out =
+            launch_world_elastic(&cmd, &LaunchOptions::new(2), &policy, &ChaosPlan::default())
+                .unwrap();
+        assert_eq!(out.restarts, 2);
+        assert_eq!(out.generation, 2);
+    }
+
+    #[test]
+    fn elastic_launch_gives_up_when_the_budget_is_spent() {
+        let cmd = vec!["false".to_string()];
+        let mut policy = RestartPolicy::new(1);
+        policy.backoff = Duration::from_millis(10);
+        let err =
+            launch_world_elastic(&cmd, &LaunchOptions::new(2), &policy, &ChaosPlan::default())
+                .unwrap_err();
+        assert!(err.to_string().contains("restart budget"), "got {err}");
+    }
+
+    #[test]
+    fn chaos_kill_event_takes_down_a_world_early() {
+        use crate::chaos::{ChaosAction, ChaosEvent};
+        let cmd = vec!["sleep".to_string(), "30".to_string()];
+        let plan = ChaosPlan {
+            events: vec![ChaosEvent {
+                at: Duration::from_millis(50),
+                victim: 1,
+                action: ChaosAction::Kill,
+            }],
+        };
+        let start = Instant::now();
+        let err = launch_world_elastic(&cmd, &LaunchOptions::new(2), &RestartPolicy::new(0), &plan)
+            .unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "got {err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "chaos kill did not cut the run short"
+        );
+    }
+
+    #[test]
+    fn chaos_stall_pauses_and_resumes_a_worker() {
+        use crate::chaos::{ChaosAction, ChaosEvent};
+        // One worker sleeps 0.3 s; a 0.4 s SIGSTOP stall at t≈0 must not
+        // fail the run — the worker resumes and exits 0.
+        let cmd = vec!["sleep".to_string(), "0.3".to_string()];
+        let plan = ChaosPlan {
+            events: vec![ChaosEvent {
+                at: Duration::ZERO,
+                victim: 0,
+                action: ChaosAction::Stall(Duration::from_millis(400)),
+            }],
+        };
+        let mut opts = LaunchOptions::new(1);
+        opts.timeout = Some(Duration::from_secs(20));
+        let start = Instant::now();
+        let out = launch_world_elastic(&cmd, &opts, &RestartPolicy::new(0), &plan).unwrap();
+        assert_eq!(out.restarts, 0);
+        assert!(
+            start.elapsed() >= Duration::from_millis(300),
+            "stall did not delay the worker at all"
+        );
     }
 }

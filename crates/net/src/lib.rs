@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 mod config;
 mod demo;
 pub mod endpoint;
@@ -50,8 +51,12 @@ pub mod frame;
 mod launch;
 mod loopback;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 pub use config::{NetConfig, NetError};
 pub use demo::{hash_params, run_demo_worker, DemoSummary};
 pub use endpoint::TcpEndpoint;
-pub use launch::{free_port, launch_world, LaunchOptions, WorldOutcome};
+pub use launch::{
+    free_port, launch_world, launch_world_elastic, ElasticOutcome, LaunchOptions, RestartPolicy,
+    WorldGuard, WorldOutcome,
+};
 pub use loopback::{tcp_loopback, tcp_loopback_with};

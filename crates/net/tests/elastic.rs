@@ -1,0 +1,253 @@
+//! End-to-end elastic-training acceptance tests: the real `dear-launch`
+//! binary, four OS processes, checkpoints on disk, a worker killed
+//! mid-training — and the supervised restart must converge to **bitwise**
+//! the same final loss and parameters as an uninterrupted run.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const LAUNCH: &str = env!("CARGO_BIN_EXE_dear-launch");
+
+#[derive(Debug, Clone)]
+struct RankLine {
+    rank: usize,
+    eval_loss: String,
+    params_hash: String,
+}
+
+fn parse_lines(stdout: &str) -> Vec<RankLine> {
+    let mut out = Vec::new();
+    for line in stdout.lines().filter(|l| l.starts_with("dear-demo rank=")) {
+        let field = |key: &str| -> String {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("missing {key} in {line:?}"))
+                .to_string()
+        };
+        out.push(RankLine {
+            rank: field("rank").parse().unwrap(),
+            eval_loss: field("eval_loss"),
+            params_hash: field("params_hash"),
+        });
+    }
+    out
+}
+
+/// Runs the 4-rank, 25-step demo with checkpointing into `ckpt_dir` and
+/// `extra` environment/flags, returning (stdout, stderr, success).
+fn run_demo(
+    ckpt_dir: &std::path::Path,
+    args: &[&str],
+    env: &[(&str, &str)],
+) -> (String, String, bool) {
+    let mut cmd = Command::new(LAUNCH);
+    cmd.args([
+        "--world",
+        "4",
+        "--demo",
+        "--steps",
+        "25",
+        "--timeout-secs",
+        "120",
+        "--ckpt-dir",
+    ])
+    .arg(ckpt_dir)
+    .args(["--ckpt-every", "5"])
+    .args(args)
+    .env("DEAR_RECV_TIMEOUT_MS", "15000");
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let output = cmd.output().expect("running dear-launch");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+/// All rank lines must agree bit-for-bit, every rank 0..4 must appear, and
+/// the (loss, hash) pair is returned for cross-run comparison.
+fn consensus(stdout: &str, context: &str) -> (String, String) {
+    let lines = parse_lines(stdout);
+    assert!(
+        lines.len() >= 4,
+        "{context}: expected >=4 rank lines in:\n{stdout}"
+    );
+    for r in 0..4 {
+        assert!(
+            lines.iter().any(|l| l.rank == r),
+            "{context}: rank {r} missing in:\n{stdout}"
+        );
+    }
+    for l in &lines {
+        assert_eq!(
+            l.eval_loss, lines[0].eval_loss,
+            "{context}: losses diverged"
+        );
+        assert_eq!(
+            l.params_hash, lines[0].params_hash,
+            "{context}: params diverged"
+        );
+    }
+    (lines[0].eval_loss.clone(), lines[0].params_hash.clone())
+}
+
+/// The headline acceptance test: a rank is killed at a pseudo-random step
+/// of generation 0; the supervisor relaunches the world, every rank resumes
+/// from the newest checkpoint all ranks hold, and the final model is
+/// **bitwise identical** to an uninterrupted run with the same checkpoint
+/// cadence.
+#[test]
+fn killed_world_resumes_from_checkpoint_and_matches_uninterrupted_run() {
+    let start = Instant::now();
+    let tmp = tempdir("elastic-accept");
+    let baseline_dir = tmp.join("baseline");
+    let elastic_dir = tmp.join("elastic");
+
+    let (stdout, stderr, ok) = run_demo(&baseline_dir, &[], &[]);
+    assert!(
+        ok,
+        "baseline run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    let (base_loss, base_hash) = consensus(&stdout, "baseline");
+
+    // A different kill step each CI run (but >= 6, so at least one
+    // checkpoint boundary has passed); resume must work from any of them.
+    let kill_step = 6 + u64::from(std::process::id()) % 12;
+    let kill_step = kill_step.to_string();
+    let (stdout, stderr, ok) = run_demo(
+        &elastic_dir,
+        &["--max-restarts", "2", "--backoff-ms", "50"],
+        &[
+            ("DEAR_DEMO_EXIT_RANK", "1"),
+            ("DEAR_DEMO_EXIT_AT_STEP", &kill_step),
+        ],
+    );
+    assert!(
+        ok,
+        "elastic run (kill at step {kill_step}) failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("dying abruptly at step"),
+        "the injected kill never fired:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resuming from checkpoint at step"),
+        "no rank resumed from a checkpoint:\n{stderr}"
+    );
+    let (loss, hash) = consensus(&stdout, "elastic");
+    assert_eq!(
+        (loss, hash),
+        (base_loss, base_hash),
+        "restarted training did not reproduce the uninterrupted run bit-for-bit\n\
+         kill step: {kill_step}\nstderr:\n{stderr}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(150),
+        "acceptance test took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Chaos harness: seeded kills/stalls injected by the supervisor itself.
+/// Whatever the plan does, checkpoints + restarts must land the world on
+/// the same final parameters as a calm run.
+#[test]
+fn training_under_chaos_matches_the_unperturbed_run() {
+    let tmp = tempdir("elastic-chaos");
+    let calm_dir = tmp.join("calm");
+    let chaos_dir = tmp.join("chaos");
+
+    let (stdout, stderr, ok) = run_demo(&calm_dir, &[], &[]);
+    assert!(ok, "calm run failed\nstdout:\n{stdout}\nstderr:\n{stderr}");
+    let calm = consensus(&stdout, "calm");
+
+    let (stdout, stderr, ok) = run_demo(
+        &chaos_dir,
+        &[
+            "--max-restarts",
+            "4",
+            "--backoff-ms",
+            "50",
+            "--chaos",
+            "2",
+            "--chaos-seed",
+            "7",
+            "--chaos-window-ms",
+            "1500",
+        ],
+        &[],
+    );
+    assert!(ok, "chaos run failed\nstdout:\n{stdout}\nstderr:\n{stderr}");
+    let chaotic = consensus(&stdout, "chaos");
+    assert_eq!(
+        chaotic, calm,
+        "chaos run diverged from the calm run\nstderr:\n{stderr}"
+    );
+}
+
+/// A world whose first generation fails before any checkpoint exists must
+/// restart from scratch and still finish cleanly.
+#[test]
+fn restart_without_checkpoints_starts_fresh_and_succeeds() {
+    let tmp = tempdir("elastic-fresh");
+    let dir = tmp.join("fresh");
+    // Kill at step 3 — before the first checkpoint boundary (step 5).
+    let (stdout, stderr, ok) = run_demo(
+        &dir,
+        &["--max-restarts", "1", "--backoff-ms", "50"],
+        &[
+            ("DEAR_DEMO_EXIT_RANK", "3"),
+            ("DEAR_DEMO_EXIT_AT_STEP", "3"),
+        ],
+    );
+    assert!(
+        ok,
+        "fresh-restart run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("resuming from checkpoint"),
+        "nothing should have been resumable:\n{stderr}"
+    );
+    consensus(&stdout, "fresh restart");
+}
+
+/// The restart budget is real: with zero restarts allowed, a killed world
+/// fails the launch — promptly, not by hanging.
+#[test]
+fn spent_restart_budget_fails_the_launch() {
+    let start = Instant::now();
+    let tmp = tempdir("elastic-budget");
+    let dir = tmp.join("budget");
+    let (stdout, stderr, ok) = run_demo(
+        &dir,
+        &["--max-restarts", "0", "--backoff-ms", "50"],
+        &[
+            ("DEAR_DEMO_EXIT_RANK", "0"),
+            ("DEAR_DEMO_EXIT_AT_STEP", "7"),
+        ],
+    );
+    assert!(
+        !ok,
+        "launch should have failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("restart budget"),
+        "failure should name the spent budget:\n{stderr}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "budget failure took {:?}",
+        start.elapsed()
+    );
+}
+
+/// A fresh per-test scratch directory under the target-adjacent tempdir;
+/// cleaned up lazily by the OS, unique per process so parallel test
+/// binaries never collide.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dear-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    dir
+}
