@@ -49,6 +49,17 @@ pub enum CollectiveError {
         /// The peer whose death triggered the abort.
         peer: usize,
     },
+    /// A message body is too large for the wire format's length prefix —
+    /// sending it would silently truncate the frame header. The message was
+    /// **not** queued.
+    Oversize {
+        /// The peer the message was addressed to.
+        peer: usize,
+        /// The encoded body size that was requested, in bytes.
+        bytes: u64,
+        /// The wire format's maximum body size, in bytes.
+        max: u64,
+    },
     /// A frame from `peer` carried a generation counter that does not match
     /// this world's generation — the peer belongs to a previous incarnation
     /// of a restarted world and its traffic must not be mixed into current
@@ -90,6 +101,12 @@ impl fmt::Display for CollectiveError {
                     "collective aborted: peer {peer} was declared dead by the failure detector"
                 )
             }
+            CollectiveError::Oversize { peer, bytes, max } => {
+                write!(
+                    f,
+                    "message to peer {peer} is {bytes} bytes, over the {max}-byte frame limit"
+                )
+            }
             CollectiveError::StaleGeneration {
                 peer,
                 expected,
@@ -128,6 +145,11 @@ mod tests {
                 requirement: "power of two",
             },
             CollectiveError::Aborted { peer: 3 },
+            CollectiveError::Oversize {
+                peer: 1,
+                bytes: 5 << 30,
+                max: 1 << 30,
+            },
             CollectiveError::StaleGeneration {
                 peer: 1,
                 expected: 4,
@@ -156,6 +178,15 @@ mod tests {
         assert!(stale.contains("peer 2"), "{stale}");
         assert!(stale.contains("generation 3"), "{stale}");
         assert!(stale.contains("generation 5"), "{stale}");
+        let oversize = CollectiveError::Oversize {
+            peer: 4,
+            bytes: 4_294_967_296,
+            max: 1_073_741_824,
+        }
+        .to_string();
+        assert!(oversize.contains("peer 4"), "{oversize}");
+        assert!(oversize.contains("4294967296"), "{oversize}");
+        assert!(oversize.contains("1073741824"), "{oversize}");
     }
 
     #[test]

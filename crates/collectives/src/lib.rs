@@ -52,6 +52,7 @@ mod compress;
 mod cost;
 mod error;
 mod hierarchical;
+mod obs;
 mod reduce;
 mod rhd;
 mod ring;
@@ -67,6 +68,8 @@ pub use compress::{
 };
 pub use cost::{CostModel, NetworkPreset};
 pub use error::CollectiveError;
+pub use obs::{set_collective_span_hook, CollectiveSpanFn};
+
 pub use hierarchical::{
     hierarchical_all_gather_phase, hierarchical_all_gather_phase_seg, hierarchical_all_reduce,
     hierarchical_all_reduce_seg, hierarchical_reduce_scatter_phase,

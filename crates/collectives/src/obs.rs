@@ -1,0 +1,78 @@
+//! Observability hook for the collective pipeline.
+//!
+//! `dear-collectives` sits below the runtime's tracer (`dear-core::trace`),
+//! so it cannot record spans directly. Instead, a process-wide hook can be
+//! installed once; the segment-pipelined ring collectives then report one
+//! wall-clock span per collective call through it. When no hook is installed
+//! the instrumentation reduces to a single relaxed atomic load — no clock
+//! reads, no allocation.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A span callback: `(op, elements, start, end)` for one completed
+/// collective call. `op` is a static operation name such as
+/// `"ring_reduce_scatter"`; `elements` is the full buffer length in `f32`
+/// elements.
+pub type CollectiveSpanFn = fn(op: &'static str, elements: usize, start: Instant, end: Instant);
+
+static SPAN_HOOK: OnceLock<CollectiveSpanFn> = OnceLock::new();
+
+/// Installs the process-wide collective span hook. The first installation
+/// wins; later calls are ignored (the hook is expected to be a stable
+/// forwarder into a tracer that does its own enable/disable gating).
+pub fn set_collective_span_hook(hook: CollectiveSpanFn) {
+    let _ = SPAN_HOOK.set(hook);
+}
+
+/// Reads the clock only if a hook is installed.
+#[inline]
+pub(crate) fn span_start() -> Option<Instant> {
+    SPAN_HOOK.get().map(|_| Instant::now())
+}
+
+/// Reports a completed span to the hook, if one is installed and
+/// [`span_start`] captured a start instant.
+#[inline]
+pub(crate) fn span_end(op: &'static str, elements: usize, start: Option<Instant>) {
+    if let Some(start) = start {
+        if let Some(hook) = SPAN_HOOK.get() {
+            hook(op, elements, start, Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    static SEEN: Mutex<Vec<(&'static str, usize, u128)>> = Mutex::new(Vec::new());
+
+    fn test_hook(op: &'static str, elements: usize, start: Instant, end: Instant) {
+        SEEN.lock()
+            .unwrap()
+            .push((op, elements, end.duration_since(start).as_nanos()));
+    }
+
+    #[test]
+    fn installed_hook_sees_ring_collective_spans() {
+        set_collective_span_hook(test_hook);
+        let d = 16;
+        crate::testutil::run_world(2, |ep| {
+            let mut data = vec![1.0f32; d];
+            crate::ring::ring_all_reduce(&ep, &mut data, crate::ReduceOp::Sum).unwrap();
+        });
+        let seen = SEEN.lock().unwrap();
+        let rs = seen
+            .iter()
+            .filter(|(op, n, _)| *op == "ring_reduce_scatter" && *n == d)
+            .count();
+        let ag = seen
+            .iter()
+            .filter(|(op, n, _)| *op == "ring_all_gather" && *n == d)
+            .count();
+        assert!(rs >= 2, "expected a reduce-scatter span per rank, got {rs}");
+        assert!(ag >= 2, "expected an all-gather span per rank, got {ag}");
+    }
+}

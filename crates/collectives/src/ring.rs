@@ -10,6 +10,7 @@ use std::ops::Range;
 
 use crate::chunk::chunk_range;
 use crate::error::CollectiveError;
+use crate::obs::{span_end, span_start};
 use crate::reduce::ReduceOp;
 use crate::segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 use crate::transport::Transport;
@@ -62,6 +63,7 @@ pub fn ring_reduce_scatter_seg<T: Transport>(
     if world == 1 {
         return Ok(0..d);
     }
+    let span = span_start();
     let next = (rank + 1) % world;
     let prev = (rank + world - 1) % world;
     for step in 0..world - 1 {
@@ -72,6 +74,7 @@ pub fn ring_reduce_scatter_seg<T: Transport>(
         let recv_range = chunk_range(d, world, recv_idx);
         recv_segmented_reduce(t, prev, &mut data[recv_range], op, seg)?;
     }
+    span_end("ring_reduce_scatter", d, span);
     Ok(chunk_range(d, world, ring_owned_chunk(rank, world)))
 }
 
@@ -112,6 +115,7 @@ pub fn ring_all_gather_seg<T: Transport>(
     if world == 1 {
         return Ok(());
     }
+    let span = span_start();
     let rank = t.rank();
     let next = (rank + 1) % world;
     let prev = (rank + world - 1) % world;
@@ -123,6 +127,7 @@ pub fn ring_all_gather_seg<T: Transport>(
         let recv_range = chunk_range(d, world, recv_idx);
         recv_segmented_copy(t, prev, &mut data[recv_range], seg)?;
     }
+    span_end("ring_all_gather", d, span);
     Ok(())
 }
 

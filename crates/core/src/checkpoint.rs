@@ -436,9 +436,12 @@ impl CheckpointStore {
     /// [`CheckpointError::Io`] on write failure. Pruning failures are
     /// ignored — stale extra files cost disk, not correctness.
     pub fn save(&self, ckpt: &TrainCheckpoint) -> Result<PathBuf, CheckpointError> {
+        let step = ckpt.step;
+        let span = crate::trace::span(dear_sim::TaskKind::Other, || format!("ckpt[{step}]"));
         let path = self.path_for(ckpt.step);
         ckpt.save(&path)?;
         self.prune();
+        span.end();
         Ok(path)
     }
 

@@ -79,6 +79,7 @@ pub struct WorkerHandle {
     jobs: crossbeam_channel::Sender<CommJob>,
     results: crossbeam_channel::Receiver<CommResult>,
     layout_tx: crossbeam_channel::Sender<(CommLayout, usize)>,
+    trace_scope: String,
 }
 
 impl std::fmt::Debug for WorkerHandle {
@@ -146,6 +147,7 @@ impl WorkerHandle {
             self.results,
             local_optim,
             net.len(),
+            &self.trace_scope,
         )
     }
 }
@@ -174,6 +176,10 @@ where
     let hyper = config.hyper();
     let delay = config.delay;
     let segments = config.segments;
+    // Unique per worker so concurrent in-process clusters never share a
+    // trace stream (see `trace`'s stream-naming contract).
+    let trace_scope = crate::trace::unique_scope(rank);
+    let comm_scope = trace_scope.clone();
     let (job_tx, job_rx) = unbounded::<CommJob>();
     let (res_tx, res_rx) = unbounded::<CommResult>();
     let (layout_tx, layout_rx) = unbounded::<(CommLayout, usize)>();
@@ -186,9 +192,27 @@ where
         match delay {
             Some(d) => {
                 let t = DelayFabric::with_scale(transport, d.model, d.scale);
-                run_comm_thread(t, layout, hyper, total, segments, &job_rx, &res_tx);
+                run_comm_thread(
+                    t,
+                    layout,
+                    hyper,
+                    total,
+                    segments,
+                    &comm_scope,
+                    &job_rx,
+                    &res_tx,
+                );
             }
-            None => run_comm_thread(transport, layout, hyper, total, segments, &job_rx, &res_tx),
+            None => run_comm_thread(
+                transport,
+                layout,
+                hyper,
+                total,
+                segments,
+                &comm_scope,
+                &job_rx,
+                &res_tx,
+            ),
         }
     });
     let handle = WorkerHandle {
@@ -198,6 +222,7 @@ where
         jobs: job_tx,
         results: res_rx,
         layout_tx,
+        trace_scope,
     };
     let out = f(handle);
     comm.join().expect("comm thread panicked");

@@ -20,6 +20,7 @@ use dear_collectives::{
 };
 
 use crate::layout::GroupLayout;
+use crate::trace::{self, TaskKind};
 
 /// Per-group metadata the comm thread needs: `(offset_in_group, len,
 /// global_offset)` per item, in group order.
@@ -194,15 +195,18 @@ pub enum CommResult {
 ///
 /// Panics on collective errors (a peer hanging up mid-training is a bug in
 /// the harness, not a recoverable condition for a worker thread).
+#[allow(clippy::too_many_arguments)]
 pub fn run_comm_thread<T: Transport>(
     transport: T,
     mut layout: CommLayout,
     mut hyper: HyperParams,
     total_elements: usize,
     segments: SegmentConfig,
+    trace_scope: &str,
     jobs: &Receiver<CommJob>,
     results: &Sender<CommResult>,
 ) {
+    trace::set_thread_stream(trace_scope, "comm");
     let world = transport.world_size();
     let rank = transport.rank();
     // Optimizer state keyed by global flat offset: survives re-bucketing.
@@ -228,9 +232,12 @@ pub fn run_comm_thread<T: Transport>(
                     // (bias correction is per-iteration, shared by shards).
                     adam_step += 1;
                 }
+                let op1 = trace::span(TaskKind::Communication, || format!("OP1.RS[g{group}]"));
                 let owned =
                     ring_reduce_scatter_seg(&transport, &mut grads, ReduceOp::Sum, segments)
                         .expect("reduce-scatter failed");
+                op1.end();
+                let upd = trace::span(TaskKind::Other, || format!("OP1.UPD[g{group}]"));
                 // Optimizer update on the owned shard only; every element is
                 // owned by exactly one rank, so the union of shards is the
                 // full S-SGD update of Eq. 2.
@@ -273,12 +280,14 @@ pub fn run_comm_thread<T: Transport>(
                         }
                     }
                 }
+                upd.end();
                 stash.push((group, params));
             }
             CommJob::FlushAllGathers => {
                 // Forward order = reverse of backward arrival order, so the
                 // first layers' parameters arrive first (FeedPipe).
                 for (group, mut params) in stash.drain(..).rev() {
+                    let op2 = trace::span(TaskKind::Communication, || format!("OP2.AG[g{group}]"));
                     ring_all_gather_seg(
                         &transport,
                         &mut params,
@@ -286,14 +295,17 @@ pub fn run_comm_thread<T: Transport>(
                         segments,
                     )
                     .expect("all-gather failed");
+                    op2.end();
                     results
                         .send(CommResult::Params { group, params })
                         .expect("training thread hung up");
                 }
             }
             CommJob::AllReduce { group, mut grads } => {
+                let ar = trace::span(TaskKind::Communication, || format!("AR[g{group}]"));
                 ring_all_reduce_seg(&transport, &mut grads, ReduceOp::Sum, segments)
                     .expect("all-reduce failed");
+                ar.end();
                 let inv_p = 1.0 / world as f32;
                 for g in &mut grads {
                     *g *= inv_p;
@@ -309,6 +321,7 @@ pub fn run_comm_thread<T: Transport>(
                 // root-vs-peer mismatch splits the cluster into different
                 // fusion layouts. Ship the exact f64 as two f32 bit-words
                 // instead; tree_broadcast only copies, so bits survive.
+                let bc = trace::span(TaskKind::Communication, || "BCAST".to_string());
                 let bits = value.to_bits();
                 let mut buf = [
                     f32::from_bits((bits >> 32) as u32),
@@ -316,14 +329,17 @@ pub fn run_comm_thread<T: Transport>(
                 ];
                 tree_broadcast_seg(&transport, &mut buf, root, segments).expect("broadcast failed");
                 let bits = (u64::from(buf[0].to_bits()) << 32) | u64::from(buf[1].to_bits());
+                bc.end();
                 results
                     .send(CommResult::Broadcast(f64::from_bits(bits)))
                     .expect("training thread hung up");
             }
             CommJob::Barrier => {
+                let sp = trace::span(TaskKind::Communication, || "BARRIER".to_string());
                 let mut token = [0.0f32];
                 naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, segments)
                     .expect("barrier failed");
+                sp.end();
                 results
                     .send(CommResult::BarrierDone)
                     .expect("training thread hung up");

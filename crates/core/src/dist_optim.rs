@@ -8,6 +8,7 @@ use dear_minidnn::{softmax_cross_entropy, Layer, Optimizer, Sequential, Tensor};
 
 use crate::comm::{CommJob, CommLayout, CommResult, HyperParams, OptimState};
 use crate::layout::GroupLayout;
+use crate::trace::{self, TaskKind};
 
 /// Which pipelining scheme the runtime uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,8 @@ pub struct DistOptim {
     /// Local optimizer for WFBP mode.
     local_optim: Option<Box<dyn Optimizer>>,
     iter: u64,
+    /// Start of the currently-open feed-forward trace segment, if tracing.
+    fw_seg: Option<std::time::Instant>,
 }
 
 impl std::fmt::Debug for DistOptim {
@@ -75,7 +78,11 @@ impl DistOptim {
         results: Receiver<CommResult>,
         local_optim: Option<Box<dyn Optimizer>>,
         num_layers: usize,
+        trace_scope: &str,
     ) -> Self {
+        // The training loop runs on the constructing thread; name its
+        // stream so fw/bw spans pair with this worker's comm stream.
+        trace::set_thread_stream(trace_scope, "compute");
         let tracker = GroupTracker::new(layout.plan());
         let grad_stage = (0..layout.num_groups())
             .map(|g| vec![0.0; layout.group_elements(g)])
@@ -99,6 +106,7 @@ impl DistOptim {
             pending: 0,
             local_optim,
             iter: 0,
+            fw_seg: None,
         }
     }
 
@@ -135,12 +143,26 @@ impl DistOptim {
     ///
     /// Panics if the comm thread has died or label/batch shapes mismatch.
     pub fn train_step(&mut self, net: &mut Sequential, input: &Tensor, labels: &[usize]) -> f32 {
-        // FeedPipe: per-layer just-in-time parameter installation.
+        let iter = self.iter;
+        // FeedPipe: per-layer just-in-time parameter installation. The FF
+        // phase is recorded in segments that *exclude* the JIT waits
+        // (`wait_for_group` closes the open segment), so stalled all-gather
+        // time is not miscounted as hidden communication.
+        if trace::enabled() {
+            self.fw_seg = Some(std::time::Instant::now());
+        }
         let logits = net.forward_with_hook(input, |li, layer| self.pre_forward(li, layer));
         let (loss, dloss) = softmax_cross_entropy(&logits, labels);
+        if let Some(seg) = self.fw_seg.take() {
+            trace::span_starting_at(seg, TaskKind::FeedForward, || format!("FF[{iter}]")).end();
+        }
         net.zero_grads();
-        // BackPipe: communication launched as gradients become ready.
+        // BackPipe: communication launched as gradients become ready. The
+        // hook never blocks (jobs go to an unbounded channel), so this span
+        // is pure compute.
+        let bp = trace::span(TaskKind::Backprop, || format!("BP[{iter}]"));
         net.backward_with_hook(&dloss, |li, layer| self.grad_ready(li, layer));
+        bp.end();
         self.finish_iteration(net);
         loss
     }
@@ -169,6 +191,16 @@ impl DistOptim {
 
     /// Blocks until group `g`'s parameters have arrived.
     fn wait_for_group(&mut self, g: usize) {
+        if self.staged[g].is_some() {
+            return;
+        }
+        // Close the open feed-forward segment: time spent blocked here is a
+        // stall, not compute, and must not cover communication spans.
+        let iter = self.iter;
+        let wait = self.fw_seg.take().map(|seg| {
+            trace::span_starting_at(seg, TaskKind::FeedForward, || format!("FF[{iter}]")).end();
+            trace::span(TaskKind::Other, || format!("FFWAIT[g{g}]"))
+        });
         while self.staged[g].is_none() {
             match self.results.recv().expect("comm thread hung up") {
                 CommResult::Params { group, params } => {
@@ -177,6 +209,10 @@ impl DistOptim {
                 }
                 other => panic!("unexpected comm result during FeedPipe: {other:?}"),
             }
+        }
+        if let Some(w) = wait {
+            w.end();
+            self.fw_seg = Some(std::time::Instant::now());
         }
     }
 

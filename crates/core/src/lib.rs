@@ -55,6 +55,7 @@ mod cluster;
 mod comm;
 mod dist_optim;
 mod layout;
+pub mod trace;
 pub mod tuning;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, TrainCheckpoint};
@@ -62,5 +63,6 @@ pub use cluster::{
     run_training, run_worker, train_single_reference, DelayConfig, TrainConfig, WorkerHandle,
 };
 pub use comm::{CommLayout, HyperParams, OptimKind, OptimState};
+pub use dear_fusion as fusion;
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};

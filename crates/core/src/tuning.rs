@@ -2,7 +2,36 @@
 //! training (§IV-B): measure throughput over a window of steps, feed the
 //! tuner, agree on the next buffer size via broadcast, re-bucket.
 
+use std::time::{Duration, Instant};
+
 use dear_fusion::Tuner;
+
+/// A monotonic clock the tuning window reads. Injectable so tests can
+/// drive the timer deterministically; real runs use [`MonotonicClock`].
+pub trait Clock {
+    /// Time elapsed since an arbitrary fixed origin.
+    fn now(&self) -> Duration;
+}
+
+/// The wall clock: [`Instant`]-based, origin at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
 
 /// Drives the measure-suggest-rebucket cycle for one worker.
 ///
@@ -10,34 +39,79 @@ use dear_fusion::Tuner;
 /// suggestion through the collective broadcast. All ranks must construct
 /// the tuner with the same `window` and call [`OnlineTuning::on_step`]
 /// in lock-step.
+///
+/// The window timer starts when a window *opens* (at construction, and
+/// again the moment the previous window closes), so a closed window's
+/// elapsed time covers exactly its `window` step durations. Time spent in
+/// activities that are not training — checkpoint saves, evaluation — must
+/// be bracketed with [`OnlineTuning::pause`] / [`OnlineTuning::resume`] so
+/// it does not poison the throughput observations the GP regresses on.
 #[derive(Debug)]
-pub struct OnlineTuning<T> {
+pub struct OnlineTuning<T, C = MonotonicClock> {
     tuner: Option<T>,
     window: u64,
     steps_in_window: u64,
-    window_started: std::time::Instant,
+    /// Clock reading when the current window opened.
+    window_opened: Duration,
+    /// Paused time accumulated within the current window.
+    excluded: Duration,
+    /// Clock reading when the outermost open pause began.
+    pause_started: Option<Duration>,
+    /// Nesting depth of open pauses.
+    pause_depth: u32,
     samples_per_step: f64,
     current: f64,
+    clock: C,
 }
 
 impl<T: Tuner> OnlineTuning<T> {
-    /// Creates the driver. `tuner` is `Some` only on rank 0;
-    /// `samples_per_step` is the global batch size (for throughput);
-    /// `initial` is the starting buffer size in bytes.
+    /// Creates the driver over the wall clock. `tuner` is `Some` only on
+    /// rank 0; `samples_per_step` is the global batch size (for
+    /// throughput); `initial` is the starting buffer size in bytes.
     ///
     /// # Panics
     ///
     /// Panics if `window == 0`.
     #[must_use]
     pub fn new(tuner: Option<T>, window: u64, samples_per_step: f64, initial: f64) -> Self {
+        OnlineTuning::with_clock(
+            tuner,
+            window,
+            samples_per_step,
+            initial,
+            MonotonicClock::default(),
+        )
+    }
+}
+
+impl<T: Tuner, C: Clock> OnlineTuning<T, C> {
+    /// [`OnlineTuning::new`] with an explicit clock (tests inject a fake
+    /// one to verify the window arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_clock(
+        tuner: Option<T>,
+        window: u64,
+        samples_per_step: f64,
+        initial: f64,
+        clock: C,
+    ) -> Self {
         assert!(window > 0, "window must be positive");
+        let window_opened = clock.now();
         OnlineTuning {
             tuner,
             window,
             steps_in_window: 0,
-            window_started: std::time::Instant::now(),
+            window_opened,
+            excluded: Duration::ZERO,
+            pause_started: None,
+            pause_depth: 0,
             samples_per_step,
             current: initial,
+            clock,
         }
     }
 
@@ -51,18 +125,60 @@ impl<T: Tuner> OnlineTuning<T> {
     /// returns `Some(throughput)`: the caller must then obtain the next
     /// buffer size via [`OnlineTuning::next_suggestion`] + broadcast and
     /// re-bucket.
+    ///
+    /// Throughput is `samples_per_step · window / elapsed`, where elapsed
+    /// spans from the window's opening to this call, minus paused time —
+    /// i.e. exactly the sum of the window's `window` step durations.
     pub fn on_step(&mut self) -> Option<f64> {
-        if self.steps_in_window == 0 {
-            self.window_started = std::time::Instant::now();
-        }
         self.steps_in_window += 1;
         if self.steps_in_window < self.window {
             return None;
         }
-        let elapsed = self.window_started.elapsed().as_secs_f64().max(1e-9);
-        let throughput = self.samples_per_step * self.window as f64 / elapsed;
+        let now = self.clock.now();
+        // A still-open pause contributes up to `now`; the remainder is
+        // excluded from the next window when it eventually resumes.
+        let open_pause = self
+            .pause_started
+            .map_or(Duration::ZERO, |p| now.saturating_sub(p));
+        let elapsed = now
+            .saturating_sub(self.window_opened)
+            .saturating_sub(self.excluded)
+            .saturating_sub(open_pause);
+        let throughput =
+            self.samples_per_step * self.window as f64 / elapsed.as_secs_f64().max(1e-9);
+        // The next window opens now.
         self.steps_in_window = 0;
+        self.window_opened = now;
+        self.excluded = Duration::ZERO;
+        if self.pause_started.is_some() {
+            self.pause_started = Some(now);
+        }
         Some(throughput)
+    }
+
+    /// Excludes subsequent time from the throughput measurement until the
+    /// matching [`OnlineTuning::resume`] — wrap checkpoint saves and other
+    /// non-training work. Pauses nest.
+    pub fn pause(&mut self) {
+        self.pause_depth += 1;
+        if self.pause_depth == 1 {
+            self.pause_started = Some(self.clock.now());
+        }
+    }
+
+    /// Ends the pause opened by the matching [`OnlineTuning::pause`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no open pause.
+    pub fn resume(&mut self) {
+        assert!(self.pause_depth > 0, "resume without a matching pause");
+        self.pause_depth -= 1;
+        if self.pause_depth == 0 {
+            if let Some(p) = self.pause_started.take() {
+                self.excluded += self.clock.now().saturating_sub(p);
+            }
+        }
     }
 
     /// Rank 0: records the window's throughput at the current buffer size
@@ -86,6 +202,27 @@ impl<T: Tuner> OnlineTuning<T> {
 mod tests {
     use super::*;
     use dear_fusion::{Domain, RandomSearch};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A hand-cranked clock: milliseconds advanced explicitly by the test.
+    #[derive(Clone)]
+    struct FakeClock(Rc<Cell<u64>>);
+
+    impl FakeClock {
+        fn new() -> Self {
+            FakeClock(Rc::new(Cell::new(0)))
+        }
+        fn advance_ms(&self, ms: u64) {
+            self.0.set(self.0.get() + ms);
+        }
+    }
+
+    impl Clock for FakeClock {
+        fn now(&self) -> Duration {
+            Duration::from_millis(self.0.get())
+        }
+    }
 
     #[test]
     fn window_closes_after_exactly_window_steps() {
@@ -96,6 +233,91 @@ mod tests {
         assert!(thr > 0.0);
         // Next window restarts the counter.
         assert!(t.on_step().is_none());
+    }
+
+    #[test]
+    fn window_measures_sum_of_step_durations() {
+        // Regression for the off-by-one: the timer used to start on the
+        // first `on_step` call — *after* the window's first step had
+        // already run — dividing `window` steps by `window − 1` durations
+        // (a 2× inflation at window = 2). Two consecutive windows must
+        // each measure exactly the sum of their own step durations.
+        let clk = FakeClock::new();
+        let mut t: OnlineTuning<RandomSearch, _> =
+            OnlineTuning::with_clock(None, 2, 32.0, 1e6, clk.clone());
+        // Window 1: steps of 10 ms and 20 ms.
+        clk.advance_ms(10);
+        assert!(t.on_step().is_none());
+        clk.advance_ms(20);
+        let thr1 = t.on_step().expect("window 1 closes");
+        assert!((thr1 - 32.0 * 2.0 / 0.030).abs() < 1e-6, "thr1 = {thr1}");
+        // Window 2 opens at the close of window 1: steps of 30 ms and 40 ms.
+        clk.advance_ms(30);
+        assert!(t.on_step().is_none());
+        clk.advance_ms(40);
+        let thr2 = t.on_step().expect("window 2 closes");
+        assert!((thr2 - 32.0 * 2.0 / 0.070).abs() < 1e-6, "thr2 = {thr2}");
+    }
+
+    #[test]
+    fn paused_time_is_excluded_from_the_window() {
+        // A 390 ms checkpoint save between two 10 ms steps must not poison
+        // the observation: throughput = samples·window / (10 ms + 10 ms).
+        let clk = FakeClock::new();
+        let mut t: OnlineTuning<RandomSearch, _> =
+            OnlineTuning::with_clock(None, 2, 32.0, 1e6, clk.clone());
+        clk.advance_ms(10);
+        assert!(t.on_step().is_none());
+        t.pause();
+        clk.advance_ms(390); // checkpoint save
+        t.resume();
+        clk.advance_ms(10);
+        let thr = t.on_step().expect("window closes");
+        assert!((thr - 32.0 * 2.0 / 0.020).abs() < 1e-6, "thr = {thr}");
+    }
+
+    #[test]
+    fn open_pause_spanning_a_window_boundary_is_split() {
+        let clk = FakeClock::new();
+        let mut t: OnlineTuning<RandomSearch, _> =
+            OnlineTuning::with_clock(None, 1, 10.0, 1e6, clk.clone());
+        clk.advance_ms(10);
+        t.pause();
+        clk.advance_ms(100);
+        // Window 1 closes mid-pause: only the 10 ms of unpaused time counts.
+        let thr1 = t.on_step().expect("window 1 closes");
+        assert!((thr1 - 10.0 / 0.010).abs() < 1e-6, "thr1 = {thr1}");
+        // The pause continues into window 2 for another 50 ms.
+        clk.advance_ms(50);
+        t.resume();
+        clk.advance_ms(25);
+        let thr2 = t.on_step().expect("window 2 closes");
+        assert!((thr2 - 10.0 / 0.025).abs() < 1e-6, "thr2 = {thr2}");
+    }
+
+    #[test]
+    fn nested_pauses_exclude_the_outer_interval() {
+        let clk = FakeClock::new();
+        let mut t: OnlineTuning<RandomSearch, _> =
+            OnlineTuning::with_clock(None, 1, 10.0, 1e6, clk.clone());
+        clk.advance_ms(5);
+        t.pause();
+        clk.advance_ms(20);
+        t.pause(); // nested
+        clk.advance_ms(20);
+        t.resume();
+        clk.advance_ms(20);
+        t.resume(); // outer pause ends: 60 ms excluded in total
+        clk.advance_ms(5);
+        let thr = t.on_step().expect("window closes");
+        assert!((thr - 10.0 / 0.010).abs() < 1e-6, "thr = {thr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "resume without a matching pause")]
+    fn unbalanced_resume_panics() {
+        let mut t: OnlineTuning<RandomSearch> = OnlineTuning::new(None, 2, 1.0, 1.0);
+        t.resume();
     }
 
     #[test]

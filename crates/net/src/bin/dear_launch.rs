@@ -31,6 +31,11 @@ options:
   --timeout-secs T     kill everything after T seconds
   --demo               run the built-in DeAR training demo as the worker
   --steps S            demo training steps (default 30)
+  --trace PATH         record per-rank Chrome traces (sets DEAR_TRACE;
+                       each rank writes PATH.rank<R>.json, loadable in
+                       ui.perfetto.dev, plus an overlap summary on stderr)
+  --tune-window K      measure throughput over K-step BO windows in the
+                       demo (sets DEAR_TUNE_WINDOW)
 
 elastic options (any of these selects the supervised-restart path):
   --max-restarts R     relaunch a failed world up to R times (default 0)
@@ -103,6 +108,18 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                 let ms: u64 = v.parse().map_err(|_| format!("bad --backoff-ms {v}"))?;
                 policy.backoff = Duration::from_millis(ms);
                 elastic = true;
+            }
+            "--trace" => {
+                let v = take_value(&args, &mut i, "--trace")?;
+                if v.is_empty() {
+                    return Err("--trace needs a non-empty path".to_string());
+                }
+                opts.env.push(("DEAR_TRACE".to_string(), v));
+            }
+            "--tune-window" => {
+                let v = take_value(&args, &mut i, "--tune-window")?;
+                let _: u64 = v.parse().map_err(|_| format!("bad --tune-window {v}"))?;
+                opts.env.push(("DEAR_TUNE_WINDOW".to_string(), v));
             }
             "--ckpt-dir" => {
                 let v = take_value(&args, &mut i, "--ckpt-dir")?;

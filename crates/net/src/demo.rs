@@ -3,6 +3,9 @@
 //! as a copy-paste template for real deployments.
 
 use dear_collectives::{naive_all_reduce, ReduceOp, Transport};
+use dear_core::fusion::RandomSearch;
+use dear_core::trace::{self, OverlapSummary};
+use dear_core::tuning::OnlineTuning;
 use dear_core::{run_worker, CheckpointStore, TrainCheckpoint, TrainConfig};
 use dear_minidnn::{softmax_cross_entropy, BlobDataset, Linear, Relu, Sequential};
 use rand::rngs::StdRng;
@@ -92,6 +95,7 @@ fn demo_net(seed: u64) -> Sequential {
 /// `DEAR_RECV_TIMEOUT_MS` or a disconnect surfaced — or when a checkpoint
 /// write fails.
 pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
+    trace::init_from_env();
     let cfg = NetConfig::from_env()?;
     let transport = TcpEndpoint::connect(&cfg)?;
     let rank = transport.rank();
@@ -158,9 +162,25 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
         fusion_buffer: Some(512), // several groups => real pipelining
         ..TrainConfig::default()
     };
+    // Optional throughput measurement over BO-style tuning windows
+    // (`DEAR_TUNE_WINDOW` steps per window, 0/unset = off). Checkpoint
+    // saves are bracketed with pause()/resume() so their cost never lands
+    // inside a window's observation.
+    let tune_window: u64 = std::env::var("DEAR_TUNE_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let (eval_loss, params_hash) = run_worker(transport, train_cfg, move |handle| {
         let mut net = demo_net(7);
         let mut optim = handle.into_optim(&net);
+        let mut tuning: Option<OnlineTuning<RandomSearch>> = (tune_window > 0).then(|| {
+            OnlineTuning::new(
+                None,
+                tune_window,
+                (8 * world) as f64,
+                train_cfg.fusion_buffer.unwrap_or(0) as f64,
+            )
+        });
         if let Some(ckpt) = resume {
             net.set_flat_params(&ckpt.params);
             optim.import_optim_state(ckpt.optim);
@@ -180,9 +200,15 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
                         rng: Vec::new(),
                         tuner: None,
                     };
+                    if let Some(t) = tuning.as_mut() {
+                        t.pause();
+                    }
                     store
                         .save(&ckpt)
                         .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
+                    if let Some(t) = tuning.as_mut() {
+                        t.resume();
+                    }
                 }
             }
             if exit_here && step == exit_step {
@@ -191,6 +217,14 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
             }
             let (x, labels) = data.shard(step, 8 * world, rank, world);
             let _ = optim.train_step(&mut net, &x, &labels);
+            if let Some(t) = tuning.as_mut() {
+                if let Some(throughput) = t.on_step() {
+                    eprintln!(
+                        "dear-tune rank={rank} window={tune_window} \
+                         throughput={throughput:.1} samples/s"
+                    );
+                }
+            }
         }
         optim.synchronize(&mut net);
         let (x, labels) = data.batch(1_000_000, 64);
@@ -198,6 +232,20 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
         let (loss, _) = softmax_cross_entropy(&logits, &labels);
         (loss, hash_params(&net.flat_params()))
     });
+    // End-of-run trace dump: one Perfetto-loadable file per rank plus a
+    // greppable overlap summary line on stderr.
+    if let Some(prefix) = trace::configured_path() {
+        let tl = trace::timeline();
+        let path = std::path::PathBuf::from(format!("{}.rank{rank}.json", prefix.display()));
+        match trace::write_chrome_trace(&path, &tl) {
+            Ok(()) => eprintln!("dear-trace rank={rank} wrote {}", path.display()),
+            Err(e) => eprintln!("dear-trace rank={rank} dump failed: {e}"),
+        }
+        eprintln!(
+            "{}",
+            OverlapSummary::from_timeline(&tl).to_line(&format!("rank{rank}"))
+        );
+    }
     Ok(DemoSummary {
         rank,
         world,

@@ -59,18 +59,53 @@
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{IpAddr, Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dear_collectives::{CollectiveError, Message, Transport};
+use dear_core::trace;
 
 use crate::config::{NetConfig, NetError};
 use crate::frame::{
     decode_f32s, decode_generation, decode_ident, encode_data_body, encode_generation,
     encode_ident, read_frame, split_data_body, write_frame, FrameKind, Hello, Welcome,
+    MAX_FRAME_BYTES,
 };
+
+/// Bytes of frame overhead per wire frame (the 5-byte header).
+const FRAME_HEADER_BYTES: u64 = 5;
+
+/// Per-peer traffic counters, bumped lock-free by the reader/writer threads
+/// and the send path. Snapshot via [`TcpEndpoint::stats`].
+#[derive(Default)]
+struct PeerCounters {
+    bytes_sent: AtomicU64,
+    bytes_recv: AtomicU64,
+    send_retries: AtomicU64,
+}
+
+/// A snapshot of one peer link's traffic from [`TcpEndpoint::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerStats {
+    /// The remote rank.
+    pub peer: usize,
+    /// Wire bytes written to this peer (headers included).
+    pub bytes_sent: u64,
+    /// Wire bytes read from this peer (headers included).
+    pub bytes_recv: u64,
+    /// Times a send found the outbox full and had to back off.
+    pub send_retries: u64,
+}
+
+/// The wire size of a data body carrying `elements` `f32`s (generation
+/// stamp + payload), when it exceeds the frame limit.
+fn oversize_bytes(elements: usize) -> Option<u64> {
+    let bytes = 8 + 4 * elements as u64;
+    (bytes > MAX_FRAME_BYTES as u64).then_some(bytes)
+}
 
 /// Buffers kept in the shared pool; bounds pool memory at roughly
 /// `POOL_CAP × largest-segment` elements (matches `LocalEndpoint`).
@@ -182,6 +217,7 @@ pub struct TcpEndpoint {
     inboxes: Vec<Option<Mutex<Receiver<Vec<f32>>>>>,
     pool: Arc<BufferPool>,
     health: Arc<Health>,
+    counters: Arc<Vec<PeerCounters>>,
     writers: Vec<JoinHandle<()>>,
     readers: Vec<JoinHandle<()>>,
     /// The heartbeat monitor: a stop channel plus its join handle.
@@ -245,16 +281,24 @@ impl TcpEndpoint {
                 inboxes: vec![None],
                 pool: Arc::new(BufferPool::default()),
                 health: Arc::new(Health::new(1)),
+                counters: Arc::new(vec![PeerCounters::default()]),
                 writers: Vec::new(),
                 readers: Vec::new(),
                 monitor: None,
                 peer_streams: Vec::new(),
             });
         }
+        let t0 = Instant::now();
         let (rank, streams) = match cfg.rank {
             Some(0) => rendezvous_master(cfg, pre)?,
             _ => rendezvous_worker(cfg)?,
         };
+        trace::record(
+            &format!("net.r{rank}/net"),
+            trace::TaskKind::Other,
+            || format!("rendezvous[g{}]", cfg.generation),
+            t0,
+        );
         Self::from_mesh(rank, cfg, streams)
     }
 
@@ -268,6 +312,8 @@ impl TcpEndpoint {
         let world = cfg.world;
         let pool = Arc::new(BufferPool::default());
         let health = Arc::new(Health::new(world));
+        let counters: Arc<Vec<PeerCounters>> =
+            Arc::new((0..world).map(|_| PeerCounters::default()).collect());
         let mut outboxes = Vec::with_capacity(world);
         let mut inboxes = Vec::with_capacity(world);
         let mut writers = Vec::new();
@@ -305,14 +351,24 @@ impl TcpEndpoint {
             let (otx, orx) = mpsc::sync_channel(cfg.outbox_frames);
             let (itx, irx) = mpsc::channel();
             let wpool = Arc::clone(&pool);
+            let wcounters = Arc::clone(&counters);
             let generation = cfg.generation;
             writers.push(std::thread::spawn(move || {
-                writer_loop(wstream, generation, orx, &wpool)
+                writer_loop(wstream, generation, orx, &wpool, &wcounters[peer])
             }));
             let rpool = Arc::clone(&pool);
             let rhealth = Arc::clone(&health);
+            let rcounters = Arc::clone(&counters);
             readers.push(std::thread::spawn(move || {
-                reader_loop(stream, peer, generation, itx, &rpool, &rhealth)
+                reader_loop(
+                    stream,
+                    peer,
+                    generation,
+                    itx,
+                    &rpool,
+                    &rhealth,
+                    &rcounters[peer],
+                )
             }));
             outboxes.push(Some(otx));
             inboxes.push(Some(Mutex::new(irx)));
@@ -348,11 +404,30 @@ impl TcpEndpoint {
             inboxes,
             pool,
             health,
+            counters,
             writers,
             readers,
             monitor,
             peer_streams,
         })
+    }
+
+    /// Per-peer wire traffic so far, in rank order (own rank omitted):
+    /// bytes written, bytes read, and send-side backoff retries. Cheap —
+    /// relaxed atomic reads — so callers may poll it mid-run.
+    #[must_use]
+    pub fn stats(&self) -> Vec<PeerStats> {
+        self.counters
+            .iter()
+            .enumerate()
+            .filter(|&(peer, _)| peer != self.rank)
+            .map(|(peer, c)| PeerStats {
+                peer,
+                bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+                bytes_recv: c.bytes_recv.load(Ordering::Relaxed),
+                send_retries: c.send_retries.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// The world generation this endpoint was created in (the elastic
@@ -402,9 +477,13 @@ fn heartbeat_monitor(
         }
         // Probe: a full outbox means data is flowing, which is liveness
         // enough on its own — skip rather than block the monitor.
+        let mut probes = 0usize;
         for tx in outboxes.iter().flatten() {
-            let _ = tx.try_send(WriterCmd::Heartbeat);
+            if tx.try_send(WriterCmd::Heartbeat).is_ok() {
+                probes += 1;
+            }
         }
+        trace::add_counter("net.heartbeat_probes", probes as f64);
         let now = Instant::now();
         let verdict = {
             let mut h = health.inner.lock().expect("health poisoned");
@@ -442,7 +521,13 @@ fn heartbeat_monitor(
 /// buffer. Exits on a `Shutdown` command (writing a graceful shutdown
 /// frame), on channel close (endpoint dropped), or on a write error —
 /// writes carry a socket deadline, so a wedged peer cannot block forever.
-fn writer_loop(stream: TcpStream, generation: u64, orx: Receiver<WriterCmd>, pool: &BufferPool) {
+fn writer_loop(
+    stream: TcpStream,
+    generation: u64,
+    orx: Receiver<WriterCmd>,
+    pool: &BufferPool,
+    counters: &PeerCounters,
+) {
     let mut w = BufWriter::with_capacity(64 * 1024, stream);
     let mut bytes = Vec::new();
     while let Ok(cmd) = orx.recv() {
@@ -454,6 +539,9 @@ fn writer_loop(stream: TcpStream, generation: u64, orx: Receiver<WriterCmd>, poo
                 if !ok || w.flush().is_err() {
                     return; // dropping orx signals Disconnected to senders
                 }
+                counters
+                    .bytes_sent
+                    .fetch_add(FRAME_HEADER_BYTES + bytes.len() as u64, Ordering::Relaxed);
             }
             WriterCmd::Heartbeat => {
                 if write_frame(&mut w, FrameKind::Heartbeat, &encode_generation(generation))
@@ -462,6 +550,9 @@ fn writer_loop(stream: TcpStream, generation: u64, orx: Receiver<WriterCmd>, poo
                 {
                     return;
                 }
+                counters
+                    .bytes_sent
+                    .fetch_add(FRAME_HEADER_BYTES + 8, Ordering::Relaxed);
             }
             WriterCmd::Shutdown => {
                 let _ = write_frame(&mut w, FrameKind::Shutdown, &[]);
@@ -480,6 +571,7 @@ fn writer_loop(stream: TcpStream, generation: u64, orx: Receiver<WriterCmd>, poo
 /// [`CollectiveError::StaleGeneration`] on the receive side). Dropping the
 /// inbox sender is what turns a dead peer into
 /// [`CollectiveError::Disconnected`].
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     stream: TcpStream,
     peer: usize,
@@ -487,11 +579,18 @@ fn reader_loop(
     itx: mpsc::Sender<Vec<f32>>,
     pool: &BufferPool,
     health: &Health,
+    counters: &PeerCounters,
 ) {
     let mut r = BufReader::with_capacity(64 * 1024, stream);
     let mut body = Vec::new();
     loop {
-        match read_frame(&mut r, &mut body) {
+        let frame = read_frame(&mut r, &mut body);
+        if frame.is_ok() {
+            counters
+                .bytes_recv
+                .fetch_add(FRAME_HEADER_BYTES + body.len() as u64, Ordering::Relaxed);
+        }
+        match frame {
             Ok(FrameKind::Data) => {
                 health.saw(peer);
                 let Ok((stamp, raw)) = split_data_body(&body) else {
@@ -539,6 +638,16 @@ impl Transport for TcpEndpoint {
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
         self.check_peer(to)?;
+        if let Some(bytes) = oversize_bytes(msg.len()) {
+            // The frame header's length field is a u32; letting this
+            // through would truncate on the wire and desynchronize the
+            // peer's stream.
+            return Err(CollectiveError::Oversize {
+                peer: to,
+                bytes,
+                max: MAX_FRAME_BYTES as u64,
+            });
+        }
         let tx = self.outboxes[to].as_ref().expect("validated peer");
         let mut cmd = WriterCmd::Data(msg.into_wire_payload());
         let deadline = Instant::now() + self.send_timeout;
@@ -546,6 +655,9 @@ impl Transport for TcpEndpoint {
             match tx.try_send(cmd) {
                 Ok(()) => return Ok(()),
                 Err(TrySendError::Full(c)) => {
+                    self.counters[to]
+                        .send_retries
+                        .fetch_add(1, Ordering::Relaxed);
                     if Instant::now() >= deadline {
                         return Err(CollectiveError::Timeout {
                             peer: to,
@@ -636,6 +748,20 @@ impl Drop for TcpEndpoint {
         }
         for h in self.readers.drain(..) {
             let _ = h.join();
+        }
+        // With threads joined the counters are final: fold them into the
+        // trace recorder so per-peer traffic rides along in the dump.
+        if trace::enabled() {
+            let r = self.rank;
+            for st in self.stats() {
+                let p = st.peer;
+                trace::add_counter(&format!("net.r{r}.p{p}.bytes_sent"), st.bytes_sent as f64);
+                trace::add_counter(&format!("net.r{r}.p{p}.bytes_recv"), st.bytes_recv as f64);
+                trace::add_counter(
+                    &format!("net.r{r}.p{p}.send_retries"),
+                    st.send_retries as f64,
+                );
+            }
         }
     }
 }
@@ -977,6 +1103,48 @@ mod tests {
         let again = b.take_buffer(4);
         assert!(again.is_empty());
         assert_eq!(again.capacity(), cap, "pool should hand back the buffer");
+    }
+
+    #[test]
+    fn oversize_send_is_rejected_before_framing() {
+        // Boundary arithmetic on the helper (a real boundary payload would
+        // be a 1 GiB allocation): the stamp's 8 bytes count against the
+        // frame limit, so the largest sendable payload is
+        // (MAX_FRAME_BYTES − 8) / 4 elements.
+        let fits = (MAX_FRAME_BYTES - 8) / 4;
+        assert_eq!(oversize_bytes(fits), None);
+        assert_eq!(
+            oversize_bytes(fits + 1),
+            Some(MAX_FRAME_BYTES as u64 + 4),
+            "one element past the boundary must be flagged"
+        );
+    }
+
+    #[test]
+    fn stats_count_wire_bytes_both_ways() {
+        let mut eps = tcp_loopback(2).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![1.0, 2.0].into()).unwrap();
+        let msg = b.recv(0).unwrap();
+        assert_eq!(msg.len(), 2);
+        // One data frame: 5-byte header + 8-byte stamp + 2 × 4 payload.
+        let expect = FRAME_HEADER_BYTES + 8 + 8;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let sent = a.stats().iter().map(|s| s.bytes_sent).sum::<u64>();
+            let recv = b.stats().iter().map(|s| s.bytes_recv).sum::<u64>();
+            if sent >= expect && recv >= expect {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "counters never reached {expect}: sent={sent} recv={recv}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(a.stats()[0].peer, 1);
+        assert_eq!(b.stats()[0].peer, 0);
     }
 
     #[test]

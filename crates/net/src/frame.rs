@@ -61,13 +61,34 @@ impl FrameKind {
 /// corruption rather than honoured with a giant allocation.
 pub const MAX_FRAME_BYTES: usize = 1 << 30;
 
+/// Checks that a body of `len` bytes fits in a frame. The header's length
+/// field is a `u32`, so a body over [`MAX_FRAME_BYTES`] must be rejected
+/// here — `len as u32` would silently truncate at 4 GiB and desynchronize
+/// the stream (the peer would read the truncated length, then misparse the
+/// remaining bytes as headers).
+///
+/// # Errors
+///
+/// Returns `InvalidData` when `len > MAX_FRAME_BYTES`.
+pub fn check_body_len(len: usize) -> io::Result<()> {
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    Ok(())
+}
+
 /// Writes one frame. `body` is borrowed; the caller keeps its buffer.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the underlying writer.
+/// Returns `InvalidData` (via [`check_body_len`]) for bodies over
+/// [`MAX_FRAME_BYTES`]; otherwise propagates I/O errors from the
+/// underlying writer.
 pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, body: &[u8]) -> io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME_BYTES);
+    check_body_len(body.len())?;
     let mut header = [0u8; 5];
     header[0] = kind as u8;
     header[1..5].copy_from_slice(&(body.len() as u32).to_le_bytes());
@@ -342,6 +363,22 @@ mod tests {
         assert_eq!(
             read_frame(&mut cursor, &mut body).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversize_body_is_rejected_at_the_boundary() {
+        // The length check is factored out so the boundary is testable
+        // without allocating a gigabyte: exactly MAX is fine, MAX + 1 is
+        // InvalidData (never a silent `as u32` truncation).
+        assert!(check_body_len(MAX_FRAME_BYTES).is_ok());
+        assert_eq!(
+            check_body_len(MAX_FRAME_BYTES + 1).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(
+            check_body_len(u32::MAX as usize + 1).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
         );
     }
 

@@ -54,7 +54,7 @@ mod loopback;
 pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 pub use config::{NetConfig, NetError};
 pub use demo::{hash_params, run_demo_worker, DemoSummary};
-pub use endpoint::TcpEndpoint;
+pub use endpoint::{PeerStats, TcpEndpoint};
 pub use launch::{
     free_port, launch_world, launch_world_elastic, ElasticOutcome, LaunchOptions, RestartPolicy,
     WorldGuard, WorldOutcome,

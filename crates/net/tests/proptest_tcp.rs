@@ -57,7 +57,7 @@ fn all_algorithms<T: Transport>(t: &T, d: usize, salt: u64, seg: SegmentConfig) 
     outs.push(data);
     // Hierarchical needs a factorisation of the world; use the smallest
     // non-trivial node count so both the intra- and inter-node phases run.
-    let nodes = (2..=world).find(|n| world % n == 0).unwrap_or(1);
+    let nodes = (2..=world).find(|n| world.is_multiple_of(*n)).unwrap_or(1);
     let shape = ClusterShape::new(nodes, world / nodes);
     let mut data = rank_data(t.rank(), d, salt);
     hierarchical_all_reduce_seg(t, shape, &mut data, ReduceOp::Sum, seg).unwrap();

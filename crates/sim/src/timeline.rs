@@ -175,6 +175,42 @@ impl Timeline {
         id
     }
 
+    /// Records a task with explicit *measured* start and end instants,
+    /// bypassing the dependency/stream-availability scheduler.
+    ///
+    /// This is how wall-clock spans captured from a real run (see
+    /// `dear-core::trace`) enter a timeline so that [`Timeline::exposed_time`],
+    /// [`Timeline::busy_time`], [`Timeline::assert_streams_serial`] and the
+    /// Chrome-trace export all apply to measured data unchanged. The stream's
+    /// `free_at` is advanced to `end` if the span extends it, so mixing
+    /// recorded and scheduled tasks stays consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is invalid or `end < start`.
+    pub fn record_span(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        kind: TaskKind,
+        start: SimTime,
+        end: SimTime,
+    ) -> TaskId {
+        assert!(end >= start, "record_span: end precedes start");
+        let free_at = &mut self.streams[stream.0].free_at;
+        *free_at = (*free_at).max(end);
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            id,
+            stream,
+            label: label.into(),
+            kind,
+            start,
+            end,
+        });
+        id
+    }
+
     /// The recorded task for `id`.
     ///
     /// # Panics
@@ -459,6 +495,67 @@ mod tests {
         assert_eq!(tl.stream_busy_time(StreamId(0)), us(23));
         let totals = tl.kind_totals();
         assert_eq!(totals[&TaskKind::FeedForward], us(12));
+    }
+
+    #[test]
+    fn record_span_places_task_at_measured_times() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("comm");
+        let t = tl.record_span(
+            s,
+            "OP1",
+            TaskKind::Communication,
+            SimTime::from_nanos(5_000),
+            SimTime::from_nanos(9_000),
+        );
+        assert_eq!(tl.task(t).start.as_nanos(), 5_000);
+        assert_eq!(tl.task(t).end.as_nanos(), 9_000);
+        assert_eq!(tl.stream_free_at(s).as_nanos(), 9_000);
+        // A scheduled task afterwards queues behind the recorded span.
+        let u = tl.schedule(s, "next", TaskKind::Other, us(1), &[]);
+        assert_eq!(tl.task(u).start.as_nanos(), 9_000);
+        tl.assert_streams_serial();
+    }
+
+    #[test]
+    fn record_span_feeds_exposed_time() {
+        let mut tl = Timeline::new();
+        let c = tl.add_stream("compute");
+        let n = tl.add_stream("comm");
+        // compute [0,50); comm [30,90) — same shape as the scheduled-path
+        // test above, but entered as measured spans.
+        tl.record_span(
+            c,
+            "bp",
+            TaskKind::Backprop,
+            SimTime::ZERO,
+            SimTime::from_nanos(50_000),
+        );
+        tl.record_span(
+            n,
+            "ar",
+            TaskKind::Communication,
+            SimTime::from_nanos(30_000),
+            SimTime::from_nanos(90_000),
+        );
+        assert_eq!(
+            tl.exposed_time(TaskKind::Communication, &[TaskKind::Backprop]),
+            us(40)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "end precedes start")]
+    fn record_span_rejects_negative_duration() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("s");
+        tl.record_span(
+            s,
+            "bad",
+            TaskKind::Other,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(5),
+        );
     }
 
     #[test]

@@ -11,6 +11,15 @@ use crate::timeline::Timeline;
 /// inspect schedules visually.
 #[must_use]
 pub fn to_chrome_trace(tl: &Timeline) -> String {
+    to_chrome_trace_with_counters(tl, &[])
+}
+
+/// [`to_chrome_trace`] plus one counter (`"C"`) event per `(name, value)`
+/// pair, emitted at the timeline's finish time. Real runs use this to attach
+/// end-of-run totals (per-peer bytes, send retries, heartbeats) to the same
+/// Perfetto dump as the spans.
+#[must_use]
+pub fn to_chrome_trace_with_counters(tl: &Timeline, counters: &[(String, f64)]) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     // Thread-name metadata so streams are labelled.
@@ -26,7 +35,10 @@ pub fn to_chrome_trace(tl: &Timeline) -> String {
         ));
     }
     for task in tl.tasks() {
-        out.push_str(",\n");
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
         out.push_str(&format!(
             "  {{\"name\":{},\"cat\":\"{:?}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
              \"ts\":{:.3},\"dur\":{:.3}}}",
@@ -35,6 +47,18 @@ pub fn to_chrome_trace(tl: &Timeline) -> String {
             task.stream.0,
             task.start.as_nanos() as f64 / 1e3,
             task.duration().as_nanos() as f64 / 1e3,
+        ));
+    }
+    let counter_ts = tl.finish_time().as_nanos() as f64 / 1e3;
+    for (name, value) in counters {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"name\":{},\"ph\":\"C\",\"pid\":1,\"ts\":{counter_ts:.3},\
+             \"args\":{{\"value\":{value}}}}}",
+            json_string(name),
         ));
     }
     out.push_str("\n]\n");
@@ -99,6 +123,23 @@ mod tests {
     fn labels_are_escaped() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn counters_emit_counter_events() {
+        let mut tl = Timeline::new();
+        let s = tl.add_stream("net");
+        tl.schedule(s, "t", TaskKind::Other, SimDuration::from_micros(2), &[]);
+        let counters = vec![
+            ("bytes_sent_to_1".to_string(), 4096.0),
+            ("send_retries_to_1".to_string(), 3.0),
+        ];
+        let json = to_chrome_trace_with_counters(&tl, &counters);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 2);
+        assert!(json.contains("\"bytes_sent_to_1\""));
+        assert!(json.contains("\"value\":4096"));
+        // Counter events land at the timeline's finish time.
+        assert!(json.contains("\"ts\":2.000,\"args\""), "{json}");
     }
 
     #[test]
