@@ -12,24 +12,64 @@
 //! - [`Uniform8`]: block-wise uniform 8-bit quantization (QSGD-style).
 //! - [`ErrorFeedback`]: carries the compression residual into the next
 //!   iteration.
+//!
+//! Payloads are real byte strings ([`Compressed::payload`] is `Vec<u8>`,
+//! each compressor documents its encoding) and travel over transports as
+//! opaque [`DType::U8`] wire buffers — see [`Compressed::into_wire`] /
+//! [`Compressed::from_wire`].
 
 use crate::error::CollectiveError;
 use crate::transport::Transport;
+use crate::wire::{DType, WireBuf};
 
-/// A compressed gradient payload, encoded as a flat `f32` vector so it can
-/// travel over the same transports as dense gradients.
-#[derive(Debug, Clone, PartialEq)]
+/// A compressed gradient payload: an opaque byte string whose layout is
+/// defined by the compressor that produced it (all multi-byte fields are
+/// little-endian).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Compressed {
-    /// Opaque encoded payload (see each compressor's format).
-    pub payload: Vec<f32>,
+    /// Encoded payload bytes (see each compressor's documented format).
+    pub payload: Vec<u8>,
 }
 
 impl Compressed {
     /// Size in bytes on the wire.
     #[must_use]
     pub fn bytes(&self) -> u64 {
-        (self.payload.len() * 4) as u64
+        self.payload.len() as u64
     }
+
+    /// Wraps the payload as an opaque [`DType::U8`] wire buffer, ready to
+    /// travel over any [`Transport`].
+    #[must_use]
+    pub fn into_wire(self) -> WireBuf {
+        WireBuf::from_raw(DType::U8, self.payload).expect("U8 accepts any byte length")
+    }
+
+    /// Recovers a payload from a wire buffer. The buffer's dtype tag is not
+    /// interpreted (compressor payloads are self-describing); the
+    /// compressor's decoder validates the layout.
+    #[must_use]
+    pub fn from_wire(wire: WireBuf) -> Compressed {
+        Compressed {
+            payload: wire.into_bytes(),
+        }
+    }
+}
+
+fn read_u32(payload: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(
+        payload[off..off + 4]
+            .try_into()
+            .expect("bounds checked by caller"),
+    )
+}
+
+fn read_f32(payload: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes(
+        payload[off..off + 4]
+            .try_into()
+            .expect("bounds checked by caller"),
+    )
 }
 
 /// A lossy gradient compressor.
@@ -47,11 +87,23 @@ pub trait Compressor {
 
     /// The nominal compression ratio (compressed bytes / dense bytes).
     fn ratio(&self) -> f64;
+
+    /// [`Compressor::compress`] straight to an opaque wire buffer.
+    fn compress_wire(&self, data: &[f32]) -> WireBuf {
+        self.compress(data).into_wire()
+    }
+
+    /// [`Compressor::accumulate_into`] from a received wire buffer.
+    fn accumulate_wire(&self, wire: WireBuf, out: &mut [f32]) {
+        self.accumulate_into(&Compressed::from_wire(wire), out);
+    }
 }
 
 /// Magnitude top-k sparsification: keeps the `ratio` fraction of entries
-/// with the largest absolute values. Payload format: `[k, idx0, val0,
-/// idx1, val1, ...]` (indices exact in `f32` up to 2²⁴ elements).
+/// with the largest absolute values.
+///
+/// Payload encoding (little-endian): `[k: u32][(idx: u32)(val: f32)] × k`,
+/// with indices strictly increasing — `4 + 8k` bytes total.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopK {
     ratio: f64,
@@ -77,8 +129,8 @@ impl TopK {
 impl Compressor for TopK {
     fn compress(&self, data: &[f32]) -> Compressed {
         assert!(
-            data.len() < (1 << 24),
-            "top-k payload indices exceed exact f32 range"
+            u32::try_from(data.len()).is_ok(),
+            "top-k indices exceed the u32 payload field"
         );
         let k = self.k_for(data.len());
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -88,27 +140,26 @@ impl Compressor for TopK {
                 .partial_cmp(&data[a].abs())
                 .expect("gradients must be finite")
         });
-        let mut payload = Vec::with_capacity(1 + 2 * k);
-        payload.push(k as f32);
+        let mut payload = Vec::with_capacity(4 + 8 * k);
+        payload.extend_from_slice(&(k as u32).to_le_bytes());
         let mut kept: Vec<usize> = order.into_iter().take(k).collect();
         kept.sort_unstable();
         for idx in kept {
-            payload.push(idx as f32);
-            payload.push(data[idx]);
+            payload.extend_from_slice(&(idx as u32).to_le_bytes());
+            payload.extend_from_slice(&data[idx].to_le_bytes());
         }
         Compressed { payload }
     }
 
     fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]) {
-        let k = compressed.payload[0] as usize;
-        assert_eq!(
-            compressed.payload.len(),
-            1 + 2 * k,
-            "malformed top-k payload"
-        );
-        for pair in compressed.payload[1..].chunks_exact(2) {
-            let idx = pair[0] as usize;
-            out[idx] += pair[1];
+        let p = &compressed.payload;
+        assert!(p.len() >= 4, "malformed top-k payload");
+        let k = read_u32(p, 0) as usize;
+        assert_eq!(p.len(), 4 + 8 * k, "malformed top-k payload");
+        for i in 0..k {
+            let off = 4 + 8 * i;
+            let idx = read_u32(p, off) as usize;
+            out[idx] += read_f32(p, off + 4);
         }
     }
 
@@ -118,9 +169,11 @@ impl Compressor for TopK {
 }
 
 /// Block-wise uniform 8-bit quantization. Each block of `block` values is
-/// scaled into 255 levels between its min and max; the payload packs four
-/// quantized bytes per `f32` slot. Payload: `[len, nblocks, (min, max,
-/// packed...)* ]`.
+/// scaled into 255 levels between its min and max.
+///
+/// Payload encoding (little-endian): `[len: u32]` then per block
+/// `[lo: f32][hi: f32][q: u8 × block_len]` — one byte per value plus eight
+/// per block.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uniform8 {
     block: usize,
@@ -141,52 +194,47 @@ impl Uniform8 {
 
 impl Compressor for Uniform8 {
     fn compress(&self, data: &[f32]) -> Compressed {
-        let mut payload = vec![data.len() as f32];
+        assert!(
+            u32::try_from(data.len()).is_ok(),
+            "quantized length exceeds the u32 payload field"
+        );
+        let nblocks = data.len().div_ceil(self.block.max(1));
+        let mut payload = Vec::with_capacity(4 + 8 * nblocks + data.len());
+        payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
         for block in data.chunks(self.block) {
             let lo = block.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = block.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            payload.push(lo);
-            payload.push(hi);
+            payload.extend_from_slice(&lo.to_le_bytes());
+            payload.extend_from_slice(&hi.to_le_bytes());
             let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
-            // Pack 4 quantized bytes per f32 slot.
-            for four in block.chunks(4) {
-                let mut word = 0u32;
-                for (i, &v) in four.iter().enumerate() {
-                    let q = ((v - lo) * scale).round().clamp(0.0, 255.0) as u32;
-                    word |= q << (8 * i);
-                }
-                payload.push(f32::from_bits(word));
+            for &v in block {
+                let q = ((v - lo) * scale).round().clamp(0.0, 255.0) as u8;
+                payload.push(q);
             }
         }
         Compressed { payload }
     }
 
     fn accumulate_into(&self, compressed: &Compressed, out: &mut [f32]) {
-        let len = compressed.payload[0] as usize;
+        let p = &compressed.payload;
+        assert!(p.len() >= 4, "malformed quantized payload");
+        let len = read_u32(p, 0) as usize;
         assert_eq!(len, out.len(), "quantized payload length mismatch");
-        let mut cursor = 1usize;
+        let mut cursor = 4usize;
         let mut base = 0usize;
         while base < len {
             let block_len = self.block.min(len - base);
-            let lo = compressed.payload[cursor];
-            let hi = compressed.payload[cursor + 1];
-            cursor += 2;
+            let lo = read_f32(p, cursor);
+            let hi = read_f32(p, cursor + 4);
+            cursor += 8;
             let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
-            let words = block_len.div_ceil(4);
-            for w in 0..words {
-                let word = compressed.payload[cursor + w].to_bits();
-                for i in 0..4 {
-                    let pos = base + 4 * w + i;
-                    if pos >= base + block_len {
-                        break;
-                    }
-                    let q = (word >> (8 * i)) & 0xFF;
-                    out[pos] += lo + q as f32 * scale;
-                }
+            for i in 0..block_len {
+                out[base + i] += lo + f32::from(p[cursor + i]) * scale;
             }
-            cursor += words;
+            cursor += block_len;
             base += block_len;
         }
+        assert_eq!(cursor, p.len(), "malformed quantized payload");
     }
 
     fn ratio(&self) -> f64 {
@@ -243,17 +291,19 @@ impl ErrorFeedback {
 
 /// Ring all-gather of **variable-length** payloads: after the call every
 /// rank holds all `world` payloads, in rank order. `P−1` forwarding rounds.
+/// Payloads keep their dtype tags, so this moves opaque compressor bytes
+/// and numeric buffers alike.
 ///
 /// # Errors
 ///
 /// Propagates transport errors.
 pub fn ring_all_gather_variable<T: Transport>(
     t: &T,
-    own: Vec<f32>,
-) -> Result<Vec<Vec<f32>>, CollectiveError> {
+    own: WireBuf,
+) -> Result<Vec<WireBuf>, CollectiveError> {
     let world = t.world_size();
     let rank = t.rank();
-    let mut payloads: Vec<Option<Vec<f32>>> = (0..world).map(|_| None).collect();
+    let mut payloads: Vec<Option<WireBuf>> = (0..world).map(|_| None).collect();
     let next = (rank + 1) % world;
     let prev = (rank + world - 1) % world;
     let mut current = own.clone();
@@ -286,10 +336,10 @@ pub fn compressed_aggregate<T: Transport>(
     feedback: &mut ErrorFeedback,
 ) -> Result<(), CollectiveError> {
     let payload = feedback.compress_with_feedback(compressor, data);
-    let all = ring_all_gather_variable(t, payload.payload)?;
+    let all = ring_all_gather_variable(t, payload.into_wire())?;
     data.iter_mut().for_each(|x| *x = 0.0);
     for p in all {
-        compressor.accumulate_into(&Compressed { payload: p }, data);
+        compressor.accumulate_wire(p, data);
     }
     let inv = 1.0 / t.world_size() as f32;
     for x in data.iter_mut() {
@@ -317,9 +367,23 @@ mod tests {
         let data = vec![0.1, -5.0, 0.2, 3.0, -0.05];
         let c = TopK::new(0.4); // k = 2
         let payload = c.compress(&data);
+        // Documented encoding: [k u32][(idx u32)(val f32)] * k.
+        assert_eq!(payload.payload.len(), 4 + 8 * 2);
+        assert_eq!(payload.bytes(), 20);
         let mut out = vec![0.0; 5];
         c.accumulate_into(&payload, &mut out);
         assert_eq!(out, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_payload_layout_is_the_documented_bytes() {
+        let data = vec![0.0f32, 9.0, 0.0, -4.0];
+        let payload = TopK::new(0.5).compress(&data).payload;
+        assert_eq!(&payload[0..4], &2u32.to_le_bytes()); // k = 2
+        assert_eq!(&payload[4..8], &1u32.to_le_bytes()); // idx 1
+        assert_eq!(&payload[8..12], &9.0f32.to_le_bytes());
+        assert_eq!(&payload[12..16], &3u32.to_le_bytes()); // idx 3
+        assert_eq!(&payload[16..20], &(-4.0f32).to_le_bytes());
     }
 
     #[test]
@@ -335,8 +399,11 @@ mod tests {
     fn uniform8_bounded_error() {
         let data: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin()).collect();
         let c = Uniform8::new(256);
+        let payload = c.compress(&data);
+        // 4 blocks: 4 + 4*8 + 1000 bytes — about a quarter of 4000 dense.
+        assert_eq!(payload.bytes(), 4 + 32 + 1000);
         let mut out = vec![0.0; 1000];
-        c.accumulate_into(&c.compress(&data), &mut out);
+        c.accumulate_into(&payload, &mut out);
         let range = 2.0; // values span [-1, 1]
         let max_err = data
             .iter()
@@ -349,11 +416,25 @@ mod tests {
 
     #[test]
     fn uniform8_handles_constant_blocks_and_tails() {
-        let data = vec![7.0f32; 13]; // constant + non-multiple-of-4 tail
+        let data = vec![7.0f32; 13]; // constant + short tail block
         let c = Uniform8::new(8);
         let mut out = vec![0.0; 13];
         c.accumulate_into(&c.compress(&data), &mut out);
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn compressed_roundtrips_through_an_opaque_wire_buffer() {
+        let c = Uniform8::new(4);
+        let data = vec![0.25f32, -1.0, 3.5, 0.0, 2.0];
+        let wire = c.compress_wire(&data);
+        assert_eq!(wire.dtype(), DType::U8);
+        assert_eq!(wire.num_bytes() as u64, c.compress(&data).bytes());
+        let mut out = vec![0.0; 5];
+        c.accumulate_wire(wire, &mut out);
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() <= (4.5 / 255.0) + 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -379,12 +460,13 @@ mod tests {
     #[test]
     fn variable_all_gather_collects_all_payloads() {
         let results = run_world(4, |ep| {
-            let own: Vec<f32> = vec![ep.rank() as f32; ep.rank() + 1];
+            let own = WireBuf::from_raw(DType::U8, vec![ep.rank() as u8; ep.rank() + 1]).unwrap();
             ring_all_gather_variable(&ep, own).unwrap()
         });
         for payloads in results {
             for (rank, p) in payloads.iter().enumerate() {
-                assert_eq!(p, &vec![rank as f32; rank + 1]);
+                assert_eq!(p.dtype(), DType::U8);
+                assert_eq!(p.bytes(), &vec![rank as u8; rank + 1][..]);
             }
         }
     }

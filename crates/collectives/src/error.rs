@@ -60,6 +60,21 @@ pub enum CollectiveError {
         /// The wire format's maximum body size, in bytes.
         max: u64,
     },
+    /// A fabric-local `deliver_at` stamp reached a wire serialization
+    /// boundary. The stamp is an in-process [`std::time::Instant`] and
+    /// cannot cross a process boundary; a stamped message arriving at a
+    /// wire transport means a `DelayFabric` wraps a wire transport — a
+    /// composition bug that must fail loudly instead of silently dropping
+    /// timing semantics.
+    LocalStampOnWire,
+    /// A wire payload's byte length is not a whole number of elements of
+    /// its declared dtype — the frame is corrupt or mis-tagged.
+    WireFormat {
+        /// The declared element type's name.
+        dtype: &'static str,
+        /// The offending payload length, in bytes.
+        bytes: usize,
+    },
     /// A frame from `peer` carried a generation counter that does not match
     /// this world's generation — the peer belongs to a previous incarnation
     /// of a restarted world and its traffic must not be mixed into current
@@ -105,6 +120,19 @@ impl fmt::Display for CollectiveError {
                 write!(
                     f,
                     "message to peer {peer} is {bytes} bytes, over the {max}-byte frame limit"
+                )
+            }
+            CollectiveError::LocalStampOnWire => {
+                write!(
+                    f,
+                    "fabric-local deliver-at stamp reached a wire serialization boundary: \
+                     DelayFabric must not wrap a wire transport"
+                )
+            }
+            CollectiveError::WireFormat { dtype, bytes } => {
+                write!(
+                    f,
+                    "wire payload of {bytes} bytes is not a whole number of {dtype} elements"
                 )
             }
             CollectiveError::StaleGeneration {
@@ -154,6 +182,11 @@ mod tests {
                 peer: 1,
                 expected: 4,
                 actual: 2,
+            },
+            CollectiveError::LocalStampOnWire,
+            CollectiveError::WireFormat {
+                dtype: "bf16",
+                bytes: 7,
             },
         ];
         for e in samples {

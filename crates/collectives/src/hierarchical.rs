@@ -119,11 +119,9 @@ pub fn hierarchical_all_reduce_seg<T: Transport>(
     if shape.nodes > 1 {
         let cross_members = Arc::new(shape.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
-        let mut shard = t.take_buffer(owned.len());
-        shard.extend_from_slice(&data[owned.clone()]);
+        let mut shard = data[owned.clone()].to_vec();
         ring_all_reduce_seg(&cross, &mut shard, op, seg)?;
         data[owned].copy_from_slice(&shard);
-        t.recycle_buffer(shard);
     }
 
     // Phase 3: intra-node ring all-gather.

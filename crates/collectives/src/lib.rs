@@ -59,6 +59,7 @@ mod ring;
 mod segment;
 mod transport;
 mod tree;
+mod wire;
 
 pub use chunk::{chunk_range, chunk_ranges};
 pub use communicator::{run_cluster, run_cluster_with, AllReduceAlgorithm, Communicator};
@@ -89,3 +90,4 @@ pub use tree::{
     naive_all_reduce, naive_all_reduce_seg, tree_broadcast, tree_broadcast_seg, tree_reduce,
     tree_reduce_seg,
 };
+pub use wire::{bf16_to_f32, f16_to_f32, f32_to_bf16, f32_to_f16, round_to_wire, DType, WireBuf};

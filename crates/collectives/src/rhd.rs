@@ -92,7 +92,7 @@ pub fn rhd_all_reduce_seg<T: Transport>(
             } else {
                 (lo..mid, mid..hi)
             };
-            send_segmented(t, partner, &data[send_range], seg)?;
+            send_segmented(t, partner, &mut data[send_range], seg)?;
             recv_segmented_reduce(t, partner, &mut data[keep_range.clone()], op, seg)?;
             lo = keep_range.start;
             hi = keep_range.end;
@@ -105,7 +105,7 @@ pub fn rhd_all_reduce_seg<T: Transport>(
             let partner = to_global(crank ^ dist);
             // The partner fills whichever side of [plo, phi) we do not hold.
             let recv_range = if plo < lo { plo..lo } else { hi..phi };
-            send_segmented(t, partner, &data[lo..hi], seg)?;
+            send_segmented(t, partner, &mut data[lo..hi], seg)?;
             recv_segmented_copy(t, partner, &mut data[recv_range], seg)?;
             lo = plo;
             hi = phi;

@@ -70,7 +70,7 @@ pub fn ring_reduce_scatter_seg<T: Transport>(
         let send_idx = (rank + world - step) % world;
         let recv_idx = (rank + 2 * world - step - 1) % world;
         let send_range = chunk_range(d, world, send_idx);
-        send_segmented(t, next, &data[send_range], seg)?;
+        send_segmented(t, next, &mut data[send_range], seg)?;
         let recv_range = chunk_range(d, world, recv_idx);
         recv_segmented_reduce(t, prev, &mut data[recv_range], op, seg)?;
     }
@@ -123,7 +123,7 @@ pub fn ring_all_gather_seg<T: Transport>(
         let send_idx = (owned_chunk + world - step) % world;
         let recv_idx = (owned_chunk + 2 * world - step - 1) % world;
         let send_range = chunk_range(d, world, send_idx);
-        send_segmented(t, next, &data[send_range], seg)?;
+        send_segmented(t, next, &mut data[send_range], seg)?;
         let recv_range = chunk_range(d, world, recv_idx);
         recv_segmented_copy(t, prev, &mut data[recv_range], seg)?;
     }

@@ -1,5 +1,5 @@
 //! Segment pipelining — splitting each collective message into bounded
-//! slices, NCCL-style.
+//! slices, NCCL-style — and the wire-precision knob.
 //!
 //! A monolithic ring step serializes its whole `d/P` chunk onto the wire
 //! before the receiver can start reducing. With segmentation the chunk is
@@ -11,38 +11,76 @@
 //! behind the reduction of earlier ones (see [`crate::CostModel`]'s
 //! segmented predictions).
 //!
-//! Correctness is unaffected: segments partition the chunk in order, every
-//! element is still accumulated exactly once per step in the same order, so
-//! segmented and monolithic runs are **bit-identical**.
+//! The three helpers here are the **only** place collective algorithms
+//! touch the wire, so the mixed-precision path lives here too:
+//! [`send_segmented`] casts each segment once to the configured
+//! [`SegmentConfig::wire`] dtype, [`recv_segmented_reduce`] widens back to
+//! `f32` *as it accumulates* (the accumulator is never narrowed mid-
+//! collective — one cast per hop, rounding never cascades), and
+//! [`recv_segmented_copy`] widens on receipt. With the default
+//! [`DType::F32`] wire, segmented and monolithic runs are **bit-identical**:
+//! segments partition the chunk in order and every element is accumulated
+//! exactly once per step in the same order.
 
 use std::ops::Range;
 
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
 use crate::transport::Transport;
+use crate::wire::{DType, WireBuf};
 
-/// How collective messages are split into wire segments.
+/// How collective messages are split into wire segments, and which element
+/// type they travel as.
 ///
 /// The default (and [`SegmentConfig::MONOLITHIC`]) sends each chunk as one
-/// message, matching the unsegmented behaviour exactly.
+/// `f32` message, matching the unsegmented full-precision behaviour exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SegmentConfig {
     /// Maximum bytes per wire message; `0` disables segmentation. Segment
-    /// sizes are rounded down to whole `f32` elements (minimum one element),
-    /// so a chunk of `c` bytes travels as `⌈c / max_segment_bytes⌉` messages.
+    /// sizes are rounded down to whole wire elements (minimum one element),
+    /// so a chunk of `c` **wire** bytes travels as `⌈c / max_segment_bytes⌉`
+    /// messages — the byte budget counts bytes of [`SegmentConfig::wire`],
+    /// not `f32` elements, so a bf16 wire fits twice the elements per
+    /// segment.
     pub max_segment_bytes: usize,
+    /// Element type payloads are encoded as on send (cast-on-send). The
+    /// receive side always accumulates in `f32` regardless of this knob;
+    /// receivers decode by each payload's own dtype tag, never this field.
+    pub wire: DType,
 }
 
 impl SegmentConfig {
-    /// One message per chunk — today's unsegmented behaviour.
+    /// One `f32` message per chunk — the unsegmented, full-precision
+    /// behaviour.
     pub const MONOLITHIC: SegmentConfig = SegmentConfig {
         max_segment_bytes: 0,
+        wire: DType::F32,
     };
 
-    /// Caps wire messages at `max_segment_bytes` (0 disables segmentation).
+    /// Caps wire messages at `max_segment_bytes` (0 disables segmentation),
+    /// on an `f32` wire.
     #[must_use]
     pub fn new(max_segment_bytes: usize) -> Self {
-        SegmentConfig { max_segment_bytes }
+        SegmentConfig {
+            max_segment_bytes,
+            wire: DType::F32,
+        }
+    }
+
+    /// Selects the wire element type (cast-on-send precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`DType::U8`]: opaque bytes carry compressor-defined
+    /// encodings and cannot be produced by a numeric cast.
+    #[must_use]
+    pub fn with_wire(mut self, wire: DType) -> Self {
+        assert!(
+            wire.is_numeric(),
+            "wire dtype must be numeric (f32/bf16/f16), not {wire}"
+        );
+        self.wire = wire;
+        self
     }
 
     /// Whether this config leaves messages unsplit.
@@ -51,13 +89,15 @@ impl SegmentConfig {
         self.max_segment_bytes == 0
     }
 
-    /// Elements per segment, or `None` when monolithic.
+    /// Elements per segment, or `None` when monolithic. Derived from the
+    /// **wire** dtype's element size: the same byte budget carries twice as
+    /// many bf16 elements as f32.
     #[must_use]
     pub fn segment_elems(&self) -> Option<usize> {
         if self.max_segment_bytes == 0 {
             None
         } else {
-            Some((self.max_segment_bytes / std::mem::size_of::<f32>()).max(1))
+            Some((self.max_segment_bytes / self.wire.size_bytes()).max(1))
         }
     }
 
@@ -92,9 +132,20 @@ impl SegmentConfig {
     }
 }
 
-/// Sends `src` to `to` as the segments of `seg`, taking each wire buffer
-/// from the transport's pool. All segments are queued before returning, so
-/// on a deliver-at fabric the link starts serializing them back-to-back.
+/// Sends `src` to `to` as the segments of `seg`, encoding each segment to
+/// the configured wire dtype (cast-on-send; bit-exact for `f32`) into a
+/// byte buffer taken from the transport's pool. All segments are queued
+/// before returning, so on a deliver-at fabric the link starts serializing
+/// them back-to-back.
+///
+/// On a narrow wire the sender's `src` is **rounded in place** to the wire
+/// values first ([`crate::wire::round_to_wire`] semantics, fused into the
+/// encode pass): the sender keeps exactly what it
+/// shipped. This is what makes copy-collectives (all-gather, broadcast)
+/// leave every rank bit-identical — the source holds the same rounded
+/// values its peers received — and it costs nothing extra in precision,
+/// because re-encoding an already-rounded value is lossless (relays never
+/// cascade rounding).
 ///
 /// # Errors
 ///
@@ -102,20 +153,26 @@ impl SegmentConfig {
 pub fn send_segmented<T: Transport>(
     t: &T,
     to: usize,
-    src: &[f32],
+    src: &mut [f32],
     seg: SegmentConfig,
 ) -> Result<(), CollectiveError> {
     for r in seg.split(0..src.len()) {
-        let mut buf = t.take_buffer(r.len());
-        buf.extend_from_slice(&src[r]);
-        t.send(to, buf.into())?;
+        let bytes = t.take_buffer(r.len() * seg.wire.size_bytes());
+        // Encode and round in one pass: after this, `src[r]` holds exactly
+        // the values the payload carries (see `round_to_wire`).
+        let payload = WireBuf::encode_round_into(&mut src[r], seg.wire, bytes);
+        t.send(to, payload.into())?;
     }
     Ok(())
 }
 
-/// Receives the segments of `seg` from `from` in order, accumulating each
-/// into the matching slice of `dst` with `op` and recycling the payload to
-/// the transport's pool. Element order matches the monolithic path exactly.
+/// Receives the segments of `seg` from `from` in order, widening each
+/// element to `f32` **as it accumulates** into the matching slice of `dst`
+/// with `op` (the accumulate-in-f32 rule: one rounding on the sender's
+/// cast, none here) and recycling the payload bytes to the transport's
+/// pool. The payload is decoded by its own dtype tag, so a peer on a
+/// different wire precision still reduces correctly. Element order matches
+/// the monolithic path exactly.
 ///
 /// # Errors
 ///
@@ -136,14 +193,16 @@ pub fn recv_segmented_reduce<T: Transport>(
                 actual: incoming.len(),
             });
         }
-        op.accumulate(&mut dst[r], &incoming);
-        t.recycle_buffer(incoming.into_payload());
+        let payload = incoming.into_payload();
+        payload.accumulate_into(&mut dst[r], op);
+        t.recycle_buffer(payload.into_bytes());
     }
     Ok(())
 }
 
-/// Receives the segments of `seg` from `from` in order, copying each into
-/// the matching slice of `dst` and recycling the payload.
+/// Receives the segments of `seg` from `from` in order, decoding (widening
+/// if the wire was narrow) each into the matching slice of `dst` and
+/// recycling the payload bytes.
 ///
 /// # Errors
 ///
@@ -163,8 +222,9 @@ pub fn recv_segmented_copy<T: Transport>(
                 actual: incoming.len(),
             });
         }
-        dst[r].copy_from_slice(&incoming);
-        t.recycle_buffer(incoming.into_payload());
+        let payload = incoming.into_payload();
+        payload.decode_into(&mut dst[r]);
+        t.recycle_buffer(payload.into_bytes());
     }
     Ok(())
 }
@@ -172,6 +232,7 @@ pub fn recv_segmented_copy<T: Transport>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::LocalFabric;
 
     #[test]
     fn monolithic_split_is_one_range() {
@@ -180,14 +241,33 @@ mod tests {
         assert_eq!(seg.num_segments(7), 1);
         assert!(seg.is_monolithic());
         assert_eq!(seg.segment_elems(), None);
+        assert_eq!(seg.wire, DType::F32);
+        assert_eq!(seg, SegmentConfig::default());
     }
 
     #[test]
     fn split_covers_range_without_gaps() {
-        let seg = SegmentConfig::new(12); // 3 elements per segment
+        let seg = SegmentConfig::new(12); // 3 f32 elements per segment
         let parts = seg.split(5..16); // 11 elements
         assert_eq!(parts, vec![5..8, 8..11, 11..14, 14..16]);
         assert_eq!(seg.num_segments(11), 4);
+    }
+
+    #[test]
+    fn narrow_wire_fits_more_elements_per_segment() {
+        // The byte budget is dtype-aware: 12 bytes is 3 f32s but 6 bf16s.
+        let f32_seg = SegmentConfig::new(12);
+        let bf16_seg = SegmentConfig::new(12).with_wire(DType::Bf16);
+        assert_eq!(f32_seg.segment_elems(), Some(3));
+        assert_eq!(bf16_seg.segment_elems(), Some(6));
+        assert_eq!(bf16_seg.num_segments(11), 2);
+        assert_eq!(bf16_seg.split(0..11), vec![0..6, 6..11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric")]
+    fn opaque_wire_dtype_is_rejected() {
+        let _ = SegmentConfig::new(8).with_wire(DType::U8);
     }
 
     #[test]
@@ -209,5 +289,69 @@ mod tests {
         let seg = SegmentConfig::new(1); // less than one f32
         assert_eq!(seg.segment_elems(), Some(1));
         assert_eq!(seg.split(0..3), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn bf16_send_halves_wire_bytes_and_accumulates_in_f32() {
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let seg = SegmentConfig::new(8).with_wire(DType::Bf16); // 4 elems/segment
+        let mut src = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        std::thread::scope(|s| {
+            s.spawn(|| send_segmented(&a, 1, &mut src, seg).unwrap());
+            s.spawn(|| {
+                let mut dst = [10.0f32; 6];
+                recv_segmented_reduce(&b, 0, &mut dst, ReduceOp::Sum, seg).unwrap();
+                // All values are exactly representable in bf16; the f32
+                // accumulator adds them exactly.
+                assert_eq!(dst, [11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+            });
+        });
+    }
+
+    #[test]
+    fn sender_keeps_exactly_what_it_shipped() {
+        // On a narrow wire the send rounds the source in place, so after a
+        // copy-collective the sender and the receiver hold identical bits.
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let seg = SegmentConfig::new(4).with_wire(DType::Bf16);
+        let mut src = [0.1f32, 1.234_567, -3.3e-5];
+        let mut expect = src;
+        crate::wire::round_to_wire(&mut expect, DType::Bf16);
+        assert_ne!(src, expect, "values must actually round");
+        std::thread::scope(|s| {
+            s.spawn(|| send_segmented(&a, 1, &mut src, seg).unwrap());
+            s.spawn(|| {
+                let mut dst = [0.0f32; 3];
+                recv_segmented_copy(&b, 0, &mut dst, seg).unwrap();
+                assert_eq!(dst, expect);
+            });
+        });
+        assert_eq!(src, expect, "sender must keep the shipped values");
+    }
+
+    #[test]
+    fn receiver_decodes_by_payload_tag_not_local_config() {
+        // Sender on a bf16 wire, receiver configured for f32: the payload's
+        // own dtype tag drives the decode, so the copy still lands.
+        let mut eps = LocalFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let send_cfg = SegmentConfig::new(16).with_wire(DType::Bf16);
+        let recv_cfg = SegmentConfig::new(16); // 4 f32/segment vs 8 bf16 — mismatched splits
+        let mut src = [0.5f32, 1.0, 2.0, 4.0];
+        let expect = src; // all bf16-exact, so in-place rounding keeps them
+        std::thread::scope(|s| {
+            s.spawn(|| send_segmented(&a, 1, &mut src, send_cfg).unwrap());
+            s.spawn(|| {
+                let mut dst = [0.0f32; 4];
+                // 4 elements fit one segment under both configs here.
+                recv_segmented_copy(&b, 0, &mut dst, recv_cfg).unwrap();
+                assert_eq!(dst, expect);
+            });
+        });
     }
 }

@@ -6,7 +6,6 @@
 //! delays so that real runs exhibit network-like timing.
 
 use std::fmt;
-use std::ops::Deref;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -14,15 +13,17 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::cost::CostModel;
 use crate::error::CollectiveError;
+use crate::wire::WireBuf;
 
-/// A payload travelling between ranks: a vector of `f32` gradient elements,
-/// optionally stamped with the wall-clock instant at which the simulated
-/// network finishes delivering it (set by [`DelayFabric`] on send, honoured
-/// by [`DelayFabric`] on receive).
+/// A payload travelling between ranks: a dtype-tagged byte buffer
+/// ([`WireBuf`]), optionally stamped with the wall-clock instant at which
+/// the simulated network finishes delivering it (set by [`DelayFabric`] on
+/// send, honoured by [`DelayFabric`] on receive).
 ///
-/// Dereferences to `[f32]`, so receivers can read the elements directly;
-/// call [`Message::into_payload`] to reclaim the backing vector (and hand it
-/// back to the transport's buffer pool via [`Transport::recycle_buffer`]).
+/// Construct from a [`WireBuf`] (or from a `Vec<f32>`, which encodes as
+/// bit-exact little-endian `f32`); call [`Message::into_payload`] to reclaim
+/// the payload (and hand its bytes back to the transport's buffer pool via
+/// [`Transport::recycle_buffer`]).
 ///
 /// # Wire safety
 ///
@@ -30,35 +31,55 @@ use crate::error::CollectiveError;
 /// in-process [`Instant`], meaningless in another process and impossible to
 /// serialize. Transports that put messages on a real wire (e.g. `dear-net`'s
 /// TCP endpoint) must consume messages through
-/// [`Message::into_wire_payload`], which debug-asserts that no stamp is
-/// present — so timing semantics are never silently dropped at a
-/// serialization boundary. Consequently [`DelayFabric`] (the only stamper)
-/// must only ever wrap in-process transports, never a wire transport.
+/// [`Message::into_wire_payload`], which returns
+/// [`CollectiveError::LocalStampOnWire`] when a stamp is present — so timing
+/// semantics are never silently dropped at a serialization boundary.
+/// Consequently [`DelayFabric`] (the only stamper) must only ever wrap
+/// in-process transports, never a wire transport.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
-    payload: Vec<f32>,
+    payload: WireBuf,
     deliver_at: Option<Instant>,
 }
 
 impl Message {
     /// Wraps a payload with no delivery stamp.
     #[must_use]
-    pub fn new(payload: Vec<f32>) -> Self {
+    pub fn new(payload: WireBuf) -> Self {
         Message {
             payload,
             deliver_at: None,
         }
     }
 
-    /// The elements carried by this message.
+    /// The payload carried by this message.
     #[must_use]
-    pub fn payload(&self) -> &[f32] {
+    pub fn payload(&self) -> &WireBuf {
         &self.payload
     }
 
-    /// Consumes the message, returning the backing vector for reuse.
+    /// Element count of the payload.
     #[must_use]
-    pub fn into_payload(self) -> Vec<f32> {
+    pub fn len(&self) -> usize {
+        self.payload.len_elems()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Bytes the payload occupies on the wire — the dtype-dependent
+    /// quantity a bandwidth model charges for.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.num_bytes()
+    }
+
+    /// Consumes the message, returning the payload for reuse.
+    #[must_use]
+    pub fn into_payload(self) -> WireBuf {
         self.payload
     }
 
@@ -66,16 +87,18 @@ impl Message {
     /// the payload. The `deliver_at` stamp cannot cross a process boundary
     /// (it is an in-process [`Instant`]); a stamped message reaching a wire
     /// transport is a composition bug (a [`DelayFabric`] wrapping a wire
-    /// transport), so this debug-asserts the stamp is absent rather than
-    /// silently dropping it.
-    #[must_use]
-    pub fn into_wire_payload(self) -> Vec<f32> {
-        debug_assert!(
-            self.deliver_at.is_none(),
-            "deliver_at stamp reached a serialization boundary: \
-             DelayFabric must not wrap a wire transport"
-        );
-        self.payload
+    /// transport), surfaced as a typed error so release builds cannot
+    /// silently ship fabric-local metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::LocalStampOnWire`] if a delivery stamp is
+    /// present.
+    pub fn into_wire_payload(self) -> Result<WireBuf, CollectiveError> {
+        if self.deliver_at.is_some() {
+            return Err(CollectiveError::LocalStampOnWire);
+        }
+        Ok(self.payload)
     }
 
     /// The simulated delivery instant, if a delaying transport stamped one.
@@ -103,29 +126,29 @@ impl Message {
     }
 }
 
-impl From<Vec<f32>> for Message {
-    fn from(payload: Vec<f32>) -> Self {
+impl From<WireBuf> for Message {
+    fn from(payload: WireBuf) -> Self {
         Message::new(payload)
     }
 }
 
-impl Deref for Message {
-    type Target = [f32];
-
-    fn deref(&self) -> &[f32] {
-        &self.payload
+impl From<Vec<f32>> for Message {
+    fn from(payload: Vec<f32>) -> Self {
+        Message::new(WireBuf::from_f32(&payload))
     }
 }
 
 impl PartialEq<Vec<f32>> for Message {
     fn eq(&self, other: &Vec<f32>) -> bool {
-        &self.payload == other
+        self == other.as_slice()
     }
 }
 
 impl PartialEq<[f32]> for Message {
     fn eq(&self, other: &[f32]) -> bool {
-        self.payload.as_slice() == other
+        self.payload.dtype().is_numeric()
+            && self.payload.len_elems() == other.len()
+            && self.payload.to_f32_vec() == other
     }
 }
 
@@ -174,21 +197,22 @@ pub trait Transport {
         false
     }
 
-    /// Takes a reusable send/receive buffer of at least `capacity` elements
-    /// from the transport's pool (empty, ready for `extend_from_slice`).
+    /// Takes a reusable wire-byte buffer of at least `capacity_bytes` from
+    /// the transport's pool (empty, ready for encoding into).
     ///
     /// The default allocates; pooling transports override this together
     /// with [`Transport::recycle_buffer`] so that steady-state collectives
     /// run allocation-free.
-    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
-        Vec::with_capacity(capacity)
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        Vec::with_capacity(capacity_bytes)
     }
 
-    /// Returns a buffer (typically the payload of a received [`Message`])
-    /// to the transport's pool for reuse by a later [`Transport::take_buffer`].
+    /// Returns a byte buffer (typically the payload bytes of a received
+    /// [`Message`], via [`WireBuf::into_bytes`]) to the transport's pool
+    /// for reuse by a later [`Transport::take_buffer`].
     ///
     /// The default drops it.
-    fn recycle_buffer(&self, buf: Vec<f32>) {
+    fn recycle_buffer(&self, buf: Vec<u8>) {
         drop(buf);
     }
 
@@ -206,7 +230,7 @@ pub trait Transport {
 }
 
 /// Buffers kept per endpoint; bounds pool memory at roughly
-/// `POOL_CAP × largest-segment` elements.
+/// `POOL_CAP × largest-segment` bytes.
 const POOL_CAP: usize = 64;
 
 /// One rank's endpoint of a [`LocalFabric`].
@@ -217,10 +241,11 @@ pub struct LocalEndpoint {
     senders: Vec<Option<Sender<Message>>>,
     /// `receivers[from]` carries messages from `from` to this rank.
     receivers: Vec<Option<Receiver<Message>>>,
-    /// Reusable buffers. Ring rounds are symmetric (each received payload is
-    /// recycled here and each send takes one out), so the pool reaches a
-    /// steady state after the first round and sends stop allocating.
-    pool: Mutex<Vec<Vec<f32>>>,
+    /// Reusable wire-byte buffers. Ring rounds are symmetric (each received
+    /// payload is recycled here and each send takes one out), so the pool
+    /// reaches a steady state after the first round and sends stop
+    /// allocating.
+    pool: Mutex<Vec<Vec<u8>>>,
     /// Optional deadline applied to every `recv` (see
     /// [`Transport::set_recv_timeout`]).
     recv_timeout: Mutex<Option<Duration>>,
@@ -340,19 +365,19 @@ impl Transport for LocalEndpoint {
         true
     }
 
-    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
         let mut pool = self.pool.lock().expect("buffer pool poisoned");
         match pool.pop() {
             Some(mut buf) => {
                 buf.clear();
-                buf.reserve(capacity);
+                buf.reserve(capacity_bytes);
                 buf
             }
-            None => Vec::with_capacity(capacity),
+            None => Vec::with_capacity(capacity_bytes),
         }
     }
 
-    fn recycle_buffer(&self, buf: Vec<f32>) {
+    fn recycle_buffer(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
         }
@@ -373,6 +398,11 @@ impl Transport for LocalEndpoint {
 /// p2p(bytes)` — stamps that instant on the [`Message`], advances the link
 /// clock, and forwards immediately without blocking. The **receiver's**
 /// `recv` then sleeps until the stamp before handing the payload over.
+///
+/// `bytes` is the payload's **actual wire size**
+/// ([`Message::wire_bytes`]), so a bf16 payload is charged half the β-cost
+/// of the same element count in f32 — mixed-precision runs see their wire
+/// saving in simulated time, exactly as the [`CostModel`] predicts.
 ///
 /// The total per-hop cost is unchanged (every ring round still pays one
 /// `p2p` delay, as in the [`CostModel`]), but because the sending thread is
@@ -433,7 +463,8 @@ impl<T: Transport> Transport for DelayFabric<T> {
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
         self.check_peer(to)?;
-        let bytes = (msg.len() * std::mem::size_of::<f32>()) as u64;
+        // Charge the link for the actual (dtype-dependent) wire bytes.
+        let bytes = msg.wire_bytes() as u64;
         let wire = self.model.p2p(bytes).as_secs_f64() * self.time_scale;
         let wire = std::time::Duration::from_secs_f64(wire.max(0.0));
         let now = Instant::now();
@@ -465,11 +496,11 @@ impl<T: Transport> Transport for DelayFabric<T> {
         self.inner.set_recv_timeout(timeout)
     }
 
-    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
-        self.inner.take_buffer(capacity)
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        self.inner.take_buffer(capacity_bytes)
     }
 
-    fn recycle_buffer(&self, buf: Vec<f32>) {
+    fn recycle_buffer(&self, buf: Vec<u8>) {
         self.inner.recycle_buffer(buf);
     }
 }
@@ -537,11 +568,11 @@ impl<T: Transport> Transport for GroupTransport<'_, T> {
         self.inner.set_recv_timeout(timeout)
     }
 
-    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
-        self.inner.take_buffer(capacity)
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        self.inner.take_buffer(capacity_bytes)
     }
 
-    fn recycle_buffer(&self, buf: Vec<f32>) {
+    fn recycle_buffer(&self, buf: Vec<u8>) {
         self.inner.recycle_buffer(buf);
     }
 }
@@ -549,6 +580,7 @@ impl<T: Transport> Transport for GroupTransport<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::DType;
 
     #[test]
     fn local_fabric_delivers_in_order() {
@@ -650,10 +682,42 @@ mod tests {
     }
 
     #[test]
+    fn delay_fabric_charges_actual_wire_bytes() {
+        // Pure-β model: a bf16 payload must be delivered in half the link
+        // time of the same element count in f32.
+        let mut eps = LocalFabric::create(2);
+        let beta_ns_per_byte = 10_000.0; // 10 µs/byte => 4 elems: f32 160 µs, bf16 80 µs
+        let model = CostModel::new(0.0, beta_ns_per_byte, 0.0);
+        let b = DelayFabric::new(eps.pop().unwrap(), model);
+        let a = DelayFabric::new(eps.pop().unwrap(), model);
+        let data = [1.0f32, 2.0, 3.0, 4.0];
+        let t0 = Instant::now();
+        a.send(1, Message::new(WireBuf::encode(&data, DType::Bf16)))
+            .unwrap();
+        let msg = b.recv(0).unwrap();
+        let bf16_elapsed = t0.elapsed();
+        assert_eq!(msg.payload().dtype(), DType::Bf16);
+        assert_eq!(msg.wire_bytes(), 8);
+        let t1 = Instant::now();
+        a.send(1, Message::new(WireBuf::encode(&data, DType::F32)))
+            .unwrap();
+        let _ = b.recv(0).unwrap();
+        let f32_elapsed = t1.elapsed();
+        assert!(
+            bf16_elapsed >= Duration::from_micros(80),
+            "bf16 delivered in {bf16_elapsed:?}"
+        );
+        assert!(
+            f32_elapsed >= Duration::from_micros(160),
+            "f32 delivered in {f32_elapsed:?}"
+        );
+    }
+
+    #[test]
     fn local_endpoint_pool_reuses_buffers() {
         let eps = LocalFabric::create(2);
         let mut buf = eps[0].take_buffer(16);
-        buf.extend_from_slice(&[1.0, 2.0]);
+        buf.extend_from_slice(&[1, 2]);
         let cap = buf.capacity();
         let ptr = buf.as_ptr();
         eps[0].recycle_buffer(buf);
@@ -710,16 +774,18 @@ mod tests {
 
     #[test]
     fn wire_payload_roundtrip_without_stamp() {
-        let msg = Message::new(vec![1.0, 2.0]);
-        assert_eq!(msg.into_wire_payload(), vec![1.0, 2.0]);
+        let msg = Message::from(vec![1.0, 2.0]);
+        let payload = msg.into_wire_payload().unwrap();
+        assert_eq!(payload.to_f32_vec(), vec![1.0, 2.0]);
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "serialization boundary")]
-    fn wire_payload_rejects_stamped_message() {
-        let msg = Message::new(vec![1.0]).with_deliver_at(Instant::now());
-        let _ = msg.into_wire_payload();
+    fn wire_payload_rejects_stamped_message_as_typed_error() {
+        // A stamped message at a serialization boundary is a composition
+        // bug; release builds must refuse it, not silently drop the stamp.
+        let msg = Message::from(vec![1.0]).with_deliver_at(Instant::now());
+        let err = msg.into_wire_payload().unwrap_err();
+        assert_eq!(err, CollectiveError::LocalStampOnWire);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use dear_collectives::{
 /// segments, exercising the mid-collective segment loops.
 const SEG: SegmentConfig = SegmentConfig {
     max_segment_bytes: 8, // two f32s per segment
+    wire: dear_collectives::DType::F32,
 };
 
 /// A transport whose sends start failing after a budget is exhausted.

@@ -4,9 +4,10 @@
 //! composition must be *bitwise* identical to the fused ring all-reduce.
 
 use dear_collectives::{
-    chunk_ranges, hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_all_reduce_seg,
-    ring_owned_chunk, ring_reduce_scatter, run_cluster, run_cluster_with, AllReduceAlgorithm,
-    ClusterShape, ReduceOp, SegmentConfig, Transport,
+    bf16_to_f32, chunk_ranges, f16_to_f32, f32_to_bf16, f32_to_f16, hierarchical_all_reduce,
+    ring_all_gather, ring_all_reduce, ring_all_reduce_seg, ring_owned_chunk, ring_reduce_scatter,
+    round_to_wire, run_cluster, run_cluster_with, AllReduceAlgorithm, ClusterShape, DType,
+    ReduceOp, SegmentConfig, Transport,
 };
 use proptest::prelude::*;
 
@@ -230,6 +231,126 @@ proptest! {
                 data
             });
             prop_assert_eq!(plain, segmented);
+        }
+    }
+
+    #[test]
+    fn bf16_round_trip_error_is_bounded(x in -1.5e38f32..1.5e38) {
+        // One wire trip costs at most one unit in the 8-bit significand:
+        // |round(x) − x| ≤ 2⁻⁸·|x| for every finite input (bf16 keeps the
+        // full f32 exponent range, so nothing overflows), plus a tiny
+        // absolute floor for subnormal inputs.
+        let rt = bf16_to_f32(f32_to_bf16(x));
+        prop_assert!(rt.is_finite());
+        prop_assert!(
+            (rt - x).abs() <= x.abs() / 256.0 + 1e-38,
+            "bf16 round trip {} -> {} drifted past the 2^-8 bound", x, rt
+        );
+    }
+
+    #[test]
+    fn f16_round_trip_error_is_bounded(x in -60_000.0f32..60_000.0) {
+        // Inside f16's normal range the trip costs at most 2⁻¹¹ relative
+        // error (11-bit significand); below the smallest normal (~6.1e-5)
+        // subnormal spacing caps the *absolute* error at 2⁻²⁴.
+        let rt = f16_to_f32(f32_to_f16(x));
+        prop_assert!(rt.is_finite());
+        prop_assert!(
+            (rt - x).abs() <= x.abs() / 2048.0 + 1e-7,
+            "f16 round trip {} -> {} drifted past the 2^-11 bound", x, rt
+        );
+    }
+
+    #[test]
+    fn narrow_wire_all_reduce_accumulates_in_f32(
+        world in 1usize..8,
+        d in 0usize..96,
+        max_segment_bytes in 1usize..96,
+        salt in any::<u64>(),
+        wire_idx in 0usize..2,
+    ) {
+        let wire = [DType::Bf16, DType::F16][wire_idx];
+        let seg = SegmentConfig::new(max_segment_bytes).with_wire(wire);
+        let results = run_cluster(world, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            ring_all_reduce_seg(comm.transport(), &mut data, ReduceOp::Sum, seg).unwrap();
+            data
+        });
+        // Lossy-at-the-sender: every rank must end bit-identical, because
+        // the all-gather source rounds itself to exactly what it shipped.
+        for (r, data) in results.iter().enumerate().skip(1) {
+            for (i, (a, b)) in results[0].iter().zip(data).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "rank {} elem {} diverged from rank 0 on a {} wire", r, i, wire
+                );
+            }
+        }
+        // f32 accumulation: the result must track "round each input once,
+        // sum exactly" to within the hop roundings — each of the ≤ world
+        // partial-sum sends re-rounds at most once, never cascading. A
+        // narrow-precision accumulator would blow well past this bound.
+        let rel = match wire {
+            DType::Bf16 => 1.0 / 256.0,
+            _ => 1.0 / 2048.0,
+        };
+        let mut reference = vec![0.0f32; d];
+        let mut sum_abs = vec![0.0f32; d];
+        for r in 0..world {
+            let mut x = rank_data(r, d, salt);
+            round_to_wire(&mut x, wire);
+            for i in 0..d {
+                reference[i] += x[i];
+                sum_abs[i] += x[i].abs();
+            }
+        }
+        round_to_wire(&mut reference, wire);
+        for i in 0..d {
+            let tol = (world as f32 + 1.0) * sum_abs[i] * rel + 1e-5;
+            prop_assert!(
+                (results[0][i] - reference[i]).abs() <= tol,
+                "elem {}: {} vs f32-accumulated reference {} (tol {})",
+                i, results[0][i], reference[i], tol
+            );
+        }
+    }
+
+    #[test]
+    fn two_rank_narrow_sum_is_one_cast_per_hop_exactly(
+        d in 0usize..80,
+        salt in any::<u64>(),
+        wire_idx in 0usize..2,
+    ) {
+        // With two ranks there are no intermediate partial sums, so the
+        // result is *bitwise* predictable: the non-owner's chunk crosses
+        // the wire once (rounded), the owner accumulates its own
+        // **unrounded** f32 values, and the all-gather rounds the final
+        // sum exactly once. Any cascaded cast (e.g. accumulating in the
+        // narrow type) changes these bits.
+        let wire = [DType::Bf16, DType::F16][wire_idx];
+        let narrow1 = |v: f32| match wire {
+            DType::Bf16 => bf16_to_f32(f32_to_bf16(v)),
+            _ => f16_to_f32(f32_to_f16(v)),
+        };
+        let seg = SegmentConfig::new(16).with_wire(wire);
+        let results = run_cluster(2, |comm| {
+            let mut data = rank_data(comm.rank(), d, salt);
+            ring_all_reduce_seg(comm.transport(), &mut data, ReduceOp::Sum, seg).unwrap();
+            data
+        });
+        let x: Vec<Vec<f32>> = (0..2).map(|r| rank_data(r, d, salt)).collect();
+        for (c, range) in chunk_ranges(d, 2).iter().enumerate() {
+            let owner = (0..2).find(|r| ring_owned_chunk(*r, 2) == c).unwrap();
+            for i in range.clone() {
+                let expect = narrow1(x[owner][i] + narrow1(x[1 - owner][i]));
+                for (r, data) in results.iter().enumerate() {
+                    prop_assert_eq!(
+                        data[i].to_bits(), expect.to_bits(),
+                        "rank {} elem {} (owner {}): got {}, want {}",
+                        r, i, owner, data[i], expect
+                    );
+                }
+            }
         }
     }
 

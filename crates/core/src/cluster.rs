@@ -37,8 +37,13 @@ pub struct TrainConfig {
     pub mode: PipelineMode,
     /// Optional injected network delays.
     pub delay: Option<DelayConfig>,
-    /// Segment-pipelining config for the comm thread's collectives
-    /// (monolithic by default; results are bit-identical either way).
+    /// Segment-pipelining config for the comm thread's collectives,
+    /// including the wire dtype. Monolithic f32 by default, where results
+    /// are bit-identical to unsegmented collectives; a narrow wire
+    /// (`segments.wire = DType::Bf16` / `DType::F16`) halves the bytes of
+    /// the gradient/parameter data path while every hop still accumulates
+    /// in f32. The control path (broadcast, barrier, optimizer-state
+    /// redistribution) always runs over an f32 wire regardless.
     pub segments: SegmentConfig,
 }
 
@@ -58,6 +63,20 @@ impl Default for TrainConfig {
 }
 
 impl TrainConfig {
+    /// Selects the wire dtype of the data-path collectives (the
+    /// mixed-precision knob): gradients and parameters are cast once per
+    /// hop to `wire` for transmission and accumulated in f32 on arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not numeric (`U8` is an opaque container for
+    /// compressed payloads, not a training wire format).
+    #[must_use]
+    pub fn with_wire(mut self, wire: dear_collectives::DType) -> Self {
+        self.segments = self.segments.with_wire(wire);
+        self
+    }
+
     /// The optimizer hyper-parameters.
     #[must_use]
     pub fn hyper(&self) -> HyperParams {
@@ -115,7 +134,11 @@ impl WorkerHandle {
     /// identically-structured networks on every rank.
     #[must_use]
     pub fn into_optim(self, net: &Sequential) -> DistOptim {
-        let layout = GroupLayout::from_buffer(net, self.config.fusion_buffer);
+        let layout = GroupLayout::from_buffer_wire(
+            net,
+            self.config.fusion_buffer,
+            self.config.segments.wire,
+        );
         self.layout_tx
             .send((CommLayout::from(&layout), layout.total_elements()))
             .expect("comm thread hung up before initialization");
@@ -148,6 +171,7 @@ impl WorkerHandle {
             local_optim,
             net.len(),
             &self.trace_scope,
+            self.config.segments.wire,
         )
     }
 }
@@ -557,6 +581,53 @@ mod tests {
         }
         let diff = max_rel_diff(&params[0], &reference.flat_params());
         assert!(diff < 1e-2, "max relative diff {diff}");
+    }
+
+    #[test]
+    fn bf16_wire_training_converges() {
+        // Mixed precision on the wire: gradients cross the fabric as bf16
+        // (half the bytes) but every hop accumulates in f32. That rounds
+        // each update slightly, so ranks need not bit-match the f32
+        // reference — but they must agree with *each other* (the all-gather
+        // distributes one rank's updated shard to everyone) and the loss
+        // must still collapse.
+        use dear_collectives::DType;
+        let data = BlobDataset::new(6, 3, 0.3, 5);
+        let config = TrainConfig {
+            fusion_buffer: Some(512),
+            ..TrainConfig::default()
+        }
+        .with_wire(DType::Bf16);
+        let out = run_training(4, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(1);
+            let mut optim = handle.into_optim(&net);
+            let mut first = 0.0;
+            let mut last = 0.0;
+            for step in 0..60 {
+                let (x, labels) = data.shard(step, 64, rank, 4);
+                let loss = optim.train_step(&mut net, &x, &labels);
+                if step == 0 {
+                    first = loss;
+                }
+                last = loss;
+            }
+            optim.synchronize(&mut net);
+            let (x, labels) = data.batch(10_000, 128);
+            let logits = net.forward(&x);
+            let acc = dear_minidnn::accuracy(&logits, &labels);
+            (first, last, acc, net.flat_params())
+        });
+        for (_, _, _, p) in &out[1..] {
+            assert_eq!(&out[0].3, p, "ranks diverged on a bf16 wire");
+        }
+        for (first, last, acc, _) in &out {
+            assert!(
+                last < &(0.5 * first),
+                "bf16 training did not converge: {first} -> {last}"
+            );
+            assert!(*acc > 0.8, "bf16 validation accuracy only {acc}");
+        }
     }
 
     #[test]

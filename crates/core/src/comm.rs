@@ -16,7 +16,7 @@ use crossbeam_channel::{Receiver, Sender};
 
 use dear_collectives::{
     naive_all_reduce_seg, ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk,
-    ring_reduce_scatter_seg, tree_broadcast_seg, ReduceOp, SegmentConfig, Transport,
+    ring_reduce_scatter_seg, tree_broadcast_seg, DType, ReduceOp, SegmentConfig, Transport,
 };
 
 use crate::layout::GroupLayout;
@@ -209,6 +209,12 @@ pub fn run_comm_thread<T: Transport>(
     trace::set_thread_stream(trace_scope, "comm");
     let world = transport.world_size();
     let rank = transport.rank();
+    // The control path must stay bit-exact regardless of the run's wire
+    // dtype: `Broadcast` ships an f64 as two f32 bit-words (any rounding
+    // corrupts the value), and `Reconfigure` redistributes optimizer state
+    // that checkpoints expect unrounded. Only the gradient/parameter data
+    // path (RsUpdate / FlushAllGathers / AllReduce) uses the narrow wire.
+    let control = segments.with_wire(DType::F32);
     // Optimizer state keyed by global flat offset: survives re-bucketing.
     // `velocity` doubles as Adam's first moment; `second_moment` is
     // allocated lazily only when Adam is selected.
@@ -327,7 +333,7 @@ pub fn run_comm_thread<T: Transport>(
                     f32::from_bits((bits >> 32) as u32),
                     f32::from_bits(bits as u32),
                 ];
-                tree_broadcast_seg(&transport, &mut buf, root, segments).expect("broadcast failed");
+                tree_broadcast_seg(&transport, &mut buf, root, control).expect("broadcast failed");
                 let bits = (u64::from(buf[0].to_bits()) << 32) | u64::from(buf[1].to_bits());
                 bc.end();
                 results
@@ -337,7 +343,7 @@ pub fn run_comm_thread<T: Transport>(
             CommJob::Barrier => {
                 let sp = trace::span(TaskKind::Communication, || "BARRIER".to_string());
                 let mut token = [0.0f32];
-                naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, segments)
+                naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, control)
                     .expect("barrier failed");
                 sp.end();
                 results
@@ -354,10 +360,10 @@ pub fn run_comm_thread<T: Transport>(
                 // lives only on its owner (zero elsewhere), so a sum
                 // all-reduce reconstructs the full state, after which each
                 // rank keeps only the shards it owns under the new layout.
-                ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, segments)
+                ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, control)
                     .expect("velocity redistribution failed");
                 if !second_moment.is_empty() {
-                    ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, segments)
+                    ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, control)
                         .expect("second-moment redistribution failed");
                 }
                 let mut owned_mask = vec![false; velocity.len()];

@@ -3,6 +3,7 @@
 
 use crossbeam_channel::{Receiver, Sender};
 
+use dear_collectives::DType;
 use dear_fusion::GroupTracker;
 use dear_minidnn::{softmax_cross_entropy, Layer, Optimizer, Sequential, Tensor};
 
@@ -47,6 +48,10 @@ pub struct DistOptim {
     pending: usize,
     /// Local optimizer for WFBP mode.
     local_optim: Option<Box<dyn Optimizer>>,
+    /// Wire dtype of the data path — re-bucketing sizes groups in wire
+    /// bytes, so the fusion search must know what a parameter costs on
+    /// the wire.
+    wire: DType,
     iter: u64,
     /// Start of the currently-open feed-forward trace segment, if tracing.
     fw_seg: Option<std::time::Instant>,
@@ -79,6 +84,7 @@ impl DistOptim {
         local_optim: Option<Box<dyn Optimizer>>,
         num_layers: usize,
         trace_scope: &str,
+        wire: DType,
     ) -> Self {
         // The training loop runs on the constructing thread; name its
         // stream so fw/bw spans pair with this worker's comm stream.
@@ -105,6 +111,7 @@ impl DistOptim {
             layer_synced: vec![true; num_layers],
             pending: 0,
             local_optim,
+            wire,
             iter: 0,
             fw_seg: None,
         }
@@ -449,7 +456,7 @@ impl DistOptim {
             self.pending, 0,
             "re-bucketing requires a synchronized state"
         );
-        let layout = GroupLayout::from_buffer(net, buffer_bytes);
+        let layout = GroupLayout::from_buffer_wire(net, buffer_bytes, self.wire);
         self.jobs
             .send(CommJob::Reconfigure {
                 layout: CommLayout::from(&layout),

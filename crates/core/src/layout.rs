@@ -6,6 +6,7 @@
 //! global flat offset), and **items** in the backward gradient-ready order
 //! that fusion plans partition (tensor of the last layer first).
 
+use dear_collectives::DType;
 use dear_fusion::FusionPlan;
 use dear_minidnn::Sequential;
 
@@ -121,14 +122,33 @@ impl GroupLayout {
     }
 
     /// Convenience: layout from a greedy buffer-threshold plan (`None`
-    /// means no fusion).
+    /// means no fusion), sized for an f32 wire.
     #[must_use]
     pub fn from_buffer(net: &Sequential, buffer_bytes: Option<u64>) -> Self {
+        GroupLayout::from_buffer_wire(net, buffer_bytes, DType::F32)
+    }
+
+    /// [`GroupLayout::from_buffer`] with an explicit wire dtype: the fusion
+    /// budget is a *byte* budget, and a tensor's wire footprint is
+    /// `len · wire.size_bytes()` — so a bf16 run packs twice as many
+    /// elements per group under the same buffer size, which is exactly what
+    /// the BO tuner's byte-denominated search space expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not a numeric dtype.
+    #[must_use]
+    pub fn from_buffer_wire(net: &Sequential, buffer_bytes: Option<u64>, wire: DType) -> Self {
+        assert!(
+            wire.is_numeric(),
+            "fusion layout needs a numeric wire dtype, not {wire}"
+        );
+        let elem_bytes = wire.size_bytes() as u64;
         let sizes: Vec<u64> = {
             let mut v = Vec::new();
             for li in (0..net.len()).rev() {
                 for p in net.layers()[li].params() {
-                    v.push(p.len() as u64 * 4);
+                    v.push(p.len() as u64 * elem_bytes);
                 }
             }
             v
@@ -261,6 +281,30 @@ mod tests {
         assert_eq!(layout.gating_groups(0), &[2, 3]);
         assert_eq!(layout.item_of(2, 0), 0);
         assert_eq!(layout.item_of(0, 1), 3);
+    }
+
+    #[test]
+    fn narrow_wire_packs_more_tensors_per_byte_budget() {
+        let net = net();
+        // Ready-order f32 byte sizes: 64, 8, 128, 32 — budget 80 splits
+        // into three groups (see `group_offsets_are_dense`). On a bf16
+        // wire the same tensors cost 32, 4, 64, 16 bytes, so the same
+        // 80-byte budget fuses [32+4], [64+16] into two groups.
+        let f32_layout = GroupLayout::from_buffer_wire(&net, Some(80), DType::F32);
+        let bf16_layout = GroupLayout::from_buffer_wire(&net, Some(80), DType::Bf16);
+        assert_eq!(f32_layout.num_groups(), 3);
+        assert_eq!(bf16_layout.num_groups(), 2);
+        assert_eq!(bf16_layout.group_elements(0), 18);
+        assert_eq!(bf16_layout.group_elements(1), 40);
+        // Total coverage is unchanged either way.
+        assert_eq!(bf16_layout.total_elements(), f32_layout.total_elements());
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric wire dtype")]
+    fn opaque_wire_dtype_is_rejected_for_layouts() {
+        let net = net();
+        let _ = GroupLayout::from_buffer_wire(&net, Some(80), DType::U8);
     }
 
     #[test]

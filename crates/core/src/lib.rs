@@ -63,6 +63,7 @@ pub use cluster::{
     run_training, run_worker, train_single_reference, DelayConfig, TrainConfig, WorkerHandle,
 };
 pub use comm::{CommLayout, HyperParams, OptimKind, OptimState};
+pub use dear_collectives::{DType, SegmentConfig};
 pub use dear_fusion as fusion;
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};

@@ -16,8 +16,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dear_net::{
-    launch_world, launch_world_elastic, run_demo_worker, ChaosPlan, LaunchOptions, NetError,
-    RestartPolicy,
+    launch_world, launch_world_elastic, run_demo_worker, ChaosPlan, LaunchOptions, NetConfig,
+    NetError, RestartPolicy,
 };
 
 const USAGE: &str = "\
@@ -36,6 +36,9 @@ options:
                        ui.perfetto.dev, plus an overlap summary on stderr)
   --tune-window K      measure throughput over K-step BO windows in the
                        demo (sets DEAR_TUNE_WINDOW)
+  --wire DTYPE         data-path wire precision: f32 (default), bf16 or
+                       f16 (sets DEAR_WIRE_DTYPE; gradients cross the
+                       socket at the narrow width, accumulated in f32)
 
 elastic options (any of these selects the supervised-restart path):
   --max-restarts R     relaunch a failed world up to R times (default 0)
@@ -121,6 +124,14 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                 let _: u64 = v.parse().map_err(|_| format!("bad --tune-window {v}"))?;
                 opts.env.push(("DEAR_TUNE_WINDOW".to_string(), v));
             }
+            "--wire" => {
+                let v = take_value(&args, &mut i, "--wire")?;
+                match dear_collectives::DType::parse(&v) {
+                    Some(d) if d.is_numeric() => {}
+                    _ => return Err(format!("bad --wire {v} (want f32, bf16 or f16)")),
+                }
+                opts.env.push(("DEAR_WIRE_DTYPE".to_string(), v));
+            }
             "--ckpt-dir" => {
                 let v = take_value(&args, &mut i, "--ckpt-dir")?;
                 opts.env.push(("DEAR_CKPT_DIR".to_string(), v));
@@ -180,7 +191,9 @@ fn run() -> Result<(), NetError> {
     // worker, so `--demo` needs no separate worker binary.
     if args.first().is_some_and(|a| a == "--demo-worker") {
         let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
-        let summary = run_demo_worker(steps)?;
+        dear_core::trace::init_from_env();
+        let cfg = NetConfig::from_env()?;
+        let summary = run_demo_worker(&cfg, steps)?;
         println!("{}", summary.to_line());
         return Ok(());
     }

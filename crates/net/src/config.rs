@@ -4,6 +4,47 @@ use std::fmt;
 use std::io;
 use std::time::Duration;
 
+use dear_collectives::DType;
+
+/// Demo-worker behaviour knobs (checkpointing, failure injection, tuning
+/// windows), carried inside [`NetConfig`] so that
+/// [`NetConfig::from_env`] is the **only** place in this crate that reads
+/// the environment — everything downstream takes the typed struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemoOptions {
+    /// Rank that dies abruptly mid-training (failure-propagation tests),
+    /// or `None` for a healthy run. Env: `DEAR_DEMO_EXIT_RANK`.
+    pub exit_rank: Option<usize>,
+    /// Step at which [`DemoOptions::exit_rank`] dies.
+    /// Env: `DEAR_DEMO_EXIT_AT_STEP`.
+    pub exit_at_step: u64,
+    /// World generation the injection fires in (an elastic restart bumps
+    /// the generation past it, so the relaunched world survives).
+    /// Env: `DEAR_DEMO_EXIT_GEN`.
+    pub exit_gen: u64,
+    /// Checkpoint directory, or `None` to disable checkpointing.
+    /// Env: `DEAR_CKPT_DIR`.
+    pub ckpt_dir: Option<String>,
+    /// Steps between checkpoints (min 1). Env: `DEAR_CKPT_EVERY`.
+    pub ckpt_every: u64,
+    /// Steps per throughput-tuning window, 0 = off.
+    /// Env: `DEAR_TUNE_WINDOW`.
+    pub tune_window: u64,
+}
+
+impl Default for DemoOptions {
+    fn default() -> Self {
+        DemoOptions {
+            exit_rank: None,
+            exit_at_step: 0,
+            exit_gen: 0,
+            ckpt_dir: None,
+            ckpt_every: 5,
+            tune_window: 0,
+        }
+    }
+}
+
 /// Environment variable naming follows the `torchrun` convention (`RANK`,
 /// `WORLD_SIZE`, `MASTER_ADDR`, `MASTER_PORT`) plus `DEAR_*` knobs for the
 /// timeout/backoff behaviour.
@@ -56,6 +97,14 @@ pub struct NetConfig {
     /// data path so traffic from an earlier incarnation of a restarted
     /// world is rejected instead of corrupting collectives.
     pub generation: u64,
+    /// Wire dtype for the training data path (`f32`/`bf16`/`f16`): the
+    /// mixed-precision knob, passed through to the run's
+    /// [`SegmentConfig`](dear_collectives::SegmentConfig). Frames are
+    /// self-describing, so peers on different settings still interoperate.
+    /// Env: `DEAR_WIRE_DTYPE`.
+    pub wire: DType,
+    /// Demo-worker knobs (checkpoints, failure injection, tuning windows).
+    pub demo: DemoOptions,
 }
 
 impl NetConfig {
@@ -83,17 +132,102 @@ impl NetConfig {
             heartbeat_interval: Some(Duration::from_secs(1)),
             heartbeat_miss_budget: 5,
             generation: 0,
+            wire: DType::F32,
+            demo: DemoOptions::default(),
         }
     }
 
-    /// Builds a configuration from the environment: `RANK`, `WORLD_SIZE`,
-    /// `MASTER_ADDR` (default `127.0.0.1`), `MASTER_PORT` (default 29400),
-    /// and optional `DEAR_LISTEN_HOST`, `DEAR_CONNECT_TIMEOUT_MS`,
+    /// Sets the host this rank's listener binds.
+    #[must_use]
+    pub fn with_listen_host(mut self, host: impl Into<String>) -> Self {
+        self.listen_host = host.into();
+        self
+    }
+
+    /// Sets the connect **and** handshake deadlines (they travel together:
+    /// a rendezvous that out-waits its connects is never useful).
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Sets the send deadline (outbox backpressure + socket writes).
+    #[must_use]
+    pub fn with_send_timeout(mut self, timeout: Duration) -> Self {
+        self.send_timeout = timeout;
+        self
+    }
+
+    /// Sets the recv deadline; `None` blocks forever.
+    #[must_use]
+    pub fn with_recv_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-peer outbox depth (min 1 frame).
+    #[must_use]
+    pub fn with_outbox_frames(mut self, frames: usize) -> Self {
+        self.outbox_frames = frames.max(1);
+        self
+    }
+
+    /// Configures the failure detector: probe every `interval` (`None`
+    /// disables it) and declare a peer dead after `miss_budget` silent
+    /// intervals (min 1).
+    #[must_use]
+    pub fn with_heartbeat(mut self, interval: Option<Duration>, miss_budget: u32) -> Self {
+        self.heartbeat_interval = interval;
+        self.heartbeat_miss_budget = miss_budget.max(1);
+        self
+    }
+
+    /// Sets the world generation (elastic restart number).
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Selects the data-path wire dtype (the mixed-precision knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not numeric — `u8` is an opaque compressor
+    /// container, not a training wire format.
+    #[must_use]
+    pub fn with_wire(mut self, wire: DType) -> Self {
+        assert!(
+            wire.is_numeric(),
+            "wire dtype must be numeric (f32/bf16/f16), not {wire}"
+        );
+        self.wire = wire;
+        self
+    }
+
+    /// Replaces the demo-worker options.
+    #[must_use]
+    pub fn with_demo(mut self, demo: DemoOptions) -> Self {
+        self.demo = demo;
+        self
+    }
+
+    /// Builds a configuration from the environment — **the only env reader
+    /// in this crate**; every other entry point takes the typed struct.
+    ///
+    /// Required: `RANK`, `WORLD_SIZE`. Rendezvous: `MASTER_ADDR` (default
+    /// `127.0.0.1`), `MASTER_PORT` (default 29400). Endpoint knobs:
+    /// `DEAR_LISTEN_HOST`, `DEAR_CONNECT_TIMEOUT_MS`,
     /// `DEAR_SEND_TIMEOUT_MS`, `DEAR_RECV_TIMEOUT_MS` (0 disables the recv
     /// deadline), `DEAR_OUTBOX_FRAMES`, `DEAR_HEARTBEAT_MS` (0 disables
-    /// the failure detector), `DEAR_HEARTBEAT_MISSES`, and
-    /// `DEAR_GENERATION` (set by the elastic launcher to the restart
-    /// attempt number).
+    /// the failure detector), `DEAR_HEARTBEAT_MISSES`, `DEAR_GENERATION`
+    /// (set by the elastic launcher to the restart attempt number), and
+    /// `DEAR_WIRE_DTYPE` (`f32`/`bf16`/`f16`, the mixed-precision knob).
+    /// Demo-worker knobs (see [`DemoOptions`]): `DEAR_DEMO_EXIT_RANK`,
+    /// `DEAR_DEMO_EXIT_AT_STEP`, `DEAR_DEMO_EXIT_GEN`, `DEAR_CKPT_DIR`,
+    /// `DEAR_CKPT_EVERY`, `DEAR_TUNE_WINDOW`.
     ///
     /// # Errors
     ///
@@ -144,6 +278,35 @@ impl NetConfig {
         }
         if let Ok(g) = std::env::var("DEAR_GENERATION") {
             cfg.generation = parse("DEAR_GENERATION", &g)?;
+        }
+        if let Ok(name) = std::env::var("DEAR_WIRE_DTYPE") {
+            let wire = DType::parse(&name).ok_or_else(|| {
+                NetError::Config(format!("DEAR_WIRE_DTYPE={name} is not a known dtype"))
+            })?;
+            if !wire.is_numeric() {
+                return Err(NetError::Config(format!(
+                    "DEAR_WIRE_DTYPE={name} is not a numeric wire format"
+                )));
+            }
+            cfg.wire = wire;
+        }
+        if let Ok(r) = std::env::var("DEAR_DEMO_EXIT_RANK") {
+            cfg.demo.exit_rank = Some(parse("DEAR_DEMO_EXIT_RANK", &r)?);
+        }
+        if let Ok(s) = std::env::var("DEAR_DEMO_EXIT_AT_STEP") {
+            cfg.demo.exit_at_step = parse("DEAR_DEMO_EXIT_AT_STEP", &s)?;
+        }
+        if let Ok(g) = std::env::var("DEAR_DEMO_EXIT_GEN") {
+            cfg.demo.exit_gen = parse("DEAR_DEMO_EXIT_GEN", &g)?;
+        }
+        if let Ok(dir) = std::env::var("DEAR_CKPT_DIR") {
+            cfg.demo.ckpt_dir = Some(dir);
+        }
+        if let Ok(n) = std::env::var("DEAR_CKPT_EVERY") {
+            cfg.demo.ckpt_every = parse::<u64>("DEAR_CKPT_EVERY", &n)?.max(1);
+        }
+        if let Ok(n) = std::env::var("DEAR_TUNE_WINDOW") {
+            cfg.demo.tune_window = parse("DEAR_TUNE_WINDOW", &n)?;
         }
         Ok(cfg)
     }
@@ -222,6 +385,56 @@ mod tests {
         assert_eq!(cfg.heartbeat_interval, Some(Duration::from_secs(1)));
         assert!(cfg.heartbeat_miss_budget >= 1);
         assert_eq!(cfg.generation, 0);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = NetConfig::new(4, 0, "10.0.0.1:29400")
+            .with_listen_host("0.0.0.0")
+            .with_connect_timeout(Duration::from_secs(3))
+            .with_send_timeout(Duration::from_secs(7))
+            .with_recv_timeout(None)
+            .with_outbox_frames(0) // clamped to 1
+            .with_heartbeat(Some(Duration::from_millis(250)), 0) // misses clamped
+            .with_generation(2)
+            .with_wire(DType::Bf16)
+            .with_demo(DemoOptions {
+                exit_rank: Some(1),
+                exit_at_step: 3,
+                ckpt_dir: Some("/tmp/ck".into()),
+                tune_window: 8,
+                ..DemoOptions::default()
+            });
+        assert_eq!(cfg.listen_host, "0.0.0.0");
+        assert_eq!(cfg.connect_timeout, Duration::from_secs(3));
+        assert_eq!(cfg.handshake_timeout, Duration::from_secs(3));
+        assert_eq!(cfg.send_timeout, Duration::from_secs(7));
+        assert_eq!(cfg.recv_timeout, None);
+        assert_eq!(cfg.outbox_frames, 1);
+        assert_eq!(cfg.heartbeat_interval, Some(Duration::from_millis(250)));
+        assert_eq!(cfg.heartbeat_miss_budget, 1);
+        assert_eq!(cfg.generation, 2);
+        assert_eq!(cfg.wire, DType::Bf16);
+        assert_eq!(cfg.demo.exit_rank, Some(1));
+        assert_eq!(cfg.demo.exit_at_step, 3);
+        assert_eq!(cfg.demo.ckpt_every, 5, "untouched fields keep defaults");
+        assert_eq!(cfg.demo.tune_window, 8);
+    }
+
+    #[test]
+    fn default_wire_is_f32_and_demo_is_off() {
+        let cfg = NetConfig::new(2, 0, "127.0.0.1:29400");
+        assert_eq!(cfg.wire, DType::F32);
+        assert_eq!(cfg.demo, DemoOptions::default());
+        assert_eq!(cfg.demo.exit_rank, None);
+        assert_eq!(cfg.demo.ckpt_dir, None);
+        assert_eq!(cfg.demo.tune_window, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric")]
+    fn opaque_wire_dtype_is_rejected_by_the_builder() {
+        let _ = NetConfig::new(2, 0, "127.0.0.1:29400").with_wire(DType::U8);
     }
 
     #[test]

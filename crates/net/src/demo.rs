@@ -64,65 +64,56 @@ fn demo_net(seed: u64) -> Sequential {
         .push(Linear::new(8, 3, &mut rng))
 }
 
-/// Joins the cluster described by the environment (`RANK`, `WORLD_SIZE`,
-/// `MASTER_ADDR`, `MASTER_PORT`, `DEAR_*`) and trains the demo network for
-/// `steps` data-parallel steps.
+/// Joins the cluster described by `cfg` and trains the demo network for
+/// `steps` data-parallel steps. All behaviour is driven by the typed
+/// config — build one with [`NetConfig::from_env`] (the crate's only env
+/// reader) or construct it explicitly; see [`DemoOptions`](crate::config::DemoOptions) for the
+/// demo-specific knobs.
 ///
-/// With `DEAR_CKPT_DIR` set, every rank writes an atomic, checksummed
-/// checkpoint every `DEAR_CKPT_EVERY` steps (default 5) and, on startup,
-/// the world agrees on the newest step *all* ranks have a valid checkpoint
-/// for (a `Min` all-reduce over each rank's latest) and resumes from it
-/// bit-identically — this is what makes a supervised restart converge to
-/// the same final parameters as an uninterrupted run.
+/// With [`ckpt_dir`](crate::config::DemoOptions::ckpt_dir) set, every rank writes an atomic,
+/// checksummed checkpoint every [`ckpt_every`](crate::config::DemoOptions::ckpt_every) steps and, on
+/// startup, the world agrees on the newest step *all* ranks have a valid
+/// checkpoint for (a `Min` all-reduce over each rank's latest) and resumes
+/// from it bit-identically — this is what makes a supervised restart
+/// converge to the same final parameters as an uninterrupted run.
 ///
-/// For failure-propagation tests, `DEAR_DEMO_EXIT_RANK` /
-/// `DEAR_DEMO_EXIT_AT_STEP` make exactly one rank die abruptly
+/// For failure-propagation tests, [`exit_rank`](crate::config::DemoOptions::exit_rank) /
+/// [`exit_at_step`](crate::config::DemoOptions::exit_at_step) make exactly one rank die abruptly
 /// (`process::exit`, indistinguishable from a kill at the network layer)
 /// mid-training; the surviving ranks must then error out of their
 /// collectives instead of hanging. The injection only fires when the
-/// world generation (`DEAR_GENERATION`) equals `DEAR_DEMO_EXIT_GEN`
-/// (default 0), so under an elastic launcher the restarted world survives.
+/// world generation equals [`exit_gen`](crate::config::DemoOptions::exit_gen), so under an elastic
+/// launcher the restarted world survives.
+///
+/// [`NetConfig::wire`] selects the data-path precision: with `bf16`/`f16`
+/// the gradients and parameters cross the socket at half the bytes,
+/// accumulated in f32 at every hop; the summary stays bit-identical
+/// across ranks either way.
 ///
 /// # Errors
 ///
-/// Returns [`NetError`] when the environment is invalid, rendezvous
-/// fails, or the checkpoint directory is unusable.
+/// Returns [`NetError`] when rendezvous fails or the checkpoint directory
+/// is unusable.
 ///
 /// # Panics
 ///
 /// Panics (taking the process down with a non-zero status) when a
 /// collective fails mid-training — e.g. a peer died and the configured
-/// `DEAR_RECV_TIMEOUT_MS` or a disconnect surfaced — or when a checkpoint
-/// write fails.
-pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
-    trace::init_from_env();
-    let cfg = NetConfig::from_env()?;
-    let transport = TcpEndpoint::connect(&cfg)?;
+/// recv deadline or a disconnect surfaced — or when a checkpoint write
+/// fails.
+pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetError> {
+    let transport = TcpEndpoint::connect(cfg)?;
     let rank = transport.rank();
     let world = transport.world_size();
-    let exit_rank: Option<usize> = std::env::var("DEAR_DEMO_EXIT_RANK")
-        .ok()
-        .and_then(|v| v.parse().ok());
-    let exit_step: u64 = std::env::var("DEAR_DEMO_EXIT_AT_STEP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let exit_gen: u64 = std::env::var("DEAR_DEMO_EXIT_GEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let exit_here = exit_rank == Some(rank) && cfg.generation == exit_gen;
-    let ckpt_every: u64 = std::env::var("DEAR_CKPT_EVERY")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5)
-        .max(1);
-    let store = match std::env::var("DEAR_CKPT_DIR") {
-        Ok(dir) => Some(
+    let exit_here = cfg.demo.exit_rank == Some(rank) && cfg.generation == cfg.demo.exit_gen;
+    let exit_step = cfg.demo.exit_at_step;
+    let ckpt_every = cfg.demo.ckpt_every.max(1);
+    let store = match &cfg.demo.ckpt_dir {
+        Some(dir) => Some(
             CheckpointStore::new(dir, rank)
                 .map_err(|e| NetError::Config(format!("checkpoint store: {e}")))?,
         ),
-        Err(_) => None,
+        None => None,
     };
     // Agree on the resume point before training: each rank offers the step
     // of its newest *valid* checkpoint (−1 = none), and the world takes the
@@ -161,15 +152,13 @@ pub fn run_demo_worker(steps: u64) -> Result<DemoSummary, NetError> {
     let train_cfg = TrainConfig {
         fusion_buffer: Some(512), // several groups => real pipelining
         ..TrainConfig::default()
-    };
+    }
+    .with_wire(cfg.wire);
     // Optional throughput measurement over BO-style tuning windows
-    // (`DEAR_TUNE_WINDOW` steps per window, 0/unset = off). Checkpoint
-    // saves are bracketed with pause()/resume() so their cost never lands
-    // inside a window's observation.
-    let tune_window: u64 = std::env::var("DEAR_TUNE_WINDOW")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    // (`tune_window` steps per window, 0 = off). Checkpoint saves are
+    // bracketed with pause()/resume() so their cost never lands inside a
+    // window's observation.
+    let tune_window = cfg.demo.tune_window;
     let (eval_loss, params_hash) = run_worker(transport, train_cfg, move |handle| {
         let mut net = demo_net(7);
         let mut optim = handle.into_optim(&net);

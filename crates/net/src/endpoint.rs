@@ -65,14 +65,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dear_collectives::{CollectiveError, Message, Transport};
+use dear_collectives::{CollectiveError, Message, Transport, WireBuf};
 use dear_core::trace;
 
 use crate::config::{NetConfig, NetError};
 use crate::frame::{
-    decode_f32s, decode_generation, decode_ident, encode_data_body, encode_generation,
-    encode_ident, read_frame, split_data_body, write_frame, FrameKind, Hello, Welcome,
-    MAX_FRAME_BYTES,
+    decode_generation, decode_ident, encode_data_body, encode_generation, encode_ident, read_frame,
+    split_data_body, write_frame, FrameKind, Hello, Welcome, DATA_BODY_OVERHEAD, MAX_FRAME_BYTES,
 };
 
 /// Bytes of frame overhead per wire frame (the 5-byte header).
@@ -100,38 +99,40 @@ pub struct PeerStats {
     pub send_retries: u64,
 }
 
-/// The wire size of a data body carrying `elements` `f32`s (generation
-/// stamp + payload), when it exceeds the frame limit.
-fn oversize_bytes(elements: usize) -> Option<u64> {
-    let bytes = 8 + 4 * elements as u64;
+/// The wire size of a data body carrying `wire_bytes` of encoded payload
+/// (generation stamp + dtype tag + element bytes), when it exceeds the
+/// frame limit. Byte-denominated: a bf16 payload can carry twice the
+/// elements of an f32 payload before hitting the limit.
+fn oversize_bytes(wire_bytes: usize) -> Option<u64> {
+    let bytes = DATA_BODY_OVERHEAD as u64 + wire_bytes as u64;
     (bytes > MAX_FRAME_BYTES as u64).then_some(bytes)
 }
 
 /// Buffers kept in the shared pool; bounds pool memory at roughly
-/// `POOL_CAP × largest-segment` elements (matches `LocalEndpoint`).
+/// `POOL_CAP × largest-segment` bytes (matches `LocalEndpoint`).
 const POOL_CAP: usize = 64;
 
-/// Shared reusable `Vec<f32>` pool; reader threads take from it for
+/// Shared reusable wire-byte pool; reader threads take from it for
 /// incoming payloads, writer threads and `recycle_buffer` return to it.
 #[derive(Default)]
 struct BufferPool {
-    bufs: Mutex<Vec<Vec<f32>>>,
+    bufs: Mutex<Vec<Vec<u8>>>,
 }
 
 impl BufferPool {
-    fn take(&self, capacity: usize) -> Vec<f32> {
+    fn take(&self, capacity_bytes: usize) -> Vec<u8> {
         let mut pool = self.bufs.lock().expect("buffer pool poisoned");
         match pool.pop() {
             Some(mut buf) => {
                 buf.clear();
-                buf.reserve(capacity);
+                buf.reserve(capacity_bytes);
                 buf
             }
-            None => Vec::with_capacity(capacity),
+            None => Vec::with_capacity(capacity_bytes),
         }
     }
 
-    fn recycle(&self, buf: Vec<f32>) {
+    fn recycle(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
         }
@@ -145,7 +146,7 @@ impl BufferPool {
 /// Commands consumed by a peer's writer thread.
 enum WriterCmd {
     /// Frame this payload and put it on the wire, then recycle the buffer.
-    Data(Vec<f32>),
+    Data(WireBuf),
     /// Write a liveness probe (the failure detector's periodic frame).
     Heartbeat,
     /// Write a graceful shutdown frame and exit.
@@ -214,7 +215,7 @@ pub struct TcpEndpoint {
     /// `outboxes[p]` feeds peer `p`'s writer thread. `None` at own rank.
     outboxes: Vec<Option<SyncSender<WriterCmd>>>,
     /// `inboxes[p]` is fed by peer `p`'s reader thread. `None` at own rank.
-    inboxes: Vec<Option<Mutex<Receiver<Vec<f32>>>>>,
+    inboxes: Vec<Option<Mutex<Receiver<WireBuf>>>>,
     pool: Arc<BufferPool>,
     health: Arc<Health>,
     counters: Arc<Vec<PeerCounters>>,
@@ -532,10 +533,10 @@ fn writer_loop(
     let mut bytes = Vec::new();
     while let Ok(cmd) = orx.recv() {
         match cmd {
-            WriterCmd::Data(buf) => {
-                encode_data_body(generation, &buf, &mut bytes);
+            WriterCmd::Data(payload) => {
+                encode_data_body(generation, &payload, &mut bytes);
                 let ok = write_frame(&mut w, FrameKind::Data, &bytes).is_ok();
-                pool.recycle(buf);
+                pool.recycle(payload.into_bytes());
                 if !ok || w.flush().is_err() {
                     return; // dropping orx signals Disconnected to senders
                 }
@@ -576,7 +577,7 @@ fn reader_loop(
     stream: TcpStream,
     peer: usize,
     generation: u64,
-    itx: mpsc::Sender<Vec<f32>>,
+    itx: mpsc::Sender<WireBuf>,
     pool: &BufferPool,
     health: &Health,
     counters: &PeerCounters,
@@ -593,15 +594,22 @@ fn reader_loop(
         match frame {
             Ok(FrameKind::Data) => {
                 health.saw(peer);
-                let Ok((stamp, raw)) = split_data_body(&body) else {
+                let Ok((stamp, dtype, raw)) = split_data_body(&body) else {
                     return;
                 };
                 if stamp != generation {
                     health.mark_stale(peer, stamp);
                     return;
                 }
-                let mut buf = pool.take(raw.len() / 4);
-                if decode_f32s(raw, &mut buf).is_err() || itx.send(buf).is_err() {
+                let mut buf = pool.take(raw.len());
+                buf.extend_from_slice(raw);
+                // The payload is self-describing: decode by the frame's own
+                // dtype tag. A byte count that doesn't divide into whole
+                // elements is stream corruption — end the stream.
+                let Ok(payload) = WireBuf::from_raw(dtype, buf) else {
+                    return;
+                };
+                if itx.send(payload).is_err() {
                     return;
                 }
             }
@@ -638,7 +646,7 @@ impl Transport for TcpEndpoint {
 
     fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
         self.check_peer(to)?;
-        if let Some(bytes) = oversize_bytes(msg.len()) {
+        if let Some(bytes) = oversize_bytes(msg.wire_bytes()) {
             // The frame header's length field is a u32; letting this
             // through would truncate on the wire and desynchronize the
             // peer's stream.
@@ -649,7 +657,10 @@ impl Transport for TcpEndpoint {
             });
         }
         let tx = self.outboxes[to].as_ref().expect("validated peer");
-        let mut cmd = WriterCmd::Data(msg.into_wire_payload());
+        // A fabric-local deliver-at stamp must never reach the wire; this
+        // surfaces the composition bug as a typed error (see
+        // `Message::into_wire_payload`).
+        let mut cmd = WriterCmd::Data(msg.into_wire_payload()?);
         let deadline = Instant::now() + self.send_timeout;
         loop {
             match tx.try_send(cmd) {
@@ -710,11 +721,11 @@ impl Transport for TcpEndpoint {
         true
     }
 
-    fn take_buffer(&self, capacity: usize) -> Vec<f32> {
-        self.pool.take(capacity)
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        self.pool.take(capacity_bytes)
     }
 
-    fn recycle_buffer(&self, buf: Vec<f32>) {
+    fn recycle_buffer(&self, buf: Vec<u8>) {
         self.pool.recycle(buf);
     }
 }
@@ -1051,7 +1062,7 @@ mod tests {
                 a.send(1, vec![2.0].into()).unwrap();
             });
             s.spawn(|| {
-                let first = b.recv(0).unwrap();
+                let first = b.recv(0).unwrap().into_payload().to_f32_vec();
                 assert_eq!(first.len(), 3);
                 assert_eq!(first[0].to_bits(), 1.0f32.to_bits());
                 assert!(first[1].is_nan());
@@ -1097,7 +1108,7 @@ mod tests {
         let a = eps.pop().unwrap();
         a.send(1, vec![5.0; 8].into()).unwrap();
         let msg = b.recv(0).unwrap();
-        let buf = msg.into_payload();
+        let buf = msg.into_payload().into_bytes();
         let cap = buf.capacity();
         b.recycle_buffer(buf);
         let again = b.take_buffer(4);
@@ -1106,17 +1117,40 @@ mod tests {
     }
 
     #[test]
+    fn narrow_payloads_keep_their_dtype_across_the_socket() {
+        use dear_collectives::DType;
+        let mut eps = tcp_loopback(2).unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let elems = [1.0f32, -2.5, 0.5, 1024.0];
+        a.send(1, Message::new(WireBuf::encode(&elems, DType::Bf16)))
+            .unwrap();
+        let payload = b.recv(0).unwrap().into_payload();
+        assert_eq!(payload.dtype(), DType::Bf16);
+        assert_eq!(payload.num_bytes(), 8, "half the f32 wire bytes");
+        assert_eq!(payload.to_f32_vec(), elems, "bf16-exact values roundtrip");
+    }
+
+    #[test]
+    fn stamped_message_is_rejected_at_the_wire_boundary() {
+        let eps = tcp_loopback(2).unwrap();
+        let msg = Message::from(vec![1.0]).with_deliver_at(Instant::now());
+        let err = eps[0].send(1, msg).unwrap_err();
+        assert_eq!(err, CollectiveError::LocalStampOnWire);
+    }
+
+    #[test]
     fn oversize_send_is_rejected_before_framing() {
         // Boundary arithmetic on the helper (a real boundary payload would
-        // be a 1 GiB allocation): the stamp's 8 bytes count against the
-        // frame limit, so the largest sendable payload is
-        // (MAX_FRAME_BYTES − 8) / 4 elements.
-        let fits = (MAX_FRAME_BYTES - 8) / 4;
+        // be a 1 GiB allocation): the stamp and dtype tag's 9 bytes count
+        // against the frame limit, so the largest sendable payload is
+        // MAX_FRAME_BYTES − 9 wire bytes.
+        let fits = MAX_FRAME_BYTES - DATA_BODY_OVERHEAD;
         assert_eq!(oversize_bytes(fits), None);
         assert_eq!(
             oversize_bytes(fits + 1),
-            Some(MAX_FRAME_BYTES as u64 + 4),
-            "one element past the boundary must be flagged"
+            Some(MAX_FRAME_BYTES as u64 + 1),
+            "one byte past the boundary must be flagged"
         );
     }
 
@@ -1128,8 +1162,8 @@ mod tests {
         a.send(1, vec![1.0, 2.0].into()).unwrap();
         let msg = b.recv(0).unwrap();
         assert_eq!(msg.len(), 2);
-        // One data frame: 5-byte header + 8-byte stamp + 2 × 4 payload.
-        let expect = FRAME_HEADER_BYTES + 8 + 8;
+        // One data frame: 5-byte header + 9-byte stamp/dtype + 2 × 4 payload.
+        let expect = FRAME_HEADER_BYTES + DATA_BODY_OVERHEAD as u64 + 8;
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let sent = a.stats().iter().map(|s| s.bytes_sent).sum::<u64>();
@@ -1236,7 +1270,7 @@ mod tests {
         let ep = endpoint_over(ours, &cfg);
         let mut s = theirs;
         let mut body = Vec::new();
-        encode_data_body(4, &[1.0, 2.0], &mut body);
+        encode_data_body(4, &WireBuf::from_f32(&[1.0, 2.0]), &mut body);
         write_frame(&mut s, FrameKind::Data, &body).unwrap();
         ep.set_recv_timeout(Some(Duration::from_secs(5)));
         let err = ep.recv(1).unwrap_err();

@@ -1,22 +1,28 @@
 //! Wire framing: every byte on a `dear-net` socket travels inside a frame
 //! with a fixed 5-byte header — `[kind: u8][len: u32 LE]` — followed by
-//! `len` payload bytes. Gradient payloads are `f32` little-endian arrays;
+//! `len` payload bytes. Gradient payloads are dtype-tagged byte arrays
+//! (`[generation: u64][dtype: u8][element bytes]`, see [`WireBuf`]);
 //! rendezvous control frames carry small hand-rolled binary bodies.
 //!
 //! Little-endian is the wire byte order regardless of host (the paper's
 //! testbeds are x86-64, but the format is explicit so heterogeneous hosts
-//! interoperate).
+//! interoperate). Data frames are **self-describing**: the receiver decodes
+//! by the frame's own dtype tag, never by local configuration, so peers on
+//! different wire precisions interoperate frame by frame.
 
 use std::io::{self, Read, Write};
+
+use dear_collectives::{DType, WireBuf};
 
 /// Frame type tags. The numeric values are wire ABI; do not renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameKind {
-    /// A generation-stamped `f32` LE gradient/parameter payload
-    /// (`[generation: u64][f32 LE...]` — a [`Message`] payload). The
-    /// generation lets a restarted world reject frames that straggle in
-    /// from a previous incarnation.
+    /// A generation-stamped, dtype-tagged gradient/parameter payload
+    /// (`[generation: u64][dtype: u8][element bytes LE]` — a [`Message`]
+    /// payload). The generation lets a restarted world reject frames that
+    /// straggle in from a previous incarnation; the dtype tag (see
+    /// [`DType::tag`]) makes each frame self-describing.
     ///
     /// [`Message`]: dear_collectives::Message
     Data = 1,
@@ -155,35 +161,47 @@ pub fn decode_f32s(body: &[u8], out: &mut Vec<f32>) -> io::Result<()> {
     Ok(())
 }
 
-/// Encodes a [`FrameKind::Data`] body: an 8-byte LE generation stamp
-/// followed by the `f32` LE payload (`out` cleared and reused).
-pub fn encode_data_body(generation: u64, elems: &[f32], out: &mut Vec<u8>) {
+/// Bytes of [`FrameKind::Data`] body overhead before the element bytes:
+/// the 8-byte generation stamp plus the 1-byte dtype tag.
+pub const DATA_BODY_OVERHEAD: usize = 9;
+
+/// Encodes a [`FrameKind::Data`] body: an 8-byte LE generation stamp, a
+/// 1-byte dtype tag, then the payload's element bytes (`out` cleared and
+/// reused). Lengths are **bytes**, dtype-dependent: a bf16 payload's body
+/// is half the size of the same element count in f32.
+pub fn encode_data_body(generation: u64, payload: &WireBuf, out: &mut Vec<u8>) {
     out.clear();
-    out.reserve(8 + elems.len() * 4);
+    out.reserve(DATA_BODY_OVERHEAD + payload.num_bytes());
     out.extend_from_slice(&generation.to_le_bytes());
-    for x in elems {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
+    out.push(payload.dtype().tag());
+    out.extend_from_slice(payload.bytes());
 }
 
-/// Splits a [`FrameKind::Data`] body into its generation stamp and the raw
-/// `f32` payload bytes.
+/// Splits a [`FrameKind::Data`] body into its generation stamp, dtype, and
+/// the raw element bytes.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` if the body is shorter than the stamp.
-pub fn split_data_body(body: &[u8]) -> io::Result<(u64, &[u8])> {
-    if body.len() < 8 {
+/// Returns `InvalidData` if the body is shorter than the stamp + tag, or
+/// carries an unknown dtype tag.
+pub fn split_data_body(body: &[u8]) -> io::Result<(u64, DType, &[u8])> {
+    if body.len() < DATA_BODY_OVERHEAD {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
-                "data frame of {} bytes lacks a generation stamp",
+                "data frame of {} bytes lacks a generation stamp and dtype tag",
                 body.len()
             ),
         ));
     }
     let generation = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-    Ok((generation, &body[8..]))
+    let dtype = DType::from_tag(body[8]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown dtype tag {}", body[8]),
+        )
+    })?;
+    Ok((generation, dtype, &body[DATA_BODY_OVERHEAD..]))
 }
 
 /// Encodes the 8-byte body of a [`FrameKind::Heartbeat`] frame.
@@ -432,19 +450,47 @@ mod tests {
     }
 
     #[test]
-    fn data_body_carries_its_generation_stamp() {
+    fn data_body_carries_its_generation_stamp_and_dtype() {
         let elems = [1.0f32, -2.5, f32::NAN];
         let mut body = Vec::new();
-        encode_data_body(41, &elems, &mut body);
-        assert_eq!(body.len(), 8 + elems.len() * 4);
-        let (generation, raw) = split_data_body(&body).unwrap();
+        encode_data_body(41, &WireBuf::from_f32(&elems), &mut body);
+        assert_eq!(body.len(), DATA_BODY_OVERHEAD + elems.len() * 4);
+        let (generation, dtype, raw) = split_data_body(&body).unwrap();
         assert_eq!(generation, 41);
+        assert_eq!(dtype, DType::F32);
         let mut back = Vec::new();
         decode_f32s(raw, &mut back).unwrap();
         for (a, b) in elems.iter().zip(&back) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
-        assert!(split_data_body(&body[..7]).is_err());
+        assert!(split_data_body(&body[..8]).is_err());
+    }
+
+    #[test]
+    fn narrow_data_body_is_self_describing_and_half_size() {
+        let elems = [1.0f32, 2.0, 3.0, 4.0];
+        let mut f32_body = Vec::new();
+        encode_data_body(7, &WireBuf::from_f32(&elems), &mut f32_body);
+        let mut bf16_body = Vec::new();
+        encode_data_body(7, &WireBuf::encode(&elems, DType::Bf16), &mut bf16_body);
+        assert_eq!(f32_body.len(), DATA_BODY_OVERHEAD + 16);
+        assert_eq!(bf16_body.len(), DATA_BODY_OVERHEAD + 8);
+        let (generation, dtype, raw) = split_data_body(&bf16_body).unwrap();
+        assert_eq!(generation, 7);
+        assert_eq!(dtype, DType::Bf16);
+        let back = WireBuf::from_raw(dtype, raw.to_vec()).unwrap().to_f32_vec();
+        assert_eq!(back, elems, "bf16-exact values roundtrip");
+    }
+
+    #[test]
+    fn unknown_dtype_tag_is_invalid_data() {
+        let mut body = Vec::new();
+        encode_data_body(1, &WireBuf::from_f32(&[1.0]), &mut body);
+        body[8] = 0xEE; // corrupt the dtype tag
+        assert_eq!(
+            split_data_body(&body).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod launch;
 mod loopback;
 
 pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
-pub use config::{NetConfig, NetError};
+pub use config::{DemoOptions, NetConfig, NetError};
 pub use demo::{hash_params, run_demo_worker, DemoSummary};
 pub use endpoint::{PeerStats, TcpEndpoint};
 pub use launch::{

@@ -252,7 +252,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Half-open length bound for [`vec`]; built from `usize` (exact length),
+    /// Half-open length bound for [`vec()`]; built from `usize` (exact length),
     /// `Range<usize>`, or `RangeInclusive<usize>`, like upstream `SizeRange`.
     pub struct SizeRange {
         start: usize,
