@@ -87,6 +87,15 @@ pub enum CollectiveError {
         /// The generation stamped on the offending frame.
         actual: u64,
     },
+    /// An in-place world reconfiguration (elastic resize) was requested but
+    /// could not be honoured — it arrived mid-step instead of at an
+    /// iteration boundary, the transport does not support resizing, or the
+    /// survivor set failed to reach quorum. The request fails; the process
+    /// does not.
+    Reconfigure {
+        /// Why the reconfiguration was refused or failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CollectiveError {
@@ -145,6 +154,9 @@ impl fmt::Display for CollectiveError {
                     "stale frame from peer {peer}: generation {actual}, this world is generation {expected}"
                 )
             }
+            CollectiveError::Reconfigure { reason } => {
+                write!(f, "reconfigure failed: {reason}")
+            }
         }
     }
 }
@@ -187,6 +199,9 @@ mod tests {
             CollectiveError::WireFormat {
                 dtype: "bf16",
                 bytes: 7,
+            },
+            CollectiveError::Reconfigure {
+                reason: "a collective is still in flight".to_string(),
             },
         ];
         for e in samples {
@@ -233,6 +248,9 @@ mod tests {
                 peer: 0,
                 expected: 1,
                 actual: 0,
+            },
+            CollectiveError::Reconfigure {
+                reason: "quorum lost".to_string(),
             },
         ];
         for e in samples {

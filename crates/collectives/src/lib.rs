@@ -83,7 +83,9 @@ pub use ring::{
     ring_reduce_scatter, ring_reduce_scatter_seg,
 };
 pub use segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
-pub use transport::{DelayFabric, GroupTransport, LocalEndpoint, LocalFabric, Message, Transport};
+pub use transport::{
+    DelayFabric, GroupTransport, LocalEndpoint, LocalFabric, Message, Transport, WorldChange,
+};
 pub use tree::{
     double_tree_all_reduce, double_tree_all_reduce_seg, double_tree_broadcast_phase,
     double_tree_broadcast_phase_seg, double_tree_reduce_phase, double_tree_reduce_phase_seg,

@@ -13,7 +13,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::cost::CostModel;
 use crate::error::CollectiveError;
-use crate::wire::WireBuf;
+use crate::wire::{DType, WireBuf};
 
 /// A payload travelling between ranks: a dtype-tagged byte buffer
 /// ([`WireBuf`]), optionally stamped with the wall-clock instant at which
@@ -152,6 +152,26 @@ impl PartialEq<[f32]> for Message {
     }
 }
 
+/// What an in-place world resize did to this endpoint: the rank/world pair
+/// it held before, the dense rank it was reassigned, and the generation the
+/// resized world runs at. Returned by [`Transport::reconfigure`] so callers
+/// (e.g. a comm thread re-deriving shard ownership) can rebuild any state
+/// keyed on rank or world size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldChange {
+    /// The rank this endpoint held before the resize.
+    pub old_rank: usize,
+    /// The world size before the resize.
+    pub old_world: usize,
+    /// The dense rank assigned in the resized world.
+    pub new_rank: usize,
+    /// The resized world's size.
+    pub new_world: usize,
+    /// The generation the resized world runs at (bumped past the old
+    /// world's, so stragglers from the old incarnation are rejected).
+    pub generation: u64,
+}
+
 /// Point-to-point message transport between the workers of one job.
 ///
 /// Implementations must be usable from one thread per rank; `send` must not
@@ -216,6 +236,32 @@ pub trait Transport {
         drop(buf);
     }
 
+    /// Reconfigures this endpoint **in place** for a resized world — after
+    /// peer loss (shrink) or an admitted late joiner (grow) — and returns
+    /// the [`WorldChange`] describing the rank/world transition.
+    ///
+    /// `survivors` optionally names the global (old-world) ranks that remain,
+    /// in any order but including this endpoint's own rank; `None` asks the
+    /// transport to discover the survivor set itself (e.g. `dear-net`'s TCP
+    /// endpoint re-runs rendezvous at a bumped generation and takes whoever
+    /// shows up within the resize window). After a successful call,
+    /// [`Transport::rank`] and [`Transport::world_size`] report the new
+    /// dense assignment and every neighbor-table-deriving algorithm (ring,
+    /// RHD, tree, hierarchical) works unchanged on the resized world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::Reconfigure`] when the transport does not
+    /// support in-place resizing (the default), when the survivor set is
+    /// invalid, or when the resize rendezvous fails (no quorum, timeout) —
+    /// in which case the caller should fall back to a supervised restart.
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let _ = survivors;
+        Err(CollectiveError::Reconfigure {
+            reason: "this transport does not support in-place resize".to_string(),
+        })
+    }
+
     /// Validates a peer rank, shared by implementations.
     fn check_peer(&self, peer: usize) -> Result<(), CollectiveError> {
         if peer >= self.world_size() || peer == self.rank() {
@@ -233,6 +279,11 @@ pub trait Transport {
 /// `POOL_CAP × largest-segment` bytes.
 const POOL_CAP: usize = 64;
 
+/// Marker payload of the local fabric's resize flush handshake (see
+/// [`LocalEndpoint`]'s `reconfigure`). Opaque bytes that no collective
+/// emits as data.
+const LOCAL_RESIZE_MARKER: &[u8] = b"dear.local.resize.flush/1";
+
 /// One rank's endpoint of a [`LocalFabric`].
 pub struct LocalEndpoint {
     rank: usize,
@@ -249,6 +300,13 @@ pub struct LocalEndpoint {
     /// Optional deadline applied to every `recv` (see
     /// [`Transport::set_recv_timeout`]).
     recv_timeout: Mutex<Option<Duration>>,
+    /// `marker_seen[from]` latches once `from`'s resize flush marker has
+    /// been received — whether by the reconfigure drain or by a still-
+    /// failing collective that consumed it as if it were data. Once set,
+    /// receives from that peer abort fast (the peer has left this world's
+    /// incarnation) and the drain knows not to wait for a second marker.
+    /// Reset to the new world size by a successful `reconfigure`.
+    marker_seen: Mutex<Vec<bool>>,
 }
 
 impl fmt::Debug for LocalEndpoint {
@@ -315,6 +373,7 @@ impl LocalFabric {
                 receivers,
                 pool: Mutex::new(Vec::new()),
                 recv_timeout: Mutex::new(None),
+                marker_seen: Mutex::new(vec![false; world]),
             })
             .collect()
     }
@@ -340,11 +399,18 @@ impl Transport for LocalEndpoint {
 
     fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
         self.check_peer(from)?;
+        // A peer whose resize marker has already been seen has abandoned
+        // this incarnation of the world: it sends nothing further until the
+        // resize completes, so any collective still receiving from it can
+        // only fail. Abort immediately instead of waiting out the deadline.
+        if self.marker_seen.lock().expect("marker latch poisoned")[from] {
+            return Err(CollectiveError::Aborted { peer: from });
+        }
         let rx = self.receivers[from]
             .as_ref()
             .expect("validated peer has a channel");
         let timeout = *self.recv_timeout.lock().expect("recv timeout poisoned");
-        match timeout {
+        let msg = match timeout {
             None => rx
                 .recv()
                 .map_err(|_| CollectiveError::Disconnected { peer: from }),
@@ -357,7 +423,17 @@ impl Transport for LocalEndpoint {
                     CollectiveError::Disconnected { peer: from }
                 }
             }),
+        }?;
+        // A still-failing collective can pull the flush marker off the
+        // channel before the reconfigure drain runs. Latch it so the drain
+        // (and every later pre-resize receive) knows, and fail this
+        // collective — the marker means the peer has moved on.
+        let p = msg.payload();
+        if p.dtype() == DType::U8 && p.bytes() == LOCAL_RESIZE_MARKER {
+            self.marker_seen.lock().expect("marker latch poisoned")[from] = true;
+            return Err(CollectiveError::Aborted { peer: from });
         }
+        Ok(msg)
     }
 
     fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
@@ -385,6 +461,118 @@ impl Transport for LocalEndpoint {
         if pool.len() < POOL_CAP {
             pool.push(buf);
         }
+    }
+
+    /// Shrinks the fabric to `survivors` (global ranks, this rank included):
+    /// surviving channels are renumbered densely in ascending old-rank
+    /// order, dropped peers' channels are closed so any operation they
+    /// attempt reports [`CollectiveError::Disconnected`]. The in-process
+    /// fabric has no failure detector, so the survivor set must be
+    /// explicit — `None` is refused. Growing is likewise refused: new
+    /// in-process ranks would need channel halves this endpoint cannot
+    /// mint alone.
+    ///
+    /// Every survivor must call this **concurrently** with the same list:
+    /// the surviving channels carry a flush handshake (each survivor posts
+    /// a marker, then drains its queues up to every peer's marker), so a
+    /// survivor that resizes early discards a slower peer's abandoned
+    /// in-flight traffic instead of reading it as post-resize data. The
+    /// drain blocks until the peers reconfigure too — set a receive
+    /// timeout ([`Transport::set_recv_timeout`]) to bound that wait. On
+    /// error the handshake may have consumed messages; the endpoint is
+    /// only fit for dropping.
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let Some(survivors) = survivors else {
+            return Err(CollectiveError::Reconfigure {
+                reason: "local fabric cannot discover survivors; pass them explicitly".to_string(),
+            });
+        };
+        let mut order: Vec<usize> = survivors.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        if order.len() != survivors.len() {
+            return Err(CollectiveError::Reconfigure {
+                reason: "survivor list contains duplicate ranks".to_string(),
+            });
+        }
+        if order.iter().any(|&g| g >= self.world) {
+            return Err(CollectiveError::Reconfigure {
+                reason: format!("survivor rank out of range for world {}", self.world),
+            });
+        }
+        let Some(new_rank) = order.iter().position(|&g| g == self.rank) else {
+            return Err(CollectiveError::Reconfigure {
+                reason: format!("survivor list omits this endpoint's rank {}", self.rank),
+            });
+        };
+        // Flush handshake, still under the old numbering: post a marker to
+        // every surviving peer, then drain each queue up to that peer's
+        // marker. Channels are FIFO, so everything a peer sent before its
+        // marker — the abandoned step's in-flight payloads — is discarded
+        // here, and a reconfiguring peer sends nothing else until its own
+        // call returns. (The marker is an opaque-byte payload no collective
+        // produces; gradient traffic is element-typed.)
+        let marker = || {
+            Message::new(
+                WireBuf::from_raw(DType::U8, LOCAL_RESIZE_MARKER.to_vec())
+                    .expect("u8 payloads have no alignment requirement"),
+            )
+        };
+        let reconf = |e: CollectiveError| CollectiveError::Reconfigure {
+            reason: format!("resize flush handshake failed: {e}"),
+        };
+        for &g in &order {
+            if g != self.rank {
+                self.send(g, marker()).map_err(reconf)?;
+            }
+        }
+        // The drain doubles as a barrier: it waits for every listed
+        // survivor to enter its own reconfigure, however long that rank's
+        // failure detection takes, so the configured receive deadline must
+        // not apply (a survivor that actually died surfaces as
+        // `Disconnected` when its endpoint drops). Survivors therefore
+        // leave the resize aligned to within a handshake round-trip.
+        let saved = *self.recv_timeout.lock().expect("recv timeout poisoned");
+        let _ = self.set_recv_timeout(None);
+        let drained = (|| {
+            for &g in &order {
+                if g == self.rank {
+                    continue;
+                }
+                // `recv` latches the marker and reports it as `Aborted`
+                // whether the drain pulls it here or a failing collective
+                // consumed it earlier; either way this peer is flushed.
+                loop {
+                    match self.recv(g) {
+                        Ok(_stale) => {}
+                        Err(CollectiveError::Aborted { .. }) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok(())
+        })();
+        let _ = self.set_recv_timeout(saved);
+        drained.map_err(reconf)?;
+        let old_rank = self.rank;
+        let old_world = self.world;
+        let mut senders = std::mem::take(&mut self.senders);
+        let mut receivers = std::mem::take(&mut self.receivers);
+        // The diagonal (own-rank) slot is `None` and lands on the new
+        // diagonal; dropped peers' halves fall out of scope here, closing
+        // their channels.
+        self.senders = order.iter().map(|&g| senders[g].take()).collect();
+        self.receivers = order.iter().map(|&g| receivers[g].take()).collect();
+        self.rank = new_rank;
+        self.world = order.len();
+        *self.marker_seen.lock().expect("marker latch poisoned") = vec![false; order.len()];
+        Ok(WorldChange {
+            old_rank,
+            old_world,
+            new_rank,
+            new_world: order.len(),
+            generation: 0,
+        })
     }
 }
 
@@ -502,6 +690,15 @@ impl<T: Transport> Transport for DelayFabric<T> {
 
     fn recycle_buffer(&self, buf: Vec<u8>) {
         self.inner.recycle_buffer(buf);
+    }
+
+    /// Forwards to the wrapped transport, then resets the per-link clocks
+    /// for the resized world (old busy-until stamps belong to links that no
+    /// longer exist under the dense renumbering).
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let change = self.inner.reconfigure(survivors)?;
+        *self.busy_until.lock().expect("link clock poisoned") = vec![None; change.new_world];
+        Ok(change)
     }
 }
 
@@ -810,5 +1007,112 @@ mod tests {
     fn group_transport_rejects_duplicates() {
         let eps = LocalFabric::create(2);
         let _ = GroupTransport::new(&eps[0], Arc::new(vec![0, 0]));
+    }
+
+    #[test]
+    fn local_reconfigure_shrinks_to_dense_ranks() {
+        let mut eps = LocalFabric::create(4);
+        // Drop rank 2; survivors 0,1,3 become dense 0,1,2.
+        let dead = eps.remove(2);
+        drop(dead);
+        let survivors = [0usize, 1, 3];
+        // Concurrent, as the flush handshake requires.
+        let changes: Vec<WorldChange> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| s.spawn(move || ep.reconfigure(Some(&survivors)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(changes[0].new_rank, 0);
+        assert_eq!(changes[1].new_rank, 1);
+        assert_eq!(changes[2].new_rank, 2);
+        assert_eq!(changes[2].old_rank, 3);
+        for (ep, change) in eps.iter().zip(&changes) {
+            assert_eq!(ep.world_size(), 3);
+            assert_eq!(change.new_world, 3);
+            assert_eq!(change.old_world, 4);
+            assert_eq!(ep.rank(), change.new_rank);
+        }
+        // The shrunk fabric still runs a correct all-reduce.
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 8];
+                    crate::ring::ring_all_reduce(ep, &mut data, crate::ReduceOp::Sum).unwrap();
+                    assert_eq!(data, vec![6.0; 8]); // 1+2+3
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn local_reconfigure_rejects_bad_survivor_sets() {
+        let mut eps = LocalFabric::create(3);
+        let err = eps[0].reconfigure(None).unwrap_err();
+        assert!(matches!(err, CollectiveError::Reconfigure { .. }));
+        let err = eps[0].reconfigure(Some(&[1, 2])).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("omits")),
+            "{err}"
+        );
+        let err = eps[0].reconfigure(Some(&[0, 5])).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("range")),
+            "{err}"
+        );
+        let err = eps[0].reconfigure(Some(&[0, 1, 1])).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("duplicate")),
+            "{err}"
+        );
+        // A failed validation leaves the endpoint untouched.
+        assert_eq!(eps[0].rank(), 0);
+        assert_eq!(eps[0].world_size(), 3);
+    }
+
+    #[test]
+    fn reconfigure_flushes_stale_in_flight_messages() {
+        let mut eps = LocalFabric::create(3);
+        let dead = eps.remove(1);
+        // Abandoned collectives left payloads queued between the survivors
+        // in both directions — post-resize receives must never see them.
+        eps[0].send(2, vec![66.6; 4].into()).unwrap();
+        eps[1].send(0, vec![77.7; 4].into()).unwrap();
+        drop(dead);
+        let survivors = [0usize, 2];
+        std::thread::scope(|s| {
+            for ep in &mut eps {
+                s.spawn(move || ep.reconfigure(Some(&survivors)).unwrap());
+            }
+        });
+        // The first post-resize exchange sees fresh data only.
+        std::thread::scope(|s| {
+            let (a, b) = eps.split_at_mut(1);
+            s.spawn(|| {
+                a[0].send(1, vec![1.0].into()).unwrap();
+                assert_eq!(a[0].recv(1).unwrap(), vec![2.0]);
+            });
+            s.spawn(|| {
+                b[0].send(0, vec![2.0].into()).unwrap();
+                assert_eq!(b[0].recv(0).unwrap(), vec![1.0]);
+            });
+        });
+    }
+
+    #[test]
+    fn dropped_peer_channels_disconnect_after_shrink() {
+        let mut eps = LocalFabric::create(3);
+        let victim = eps.remove(1);
+        let survivors = [0usize, 2];
+        std::thread::scope(|s| {
+            for ep in &mut eps {
+                s.spawn(move || ep.reconfigure(Some(&survivors)).unwrap());
+            }
+        });
+        // The victim's endpoint still thinks it is rank 1 of 3; its
+        // channels to the survivors are gone.
+        let err = victim.send(0, vec![1.0].into()).unwrap_err();
+        assert!(matches!(err, CollectiveError::Disconnected { peer: 0 }));
     }
 }

@@ -697,6 +697,95 @@ mod tests {
     }
 
     #[test]
+    fn in_place_resize_recovers_training_after_peer_loss() {
+        // The full elastic recovery loop over the in-process fabric: train
+        // on 4 ranks, kill rank 2 at an iteration boundary, detect the
+        // failure through a typed step error, resize the world in place,
+        // agree on the resume step, roll back to the boundary snapshot,
+        // rebalance the optimizer shards, and keep training on 3 ranks —
+        // no restart, and the survivors stay bitwise-identical.
+        let data = BlobDataset::new(6, 3, 0.4, 77);
+        let config = TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            fusion_buffer: Some(512),
+            ..TrainConfig::default()
+        };
+        let worker = |handle: WorkerHandle| {
+            let rank = handle.rank();
+            let mut net = build_net(5);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..6 {
+                let (x, labels) = data.shard(step, 32, rank, 4);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            // Boundary snapshot — the rollback target after peer loss.
+            let snap_params = net.flat_params();
+            let snap_optim = optim.export_optim_state();
+            optim.barrier();
+            if rank == 2 {
+                // Dies abruptly: returning drops the endpoint, and the
+                // survivors' next collective fails instead of completing.
+                return None;
+            }
+            // Survivors run until the failure surfaces as a typed error
+            // (the step that observes it is garbage and is discarded).
+            let mut probe = 6u64;
+            loop {
+                let (x, labels) = data.shard(probe, 32, rank, 4);
+                match optim.try_train_step(&mut net, &x, &labels) {
+                    Ok(_) => probe += 1,
+                    Err(_) => break,
+                }
+            }
+            // Reconfigure in place and resume from the agreed snapshot.
+            let change = optim
+                .resize_world(Some(vec![0, 1, 3]))
+                .expect("in-place resize failed");
+            assert_eq!(change.new_world, 3);
+            let resume = optim.agree_min_step(6).expect("step agreement failed");
+            assert_eq!(resume, 6);
+            net.set_flat_params(&snap_params);
+            optim.import_optim_state(snap_optim);
+            optim
+                .rebalance_optim_state()
+                .expect("shard rebalance failed");
+            let (rank, world) = (change.new_rank, change.new_world);
+            for step in resume..resume + 6 {
+                let (x, labels) = data.shard(step, 30, rank, world);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net);
+            Some(net.flat_params())
+        };
+        let out: Vec<Option<Vec<f32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = dear_collectives::LocalFabric::create(4)
+                .into_iter()
+                .map(|ep| {
+                    // The local fabric has no failure detector; the receive
+                    // deadline is what turns a silent dead neighbor into a
+                    // typed error the recovery loop can act on.
+                    ep.set_recv_timeout(Some(std::time::Duration::from_millis(500)));
+                    s.spawn(move || run_worker(ep, config, worker))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let survivors: Vec<_> = out.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3, "exactly the three survivors finish");
+        for p in &survivors[1..] {
+            assert_eq!(
+                &survivors[0], p,
+                "survivors diverged after the in-place resize"
+            );
+        }
+    }
+
+    #[test]
     fn rebucketing_mid_training_preserves_correctness() {
         let data = BlobDataset::new(6, 3, 0.4, 99);
         let config = TrainConfig {

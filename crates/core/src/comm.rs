@@ -16,7 +16,8 @@ use crossbeam_channel::{Receiver, Sender};
 
 use dear_collectives::{
     naive_all_reduce_seg, ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk,
-    ring_reduce_scatter_seg, tree_broadcast_seg, DType, ReduceOp, SegmentConfig, Transport,
+    ring_reduce_scatter_seg, tree_broadcast_seg, CollectiveError, DType, ReduceOp, SegmentConfig,
+    Transport, WorldChange,
 };
 
 use crate::layout::GroupLayout;
@@ -162,6 +163,21 @@ pub enum CommJob {
     /// Replace the sharded optimizer state (checkpoint resume). Must be
     /// posted at an iteration boundary, before the first `RsUpdate`.
     ImportOptimState(OptimState),
+    /// In-place elastic resize: re-run rendezvous through
+    /// [`Transport::reconfigure`] and adopt the surviving world's new rank
+    /// and size, replying with [`CommResult::Resized`]. Must be posted at
+    /// an iteration boundary; a mid-step request is refused with a typed
+    /// error, never honoured.
+    ResizeWorld {
+        /// Explicit survivor list (old ranks) for transports that cannot
+        /// discover survivors themselves (e.g. the in-process fabric);
+        /// `None` lets the transport run its own membership protocol.
+        survivors: Option<Vec<usize>>,
+    },
+    /// Min-allreduce a step counter so every rank resumes from the same
+    /// step after a resize, replying with [`CommResult::Step`]. The value
+    /// rides the f32 control path, so it must stay below 2^24.
+    AgreeStep(u64),
 }
 
 /// Replies sent back to the training thread.
@@ -187,17 +203,37 @@ pub enum CommResult {
     BarrierDone,
     /// The exported optimizer state.
     OptimState(OptimState),
+    /// The outcome of a [`CommJob::ResizeWorld`] request. `Ok` carries the
+    /// adopted world change; `Err` means the resize was refused (mid-step)
+    /// or the rendezvous failed. Distinct from [`CommResult::Error`] so the
+    /// training thread can drain stale pre-failure results until it sees
+    /// this reply — the FIFO job channel guarantees everything enqueued
+    /// before the resize drains first.
+    Resized(Result<WorldChange, CollectiveError>),
+    /// The agreed (minimum) step across the world.
+    Step(u64),
+    /// A collective failed. The job that posted it was abandoned, and any
+    /// iteration state stashed comm-side was discarded — the step cannot be
+    /// resumed. The transport stays broken until a successful
+    /// [`CommJob::ResizeWorld`] (or the worker tears down and restarts).
+    Error(CollectiveError),
 }
 
 /// Runs the comm-thread event loop until the job channel closes.
 ///
+/// Collective failures do **not** kill this thread: the failing job is
+/// abandoned, the iteration's comm-side stash is discarded (the step cannot
+/// be resumed), and a [`CommResult::Error`] goes back to the training
+/// thread, which owns the recovery decision — resize the world in place
+/// ([`CommJob::ResizeWorld`]) or tear down.
+///
 /// # Panics
 ///
-/// Panics on collective errors (a peer hanging up mid-training is a bug in
-/// the harness, not a recoverable condition for a worker thread).
-#[allow(clippy::too_many_arguments)]
+/// Panics only if the training thread hangs up while a successful reply is
+/// being delivered.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 pub fn run_comm_thread<T: Transport>(
-    transport: T,
+    mut transport: T,
     mut layout: CommLayout,
     mut hyper: HyperParams,
     total_elements: usize,
@@ -207,8 +243,8 @@ pub fn run_comm_thread<T: Transport>(
     results: &Sender<CommResult>,
 ) {
     trace::set_thread_stream(trace_scope, "comm");
-    let world = transport.world_size();
-    let rank = transport.rank();
+    let mut world = transport.world_size();
+    let mut rank = transport.rank();
     // The control path must stay bit-exact regardless of the run's wire
     // dtype: `Broadcast` ships an f64 as two f32 bit-words (any rounding
     // corrupts the value), and `Reconfigure` redistributes optimizer state
@@ -225,6 +261,36 @@ pub fn run_comm_thread<T: Transport>(
     let mut stash: Vec<(usize, Vec<f32>)> = Vec::new();
 
     while let Ok(job) = jobs.recv() {
+        // On collective failure: drop the iteration's stash (the step is
+        // abandoned, not resumable), report, and keep serving jobs. The
+        // send is best-effort — if the training thread already panicked,
+        // its end of the channel is gone and there is nobody left to tell.
+        macro_rules! fail {
+            ($e:expr) => {{
+                stash.clear();
+                let _ = results.send(CommResult::Error($e));
+                continue;
+            }};
+        }
+        // Boundary violations used to be `assert!`s that panicked this
+        // thread (and with it the whole worker); they now fail only the
+        // offending request. Unlike `fail!`, the stash is kept — the step
+        // itself is still healthy and can be flushed normally.
+        macro_rules! boundary {
+            ($what:literal) => {
+                if !stash.is_empty() {
+                    let _ = results.send(CommResult::Error(CollectiveError::Reconfigure {
+                        reason: concat!(
+                            $what,
+                            " must happen at an iteration boundary; \
+                             a reduce-scattered group is still stashed"
+                        )
+                        .to_string(),
+                    }));
+                    continue;
+                }
+            };
+        }
         match job {
             CommJob::RsUpdate {
                 group,
@@ -239,9 +305,18 @@ pub fn run_comm_thread<T: Transport>(
                     adam_step += 1;
                 }
                 let op1 = trace::span(TaskKind::Communication, || format!("OP1.RS[g{group}]"));
-                let owned =
-                    ring_reduce_scatter_seg(&transport, &mut grads, ReduceOp::Sum, segments)
-                        .expect("reduce-scatter failed");
+                let owned = match ring_reduce_scatter_seg(
+                    &transport,
+                    &mut grads,
+                    ReduceOp::Sum,
+                    segments,
+                ) {
+                    Ok(owned) => owned,
+                    Err(e) => {
+                        op1.end();
+                        fail!(e);
+                    }
+                };
                 op1.end();
                 let upd = trace::span(TaskKind::Other, || format!("OP1.UPD[g{group}]"));
                 // Optimizer update on the owned shard only; every element is
@@ -292,25 +367,43 @@ pub fn run_comm_thread<T: Transport>(
             CommJob::FlushAllGathers => {
                 // Forward order = reverse of backward arrival order, so the
                 // first layers' parameters arrive first (FeedPipe).
+                let mut failed = None;
                 for (group, mut params) in stash.drain(..).rev() {
+                    if failed.is_some() {
+                        // Keep draining: the rest of the abandoned step's
+                        // groups are dropped, not gathered.
+                        continue;
+                    }
                     let op2 = trace::span(TaskKind::Communication, || format!("OP2.AG[g{group}]"));
-                    ring_all_gather_seg(
+                    match ring_all_gather_seg(
                         &transport,
                         &mut params,
                         ring_owned_chunk(rank, world),
                         segments,
-                    )
-                    .expect("all-gather failed");
-                    op2.end();
-                    results
-                        .send(CommResult::Params { group, params })
-                        .expect("training thread hung up");
+                    ) {
+                        Ok(()) => {
+                            op2.end();
+                            results
+                                .send(CommResult::Params { group, params })
+                                .expect("training thread hung up");
+                        }
+                        Err(e) => {
+                            op2.end();
+                            failed = Some(e);
+                        }
+                    }
+                }
+                if let Some(e) = failed {
+                    let _ = results.send(CommResult::Error(e));
                 }
             }
             CommJob::AllReduce { group, mut grads } => {
                 let ar = trace::span(TaskKind::Communication, || format!("AR[g{group}]"));
-                ring_all_reduce_seg(&transport, &mut grads, ReduceOp::Sum, segments)
-                    .expect("all-reduce failed");
+                if let Err(e) = ring_all_reduce_seg(&transport, &mut grads, ReduceOp::Sum, segments)
+                {
+                    ar.end();
+                    fail!(e);
+                }
                 ar.end();
                 let inv_p = 1.0 / world as f32;
                 for g in &mut grads {
@@ -333,7 +426,10 @@ pub fn run_comm_thread<T: Transport>(
                     f32::from_bits((bits >> 32) as u32),
                     f32::from_bits(bits as u32),
                 ];
-                tree_broadcast_seg(&transport, &mut buf, root, control).expect("broadcast failed");
+                if let Err(e) = tree_broadcast_seg(&transport, &mut buf, root, control) {
+                    bc.end();
+                    fail!(e);
+                }
                 let bits = (u64::from(buf[0].to_bits()) << 32) | u64::from(buf[1].to_bits());
                 bc.end();
                 results
@@ -343,28 +439,37 @@ pub fn run_comm_thread<T: Transport>(
             CommJob::Barrier => {
                 let sp = trace::span(TaskKind::Communication, || "BARRIER".to_string());
                 let mut token = [0.0f32];
-                naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, control)
-                    .expect("barrier failed");
+                if let Err(e) = naive_all_reduce_seg(&transport, &mut token, ReduceOp::Sum, control)
+                {
+                    sp.end();
+                    fail!(e);
+                }
                 sp.end();
                 results
                     .send(CommResult::BarrierDone)
                     .expect("training thread hung up");
             }
             CommJob::Reconfigure { layout: new_layout } => {
-                assert!(
-                    stash.is_empty(),
-                    "reconfigure must happen at an iteration boundary"
-                );
-                // Shard ownership changes with the group boundaries, so the
-                // momentum state must move with it: each element's velocity
-                // lives only on its owner (zero elsewhere), so a sum
-                // all-reduce reconstructs the full state, after which each
-                // rank keeps only the shards it owns under the new layout.
-                ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, control)
-                    .expect("velocity redistribution failed");
+                boundary!("re-bucketing");
+                // Shard ownership changes with the group boundaries (or the
+                // world size, after an in-place resize), so the momentum
+                // state must move with it: each element's velocity lives
+                // only on its owner (zero elsewhere), so a sum all-reduce
+                // reconstructs the full state, after which each rank keeps
+                // only the shards it owns under the new layout. A failure
+                // part-way leaves the state half-reduced — recovery must go
+                // through a snapshot import, never resume from here.
+                if let Err(e) =
+                    ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, control)
+                {
+                    fail!(e);
+                }
                 if !second_moment.is_empty() {
-                    ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, control)
-                        .expect("second-moment redistribution failed");
+                    if let Err(e) =
+                        ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, control)
+                    {
+                        fail!(e);
+                    }
                 }
                 let mut owned_mask = vec![false; velocity.len()];
                 for meta in &new_layout.groups {
@@ -394,17 +499,11 @@ pub fn run_comm_thread<T: Transport>(
                 layout = new_layout;
             }
             CommJob::SetHyper(new_hyper) => {
-                assert!(
-                    stash.is_empty(),
-                    "hyper-parameter change must happen at an iteration boundary"
-                );
+                boundary!("a hyper-parameter change");
                 hyper = new_hyper;
             }
             CommJob::ExportOptimState => {
-                assert!(
-                    stash.is_empty(),
-                    "optimizer-state export must happen at an iteration boundary"
-                );
+                boundary!("an optimizer-state export");
                 results
                     .send(CommResult::OptimState(OptimState {
                         velocity: velocity.clone(),
@@ -414,10 +513,7 @@ pub fn run_comm_thread<T: Transport>(
                     .expect("training thread hung up");
             }
             CommJob::ImportOptimState(state) => {
-                assert!(
-                    stash.is_empty(),
-                    "optimizer-state import must happen at an iteration boundary"
-                );
+                boundary!("an optimizer-state import");
                 assert_eq!(
                     state.velocity.len(),
                     total_elements,
@@ -431,6 +527,124 @@ pub fn run_comm_thread<T: Transport>(
                 second_moment = state.second_moment;
                 adam_step = state.adam_step;
             }
+            CommJob::ResizeWorld { survivors } => {
+                if !stash.is_empty() {
+                    // A mid-step resize fails the request, not the step:
+                    // the stash is kept so the caller can still flush the
+                    // iteration and retry at the boundary.
+                    let _ = results.send(CommResult::Resized(Err(CollectiveError::Reconfigure {
+                        reason: "in-place resize must happen at an iteration boundary; \
+                                 a reduce-scattered group is still stashed"
+                            .to_string(),
+                    })));
+                    continue;
+                }
+                let sp = trace::span(TaskKind::Communication, || "RESIZE".to_string());
+                let outcome = transport.reconfigure(survivors.as_deref());
+                sp.end();
+                if let Ok(change) = &outcome {
+                    world = change.new_world;
+                    rank = change.new_rank;
+                }
+                let _ = results.send(CommResult::Resized(outcome));
+            }
+            CommJob::AgreeStep(step) => {
+                let sp = trace::span(TaskKind::Communication, || "AGREE-STEP".to_string());
+                // Min over the f32 control path — exact for counters below
+                // 2^24, far beyond any run this harness drives.
+                let mut buf = [step as f32];
+                if let Err(e) = naive_all_reduce_seg(&transport, &mut buf, ReduceOp::Min, control) {
+                    sp.end();
+                    fail!(e);
+                }
+                sp.end();
+                results
+                    .send(CommResult::Step(buf[0] as u64))
+                    .expect("training thread hung up");
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+    use dear_collectives::LocalFabric;
+
+    #[test]
+    fn mid_step_resize_is_refused_not_honoured() {
+        // A resize (or any other boundary-only request) posted while a
+        // reduce-scattered group is stashed must fail that request with a
+        // typed error — the old behaviour was an assert that took the whole
+        // comm thread (and the process) down. The stash survives, so the
+        // step can still be flushed and the resize retried at the boundary.
+        let ep = LocalFabric::create(1).remove(0);
+        let (job_tx, job_rx) = unbounded();
+        let (res_tx, res_rx) = unbounded();
+        let layout = CommLayout {
+            groups: vec![CommGroupMeta {
+                items: vec![(0, 4, 0)],
+                elements: 4,
+            }],
+        };
+        let hyper = HyperParams {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            kind: OptimKind::Sgd,
+        };
+        let scope = crate::trace::unique_scope(0);
+        let comm = std::thread::spawn(move || {
+            run_comm_thread(
+                ep,
+                layout,
+                hyper,
+                4,
+                SegmentConfig::MONOLITHIC,
+                &scope,
+                &job_rx,
+                &res_tx,
+            );
+        });
+        job_tx
+            .send(CommJob::RsUpdate {
+                group: 0,
+                grads: vec![1.0; 4],
+                params: vec![0.0; 4],
+            })
+            .unwrap();
+        job_tx
+            .send(CommJob::ResizeWorld { survivors: None })
+            .unwrap();
+        match res_rx.recv().unwrap() {
+            CommResult::Resized(Err(CollectiveError::Reconfigure { reason })) => {
+                assert!(reason.contains("iteration boundary"), "{reason}");
+            }
+            other => panic!("expected a refused resize, got {other:?}"),
+        }
+        // A boundary-only control job mid-step gets the same treatment.
+        job_tx
+            .send(CommJob::SetHyper(HyperParams {
+                lr: 0.2,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                kind: OptimKind::Sgd,
+            }))
+            .unwrap();
+        match res_rx.recv().unwrap() {
+            CommResult::Error(CollectiveError::Reconfigure { reason }) => {
+                assert!(reason.contains("iteration boundary"), "{reason}");
+            }
+            other => panic!("expected a refused hyper change, got {other:?}"),
+        }
+        // The stash was kept: the step still flushes normally.
+        job_tx.send(CommJob::FlushAllGathers).unwrap();
+        match res_rx.recv().unwrap() {
+            CommResult::Params { group: 0, .. } => {}
+            other => panic!("expected the flushed group, got {other:?}"),
+        }
+        drop(job_tx);
+        comm.join().unwrap();
     }
 }

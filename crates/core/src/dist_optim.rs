@@ -3,7 +3,7 @@
 
 use crossbeam_channel::{Receiver, Sender};
 
-use dear_collectives::DType;
+use dear_collectives::{CollectiveError, DType, WorldChange};
 use dear_fusion::GroupTracker;
 use dear_minidnn::{softmax_cross_entropy, Layer, Optimizer, Sequential, Tensor};
 
@@ -55,6 +55,10 @@ pub struct DistOptim {
     iter: u64,
     /// Start of the currently-open feed-forward trace segment, if tracing.
     fw_seg: Option<std::time::Instant>,
+    /// First collective failure reported by the comm thread, latched until
+    /// a successful [`DistOptim::resize_world`] clears it. While set, the
+    /// fabric is broken: steps are refused with this error.
+    comm_failed: Option<CollectiveError>,
 }
 
 impl std::fmt::Debug for DistOptim {
@@ -114,6 +118,7 @@ impl DistOptim {
             wire,
             iter: 0,
             fw_seg: None,
+            comm_failed: None,
         }
     }
 
@@ -141,6 +146,31 @@ impl DistOptim {
         self.layout.num_groups()
     }
 
+    /// The first collective failure reported by the comm thread, if the
+    /// fabric is currently broken. Cleared by [`DistOptim::resize_world`].
+    #[must_use]
+    pub fn comm_failed(&self) -> Option<&CollectiveError> {
+        self.comm_failed.as_ref()
+    }
+
+    /// Records a comm-thread failure and releases every wait: the in-flight
+    /// iteration is abandoned, outstanding results will never arrive, and
+    /// missing parameter groups get placeholder zeros so the training
+    /// thread's control flow can unwind structurally. Anything the step
+    /// computed after this point is garbage — the caller must discard the
+    /// step and either resize or tear down.
+    fn comm_fail(&mut self, e: CollectiveError) {
+        if self.comm_failed.is_none() {
+            self.comm_failed = Some(e);
+        }
+        self.pending = 0;
+        for g in 0..self.staged.len() {
+            if self.staged[g].is_none() {
+                self.staged[g] = Some(vec![0.0; self.layout.group_elements(g)]);
+            }
+        }
+    }
+
     /// Runs one training step — feed-forward (waiting just-in-time on the
     /// previous iteration's all-gathers in DeAR mode), loss, backprop (with
     /// gradient communication chasing it), and the update. Returns the
@@ -148,8 +178,48 @@ impl DistOptim {
     ///
     /// # Panics
     ///
-    /// Panics if the comm thread has died or label/batch shapes mismatch.
+    /// Panics if the comm thread has died, a collective failed (use
+    /// [`DistOptim::try_train_step`] to recover instead), or label/batch
+    /// shapes mismatch.
     pub fn train_step(&mut self, net: &mut Sequential, input: &Tensor, labels: &[usize]) -> f32 {
+        match self.try_train_step(net, input, labels) {
+            Ok(loss) => loss,
+            Err(e) => panic!("collective failed during training step: {e}"),
+        }
+    }
+
+    /// Like [`DistOptim::train_step`], but surfaces collective failures
+    /// (peer death, abort by the failure detector) as a typed error instead
+    /// of panicking. On `Err` the step — and possibly the previous step's
+    /// parameter update — is invalid: roll back to a known-good snapshot,
+    /// [`DistOptim::resize_world`], agree on the resume step, and retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first collective failure the comm thread reported. The
+    /// error latches: further calls keep failing until a successful
+    /// [`DistOptim::resize_world`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comm thread has died or label/batch shapes mismatch.
+    pub fn try_train_step(
+        &mut self,
+        net: &mut Sequential,
+        input: &Tensor,
+        labels: &[usize],
+    ) -> Result<f32, CollectiveError> {
+        if let Some(e) = self.comm_failed.clone() {
+            return Err(e);
+        }
+        let loss = self.train_step_inner(net, input, labels);
+        match self.comm_failed.clone() {
+            Some(e) => Err(e),
+            None => Ok(loss),
+        }
+    }
+
+    fn train_step_inner(&mut self, net: &mut Sequential, input: &Tensor, labels: &[usize]) -> f32 {
         let iter = self.iter;
         // FeedPipe: per-layer just-in-time parameter installation. The FF
         // phase is recorded in segments that *exclude* the JIT waits
@@ -214,6 +284,9 @@ impl DistOptim {
                     self.pending -= 1;
                     self.staged[group] = Some(params);
                 }
+                // The comm thread abandoned the step; `comm_fail` fills the
+                // missing groups with placeholders, ending this wait.
+                CommResult::Error(e) => self.comm_fail(e),
                 other => panic!("unexpected comm result during FeedPipe: {other:?}"),
             }
         }
@@ -279,13 +352,21 @@ impl DistOptim {
                         CommResult::Grads { group, grads } => {
                             self.install_grads(net, group, &grads);
                         }
+                        CommResult::Error(e) => {
+                            // Remaining groups were abandoned comm-side;
+                            // skip the update — the step is discarded.
+                            self.comm_fail(e);
+                            break;
+                        }
                         other => panic!("unexpected comm result in WFBP sync: {other:?}"),
                     }
                 }
-                self.local_optim
-                    .as_mut()
-                    .expect("WFBP mode carries a local optimizer")
-                    .step(net);
+                if self.comm_failed.is_none() {
+                    self.local_optim
+                        .as_mut()
+                        .expect("WFBP mode carries a local optimizer")
+                        .step(net);
+                }
             }
         }
         self.tracker.reset();
@@ -309,14 +390,36 @@ impl DistOptim {
     ///
     /// # Panics
     ///
-    /// Panics if the comm thread has died.
+    /// Panics if the comm thread has died or a collective failed (use
+    /// [`DistOptim::try_synchronize`] to recover instead).
     pub fn synchronize(&mut self, net: &mut Sequential) {
+        if let Err(e) = self.try_synchronize(net) {
+            panic!("collective failed during synchronize: {e}");
+        }
+    }
+
+    /// Like [`DistOptim::synchronize`], but surfaces collective failures as
+    /// a typed error. On `Err` the installed parameters are not trustworthy
+    /// (missing groups were filled with placeholders); roll back to a
+    /// snapshot after resizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched collective failure, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comm thread has died.
+    pub fn try_synchronize(&mut self, net: &mut Sequential) -> Result<(), CollectiveError> {
         while self.pending > 0 {
             match self.results.recv().expect("comm thread hung up") {
                 CommResult::Params { group, params } => {
                     self.pending -= 1;
                     self.staged[group] = Some(params);
                 }
+                // `comm_fail` zeroes `pending`, ending the wait: the comm
+                // thread abandoned the flush, nothing more is coming.
+                CommResult::Error(e) => self.comm_fail(e),
                 other => panic!("unexpected comm result in synchronize: {other:?}"),
             }
         }
@@ -333,6 +436,10 @@ impl DistOptim {
             }
         }
         self.layer_synced.iter_mut().for_each(|s| *s = true);
+        match self.comm_failed.clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Broadcasts `value` from `root` to all ranks (used to agree on a new
@@ -349,6 +456,7 @@ impl DistOptim {
             .expect("comm thread hung up");
         match self.results.recv().expect("comm thread hung up") {
             CommResult::Broadcast(v) => v,
+            CommResult::Error(e) => panic!("broadcast failed: {e}"),
             other => panic!("unexpected comm result in broadcast: {other:?}"),
         }
     }
@@ -358,14 +466,36 @@ impl DistOptim {
     ///
     /// # Panics
     ///
-    /// Panics if called with communication outstanding.
+    /// Panics if called with communication outstanding or the barrier's
+    /// collective failed (use [`DistOptim::try_barrier`] to recover).
     pub fn barrier(&mut self) {
+        if let Err(e) = self.try_barrier() {
+            panic!("barrier failed: {e}");
+        }
+    }
+
+    /// Like [`DistOptim::barrier`], but surfaces collective failures as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the collective failure that broke the barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding or the comm thread
+    /// has died.
+    pub fn try_barrier(&mut self) -> Result<(), CollectiveError> {
         assert_eq!(self.pending, 0, "barrier requires a synchronized state");
         self.jobs
             .send(CommJob::Barrier)
             .expect("comm thread hung up");
         match self.results.recv().expect("comm thread hung up") {
-            CommResult::BarrierDone => (),
+            CommResult::BarrierDone => Ok(()),
+            CommResult::Error(e) => {
+                self.comm_fail(e.clone());
+                Err(e)
+            }
             other => panic!("unexpected comm result in barrier: {other:?}"),
         }
     }
@@ -421,6 +551,7 @@ impl DistOptim {
             .expect("comm thread hung up");
         match self.results.recv().expect("comm thread hung up") {
             CommResult::OptimState(state) => state,
+            CommResult::Error(e) => panic!("optimizer-state export refused: {e}"),
             other => panic!("unexpected comm result in optimizer export: {other:?}"),
         }
     }
@@ -471,5 +602,117 @@ impl DistOptim {
             .collect();
         self.staged = vec![None; layout.num_groups()];
         self.layout = layout;
+    }
+
+    /// Resizes the world in place after peer loss (or to admit a late
+    /// joiner): re-runs rendezvous through the comm thread's transport and
+    /// adopts the new dense rank and world size. Clears the latched failure
+    /// on success, so training can continue on the survivors. Must be
+    /// called concurrently by every surviving rank at an iteration
+    /// boundary; pair with [`DistOptim::agree_min_step`], a rollback to a
+    /// known-good snapshot, and [`DistOptim::rebalance_optim_state`].
+    ///
+    /// Stale results from the abandoned step (parameters, queued errors)
+    /// are drained and discarded — the FIFO job channel guarantees
+    /// everything enqueued before the resize replies first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::Reconfigure`] if the resize was refused
+    /// (mid-step, no quorum) or the rendezvous failed; the failed state is
+    /// left latched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comm thread has died.
+    pub fn resize_world(
+        &mut self,
+        survivors: Option<Vec<usize>>,
+    ) -> Result<WorldChange, CollectiveError> {
+        self.jobs
+            .send(CommJob::ResizeWorld { survivors })
+            .expect("comm thread hung up");
+        loop {
+            match self.results.recv().expect("comm thread hung up") {
+                CommResult::Resized(Ok(change)) => {
+                    self.rank = change.new_rank;
+                    self.world = change.new_world;
+                    self.comm_failed = None;
+                    self.pending = 0;
+                    self.staged.iter_mut().for_each(|s| *s = None);
+                    self.layer_synced.iter_mut().for_each(|s| *s = true);
+                    self.tracker.reset();
+                    return Ok(change);
+                }
+                CommResult::Resized(Err(e)) => return Err(e),
+                // Stragglers from the abandoned step — drop them.
+                _stale => (),
+            }
+        }
+    }
+
+    /// Min-allreduces `step` so every rank resumes from the same point
+    /// after a resize (ranks may have been torn away at different steps).
+    /// Must be called collectively, normally right after a successful
+    /// [`DistOptim::resize_world`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the collective failure if the agreement itself failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding or the comm thread
+    /// has died.
+    pub fn agree_min_step(&mut self, step: u64) -> Result<u64, CollectiveError> {
+        assert_eq!(
+            self.pending, 0,
+            "step agreement requires a synchronized state"
+        );
+        self.jobs
+            .send(CommJob::AgreeStep(step))
+            .expect("comm thread hung up");
+        match self.results.recv().expect("comm thread hung up") {
+            CommResult::Step(s) => Ok(s),
+            CommResult::Error(e) => {
+                self.comm_fail(e.clone());
+                Err(e)
+            }
+            other => panic!("unexpected comm result in step agreement: {other:?}"),
+        }
+    }
+
+    /// Repartitions the sharded optimizer state across the (possibly just
+    /// resized) world: a sum-allreduce reconstructs the full state from the
+    /// per-rank shards, then each rank keeps only the shards it owns under
+    /// the current layout. Shards owned by a rank that died before the
+    /// resize restart from zero — a momentum-only loss with bounded
+    /// disruption. Must be called collectively at an iteration boundary,
+    /// after any snapshot rollback ([`DistOptim::import_optim_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the collective failure if the rebalance broke mid-flight; in
+    /// that case the optimizer state is half-reduced and only a snapshot
+    /// import may repair it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding or the comm thread
+    /// has died.
+    pub fn rebalance_optim_state(&mut self) -> Result<(), CollectiveError> {
+        assert_eq!(
+            self.pending, 0,
+            "shard rebalance requires a synchronized state"
+        );
+        self.jobs
+            .send(CommJob::Reconfigure {
+                layout: CommLayout::from(&self.layout),
+            })
+            .expect("comm thread hung up");
+        // `Reconfigure` carries no reply of its own; the trailing barrier
+        // both confirms its collectives succeeded and releases all ranks
+        // past the rebalance together.
+        self.try_barrier()
     }
 }

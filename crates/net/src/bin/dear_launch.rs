@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use dear_net::{
     launch_world, launch_world_elastic, run_demo_worker, ChaosPlan, LaunchOptions, NetConfig,
-    NetError, RestartPolicy,
+    NetError, RestartPolicy, WorldOutcome,
 };
 
 const USAGE: &str = "\
@@ -41,6 +41,11 @@ options:
                        socket at the narrow width, accumulated in f32)
 
 elastic options (any of these selects the supervised-restart path):
+  --elastic-resize     survive peer loss by resizing in place: rank
+                       deaths are tolerated by the supervisor and the
+                       surviving workers re-rendezvous at the next
+                       generation and keep training (sets
+                       DEAR_ELASTIC_RESIZE=1); restart is the fallback
   --max-restarts R     relaunch a failed world up to R times (default 0)
   --backoff-ms MS      first restart delay, doubling per failure (default 250)
   --ckpt-dir PATH      workers checkpoint here (sets DEAR_CKPT_DIR)
@@ -100,6 +105,11 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
             "--steps" => {
                 let v = take_value(&args, &mut i, "--steps")?;
                 steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
+            }
+            "--elastic-resize" => {
+                opts.env
+                    .push(("DEAR_ELASTIC_RESIZE".to_string(), "1".to_string()));
+                opts.tolerate_departures = true;
             }
             "--max-restarts" => {
                 let v = take_value(&args, &mut i, "--max-restarts")?;
@@ -228,8 +238,19 @@ fn run() -> Result<(), NetError> {
             cli.opts.world, outcome.generation, outcome.restarts
         );
     } else {
-        launch_world(&command, &cli.opts)?;
-        eprintln!("dear-launch: all {} ranks exited cleanly", cli.opts.world);
+        match launch_world(&command, &cli.opts)? {
+            WorldOutcome::AllExitedCleanly => {
+                eprintln!("dear-launch: all {} ranks exited cleanly", cli.opts.world);
+            }
+            WorldOutcome::SurvivedDepartures { departed } => {
+                eprintln!(
+                    "dear-launch: {} of {} ranks departed ({departed:?}); \
+                     the survivors resized in place and exited cleanly",
+                    departed.len(),
+                    cli.opts.world
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -103,6 +103,16 @@ pub struct NetConfig {
     /// self-describing, so peers on different settings still interoperate.
     /// Env: `DEAR_WIRE_DTYPE`.
     pub wire: DType,
+    /// How long a resize rendezvous master waits for survivor HELLOs
+    /// before closing the member list (in-place elastic resize; see
+    /// `TcpEndpoint::reconfigure`). Every straggler that misses the window
+    /// is treated as lost. Env: `DEAR_RESIZE_WINDOW_MS`.
+    pub resize_window: Duration,
+    /// Whether a peer failure should be survived by reconfiguring the
+    /// world in place (shrink + continue) instead of failing the process
+    /// and relying on a supervised restart. Env: `DEAR_ELASTIC_RESIZE`
+    /// (`1`/`true` to enable).
+    pub elastic_resize: bool,
     /// Demo-worker knobs (checkpoints, failure injection, tuning windows).
     pub demo: DemoOptions,
 }
@@ -133,6 +143,8 @@ impl NetConfig {
             heartbeat_miss_budget: 5,
             generation: 0,
             wire: DType::F32,
+            resize_window: Duration::from_secs(2),
+            elastic_resize: false,
             demo: DemoOptions::default(),
         }
     }
@@ -191,6 +203,20 @@ impl NetConfig {
         self
     }
 
+    /// Sets the resize-rendezvous membership window (min 1 ms).
+    #[must_use]
+    pub fn with_resize_window(mut self, window: Duration) -> Self {
+        self.resize_window = window.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Enables or disables surviving peer loss by in-place world resize.
+    #[must_use]
+    pub fn with_elastic_resize(mut self, enabled: bool) -> Self {
+        self.elastic_resize = enabled;
+        self
+    }
+
     /// Selects the data-path wire dtype (the mixed-precision knob).
     ///
     /// # Panics
@@ -223,8 +249,11 @@ impl NetConfig {
     /// `DEAR_SEND_TIMEOUT_MS`, `DEAR_RECV_TIMEOUT_MS` (0 disables the recv
     /// deadline), `DEAR_OUTBOX_FRAMES`, `DEAR_HEARTBEAT_MS` (0 disables
     /// the failure detector), `DEAR_HEARTBEAT_MISSES`, `DEAR_GENERATION`
-    /// (set by the elastic launcher to the restart attempt number), and
-    /// `DEAR_WIRE_DTYPE` (`f32`/`bf16`/`f16`, the mixed-precision knob).
+    /// (set by the elastic launcher to the restart attempt number),
+    /// `DEAR_WIRE_DTYPE` (`f32`/`bf16`/`f16`, the mixed-precision knob),
+    /// `DEAR_RESIZE_WINDOW_MS` (membership window of an in-place resize
+    /// rendezvous), and `DEAR_ELASTIC_RESIZE` (`1` to survive peer loss by
+    /// shrinking the world in place instead of restarting).
     /// Demo-worker knobs (see [`DemoOptions`]): `DEAR_DEMO_EXIT_RANK`,
     /// `DEAR_DEMO_EXIT_AT_STEP`, `DEAR_DEMO_EXIT_GEN`, `DEAR_CKPT_DIR`,
     /// `DEAR_CKPT_EVERY`, `DEAR_TUNE_WINDOW`.
@@ -278,6 +307,13 @@ impl NetConfig {
         }
         if let Ok(g) = std::env::var("DEAR_GENERATION") {
             cfg.generation = parse("DEAR_GENERATION", &g)?;
+        }
+        if let Ok(ms) = std::env::var("DEAR_RESIZE_WINDOW_MS") {
+            let ms: u64 = parse("DEAR_RESIZE_WINDOW_MS", &ms)?;
+            cfg.resize_window = Duration::from_millis(ms.max(1));
+        }
+        if let Ok(v) = std::env::var("DEAR_ELASTIC_RESIZE") {
+            cfg.elastic_resize = matches!(v.as_str(), "1" | "true" | "TRUE" | "on");
         }
         if let Ok(name) = std::env::var("DEAR_WIRE_DTYPE") {
             let wire = DType::parse(&name).ok_or_else(|| {
@@ -385,6 +421,8 @@ mod tests {
         assert_eq!(cfg.heartbeat_interval, Some(Duration::from_secs(1)));
         assert!(cfg.heartbeat_miss_budget >= 1);
         assert_eq!(cfg.generation, 0);
+        assert_eq!(cfg.resize_window, Duration::from_secs(2));
+        assert!(!cfg.elastic_resize, "resize is opt-in");
     }
 
     #[test]
@@ -397,6 +435,8 @@ mod tests {
             .with_outbox_frames(0) // clamped to 1
             .with_heartbeat(Some(Duration::from_millis(250)), 0) // misses clamped
             .with_generation(2)
+            .with_resize_window(Duration::ZERO) // clamped to 1 ms
+            .with_elastic_resize(true)
             .with_wire(DType::Bf16)
             .with_demo(DemoOptions {
                 exit_rank: Some(1),
@@ -414,6 +454,8 @@ mod tests {
         assert_eq!(cfg.heartbeat_interval, Some(Duration::from_millis(250)));
         assert_eq!(cfg.heartbeat_miss_budget, 1);
         assert_eq!(cfg.generation, 2);
+        assert_eq!(cfg.resize_window, Duration::from_millis(1));
+        assert!(cfg.elastic_resize);
         assert_eq!(cfg.wire, DType::Bf16);
         assert_eq!(cfg.demo.exit_rank, Some(1));
         assert_eq!(cfg.demo.exit_at_step, 3);

@@ -95,12 +95,24 @@ fn demo_net(seed: u64) -> Sequential {
 /// Returns [`NetError`] when rendezvous fails or the checkpoint directory
 /// is unusable.
 ///
+/// With [`NetConfig::elastic_resize`] set, a mid-training collective
+/// failure does **not** kill the survivors: each one prints a
+/// `resizing in place` marker, re-runs rendezvous at the next generation
+/// via [`Transport::reconfigure`], agrees on the last common snapshot
+/// boundary (a `Min` all-reduce), rolls parameters and optimizer shards
+/// back to it, repartitions the reduce-scattered optimizer state over the
+/// new world, and keeps training — no restart, no checkpoint reload.
+/// Every rank prints a `params_hash` line at each snapshot boundary
+/// (every [`ckpt_every`](crate::config::DemoOptions::ckpt_every) steps), so an external observer can check
+/// that survivors stay bit-identical through the resize.
+///
 /// # Panics
 ///
 /// Panics (taking the process down with a non-zero status) when a
-/// collective fails mid-training — e.g. a peer died and the configured
-/// recv deadline or a disconnect surfaced — or when a checkpoint write
-/// fails.
+/// collective fails mid-training and elastic resize is off — e.g. a peer
+/// died and the configured recv deadline or a disconnect surfaced — when
+/// an attempted in-place resize itself fails (e.g. quorum loss), or when
+/// a checkpoint write fails.
 pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetError> {
     let transport = TcpEndpoint::connect(cfg)?;
     let rank = transport.rank();
@@ -159,9 +171,12 @@ pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetEr
     // bracketed with pause()/resume() so their cost never lands inside a
     // window's observation.
     let tune_window = cfg.demo.tune_window;
-    let (eval_loss, params_hash) = run_worker(transport, train_cfg, move |handle| {
+    let elastic = cfg.elastic_resize;
+    let (eval_loss, params_hash, rank, world) = run_worker(transport, train_cfg, move |handle| {
         let mut net = demo_net(7);
         let mut optim = handle.into_optim(&net);
+        let mut rank = rank;
+        let mut world = world;
         let mut tuning: Option<OnlineTuning<RandomSearch>> = (tune_window > 0).then(|| {
             OnlineTuning::new(
                 None,
@@ -174,52 +189,132 @@ pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetEr
             net.set_flat_params(&ckpt.params);
             optim.import_optim_state(ckpt.optim);
         }
-        for step in start..steps {
-            if let Some(store) = &store {
-                // Checkpoint at the same boundaries on every generation
-                // (skipping the one we just resumed at): synchronize is
-                // numerics-neutral, so interrupted and uninterrupted runs
-                // still produce bit-identical parameters.
-                if step > start && step % ckpt_every == 0 {
-                    optim.synchronize(&mut net);
-                    let ckpt = TrainCheckpoint {
-                        step,
-                        params: net.flat_params(),
-                        optim: optim.export_optim_state(),
-                        rng: Vec::new(),
-                        tuner: None,
-                    };
-                    if let Some(t) = tuning.as_mut() {
-                        t.pause();
-                    }
-                    store
-                        .save(&ckpt)
-                        .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
-                    if let Some(t) = tuning.as_mut() {
-                        t.resume();
-                    }
+        // Rollback anchor for in-place resize: the last boundary every
+        // rank passed with identical state. Survivors roll back here after
+        // a resize, so the dead rank's contribution to steps past the
+        // boundary is cleanly discarded rather than half-applied.
+        let mut step = start;
+        let mut snap_step = start;
+        let mut snap_params = net.flat_params();
+        let mut snap_optim = optim.export_optim_state();
+        macro_rules! recover {
+            ($e:expr) => {{
+                eprintln!(
+                    "dear-demo rank={rank} resizing in place after collective failure: {}",
+                    $e
+                );
+                if let Some(t) = tuning.as_mut() {
+                    t.pause();
                 }
-            }
-            if exit_here && step == exit_step {
-                eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
-                std::process::exit(41);
-            }
-            let (x, labels) = data.shard(step, 8 * world, rank, world);
-            let _ = optim.train_step(&mut net, &x, &labels);
-            if let Some(t) = tuning.as_mut() {
-                if let Some(throughput) = t.on_step() {
-                    eprintln!(
-                        "dear-tune rank={rank} window={tune_window} \
-                         throughput={throughput:.1} samples/s"
-                    );
+                let change = optim
+                    .resize_world(None)
+                    .unwrap_or_else(|err| panic!("in-place resize failed: {err}"));
+                rank = change.new_rank;
+                world = change.new_world;
+                let generation = change.generation;
+                let agreed = optim
+                    .agree_min_step(snap_step)
+                    .unwrap_or_else(|err| panic!("resume-step agreement failed: {err}"));
+                net.set_flat_params(&snap_params);
+                optim.import_optim_state(snap_optim.clone());
+                optim
+                    .rebalance_optim_state()
+                    .unwrap_or_else(|err| panic!("optimizer-shard rebalance failed: {err}"));
+                step = agreed;
+                if let Some(t) = tuning.as_mut() {
+                    t.resume();
                 }
-            }
+                eprintln!(
+                    "dear-demo rank={rank} world={world} generation={generation} \
+                     resumed at step {step}"
+                );
+            }};
         }
-        optim.synchronize(&mut net);
+        'run: loop {
+            while step < steps {
+                // Boundary work at the same steps on every generation
+                // (skipping the one just resumed at): synchronize is
+                // numerics-neutral, so interrupted, resized and
+                // uninterrupted runs produce bit-identical parameters.
+                // The boundary snapshot is the in-memory rollback anchor;
+                // the hash line lets an observer compare ranks.
+                if step > start && step % ckpt_every == 0 {
+                    if elastic {
+                        if let Err(e) = optim.try_synchronize(&mut net) {
+                            recover!(e);
+                            continue;
+                        }
+                    } else {
+                        optim.synchronize(&mut net);
+                    }
+                    snap_step = step;
+                    snap_params = net.flat_params();
+                    snap_optim = optim.export_optim_state();
+                    // One write_all per line: stderr is unbuffered, so a
+                    // multi-fragment eprintln! from 4 ranks sharing the
+                    // supervisor's pipe can interleave mid-line and corrupt
+                    // the machine-parsed hash lines.
+                    let line = format!(
+                        "dear-demo rank={rank} world={world} step={step} params_hash={:016x}\n",
+                        hash_params(&snap_params)
+                    );
+                    let _ = std::io::Write::write_all(&mut std::io::stderr(), line.as_bytes());
+                    if let Some(store) = &store {
+                        let ckpt = TrainCheckpoint {
+                            step,
+                            params: snap_params.clone(),
+                            optim: snap_optim.clone(),
+                            rng: Vec::new(),
+                            tuner: None,
+                        };
+                        if let Some(t) = tuning.as_mut() {
+                            t.pause();
+                        }
+                        store
+                            .save(&ckpt)
+                            .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
+                        if let Some(t) = tuning.as_mut() {
+                            t.resume();
+                        }
+                    }
+                }
+                if exit_here && step == exit_step {
+                    eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
+                    std::process::exit(41);
+                }
+                let (x, labels) = data.shard(step, 8 * world, rank, world);
+                if elastic {
+                    if let Err(e) = optim.try_train_step(&mut net, &x, &labels) {
+                        recover!(e);
+                        continue;
+                    }
+                } else {
+                    let _ = optim.train_step(&mut net, &x, &labels);
+                }
+                if let Some(t) = tuning.as_mut() {
+                    if let Some(throughput) = t.on_step() {
+                        eprintln!(
+                            "dear-tune rank={rank} window={tune_window} \
+                             throughput={throughput:.1} samples/s"
+                        );
+                    }
+                }
+                step += 1;
+            }
+            if elastic {
+                if let Err(e) = optim.try_synchronize(&mut net) {
+                    recover!(e);
+                    continue;
+                }
+            } else {
+                optim.synchronize(&mut net);
+            }
+            break 'run;
+        }
         let (x, labels) = data.batch(1_000_000, 64);
         let logits = net.forward(&x);
         let (loss, _) = softmax_cross_entropy(&logits, &labels);
-        (loss, hash_params(&net.flat_params()))
+        (loss, hash_params(&net.flat_params()), rank, world)
     });
     // End-of-run trace dump: one Perfetto-loadable file per rank plus a
     // greppable overlap summary line on stderr.

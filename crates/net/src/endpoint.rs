@@ -65,7 +65,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dear_collectives::{CollectiveError, Message, Transport, WireBuf};
+use dear_collectives::{CollectiveError, Message, Transport, WireBuf, WorldChange};
 use dear_core::trace;
 
 use crate::config::{NetConfig, NetError};
@@ -169,8 +169,13 @@ struct HealthInner {
     /// Set once by the monitor when a peer misses its heartbeat budget;
     /// the whole endpoint is torn down at that point.
     aborted: Option<usize>,
-    /// Set by a reader on a generation mismatch: `(peer, actual)`.
-    stale: Option<(usize, u64)>,
+    /// Per-peer generation-mismatch verdicts: `stale[p]` holds the first
+    /// foreign generation seen from peer `p`. A map rather than a single
+    /// slot because resize churn can produce stale frames from several
+    /// old-incarnation peers at once — each must keep its own verdict so
+    /// every affected channel reports [`CollectiveError::StaleGeneration`]
+    /// deterministically instead of only the first one observed.
+    stale: Vec<Option<u64>>,
 }
 
 impl Health {
@@ -180,7 +185,7 @@ impl Health {
                 last_seen: vec![Instant::now(); world],
                 departed: vec![false; world],
                 aborted: None,
-                stale: None,
+                stale: vec![None; world],
             }),
         }
     }
@@ -195,10 +200,12 @@ impl Health {
         h.last_seen[peer] = Instant::now();
     }
 
+    /// Records the first foreign generation seen from `peer` (later
+    /// mismatches from the same peer keep the original verdict).
     fn mark_stale(&self, peer: usize, actual: u64) {
         let mut h = self.inner.lock().expect("health poisoned");
-        if h.stale.is_none() {
-            h.stale = Some((peer, actual));
+        if h.stale[peer].is_none() {
+            h.stale[peer] = Some(actual);
         }
     }
 }
@@ -225,6 +232,10 @@ pub struct TcpEndpoint {
     monitor: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
     /// Stream clones used by `Drop` to force blocked readers out.
     peer_streams: Vec<TcpStream>,
+    /// The configuration this endpoint was built from, with rank, world,
+    /// generation, and master address kept current across in-place
+    /// resizes — the seed for the next resize rendezvous.
+    cfg: NetConfig,
 }
 
 impl fmt::Debug for TcpEndpoint {
@@ -272,6 +283,8 @@ impl TcpEndpoint {
             return Err(NetError::Config("world size must be positive".to_string()));
         }
         if cfg.world == 1 {
+            let mut stored = cfg.clone();
+            stored.rank = Some(0);
             return Ok(TcpEndpoint {
                 rank: 0,
                 world: 1,
@@ -287,6 +300,7 @@ impl TcpEndpoint {
                 readers: Vec::new(),
                 monitor: None,
                 peer_streams: Vec::new(),
+                cfg: stored,
             });
         }
         let t0 = Instant::now();
@@ -395,6 +409,8 @@ impl TcpEndpoint {
             }
             _ => None,
         };
+        let mut stored = cfg.clone();
+        stored.rank = Some(rank);
         Ok(TcpEndpoint {
             rank,
             world,
@@ -410,6 +426,7 @@ impl TcpEndpoint {
             readers,
             monitor,
             peer_streams,
+            cfg: stored,
         })
     }
 
@@ -443,16 +460,89 @@ impl TcpEndpoint {
     /// peer, or an endpoint-wide abort by the failure detector.
     fn failure_verdict(&self, peer: usize) -> Option<CollectiveError> {
         let h = self.health.inner.lock().expect("health poisoned");
-        if let Some((p, actual)) = h.stale {
-            if p == peer {
-                return Some(CollectiveError::StaleGeneration {
-                    peer,
-                    expected: self.generation,
-                    actual,
-                });
-            }
+        if let Some(actual) = h.stale.get(peer).copied().flatten() {
+            return Some(CollectiveError::StaleGeneration {
+                peer,
+                expected: self.generation,
+                actual,
+            });
         }
         h.aborted.map(|p| CollectiveError::Aborted { peer: p })
+    }
+
+    /// Every peer that has sent a frame from a foreign generation, in rank
+    /// order, with the first foreign generation each one presented.
+    /// Deterministic regardless of the order the mismatches arrived in —
+    /// concurrent stale peers during resize churn all keep their verdicts.
+    #[must_use]
+    pub fn stale_peers(&self) -> Vec<(usize, u64)> {
+        let h = self.health.inner.lock().expect("health poisoned");
+        h.stale
+            .iter()
+            .enumerate()
+            .filter_map(|(p, g)| g.map(|g| (p, g)))
+            .collect()
+    }
+
+    /// Stops the monitor, drains and joins the writer threads, force-closes
+    /// every socket, and joins the readers. Idempotent; shared by `Drop`
+    /// and the in-place resize path (which tears the old mesh down before
+    /// re-running rendezvous at the next generation).
+    fn teardown(&mut self) {
+        // Stop the heartbeat monitor first: it holds socket clones and
+        // must not race the orderly writer drain below by force-closing
+        // sockets over a false death verdict mid-teardown.
+        if let Some((stop_tx, handle)) = self.monitor.take() {
+            let _ = stop_tx.send(());
+            let _ = handle.join();
+        }
+        // Queue a graceful shutdown frame where the outbox has room, then
+        // close every outbox: writers drain all queued data, write the
+        // shutdown frame, and exit (their write deadline bounds this even
+        // against a wedged peer).
+        for tx in self.outboxes.iter_mut() {
+            if let Some(tx) = tx.take() {
+                let _ = tx.try_send(WriterCmd::Shutdown);
+            }
+        }
+        for h in self.writers.drain(..) {
+            let _ = h.join();
+        }
+        // Force readers out of blocking reads. All frames we were owed have
+        // been consumed by completed collectives, so nothing of value is
+        // discarded.
+        for s in self.peer_streams.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Joins a **running, resized** world as a fresh rank (grow side of
+    /// in-place elastic resize): dials the resize rendezvous the survivors
+    /// derive for `generation` and presents no prior identity, so the
+    /// master appends this endpoint after the survivors' dense ranks.
+    ///
+    /// `cfg.master_addr` must be the *original* world's master address —
+    /// the same derivation the survivors use maps it to the resize
+    /// address. The configured `cfg.world` and `cfg.rank` are ignored; the
+    /// WELCOME dictates both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] when the resize rendezvous cannot be reached
+    /// within the connect deadline or the handshake fails.
+    pub fn join_resize(cfg: &NetConfig, generation: u64) -> Result<TcpEndpoint, NetError> {
+        let (host, base_port) = split_host_port(&cfg.master_addr)?;
+        let addr = format!("{host}:{}", resize_port(base_port, generation));
+        let (rank, world, streams) = resize_worker(cfg, None, generation, &addr)?;
+        let mut rcfg = cfg.clone();
+        rcfg.rank = Some(rank);
+        rcfg.world = world;
+        rcfg.generation = generation;
+        rcfg.master_addr = addr;
+        Self::from_mesh(rank, &rcfg, streams)
     }
 }
 
@@ -728,38 +818,76 @@ impl Transport for TcpEndpoint {
     fn recycle_buffer(&self, buf: Vec<u8>) {
         self.pool.recycle(buf);
     }
+
+    /// In-place elastic resize: tears the old mesh down, re-runs rendezvous
+    /// at generation `g+1` on a deterministically derived port (every
+    /// survivor computes the same one, so no agreement on who survived is
+    /// needed up front), and rebuilds the endpoint over whoever shows up
+    /// within [`NetConfig::resize_window`].
+    ///
+    /// The first survivor to bind the derived port hosts the rendezvous
+    /// (bind race as master election; `AddrInUse` losers join as workers).
+    /// Dense ranks: the elected master takes 0, the other survivors follow
+    /// in ascending old-rank order, fresh joiners are appended in arrival
+    /// order. The member list closes when the window expires; the resize
+    /// fails — and the endpoint is left torn down, only fit for dropping —
+    /// unless a strict majority of the old world is present (quorum, so a
+    /// partitioned minority can never train on as if it were the world).
+    ///
+    /// `survivors` is ignored: membership is discovered by the rendezvous
+    /// itself, which is what tolerates disagreement about who died.
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let _ = survivors;
+        let old_rank = self.rank;
+        let old_world = self.world;
+        let new_gen = self.generation + 1;
+        self.teardown();
+        let cfg = self.cfg.clone();
+        let reconf = |e: NetError| CollectiveError::Reconfigure {
+            reason: e.to_string(),
+        };
+        let t0 = Instant::now();
+        let (host, base_port) = split_host_port(&cfg.master_addr).map_err(reconf)?;
+        let addr = format!("{host}:{}", resize_port(base_port, new_gen));
+        let (rank, world, streams) = match TcpListener::bind(addr.as_str()) {
+            Ok(listener) => {
+                resize_master(&cfg, old_world, new_gen, &addr, &listener).map_err(reconf)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                resize_worker(&cfg, Some(old_rank), new_gen, &addr).map_err(reconf)?
+            }
+            Err(e) => {
+                return Err(reconf(NetError::io(
+                    format!("binding resize listener {addr}"),
+                    e,
+                )))
+            }
+        };
+        let mut rcfg = cfg;
+        rcfg.rank = Some(rank);
+        rcfg.world = world;
+        rcfg.generation = new_gen;
+        rcfg.master_addr = addr;
+        trace::record(
+            &format!("net.r{rank}/net"),
+            trace::TaskKind::Other,
+            || format!("resize-rendezvous[g{new_gen}]"),
+            t0,
+        );
+        *self = Self::from_mesh(rank, &rcfg, streams).map_err(reconf)?;
+        Ok(WorldChange {
+            old_rank,
+            old_world,
+            new_rank: rank,
+            new_world: world,
+            generation: new_gen,
+        })
+    }
 }
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
-        // Stop the heartbeat monitor first: it holds socket clones and
-        // must not race the orderly writer drain below by force-closing
-        // sockets over a false death verdict mid-teardown.
-        if let Some((stop_tx, handle)) = self.monitor.take() {
-            let _ = stop_tx.send(());
-            let _ = handle.join();
-        }
-        // Queue a graceful shutdown frame where the outbox has room, then
-        // close every outbox: writers drain all queued data, write the
-        // shutdown frame, and exit (their write deadline bounds this even
-        // against a wedged peer).
-        for tx in self.outboxes.iter_mut() {
-            if let Some(tx) = tx.take() {
-                let _ = tx.try_send(WriterCmd::Shutdown);
-            }
-        }
-        for h in self.writers.drain(..) {
-            let _ = h.join();
-        }
-        // Force readers out of blocking reads. All frames we were owed have
-        // been consumed by completed collectives, so nothing of value is
-        // discarded.
-        for s in self.peer_streams.drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
-        }
-        for h in self.readers.drain(..) {
-            let _ = h.join();
-        }
+        self.teardown();
         // With threads joined the counters are final: fold them into the
         // trace recorder so per-peer traffic rides along in the dump.
         if trace::enabled() {
@@ -873,12 +1001,11 @@ fn rendezvous_master(
     pre: Option<TcpListener>,
 ) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
     let world = cfg.world;
+    let deadline = Instant::now() + cfg.handshake_timeout;
     let listener = match pre {
         Some(l) => l,
-        None => TcpListener::bind(&cfg.master_addr)
-            .map_err(|e| NetError::io(format!("binding master listener {}", cfg.master_addr), e))?,
+        None => bind_master_with_retry(&cfg.master_addr, deadline)?,
     };
-    let deadline = Instant::now() + cfg.handshake_timeout;
     let mut body = Vec::new();
     let mut pending: Vec<(TcpStream, Hello, IpAddr)> = Vec::with_capacity(world - 1);
     while pending.len() < world - 1 {
@@ -916,11 +1043,31 @@ fn rendezvous_master(
         taken[r] = true;
         *slot = Some(r);
     }
+    let assigned: Vec<usize> = assigned
+        .into_iter()
+        .map(|s| s.expect("all slots assigned"))
+        .collect();
+    let streams =
+        master_publish_and_barrier(&cfg.master_addr, world, cfg.generation, pending, &assigned)?;
+    Ok((0, streams))
+}
+
+/// The master's mesh-publication tail, shared by the initial rendezvous
+/// and the resize rendezvous: build the dialable peer table, WELCOME every
+/// worker with its assigned rank, then run the READY/GO barrier. The HELLO
+/// connections become the master's mesh links (the master is rank 0).
+fn master_publish_and_barrier(
+    master_addr: &str,
+    world: usize,
+    generation: u64,
+    pending: Vec<(TcpStream, Hello, IpAddr)>,
+    assigned: &[usize],
+) -> Result<Vec<Option<TcpStream>>, NetError> {
+    let mut body = Vec::new();
     // Build the dialable peer table.
     let mut addrs = vec![String::new(); world];
-    addrs[0] = cfg.master_addr.clone();
-    for (i, (_, hello, seen_ip)) in pending.iter().enumerate() {
-        let rank = assigned[i].expect("all slots assigned");
+    addrs[0] = master_addr.to_string();
+    for ((_, hello, seen_ip), &rank) in pending.iter().zip(assigned) {
         let host = if hello.host.is_empty() || hello.host == "0.0.0.0" {
             seen_ip.to_string()
         } else {
@@ -930,12 +1077,11 @@ fn rendezvous_master(
     }
     // WELCOME everyone; the HELLO connections become mesh links to rank 0.
     let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
-    for ((mut s, _, _), rank) in pending.into_iter().zip(assigned) {
-        let rank = rank.expect("all slots assigned");
+    for ((mut s, _, _), &rank) in pending.into_iter().zip(assigned) {
         let welcome = Welcome {
             rank: rank as u32,
             world: world as u32,
-            generation: cfg.generation,
+            generation,
             addrs: addrs.clone(),
         };
         write_frame(&mut s, FrameKind::Welcome, &welcome.encode())
@@ -952,25 +1098,48 @@ fn rendezvous_master(
         write_frame(s, FrameKind::Go, &[])
             .map_err(|e| NetError::io(format!("sending GO to rank {r}"), e))?;
     }
-    Ok((0, streams))
+    Ok(streams)
 }
 
 /// A worker's side of the rendezvous: HELLO the master, learn rank and
 /// peer table, dial lower ranks, accept higher ranks, then barrier.
 fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
-    let world = cfg.world;
+    let hello_rank = cfg.rank.map_or(u32::MAX, |r| r as u32);
+    let (rank, world, streams) =
+        worker_mesh(cfg, &cfg.master_addr, hello_rank, cfg.generation, true)?;
+    debug_assert_eq!(world, cfg.world);
+    Ok((rank, streams))
+}
+
+/// The worker's mesh protocol, shared by the initial rendezvous and the
+/// resize rendezvous: HELLO the master at `master_addr` (with `hello_rank`
+/// as either a rank request or, during a resize, the old-rank identity
+/// claim), learn the assigned rank and peer table from the WELCOME, dial
+/// lower ranks, accept higher ranks, then barrier.
+///
+/// With `fixed_world`, the WELCOME must agree with `cfg.world` and the
+/// assigned rank must match a configured `cfg.rank` — the initial
+/// rendezvous invariants. A resize passes `false`: the world size and this
+/// endpoint's rank are exactly what the rendezvous exists to determine.
+fn worker_mesh(
+    cfg: &NetConfig,
+    master_addr: &str,
+    hello_rank: u32,
+    generation: u64,
+    fixed_world: bool,
+) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
     let listener = TcpListener::bind((cfg.listen_host.as_str(), 0))
         .map_err(|e| NetError::io(format!("binding worker listener on {}", cfg.listen_host), e))?;
     let port = listener
         .local_addr()
         .map_err(|e| NetError::io("reading listener address", e))?
         .port();
-    let mut master = connect_with_retry(&cfg.master_addr, cfg)?;
+    let mut master = connect_with_retry(master_addr, cfg)?;
     set_handshake_deadlines(&master, cfg)?;
     let hello = Hello {
-        rank: cfg.rank.map_or(u32::MAX, |r| r as u32),
+        rank: hello_rank,
         port,
-        generation: cfg.generation,
+        generation,
         host: if cfg.listen_host == "0.0.0.0" {
             String::new()
         } else {
@@ -982,20 +1151,21 @@ fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>),
     let mut body = Vec::new();
     expect_frame(&mut master, FrameKind::Welcome, &mut body, "master")?;
     let welcome = Welcome::decode(&body).map_err(|e| NetError::io("decoding WELCOME", e))?;
-    if welcome.world as usize != world {
+    let world = welcome.world as usize;
+    if fixed_world && world != cfg.world {
         return Err(NetError::Protocol(format!(
-            "master believes world is {}, this worker was configured for {world}",
-            welcome.world
+            "master believes world is {world}, this worker was configured for {}",
+            cfg.world
         )));
     }
-    if welcome.generation != cfg.generation {
+    if welcome.generation != generation {
         return Err(NetError::Protocol(format!(
-            "master is running generation {}, this worker was launched for generation {}",
-            welcome.generation, cfg.generation
+            "master is running generation {}, this worker was launched for generation {generation}",
+            welcome.generation
         )));
     }
     let rank = welcome.rank as usize;
-    if rank == 0 || rank >= world || cfg.rank.is_some_and(|r| r != rank) {
+    if rank == 0 || rank >= world || (fixed_world && cfg.rank.is_some_and(|r| r != rank)) {
         return Err(NetError::Protocol(format!(
             "master assigned rank {rank}, configured rank {:?} (world {world})",
             cfg.rank
@@ -1032,13 +1202,146 @@ fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>),
     let master = streams[0].as_mut().expect("master connection");
     write_frame(master, FrameKind::Ready, &[]).map_err(|e| NetError::io("sending READY", e))?;
     expect_frame(master, FrameKind::Go, &mut body, "master")?;
-    Ok((rank, streams))
+    Ok((rank, world, streams))
+}
+
+/// Splits `host:port`, taking the **last** colon so bracketed IPv6 hosts
+/// keep their colons.
+fn split_host_port(addr: &str) -> Result<(&str, u16), NetError> {
+    let (host, port) = addr
+        .rsplit_once(':')
+        .ok_or_else(|| NetError::Config(format!("master address {addr} has no port")))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|_| NetError::Config(format!("master address {addr} has an invalid port")))?;
+    Ok((host, port))
+}
+
+/// The rendezvous port for the resize at `generation`, derived
+/// deterministically from the previous rendezvous port so every survivor
+/// computes the same address without first agreeing on who survived. A
+/// *fresh* port rather than the old one because the old master's accepted
+/// connections leave `TIME_WAIT` remnants that can make an immediate
+/// re-bind fail (std exposes no `SO_REUSEADDR`), and because the old
+/// master may be the rank that died.
+fn resize_port(base: u16, generation: u64) -> u16 {
+    // Jump around the ephemeral range in a generation-dependent stride;
+    // stays off privileged ports.
+    let span = u64::from(u16::MAX) - 1024;
+    let p = (u64::from(base) + generation.wrapping_mul(7919)) % span;
+    1024 + p as u16
+}
+
+/// Binds `addr`, retrying `AddrInUse` with exponential backoff until
+/// `deadline`. A probed "free" port is inherently TOCTOU — another process
+/// can take it between the probe and this bind — and a restarted master's
+/// old port can still be draining `TIME_WAIT` sockets; both resolve with a
+/// short wait far more often than not.
+fn bind_master_with_retry(addr: &str, deadline: Instant) -> Result<TcpListener, NetError> {
+    let mut backoff = NetConfig::CONNECT_BACKOFF_MIN;
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(NetError::io(format!("binding master listener {addr}"), e));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(NetConfig::CONNECT_BACKOFF_MAX);
+            }
+            Err(e) => return Err(NetError::io(format!("binding master listener {addr}"), e)),
+        }
+    }
+}
+
+/// The elected master's side of a resize rendezvous: collect HELLOs on the
+/// derived port for the full membership window, enforce quorum, assign
+/// dense ranks (self 0, survivors in ascending old-rank order, joiners
+/// appended in arrival order), then publish the mesh and barrier.
+///
+/// Malformed or foreign-generation HELLOs are dropped, not fatal: resize
+/// churn legitimately produces stragglers from the old incarnation.
+fn resize_master(
+    cfg: &NetConfig,
+    old_world: usize,
+    generation: u64,
+    addr: &str,
+    listener: &TcpListener,
+) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
+    let deadline = Instant::now() + cfg.resize_window;
+    let mut body = Vec::new();
+    let mut pending: Vec<(TcpStream, Hello, IpAddr)> = Vec::new();
+    loop {
+        let (mut s, peer) = match accept_deadline(listener, deadline, "a resize HELLO") {
+            Ok(conn) => conn,
+            // The membership window closed; whoever is in is in.
+            Err(NetError::Timeout { .. }) => break,
+            Err(e) => return Err(e),
+        };
+        let hello = (|| -> Result<Hello, NetError> {
+            set_handshake_deadlines(&s, cfg)?;
+            expect_frame(&mut s, FrameKind::Hello, &mut body, "resize worker")?;
+            Hello::decode(&body).map_err(|e| NetError::io("decoding resize HELLO", e))
+        })();
+        match hello {
+            Ok(h) if h.generation == generation => {
+                // Keep-first on duplicate old-rank claims: a second claim
+                // is a straggling retry or an impostor either way.
+                let dup =
+                    h.rank != u32::MAX && pending.iter().any(|(_, seen, _)| seen.rank == h.rank);
+                if dup {
+                    drop(s);
+                } else {
+                    pending.push((s, h, peer.ip()));
+                }
+            }
+            Ok(_) | Err(_) => drop(s),
+        }
+    }
+    let survivors = 1 + pending
+        .iter()
+        .filter(|(_, h, _)| h.rank != u32::MAX)
+        .count();
+    if survivors * 2 <= old_world {
+        return Err(NetError::Protocol(format!(
+            "resize quorum failed: {survivors} of {old_world} old ranks present \
+             within the {:?} window",
+            cfg.resize_window
+        )));
+    }
+    let world = 1 + pending.len();
+    // Dense ranks: self 0, survivors by old rank, then joiners by arrival.
+    let mut order: Vec<usize> = (0..pending.len()).collect();
+    order.sort_by_key(|&i| match pending[i].1.rank {
+        u32::MAX => (1, i as u32),
+        r => (0, r),
+    });
+    let mut assigned = vec![0usize; pending.len()];
+    for (new_rank, &i) in order.iter().enumerate() {
+        assigned[i] = new_rank + 1;
+    }
+    let streams = master_publish_and_barrier(addr, world, generation, pending, &assigned)?;
+    Ok((0, world, streams))
+}
+
+/// A survivor's (or, via [`TcpEndpoint::join_resize`], a fresh joiner's)
+/// side of a resize rendezvous: HELLO the elected master at the derived
+/// address, presenting the old rank as an identity claim (`None` = no
+/// prior identity), and build the mesh the WELCOME dictates.
+fn resize_worker(
+    cfg: &NetConfig,
+    old_rank: Option<usize>,
+    generation: u64,
+    addr: &str,
+) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
+    let hello_rank = old_rank.map_or(u32::MAX, |r| r as u32);
+    worker_mesh(cfg, addr, hello_rank, generation, false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loopback::tcp_loopback;
+    use crate::loopback::{tcp_loopback, tcp_loopback_with};
 
     #[test]
     fn world_of_one_needs_no_sockets() {
@@ -1312,5 +1615,184 @@ mod tests {
             err,
             NetError::Timeout { .. } | NetError::Io { .. }
         ));
+    }
+
+    #[test]
+    fn concurrent_stale_peers_all_keep_their_verdicts() {
+        // Satellite-3 regression: two peers from different old generations
+        // send stale frames concurrently; the single-slot design used to
+        // keep only the first verdict, so the other channel misreported.
+        let (ours1, theirs1) = raw_pair();
+        let (ours2, theirs2) = raw_pair();
+        let mut cfg = NetConfig::new(3, 0, "127.0.0.1:0");
+        cfg.generation = 7;
+        cfg.heartbeat_interval = None;
+        let ep = TcpEndpoint::from_mesh(0, &cfg, vec![None, Some(ours1), Some(ours2)]).unwrap();
+        let mut body = Vec::new();
+        encode_data_body(3, &WireBuf::from_f32(&[1.0]), &mut body);
+        let mut s1 = theirs1;
+        write_frame(&mut s1, FrameKind::Data, &body).unwrap();
+        body.clear();
+        encode_data_body(5, &WireBuf::from_f32(&[2.0]), &mut body);
+        let mut s2 = theirs2;
+        write_frame(&mut s2, FrameKind::Data, &body).unwrap();
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let e1 = ep.recv(1).unwrap_err();
+        let e2 = ep.recv(2).unwrap_err();
+        assert_eq!(
+            e1,
+            CollectiveError::StaleGeneration {
+                peer: 1,
+                expected: 7,
+                actual: 3
+            }
+        );
+        assert_eq!(
+            e2,
+            CollectiveError::StaleGeneration {
+                peer: 2,
+                expected: 7,
+                actual: 5
+            }
+        );
+        assert_eq!(ep.stale_peers(), vec![(1, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn resize_port_is_deterministic_and_unprivileged() {
+        for g in 1..50u64 {
+            let p = resize_port(29400, g);
+            assert!(p >= 1024);
+            assert_eq!(p, resize_port(29400, g));
+        }
+        assert_ne!(
+            resize_port(29400, 1),
+            resize_port(29400, 2),
+            "consecutive generations must land on different ports"
+        );
+    }
+
+    #[test]
+    fn shrink_reconfigures_survivors_to_a_dense_world() {
+        let mut eps = tcp_loopback_with(4, |cfg| {
+            cfg.with_connect_timeout(Duration::from_secs(5))
+                .with_resize_window(Duration::from_millis(800))
+        })
+        .unwrap();
+        // Rank 2 dies abruptly (drop closes its sockets).
+        let victim = eps.remove(2);
+        drop(victim);
+        let changes: Vec<WorldChange> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| s.spawn(move || ep.reconfigure(None).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Dense ranks 0..3, each exactly once; world 3 everywhere; old
+        // ranks preserved in the change records.
+        let mut new_ranks: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+        new_ranks.sort_unstable();
+        assert_eq!(new_ranks, vec![0, 1, 2]);
+        for (ep, change) in eps.iter().zip(&changes) {
+            assert_eq!(change.old_world, 4);
+            assert_eq!(change.new_world, 3);
+            assert_eq!(change.generation, 1);
+            assert_eq!(ep.rank(), change.new_rank);
+            assert_eq!(ep.world_size(), 3);
+            assert_eq!(ep.generation(), 1);
+        }
+        // Survivors other than the elected master keep their relative
+        // old-rank order at ranks 1..: the two non-master survivors must
+        // be ordered by their old ranks.
+        let mut non_master: Vec<(usize, usize)> = changes
+            .iter()
+            .filter(|c| c.new_rank != 0)
+            .map(|c| (c.new_rank, c.old_rank))
+            .collect();
+        non_master.sort_unstable();
+        let old_order: Vec<usize> = non_master.iter().map(|&(_, o)| o).collect();
+        let mut sorted = old_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(old_order, sorted, "old-rank order preserved at ranks 1..");
+        // The resized world runs a correct all-reduce.
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 16];
+                    dear_collectives::ring_all_reduce(
+                        ep,
+                        &mut data,
+                        dear_collectives::ReduceOp::Sum,
+                    )
+                    .unwrap();
+                    assert_eq!(data, vec![6.0; 16]); // 1+2+3
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn grow_admits_a_fresh_joiner_at_the_next_rank() {
+        // Build a 2-rank world by hand so the test knows the original
+        // master address the joiner derives the resize address from.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let tweak = |cfg: NetConfig| {
+            cfg.with_connect_timeout(Duration::from_secs(5))
+                .with_resize_window(Duration::from_millis(800))
+        };
+        let cfg0 = tweak(NetConfig::new(2, 0, addr.clone()));
+        let cfg1 = tweak(NetConfig::new(2, 1, addr.clone()));
+        let (mut ep0, mut ep1) = std::thread::scope(|s| {
+            let w = s.spawn(move || TcpEndpoint::connect(&cfg1).unwrap());
+            let ep0 = TcpEndpoint::connect_with_listener(&cfg0, listener).unwrap();
+            (ep0, w.join().unwrap())
+        });
+        let jcfg = tweak(NetConfig::new(2, 1, addr));
+        let (c0, c1, joiner) = std::thread::scope(|s| {
+            let h0 = s.spawn(|| ep0.reconfigure(None).unwrap());
+            let h1 = s.spawn(|| ep1.reconfigure(None).unwrap());
+            let hj = s.spawn(move || TcpEndpoint::join_resize(&jcfg, 1).unwrap());
+            (h0.join().unwrap(), h1.join().unwrap(), hj.join().unwrap())
+        });
+        assert_eq!(c0.new_world, 3);
+        assert_eq!(c1.new_world, 3);
+        assert_eq!(joiner.world_size(), 3);
+        assert_eq!(joiner.rank(), 2, "fresh joiners are appended last");
+        assert_eq!(joiner.generation(), 1);
+        let eps = [&ep0, &ep1, &joiner];
+        std::thread::scope(|s| {
+            for ep in eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 8];
+                    dear_collectives::ring_all_reduce(
+                        ep,
+                        &mut data,
+                        dear_collectives::ReduceOp::Sum,
+                    )
+                    .unwrap();
+                    assert_eq!(data, vec![6.0; 8]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn resize_without_quorum_fails_with_a_typed_error() {
+        let mut eps = tcp_loopback_with(4, |cfg| {
+            cfg.with_connect_timeout(Duration::from_secs(5))
+                .with_resize_window(Duration::from_millis(300))
+        })
+        .unwrap();
+        // Three of four ranks die: one survivor is not a majority.
+        let survivor = eps.remove(1);
+        drop(eps);
+        let mut survivor = survivor;
+        let err = survivor.reconfigure(None).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("quorum")),
+            "{err}"
+        );
     }
 }

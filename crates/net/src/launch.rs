@@ -27,6 +27,15 @@ use crate::config::NetError;
 pub enum WorldOutcome {
     /// Every rank exited with status 0.
     AllExitedCleanly,
+    /// Some ranks died mid-run, but the launch was configured to tolerate
+    /// departures ([`LaunchOptions::tolerate_departures`], the in-place
+    /// resize mode) and every surviving rank exited 0 — the world resized
+    /// around the losses instead of restarting.
+    SurvivedDepartures {
+        /// Ranks (by launch index) that exited non-zero or died to a
+        /// signal, in the order their deaths were observed.
+        departed: Vec<usize>,
+    },
 }
 
 /// How an elastic (restartable) launch finished.
@@ -108,6 +117,13 @@ pub struct LaunchOptions {
     pub timeout: Option<Duration>,
     /// Extra `(name, value)` environment entries for every worker.
     pub env: Vec<(String, String)>,
+    /// Keep supervising when a rank dies instead of killing the world:
+    /// the surviving workers are expected to resize in place (see
+    /// `DEAR_ELASTIC_RESIZE`), so a death is logged and tolerated, and the
+    /// launch succeeds with [`WorldOutcome::SurvivedDepartures`] as long
+    /// as at least one rank finishes cleanly. Off by default — the
+    /// classic kill-and-restart supervision.
+    pub tolerate_departures: bool,
 }
 
 impl LaunchOptions {
@@ -120,26 +136,56 @@ impl LaunchOptions {
             master_port: None,
             timeout: None,
             env: Vec::new(),
+            tolerate_departures: false,
         }
     }
 }
 
-/// Asks the OS for a currently-free TCP port on loopback. The port is
-/// released before returning, so a race is possible but unlikely; rank 0
-/// rebinding it immediately makes this good enough for tests and
-/// single-host launches.
+/// Asks the OS for a currently-free TCP port on loopback.
+///
+/// The probe is inherently TOCTOU against *other processes* — the port is
+/// released before returning — and that side is closed where it must be:
+/// the rendezvous master retries `AddrInUse` with backoff when it binds
+/// (`TcpEndpoint`), rather than trusting the probe. What this function
+/// closes is the *in-process* race: the kernel happily re-issues an
+/// ephemeral port the moment its probe listener drops, so concurrent
+/// launches (parallel tests, back-to-back elastic generations) used to be
+/// handed the same "fresh" port. Recently issued ports are remembered in a
+/// process-wide ring and skipped, with the probe retried until the OS
+/// offers one not handed out lately.
 ///
 /// # Errors
 ///
-/// Returns [`NetError::Io`] if no ephemeral port can be bound at all.
+/// Returns [`NetError::Io`] if no ephemeral port can be bound at all, or
+/// [`NetError::Config`] if every probe lands on a recently issued port
+/// (pathological ephemeral-range exhaustion).
 pub fn free_port() -> Result<u16, NetError> {
-    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
-        .map_err(|e| NetError::io("probing for a free port", e))?;
-    let port = listener
-        .local_addr()
-        .map_err(|e| NetError::io("reading probed port", e))?
-        .port();
-    Ok(port)
+    use std::sync::Mutex;
+    // How many recently issued ports to refuse to re-issue. Large enough
+    // to cover every port a test run's worth of concurrent launches holds
+    // between probe and bind; tiny against the ~28k ephemeral range.
+    const REMEMBER: usize = 64;
+    static RECENT: Mutex<Vec<u16>> = Mutex::new(Vec::new());
+    for _ in 0..4 * REMEMBER {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| NetError::io("probing for a free port", e))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| NetError::io("reading probed port", e))?
+            .port();
+        let mut recent = RECENT.lock().expect("free-port registry poisoned");
+        if recent.contains(&port) {
+            continue;
+        }
+        if recent.len() == REMEMBER {
+            recent.remove(0);
+        }
+        recent.push(port);
+        return Ok(port);
+    }
+    Err(NetError::Config(
+        "every probed ephemeral port was issued recently; port range exhausted?".to_string(),
+    ))
 }
 
 /// Spawns `opts.world` copies of `command` (argv, first element is the
@@ -148,7 +194,12 @@ pub fn free_port() -> Result<u16, NetError> {
 /// - if every rank exits 0, returns [`WorldOutcome::AllExitedCleanly`];
 /// - the first rank to exit non-zero (or die to a signal) gets the
 ///   remaining ranks killed, and the launch fails with the failing rank's
-///   status in the error;
+///   status in the error — unless
+///   [`tolerate_departures`](LaunchOptions::tolerate_departures) is set,
+///   in which case the death is logged, the survivors keep running (they
+///   are expected to resize in place), and the launch succeeds with
+///   [`WorldOutcome::SurvivedDepartures`] provided at least one rank
+///   finishes cleanly;
 /// - if `opts.timeout` expires first, everything is killed and the launch
 ///   fails with [`NetError::Timeout`].
 ///
@@ -163,7 +214,7 @@ pub fn launch_world(command: &[String], opts: &LaunchOptions) -> Result<WorldOut
     };
     let mut guard = WorldGuard::default();
     spawn_world(&mut guard, command, opts, port, 0)?;
-    supervise(guard.slots(), opts.timeout, None)
+    supervise(guard.slots(), opts.timeout, None, opts.tolerate_departures)
 }
 
 /// Spawns one generation of the world into `guard`. On any spawn failure
@@ -255,14 +306,21 @@ pub fn launch_world_elastic(
                 Some(left)
             }
         };
-        let result = supervise(guard.slots(), remaining, Some(&mut driver));
+        let result = supervise(
+            guard.slots(),
+            remaining,
+            Some(&mut driver),
+            opts.tolerate_departures,
+        );
         // Un-stall survivors before the guard kills them: SIGKILL works on
         // stopped processes, but releasing keeps the bookkeeping simple
         // for the next generation.
         driver.release_all();
         drop(guard);
         match result {
-            Ok(WorldOutcome::AllExitedCleanly) => {
+            // A world that resized in place around departures still
+            // finished its work — no restart needed.
+            Ok(WorldOutcome::AllExitedCleanly | WorldOutcome::SurvivedDepartures { .. }) => {
                 return Ok(ElasticOutcome {
                     restarts: attempt,
                     generation: u64::from(attempt),
@@ -357,14 +415,19 @@ fn signal(pid: u32, sig: &str) {
 }
 
 /// Polls the children until all exit cleanly, one fails, or the deadline
-/// expires; kills the survivors in the latter two cases. A chaos driver,
-/// when present, gets to inject faults between polls.
+/// expires; kills the survivors in the latter two cases (a failure is
+/// instead logged and tolerated when `tolerate_departures` is set — the
+/// in-place resize mode). A chaos driver, when present, gets to inject
+/// faults between polls.
 fn supervise(
     children: &mut [Option<Child>],
     timeout: Option<Duration>,
     mut chaos: Option<&mut ChaosDriver<'_>>,
+    tolerate_departures: bool,
 ) -> Result<WorldOutcome, NetError> {
     let deadline = timeout.map(|t| Instant::now() + t);
+    let mut departed: Vec<usize> = Vec::new();
+    let mut finished_cleanly = 0usize;
     loop {
         if let Some(driver) = chaos.as_deref_mut() {
             driver.poll(children);
@@ -377,6 +440,20 @@ fn supervise(
             match child.try_wait() {
                 Ok(Some(status)) if status.success() => {
                     children[rank] = None;
+                    finished_cleanly += 1;
+                }
+                Ok(Some(status)) if tolerate_departures => {
+                    // The survivors own recovery: they detect the death at
+                    // the collective layer and resize in place. Restart
+                    // stays the last resort, applied only if nothing
+                    // survives to finish.
+                    eprintln!(
+                        "[dear-launch] rank {rank} departed ({}); \
+                         leaving survivors to resize in place",
+                        describe(status)
+                    );
+                    children[rank] = None;
+                    departed.push(rank);
                 }
                 Ok(Some(status)) => {
                     kill_all(children);
@@ -393,7 +470,16 @@ fn supervise(
             }
         }
         if all_done {
-            return Ok(WorldOutcome::AllExitedCleanly);
+            if departed.is_empty() {
+                return Ok(WorldOutcome::AllExitedCleanly);
+            }
+            if finished_cleanly == 0 {
+                return Err(NetError::Protocol(format!(
+                    "every rank departed ({} deaths); nothing survived to resize",
+                    departed.len()
+                )));
+            }
+            return Ok(WorldOutcome::SurvivedDepartures { departed });
         }
         if let Some(dl) = deadline {
             if Instant::now() >= dl {
@@ -437,6 +523,43 @@ mod tests {
         // Typically still free immediately afterwards.
         let rebind = std::net::TcpListener::bind(("127.0.0.1", port));
         assert!(rebind.is_ok(), "probed port was not rebindable");
+    }
+
+    #[test]
+    fn free_port_does_not_reissue_a_recent_port() {
+        // The in-process registry must keep concurrent launches (or
+        // back-to-back elastic generations) off each other's ports even
+        // though the OS is free to recycle an ephemeral port the moment
+        // the probe listener drops.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            assert!(seen.insert(free_port().unwrap()), "port issued twice");
+        }
+    }
+
+    #[test]
+    fn departed_rank_is_tolerated_in_resize_mode() {
+        // Rank 1 exits non-zero; with departure tolerance on, the other
+        // ranks run to completion and the launch reports the departure
+        // instead of failing.
+        let cmd = vec![
+            "sh".to_string(),
+            "-c".to_string(),
+            "test \"$RANK\" != 1".to_string(),
+        ];
+        let mut opts = LaunchOptions::new(3);
+        opts.tolerate_departures = true;
+        let out = launch_world(&cmd, &opts).unwrap();
+        assert_eq!(out, WorldOutcome::SurvivedDepartures { departed: vec![1] });
+    }
+
+    #[test]
+    fn resize_mode_still_fails_when_every_rank_departs() {
+        let cmd = vec!["false".to_string()];
+        let mut opts = LaunchOptions::new(2);
+        opts.tolerate_departures = true;
+        let err = launch_world(&cmd, &opts).unwrap_err();
+        assert!(err.to_string().contains("nothing survived"), "got {err}");
     }
 
     #[test]

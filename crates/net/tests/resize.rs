@@ -1,0 +1,361 @@
+//! In-place elastic resize acceptance tests.
+//!
+//! Property layer: shrink (P→P−1) and grow (P→P+1) rendezvous always
+//! converge to dense ranks, and every all-reduce algorithm over the
+//! resized world is **bit-identical** to a fresh world of the same size —
+//! the resize must leave zero numerical or protocol residue.
+//!
+//! End-to-end layer: the real `dear-launch` binary runs a 4-rank demo
+//! world, one rank dies abruptly mid-training, and the survivors must
+//! resize in place — no process restart, no checkpoint replay — with
+//! parameters bitwise-identical across survivors at every post-resize
+//! boundary.
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use dear_collectives::{
+    hierarchical_all_reduce_seg, naive_all_reduce_seg, rhd_all_reduce_seg, ring_all_reduce_seg,
+    tree_broadcast_seg, tree_reduce_seg, ClusterShape, LocalFabric, ReduceOp, SegmentConfig,
+    Transport, WorldChange,
+};
+use dear_net::{tcp_loopback_with, NetConfig, TcpEndpoint};
+use proptest::prelude::*;
+
+/// Per-rank deterministic pseudo-random data (same scheme as the TCP
+/// transparency proptests), keyed by the rank the endpoint holds *now* —
+/// after a resize that is the dense new rank.
+fn rank_data(rank: usize, d: usize, salt: u64) -> Vec<f32> {
+    (0..d)
+        .map(|i| {
+            let x = (rank as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(salt | 1);
+            ((x % 4096) as f32 - 2048.0) / 32.0
+        })
+        .collect()
+}
+
+/// Runs `f` on every rank of a fabric, one thread per rank.
+fn run_ranks<T, R, F>(endpoints: &[T], f: F) -> Vec<R>
+where
+    T: Transport + Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints.iter().map(|ep| s.spawn(|| f(ep))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Every all-reduce algorithm, back to back on one fabric: ring, RHD,
+/// tree (reduce+broadcast), naive, hierarchical. Running them all on the
+/// same endpoints also checks no algorithm leaves stray frames behind.
+fn all_algorithms<T: Transport>(t: &T, d: usize, salt: u64, seg: SegmentConfig) -> Vec<Vec<f32>> {
+    let world = t.world_size();
+    let mut outs = Vec::new();
+    let mut data = rank_data(t.rank(), d, salt);
+    ring_all_reduce_seg(t, &mut data, ReduceOp::Sum, seg).unwrap();
+    outs.push(data);
+    let mut data = rank_data(t.rank(), d, salt);
+    rhd_all_reduce_seg(t, &mut data, ReduceOp::Sum, seg).unwrap();
+    outs.push(data);
+    let mut data = rank_data(t.rank(), d, salt);
+    tree_reduce_seg(t, &mut data, 0, ReduceOp::Sum, seg).unwrap();
+    tree_broadcast_seg(t, &mut data, 0, seg).unwrap();
+    outs.push(data);
+    let mut data = rank_data(t.rank(), d, salt);
+    naive_all_reduce_seg(t, &mut data, ReduceOp::Sum, seg).unwrap();
+    outs.push(data);
+    let nodes = (2..=world).find(|n| world.is_multiple_of(*n)).unwrap_or(1);
+    let shape = ClusterShape::new(nodes, world / nodes);
+    let mut data = rank_data(t.rank(), d, salt);
+    hierarchical_all_reduce_seg(t, shape, &mut data, ReduceOp::Sum, seg).unwrap();
+    outs.push(data);
+    outs
+}
+
+/// Asserts `resized[i]` (an endpoint holding dense rank `new_ranks[i]`)
+/// produced bit-for-bit what the same rank of a fresh world produced.
+fn assert_matches_fresh(
+    resized: &[Vec<Vec<f32>>],
+    new_ranks: &[usize],
+    fresh: &[Vec<Vec<f32>>],
+) -> Result<(), String> {
+    for (i, outs) in resized.iter().enumerate() {
+        let want = &fresh[new_ranks[i]];
+        for (algo, (got, exp)) in outs.iter().zip(want).enumerate() {
+            prop_assert_eq!(got.len(), exp.len());
+            for (e, (a, b)) in got.iter().zip(exp).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "new rank {} algo {} elem {}: resized {} != fresh {}",
+                    new_ranks[i],
+                    algo,
+                    e,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds a `world`-rank TCP mesh by hand so the test keeps the master
+/// address (a fresh joiner derives the resize rendezvous address from it).
+fn tcp_world_by_hand(
+    world: usize,
+    tweak: &(impl Fn(NetConfig) -> NetConfig + Sync),
+) -> (Vec<TcpEndpoint>, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let eps = std::thread::scope(|s| {
+        let workers: Vec<_> = (1..world)
+            .map(|r| {
+                let cfg = tweak(NetConfig::new(world, r, addr.clone()));
+                s.spawn(move || TcpEndpoint::connect(&cfg).unwrap())
+            })
+            .collect();
+        let cfg0 = tweak(NetConfig::new(world, 0, addr.clone()));
+        let ep0 = TcpEndpoint::connect_with_listener(&cfg0, listener).unwrap();
+        let mut eps = vec![ep0];
+        eps.extend(workers.into_iter().map(|h| h.join().unwrap()));
+        eps
+    });
+    (eps, addr)
+}
+
+fn resize_tweak(cfg: NetConfig) -> NetConfig {
+    let mut cfg = cfg
+        .with_connect_timeout(Duration::from_secs(10))
+        .with_resize_window(Duration::from_millis(400));
+    cfg.recv_timeout = Some(Duration::from_secs(60)); // hang guard
+    cfg
+}
+
+/// Shrink P→P−1: whichever rank dies, the survivors' resize rendezvous
+/// converges to dense ranks at generation 1, and every algorithm then
+/// behaves exactly like a fresh (P−1)-rank world.
+fn shrink_case(
+    world: usize,
+    victim: usize,
+    d: usize,
+    max_segment_bytes: usize,
+    salt: u64,
+) -> Result<(), String> {
+    let victim = victim % world;
+    let seg = SegmentConfig::new(max_segment_bytes);
+    let fresh = run_ranks(&LocalFabric::create(world - 1), |ep| {
+        all_algorithms(ep, d, salt, seg)
+    });
+    let mut eps = tcp_loopback_with(world, resize_tweak).unwrap();
+    drop(eps.remove(victim));
+    let changes: Vec<WorldChange> = std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .iter_mut()
+            .map(|ep| s.spawn(move || ep.reconfigure(None).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut dense: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    dense.sort_unstable();
+    prop_assert_eq!(dense, (0..world - 1).collect::<Vec<_>>());
+    for c in &changes {
+        prop_assert_eq!(c.new_world, world - 1);
+        prop_assert_eq!(c.generation, 1);
+    }
+    let resized = run_ranks(&eps, |ep| all_algorithms(ep, d, salt, seg));
+    let new_ranks: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    assert_matches_fresh(&resized, &new_ranks, &fresh)
+}
+
+/// Grow P→P+1: a fresh joiner is admitted at the appended rank, the
+/// members converge to dense ranks, and every algorithm then behaves
+/// exactly like a fresh (P+1)-rank world.
+fn grow_case(world: usize, d: usize, max_segment_bytes: usize, salt: u64) -> Result<(), String> {
+    let seg = SegmentConfig::new(max_segment_bytes);
+    let fresh = run_ranks(&LocalFabric::create(world + 1), |ep| {
+        all_algorithms(ep, d, salt, seg)
+    });
+    let (mut eps, addr) = tcp_world_by_hand(world, &resize_tweak);
+    let jcfg = resize_tweak(NetConfig::new(world, 1, addr));
+    let (changes, joiner) = std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .iter_mut()
+            .map(|ep| s.spawn(move || ep.reconfigure(None).unwrap()))
+            .collect();
+        let hj = s.spawn(move || TcpEndpoint::join_resize(&jcfg, 1).unwrap());
+        let changes: Vec<WorldChange> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (changes, hj.join().unwrap())
+    });
+    prop_assert_eq!(joiner.world_size(), world + 1);
+    prop_assert_eq!(joiner.rank(), world, "fresh joiners are appended last");
+    let mut dense: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    dense.push(joiner.rank());
+    dense.sort_unstable();
+    prop_assert_eq!(dense, (0..world + 1).collect::<Vec<_>>());
+    for c in &changes {
+        prop_assert_eq!(c.new_world, world + 1);
+        prop_assert_eq!(c.generation, 1);
+    }
+    let mut new_ranks: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    new_ranks.push(joiner.rank());
+    eps.push(joiner);
+    let resized = run_ranks(&eps, |ep| all_algorithms(ep, d, salt, seg));
+    assert_matches_fresh(&resized, &new_ranks, &fresh)
+}
+
+proptest! {
+    // Every case stands up a real TCP mesh and pays a full resize window;
+    // keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn shrink_converges_to_dense_ranks_and_matches_a_fresh_world(
+        world in 3usize..6,
+        victim in 0usize..6,
+        d in 0usize..160,
+        max_segment_bytes in 0usize..96,
+        salt in any::<u64>(),
+    ) {
+        shrink_case(world, victim, d, max_segment_bytes, salt)?;
+    }
+
+    #[test]
+    fn grow_converges_to_dense_ranks_and_matches_a_fresh_world(
+        world in 2usize..5,
+        d in 0usize..160,
+        max_segment_bytes in 0usize..96,
+        salt in any::<u64>(),
+    ) {
+        grow_case(world, d, max_segment_bytes, salt)?;
+    }
+}
+
+const LAUNCH: &str = env!("CARGO_BIN_EXE_dear-launch");
+
+/// The headline acceptance test: a 4-rank TCP demo world loses rank 1 to
+/// an abrupt death (`process::exit` mid-collective — indistinguishable
+/// from SIGKILL at the network layer) and must finish on 3 ranks by
+/// resizing in place: no supervisor restart, no checkpoint replay, and
+/// survivor parameters bitwise-identical at every post-resize boundary.
+#[test]
+fn killed_rank_is_survived_by_an_in_place_resize_without_restart() {
+    let start = Instant::now();
+    let output = Command::new(LAUNCH)
+        .args([
+            "--world",
+            "4",
+            "--demo",
+            "--steps",
+            "25",
+            "--timeout-secs",
+            "120",
+            "--elastic-resize",
+        ])
+        .env("DEAR_RECV_TIMEOUT_MS", "3000")
+        .env("DEAR_RESIZE_WINDOW_MS", "2000")
+        .env("DEAR_DEMO_EXIT_RANK", "1")
+        .env("DEAR_DEMO_EXIT_AT_STEP", "7")
+        .output()
+        .expect("running dear-launch");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "elastic-resize run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("dying abruptly at step 7"),
+        "the injected death never fired:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resizing in place"),
+        "no survivor started an in-place resize:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resumed at step"),
+        "no survivor resumed after the resize:\n{stderr}"
+    );
+    // The whole point: neither recovery mechanism from the restart era.
+    assert!(
+        !stderr.contains("restarting in"),
+        "the supervisor restarted the world:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("resuming from checkpoint"),
+        "a rank replayed a checkpoint:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resized in place and exited cleanly"),
+        "the supervisor did not report tolerated departures:\n{stderr}"
+    );
+
+    // Survivors must agree bit-for-bit at every post-resize boundary:
+    // collect the `world=3` hash lines and group them by step.
+    let mut by_step: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for line in stderr.lines() {
+        if !line.starts_with("dear-demo rank=") || !line.contains(" world=3 ") {
+            continue;
+        }
+        let field = |key: &str| -> Option<String> {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                .map(str::to_string)
+        };
+        let (Some(step), Some(hash)) = (field("step"), field("params_hash")) else {
+            continue;
+        };
+        by_step.entry(step.parse().unwrap()).or_default().push(hash);
+    }
+    assert!(
+        by_step.len() >= 3,
+        "expected several post-resize boundaries, got {by_step:?}\nstderr:\n{stderr}"
+    );
+    for (step, hashes) in &by_step {
+        assert_eq!(
+            hashes.len(),
+            3,
+            "step {step}: expected all 3 survivors to report, got {hashes:?}"
+        );
+        assert!(
+            hashes.iter().all(|h| h == &hashes[0]),
+            "step {step}: survivor parameters diverged: {hashes:?}"
+        );
+    }
+
+    // Final summaries: exactly the 3 survivors, dense ranks, one hash.
+    let finals: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("dear-demo rank="))
+        .collect();
+    assert_eq!(
+        finals.len(),
+        3,
+        "expected 3 survivor summaries\nstdout:\n{stdout}"
+    );
+    for r in 0..3 {
+        assert!(
+            finals
+                .iter()
+                .any(|l| l.contains(&format!("rank={r} world=3 "))),
+            "missing dense rank {r} summary\nstdout:\n{stdout}"
+        );
+    }
+    let hash = finals[0].split("params_hash=").nth(1).unwrap();
+    assert!(
+        finals.iter().all(|l| l.ends_with(hash)),
+        "final survivor parameters diverged\nstdout:\n{stdout}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(150),
+        "acceptance test took {:?}",
+        start.elapsed()
+    );
+}
