@@ -123,6 +123,13 @@ impl NetConfig {
     pub const CONNECT_BACKOFF_MIN: Duration = Duration::from_millis(10);
     /// Backoff cap; doubling stops here.
     pub const CONNECT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+    /// How many deterministically derived ports a resize walks before
+    /// giving up: the first derivation can be owned by an unrelated
+    /// process, in which case every survivor fails the handshake against
+    /// the foreign listener and advances to the next derived port (the
+    /// same sequence on every survivor, so they re-converge without
+    /// agreeing on who survived first).
+    pub const RESIZE_PORT_PROBES: u32 = 3;
 
     /// A configuration for `world` ranks with rendezvous at `master_addr`,
     /// defaulting to loopback-friendly timeouts (10 s connect/handshake,

@@ -54,6 +54,33 @@ pub fn hash_params(params: &[f32]) -> u64 {
     h
 }
 
+/// Which retained boundary snapshot matches the agreed resume step after
+/// an in-place resize.
+#[derive(Debug, PartialEq, Eq)]
+enum Rollback {
+    /// The latest boundary snapshot is the agreed one (the common case).
+    Current,
+    /// This rank raced one boundary ahead: a ring collective completed
+    /// here but failed on a peer that stayed a boundary behind, so the
+    /// *previous* snapshot is the one every survivor holds.
+    Previous,
+}
+
+/// Picks the snapshot whose step equals `agreed`, or `None` when neither
+/// matches — more than one boundary of skew, which the boundary sync (a
+/// collective itself) makes impossible unless state was corrupted; the
+/// caller must then fall back to a supervised restart rather than resume
+/// mismatched state under an agreed step counter.
+fn choose_rollback(agreed: u64, snap_step: u64, prev_step: u64) -> Option<Rollback> {
+    if agreed == snap_step {
+        Some(Rollback::Current)
+    } else if agreed == prev_step {
+        Some(Rollback::Previous)
+    } else {
+        None
+    }
+}
+
 fn demo_net(seed: u64) -> Sequential {
     let mut rng = StdRng::seed_from_u64(seed);
     Sequential::new()
@@ -102,6 +129,11 @@ fn demo_net(seed: u64) -> Sequential {
 /// boundary (a `Min` all-reduce), rolls parameters and optimizer shards
 /// back to it, repartitions the reduce-scattered optimizer state over the
 /// new world, and keeps training — no restart, no checkpoint reload.
+/// Each rank retains its last *two* boundary snapshots: a peer death
+/// mid-collective can let the boundary sync complete on some survivors
+/// and fail on others, leaving one rank a boundary ahead — it restores
+/// the previous snapshot (the one matching the agreed step) instead of
+/// silently resuming newer state.
 /// Every rank prints a `params_hash` line at each snapshot boundary
 /// (every [`ckpt_every`](crate::config::DemoOptions::ckpt_every) steps), so an external observer can check
 /// that survivors stay bit-identical through the resize.
@@ -189,14 +221,25 @@ pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetEr
             net.set_flat_params(&ckpt.params);
             optim.import_optim_state(ckpt.optim);
         }
-        // Rollback anchor for in-place resize: the last boundary every
-        // rank passed with identical state. Survivors roll back here after
-        // a resize, so the dead rank's contribution to steps past the
-        // boundary is cleanly discarded rather than half-applied.
+        // Rollback anchors for in-place resize: the last TWO boundaries
+        // this rank passed. A ring collective can complete on some
+        // survivors and fail on others when a peer dies mid-transfer, so
+        // one rank may pass the boundary sync (and snapshot step N) while
+        // another keeps N − ckpt_every; `agree_min_step` then picks the
+        // older step. Retaining the previous boundary lets the rank that
+        // raced one boundary ahead restore the snapshot *matching* the
+        // agreed step, instead of silently resuming newer parameters under
+        // an older step counter and diverging from its peers. More than
+        // one boundary of skew is impossible (a boundary sync is itself a
+        // collective the lagging rank would have had to complete), so any
+        // other mismatch panics into the supervised-restart fallback.
         let mut step = start;
         let mut snap_step = start;
         let mut snap_params = net.flat_params();
         let mut snap_optim = optim.export_optim_state();
+        let mut prev_step = snap_step;
+        let mut prev_params = snap_params.clone();
+        let mut prev_optim = snap_optim.clone();
         macro_rules! recover {
             ($e:expr) => {{
                 eprintln!(
@@ -215,6 +258,25 @@ pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetEr
                 let agreed = optim
                     .agree_min_step(snap_step)
                     .unwrap_or_else(|err| panic!("resume-step agreement failed: {err}"));
+                match choose_rollback(agreed, snap_step, prev_step) {
+                    Some(Rollback::Current) => (),
+                    Some(Rollback::Previous) => {
+                        eprintln!(
+                            "dear-demo rank={rank} raced one boundary ahead (snapshot \
+                             {snap_step} > agreed {agreed}); rolling back to the \
+                             previous boundary snapshot"
+                        );
+                        snap_step = prev_step;
+                        snap_params = prev_params.clone();
+                        snap_optim = prev_optim.clone();
+                    }
+                    None => panic!(
+                        "rank {rank} holds no snapshot for the agreed resume step \
+                         {agreed} (latest {snap_step}, previous {prev_step}); \
+                         survivors cannot roll back consistently — falling back to \
+                         a supervised restart"
+                    ),
+                }
                 net.set_flat_params(&snap_params);
                 optim.import_optim_state(snap_optim.clone());
                 optim
@@ -247,9 +309,10 @@ pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetEr
                     } else {
                         optim.synchronize(&mut net);
                     }
+                    prev_step = snap_step;
+                    prev_params = std::mem::replace(&mut snap_params, net.flat_params());
+                    prev_optim = std::mem::replace(&mut snap_optim, optim.export_optim_state());
                     snap_step = step;
-                    snap_params = net.flat_params();
-                    snap_optim = optim.export_optim_state();
                     // One write_all per line: stderr is unbuffered, so a
                     // multi-fragment eprintln! from 4 ranks sharing the
                     // supervisor's pipe can interleave mid-line and corrupt
@@ -348,6 +411,21 @@ mod tests {
         let b = hash_params(&[2.0, 1.0]);
         assert_ne!(a, b);
         assert_eq!(a, hash_params(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn rollback_restores_the_snapshot_matching_the_agreed_step() {
+        // Common case: every survivor failed before its next boundary.
+        assert_eq!(choose_rollback(6, 6, 3), Some(Rollback::Current));
+        // A ring collective completed on this rank but failed on a peer:
+        // this rank snapshotted one boundary ahead of the agreed step and
+        // must restore the previous snapshot, not resume newer parameters
+        // under the older step counter.
+        assert_eq!(choose_rollback(3, 6, 3), Some(Rollback::Previous));
+        // More than one boundary of skew cannot be rolled back.
+        assert_eq!(choose_rollback(0, 6, 3), None);
+        // Fresh start: both anchors sit at the start step.
+        assert_eq!(choose_rollback(0, 0, 0), Some(Rollback::Current));
     }
 
     #[test]

@@ -532,11 +532,27 @@ impl TcpEndpoint {
     /// # Errors
     ///
     /// Returns [`NetError`] when the resize rendezvous cannot be reached
-    /// within the connect deadline or the handshake fails.
+    /// within the connect deadline or the handshake fails at every derived
+    /// port probe (the survivors advance ports when the first derivation
+    /// is owned by a foreign process; a joiner walks the same sequence).
     pub fn join_resize(cfg: &NetConfig, generation: u64) -> Result<TcpEndpoint, NetError> {
         let (host, base_port) = split_host_port(&cfg.master_addr)?;
-        let addr = format!("{host}:{}", resize_port(base_port, generation));
-        let (rank, world, streams) = resize_worker(cfg, None, generation, &addr)?;
+        let mut joined = None;
+        let mut last_err = None;
+        for probe in 0..NetConfig::RESIZE_PORT_PROBES {
+            let addr = format!("{host}:{}", resize_port(base_port, generation, probe));
+            match resize_worker(cfg, None, generation, &addr) {
+                Ok(got) => {
+                    joined = Some((got, addr));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let ((rank, world, streams), addr) = joined.ok_or_else(|| {
+            last_err
+                .unwrap_or_else(|| NetError::Config("no resize port probes configured".to_string()))
+        })?;
         let mut rcfg = cfg.clone();
         rcfg.rank = Some(rank);
         rcfg.world = world;
@@ -825,8 +841,22 @@ impl Transport for TcpEndpoint {
     /// needed up front), and rebuilds the endpoint over whoever shows up
     /// within [`NetConfig::resize_window`].
     ///
-    /// The first survivor to bind the derived port hosts the rendezvous
-    /// (bind race as master election; `AddrInUse` losers join as workers).
+    /// The first survivor to bind the derived address hosts the rendezvous
+    /// (bind race as master election). `AddrInUse` losers join as workers,
+    /// and so does any survivor whose bind fails for another reason — on a
+    /// multi-host deployment the derived address lives on the master host,
+    /// so every off-host survivor gets `AddrNotAvailable` and must dial in
+    /// rather than fail the resize. If the master *host* itself died, no
+    /// survivor can host the rendezvous at all: every worker attempt times
+    /// out, the resize fails, and the supervised restart (which picks a
+    /// fresh master address) is the fallback.
+    ///
+    /// If the derived port is owned by an unrelated process, the elected
+    /// "workers" dial a listener that never speaks our protocol and the
+    /// handshake fails; each survivor then advances to the next derived
+    /// port ([`NetConfig::RESIZE_PORT_PROBES`] attempts, same deterministic
+    /// sequence on every survivor) before giving up.
+    ///
     /// Dense ranks: the elected master takes 0, the other survivors follow
     /// in ascending old-rank order, fresh joiners are appended in arrival
     /// order. The member list closes when the window expires; the resize
@@ -848,19 +878,43 @@ impl Transport for TcpEndpoint {
         };
         let t0 = Instant::now();
         let (host, base_port) = split_host_port(&cfg.master_addr).map_err(reconf)?;
-        let addr = format!("{host}:{}", resize_port(base_port, new_gen));
-        let (rank, world, streams) = match TcpListener::bind(addr.as_str()) {
-            Ok(listener) => {
-                resize_master(&cfg, old_world, new_gen, &addr, &listener).map_err(reconf)?
+        let mut joined = None;
+        let mut last_err = None;
+        for probe in 0..NetConfig::RESIZE_PORT_PROBES {
+            let addr = format!("{host}:{}", resize_port(base_port, new_gen, probe));
+            match TcpListener::bind(addr.as_str()) {
+                Ok(listener) => {
+                    // Won the election: host the rendezvous here. A hosting
+                    // failure (no quorum within the window) is final — the
+                    // members were reachable at this port, there just were
+                    // not enough of them, and retrying elsewhere would only
+                    // split the survivors across ports.
+                    let got = resize_master(&cfg, old_rank, old_world, new_gen, &addr, &listener)
+                        .map_err(reconf)?;
+                    joined = Some((got, addr));
+                    break;
+                }
+                // Couldn't host here — `AddrInUse` (another survivor or a
+                // foreign process owns the port) or e.g. `AddrNotAvailable`
+                // (the derived host is not this machine) — so dial in as a
+                // worker. A failed handshake means nobody of ours is
+                // hosting this port (foreign owner, or the master host is
+                // gone): advance to the next derived port.
+                Err(_) => match resize_worker(&cfg, Some(old_rank), new_gen, &addr) {
+                    Ok(got) => {
+                        joined = Some((got, addr));
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                },
             }
-            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
-                resize_worker(&cfg, Some(old_rank), new_gen, &addr).map_err(reconf)?
-            }
-            Err(e) => {
-                return Err(reconf(NetError::io(
-                    format!("binding resize listener {addr}"),
-                    e,
-                )))
+        }
+        let ((rank, world, streams), addr) = match joined {
+            Some(j) => j,
+            None => {
+                return Err(reconf(last_err.unwrap_or_else(|| {
+                    NetError::Config("no resize port probes configured".to_string())
+                })))
             }
         };
         let mut rcfg = cfg;
@@ -1224,11 +1278,20 @@ fn split_host_port(addr: &str) -> Result<(&str, u16), NetError> {
 /// connections leave `TIME_WAIT` remnants that can make an immediate
 /// re-bind fail (std exposes no `SO_REUSEADDR`), and because the old
 /// master may be the rank that died.
-fn resize_port(base: u16, generation: u64) -> u16 {
+///
+/// `probe` selects a fallback port for the same generation: a derived port
+/// can be owned by an unrelated process, in which case every survivor
+/// fails the handshake against the foreign listener and advances to the
+/// next probe — still deterministically, so they all converge on the same
+/// alternate address.
+fn resize_port(base: u16, generation: u64, probe: u32) -> u16 {
     // Jump around the ephemeral range in a generation-dependent stride;
-    // stays off privileged ports.
+    // stays off privileged ports. Probes take a smaller co-prime stride so
+    // consecutive probes of one generation never collide with each other
+    // or with the next few generations' first probes.
     let span = u64::from(u16::MAX) - 1024;
-    let p = (u64::from(base) + generation.wrapping_mul(7919)) % span;
+    let p = (u64::from(base) + generation.wrapping_mul(7919) + u64::from(probe).wrapping_mul(257))
+        % span;
     1024 + p as u16
 }
 
@@ -1263,6 +1326,7 @@ fn bind_master_with_retry(addr: &str, deadline: Instant) -> Result<TcpListener, 
 /// churn legitimately produces stragglers from the old incarnation.
 fn resize_master(
     cfg: &NetConfig,
+    master_old_rank: usize,
     old_world: usize,
     generation: u64,
     addr: &str,
@@ -1285,11 +1349,17 @@ fn resize_master(
         })();
         match hello {
             Ok(h) if h.generation == generation => {
-                // Keep-first on duplicate old-rank claims: a second claim
-                // is a straggling retry or an impostor either way.
+                // An old-rank claim counts toward quorum and orders the
+                // dense re-ranking, so validate it before admitting it: a
+                // rank that never existed in the old world, or the elected
+                // master's own old rank, is a stray or spoofed claim either
+                // way. Keep-first on duplicates: a second claim of the same
+                // rank is a straggling retry or an impostor.
+                let bogus = h.rank != u32::MAX
+                    && (h.rank as usize >= old_world || h.rank as usize == master_old_rank);
                 let dup =
                     h.rank != u32::MAX && pending.iter().any(|(_, seen, _)| seen.rank == h.rank);
-                if dup {
+                if bogus || dup {
                     drop(s);
                 } else {
                     pending.push((s, h, peer.ip()));
@@ -1661,14 +1731,173 @@ mod tests {
     #[test]
     fn resize_port_is_deterministic_and_unprivileged() {
         for g in 1..50u64 {
-            let p = resize_port(29400, g);
-            assert!(p >= 1024);
-            assert_eq!(p, resize_port(29400, g));
+            for probe in 0..NetConfig::RESIZE_PORT_PROBES {
+                let p = resize_port(29400, g, probe);
+                assert!(p >= 1024);
+                assert_eq!(p, resize_port(29400, g, probe));
+            }
         }
         assert_ne!(
-            resize_port(29400, 1),
-            resize_port(29400, 2),
+            resize_port(29400, 1, 0),
+            resize_port(29400, 2, 0),
             "consecutive generations must land on different ports"
+        );
+        // Probes of one generation are distinct from each other and from
+        // the next generation's first derivation — a foreign owner at
+        // probe k must not send survivors to a port another rendezvous
+        // would also pick.
+        let mut ports: Vec<u16> = (0..NetConfig::RESIZE_PORT_PROBES)
+            .map(|probe| resize_port(29400, 1, probe))
+            .collect();
+        ports.push(resize_port(29400, 2, 0));
+        let mut dedup = ports.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ports.len(), "derived ports collide: {ports:?}");
+    }
+
+    #[test]
+    fn resize_master_rejects_bogus_old_rank_claims() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cfg = NetConfig::new(4, 1, addr.clone())
+            .with_connect_timeout(Duration::from_secs(5))
+            .with_resize_window(Duration::from_millis(600));
+        // The elected master's old rank is 1, old world 4.
+        let master = std::thread::spawn({
+            let cfg = cfg.clone();
+            let addr = addr.clone();
+            move || resize_master(&cfg, 1, 4, 1, &addr, &listener)
+        });
+        let hello = |claim: u32| {
+            let mut s = TcpStream::connect(addr.as_str()).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let h = Hello {
+                rank: claim,
+                port: 1,
+                generation: 1,
+                host: String::new(),
+            };
+            write_frame(&mut s, FrameKind::Hello, &h.encode()).unwrap();
+            s
+        };
+        // Claims that cannot be real survivors: rank 7 never existed in a
+        // world of 4, and rank 1 is the elected master's own old rank.
+        let mut ghost = hello(7);
+        let mut shadow = hello(1);
+        // Two genuine survivors, old ranks 0 and 3.
+        let mut a = hello(0);
+        let mut b = hello(3);
+        let mut body = Vec::new();
+        // Bogus claimants are dropped (EOF), never welcomed.
+        assert!(
+            read_frame(&mut ghost, &mut body).is_err(),
+            "a claim outside the old world must be dropped"
+        );
+        assert!(
+            read_frame(&mut shadow, &mut body).is_err(),
+            "a claim of the master's own old rank must be dropped"
+        );
+        // Real survivors get dense ranks in old-rank order and a world
+        // count the bogus claims did not inflate.
+        for (s, want) in [(&mut a, 1u32), (&mut b, 2u32)] {
+            assert_eq!(read_frame(s, &mut body).unwrap(), FrameKind::Welcome);
+            let w = Welcome::decode(&body).unwrap();
+            assert_eq!(w.world, 3, "bogus claims must not count toward the world");
+            assert_eq!(w.rank, want, "dense old-rank order among real survivors");
+            write_frame(s, FrameKind::Ready, &[]).unwrap();
+        }
+        for s in [&mut a, &mut b] {
+            assert_eq!(read_frame(s, &mut body).unwrap(), FrameKind::Go);
+        }
+        let (rank, world, streams) = master.join().unwrap().unwrap();
+        assert_eq!((rank, world), (0, 3));
+        assert_eq!(streams.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn resize_advances_past_a_foreign_port_owner() {
+        // Handshake deadline (1 s) must out-wait the membership window
+        // (500 ms) for workers parked on the real rendezvous, while the
+        // stall against the foreign listener is bounded by that same
+        // handshake deadline.
+        let mut eps = tcp_loopback_with(3, |cfg| {
+            cfg.with_connect_timeout(Duration::from_secs(1))
+                .with_resize_window(Duration::from_millis(500))
+        })
+        .unwrap();
+        let (_, base_port) = split_host_port(&eps[0].cfg.master_addr).unwrap();
+        // An unrelated process owns the first derived port: it accepts
+        // connections (listen backlog) but never speaks our protocol, so
+        // every survivor fails the probe-0 handshake and must advance to
+        // probe 1. If the bind fails because some other process on this
+        // machine really owns the port, the scenario is the same.
+        let foreign = TcpListener::bind(("127.0.0.1", resize_port(base_port, 1, 0)));
+        let victim = eps.remove(2);
+        drop(victim);
+        let changes: Vec<WorldChange> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| s.spawn(move || ep.reconfigure(None).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        drop(foreign);
+        let mut new_ranks: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+        new_ranks.sort_unstable();
+        assert_eq!(new_ranks, vec![0, 1]);
+        for (ep, change) in eps.iter().zip(&changes) {
+            assert_eq!(change.new_world, 2);
+            assert_eq!(ep.world_size(), 2);
+            assert_eq!(ep.generation(), 1);
+            // The rendezvous formed at the second derivation.
+            let (_, port) = split_host_port(&ep.cfg.master_addr).unwrap();
+            assert_eq!(port, resize_port(base_port, 1, 1));
+        }
+        // The resized world still runs a correct all-reduce.
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 16];
+                    dear_collectives::ring_all_reduce(
+                        ep,
+                        &mut data,
+                        dear_collectives::ReduceOp::Sum,
+                    )
+                    .unwrap();
+                    assert_eq!(data, vec![3.0; 16]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn off_host_master_addr_joins_as_worker_instead_of_failing_bind() {
+        // On a multi-host deployment, the derived resize address lives on
+        // the master host: a survivor elsewhere gets `AddrNotAvailable`
+        // from the bind and must dial in as a worker, not fail the resize
+        // outright. With the master host dead (as here — TEST-NET never
+        // answers), every probe's worker dial fails and the reconfigure
+        // error reflects the failed *connect*, leaving the supervised
+        // restart as the fallback.
+        let cfg = NetConfig::new(1, 0, "203.0.113.1:29500")
+            .with_connect_timeout(Duration::from_millis(200))
+            .with_resize_window(Duration::from_millis(100));
+        let mut ep = TcpEndpoint::connect(&cfg).unwrap();
+        let err = ep.reconfigure(None).unwrap_err();
+        let CollectiveError::Reconfigure { reason } = err else {
+            panic!("expected a Reconfigure error, got {err:?}");
+        };
+        // Depending on the network, the dead host manifests as a connect
+        // timeout or a reset during the handshake — both are worker-side
+        // failures. What must NOT surface is the local bind error.
+        assert!(
+            !reason.contains("binding resize listener"),
+            "an unbindable derived host must degrade to a worker dial, got: {reason}"
+        );
+        assert!(
+            reason.contains("connecting to") || reason.contains("master"),
+            "the failure must come from the worker dial/handshake, got: {reason}"
         );
     }
 
