@@ -104,6 +104,38 @@ impl CostModel {
         CostModel::new(700.0, 0.01, 0.0)
     }
 
+    /// Least-squares affine fit of measured point-to-point times: given
+    /// `(bytes, nanoseconds)` samples, recovers the α (intercept) and β
+    /// (slope) that best explain them, with γ left at zero. This is how the
+    /// two-tier transport turns ping-pong probe measurements into a
+    /// [`CostModel`] per tier. Negative fitted parameters are clamped to
+    /// zero (measurement noise on a nearly-flat or nearly-free axis).
+    ///
+    /// Returns `None` with fewer than two samples or when every sample has
+    /// the same size (the slope is unidentifiable).
+    #[must_use]
+    pub fn fit(samples: &[(u64, f64)]) -> Option<CostModel> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean_x = samples.iter().map(|&(b, _)| b as f64).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|&(_, t)| t).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(b, t) in samples {
+            let dx = b as f64 - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (t - mean_y);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let beta = (sxy / sxx).max(0.0);
+        let alpha = (mean_y - beta * mean_x).max(0.0);
+        Some(CostModel::new(alpha, beta, 0.0))
+    }
+
     /// Link bandwidth implied by β, in bytes per second.
     #[must_use]
     pub fn bandwidth_bytes_per_sec(&self) -> f64 {
@@ -586,6 +618,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fit_recovers_alpha_beta_from_exact_samples() {
+        let truth = CostModel::new(12_000.0, 0.75, 0.0);
+        let samples: Vec<(u64, f64)> = [1_000u64, 64_000, 1 << 20, 25 << 20]
+            .iter()
+            .map(|&b| (b, truth.alpha_ns + b as f64 * truth.beta_ns_per_byte))
+            .collect();
+        let fitted = CostModel::fit(&samples).unwrap();
+        assert!((fitted.alpha_ns - truth.alpha_ns).abs() < 1.0, "{fitted:?}");
+        assert!(
+            (fitted.beta_ns_per_byte - truth.beta_ns_per_byte).abs() < 1e-6,
+            "{fitted:?}"
+        );
+        // Degenerate inputs refuse to fit.
+        assert!(CostModel::fit(&samples[..1]).is_none());
+        assert!(CostModel::fit(&[(8, 1.0), (8, 2.0)]).is_none());
+        // Noise can't push parameters negative.
+        let noisy = CostModel::fit(&[(0, 100.0), (1_000, 50.0)]).unwrap();
+        assert!(noisy.beta_ns_per_byte >= 0.0 && noisy.alpha_ns >= 0.0);
     }
 
     #[test]

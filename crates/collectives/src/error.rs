@@ -87,6 +87,18 @@ pub enum CollectiveError {
         /// The generation stamped on the offending frame.
         actual: u64,
     },
+    /// A hierarchical placement's node groups do not tile the world: every
+    /// group must have the same size and the sizes must multiply out to the
+    /// world size. Previously this was assumed silently
+    /// (`world % group_size == 0`) and violated it as a rank-arithmetic
+    /// panic deep inside `GroupTransport`; now it is a typed error callers
+    /// can handle.
+    UnevenGroups {
+        /// Total ranks in the world the groups were checked against.
+        world: usize,
+        /// The offending group size.
+        group_len: usize,
+    },
     /// An in-place world reconfiguration (elastic resize) was requested but
     /// could not be honoured — it arrived mid-step instead of at an
     /// iteration boundary, the transport does not support resizing, or the
@@ -154,6 +166,12 @@ impl fmt::Display for CollectiveError {
                     "stale frame from peer {peer}: generation {actual}, this world is generation {expected}"
                 )
             }
+            CollectiveError::UnevenGroups { world, group_len } => {
+                write!(
+                    f,
+                    "node groups of {group_len} rank(s) do not evenly tile a world of {world}"
+                )
+            }
             CollectiveError::Reconfigure { reason } => {
                 write!(f, "reconfigure failed: {reason}")
             }
@@ -199,6 +217,10 @@ mod tests {
             CollectiveError::WireFormat {
                 dtype: "bf16",
                 bytes: 7,
+            },
+            CollectiveError::UnevenGroups {
+                world: 7,
+                group_len: 3,
             },
             CollectiveError::Reconfigure {
                 reason: "a collective is still in flight".to_string(),
@@ -248,6 +270,10 @@ mod tests {
                 peer: 0,
                 expected: 1,
                 actual: 0,
+            },
+            CollectiveError::UnevenGroups {
+                world: 6,
+                group_len: 4,
             },
             CollectiveError::Reconfigure {
                 reason: "quorum lost".to_string(),

@@ -16,6 +16,7 @@ use crate::ring::{
     ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk, ring_reduce_scatter_seg,
 };
 use crate::segment::SegmentConfig;
+use crate::topology::Placement;
 use crate::transport::{GroupTransport, Transport};
 
 /// Shape of a two-level cluster.
@@ -43,6 +44,25 @@ impl ClusterShape {
             nodes,
             gpus_per_node,
         }
+    }
+
+    /// Validated shape for `world` ranks in nodes of `gpus_per_node`: the
+    /// checked replacement for the silent `world / nodes` division at call
+    /// sites (which truncates when the group size does not divide the
+    /// world and then fails later as a rank-arithmetic panic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::UnevenGroups`] unless `gpus_per_node`
+    /// divides a positive `world`.
+    pub fn for_world(world: usize, gpus_per_node: usize) -> Result<Self, CollectiveError> {
+        if world == 0 || gpus_per_node == 0 || !world.is_multiple_of(gpus_per_node) {
+            return Err(CollectiveError::UnevenGroups {
+                world,
+                group_len: gpus_per_node,
+            });
+        }
+        Ok(ClusterShape::new(world / gpus_per_node, gpus_per_node))
     }
 
     /// Total worker count.
@@ -100,24 +120,43 @@ pub fn hierarchical_all_reduce_seg<T: Transport>(
     op: ReduceOp,
     seg: SegmentConfig,
 ) -> Result<(), CollectiveError> {
-    if t.world_size() != shape.world() {
-        return Err(CollectiveError::UnsupportedWorld {
-            world: t.world_size(),
-            requirement: "world == nodes * gpus_per_node",
-        });
-    }
+    check_shape(t, shape)?;
+    hierarchical_all_reduce_placed_seg(t, &Placement::from_shape(shape), data, op, seg)
+}
+
+/// [`hierarchical_all_reduce_seg`] over an explicit host-locality
+/// [`Placement`]: the intra-node ring is the set of ranks that actually
+/// share a host, not a contiguous rank block. With
+/// [`Placement::from_shape`] this is bit-identical to the shape-based
+/// call; with a placement derived from a real [`HostMap`](crate::HostMap)
+/// the intra phases stay on the fast intra-host tier whatever the rank
+/// numbering.
+///
+/// # Errors
+///
+/// Propagates transport errors; returns
+/// [`CollectiveError::UnsupportedWorld`] if the transport's world size does
+/// not match the placement's.
+pub fn hierarchical_all_reduce_placed_seg<T: Transport>(
+    t: &T,
+    placement: &Placement,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
+    check_placement(t, placement)?;
     let rank = t.rank();
-    let g = shape.gpus_per_node;
+    let g = placement.gpus_per_node();
 
     // Phase 1: intra-node ring reduce-scatter.
-    let intra_members = Arc::new(shape.node_group(rank));
+    let intra_members = Arc::new(placement.node_group(rank).to_vec());
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     let local_rank = intra.rank();
     let owned = ring_reduce_scatter_seg(&intra, data, op, seg)?;
 
     // Phase 2: inter-node ring all-reduce over the owned shard.
-    if shape.nodes > 1 {
-        let cross_members = Arc::new(shape.cross_group(rank));
+    if placement.nodes() > 1 {
+        let cross_members = Arc::new(placement.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
         let mut shard = data[owned.clone()].to_vec();
         ring_all_reduce_seg(&cross, &mut shard, op, seg)?;
@@ -125,9 +164,29 @@ pub fn hierarchical_all_reduce_seg<T: Transport>(
     }
 
     // Phase 3: intra-node ring all-gather.
-    let intra_members = Arc::new(shape.node_group(rank));
+    let intra_members = Arc::new(placement.node_group(rank).to_vec());
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     ring_all_gather_seg(&intra, data, ring_owned_chunk(local_rank, g), seg)?;
+    Ok(())
+}
+
+fn check_shape<T: Transport>(t: &T, shape: ClusterShape) -> Result<(), CollectiveError> {
+    if t.world_size() != shape.world() {
+        return Err(CollectiveError::UnsupportedWorld {
+            world: t.world_size(),
+            requirement: "world == nodes * gpus_per_node",
+        });
+    }
+    Ok(())
+}
+
+fn check_placement<T: Transport>(t: &T, placement: &Placement) -> Result<(), CollectiveError> {
+    if t.world_size() != placement.world() {
+        return Err(CollectiveError::UnsupportedWorld {
+            world: t.world_size(),
+            requirement: "world == placement's nodes * gpus_per_node",
+        });
+    }
     Ok(())
 }
 
@@ -178,19 +237,31 @@ pub fn hierarchical_reduce_scatter_phase_seg<T: Transport>(
     op: ReduceOp,
     seg: SegmentConfig,
 ) -> Result<HierarchicalShard, CollectiveError> {
-    if t.world_size() != shape.world() {
-        return Err(CollectiveError::UnsupportedWorld {
-            world: t.world_size(),
-            requirement: "world == nodes * gpus_per_node",
-        });
-    }
+    check_shape(t, shape)?;
+    hierarchical_reduce_scatter_phase_placed_seg(t, &Placement::from_shape(shape), data, op, seg)
+}
+
+/// [`hierarchical_reduce_scatter_phase_seg`] over an explicit host-locality
+/// [`Placement`] (see [`hierarchical_all_reduce_placed_seg`]).
+///
+/// # Errors
+///
+/// As [`hierarchical_reduce_scatter_phase`].
+pub fn hierarchical_reduce_scatter_phase_placed_seg<T: Transport>(
+    t: &T,
+    placement: &Placement,
+    data: &mut [f32],
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<HierarchicalShard, CollectiveError> {
+    check_placement(t, placement)?;
     let rank = t.rank();
-    let intra_members = Arc::new(shape.node_group(rank));
+    let intra_members = Arc::new(placement.node_group(rank).to_vec());
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     let intra_owned = ring_reduce_scatter_seg(&intra, data, op, seg)?;
     let mut shard = data[intra_owned.clone()].to_vec();
-    if shape.nodes > 1 {
-        let cross_members = Arc::new(shape.cross_group(rank));
+    if placement.nodes() > 1 {
+        let cross_members = Arc::new(placement.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
         ring_reduce_scatter_seg(&cross, &mut shard, op, seg)?;
     }
@@ -223,30 +294,42 @@ pub fn hierarchical_all_gather_phase_seg<T: Transport>(
     t: &T,
     shape: ClusterShape,
     data: &mut [f32],
+    carry: HierarchicalShard,
+    seg: SegmentConfig,
+) -> Result<(), CollectiveError> {
+    check_shape(t, shape)?;
+    hierarchical_all_gather_phase_placed_seg(t, &Placement::from_shape(shape), data, carry, seg)
+}
+
+/// [`hierarchical_all_gather_phase_seg`] over an explicit host-locality
+/// [`Placement`] (see [`hierarchical_all_reduce_placed_seg`]).
+///
+/// # Errors
+///
+/// As [`hierarchical_all_gather_phase`].
+pub fn hierarchical_all_gather_phase_placed_seg<T: Transport>(
+    t: &T,
+    placement: &Placement,
+    data: &mut [f32],
     mut carry: HierarchicalShard,
     seg: SegmentConfig,
 ) -> Result<(), CollectiveError> {
-    if t.world_size() != shape.world() {
-        return Err(CollectiveError::UnsupportedWorld {
-            world: t.world_size(),
-            requirement: "world == nodes * gpus_per_node",
-        });
-    }
+    check_placement(t, placement)?;
     let rank = t.rank();
-    let g = shape.gpus_per_node;
-    if shape.nodes > 1 {
-        let cross_members = Arc::new(shape.cross_group(rank));
+    let g = placement.gpus_per_node();
+    if placement.nodes() > 1 {
+        let cross_members = Arc::new(placement.cross_group(rank));
         let cross = GroupTransport::new(t, cross_members).expect("rank is in its own cross group");
         let cross_rank = cross.rank();
         ring_all_gather_seg(
             &cross,
             &mut carry.shard,
-            ring_owned_chunk(cross_rank, shape.nodes),
+            ring_owned_chunk(cross_rank, placement.nodes()),
             seg,
         )?;
     }
     data[carry.intra_owned].copy_from_slice(&carry.shard);
-    let intra_members = Arc::new(shape.node_group(rank));
+    let intra_members = Arc::new(placement.node_group(rank).to_vec());
     let intra = GroupTransport::new(t, intra_members).expect("rank is in its own node group");
     let local_rank = intra.rank();
     ring_all_gather_seg(&intra, data, ring_owned_chunk(local_rank, g), seg)?;
@@ -336,6 +419,84 @@ mod tests {
                 assert_eq!(data, expect, "{nodes}x{g} rank {rank}");
             }
         }
+    }
+
+    #[test]
+    fn placed_interleaved_hosts_match_flat_sum() {
+        // Ranks alternate between two hosts (A, B, A, B, A, B): a
+        // contiguous-blocks shape would put 0 and 1 in one "node", but the
+        // placement groups by actual locality — and the result is still the
+        // exact flat sum on every rank.
+        use crate::topology::HostMap;
+        let map = HostMap::new(vec![7, 9, 7, 9, 7, 9]);
+        let placement = map.placement().unwrap();
+        let world = placement.world();
+        for d in [1, 16, 37] {
+            let expect = expected_sum(world, d);
+            let placement = placement.clone();
+            let results = run_world(world, move |ep| {
+                let mut data = rank_data(ep.rank(), d);
+                hierarchical_all_reduce_placed_seg(
+                    &ep,
+                    &placement,
+                    &mut data,
+                    ReduceOp::Sum,
+                    SegmentConfig::MONOLITHIC,
+                )
+                .unwrap();
+                data
+            });
+            for (rank, data) in results.into_iter().enumerate() {
+                assert_eq!(data, expect, "d={d} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn placed_phases_compose_on_interleaved_hosts() {
+        use crate::topology::HostMap;
+        let map = HostMap::new(vec![1, 2, 3, 1, 2, 3]);
+        let placement = map.placement().unwrap();
+        let world = placement.world();
+        let d = 29;
+        let expect = expected_sum(world, d);
+        let results = run_world(world, move |ep| {
+            let mut data = rank_data(ep.rank(), d);
+            let carry = hierarchical_reduce_scatter_phase_placed_seg(
+                &ep,
+                &placement,
+                &mut data,
+                ReduceOp::Sum,
+                SegmentConfig::MONOLITHIC,
+            )
+            .unwrap();
+            hierarchical_all_gather_phase_placed_seg(
+                &ep,
+                &placement,
+                &mut data,
+                carry,
+                SegmentConfig::MONOLITHIC,
+            )
+            .unwrap();
+            data
+        });
+        for (rank, data) in results.into_iter().enumerate() {
+            assert_eq!(data, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn for_world_validates_divisibility() {
+        assert_eq!(ClusterShape::for_world(8, 4), Ok(ClusterShape::new(2, 4)));
+        assert!(matches!(
+            ClusterShape::for_world(6, 4),
+            Err(CollectiveError::UnevenGroups {
+                world: 6,
+                group_len: 4,
+            })
+        ));
+        assert!(ClusterShape::for_world(0, 4).is_err());
+        assert!(ClusterShape::for_world(4, 0).is_err());
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod reduce;
 mod rhd;
 mod ring;
 mod segment;
+mod topology;
 mod transport;
 mod tree;
 mod wire;
@@ -72,9 +73,11 @@ pub use error::CollectiveError;
 pub use obs::{set_collective_span_hook, CollectiveSpanFn};
 
 pub use hierarchical::{
-    hierarchical_all_gather_phase, hierarchical_all_gather_phase_seg, hierarchical_all_reduce,
+    hierarchical_all_gather_phase, hierarchical_all_gather_phase_placed_seg,
+    hierarchical_all_gather_phase_seg, hierarchical_all_reduce, hierarchical_all_reduce_placed_seg,
     hierarchical_all_reduce_seg, hierarchical_reduce_scatter_phase,
-    hierarchical_reduce_scatter_phase_seg, ClusterShape, HierarchicalShard,
+    hierarchical_reduce_scatter_phase_placed_seg, hierarchical_reduce_scatter_phase_seg,
+    ClusterShape, HierarchicalShard,
 };
 pub use reduce::ReduceOp;
 pub use rhd::{rhd_all_reduce, rhd_all_reduce_seg};
@@ -83,6 +86,7 @@ pub use ring::{
     ring_reduce_scatter, ring_reduce_scatter_seg,
 };
 pub use segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
+pub use topology::{CommPattern, HostMap, Placement, Topology};
 pub use transport::{
     DelayFabric, GroupTransport, LocalEndpoint, LocalFabric, Message, Transport, WorldChange,
 };

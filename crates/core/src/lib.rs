@@ -67,3 +67,4 @@ pub use dear_collectives::{DType, SegmentConfig};
 pub use dear_fusion as fusion;
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};
+pub use tuning::{AlgoSelector, CollectiveChoice, OnlineTuning, Selection};

@@ -16,8 +16,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dear_net::{
-    launch_world, launch_world_elastic, run_demo_worker, ChaosPlan, LaunchOptions, NetConfig,
-    NetError, RestartPolicy, WorldOutcome,
+    launch_world, launch_world_elastic, run_demo_host, run_demo_worker, ChaosPlan, LaunchOptions,
+    NetConfig, NetError, RestartPolicy, WorldOutcome,
 };
 
 const USAGE: &str = "\
@@ -25,7 +25,14 @@ usage: dear-launch --world N [options] -- <worker command...>
        dear-launch --world N [options] --demo
 
 options:
-  --world N            number of worker processes (required)
+  --world N            total number of ranks (required)
+  --hosts H            demo only: split the N ranks over H host
+                       processes of N/H rank-threads each; intra-host
+                       traffic rides lock-free shared-memory rings and
+                       inter-host traffic rides TCP (a TieredEndpoint
+                       per rank, host_id = the process's host index);
+                       N must divide evenly by H, and the elastic /
+                       chaos flags are not supported with --hosts
   --master-addr HOST   rendezvous host (default 127.0.0.1)
   --master-port PORT   rendezvous port (default: pick a free port)
   --timeout-secs T     kill everything after T seconds
@@ -58,6 +65,7 @@ elastic options (any of these selects the supervised-restart path):
 struct Cli {
     opts: LaunchOptions,
     demo: bool,
+    hosts: Option<usize>,
     steps: u64,
     command: Vec<String>,
     elastic: bool,
@@ -71,6 +79,7 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     let mut world = None;
     let mut opts = LaunchOptions::new(0);
     let mut demo = false;
+    let mut hosts = None;
     let mut steps = 30u64;
     let mut command = Vec::new();
     let mut elastic = false;
@@ -102,6 +111,14 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                 opts.timeout = Some(Duration::from_secs(secs));
             }
             "--demo" => demo = true,
+            "--hosts" => {
+                let v = take_value(&args, &mut i, "--hosts")?;
+                let h: usize = v.parse().map_err(|_| format!("bad --hosts {v}"))?;
+                if h == 0 {
+                    return Err("--hosts must be >= 1".to_string());
+                }
+                hosts = Some(h);
+            }
             "--steps" => {
                 let v = take_value(&args, &mut i, "--steps")?;
                 steps = v.parse().map_err(|_| format!("bad --steps {v}"))?;
@@ -182,9 +199,26 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
     if demo != command.is_empty() {
         return Err("pass exactly one of --demo or `-- <worker command>`".to_string());
     }
+    if let Some(h) = hosts {
+        if !demo {
+            return Err("--hosts only works with --demo".to_string());
+        }
+        if world % h != 0 {
+            return Err(format!("--world {world} must divide evenly by --hosts {h}"));
+        }
+        if elastic || opts.tolerate_departures {
+            return Err(
+                "--hosts cannot be combined with the elastic / chaos flags (rank \
+                 threads share a process, so per-rank kills and restarts do not \
+                 apply)"
+                    .to_string(),
+            );
+        }
+    }
     Ok(Cli {
         opts,
         demo,
+        hosts,
         steps,
         command,
         elastic,
@@ -207,7 +241,20 @@ fn run() -> Result<(), NetError> {
         println!("{}", summary.to_line());
         return Ok(());
     }
-    let cli = match parse_cli(args) {
+    // Two-tier re-entry for `--hosts`: this process is ONE host running
+    // `ranks_per_host` rank threads over a shared shm fabric; its RANK
+    // env is the host index.
+    if args.first().is_some_and(|a| a == "--demo-host-worker") {
+        let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+        let ranks_per_host: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+        dear_core::trace::init_from_env();
+        let cfg = NetConfig::from_env()?;
+        for summary in run_demo_host(&cfg, steps, ranks_per_host)? {
+            println!("{}", summary.to_line());
+        }
+        return Ok(());
+    }
+    let mut cli = match parse_cli(args) {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("dear-launch: {msg}\n\n{USAGE}");
@@ -217,11 +264,23 @@ fn run() -> Result<(), NetError> {
     let command = if cli.demo {
         let me = std::env::current_exe()
             .map_err(|e| NetError::io("locating the dear-launch binary", e))?;
-        vec![
-            me.to_string_lossy().into_owned(),
-            "--demo-worker".to_string(),
-            cli.steps.to_string(),
-        ]
+        let me = me.to_string_lossy().into_owned();
+        match cli.hosts {
+            // Tiered mode: the supervisor spawns H *host* processes; each
+            // re-enters as `--demo-host-worker` and fans out its N/H rank
+            // threads itself, so its RANK env is the host index.
+            Some(hosts) => {
+                let ranks_per_host = cli.opts.world / hosts;
+                cli.opts.world = hosts;
+                vec![
+                    me,
+                    "--demo-host-worker".to_string(),
+                    cli.steps.to_string(),
+                    ranks_per_host.to_string(),
+                ]
+            }
+            None => vec![me, "--demo-worker".to_string(), cli.steps.to_string()],
+        }
     } else {
         cli.command
     };

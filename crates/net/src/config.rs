@@ -113,6 +113,14 @@ pub struct NetConfig {
     /// and relying on a supervised restart. Env: `DEAR_ELASTIC_RESIZE`
     /// (`1`/`true` to enable).
     pub elastic_resize: bool,
+    /// Physical-host identity of this rank, advertised in the HELLO so the
+    /// master can republish host placement in the WELCOME and co-located
+    /// ranks can find each other (shared-memory tier, topology-aware
+    /// hierarchical groups). `None` means "not configured": the master
+    /// assigns a unique pseudo-host per rank ([`NetConfig::UNKNOWN_HOST`]
+    /// on the wire), which degrades gracefully to all-TCP.
+    /// Env: `DEAR_HOST_ID`.
+    pub host_id: Option<u64>,
     /// Demo-worker knobs (checkpoints, failure injection, tuning windows).
     pub demo: DemoOptions,
 }
@@ -130,6 +138,11 @@ impl NetConfig {
     /// same sequence on every survivor, so they re-converge without
     /// agreeing on who survived first).
     pub const RESIZE_PORT_PROBES: u32 = 3;
+    /// Wire sentinel a rank's HELLO carries when [`NetConfig::host_id`] is
+    /// unset. The master never republishes it: each unknown rank gets a
+    /// unique pseudo-host (`u64::MAX - 1 - rank`, distinct from this
+    /// sentinel) so "unknown" can never read as "co-located".
+    pub const UNKNOWN_HOST: u64 = u64::MAX;
 
     /// A configuration for `world` ranks with rendezvous at `master_addr`,
     /// defaulting to loopback-friendly timeouts (10 s connect/handshake,
@@ -152,6 +165,7 @@ impl NetConfig {
             wire: DType::F32,
             resize_window: Duration::from_secs(2),
             elastic_resize: false,
+            host_id: None,
             demo: DemoOptions::default(),
         }
     }
@@ -224,6 +238,14 @@ impl NetConfig {
         self
     }
 
+    /// Sets this rank's physical-host identity (`None` = not configured;
+    /// the master then assigns a unique pseudo-host, i.e. no co-location).
+    #[must_use]
+    pub fn with_host_id(mut self, host_id: Option<u64>) -> Self {
+        self.host_id = host_id;
+        self
+    }
+
     /// Selects the data-path wire dtype (the mixed-precision knob).
     ///
     /// # Panics
@@ -259,8 +281,10 @@ impl NetConfig {
     /// (set by the elastic launcher to the restart attempt number),
     /// `DEAR_WIRE_DTYPE` (`f32`/`bf16`/`f16`, the mixed-precision knob),
     /// `DEAR_RESIZE_WINDOW_MS` (membership window of an in-place resize
-    /// rendezvous), and `DEAR_ELASTIC_RESIZE` (`1` to survive peer loss by
-    /// shrinking the world in place instead of restarting).
+    /// rendezvous), `DEAR_ELASTIC_RESIZE` (`1` to survive peer loss by
+    /// shrinking the world in place instead of restarting), and
+    /// `DEAR_HOST_ID` (this rank's physical-host identity, for the
+    /// shared-memory tier; unset = every rank on its own pseudo-host).
     /// Demo-worker knobs (see [`DemoOptions`]): `DEAR_DEMO_EXIT_RANK`,
     /// `DEAR_DEMO_EXIT_AT_STEP`, `DEAR_DEMO_EXIT_GEN`, `DEAR_CKPT_DIR`,
     /// `DEAR_CKPT_EVERY`, `DEAR_TUNE_WINDOW`.
@@ -321,6 +345,9 @@ impl NetConfig {
         }
         if let Ok(v) = std::env::var("DEAR_ELASTIC_RESIZE") {
             cfg.elastic_resize = matches!(v.as_str(), "1" | "true" | "TRUE" | "on");
+        }
+        if let Ok(h) = std::env::var("DEAR_HOST_ID") {
+            cfg.host_id = Some(parse("DEAR_HOST_ID", &h)?);
         }
         if let Ok(name) = std::env::var("DEAR_WIRE_DTYPE") {
             let wire = DType::parse(&name).ok_or_else(|| {
@@ -430,6 +457,7 @@ mod tests {
         assert_eq!(cfg.generation, 0);
         assert_eq!(cfg.resize_window, Duration::from_secs(2));
         assert!(!cfg.elastic_resize, "resize is opt-in");
+        assert_eq!(cfg.host_id, None, "host identity is opt-in");
     }
 
     #[test]
@@ -444,6 +472,7 @@ mod tests {
             .with_generation(2)
             .with_resize_window(Duration::ZERO) // clamped to 1 ms
             .with_elastic_resize(true)
+            .with_host_id(Some(42))
             .with_wire(DType::Bf16)
             .with_demo(DemoOptions {
                 exit_rank: Some(1),
@@ -463,6 +492,7 @@ mod tests {
         assert_eq!(cfg.generation, 2);
         assert_eq!(cfg.resize_window, Duration::from_millis(1));
         assert!(cfg.elastic_resize);
+        assert_eq!(cfg.host_id, Some(42));
         assert_eq!(cfg.wire, DType::Bf16);
         assert_eq!(cfg.demo.exit_rank, Some(1));
         assert_eq!(cfg.demo.exit_at_step, 3);

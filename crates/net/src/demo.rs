@@ -13,6 +13,8 @@ use rand::SeedableRng;
 
 use crate::config::{NetConfig, NetError};
 use crate::endpoint::TcpEndpoint;
+use crate::shm::{ShmEndpoint, ShmFabric};
+use crate::tiered::TieredEndpoint;
 
 /// What one demo worker produced. `eval_loss` and `params_hash` are
 /// computed after `synchronize`, on a batch every rank derives identically,
@@ -146,7 +148,108 @@ fn demo_net(seed: u64) -> Sequential {
 /// an attempted in-place resize itself fails (e.g. quorum loss), or when
 /// a checkpoint write fails.
 pub fn run_demo_worker(cfg: &NetConfig, steps: u64) -> Result<DemoSummary, NetError> {
-    let transport = TcpEndpoint::connect(cfg)?;
+    run_demo_on(TcpEndpoint::connect(cfg)?, cfg, steps)
+}
+
+/// One host process of a two-tier demo world: joins as `ranks_per_host`
+/// rank threads whose intra-host traffic rides a shared [`ShmFabric`]
+/// while inter-host traffic rides TCP ([`TieredEndpoint`]).
+///
+/// The process's `RANK`/`WORLD_SIZE` environment (already parsed into
+/// `base`) is reinterpreted at the *host* granularity: `base.rank` is the
+/// host index `h` out of `base.world` hosts, and the global world becomes
+/// `base.world * ranks_per_host` with this process owning global ranks
+/// `h*k .. (h+1)*k`. Every rank tags itself with `host_id = h`, so the
+/// rendezvous host table — and therefore tier routing — reflects real
+/// process co-location, not a loopback fiction. This is what
+/// `dear-launch --hosts H --demo` re-enters.
+///
+/// # Errors
+///
+/// Returns [`NetError`] when rendezvous fails, the host/rank geometry is
+/// inconsistent, or any rank thread's demo run fails.
+///
+/// # Panics
+///
+/// Panics when a rank thread panics (e.g. a collective failed
+/// mid-training; elastic resize is not supported under `--hosts`).
+pub fn run_demo_host(
+    base: &NetConfig,
+    steps: u64,
+    ranks_per_host: usize,
+) -> Result<Vec<DemoSummary>, NetError> {
+    let k = ranks_per_host;
+    if k == 0 {
+        return Err(NetError::Config("ranks_per_host must be >= 1".into()));
+    }
+    let hosts = base.world;
+    let host = base
+        .rank
+        .ok_or_else(|| NetError::Config("host worker needs RANK set".into()))?;
+    if host >= hosts {
+        return Err(NetError::Config(format!(
+            "host index {host} out of range for {hosts} hosts"
+        )));
+    }
+    let world = hosts * k;
+    let members: Vec<usize> = (host * k..(host + 1) * k).collect();
+    // One shm fabric per process, shared by its rank threads. A single
+    // rank per host degenerates to pure TCP — no fabric at all.
+    let shm_eps: Vec<Option<ShmEndpoint>> = if k > 1 {
+        let mut fab_cfg = base.clone();
+        fab_cfg.world = world;
+        ShmFabric::with_config(&fab_cfg, &members)
+            .into_iter()
+            .map(Some)
+            .collect()
+    } else {
+        vec![None]
+    };
+    let summaries: Vec<Result<DemoSummary, NetError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = members
+            .iter()
+            .zip(shm_eps)
+            .map(|(&global, shm)| {
+                let mut cfg = base.clone();
+                cfg.world = world;
+                cfg.rank = Some(global);
+                cfg.host_id = Some(host as u64);
+                s.spawn(move || {
+                    let tcp = TcpEndpoint::connect(&cfg)?;
+                    let ep = TieredEndpoint::compose(tcp, shm)?;
+                    run_demo_on(ep, &cfg, steps)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("demo rank thread panicked"))
+            .collect()
+    });
+    summaries.into_iter().collect()
+}
+
+/// The transport-generic demo body behind [`run_demo_worker`]: everything
+/// after the connect — resume agreement, training, elastic recovery,
+/// trace dump — only needs the [`Transport`] contract, so tiered
+/// (shm + TCP) endpoints drive the identical run.
+///
+/// # Errors
+///
+/// Returns [`NetError`] when the checkpoint store is unusable or the
+/// resume-step agreement fails; see [`run_demo_worker`] for the full
+/// behaviour contract.
+///
+/// # Panics
+///
+/// Same panics as [`run_demo_worker`]: a mid-training collective failure
+/// with elastic resize off, a failed in-place resize, or a failed
+/// checkpoint write.
+pub fn run_demo_on<T: Transport + Send + 'static>(
+    transport: T,
+    cfg: &NetConfig,
+    steps: u64,
+) -> Result<DemoSummary, NetError> {
     let rank = transport.rank();
     let world = transport.world_size();
     let exit_here = cfg.demo.exit_rank == Some(rank) && cfg.generation == cfg.demo.exit_gen;

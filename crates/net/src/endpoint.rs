@@ -232,10 +232,42 @@ pub struct TcpEndpoint {
     monitor: Option<(mpsc::Sender<()>, JoinHandle<()>)>,
     /// Stream clones used by `Drop` to force blocked readers out.
     peer_streams: Vec<TcpStream>,
+    /// Host placement and previous-generation identity tables from the
+    /// WELCOME; see [`TcpEndpoint::host_ids`] / [`TcpEndpoint::prev_ranks`].
+    tables: MeshTables,
     /// The configuration this endpoint was built from, with rank, world,
     /// generation, and master address kept current across in-place
     /// resizes — the seed for the next resize rendezvous.
     cfg: NetConfig,
+}
+
+/// The placement tables the master publishes in every WELCOME: which
+/// physical host each rank lives on, and which rank each one held in the
+/// previous generation (identity at the initial rendezvous, `u32::MAX` for
+/// fresh joiners). Both indexed by (current) rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MeshTables {
+    host_ids: Vec<u64>,
+    prev_ranks: Vec<u32>,
+}
+
+impl MeshTables {
+    /// Tables for a fresh world where nobody declared a host: every rank
+    /// on its own pseudo-host, prev rank = own rank.
+    fn pseudo(world: usize) -> MeshTables {
+        MeshTables {
+            host_ids: (0..world).map(pseudo_host).collect(),
+            prev_ranks: (0..world).map(|r| r as u32).collect(),
+        }
+    }
+}
+
+/// The unique pseudo-host the master assigns a rank that declared no
+/// [`NetConfig::host_id`]. Distinct from [`NetConfig::UNKNOWN_HOST`] (the
+/// wire sentinel) for every rank, so "unknown" never reads as co-located —
+/// with anyone, or with the sentinel itself.
+fn pseudo_host(rank: usize) -> u64 {
+    u64::MAX - 1 - rank as u64
 }
 
 impl fmt::Debug for TcpEndpoint {
@@ -300,13 +332,20 @@ impl TcpEndpoint {
                 readers: Vec::new(),
                 monitor: None,
                 peer_streams: Vec::new(),
+                tables: MeshTables {
+                    host_ids: vec![cfg.host_id.unwrap_or_else(|| pseudo_host(0))],
+                    prev_ranks: vec![0],
+                },
                 cfg: stored,
             });
         }
         let t0 = Instant::now();
-        let (rank, streams) = match cfg.rank {
+        let (rank, streams, tables) = match cfg.rank {
             Some(0) => rendezvous_master(cfg, pre)?,
-            _ => rendezvous_worker(cfg)?,
+            _ => {
+                let (rank, _world, streams, tables) = rendezvous_worker(cfg)?;
+                (rank, streams, tables)
+            }
         };
         trace::record(
             &format!("net.r{rank}/net"),
@@ -314,7 +353,7 @@ impl TcpEndpoint {
             || format!("rendezvous[g{}]", cfg.generation),
             t0,
         );
-        Self::from_mesh(rank, cfg, streams)
+        Self::from_mesh(rank, cfg, streams, tables)
     }
 
     /// Spawns the per-peer reader/writer threads over an established mesh,
@@ -323,6 +362,7 @@ impl TcpEndpoint {
         rank: usize,
         cfg: &NetConfig,
         streams: Vec<Option<TcpStream>>,
+        tables: MeshTables,
     ) -> Result<TcpEndpoint, NetError> {
         let world = cfg.world;
         let pool = Arc::new(BufferPool::default());
@@ -409,6 +449,13 @@ impl TcpEndpoint {
             }
             _ => None,
         };
+        if tables.host_ids.len() != world || tables.prev_ranks.len() != world {
+            return Err(NetError::Protocol(format!(
+                "WELCOME tables cover {} host ids / {} prev ranks for a world of {world}",
+                tables.host_ids.len(),
+                tables.prev_ranks.len()
+            )));
+        }
         let mut stored = cfg.clone();
         stored.rank = Some(rank);
         Ok(TcpEndpoint {
@@ -426,8 +473,30 @@ impl TcpEndpoint {
             readers,
             monitor,
             peer_streams,
+            tables,
             cfg: stored,
         })
+    }
+
+    /// Physical-host identity of every rank (indexed by rank), as published
+    /// by the rendezvous master. Ranks that configured no
+    /// [`NetConfig::host_id`] appear on a unique pseudo-host each, so two
+    /// equal entries always mean genuinely co-located ranks — the test a
+    /// tiered transport uses to route intra-node traffic over shared
+    /// memory, and the input to topology-aware hierarchical groups.
+    #[must_use]
+    pub fn host_ids(&self) -> &[u64] {
+        &self.tables.host_ids
+    }
+
+    /// Each rank's rank in the previous world generation (indexed by
+    /// current rank): identity after the initial rendezvous, `u32::MAX`
+    /// for a fresh joiner admitted by an in-place resize. Survivors of a
+    /// resize use this to re-locate peers they knew by old rank — master
+    /// election means new ranks are *not* ascending in old rank.
+    #[must_use]
+    pub fn prev_ranks(&self) -> &[u32] {
+        &self.tables.prev_ranks
     }
 
     /// Per-peer wire traffic so far, in rank order (own rank omitted):
@@ -549,7 +618,7 @@ impl TcpEndpoint {
                 Err(e) => last_err = Some(e),
             }
         }
-        let ((rank, world, streams), addr) = joined.ok_or_else(|| {
+        let ((rank, world, streams, tables), addr) = joined.ok_or_else(|| {
             last_err
                 .unwrap_or_else(|| NetError::Config("no resize port probes configured".to_string()))
         })?;
@@ -558,7 +627,7 @@ impl TcpEndpoint {
         rcfg.world = world;
         rcfg.generation = generation;
         rcfg.master_addr = addr;
-        Self::from_mesh(rank, &rcfg, streams)
+        Self::from_mesh(rank, &rcfg, streams, tables)
     }
 }
 
@@ -909,7 +978,7 @@ impl Transport for TcpEndpoint {
                 },
             }
         }
-        let ((rank, world, streams), addr) = match joined {
+        let ((rank, world, streams, tables), addr) = match joined {
             Some(j) => j,
             None => {
                 return Err(reconf(last_err.unwrap_or_else(|| {
@@ -928,7 +997,7 @@ impl Transport for TcpEndpoint {
             || format!("resize-rendezvous[g{new_gen}]"),
             t0,
         );
-        *self = Self::from_mesh(rank, &rcfg, streams).map_err(reconf)?;
+        *self = Self::from_mesh(rank, &rcfg, streams, tables).map_err(reconf)?;
         Ok(WorldChange {
             old_rank,
             old_world,
@@ -1053,7 +1122,7 @@ fn expect_frame(
 fn rendezvous_master(
     cfg: &NetConfig,
     pre: Option<TcpListener>,
-) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
+) -> Result<(usize, Vec<Option<TcpStream>>, MeshTables), NetError> {
     let world = cfg.world;
     let deadline = Instant::now() + cfg.handshake_timeout;
     let listener = match pre {
@@ -1101,26 +1170,48 @@ fn rendezvous_master(
         .into_iter()
         .map(|s| s.expect("all slots assigned"))
         .collect();
-    let streams =
-        master_publish_and_barrier(&cfg.master_addr, world, cfg.generation, pending, &assigned)?;
-    Ok((0, streams))
+    let (streams, tables) = master_publish_and_barrier(
+        &cfg.master_addr,
+        world,
+        cfg.generation,
+        cfg.host_id,
+        None,
+        pending,
+        &assigned,
+    )?;
+    Ok((0, streams, tables))
 }
 
 /// The master's mesh-publication tail, shared by the initial rendezvous
-/// and the resize rendezvous: build the dialable peer table, WELCOME every
-/// worker with its assigned rank, then run the READY/GO barrier. The HELLO
-/// connections become the master's mesh links (the master is rank 0).
+/// and the resize rendezvous: build the dialable peer table and the
+/// placement tables, WELCOME every worker with its assigned rank, then run
+/// the READY/GO barrier. The HELLO connections become the master's mesh
+/// links (the master is rank 0).
+///
+/// `master_prev_rank` distinguishes the two callers: `None` at the initial
+/// rendezvous, where a HELLO's rank field is a *request* and every rank's
+/// previous rank is itself; `Some(old_rank)` at a resize, where the rank
+/// field is the old-rank identity claim republished as `prev_ranks`
+/// (`u32::MAX` for fresh joiners).
+#[allow(clippy::too_many_arguments)]
 fn master_publish_and_barrier(
     master_addr: &str,
     world: usize,
     generation: u64,
+    master_host_id: Option<u64>,
+    master_prev_rank: Option<u32>,
     pending: Vec<(TcpStream, Hello, IpAddr)>,
     assigned: &[usize],
-) -> Result<Vec<Option<TcpStream>>, NetError> {
+) -> Result<(Vec<Option<TcpStream>>, MeshTables), NetError> {
     let mut body = Vec::new();
-    // Build the dialable peer table.
+    // Build the dialable peer table and the placement tables.
     let mut addrs = vec![String::new(); world];
     addrs[0] = master_addr.to_string();
+    let mut tables = MeshTables::pseudo(world);
+    tables.host_ids[0] = master_host_id.unwrap_or_else(|| pseudo_host(0));
+    if let Some(prev) = master_prev_rank {
+        tables.prev_ranks[0] = prev;
+    }
     for ((_, hello, seen_ip), &rank) in pending.iter().zip(assigned) {
         let host = if hello.host.is_empty() || hello.host == "0.0.0.0" {
             seen_ip.to_string()
@@ -1128,6 +1219,12 @@ fn master_publish_and_barrier(
             hello.host.clone()
         };
         addrs[rank] = format!("{host}:{}", hello.port);
+        if hello.host_id != NetConfig::UNKNOWN_HOST {
+            tables.host_ids[rank] = hello.host_id;
+        }
+        if master_prev_rank.is_some() {
+            tables.prev_ranks[rank] = hello.rank;
+        }
     }
     // WELCOME everyone; the HELLO connections become mesh links to rank 0.
     let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
@@ -1137,6 +1234,8 @@ fn master_publish_and_barrier(
             world: world as u32,
             generation,
             addrs: addrs.clone(),
+            host_ids: tables.host_ids.clone(),
+            prev_ranks: tables.prev_ranks.clone(),
         };
         write_frame(&mut s, FrameKind::Welcome, &welcome.encode())
             .map_err(|e| NetError::io(format!("sending WELCOME to rank {rank}"), e))?;
@@ -1152,17 +1251,19 @@ fn master_publish_and_barrier(
         write_frame(s, FrameKind::Go, &[])
             .map_err(|e| NetError::io(format!("sending GO to rank {r}"), e))?;
     }
-    Ok(streams)
+    Ok((streams, tables))
 }
 
 /// A worker's side of the rendezvous: HELLO the master, learn rank and
 /// peer table, dial lower ranks, accept higher ranks, then barrier.
-fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>), NetError> {
+#[allow(clippy::type_complexity)]
+fn rendezvous_worker(
+    cfg: &NetConfig,
+) -> Result<(usize, usize, Vec<Option<TcpStream>>, MeshTables), NetError> {
     let hello_rank = cfg.rank.map_or(u32::MAX, |r| r as u32);
-    let (rank, world, streams) =
-        worker_mesh(cfg, &cfg.master_addr, hello_rank, cfg.generation, true)?;
-    debug_assert_eq!(world, cfg.world);
-    Ok((rank, streams))
+    let got = worker_mesh(cfg, &cfg.master_addr, hello_rank, cfg.generation, true)?;
+    debug_assert_eq!(got.1, cfg.world);
+    Ok(got)
 }
 
 /// The worker's mesh protocol, shared by the initial rendezvous and the
@@ -1175,13 +1276,14 @@ fn rendezvous_worker(cfg: &NetConfig) -> Result<(usize, Vec<Option<TcpStream>>),
 /// assigned rank must match a configured `cfg.rank` — the initial
 /// rendezvous invariants. A resize passes `false`: the world size and this
 /// endpoint's rank are exactly what the rendezvous exists to determine.
+#[allow(clippy::type_complexity)]
 fn worker_mesh(
     cfg: &NetConfig,
     master_addr: &str,
     hello_rank: u32,
     generation: u64,
     fixed_world: bool,
-) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
+) -> Result<(usize, usize, Vec<Option<TcpStream>>, MeshTables), NetError> {
     let listener = TcpListener::bind((cfg.listen_host.as_str(), 0))
         .map_err(|e| NetError::io(format!("binding worker listener on {}", cfg.listen_host), e))?;
     let port = listener
@@ -1194,6 +1296,7 @@ fn worker_mesh(
         rank: hello_rank,
         port,
         generation,
+        host_id: cfg.host_id.unwrap_or(NetConfig::UNKNOWN_HOST),
         host: if cfg.listen_host == "0.0.0.0" {
             String::new()
         } else {
@@ -1256,7 +1359,11 @@ fn worker_mesh(
     let master = streams[0].as_mut().expect("master connection");
     write_frame(master, FrameKind::Ready, &[]).map_err(|e| NetError::io("sending READY", e))?;
     expect_frame(master, FrameKind::Go, &mut body, "master")?;
-    Ok((rank, world, streams))
+    let tables = MeshTables {
+        host_ids: welcome.host_ids,
+        prev_ranks: welcome.prev_ranks,
+    };
+    Ok((rank, world, streams, tables))
 }
 
 /// Splits `host:port`, taking the **last** colon so bracketed IPv6 hosts
@@ -1324,6 +1431,7 @@ fn bind_master_with_retry(addr: &str, deadline: Instant) -> Result<TcpListener, 
 ///
 /// Malformed or foreign-generation HELLOs are dropped, not fatal: resize
 /// churn legitimately produces stragglers from the old incarnation.
+#[allow(clippy::type_complexity)]
 fn resize_master(
     cfg: &NetConfig,
     master_old_rank: usize,
@@ -1331,7 +1439,7 @@ fn resize_master(
     generation: u64,
     addr: &str,
     listener: &TcpListener,
-) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
+) -> Result<(usize, usize, Vec<Option<TcpStream>>, MeshTables), NetError> {
     let deadline = Instant::now() + cfg.resize_window;
     let mut body = Vec::new();
     let mut pending: Vec<(TcpStream, Hello, IpAddr)> = Vec::new();
@@ -1390,20 +1498,29 @@ fn resize_master(
     for (new_rank, &i) in order.iter().enumerate() {
         assigned[i] = new_rank + 1;
     }
-    let streams = master_publish_and_barrier(addr, world, generation, pending, &assigned)?;
-    Ok((0, world, streams))
+    let (streams, tables) = master_publish_and_barrier(
+        addr,
+        world,
+        generation,
+        cfg.host_id,
+        Some(master_old_rank as u32),
+        pending,
+        &assigned,
+    )?;
+    Ok((0, world, streams, tables))
 }
 
 /// A survivor's (or, via [`TcpEndpoint::join_resize`], a fresh joiner's)
 /// side of a resize rendezvous: HELLO the elected master at the derived
 /// address, presenting the old rank as an identity claim (`None` = no
 /// prior identity), and build the mesh the WELCOME dictates.
+#[allow(clippy::type_complexity)]
 fn resize_worker(
     cfg: &NetConfig,
     old_rank: Option<usize>,
     generation: u64,
     addr: &str,
-) -> Result<(usize, usize, Vec<Option<TcpStream>>), NetError> {
+) -> Result<(usize, usize, Vec<Option<TcpStream>>, MeshTables), NetError> {
     let hello_rank = old_rank.map_or(u32::MAX, |r| r as u32);
     worker_mesh(cfg, addr, hello_rank, generation, false)
 }
@@ -1575,7 +1692,7 @@ mod tests {
     /// A rank-0, world-2 endpoint whose single peer link is `stream` —
     /// lets tests drive the far side with raw frames.
     fn endpoint_over(stream: TcpStream, cfg: &NetConfig) -> TcpEndpoint {
-        TcpEndpoint::from_mesh(0, cfg, vec![None, Some(stream)]).unwrap()
+        TcpEndpoint::from_mesh(0, cfg, vec![None, Some(stream)], MeshTables::pseudo(2)).unwrap()
     }
 
     #[test]
@@ -1697,7 +1814,13 @@ mod tests {
         let mut cfg = NetConfig::new(3, 0, "127.0.0.1:0");
         cfg.generation = 7;
         cfg.heartbeat_interval = None;
-        let ep = TcpEndpoint::from_mesh(0, &cfg, vec![None, Some(ours1), Some(ours2)]).unwrap();
+        let ep = TcpEndpoint::from_mesh(
+            0,
+            &cfg,
+            vec![None, Some(ours1), Some(ours2)],
+            MeshTables::pseudo(3),
+        )
+        .unwrap();
         let mut body = Vec::new();
         encode_data_body(3, &WireBuf::from_f32(&[1.0]), &mut body);
         let mut s1 = theirs1;
@@ -1776,6 +1899,7 @@ mod tests {
                 rank: claim,
                 port: 1,
                 generation: 1,
+                host_id: NetConfig::UNKNOWN_HOST,
                 host: String::new(),
             };
             write_frame(&mut s, FrameKind::Hello, &h.encode()).unwrap();
@@ -1805,14 +1929,20 @@ mod tests {
             let w = Welcome::decode(&body).unwrap();
             assert_eq!(w.world, 3, "bogus claims must not count toward the world");
             assert_eq!(w.rank, want, "dense old-rank order among real survivors");
+            assert_eq!(
+                w.prev_ranks,
+                vec![1, 0, 3],
+                "the WELCOME maps every new rank back to its old rank"
+            );
             write_frame(s, FrameKind::Ready, &[]).unwrap();
         }
         for s in [&mut a, &mut b] {
             assert_eq!(read_frame(s, &mut body).unwrap(), FrameKind::Go);
         }
-        let (rank, world, streams) = master.join().unwrap().unwrap();
+        let (rank, world, streams, tables) = master.join().unwrap().unwrap();
         assert_eq!((rank, world), (0, 3));
         assert_eq!(streams.iter().flatten().count(), 2);
+        assert_eq!(tables.prev_ranks, vec![1, 0, 3]);
     }
 
     #[test]

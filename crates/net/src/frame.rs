@@ -28,11 +28,14 @@ pub enum FrameKind {
     Data = 1,
     /// Graceful end-of-stream: the peer is done sending forever.
     Shutdown = 2,
-    /// Worker → master: join request (`[rank: u32][port: u16][host utf8]`,
+    /// Worker → master: join request
+    /// (`[rank: u32][port: u16][generation: u64][host_id: u64][host utf8]`,
     /// rank `u32::MAX` requests auto-assignment).
     Hello = 3,
     /// Master → worker: rank assignment and peer table
-    /// (`[rank: u32][world: u32]` then per rank `[len: u16][addr utf8]`).
+    /// (`[rank: u32][world: u32][generation: u64]`, per rank
+    /// `[len: u16][addr utf8]`, then per rank
+    /// `[host_id: u64][prev_rank: u32]`).
     Welcome = 4,
     /// Mesh dial: first frame on a peer-to-peer connection, identifying the
     /// dialling rank (`[rank: u32]`).
@@ -233,19 +236,26 @@ pub struct Hello {
     /// rejects mismatches so a straggler from a killed incarnation cannot
     /// join the restarted world.
     pub generation: u64,
+    /// The worker's physical-host identity (`DEAR_HOST_ID`), republished by
+    /// the master in the WELCOME so every rank learns the full host map —
+    /// the fact the tiered transport routes on. [`crate::NetConfig::UNKNOWN_HOST`]
+    /// means "not configured"; the master then assigns a unique pseudo-host
+    /// per rank, degenerating to the all-TCP behavior.
+    pub host_id: u64,
     /// Advertised host; empty means "use the address the master sees".
     pub host: String,
 }
 
 impl Hello {
     /// Serializes to a frame body
-    /// (`[rank: u32][port: u16][generation: u64][host utf8]`).
+    /// (`[rank: u32][port: u16][generation: u64][host_id: u64][host utf8]`).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(14 + self.host.len());
+        let mut out = Vec::with_capacity(22 + self.host.len());
         out.extend_from_slice(&self.rank.to_le_bytes());
         out.extend_from_slice(&self.port.to_le_bytes());
         out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.host_id.to_le_bytes());
         out.extend_from_slice(self.host.as_bytes());
         out
     }
@@ -256,19 +266,21 @@ impl Hello {
     ///
     /// Returns `InvalidData` on truncation or malformed UTF-8.
     pub fn decode(body: &[u8]) -> io::Result<Hello> {
-        if body.len() < 14 {
+        if body.len() < 22 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "short HELLO"));
         }
         let rank = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
         let port = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
         let generation = u64::from_le_bytes(body[6..14].try_into().expect("8 bytes"));
-        let host = std::str::from_utf8(&body[14..])
+        let host_id = u64::from_le_bytes(body[14..22].try_into().expect("8 bytes"));
+        let host = std::str::from_utf8(&body[22..])
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "HELLO host not UTF-8"))?
             .to_string();
         Ok(Hello {
             rank,
             port,
             generation,
+            host_id,
             host,
         })
     }
@@ -285,13 +297,38 @@ pub struct Welcome {
     pub generation: u64,
     /// Dialable `host:port` of every rank's listener, indexed by rank.
     pub addrs: Vec<String>,
+    /// Physical-host identity of every rank, indexed by rank — collected
+    /// from the HELLOs and republished so each member can tell which peers
+    /// share its host (and thus its shared-memory fabric).
+    pub host_ids: Vec<u64>,
+    /// Each rank's rank in the **previous** generation, indexed by (new)
+    /// rank; `u32::MAX` for fresh joiners and at initial rendezvous for
+    /// nobody (every rank maps to itself). A resize survivor uses this
+    /// table to re-locate peers it knew by old rank — e.g. which surviving
+    /// shared-memory neighbors map to which new global ranks.
+    pub prev_ranks: Vec<u32>,
 }
 
 impl Welcome {
     /// Serializes to a frame body
-    /// (`[rank: u32][world: u32][generation: u64]` then the addr table).
+    /// (`[rank: u32][world: u32][generation: u64]`, the addr table, then
+    /// per rank `[host_id: u64][prev_rank: u32]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_ids` or `prev_ranks` length disagrees with `addrs`.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        assert_eq!(
+            self.addrs.len(),
+            self.host_ids.len(),
+            "one host id per rank"
+        );
+        assert_eq!(
+            self.addrs.len(),
+            self.prev_ranks.len(),
+            "one prev rank per rank"
+        );
         let mut out = Vec::new();
         out.extend_from_slice(&self.rank.to_le_bytes());
         out.extend_from_slice(&self.world.to_le_bytes());
@@ -299,6 +336,10 @@ impl Welcome {
         for addr in &self.addrs {
             out.extend_from_slice(&(addr.len() as u16).to_le_bytes());
             out.extend_from_slice(addr.as_bytes());
+        }
+        for (&host_id, &prev) in self.host_ids.iter().zip(&self.prev_ranks) {
+            out.extend_from_slice(&host_id.to_le_bytes());
+            out.extend_from_slice(&prev.to_le_bytes());
         }
         out
     }
@@ -333,11 +374,27 @@ impl Welcome {
             addrs.push(addr);
             at += len;
         }
+        let mut host_ids = Vec::with_capacity(world as usize);
+        let mut prev_ranks = Vec::with_capacity(world as usize);
+        for _ in 0..world {
+            if body.len() < at + 12 {
+                return Err(short());
+            }
+            host_ids.push(u64::from_le_bytes(
+                body[at..at + 8].try_into().expect("8 bytes"),
+            ));
+            prev_ranks.push(u32::from_le_bytes(
+                body[at + 8..at + 12].try_into().expect("4 bytes"),
+            ));
+            at += 12;
+        }
         Ok(Welcome {
             rank,
             world,
             generation,
             addrs,
+            host_ids,
+            prev_ranks,
         })
     }
 }
@@ -430,9 +487,11 @@ mod tests {
             rank: u32::MAX,
             port: 40_123,
             generation: 3,
+            host_id: 0xDEAD_BEEF_0BAD_F00D,
             host: String::new(),
         };
         assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+        assert!(Hello::decode(&hello.encode()[..20]).is_err());
         let welcome = Welcome {
             rank: 2,
             world: 4,
@@ -443,9 +502,14 @@ mod tests {
                 "10.0.0.3:45000".into(),
                 "127.0.0.1:4".into(),
             ],
+            host_ids: vec![11, 11, 22, 22],
+            prev_ranks: vec![3, 1, 2, u32::MAX],
         };
-        assert_eq!(Welcome::decode(&welcome.encode()).unwrap(), welcome);
-        assert!(Welcome::decode(&welcome.encode()[..10]).is_err());
+        let encoded = welcome.encode();
+        assert_eq!(Welcome::decode(&encoded).unwrap(), welcome);
+        assert!(Welcome::decode(&encoded[..10]).is_err());
+        // Truncating inside the host-id/prev-rank table is also detected.
+        assert!(Welcome::decode(&encoded[..encoded.len() - 5]).is_err());
         assert_eq!(decode_ident(&encode_ident(7)).unwrap(), 7);
     }
 

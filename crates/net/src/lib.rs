@@ -50,13 +50,17 @@ pub mod endpoint;
 pub mod frame;
 mod launch;
 mod loopback;
+pub mod shm;
+pub mod tiered;
 
 pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 pub use config::{DemoOptions, NetConfig, NetError};
-pub use demo::{hash_params, run_demo_worker, DemoSummary};
+pub use demo::{hash_params, run_demo_host, run_demo_on, run_demo_worker, DemoSummary};
 pub use endpoint::{PeerStats, TcpEndpoint};
 pub use launch::{
     free_port, launch_world, launch_world_elastic, ElasticOutcome, LaunchOptions, RestartPolicy,
     WorldGuard, WorldOutcome,
 };
 pub use loopback::{tcp_loopback, tcp_loopback_with};
+pub use shm::{ShmEndpoint, ShmFabric};
+pub use tiered::{probe_alpha_beta, tiered_loopback, tiered_loopback_with, TieredEndpoint};

@@ -1,0 +1,1062 @@
+//! `ShmEndpoint` — the intra-node shared-memory implementation of
+//! [`Transport`].
+//!
+//! Ranks that share a physical host do not need a NIC between them: this
+//! module gives co-located ranks (threads of one process, the deployment
+//! model of `dear-launch --hosts`) a fabric of **single-producer /
+//! single-consumer ring buffers**. Each directed pair of ranks owns one
+//! ring of sequence-numbered slots (the classic bounded-queue design):
+//! the sender writes a slot and releases it by bumping the slot's sequence
+//! word, the receiver acquires it by reading that word — the data path
+//! never takes a lock shared between sender and receiver, so latency is a
+//! couple of cache-line transfers instead of a socket round-trip.
+//!
+//! The endpoint speaks the same protocol-level contract as
+//! [`crate::TcpEndpoint`]:
+//!
+//! - every message is stamped with the **world generation** at send time
+//!   and checked at receive time, so traffic from a previous incarnation
+//!   of a resized world surfaces as
+//!   [`CollectiveError::StaleGeneration`] instead of corrupting a
+//!   collective;
+//! - a **heartbeat** thread per endpoint refreshes a liveness timestamp;
+//!   a receiver blocked on a peer whose timestamp goes stale for the miss
+//!   budget declares it wedged with [`CollectiveError::Aborted`], while a
+//!   gracefully dropped endpoint surfaces as
+//!   [`CollectiveError::Disconnected`];
+//! - `reconfigure` survives member loss in place: survivors meet at an
+//!   **epoch gate** (a barrier counted over survivors only, so a dead
+//!   member cannot block it), drain every stale-generation message out of
+//!   their rings, and renumber — the exact contract the TCP endpoint's
+//!   resize rendezvous provides, minus the sockets.
+//!
+//! A [`ShmFabric`] spans one process. The tiered transport
+//! ([`crate::TieredEndpoint`]) composes one fabric per host with a TCP
+//! mesh between hosts, remapping the fabric's global ranks from the resize
+//! rendezvous' WELCOME tables after an elastic resize.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dear_collectives::{CollectiveError, Message, Transport, WorldChange};
+
+use crate::config::NetConfig;
+
+/// Buffers kept per endpoint pool; matches the TCP endpoint's bound.
+const POOL_CAP: usize = 64;
+
+/// Iterations of busy-spinning before a waiter starts yielding between
+/// polls — long enough to catch a peer already in its send, short enough
+/// not to burn a core against a slow one.
+const SPIN_BUDGET: u32 = 256;
+
+/// Iterations of `yield_now` after the spin budget: on oversubscribed
+/// hosts (more rank threads than cores) the producer cannot progress
+/// while the consumer spins, and a sleep would quantize every hop to the
+/// sleep period — yielding hands the core straight to the peer instead,
+/// which is what makes small-message shm latency beat the socket path.
+const YIELD_BUDGET: u32 = 4096;
+
+/// Sleep between polls once both budgets are exhausted (the peer is
+/// genuinely slow, not merely descheduled). Coarse liveness checks
+/// (heartbeats, deadlines) happen at this granularity.
+const POLL_SLEEP: Duration = Duration::from_micros(50);
+
+/// One step of the spin → yield → sleep wait ladder shared by the send
+/// (full ring) and recv (empty ring) paths.
+fn wait_step(spins: &mut u32) {
+    if *spins < SPIN_BUDGET {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else if *spins < SPIN_BUDGET + YIELD_BUDGET {
+        *spins += 1;
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(POLL_SLEEP);
+    }
+}
+
+/// A message as stored in a ring slot: the payload plus the sender's world
+/// generation (the shm analog of the TCP data frame's generation stamp).
+struct ShmMsg {
+    generation: u64,
+    msg: Message,
+}
+
+/// One slot of a ring: a sequence word that hands ownership back and forth
+/// between producer and consumer, and the payload cell it guards.
+struct RingSlot {
+    seq: AtomicUsize,
+    msg: UnsafeCell<MaybeUninit<ShmMsg>>,
+}
+
+/// A bounded single-producer / single-consumer queue of [`ShmMsg`]s.
+///
+/// Sequence-numbered slots: slot `i` is writable by the producer when
+/// `seq == pos` (its turn `pos`, where `pos % cap == i`) and readable by
+/// the consumer when `seq == pos + 1`. Producer and consumer each own one
+/// cursor and never touch the other's, so the data path is wait-free on
+/// both sides; the `produce`/`consume` mutexes only serialize *same-side*
+/// aliasing (two threads misusing one endpoint), never sender against
+/// receiver.
+struct SpscRing {
+    mask: usize,
+    slots: Box<[RingSlot]>,
+    /// Producer cursor (next position to write).
+    tail: AtomicUsize,
+    /// Consumer cursor (next position to read).
+    head: AtomicUsize,
+    /// Serializes producers (one logical producer; misuse guard).
+    produce: Mutex<()>,
+    /// Serializes consumers (one logical consumer; misuse guard).
+    consume: Mutex<()>,
+}
+
+// SAFETY: the sequence protocol makes every `msg` cell exclusively owned
+// by whichever side `seq` currently designates, with Release/Acquire
+// pairs ordering the hand-off; the side mutexes prevent intra-side races.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl SpscRing {
+    fn new(capacity: usize) -> SpscRing {
+        let cap = capacity.next_power_of_two().max(2);
+        SpscRing {
+            mask: cap - 1,
+            slots: (0..cap)
+                .map(|i| RingSlot {
+                    seq: AtomicUsize::new(i),
+                    msg: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            produce: Mutex::new(()),
+            consume: Mutex::new(()),
+        }
+    }
+
+    /// Attempts to enqueue; gives `msg` back when the ring is full.
+    fn try_push(&self, msg: ShmMsg) -> Result<(), ShmMsg> {
+        let _own = self.produce.lock().expect("producer guard poisoned");
+        let pos = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        if slot.seq.load(Ordering::Acquire) != pos {
+            return Err(msg); // consumer has not freed this slot yet
+        }
+        // SAFETY: `seq == pos` means the producer owns the cell.
+        unsafe { (*slot.msg.get()).write(msg) };
+        slot.seq.store(pos + 1, Ordering::Release);
+        self.tail.store(pos + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Dequeues the head message if `want` accepts it (judging by the
+    /// stamped generation); `None` when the ring is empty or the head is
+    /// kept. Lets a resize drain stop exactly at the first post-resize
+    /// message without a second handshake.
+    fn try_pop_if(&self, want: impl FnOnce(u64) -> bool) -> Option<ShmMsg> {
+        let _own = self.consume.lock().expect("consumer guard poisoned");
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        if slot.seq.load(Ordering::Acquire) != pos + 1 {
+            return None; // empty
+        }
+        // SAFETY: `seq == pos + 1` means the consumer owns the cell; the
+        // generation field is ours to read either way, and the value is
+        // only moved out when the predicate accepts it.
+        let generation = unsafe { (*slot.msg.get()).assume_init_ref().generation };
+        if !want(generation) {
+            return None;
+        }
+        let msg = unsafe { (*slot.msg.get()).assume_init_read() };
+        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Relaxed);
+        Some(msg)
+    }
+
+    fn try_pop(&self) -> Option<ShmMsg> {
+        self.try_pop_if(|_| true)
+    }
+}
+
+impl Drop for SpscRing {
+    fn drop(&mut self) {
+        // Undelivered messages still own heap payloads.
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// Per-member liveness state, written by the member (or its heartbeat
+/// thread) and read by every peer blocked on it.
+struct MemberState {
+    /// Set by `Drop`: the member left gracefully, nothing more is coming.
+    departed: AtomicBool,
+    /// Nanoseconds since the fabric epoch of the member's last heartbeat
+    /// (or data-path activity).
+    last_beat_ns: AtomicU64,
+}
+
+/// The epoch gate a resize synchronizes on: a reusable barrier counted
+/// over the *survivors* of each resize round.
+struct GateState {
+    epoch: u64,
+    arrived: usize,
+    expected: Option<usize>,
+}
+
+struct ShmFabricInner {
+    /// `rings[from][to]` carries messages between fabric slots; `None` on
+    /// the diagonal.
+    rings: Vec<Vec<Option<SpscRing>>>,
+    members: Vec<MemberState>,
+    gate: Mutex<GateState>,
+    gate_cv: Condvar,
+    /// Base instant for `last_beat_ns` timestamps.
+    epoch: Instant,
+    heartbeat_interval: Option<Duration>,
+    heartbeat_miss_budget: u32,
+}
+
+impl ShmFabricInner {
+    fn nanos_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn beat(&self, slot: usize) {
+        self.members[slot]
+            .last_beat_ns
+            .store(self.nanos_since_epoch(), Ordering::Relaxed);
+    }
+
+    /// Whether `slot` has been silent past the miss allowance (never true
+    /// with the failure detector disabled).
+    fn is_wedged(&self, slot: usize) -> bool {
+        let Some(interval) = self.heartbeat_interval else {
+            return false;
+        };
+        let allowance = interval * self.heartbeat_miss_budget.max(1);
+        let last = self.members[slot].last_beat_ns.load(Ordering::Relaxed);
+        self.nanos_since_epoch().saturating_sub(last) > allowance.as_nanos() as u64
+    }
+}
+
+/// A shared-memory fabric connecting the co-located ranks of one host.
+/// See the [module docs](self).
+///
+/// # Examples
+///
+/// A whole world on one host, byte-identical to any other transport:
+///
+/// ```
+/// use dear_net::ShmFabric;
+/// use dear_collectives::{ring_all_reduce, ReduceOp, Transport};
+///
+/// let eps = ShmFabric::create(4);
+/// std::thread::scope(|s| {
+///     for ep in &eps {
+///         s.spawn(move || {
+///             let mut grad = vec![ep.rank() as f32 + 1.0; 64];
+///             ring_all_reduce(ep, &mut grad, ReduceOp::Sum).unwrap();
+///             assert_eq!(grad, vec![10.0; 64]);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ShmFabric;
+
+impl ShmFabric {
+    /// Creates a fabric spanning a whole `world` of co-located ranks, with
+    /// loopback-friendly defaults (30 s send deadline, failure detector
+    /// on at 1 s × 5 misses, generation 0). Element `r` belongs to rank
+    /// `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    #[must_use]
+    pub fn create(world: usize) -> Vec<ShmEndpoint> {
+        let cfg = NetConfig::new(world, 0, "127.0.0.1:0");
+        let members: Vec<usize> = (0..world).collect();
+        Self::with_config(&cfg, &members)
+    }
+
+    /// Creates a fabric for the co-located subset `members` (global ranks,
+    /// strictly ascending) of a world of `cfg.world` ranks, honouring the
+    /// config's generation, send deadline, and failure detector. Element
+    /// `i` belongs to global rank `members[i]`.
+    ///
+    /// Endpoints can only reach co-located peers; sends to off-host ranks
+    /// return [`CollectiveError::InvalidRank`] — compose with a TCP mesh
+    /// via [`crate::TieredEndpoint`] for the full world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, unsorted, or lists a rank `>=
+    /// cfg.world`.
+    #[must_use]
+    pub fn with_config(cfg: &NetConfig, members: &[usize]) -> Vec<ShmEndpoint> {
+        assert!(!members.is_empty(), "a fabric needs at least one member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "fabric members must be strictly ascending global ranks"
+        );
+        assert!(
+            *members.last().expect("non-empty") < cfg.world,
+            "fabric member out of range for world {}",
+            cfg.world
+        );
+        let n = members.len();
+        let capacity = cfg.outbox_frames.max(2);
+        let rings: Vec<Vec<Option<SpscRing>>> = (0..n)
+            .map(|from| {
+                (0..n)
+                    .map(|to| (from != to).then(|| SpscRing::new(capacity)))
+                    .collect()
+            })
+            .collect();
+        let epoch = Instant::now();
+        let inner = Arc::new(ShmFabricInner {
+            rings,
+            members: (0..n)
+                .map(|_| MemberState {
+                    departed: AtomicBool::new(false),
+                    last_beat_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            gate: Mutex::new(GateState {
+                epoch: 0,
+                arrived: 0,
+                expected: None,
+            }),
+            gate_cv: Condvar::new(),
+            epoch,
+            heartbeat_interval: cfg.heartbeat_interval,
+            heartbeat_miss_budget: cfg.heartbeat_miss_budget,
+        });
+        members
+            .iter()
+            .enumerate()
+            .map(|(slot, &rank)| {
+                let mut peer_slots = vec![None; cfg.world];
+                for (s, &m) in members.iter().enumerate() {
+                    peer_slots[m] = Some(s);
+                }
+                let heartbeat = inner.heartbeat_interval.map(|interval| {
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let hb_inner = Arc::clone(&inner);
+                    let hb_stop = Arc::clone(&stop);
+                    let handle = std::thread::spawn(move || {
+                        while !hb_stop.load(Ordering::Relaxed) {
+                            hb_inner.beat(slot);
+                            std::thread::sleep(interval.min(Duration::from_millis(200)));
+                        }
+                    });
+                    Heartbeat {
+                        stop,
+                        handle: Some(handle),
+                    }
+                });
+                inner.beat(slot);
+                ShmEndpoint {
+                    fabric: Arc::clone(&inner),
+                    slot,
+                    rank,
+                    world: cfg.world,
+                    generation: cfg.generation,
+                    peer_slots,
+                    send_timeout: cfg.send_timeout,
+                    recv_timeout: Mutex::new(cfg.recv_timeout),
+                    heartbeat,
+                    pool: Mutex::new(Vec::new()),
+                }
+            })
+            .collect()
+    }
+}
+
+/// An endpoint's heartbeat thread: refreshes the member's liveness
+/// timestamp until stopped.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One co-located rank's endpoint of a [`ShmFabric`]. See the
+/// [module docs](self) for the design.
+pub struct ShmEndpoint {
+    fabric: Arc<ShmFabricInner>,
+    /// This endpoint's fabric slot (stable across resizes).
+    slot: usize,
+    /// This endpoint's **global** rank.
+    rank: usize,
+    /// The **global** world size (not the fabric's member count).
+    world: usize,
+    generation: u64,
+    /// Global rank → fabric slot for co-located peers; `None` off-host.
+    peer_slots: Vec<Option<usize>>,
+    send_timeout: Duration,
+    recv_timeout: Mutex<Option<Duration>>,
+    heartbeat: Option<Heartbeat>,
+    pool: Mutex<Vec<Vec<u8>>>,
+}
+
+impl fmt::Debug for ShmEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShmEndpoint")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+impl ShmEndpoint {
+    /// The world generation this endpoint currently runs at.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether `peer` (a global rank) is reachable over this fabric —
+    /// i.e. co-located with this endpoint.
+    #[must_use]
+    pub fn is_local(&self, peer: usize) -> bool {
+        self.peer_slots.get(peer).copied().flatten().is_some()
+    }
+
+    /// Global ranks of the co-located peers that have not departed, in
+    /// ascending order. The survivor set a tiered resize intersects with
+    /// the TCP rendezvous' verdict.
+    #[must_use]
+    pub fn live_peers(&self) -> Vec<usize> {
+        (0..self.world)
+            .filter(|&r| r != self.rank)
+            .filter(|&r| {
+                self.peer_slots[r]
+                    .is_some_and(|s| !self.fabric.members[s].departed.load(Ordering::Acquire))
+            })
+            .collect()
+    }
+
+    /// Stops this endpoint's heartbeat thread **without** marking it
+    /// departed — to every co-located peer the endpoint now looks wedged,
+    /// exactly like a thread stuck in a syscall. Test hook for the failure
+    /// detector; a real workload never calls this.
+    #[doc(hidden)]
+    pub fn stop_heartbeat(&mut self) {
+        self.heartbeat = None; // Drop stops and joins the thread
+    }
+
+    fn slot_of(&self, peer: usize) -> Result<usize, CollectiveError> {
+        self.check_peer(peer)?;
+        self.peer_slots[peer].ok_or(CollectiveError::InvalidRank {
+            rank: peer,
+            world: self.world,
+        })
+    }
+
+    /// Survives the loss of co-located members in place, re-identifying
+    /// the survivors: `pairs` maps each surviving member's **old** global
+    /// rank to its **new** one (this endpoint included), `new_world` and
+    /// `new_generation` come from whoever adjudicated the resize (the TCP
+    /// rendezvous in a tiered deployment, the caller in a standalone
+    /// fabric).
+    ///
+    /// Every listed survivor must call this concurrently: they meet at an
+    /// epoch gate (dead members are not counted, so they cannot block it),
+    /// and only then drain stale-generation messages from their rings —
+    /// after the gate nobody can still be producing old-generation
+    /// traffic, and the drain stops at the first new-generation message,
+    /// so an early finisher's fresh sends are never discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::Reconfigure`] when `pairs` omits this
+    /// endpoint or names an off-fabric rank, when survivors disagree on
+    /// the set, or when a listed survivor fails to reach the gate within
+    /// the send deadline.
+    pub fn remap(
+        &mut self,
+        new_world: usize,
+        new_generation: u64,
+        pairs: &[(usize, usize)],
+    ) -> Result<WorldChange, CollectiveError> {
+        let reconf = |reason: String| CollectiveError::Reconfigure { reason };
+        let Some(&(_, own_new)) = pairs.iter().find(|&&(old, _)| old == self.rank) else {
+            return Err(reconf(format!(
+                "survivor pairs omit this endpoint's rank {}",
+                self.rank
+            )));
+        };
+        if own_new >= new_world {
+            return Err(reconf(format!(
+                "new rank {own_new} out of range for new world {new_world}"
+            )));
+        }
+        let mut slots = Vec::with_capacity(pairs.len());
+        for &(old, new) in pairs {
+            let Some(slot) = self.peer_slots.get(old).copied().flatten() else {
+                return Err(reconf(format!(
+                    "survivor pair maps rank {old}, which is not on this fabric"
+                )));
+            };
+            if new >= new_world {
+                return Err(reconf(format!(
+                    "new rank {new} out of range for new world {new_world}"
+                )));
+            }
+            slots.push((slot, new));
+        }
+        self.gate(pairs.len()).map_err(reconf)?;
+        // Post-gate: every survivor is past its last old-generation send,
+        // so everything stale is already in the rings. Drain each inbound
+        // ring — survivors' and dead members' alike — up to the first
+        // message of the new generation.
+        for from in 0..self.fabric.members.len() {
+            if from == self.slot {
+                continue;
+            }
+            let ring = self.fabric.rings[from][self.slot]
+                .as_ref()
+                .expect("off-diagonal ring exists");
+            while ring.try_pop_if(|g| g != new_generation).is_some() {}
+        }
+        let old_rank = self.rank;
+        let old_world = self.world;
+        let mut peer_slots = vec![None; new_world];
+        for &(slot, new) in &slots {
+            peer_slots[new] = Some(slot);
+        }
+        self.peer_slots = peer_slots;
+        self.rank = own_new;
+        self.world = new_world;
+        self.generation = new_generation;
+        Ok(WorldChange {
+            old_rank,
+            old_world,
+            new_rank: own_new,
+            new_world,
+            generation: new_generation,
+        })
+    }
+
+    /// Meets the other `expected - 1` survivors at the fabric's epoch
+    /// gate, bounded by the send deadline.
+    fn gate(&self, expected: usize) -> Result<(), String> {
+        let deadline = Instant::now() + self.send_timeout;
+        let mut g = self.fabric.gate.lock().expect("gate poisoned");
+        match g.expected {
+            None => g.expected = Some(expected),
+            Some(e) if e == expected => {}
+            Some(e) => {
+                return Err(format!(
+                    "survivors disagree on the survivor count ({e} vs {expected})"
+                ))
+            }
+        }
+        g.arrived += 1;
+        if g.arrived == expected {
+            g.arrived = 0;
+            g.expected = None;
+            g.epoch += 1;
+            self.fabric.gate_cv.notify_all();
+            return Ok(());
+        }
+        let entry_epoch = g.epoch;
+        while g.epoch == entry_epoch {
+            let now = Instant::now();
+            if now >= deadline {
+                g.arrived -= 1;
+                return Err(format!(
+                    "resize gate timed out after {:?} waiting for survivors",
+                    self.send_timeout
+                ));
+            }
+            let (guard, _) = self
+                .fabric
+                .gate_cv
+                .wait_timeout(g, deadline - now)
+                .expect("gate poisoned");
+            g = guard;
+        }
+        Ok(())
+    }
+}
+
+impl Transport for ShmEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        let slot = self.slot_of(to)?;
+        // A send is liveness too: a rank deep in a long compute phase
+        // between heartbeats still proves itself the moment it talks.
+        self.fabric.beat(self.slot);
+        let ring = self.fabric.rings[self.slot][slot]
+            .as_ref()
+            .expect("off-diagonal ring exists");
+        let mut msg = ShmMsg {
+            generation: self.generation,
+            msg,
+        };
+        let deadline = Instant::now() + self.send_timeout;
+        let mut spins = 0u32;
+        loop {
+            match ring.try_push(msg) {
+                Ok(()) => return Ok(()),
+                Err(back) => msg = back,
+            }
+            // Full ring: the peer is not consuming. Distinguish dead from
+            // slow exactly as the TCP writer does.
+            if self.fabric.members[slot].departed.load(Ordering::Acquire) {
+                return Err(CollectiveError::Disconnected { peer: to });
+            }
+            if self.fabric.is_wedged(slot) {
+                return Err(CollectiveError::Aborted { peer: to });
+            }
+            if Instant::now() >= deadline {
+                return Err(CollectiveError::Timeout {
+                    peer: to,
+                    millis: self.send_timeout.as_millis() as u64,
+                });
+            }
+            wait_step(&mut spins);
+        }
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        let slot = self.slot_of(from)?;
+        let ring = self.fabric.rings[slot][self.slot]
+            .as_ref()
+            .expect("off-diagonal ring exists");
+        let timeout = *self.recv_timeout.lock().expect("recv timeout poisoned");
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut spins = 0u32;
+        loop {
+            if let Some(shm) = ring.try_pop() {
+                if shm.generation != self.generation {
+                    return Err(CollectiveError::StaleGeneration {
+                        peer: from,
+                        expected: self.generation,
+                        actual: shm.generation,
+                    });
+                }
+                return Ok(shm.msg);
+            }
+            // Empty ring: decide between waiting and failing, in the same
+            // priority order as the TCP reader — graceful departure first,
+            // then the failure detector's verdict, then the deadline.
+            if self.fabric.members[slot].departed.load(Ordering::Acquire) {
+                // Re-check after the departure flag: messages sent before
+                // the peer dropped are still deliverable.
+                if let Some(shm) = ring.try_pop() {
+                    if shm.generation != self.generation {
+                        return Err(CollectiveError::StaleGeneration {
+                            peer: from,
+                            expected: self.generation,
+                            actual: shm.generation,
+                        });
+                    }
+                    return Ok(shm.msg);
+                }
+                return Err(CollectiveError::Disconnected { peer: from });
+            }
+            if self.fabric.is_wedged(slot) {
+                return Err(CollectiveError::Aborted { peer: from });
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(CollectiveError::Timeout {
+                    peer: from,
+                    millis: timeout.expect("deadline implies timeout").as_millis() as u64,
+                });
+            }
+            wait_step(&mut spins);
+        }
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        *self.recv_timeout.lock().expect("recv timeout poisoned") = timeout;
+        true
+    }
+
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        match pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(capacity_bytes);
+                buf
+            }
+            None => Vec::with_capacity(capacity_bytes),
+        }
+    }
+
+    fn recycle_buffer(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Shrinks a **whole-world** fabric to `survivors` (global ranks, this
+    /// rank included), renumbering densely in ascending old-rank order and
+    /// bumping the generation — the standalone analog of the TCP resize
+    /// rendezvous. Like the local fabric, survivors must be explicit
+    /// (`None` is refused: a fabric member has no rendezvous to discover
+    /// them with) and every survivor must call concurrently; unlike the
+    /// local fabric, a *dead* member can never block the resize, because
+    /// the epoch gate counts survivors only. Growing is refused — fabric
+    /// membership is fixed at creation.
+    ///
+    /// Tiered endpoints do not use this: they remap from the TCP
+    /// rendezvous' WELCOME tables via [`ShmEndpoint::remap`], where master
+    /// election makes new ranks non-monotonic in old ranks.
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let Some(survivors) = survivors else {
+            return Err(CollectiveError::Reconfigure {
+                reason: "shm fabric cannot discover survivors; pass them explicitly".to_string(),
+            });
+        };
+        let mut order: Vec<usize> = survivors.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        if order.len() != survivors.len() {
+            return Err(CollectiveError::Reconfigure {
+                reason: "survivor list contains duplicate ranks".to_string(),
+            });
+        }
+        let pairs: Vec<(usize, usize)> = order.iter().enumerate().map(|(n, &o)| (o, n)).collect();
+        self.remap(order.len(), self.generation + 1, &pairs)
+    }
+}
+
+impl Drop for ShmEndpoint {
+    fn drop(&mut self) {
+        // Graceful departure: stop beating, then tell the peers. Peers
+        // blocked on this rank drain any already-sent messages and then
+        // see `Disconnected` (not `Aborted` — leaving is not failing).
+        self.heartbeat = None;
+        self.fabric.members[self.slot]
+            .departed
+            .store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_collectives::{ring_all_reduce, DType, ReduceOp, WireBuf};
+
+    fn fast_cfg(world: usize) -> NetConfig {
+        NetConfig::new(world, 0, "127.0.0.1:0")
+            .with_send_timeout(Duration::from_millis(500))
+            .with_recv_timeout(Some(Duration::from_secs(5)))
+    }
+
+    #[test]
+    fn shm_delivers_in_order_and_bit_exact() {
+        let mut eps = ShmFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.send(1, vec![1.0, f32::NAN, -0.0].into()).unwrap();
+                a.send(1, vec![2.0].into()).unwrap();
+            });
+            s.spawn(|| {
+                let first = b.recv(0).unwrap().into_payload().to_f32_vec();
+                assert_eq!(first[0].to_bits(), 1.0f32.to_bits());
+                assert!(first[1].is_nan());
+                assert_eq!(first[2].to_bits(), (-0.0f32).to_bits());
+                assert_eq!(b.recv(0).unwrap(), vec![2.0]);
+            });
+        });
+    }
+
+    #[test]
+    fn narrow_payloads_keep_their_dtype() {
+        let mut eps = ShmFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let elems = [1.0f32, -2.5, 0.5, 1024.0];
+        a.send(1, Message::new(WireBuf::encode(&elems, DType::Bf16)))
+            .unwrap();
+        let payload = b.recv(0).unwrap().into_payload();
+        assert_eq!(payload.dtype(), DType::Bf16);
+        assert_eq!(payload.num_bytes(), 8);
+        assert_eq!(payload.to_f32_vec(), elems);
+    }
+
+    #[test]
+    fn send_to_self_and_out_of_range_are_invalid() {
+        let eps = ShmFabric::create(2);
+        assert!(matches!(
+            eps[0].send(0, vec![].into()).unwrap_err(),
+            CollectiveError::InvalidRank { rank: 0, .. }
+        ));
+        assert!(matches!(
+            eps[0].send(7, vec![].into()).unwrap_err(),
+            CollectiveError::InvalidRank { rank: 7, world: 2 }
+        ));
+    }
+
+    #[test]
+    fn off_host_rank_is_invalid_not_a_hang() {
+        // A fabric covering ranks {1, 3} of a world of 4: rank 2 is real
+        // but lives elsewhere — the shm tier must refuse it typed, so the
+        // tiered router's misroute would be loud.
+        let cfg = fast_cfg(4);
+        let eps = ShmFabric::with_config(&cfg, &[1, 3]);
+        assert_eq!(eps[0].rank(), 1);
+        assert!(eps[0].is_local(3));
+        assert!(!eps[0].is_local(2));
+        assert!(matches!(
+            eps[0].send(2, vec![1.0].into()).unwrap_err(),
+            CollectiveError::InvalidRank { rank: 2, world: 4 }
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_instead_of_hanging() {
+        let eps = ShmFabric::create(2);
+        assert!(eps[0].set_recv_timeout(Some(Duration::from_millis(20))));
+        let err = eps[0].recv(1).unwrap_err();
+        assert!(matches!(err, CollectiveError::Timeout { peer: 1, .. }));
+    }
+
+    #[test]
+    fn full_ring_backpressure_times_out_against_a_stalled_peer() {
+        let mut cfg = fast_cfg(2).with_outbox_frames(2);
+        cfg.heartbeat_interval = None;
+        let eps = ShmFabric::with_config(&cfg, &[0, 1]);
+        // Rank 1 never receives: after the ring (capacity 2) fills, sends
+        // must fail with Timeout, not block forever.
+        let mut sent = 0;
+        let err = loop {
+            match eps[0].send(1, vec![1.0; 4].into()) {
+                Ok(()) => sent += 1,
+                Err(e) => break e,
+            }
+            assert!(sent <= 2, "ring accepted more than its capacity");
+        };
+        assert!(matches!(err, CollectiveError::Timeout { peer: 1, .. }));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_disconnected_after_draining() {
+        let mut eps = ShmFabric::create(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        // Messages sent before the drop must still be delivered.
+        a.send(1, vec![42.0].into()).unwrap();
+        drop(a);
+        assert_eq!(b.recv(0).unwrap(), vec![42.0]);
+        let err = b.recv(0).unwrap_err();
+        assert_eq!(err, CollectiveError::Disconnected { peer: 0 });
+    }
+
+    #[test]
+    fn wedged_peer_is_declared_dead_by_the_failure_detector() {
+        let mut cfg = fast_cfg(2);
+        cfg.heartbeat_interval = Some(Duration::from_millis(20));
+        cfg.heartbeat_miss_budget = 3;
+        let mut eps = ShmFabric::with_config(&cfg, &[0, 1]);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        // Rank 0 wedges: heartbeats stop but the endpoint is not dropped.
+        a.stop_heartbeat();
+        b.set_recv_timeout(Some(Duration::from_secs(5)));
+        let start = Instant::now();
+        let err = b.recv(0).unwrap_err();
+        assert_eq!(err, CollectiveError::Aborted { peer: 0 });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "detector took {:?}",
+            start.elapsed()
+        );
+        drop(a);
+    }
+
+    #[test]
+    fn stale_generation_messages_are_rejected() {
+        let cfg_old = fast_cfg(2).with_generation(3);
+        let cfg_new = fast_cfg(2).with_generation(4);
+        // Two endpoints of one fabric at different generations — the shm
+        // equivalent of a straggler from a previous incarnation.
+        let mut old = ShmFabric::with_config(&cfg_old, &[0, 1]);
+        let b = old.pop().unwrap();
+        let a = old.pop().unwrap();
+        drop(b);
+        let _ = a; // sender at generation 3
+        let mut fresh = ShmFabric::with_config(&cfg_new, &[0, 1]);
+        let rx = fresh.pop().unwrap();
+        let tx = fresh.pop().unwrap();
+        // Hand-stamp an old-generation message into the fresh fabric.
+        let ring = tx.fabric.rings[tx.slot][rx.slot].as_ref().unwrap();
+        ring.try_push(ShmMsg {
+            generation: 3,
+            msg: vec![9.0].into(),
+        })
+        .ok()
+        .unwrap();
+        let err = rx.recv(0).unwrap_err();
+        assert_eq!(
+            err,
+            CollectiveError::StaleGeneration {
+                peer: 0,
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let eps = ShmFabric::create(2);
+        let mut buf = eps[0].take_buffer(16);
+        buf.extend_from_slice(&[1, 2]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        eps[0].recycle_buffer(buf);
+        let again = eps[0].take_buffer(8);
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn reconfigure_shrinks_past_a_dead_member_without_it() {
+        // Rank 1 dies abruptly mid-step, with traffic still queued both
+        // ways. The survivors resize without rank 1 ever reaching the
+        // gate, stale in-flight messages are drained, and the shrunk world
+        // runs a correct collective.
+        let mut eps = ShmFabric::create(3);
+        let victim = eps.remove(1);
+        eps[0].send(2, vec![66.6; 4].into()).unwrap();
+        eps[1].send(0, vec![77.7; 4].into()).unwrap();
+        victim.send(0, vec![88.8; 4].into()).unwrap(); // from the dead rank
+        drop(victim);
+        let survivors = [0usize, 2];
+        let changes: Vec<WorldChange> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| s.spawn(move || ep.reconfigure(Some(&survivors)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(changes[0].new_rank, 0);
+        assert_eq!(changes[1].new_rank, 1);
+        assert_eq!(changes[1].old_rank, 2);
+        for (ep, change) in eps.iter().zip(&changes) {
+            assert_eq!(ep.world_size(), 2);
+            assert_eq!(change.generation, 1);
+            assert_eq!(ep.generation(), 1);
+        }
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 8];
+                    ring_all_reduce(ep, &mut data, ReduceOp::Sum).unwrap();
+                    assert_eq!(data, vec![3.0; 8]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn remap_applies_non_monotonic_rank_maps() {
+        // A tiered resize can hand co-located survivors new ranks that are
+        // NOT ascending in old rank (master election): old {1, 2} → new
+        // {2, 0}. The fabric must follow the map, not assume order.
+        let cfg = fast_cfg(4);
+        let mut eps = ShmFabric::with_config(&cfg, &[1, 2]);
+        let pairs = [(1usize, 2usize), (2usize, 0usize)];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter_mut()
+                .map(|ep| s.spawn(move || ep.remap(3, 1, &pairs).unwrap()))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(eps[0].rank(), 2);
+        assert_eq!(eps[1].rank(), 0);
+        assert_eq!(eps[0].world_size(), 3);
+        // The remapped pair still talks, under the new names.
+        std::thread::scope(|s| {
+            let (a, b) = eps.split_at_mut(1);
+            s.spawn(|| a[0].send(0, vec![5.0].into()).unwrap());
+            s.spawn(|| assert_eq!(b[0].recv(2).unwrap(), vec![5.0]));
+        });
+    }
+
+    #[test]
+    fn reconfigure_rejects_bad_survivor_sets() {
+        let mut eps = ShmFabric::create(3);
+        assert!(matches!(
+            eps[0].reconfigure(None).unwrap_err(),
+            CollectiveError::Reconfigure { .. }
+        ));
+        let err = eps[0].reconfigure(Some(&[1, 2])).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("omit")),
+            "{err}"
+        );
+        let err = eps[0].reconfigure(Some(&[0, 1, 1])).unwrap_err();
+        assert!(
+            matches!(err, CollectiveError::Reconfigure { ref reason } if reason.contains("duplicate")),
+            "{err}"
+        );
+        // Validation failures leave the endpoint untouched.
+        assert_eq!(eps[0].rank(), 0);
+        assert_eq!(eps[0].world_size(), 3);
+    }
+
+    #[test]
+    fn live_peers_tracks_departures() {
+        let mut eps = ShmFabric::create(3);
+        assert_eq!(eps[0].live_peers(), vec![1, 2]);
+        let victim = eps.remove(1);
+        drop(victim);
+        assert_eq!(eps[0].live_peers(), vec![2]);
+    }
+
+    #[test]
+    fn all_reduce_across_the_fabric_matches_the_analytic_sum() {
+        let eps = ShmFabric::create(4);
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 100];
+                    ring_all_reduce(ep, &mut data, ReduceOp::Sum).unwrap();
+                    assert_eq!(data, vec![10.0; 100]);
+                });
+            }
+        });
+    }
+}

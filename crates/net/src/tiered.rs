@@ -1,0 +1,444 @@
+//! `TieredEndpoint` — the topology-aware two-tier transport: shared
+//! memory within a host, TCP between hosts.
+//!
+//! Real clusters are hierarchical: ranks on one machine reach each other
+//! through memory at sub-microsecond latency, ranks on different machines
+//! pay the NIC. A [`TieredEndpoint`] composes the two tiers behind the
+//! single [`Transport`] contract, routing **per peer** by host locality:
+//! a message to a co-located rank crosses the [`ShmEndpoint`]'s ring
+//! buffers, anything else goes over the [`TcpEndpoint`]'s mesh. The
+//! collectives above never know — which is the point: the same ring /
+//! halving-doubling / hierarchical code runs unchanged, and the
+//! hierarchical variants get their intra-node speedup from the transport
+//! rather than from special cases.
+//!
+//! Host locality is not configured twice: it comes from the TCP
+//! rendezvous. Every rank's HELLO carries its host id (`--hosts` /
+//! `DEAR_HOST_ID`), the master republishes the full table in the WELCOME,
+//! and [`TcpEndpoint::host_ids`] exposes it — so the tiered router, the
+//! topology-aware hierarchical groups, and the online algorithm selector
+//! all agree on who is co-located with whom.
+//!
+//! Elastic resize keeps working across tiers. `reconfigure` lets the TCP
+//! rendezvous adjudicate the new world first (it alone can see every
+//! host), then remaps the shm fabric from the WELCOME's `prev_ranks`
+//! table via [`ShmEndpoint::remap`] — master election means new ranks are
+//! *not* ascending in old rank, so the explicit old→new map is the only
+//! safe way to re-identify co-located survivors.
+//!
+//! Heartbeats run on **both** tiers deliberately: the TCP mesh keeps its
+//! full mesh (co-located pairs included) so a wedged rank is detected
+//! cluster-wide even when all its collective traffic flows over memory.
+
+use std::time::{Duration, Instant};
+
+use dear_collectives::{CollectiveError, CostModel, Message, Transport, WorldChange};
+
+use crate::config::NetConfig;
+use crate::endpoint::TcpEndpoint;
+use crate::shm::{ShmEndpoint, ShmFabric};
+use crate::NetError;
+
+/// A two-tier endpoint: shm to co-located ranks, TCP to everyone else.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct TieredEndpoint {
+    tcp: TcpEndpoint,
+    shm: Option<ShmEndpoint>,
+}
+
+impl TieredEndpoint {
+    /// Composes a TCP mesh with an optional shm fabric endpoint for the
+    /// same rank. With `None` every peer routes over TCP — the graceful
+    /// degradation when no host ids were configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Config`] when the two tiers disagree on rank,
+    /// world size, or generation, or when the shm fabric claims a peer
+    /// that the TCP rendezvous' host table places on a different host —
+    /// a misroute would corrupt collectives, so it is refused up front.
+    pub fn compose(tcp: TcpEndpoint, shm: Option<ShmEndpoint>) -> Result<TieredEndpoint, NetError> {
+        if let Some(shm) = &shm {
+            if shm.rank() != tcp.rank() || shm.world_size() != tcp.world_size() {
+                return Err(NetError::Config(format!(
+                    "tier mismatch: shm is rank {}/{}, tcp is rank {}/{}",
+                    shm.rank(),
+                    shm.world_size(),
+                    tcp.rank(),
+                    tcp.world_size()
+                )));
+            }
+            if shm.generation() != tcp.generation() {
+                return Err(NetError::Config(format!(
+                    "tier mismatch: shm at generation {}, tcp at generation {}",
+                    shm.generation(),
+                    tcp.generation()
+                )));
+            }
+            let hosts = tcp.host_ids();
+            let own_host = hosts[tcp.rank()];
+            for (peer, &host) in hosts.iter().enumerate() {
+                if peer != tcp.rank() && shm.is_local(peer) && host != own_host {
+                    return Err(NetError::Config(format!(
+                        "tier mismatch: shm fabric claims rank {peer}, but the rendezvous \
+                         places it on host {host:#x}, not {own_host:#x}"
+                    )));
+                }
+            }
+        }
+        Ok(TieredEndpoint { tcp, shm })
+    }
+
+    /// Whether `peer` routes over the shm tier.
+    #[must_use]
+    pub fn is_local(&self, peer: usize) -> bool {
+        peer != self.tcp.rank() && self.shm.as_ref().is_some_and(|s| s.is_local(peer))
+    }
+
+    /// The underlying TCP endpoint (host tables, peer stats, generation).
+    #[must_use]
+    pub fn tcp(&self) -> &TcpEndpoint {
+        &self.tcp
+    }
+
+    /// The shm tier, when one is attached.
+    #[must_use]
+    pub fn shm(&self) -> Option<&ShmEndpoint> {
+        self.shm.as_ref()
+    }
+
+    /// Per-rank host ids from the rendezvous — the input to
+    /// topology-aware hierarchical groups.
+    #[must_use]
+    pub fn host_ids(&self) -> &[u64] {
+        self.tcp.host_ids()
+    }
+
+    fn tier_for(&self, peer: usize) -> &dyn Transport {
+        match &self.shm {
+            Some(shm) if peer != self.tcp.rank() && shm.is_local(peer) => shm,
+            _ => &self.tcp,
+        }
+    }
+}
+
+impl Transport for TieredEndpoint {
+    fn rank(&self) -> usize {
+        self.tcp.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.tcp.world_size()
+    }
+
+    fn send(&self, to: usize, msg: Message) -> Result<(), CollectiveError> {
+        self.tier_for(to).send(to, msg)
+    }
+
+    fn recv(&self, from: usize) -> Result<Message, CollectiveError> {
+        self.tier_for(from).recv(from)
+    }
+
+    fn set_recv_timeout(&self, timeout: Option<Duration>) -> bool {
+        let tcp_ok = self.tcp.set_recv_timeout(timeout);
+        if let Some(shm) = &self.shm {
+            shm.set_recv_timeout(timeout);
+        }
+        tcp_ok
+    }
+
+    fn take_buffer(&self, capacity_bytes: usize) -> Vec<u8> {
+        self.tcp.take_buffer(capacity_bytes)
+    }
+
+    fn recycle_buffer(&self, buf: Vec<u8>) {
+        self.tcp.recycle_buffer(buf)
+    }
+
+    /// Survives member loss across both tiers. The TCP rendezvous
+    /// adjudicates first — it alone spans every host — and its WELCOME
+    /// tables then drive the shm remap: co-located survivors are the new
+    /// ranks sharing this rank's host id whose `prev_ranks` entry maps
+    /// back onto the old fabric. Fresh joiners never enter an existing
+    /// fabric (membership is fixed at creation); they are reached over
+    /// TCP until the next full launch.
+    ///
+    /// Every co-located survivor must call this concurrently (they meet
+    /// at the fabric's epoch gate), which is exactly how the elastic
+    /// protocol already drives `reconfigure` on every surviving rank.
+    fn reconfigure(&mut self, survivors: Option<&[usize]>) -> Result<WorldChange, CollectiveError> {
+        let change = self.tcp.reconfigure(survivors)?;
+        let Some(shm) = &mut self.shm else {
+            return Ok(change);
+        };
+        let hosts = self.tcp.host_ids();
+        let prevs = self.tcp.prev_ranks();
+        let own_host = hosts[change.new_rank];
+        let mut pairs = Vec::new();
+        for new in 0..change.new_world {
+            if hosts[new] != own_host {
+                continue;
+            }
+            let prev = prevs[new];
+            if prev == u32::MAX {
+                continue; // fresh joiner: TCP-only until the next launch
+            }
+            let old = prev as usize;
+            if old == change.old_rank || shm.is_local(old) {
+                pairs.push((old, new));
+            }
+        }
+        shm.remap(change.new_world, change.generation, &pairs)?;
+        Ok(change)
+    }
+}
+
+/// Builds a tiered cluster inside this process: `hosts × ranks_per_host`
+/// ranks over real loopback TCP, with one [`ShmFabric`] per simulated
+/// host. Rank `r` lives on host `r / ranks_per_host`; endpoints return in
+/// rank order. The single-process analog of `dear-launch --hosts`.
+///
+/// # Errors
+///
+/// Returns the first [`NetError`] any rank hit during rendezvous or
+/// composition.
+///
+/// # Panics
+///
+/// Panics if a rendezvous thread panics.
+pub fn tiered_loopback(
+    hosts: usize,
+    ranks_per_host: usize,
+) -> Result<Vec<TieredEndpoint>, NetError> {
+    tiered_loopback_with(hosts, ranks_per_host, |cfg| cfg)
+}
+
+/// [`tiered_loopback`] with a configuration hook applied to every rank's
+/// [`NetConfig`] (after the host id is derived from the rank).
+///
+/// # Errors
+///
+/// Returns the first [`NetError`] any rank hit during rendezvous or
+/// composition.
+///
+/// # Panics
+///
+/// Panics if a rendezvous thread panics, or if `hosts == 0` or
+/// `ranks_per_host == 0`.
+pub fn tiered_loopback_with<F>(
+    hosts: usize,
+    ranks_per_host: usize,
+    tweak: F,
+) -> Result<Vec<TieredEndpoint>, NetError>
+where
+    F: Fn(NetConfig) -> NetConfig,
+{
+    assert!(hosts > 0 && ranks_per_host > 0, "empty tiered world");
+    let world = hosts * ranks_per_host;
+    let tcps = crate::loopback::tcp_loopback_with(world, |cfg| {
+        let host = cfg.rank.expect("loopback sets the rank") / ranks_per_host;
+        tweak(cfg.with_host_id(Some(host as u64)))
+    })?;
+    // One fabric per host, sized/configured like the TCP tier.
+    let shm_cfg = tweak(NetConfig::new(world, 0, "127.0.0.1:0"));
+    let mut fabrics: Vec<Vec<ShmEndpoint>> = (0..hosts)
+        .map(|h| {
+            let members: Vec<usize> = (h * ranks_per_host..(h + 1) * ranks_per_host).collect();
+            let mut eps = ShmFabric::with_config(&shm_cfg, &members);
+            eps.reverse(); // pop() below hands them out in rank order
+            eps
+        })
+        .collect();
+    tcps.into_iter()
+        .map(|tcp| {
+            let host = tcp.rank() / ranks_per_host;
+            let shm = if ranks_per_host > 1 {
+                Some(fabrics[host].pop().expect("one fabric slot per rank"))
+            } else {
+                None // a 1-rank host has no co-located peers
+            };
+            TieredEndpoint::compose(tcp, shm)
+        })
+        .collect()
+}
+
+/// Measures one link's α-β cost model with a ping-pong probe and fits it
+/// by least squares: for each probe size the pair exchanges a round trip
+/// `reps` times, takes the **minimum** half round trip (minimum, not
+/// mean: queueing noise only ever adds latency), and feeds the
+/// `(bytes, ns)` samples to [`CostModel::fit`].
+///
+/// Both ranks of the pair call this concurrently naming each other; the
+/// lower rank serves first (recv → send), the higher initiates
+/// (send → recv), so the call is symmetric and returns the same samples
+/// on both sides. Run it over a [`ShmEndpoint`] pair and a cross-host
+/// pair separately to get the per-tier models the online algorithm
+/// selector consumes.
+///
+/// # Errors
+///
+/// Propagates the first transport error; returns
+/// [`CollectiveError::InvalidRank`] for a self-probe.
+pub fn probe_alpha_beta<T: Transport + ?Sized>(
+    ep: &T,
+    peer: usize,
+    sizes_bytes: &[usize],
+    reps: usize,
+) -> Result<CostModel, CollectiveError> {
+    ep.check_peer(peer)?;
+    let initiator = ep.rank() > peer;
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(sizes_bytes.len());
+    for &bytes in sizes_bytes {
+        let elems = (bytes / 4).max(1);
+        let payload = vec![1.0f32; elems];
+        let mut best_ns = u64::MAX;
+        for _ in 0..reps {
+            if initiator {
+                let start = Instant::now();
+                ep.send(peer, payload.clone().into())?;
+                let echo = ep.recv(peer)?;
+                let rtt = start.elapsed();
+                drop(echo);
+                best_ns = best_ns.min((rtt.as_nanos() / 2) as u64);
+            } else {
+                let msg = ep.recv(peer)?;
+                ep.send(peer, msg)?;
+            }
+        }
+        if initiator {
+            samples.push((elems as u64 * 4, best_ns as f64));
+        } else {
+            // The server echoes timings it cannot take itself; recompute
+            // locally so both sides return a model. One extra round trip
+            // per size keeps the protocol symmetric without a side channel.
+            let start = Instant::now();
+            ep.send(peer, payload.clone().into())?;
+            let _ = ep.recv(peer)?;
+            samples.push((
+                elems as u64 * 4,
+                (start.elapsed().as_nanos() / 2) as u64 as f64,
+            ));
+        }
+        if !initiator {
+            continue;
+        }
+        // Mirror the server's extra round trip.
+        let msg = ep.recv(peer)?;
+        ep.send(peer, msg)?;
+    }
+    CostModel::fit(&samples).ok_or_else(|| CollectiveError::Reconfigure {
+        reason: "alpha-beta probe needs at least two distinct sizes".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_collectives::{ring_all_reduce, ReduceOp};
+    use std::time::Duration;
+
+    fn fast(cfg: NetConfig) -> NetConfig {
+        cfg.with_send_timeout(Duration::from_secs(5))
+            .with_recv_timeout(Some(Duration::from_secs(10)))
+    }
+
+    #[test]
+    fn tiered_routes_local_peers_over_shm() {
+        let eps = tiered_loopback_with(2, 2, fast).unwrap();
+        // Ranks 0,1 on host 0; ranks 2,3 on host 1.
+        assert!(eps[0].is_local(1));
+        assert!(!eps[0].is_local(2));
+        assert!(!eps[0].is_local(3));
+        assert!(!eps[0].is_local(0), "self is not a peer");
+        assert!(eps[3].is_local(2));
+        assert_eq!(eps[0].host_ids(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn tiered_all_reduce_matches_analytic_sum() {
+        let eps = tiered_loopback_with(2, 2, fast).unwrap();
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32 + 1.0; 64];
+                    ring_all_reduce(ep, &mut data, ReduceOp::Sum).unwrap();
+                    assert_eq!(data, vec![10.0; 64]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn one_rank_hosts_degrade_to_pure_tcp() {
+        let eps = tiered_loopback_with(3, 1, fast).unwrap();
+        for ep in &eps {
+            assert!(ep.shm().is_none());
+            for peer in 0..3 {
+                assert!(!ep.is_local(peer));
+            }
+        }
+        std::thread::scope(|s| {
+            for ep in &eps {
+                s.spawn(move || {
+                    let mut data = vec![ep.rank() as f32; 16];
+                    ring_all_reduce(ep, &mut data, ReduceOp::Sum).unwrap();
+                    assert_eq!(data, vec![3.0; 16]);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn compose_rejects_mismatched_tiers() {
+        let tcps = crate::loopback::tcp_loopback_with(2, fast).unwrap();
+        // An shm endpoint claiming a different rank than the TCP one.
+        let mut shm = ShmFabric::create(2);
+        let wrong = shm.remove(1); // rank 1 paired with tcp rank 0
+        let err =
+            TieredEndpoint::compose(tcps.into_iter().next().unwrap(), Some(wrong)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Config(ref m) if m.contains("tier mismatch")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn compose_rejects_shm_peers_the_rendezvous_disowns() {
+        // TCP says the two ranks are on different hosts, but the fabric
+        // claims both: composing must fail loudly, not misroute.
+        let tcps = crate::loopback::tcp_loopback_with(2, |cfg| {
+            let host = cfg.rank.expect("rank set");
+            fast(cfg.with_host_id(Some(host as u64)))
+        })
+        .unwrap();
+        let mut shm = ShmFabric::create(2);
+        let ep0 = shm.remove(0);
+        let err = TieredEndpoint::compose(tcps.into_iter().next().unwrap(), Some(ep0)).unwrap_err();
+        assert!(
+            matches!(err, NetError::Config(ref m) if m.contains("places it on host")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn alpha_beta_probe_fits_a_positive_model_per_tier() {
+        let eps = tiered_loopback_with(1, 2, fast).unwrap();
+        let sizes = [1usize << 10, 1 << 14, 1 << 17];
+        let models: Vec<CostModel> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .iter()
+                .map(|ep| {
+                    let peer = 1 - ep.rank();
+                    s.spawn(move || probe_alpha_beta(ep, peer, &sizes, 3).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for m in &models {
+            assert!(m.beta_ns_per_byte > 0.0, "fitted β must be positive: {m:?}");
+            assert!(m.p2p(1 << 20).as_nanos() > 0);
+        }
+    }
+}

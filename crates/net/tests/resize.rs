@@ -21,7 +21,7 @@ use dear_collectives::{
     tree_broadcast_seg, tree_reduce_seg, ClusterShape, LocalFabric, ReduceOp, SegmentConfig,
     Transport, WorldChange,
 };
-use dear_net::{tcp_loopback_with, NetConfig, TcpEndpoint};
+use dear_net::{tcp_loopback_with, tiered_loopback_with, NetConfig, TcpEndpoint};
 use proptest::prelude::*;
 
 /// Per-rank deterministic pseudo-random data (same scheme as the TCP
@@ -236,6 +236,73 @@ proptest! {
     ) {
         grow_case(world, d, max_segment_bytes, salt)?;
     }
+}
+
+/// Two-tier elastic resize: a 2-host × 2-rank tiered world (shm within a
+/// host, TCP between hosts) loses one co-located rank abruptly. The
+/// survivors span both tiers asymmetrically afterwards — the bereaved
+/// host keeps a 1-member fabric (all its traffic moves to TCP) while the
+/// intact host still routes intra-host over shm — and the resize must
+/// reconfigure both tiers in place: the TCP rendezvous adjudicates, its
+/// WELCOME tables drive the shm remap, and every algorithm then matches a
+/// fresh 3-rank world bit for bit.
+#[test]
+fn tiered_resize_survives_losing_a_co_located_rank() {
+    let seg = SegmentConfig::new(48);
+    let salt = 0xD_EA_11;
+    let d = 96;
+    let fresh = run_ranks(&LocalFabric::create(3), |ep| {
+        all_algorithms(ep, d, salt, seg)
+    });
+    // Hosts: {0, 1} on host 0, {2, 3} on host 1. Kill rank 1.
+    let mut eps = tiered_loopback_with(2, 2, resize_tweak).unwrap();
+    drop(eps.remove(1));
+    let changes: Vec<WorldChange> = std::thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .iter_mut()
+            .map(|ep| s.spawn(move || ep.reconfigure(None).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut dense: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    dense.sort_unstable();
+    assert_eq!(dense, vec![0, 1, 2]);
+    for (ep, c) in eps.iter().zip(&changes) {
+        assert_eq!(c.new_world, 3);
+        assert_eq!(ep.world_size(), 3);
+    }
+    // Tier routing after the resize: the intact host's pair still rides
+    // shm, the bereaved survivor reaches everyone over TCP only.
+    for (ep, c) in eps.iter().zip(&changes) {
+        let hosts = ep.host_ids();
+        for peer in 0..3 {
+            if peer == c.new_rank {
+                continue;
+            }
+            assert_eq!(
+                ep.is_local(peer),
+                hosts[peer] == hosts[c.new_rank],
+                "new rank {} → peer {peer}: tier routing disagrees with the host table",
+                c.new_rank
+            );
+        }
+    }
+    let bereaved = &eps[0]; // old rank 0, alone on host 0 now
+    assert_eq!(changes[0].old_rank, 0);
+    assert!(
+        (0..3).all(|p| !bereaved.is_local(p)),
+        "host 0 lost its pair"
+    );
+    let intact = &eps[1]; // old rank 2, still sharing host 1 with old rank 3
+    let partner = changes[2].new_rank;
+    assert!(
+        intact.is_local(partner),
+        "the intact host's pair must keep its shm tier"
+    );
+    // And the resized two-tier world still computes exactly.
+    let resized = run_ranks(&eps, |ep| all_algorithms(ep, d, salt, seg));
+    let new_ranks: Vec<usize> = changes.iter().map(|c| c.new_rank).collect();
+    assert_matches_fresh(&resized, &new_ranks, &fresh).unwrap();
 }
 
 const LAUNCH: &str = env!("CARGO_BIN_EXE_dear-launch");
