@@ -1,0 +1,353 @@
+//! CPU-bound microbench of the byte hot path: SIMD reduce/cast kernels vs
+//! the scalar reference, and single-syscall vectored framing vs the legacy
+//! copy-assembled two-step path.
+//!
+//! This bench gates the raw-speed pass: wins are measured here, not
+//! asserted. Read it next to `results/precision.txt` (end-to-end precision
+//! sweep), `results/tcp_loopback.txt` (25 MB ring all-reduce over TCP) and
+//! `results/shm_loopback.txt` (intra-node shm fabric) — those carry the
+//! macro numbers this micro pass feeds.
+//!
+//! Run: `cargo run --release -p dear-bench --bin hotpath`
+//! Output: `results/hotpath.txt`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use dear_collectives::simd;
+use dear_collectives::WireBuf;
+use dear_net::frame::{encode_data_body, read_frame, write_data_frame, write_frame, FrameKind};
+
+/// Kernel buffers: 1 MB of f32 (the acceptance-criterion size).
+const KERNEL_BYTES: usize = 1 << 20;
+const ELEMS: usize = KERNEL_BYTES / 4;
+/// Framing payload: 25 MB, matching the tcp_loopback macro bench.
+const FRAME_BYTES: usize = 25 << 20;
+const KERNEL_REPS: usize = 64;
+const FRAME_REPS: usize = 5;
+
+/// Deterministic pseudo-random finite f32s (no NaN/inf: keep the adds
+/// honest, bit-identity is the proptests' job, throughput is ours).
+fn fill(buf: &mut [f32], mut seed: u64) {
+    for v in buf.iter_mut() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mantissa = ((seed >> 40) & 0x7F_FFFF) as u32;
+        *v = f32::from_bits(0x3F80_0000 | mantissa) - 1.5; // [-0.5, 0.5)
+    }
+}
+
+/// Best-of-N wall time for `reps` back-to-back calls of `f`.
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up caches, page in buffers, settle the branch predictor.
+    for _ in 0..4 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..KERNEL_REPS {
+            f();
+        }
+        let dt = t.elapsed().as_secs_f64() / KERNEL_REPS as f64;
+        best = best.min(dt);
+    }
+    best
+}
+
+fn gibs(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / secs / (1u64 << 30) as f64
+}
+
+struct Row {
+    name: &'static str,
+    simd_s: f64,
+    scalar_s: f64,
+    bytes: usize,
+}
+
+fn main() {
+    let mut out = String::new();
+    writeln!(out, "# hotpath microbench").unwrap();
+    writeln!(
+        out,
+        "# produced by `cargo run --release -p dear-bench --bin hotpath`"
+    )
+    .unwrap();
+    writeln!(out, "# active kernel: {}", simd::active_kernel()).unwrap();
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# [kernels] 1 MB f32 buffers ({} elems), best-of-5 x {} reps",
+        ELEMS, KERNEL_REPS
+    )
+    .unwrap();
+
+    let mut src = vec![0.0f32; ELEMS];
+    let mut acc = vec![0.0f32; ELEMS];
+    fill(&mut src, 0x5EED);
+    fill(&mut acc, 0xACC0);
+    let acc0 = acc.clone();
+
+    let mut wire_f32 = vec![0u8; ELEMS * 4];
+    let mut wire_half = vec![0u8; ELEMS * 2];
+    let mut dec = vec![0.0f32; ELEMS];
+    simd::scalar::encode_bf16(&src, &mut wire_half);
+    let wire_bf16 = wire_half.clone();
+    simd::scalar::encode_f16(&src, &mut wire_half);
+    let wire_f16 = wire_half.clone();
+    simd::scalar::encode_f32(&src, &mut wire_f32);
+    let wire_f32_ref = wire_f32.clone();
+
+    let mut rows: Vec<Row> = Vec::new();
+    macro_rules! bench_pair {
+        ($name:literal, $bytes:expr, $simd:expr, $scalar:expr) => {{
+            let simd_s = time_best(|| $simd);
+            let scalar_s = time_best(|| $scalar);
+            rows.push(Row {
+                name: $name,
+                simd_s,
+                scalar_s,
+                bytes: $bytes,
+            });
+        }};
+    }
+
+    bench_pair!(
+        "sum_f32",
+        KERNEL_BYTES,
+        {
+            acc.copy_from_slice(&acc0);
+            simd::sum_f32(black_box(&mut acc), black_box(&src));
+        },
+        {
+            acc.copy_from_slice(&acc0);
+            simd::scalar::sum_f32(black_box(&mut acc), black_box(&src));
+        }
+    );
+    bench_pair!(
+        "sum_f32_bytes",
+        KERNEL_BYTES,
+        {
+            acc.copy_from_slice(&acc0);
+            simd::sum_f32_bytes(black_box(&mut acc), black_box(&wire_f32_ref));
+        },
+        {
+            acc.copy_from_slice(&acc0);
+            simd::scalar::sum_f32_bytes(black_box(&mut acc), black_box(&wire_f32_ref));
+        }
+    );
+    bench_pair!(
+        "sum_bf16",
+        KERNEL_BYTES,
+        {
+            acc.copy_from_slice(&acc0);
+            simd::sum_bf16(black_box(&mut acc), black_box(&wire_bf16));
+        },
+        {
+            acc.copy_from_slice(&acc0);
+            simd::scalar::sum_bf16(black_box(&mut acc), black_box(&wire_bf16));
+        }
+    );
+    bench_pair!(
+        "sum_f16",
+        KERNEL_BYTES,
+        {
+            acc.copy_from_slice(&acc0);
+            simd::sum_f16(black_box(&mut acc), black_box(&wire_f16));
+        },
+        {
+            acc.copy_from_slice(&acc0);
+            simd::scalar::sum_f16(black_box(&mut acc), black_box(&wire_f16));
+        }
+    );
+    bench_pair!(
+        "encode_bf16",
+        KERNEL_BYTES,
+        simd::encode_bf16(black_box(&src), black_box(&mut wire_half)),
+        simd::scalar::encode_bf16(black_box(&src), black_box(&mut wire_half))
+    );
+    bench_pair!(
+        "decode_bf16",
+        KERNEL_BYTES,
+        simd::decode_bf16(black_box(&wire_bf16), black_box(&mut dec)),
+        simd::scalar::decode_bf16(black_box(&wire_bf16), black_box(&mut dec))
+    );
+    bench_pair!(
+        "encode_f16",
+        KERNEL_BYTES,
+        simd::encode_f16(black_box(&src), black_box(&mut wire_half)),
+        simd::scalar::encode_f16(black_box(&src), black_box(&mut wire_half))
+    );
+    bench_pair!(
+        "decode_f16",
+        KERNEL_BYTES,
+        simd::decode_f16(black_box(&wire_f16), black_box(&mut dec)),
+        simd::scalar::decode_f16(black_box(&wire_f16), black_box(&mut dec))
+    );
+    {
+        let mut vals = src.clone();
+        let mut vals_ref = src.clone();
+        bench_pair!(
+            "encode_round_bf16",
+            KERNEL_BYTES,
+            {
+                vals.copy_from_slice(&src);
+                simd::encode_round_bf16(black_box(&mut vals), black_box(&mut wire_half));
+            },
+            {
+                vals_ref.copy_from_slice(&src);
+                simd::scalar::encode_round_bf16(
+                    black_box(&mut vals_ref),
+                    black_box(&mut wire_half),
+                );
+            }
+        );
+        bench_pair!(
+            "encode_round_f16",
+            KERNEL_BYTES,
+            {
+                vals.copy_from_slice(&src);
+                simd::encode_round_f16(black_box(&mut vals), black_box(&mut wire_half));
+            },
+            {
+                vals_ref.copy_from_slice(&src);
+                simd::scalar::encode_round_f16(black_box(&mut vals_ref), black_box(&mut wire_half));
+            }
+        );
+    }
+
+    writeln!(
+        out,
+        "# {:<18} {:>12} {:>12} {:>9}",
+        "kernel", "simd GiB/s", "scalar GiB/s", "speedup"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<20} {:>12.2} {:>12.2} {:>8.2}x",
+            r.name,
+            gibs(r.bytes, r.simd_s),
+            gibs(r.bytes, r.scalar_s),
+            r.scalar_s / r.simd_s
+        )
+        .unwrap();
+    }
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# note: sum_f32 / sum_f32_bytes / sum_bf16 / decode_bf16 are pure"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# shuffle-and-add and hit the cache-hierarchy bandwidth ceiling at"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# 1 MB — the auto-vectorized scalar loop already saturates it, so"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# parity is the hardware bound there; the compute-bound cast and"
+    )
+    .unwrap();
+    writeln!(out, "# widen kernels carry the SIMD win.").unwrap();
+
+    // ---- framing: vectored single-syscall vs legacy copy-assembled ----
+    writeln!(out, "#").unwrap();
+    writeln!(
+        out,
+        "# [framing] {} MiB data frame over TCP loopback round-trip, best of {}",
+        FRAME_BYTES >> 20,
+        FRAME_REPS
+    )
+    .unwrap();
+
+    let payload = WireBuf::from_f32(&vec![1.0f32; FRAME_BYTES / 4]);
+    let (legacy_s, vectored_s) = bench_framing(&payload);
+    writeln!(
+        out,
+        "{:<20} {:>9.2} ms {:>9.2} GiB/s",
+        "legacy two-step",
+        legacy_s * 1e3,
+        gibs(FRAME_BYTES, legacy_s)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>9.2} ms {:>9.2} GiB/s",
+        "vectored one-shot",
+        vectored_s * 1e3,
+        gibs(FRAME_BYTES, vectored_s)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<20} {:>8.1}%",
+        "improvement",
+        (legacy_s - vectored_s) / legacy_s * 100.0
+    )
+    .unwrap();
+
+    print!("{out}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/hotpath.txt", out).expect("write results/hotpath.txt");
+}
+
+/// Round-trip a 25 MB data frame through a loopback echo peer, once with
+/// the legacy encode-into-a-Vec-then-write_frame path (a full payload copy
+/// plus a separate header write inside write_frame's vectored call — the
+/// copy is the cost under test) and once with the zero-copy vectored
+/// `write_data_frame`. The wire bytes are identical either way; the echo
+/// peer acks each frame with a single byte after reading it in full.
+fn bench_framing(payload: &WireBuf) -> (f64, f64) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let total = 2 * FRAME_REPS + 2; // warmup pair + measured reps for each path
+    let echo = std::thread::spawn(move || {
+        let (mut peer, _) = listener.accept().expect("accept");
+        let mut body = Vec::new();
+        for _ in 0..total {
+            let kind = read_frame(&mut peer, &mut body).expect("read frame");
+            assert_eq!(kind, FrameKind::Data);
+            peer.write_all(&[0xA5]).expect("ack");
+        }
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect loopback");
+    stream.set_nodelay(true).ok();
+    let legacy = |stream: &mut TcpStream| {
+        let mut body = Vec::new();
+        encode_data_body(7, payload, &mut body);
+        write_frame(stream, FrameKind::Data, &body).expect("legacy write");
+        stream.read_exact(&mut [0u8; 1]).expect("legacy ack");
+    };
+    let vectored = |stream: &mut TcpStream| {
+        write_data_frame(stream, 7, payload).expect("vectored write");
+        stream.read_exact(&mut [0u8; 1]).expect("vectored ack");
+    };
+
+    // One warmup round-trip per path pages everything in.
+    legacy(&mut stream);
+    vectored(&mut stream);
+
+    let mut legacy_best = f64::INFINITY;
+    let mut vectored_best = f64::INFINITY;
+    for _ in 0..FRAME_REPS {
+        let t = Instant::now();
+        legacy(&mut stream);
+        legacy_best = legacy_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        vectored(&mut stream);
+        vectored_best = vectored_best.min(t.elapsed().as_secs_f64());
+    }
+    echo.join().expect("echo thread");
+    (legacy_best, vectored_best)
+}

@@ -136,6 +136,42 @@ impl CostModel {
         Some(CostModel::new(alpha, beta, 0.0))
     }
 
+    /// Like [`CostModel::fit`], but **rejects degenerate fits** instead of
+    /// clamping them: a raw slope or intercept below zero means noise
+    /// dominated the measurement (e.g. the large probe finished *faster*
+    /// than the small one), and a clamped-to-zero α or β would poison any
+    /// downstream cost comparison — a zero β claims infinite bandwidth, a
+    /// zero α claims free messages. Also rejects non-finite fits (a `NaN`
+    /// timing sample propagates into α/β).
+    ///
+    /// Returns `None` for under-determined inputs (as [`CostModel::fit`])
+    /// **and** for degenerate ones; callers fall back to a preset.
+    #[must_use]
+    pub fn fit_checked(samples: &[(u64, f64)]) -> Option<CostModel> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean_x = samples.iter().map(|&(b, _)| b as f64).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|&(_, t)| t).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(b, t) in samples {
+            let dx = b as f64 - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (t - mean_y);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let beta = sxy / sxx;
+        let alpha = mean_y - beta * mean_x;
+        if beta.is_nan() || beta <= 0.0 || alpha.is_nan() || alpha < 0.0 {
+            return None; // degenerate or non-finite: noise won
+        }
+        Some(CostModel::new(alpha, beta, 0.0))
+    }
+
     /// Link bandwidth implied by β, in bytes per second.
     #[must_use]
     pub fn bandwidth_bytes_per_sec(&self) -> f64 {
@@ -639,6 +675,37 @@ mod tests {
         // Noise can't push parameters negative.
         let noisy = CostModel::fit(&[(0, 100.0), (1_000, 50.0)]).unwrap();
         assert!(noisy.beta_ns_per_byte >= 0.0 && noisy.alpha_ns >= 0.0);
+    }
+
+    #[test]
+    fn fit_checked_rejects_what_clamping_would_poison() {
+        // Clean samples: fit_checked agrees with fit.
+        let truth = CostModel::new(2_000.0, 0.1, 0.0);
+        let samples: Vec<(u64, f64)> = [1_000u64, 64_000, 1 << 20]
+            .iter()
+            .map(|&b| (b, truth.alpha_ns + b as f64 * truth.beta_ns_per_byte))
+            .collect();
+        let checked = CostModel::fit_checked(&samples).unwrap();
+        assert!((checked.alpha_ns - truth.alpha_ns).abs() < 1.0);
+        assert!((checked.beta_ns_per_byte - truth.beta_ns_per_byte).abs() < 1e-6);
+        // Decreasing times (the big probe beat the small one): fit clamps
+        // β to zero — an infinite-bandwidth claim — but fit_checked
+        // refuses the fit outright.
+        let decreasing = [(0u64, 100.0), (1_000, 50.0)];
+        assert_eq!(CostModel::fit(&decreasing).unwrap().beta_ns_per_byte, 0.0);
+        assert!(CostModel::fit_checked(&decreasing).is_none());
+        // A steep slope through a high-offset cluster fits a negative
+        // intercept (free messages after clamping): also refused.
+        let neg_intercept = [(100u64, 10.0), (200, 1_000.0)];
+        assert_eq!(CostModel::fit(&neg_intercept).unwrap().alpha_ns, 0.0);
+        assert!(CostModel::fit_checked(&neg_intercept).is_none());
+        // Constant samples (slope unidentifiable, β would be exactly 0).
+        assert!(CostModel::fit_checked(&[(8, 1.0), (16, 1.0)]).is_none());
+        // A NaN timing sample must not launder into a "valid" model.
+        assert!(CostModel::fit_checked(&[(8, f64::NAN), (16, 2.0)]).is_none());
+        // Under-determined inputs behave like fit.
+        assert!(CostModel::fit_checked(&samples[..1]).is_none());
+        assert!(CostModel::fit_checked(&[(8, 1.0), (8, 2.0)]).is_none());
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod reduce;
 mod rhd;
 mod ring;
 mod segment;
+pub mod simd;
 mod topology;
 mod transport;
 mod tree;

@@ -1,5 +1,8 @@
 //! Element-wise reduction operators.
 
+use crate::error::CollectiveError;
+use crate::simd;
+
 use serde::{Deserialize, Serialize};
 
 /// The reduction applied element-wise by reducing collectives.
@@ -30,28 +33,32 @@ impl ReduceOp {
 
     /// Accumulates `src` into `dst` element-wise: `dst[i] = op(dst[i], src[i])`.
     ///
-    /// # Panics
+    /// Runs on the comm thread with peer-supplied sizes, so a mismatch is a
+    /// typed error, never a panic — a panic here would abort the comm
+    /// thread and defeat the non-panicking elastic recovery path.
     ///
-    /// Panics if the slices have different lengths.
-    pub fn accumulate(self, dst: &mut [f32], src: &[f32]) {
-        assert_eq!(
-            dst.len(),
-            src.len(),
-            "accumulate requires equal-length slices"
-        );
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::SizeMismatch`] if the slices have
+    /// different lengths.
+    pub fn accumulate(self, dst: &mut [f32], src: &[f32]) -> Result<(), CollectiveError> {
+        if dst.len() != src.len() {
+            return Err(CollectiveError::SizeMismatch {
+                expected: dst.len(),
+                actual: src.len(),
+            });
+        }
         match self {
-            // The common case is unrolled for clarity; all arms are simple loops.
-            ReduceOp::Sum => {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
-            }
+            // The gradient-aggregation op takes the SIMD kernel; the rare
+            // ops stay as simple scalar loops.
+            ReduceOp::Sum => simd::sum_f32(dst, src),
             _ => {
                 for (d, s) in dst.iter_mut().zip(src) {
                     *d = self.combine(*d, *s);
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -62,7 +69,7 @@ mod tests {
     #[test]
     fn sum_accumulates() {
         let mut a = vec![1.0, 2.0];
-        ReduceOp::Sum.accumulate(&mut a, &[10.0, 20.0]);
+        ReduceOp::Sum.accumulate(&mut a, &[10.0, 20.0]).unwrap();
         assert_eq!(a, vec![11.0, 22.0]);
     }
 
@@ -72,7 +79,7 @@ mod tests {
         assert_eq!(ReduceOp::Min.combine(1.0, 2.0), 1.0);
         assert_eq!(ReduceOp::Prod.combine(3.0, 4.0), 12.0);
         let mut a = vec![2.0, -1.0];
-        ReduceOp::Max.accumulate(&mut a, &[1.0, 5.0]);
+        ReduceOp::Max.accumulate(&mut a, &[1.0, 5.0]).unwrap();
         assert_eq!(a, vec![2.0, 5.0]);
     }
 
@@ -82,8 +89,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal-length")]
-    fn accumulate_length_mismatch_panics() {
-        ReduceOp::Sum.accumulate(&mut [0.0], &[1.0, 2.0]);
+    fn accumulate_length_mismatch_is_a_typed_error_not_a_panic() {
+        // A panic here would abort the comm thread; peer-supplied sizes
+        // must surface as a typed error the recovery path can handle.
+        let err = ReduceOp::Sum
+            .accumulate(&mut [0.0], &[1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CollectiveError::SizeMismatch {
+                expected: 1,
+                actual: 2
+            }
+        ));
     }
 }

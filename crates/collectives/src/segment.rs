@@ -194,7 +194,7 @@ pub fn recv_segmented_reduce<T: Transport>(
             });
         }
         let payload = incoming.into_payload();
-        payload.accumulate_into(&mut dst[r], op);
+        payload.accumulate_into(&mut dst[r], op)?;
         t.recycle_buffer(payload.into_bytes());
     }
     Ok(())
@@ -223,7 +223,7 @@ pub fn recv_segmented_copy<T: Transport>(
             });
         }
         let payload = incoming.into_payload();
-        payload.decode_into(&mut dst[r]);
+        payload.decode_into(&mut dst[r])?;
         t.recycle_buffer(payload.into_bytes());
     }
     Ok(())

@@ -16,6 +16,7 @@
 
 use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
+use crate::simd;
 
 use serde::{Deserialize, Serialize};
 
@@ -218,6 +219,16 @@ pub fn round_to_wire(data: &mut [f32], wire: DType) {
     }
 }
 
+/// A typed error for a payload that cannot be interpreted as `f32`
+/// elements — an opaque [`DType::U8`] buffer arriving where a numeric one
+/// was expected. Peer-supplied, so it must never panic the comm thread.
+fn opaque_payload_error(bytes: usize) -> CollectiveError {
+    CollectiveError::WireFormat {
+        dtype: DType::U8.name(),
+        bytes,
+    }
+}
+
 /// A dtype-tagged, little-endian byte payload — the unit that travels over
 /// every [`crate::Transport`].
 ///
@@ -277,21 +288,9 @@ impl WireBuf {
         bytes.clear();
         bytes.resize(src.len() * dtype.size_bytes(), 0);
         match dtype {
-            DType::F32 => {
-                for (c, &x) in bytes.chunks_exact_mut(4).zip(src) {
-                    c.copy_from_slice(&x.to_le_bytes());
-                }
-            }
-            DType::Bf16 => {
-                for (c, &x) in bytes.chunks_exact_mut(2).zip(src) {
-                    c.copy_from_slice(&f32_to_bf16(x).to_le_bytes());
-                }
-            }
-            DType::F16 => {
-                for (c, &x) in bytes.chunks_exact_mut(2).zip(src) {
-                    c.copy_from_slice(&f32_to_f16(x).to_le_bytes());
-                }
-            }
+            DType::F32 => simd::encode_f32(src, &mut bytes),
+            DType::Bf16 => simd::encode_bf16(src, &mut bytes),
+            DType::F16 => simd::encode_f16(src, &mut bytes),
             DType::U8 => panic!("U8 is an opaque container; use WireBuf::from_raw"),
         }
         WireBuf {
@@ -315,25 +314,9 @@ impl WireBuf {
         bytes.clear();
         bytes.resize(src.len() * dtype.size_bytes(), 0);
         match dtype {
-            DType::F32 => {
-                for (c, &mut x) in bytes.chunks_exact_mut(4).zip(src.iter_mut()) {
-                    c.copy_from_slice(&x.to_le_bytes());
-                }
-            }
-            DType::Bf16 => {
-                for (c, x) in bytes.chunks_exact_mut(2).zip(src.iter_mut()) {
-                    let n = f32_to_bf16(*x);
-                    c.copy_from_slice(&n.to_le_bytes());
-                    *x = bf16_to_f32(n);
-                }
-            }
-            DType::F16 => {
-                for (c, x) in bytes.chunks_exact_mut(2).zip(src.iter_mut()) {
-                    let n = f32_to_f16(*x);
-                    c.copy_from_slice(&n.to_le_bytes());
-                    *x = f16_to_f32(n);
-                }
-            }
+            DType::F32 => simd::encode_f32(src, &mut bytes),
+            DType::Bf16 => simd::encode_round_bf16(src, &mut bytes),
+            DType::F16 => simd::encode_round_f16(src, &mut bytes),
             DType::U8 => panic!("U8 is an opaque container; use WireBuf::from_raw"),
         }
         WireBuf {
@@ -404,81 +387,86 @@ impl WireBuf {
     /// Decodes (widening if narrow) into `dst` — the receive-side cast.
     /// Exact for every dtype: bf16/f16 → f32 widening never rounds.
     ///
-    /// # Panics
+    /// Both failure modes are peer-triggerable on the comm thread (the
+    /// payload arrived off the wire), so they are typed errors, not panics.
     ///
-    /// Panics if `dst.len() != len_elems` or the payload is opaque
-    /// ([`DType::U8`]).
-    pub fn decode_into(&self, dst: &mut [f32]) {
-        assert_eq!(
-            dst.len(),
-            self.len_elems,
-            "decode requires an exactly-sized destination"
-        );
-        match self.dtype {
-            DType::F32 => {
-                for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(4)) {
-                    *d = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-                }
-            }
-            DType::Bf16 => {
-                for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(2)) {
-                    *d = bf16_to_f32(u16::from_le_bytes([c[0], c[1]]));
-                }
-            }
-            DType::F16 => {
-                for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(2)) {
-                    *d = f16_to_f32(u16::from_le_bytes([c[0], c[1]]));
-                }
-            }
-            DType::U8 => panic!("opaque U8 payload cannot be decoded as f32"),
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError::SizeMismatch`] if
+    /// `dst.len() != len_elems`, and [`CollectiveError::WireFormat`] for an
+    /// opaque ([`DType::U8`]) payload.
+    pub fn decode_into(&self, dst: &mut [f32]) -> Result<(), CollectiveError> {
+        if dst.len() != self.len_elems {
+            return Err(CollectiveError::SizeMismatch {
+                expected: dst.len(),
+                actual: self.len_elems,
+            });
         }
+        match self.dtype {
+            DType::F32 => simd::decode_f32(&self.bytes, dst),
+            DType::Bf16 => simd::decode_bf16(&self.bytes, dst),
+            DType::F16 => simd::decode_f16(&self.bytes, dst),
+            DType::U8 => return Err(opaque_payload_error(self.bytes.len())),
+        }
+        Ok(())
     }
 
     /// Decodes to a fresh vector.
     ///
     /// # Panics
     ///
-    /// Panics for opaque ([`DType::U8`]) payloads.
+    /// Panics for opaque ([`DType::U8`]) payloads — a convenience for
+    /// tests and local (not peer-facing) callers; the comm thread uses
+    /// [`WireBuf::decode_into`], which returns a typed error instead.
     #[must_use]
     pub fn to_f32_vec(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len_elems];
-        self.decode_into(&mut out);
+        self.decode_into(&mut out)
+            .expect("opaque U8 payload cannot be decoded as f32");
         out
     }
 
     /// Accumulates this payload into `dst` with `op`, widening each element
     /// to `f32` **before** combining — the accumulate-in-f32 rule. One pass,
     /// no intermediate allocation; the running sums in `dst` stay full
-    /// precision at every hop.
+    /// precision at every hop. [`ReduceOp::Sum`] takes the fused SIMD
+    /// widen-accumulate kernels; the rare ops widen element-wise.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dst.len() != len_elems` or the payload is opaque
-    /// ([`DType::U8`]).
-    pub fn accumulate_into(&self, dst: &mut [f32], op: ReduceOp) {
-        assert_eq!(
-            dst.len(),
-            self.len_elems,
-            "accumulate requires an exactly-sized destination"
-        );
-        match self.dtype {
-            DType::F32 => {
+    /// Returns [`CollectiveError::SizeMismatch`] if
+    /// `dst.len() != len_elems`, and [`CollectiveError::WireFormat`] for an
+    /// opaque ([`DType::U8`]) payload — both are peer-triggerable and must
+    /// never panic the comm thread.
+    pub fn accumulate_into(&self, dst: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError> {
+        if dst.len() != self.len_elems {
+            return Err(CollectiveError::SizeMismatch {
+                expected: dst.len(),
+                actual: self.len_elems,
+            });
+        }
+        match (self.dtype, op) {
+            (DType::F32, ReduceOp::Sum) => simd::sum_f32_bytes(dst, &self.bytes),
+            (DType::Bf16, ReduceOp::Sum) => simd::sum_bf16(dst, &self.bytes),
+            (DType::F16, ReduceOp::Sum) => simd::sum_f16(dst, &self.bytes),
+            (DType::F32, _) => {
                 for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(4)) {
                     *d = op.combine(*d, f32::from_le_bytes([c[0], c[1], c[2], c[3]]));
                 }
             }
-            DType::Bf16 => {
+            (DType::Bf16, _) => {
                 for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(2)) {
                     *d = op.combine(*d, bf16_to_f32(u16::from_le_bytes([c[0], c[1]])));
                 }
             }
-            DType::F16 => {
+            (DType::F16, _) => {
                 for (d, c) in dst.iter_mut().zip(self.bytes.chunks_exact(2)) {
                     *d = op.combine(*d, f16_to_f32(u16::from_le_bytes([c[0], c[1]])));
                 }
             }
-            DType::U8 => panic!("opaque U8 payload cannot be accumulated as f32"),
+            (DType::U8, _) => return Err(opaque_payload_error(self.bytes.len())),
         }
+        Ok(())
     }
 }
 
@@ -630,15 +618,51 @@ mod tests {
         // though the wire was 16-bit.
         let mut dst = vec![1.0e-4f32; 4];
         let wb = WireBuf::encode(&[1.0, 2.0, 3.0, 4.0], DType::Bf16);
-        wb.accumulate_into(&mut dst, ReduceOp::Sum);
+        wb.accumulate_into(&mut dst, ReduceOp::Sum).unwrap();
         for (i, d) in dst.iter().enumerate() {
             let expect = 1.0e-4 + (i as f32 + 1.0);
             assert_eq!(*d, expect, "exact: both addends are representable");
         }
         // Max combines through the widened value too.
         let mut dst = vec![2.5f32, 0.0];
-        WireBuf::encode(&[1.0, 7.0], DType::F16).accumulate_into(&mut dst, ReduceOp::Max);
+        WireBuf::encode(&[1.0, 7.0], DType::F16)
+            .accumulate_into(&mut dst, ReduceOp::Max)
+            .unwrap();
         assert_eq!(dst, vec![2.5, 7.0]);
+    }
+
+    #[test]
+    fn mis_sized_and_opaque_payloads_are_typed_errors_not_panics() {
+        // Both arrive off the wire, so they must surface as errors the
+        // comm thread can turn into a failed collective.
+        let wb = WireBuf::from_f32(&[1.0, 2.0]);
+        let mut short = vec![0.0f32; 1];
+        assert!(matches!(
+            wb.decode_into(&mut short),
+            Err(CollectiveError::SizeMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            wb.accumulate_into(&mut short, ReduceOp::Sum),
+            Err(CollectiveError::SizeMismatch { .. })
+        ));
+        // A U8 payload whose element count happens to match still cannot
+        // be interpreted numerically.
+        let opaque = WireBuf::from_raw(DType::U8, vec![7, 8, 9]).unwrap();
+        let mut dst = vec![0.0f32; 3];
+        assert!(matches!(
+            opaque.decode_into(&mut dst),
+            Err(CollectiveError::WireFormat {
+                dtype: "u8",
+                bytes: 3
+            })
+        ));
+        assert!(matches!(
+            opaque.accumulate_into(&mut dst, ReduceOp::Sum),
+            Err(CollectiveError::WireFormat { .. })
+        ));
     }
 
     #[test]
@@ -678,10 +702,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "opaque")]
-    fn u8_decode_is_rejected() {
+    fn u8_to_f32_vec_is_rejected() {
         let wb = WireBuf::from_raw(DType::U8, vec![1, 2]).unwrap();
-        let mut dst = vec![0.0; 2];
-        wb.decode_into(&mut dst);
+        let _ = wb.to_f32_vec();
     }
 
     #[test]

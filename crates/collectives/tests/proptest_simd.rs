@@ -1,0 +1,196 @@
+//! Property tests pinning the dispatched SIMD kernels to the scalar
+//! reference **bit for bit** across the full f32 bit space: arbitrary NaN
+//! payloads (quiet and signalling), denormals, ±inf, RNE tie patterns, and
+//! both aligned and misaligned/odd-length slices.
+//!
+//! Bit-identity contract: every encode/round/decode kernel must match the
+//! scalar reference exactly. The accumulate kernels match exactly too,
+//! except where **both** addends are NaN — x86 returns the first operand's
+//! NaN quieted but LLVM may commute a scalar `fadd`, so the scalar
+//! reference's own payload bits are unspecified there; both sides must
+//! still be NaN (see the carve-out note in `dear_collectives::simd`).
+
+use dear_collectives::simd;
+use proptest::prelude::*;
+
+/// Arbitrary f32 values over the whole bit space — any u32 is a valid f32
+/// bit pattern, so NaNs (all payloads), denormals, and infinities all
+/// appear with real probability.
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// A vector biased toward interesting structure: raw bit-space values
+/// mixed with RNE tie patterns and small normals that exercise the cast
+/// kernels' rounding and subnormal paths.
+fn wire_vector() -> impl Strategy<Value = Vec<f32>> {
+    let edge = prop_oneof![
+        any_f32_bits(),
+        // bf16 / f16 RNE ties: mantissas ending exactly halfway.
+        any::<u32>().prop_map(|x| f32::from_bits((x & 0xFFFF_0000) | 0x8000)),
+        any::<u32>().prop_map(|x| f32::from_bits((x & 0xFFFF_E000) | 0x1000)),
+        // f16 subnormal range magnitudes.
+        (-24i32..-14).prop_map(|e| (e as f32).exp2()),
+        Just(0.0f32),
+        Just(-0.0f32),
+    ];
+    prop::collection::vec(edge, 0..70)
+}
+
+/// Strict per-lane bit equality.
+fn assert_bits(tag: &str, got: &[f32], want: &[f32]) -> Result<(), String> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{} diverged at {}: {:#010x} vs {:#010x}",
+            tag,
+            i,
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+    Ok(())
+}
+
+/// Bit equality with the NaN⊕NaN carve-out, for accumulate results.
+fn assert_sum_bits(tag: &str, got: &[f32], want: &[f32]) -> Result<(), String> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let same = g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan());
+        prop_assert!(
+            same,
+            "{} diverged at {}: {:#010x} vs {:#010x}",
+            tag,
+            i,
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn accumulate_kernels_match_scalar(
+        data in wire_vector(),
+        acc in wire_vector(),
+        offset in 0usize..4,
+    ) {
+        // Misalign deliberately: an offset into the vector shifts which
+        // lanes land in the vector body vs the scalar tail.
+        let base = data.len().min(acc.len());
+        let offset = offset.min(base);
+        let n = base - offset;
+        let src = &data[offset..offset + n];
+        let mut dst_simd = acc[offset..offset + n].to_vec();
+        let mut dst_ref = dst_simd.clone();
+        simd::sum_f32(&mut dst_simd, src);
+        simd::scalar::sum_f32(&mut dst_ref, src);
+        assert_sum_bits("sum_f32", &dst_simd, &dst_ref)?;
+
+        // Widening accumulates from wire bytes, one per wire dtype.
+        let mut f32_bytes = vec![0u8; n * 4];
+        simd::scalar::encode_f32(src, &mut f32_bytes);
+        let mut dst_simd = acc[offset..offset + n].to_vec();
+        let mut dst_ref = dst_simd.clone();
+        simd::sum_f32_bytes(&mut dst_simd, &f32_bytes);
+        simd::scalar::sum_f32_bytes(&mut dst_ref, &f32_bytes);
+        assert_sum_bits("sum_f32_bytes", &dst_simd, &dst_ref)?;
+
+        let mut bf16_bytes = vec![0u8; n * 2];
+        simd::scalar::encode_bf16(src, &mut bf16_bytes);
+        let mut dst_simd = acc[offset..offset + n].to_vec();
+        let mut dst_ref = dst_simd.clone();
+        simd::sum_bf16(&mut dst_simd, &bf16_bytes);
+        simd::scalar::sum_bf16(&mut dst_ref, &bf16_bytes);
+        assert_sum_bits("sum_bf16", &dst_simd, &dst_ref)?;
+
+        let mut f16_bytes = vec![0u8; n * 2];
+        simd::scalar::encode_f16(src, &mut f16_bytes);
+        let mut dst_simd = acc[offset..offset + n].to_vec();
+        let mut dst_ref = dst_simd.clone();
+        simd::sum_f16(&mut dst_simd, &f16_bytes);
+        simd::scalar::sum_f16(&mut dst_ref, &f16_bytes);
+        assert_sum_bits("sum_f16", &dst_simd, &dst_ref)?;
+    }
+
+    #[test]
+    fn cast_kernels_are_bit_identical_to_scalar(
+        data in wire_vector(),
+        offset in 0usize..4,
+    ) {
+        let offset = offset.min(data.len());
+        let n = data.len() - offset;
+        let src = &data[offset..offset + n];
+
+        // f32 passthrough encode/decode.
+        let mut enc_simd = vec![0u8; n * 4];
+        let mut enc_ref = vec![0u8; n * 4];
+        simd::encode_f32(src, &mut enc_simd);
+        simd::scalar::encode_f32(src, &mut enc_ref);
+        prop_assert_eq!(&enc_simd, &enc_ref, "encode_f32 bytes diverged");
+        let mut dec_simd = vec![0.0f32; n];
+        let mut dec_ref = vec![0.0f32; n];
+        simd::decode_f32(&enc_simd, &mut dec_simd);
+        simd::scalar::decode_f32(&enc_ref, &mut dec_ref);
+        assert_bits("decode_f32", &dec_simd, &dec_ref)?;
+
+        // bf16: narrow (RNE + NaN quieting), widen.
+        let mut enc_simd = vec![0u8; n * 2];
+        let mut enc_ref = vec![0u8; n * 2];
+        simd::encode_bf16(src, &mut enc_simd);
+        simd::scalar::encode_bf16(src, &mut enc_ref);
+        prop_assert_eq!(&enc_simd, &enc_ref, "encode_bf16 bytes diverged");
+        let mut dec_simd = vec![0.0f32; n];
+        let mut dec_ref = vec![0.0f32; n];
+        simd::decode_bf16(&enc_simd, &mut dec_simd);
+        simd::scalar::decode_bf16(&enc_ref, &mut dec_ref);
+        assert_bits("decode_bf16", &dec_simd, &dec_ref)?;
+
+        // f16: normals, subnormals, overflow-to-inf, NaN remap.
+        let mut enc_simd = vec![0u8; n * 2];
+        let mut enc_ref = vec![0u8; n * 2];
+        simd::encode_f16(src, &mut enc_simd);
+        simd::scalar::encode_f16(src, &mut enc_ref);
+        prop_assert_eq!(&enc_simd, &enc_ref, "encode_f16 bytes diverged");
+        let mut dec_simd = vec![0.0f32; n];
+        let mut dec_ref = vec![0.0f32; n];
+        simd::decode_f16(&enc_simd, &mut dec_simd);
+        simd::scalar::decode_f16(&enc_ref, &mut dec_ref);
+        assert_bits("decode_f16", &dec_simd, &dec_ref)?;
+    }
+
+    #[test]
+    fn fused_round_kernels_are_bit_identical_to_scalar(
+        data in wire_vector(),
+        offset in 0usize..4,
+    ) {
+        // encode_round_* writes the wire bytes AND rounds the in-memory
+        // copy in one pass; both outputs must match scalar exactly.
+        let offset = offset.min(data.len());
+        let n = data.len() - offset;
+        let src = &data[offset..offset + n];
+        for narrow in ["bf16", "f16"] {
+            let mut vals_simd = src.to_vec();
+            let mut vals_ref = src.to_vec();
+            let mut enc_simd = vec![0u8; n * 2];
+            let mut enc_ref = vec![0u8; n * 2];
+            match narrow {
+                "bf16" => {
+                    simd::encode_round_bf16(&mut vals_simd, &mut enc_simd);
+                    simd::scalar::encode_round_bf16(&mut vals_ref, &mut enc_ref);
+                }
+                _ => {
+                    simd::encode_round_f16(&mut vals_simd, &mut enc_simd);
+                    simd::scalar::encode_round_f16(&mut vals_ref, &mut enc_ref);
+                }
+            }
+            prop_assert_eq!(&enc_simd, &enc_ref, "encode_round_{} bytes diverged", narrow);
+            assert_bits(narrow, &vals_simd, &vals_ref)?;
+        }
+    }
+}

@@ -46,6 +46,9 @@ options:
   --wire DTYPE         data-path wire precision: f32 (default), bf16 or
                        f16 (sets DEAR_WIRE_DTYPE; gradients cross the
                        socket at the narrow width, accumulated in f32)
+  --pin-comm CORE      pin every rank's comm threads (TCP reader/writer)
+                       to CPU core CORE (sets DEAR_PIN_COMM; best effort,
+                       silently unpinned where the OS refuses)
 
 elastic options (any of these selects the supervised-restart path):
   --elastic-resize     survive peer loss by resizing in place: rank
@@ -158,6 +161,11 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                     _ => return Err(format!("bad --wire {v} (want f32, bf16 or f16)")),
                 }
                 opts.env.push(("DEAR_WIRE_DTYPE".to_string(), v));
+            }
+            "--pin-comm" => {
+                let v = take_value(&args, &mut i, "--pin-comm")?;
+                let _: usize = v.parse().map_err(|_| format!("bad --pin-comm {v}"))?;
+                opts.env.push(("DEAR_PIN_COMM".to_string(), v));
             }
             "--ckpt-dir" => {
                 let v = take_value(&args, &mut i, "--ckpt-dir")?;

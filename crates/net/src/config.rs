@@ -121,6 +121,17 @@ pub struct NetConfig {
     /// on the wire), which degrades gracefully to all-TCP.
     /// Env: `DEAR_HOST_ID`.
     pub host_id: Option<u64>,
+    /// CPU core the per-peer comm threads (readers and writers) are pinned
+    /// to, or `None` for no pinning. On a dedicated comm core this keeps
+    /// the byte hot path's cache state warm across frames; best-effort —
+    /// an impossible core is ignored, not an error.
+    /// Env: `DEAR_PIN_COMM`; CLI: `--pin-comm CORE`.
+    pub pin_comm: Option<usize>,
+    /// Largest per-buffer capacity the endpoint buffer pools retain
+    /// (bytes, min 1); recycled buffers above it are shrunk on return so
+    /// one outsized collective cannot pin high-water memory for the run.
+    /// Env: `DEAR_POOL_MAX_BUF`.
+    pub pool_max_buf_bytes: usize,
     /// Demo-worker knobs (checkpoints, failure injection, tuning windows).
     pub demo: DemoOptions,
 }
@@ -166,6 +177,8 @@ impl NetConfig {
             resize_window: Duration::from_secs(2),
             elastic_resize: false,
             host_id: None,
+            pin_comm: None,
+            pool_max_buf_bytes: crate::endpoint::POOL_MAX_BUF_BYTES,
             demo: DemoOptions::default(),
         }
     }
@@ -262,6 +275,21 @@ impl NetConfig {
         self
     }
 
+    /// Pins the per-peer comm threads to `core` (`None` = no pinning).
+    #[must_use]
+    pub fn with_pin_comm(mut self, core: Option<usize>) -> Self {
+        self.pin_comm = core;
+        self
+    }
+
+    /// Sets the largest per-buffer capacity the buffer pools retain
+    /// (min 1 byte).
+    #[must_use]
+    pub fn with_pool_max_buf_bytes(mut self, bytes: usize) -> Self {
+        self.pool_max_buf_bytes = bytes.max(1);
+        self
+    }
+
     /// Replaces the demo-worker options.
     #[must_use]
     pub fn with_demo(mut self, demo: DemoOptions) -> Self {
@@ -284,7 +312,10 @@ impl NetConfig {
     /// rendezvous), `DEAR_ELASTIC_RESIZE` (`1` to survive peer loss by
     /// shrinking the world in place instead of restarting), and
     /// `DEAR_HOST_ID` (this rank's physical-host identity, for the
-    /// shared-memory tier; unset = every rank on its own pseudo-host).
+    /// shared-memory tier; unset = every rank on its own pseudo-host),
+    /// `DEAR_PIN_COMM` (CPU core to pin the comm threads to; unset = no
+    /// pinning), and `DEAR_POOL_MAX_BUF` (largest per-buffer capacity the
+    /// buffer pools retain, in bytes).
     /// Demo-worker knobs (see [`DemoOptions`]): `DEAR_DEMO_EXIT_RANK`,
     /// `DEAR_DEMO_EXIT_AT_STEP`, `DEAR_DEMO_EXIT_GEN`, `DEAR_CKPT_DIR`,
     /// `DEAR_CKPT_EVERY`, `DEAR_TUNE_WINDOW`.
@@ -348,6 +379,12 @@ impl NetConfig {
         }
         if let Ok(h) = std::env::var("DEAR_HOST_ID") {
             cfg.host_id = Some(parse("DEAR_HOST_ID", &h)?);
+        }
+        if let Ok(c) = std::env::var("DEAR_PIN_COMM") {
+            cfg.pin_comm = Some(parse("DEAR_PIN_COMM", &c)?);
+        }
+        if let Ok(b) = std::env::var("DEAR_POOL_MAX_BUF") {
+            cfg.pool_max_buf_bytes = parse::<usize>("DEAR_POOL_MAX_BUF", &b)?.max(1);
         }
         if let Ok(name) = std::env::var("DEAR_WIRE_DTYPE") {
             let wire = DType::parse(&name).ok_or_else(|| {
@@ -458,6 +495,8 @@ mod tests {
         assert_eq!(cfg.resize_window, Duration::from_secs(2));
         assert!(!cfg.elastic_resize, "resize is opt-in");
         assert_eq!(cfg.host_id, None, "host identity is opt-in");
+        assert_eq!(cfg.pin_comm, None, "core pinning is opt-in");
+        assert!(cfg.pool_max_buf_bytes >= 1 << 20);
     }
 
     #[test]
@@ -473,6 +512,8 @@ mod tests {
             .with_resize_window(Duration::ZERO) // clamped to 1 ms
             .with_elastic_resize(true)
             .with_host_id(Some(42))
+            .with_pin_comm(Some(0))
+            .with_pool_max_buf_bytes(0) // clamped to 1
             .with_wire(DType::Bf16)
             .with_demo(DemoOptions {
                 exit_rank: Some(1),
@@ -493,6 +534,8 @@ mod tests {
         assert_eq!(cfg.resize_window, Duration::from_millis(1));
         assert!(cfg.elastic_resize);
         assert_eq!(cfg.host_id, Some(42));
+        assert_eq!(cfg.pin_comm, Some(0));
+        assert_eq!(cfg.pool_max_buf_bytes, 1);
         assert_eq!(cfg.wire, DType::Bf16);
         assert_eq!(cfg.demo.exit_rank, Some(1));
         assert_eq!(cfg.demo.exit_at_step, 3);

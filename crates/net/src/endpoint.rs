@@ -57,7 +57,7 @@
 //! corrupt a live collective.
 
 use std::fmt;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Read};
 use std::net::{IpAddr, Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -68,14 +68,17 @@ use std::time::{Duration, Instant};
 use dear_collectives::{CollectiveError, Message, Transport, WireBuf, WorldChange};
 use dear_core::trace;
 
+use crate::affinity;
 use crate::config::{NetConfig, NetError};
 use crate::frame::{
-    decode_generation, decode_ident, encode_data_body, encode_generation, encode_ident, read_frame,
-    split_data_body, write_frame, FrameKind, Hello, Welcome, DATA_BODY_OVERHEAD, MAX_FRAME_BYTES,
+    decode_generation, decode_ident, encode_generation, encode_ident, read_frame,
+    read_frame_header, write_data_frame, write_frame, FrameKind, Hello, Welcome,
+    DATA_BODY_OVERHEAD, MAX_FRAME_BYTES,
 };
 
-/// Bytes of frame overhead per wire frame (the 5-byte header).
-const FRAME_HEADER_BYTES: u64 = 5;
+/// Bytes of frame overhead per wire frame (the 5-byte header), widened for
+/// traffic-counter arithmetic.
+const FRAME_HEADER_BYTES: u64 = crate::frame::FRAME_HEADER_BYTES as u64;
 
 /// Per-peer traffic counters, bumped lock-free by the reader/writer threads
 /// and the send path. Snapshot via [`TcpEndpoint::stats`].
@@ -112,14 +115,35 @@ fn oversize_bytes(wire_bytes: usize) -> Option<u64> {
 /// `POOL_CAP × largest-segment` bytes (matches `LocalEndpoint`).
 const POOL_CAP: usize = 64;
 
+/// Default per-buffer capacity ceiling retained by the pool
+/// ([`NetConfig::pool_max_buf_bytes`]). Sized to hold any sensible
+/// segment; a one-off giant collective no longer pins its high-water
+/// allocation for the rest of the run.
+pub(crate) const POOL_MAX_BUF_BYTES: usize = 4 << 20;
+
 /// Shared reusable wire-byte pool; reader threads take from it for
 /// incoming payloads, writer threads and `recycle_buffer` return to it.
-#[derive(Default)]
+/// Buffers over `max_buf_bytes` are shrunk on return, so retained memory
+/// decays back to the cap after an outsized collective.
 struct BufferPool {
     bufs: Mutex<Vec<Vec<u8>>>,
+    max_buf_bytes: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::with_max(POOL_MAX_BUF_BYTES)
+    }
 }
 
 impl BufferPool {
+    fn with_max(max_buf_bytes: usize) -> BufferPool {
+        BufferPool {
+            bufs: Mutex::new(Vec::new()),
+            max_buf_bytes: max_buf_bytes.max(1),
+        }
+    }
+
     fn take(&self, capacity_bytes: usize) -> Vec<u8> {
         let mut pool = self.bufs.lock().expect("buffer pool poisoned");
         match pool.pop() {
@@ -132,14 +156,26 @@ impl BufferPool {
         }
     }
 
-    fn recycle(&self, buf: Vec<u8>) {
+    fn recycle(&self, mut buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
+        }
+        if buf.capacity() > self.max_buf_bytes {
+            buf.clear();
+            buf.shrink_to(self.max_buf_bytes);
         }
         let mut pool = self.bufs.lock().expect("buffer pool poisoned");
         if pool.len() < POOL_CAP {
             pool.push(buf);
         }
+    }
+
+    /// Largest retained buffer capacity — test hook for the decay
+    /// guarantee.
+    #[cfg(test)]
+    fn high_water_bytes(&self) -> usize {
+        let pool = self.bufs.lock().expect("buffer pool poisoned");
+        pool.iter().map(Vec::capacity).max().unwrap_or(0)
     }
 }
 
@@ -365,7 +401,7 @@ impl TcpEndpoint {
         tables: MeshTables,
     ) -> Result<TcpEndpoint, NetError> {
         let world = cfg.world;
-        let pool = Arc::new(BufferPool::default());
+        let pool = Arc::new(BufferPool::with_max(cfg.pool_max_buf_bytes));
         let health = Arc::new(Health::new(world));
         let counters: Arc<Vec<PeerCounters>> =
             Arc::new((0..world).map(|_| PeerCounters::default()).collect());
@@ -408,8 +444,9 @@ impl TcpEndpoint {
             let wpool = Arc::clone(&pool);
             let wcounters = Arc::clone(&counters);
             let generation = cfg.generation;
+            let pin_core = cfg.pin_comm;
             writers.push(std::thread::spawn(move || {
-                writer_loop(wstream, generation, orx, &wpool, &wcounters[peer])
+                writer_loop(wstream, generation, orx, &wpool, &wcounters[peer], pin_core)
             }));
             let rpool = Arc::clone(&pool);
             let rhealth = Arc::clone(&health);
@@ -423,6 +460,7 @@ impl TcpEndpoint {
                     &rpool,
                     &rhealth,
                     &rcounters[peer],
+                    pin_core,
                 )
             }));
             outboxes.push(Some(otx));
@@ -698,31 +736,39 @@ fn heartbeat_monitor(
 /// frame), on channel close (endpoint dropped), or on a write error —
 /// writes carry a socket deadline, so a wedged peer cannot block forever.
 fn writer_loop(
-    stream: TcpStream,
+    mut stream: TcpStream,
     generation: u64,
     orx: Receiver<WriterCmd>,
     pool: &BufferPool,
     counters: &PeerCounters,
+    pin_core: Option<usize>,
 ) {
-    let mut w = BufWriter::with_capacity(64 * 1024, stream);
-    let mut bytes = Vec::new();
+    if let Some(core) = pin_core {
+        affinity::pin_current_thread(core);
+    }
+    // No userspace write buffering: every command is one whole frame, and
+    // the vectored data path already lands header + payload in a single
+    // syscall, so a BufWriter would only re-copy the payload.
     while let Ok(cmd) = orx.recv() {
         match cmd {
             WriterCmd::Data(payload) => {
-                encode_data_body(generation, &payload, &mut bytes);
-                let ok = write_frame(&mut w, FrameKind::Data, &bytes).is_ok();
+                let wrote = write_data_frame(&mut stream, generation, &payload);
                 pool.recycle(payload.into_bytes());
-                if !ok || w.flush().is_err() {
-                    return; // dropping orx signals Disconnected to senders
+                match wrote {
+                    Ok(n) => {
+                        counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    // Dropping orx signals Disconnected to senders.
+                    Err(_) => return,
                 }
-                counters
-                    .bytes_sent
-                    .fetch_add(FRAME_HEADER_BYTES + bytes.len() as u64, Ordering::Relaxed);
             }
             WriterCmd::Heartbeat => {
-                if write_frame(&mut w, FrameKind::Heartbeat, &encode_generation(generation))
-                    .is_err()
-                    || w.flush().is_err()
+                if write_frame(
+                    &mut stream,
+                    FrameKind::Heartbeat,
+                    &encode_generation(generation),
+                )
+                .is_err()
                 {
                     return;
                 }
@@ -731,8 +777,7 @@ fn writer_loop(
                     .fetch_add(FRAME_HEADER_BYTES + 8, Ordering::Relaxed);
             }
             WriterCmd::Shutdown => {
-                let _ = write_frame(&mut w, FrameKind::Shutdown, &[]);
-                let _ = w.flush();
+                let _ = write_frame(&mut stream, FrameKind::Shutdown, &[]);
                 return;
             }
         }
@@ -756,39 +801,76 @@ fn reader_loop(
     pool: &BufferPool,
     health: &Health,
     counters: &PeerCounters,
+    pin_core: Option<usize>,
 ) {
+    if let Some(core) = pin_core {
+        affinity::pin_current_thread(core);
+    }
     let mut r = BufReader::with_capacity(64 * 1024, stream);
     let mut body = Vec::new();
     loop {
-        let frame = read_frame(&mut r, &mut body);
-        if frame.is_ok() {
+        let Ok((kind, len)) = read_frame_header(&mut r) else {
+            // Torn header, EOF, reset, or forced local close: the stream
+            // is over either way — the dropped inbox sender surfaces it.
+            return;
+        };
+        if kind == FrameKind::Data && len >= DATA_BODY_OVERHEAD {
+            // Data payloads land straight in a pooled buffer — the old
+            // path read into a scratch body then copied into the pool.
+            let mut overhead = [0u8; DATA_BODY_OVERHEAD];
+            if r.read_exact(&mut overhead).is_err() {
+                return;
+            }
+            let payload_len = len - DATA_BODY_OVERHEAD;
+            let mut buf = pool.take(payload_len);
+            buf.resize(payload_len, 0);
+            if r.read_exact(&mut buf).is_err() {
+                // Torn mid-body (peer died between header and payload):
+                // surfaces as Disconnected, never a hang.
+                return;
+            }
             counters
                 .bytes_recv
-                .fetch_add(FRAME_HEADER_BYTES + body.len() as u64, Ordering::Relaxed);
-        }
-        match frame {
-            Ok(FrameKind::Data) => {
-                health.saw(peer);
-                let Ok((stamp, dtype, raw)) = split_data_body(&body) else {
-                    return;
-                };
-                if stamp != generation {
-                    health.mark_stale(peer, stamp);
-                    return;
-                }
-                let mut buf = pool.take(raw.len());
-                buf.extend_from_slice(raw);
-                // The payload is self-describing: decode by the frame's own
-                // dtype tag. A byte count that doesn't divide into whole
-                // elements is stream corruption — end the stream.
-                let Ok(payload) = WireBuf::from_raw(dtype, buf) else {
-                    return;
-                };
-                if itx.send(payload).is_err() {
-                    return;
-                }
+                .fetch_add(FRAME_HEADER_BYTES + len as u64, Ordering::Relaxed);
+            health.saw(peer);
+            let stamp = u64::from_le_bytes(overhead[..8].try_into().expect("8 bytes"));
+            // The payload is self-describing: decode by the frame's own
+            // dtype tag. An unknown tag is stream corruption — end the
+            // stream.
+            let Some(dtype) = dear_collectives::DType::from_tag(overhead[8]) else {
+                return;
+            };
+            if stamp != generation {
+                health.mark_stale(peer, stamp);
+                return;
             }
-            Ok(FrameKind::Heartbeat) => {
+            // A byte count that doesn't divide into whole elements is
+            // stream corruption — end the stream.
+            let Ok(payload) = WireBuf::from_raw(dtype, buf) else {
+                return;
+            };
+            if itx.send(payload).is_err() {
+                return;
+            }
+            continue;
+        }
+        // Control frames (and a malformed short Data frame) keep the
+        // scratch body — they are tiny and off the hot path.
+        body.clear();
+        body.resize(len, 0);
+        if r.read_exact(&mut body).is_err() {
+            return;
+        }
+        counters
+            .bytes_recv
+            .fetch_add(FRAME_HEADER_BYTES + len as u64, Ordering::Relaxed);
+        match kind {
+            // Shorter than the generation stamp + dtype tag: corrupt.
+            FrameKind::Data => {
+                health.saw(peer);
+                return;
+            }
+            FrameKind::Heartbeat => {
                 health.saw(peer);
                 match decode_generation(&body) {
                     Ok(stamp) if stamp == generation => (),
@@ -799,13 +881,12 @@ fn reader_loop(
                     Err(_) => return,
                 }
             }
-            Ok(FrameKind::Shutdown) => {
+            FrameKind::Shutdown => {
                 health.mark_departed(peer);
                 return;
             }
-            // Unexpected control frame, EOF, reset, or forced local close:
-            // in every case the stream is over.
-            Ok(_) | Err(_) => return,
+            // Unexpected control frame: the stream is over.
+            _ => return,
         }
     }
 }
@@ -1528,7 +1609,9 @@ fn resize_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::encode_data_body;
     use crate::loopback::{tcp_loopback, tcp_loopback_with};
+    use std::io::Write as _;
 
     #[test]
     fn world_of_one_needs_no_sockets() {
@@ -1693,6 +1776,72 @@ mod tests {
     /// lets tests drive the far side with raw frames.
     fn endpoint_over(stream: TcpStream, cfg: &NetConfig) -> TcpEndpoint {
         TcpEndpoint::from_mesh(0, cfg, vec![None, Some(stream)], MeshTables::pseudo(2)).unwrap()
+    }
+
+    #[test]
+    fn pool_capacity_decays_after_an_outsized_collective() {
+        let pool = BufferPool::with_max(1024);
+        // A modest buffer is retained with its capacity intact…
+        pool.recycle(Vec::with_capacity(512));
+        assert_eq!(pool.high_water_bytes(), 512);
+        // …but an outsized one is shrunk on return instead of pinning its
+        // high-water allocation in the pool for the rest of the run.
+        let mut big = pool.take(64 * 1024);
+        big.resize(64 * 1024, 7);
+        pool.recycle(big);
+        assert!(
+            pool.high_water_bytes() <= 1024,
+            "pool retained {} bytes past the 1024-byte cap",
+            pool.high_water_bytes()
+        );
+        // Shrunk buffers still serve takes at any size.
+        let again = pool.take(64 * 1024);
+        assert!(again.capacity() >= 64 * 1024);
+    }
+
+    #[test]
+    fn torn_data_frame_surfaces_an_error_not_a_hang() {
+        // A peer that dies between the frame header and the payload bytes
+        // leaves a torn frame on the stream. The reader must end the
+        // stream — surfacing a typed Disconnected promptly — rather than
+        // blocking forever on the missing bytes.
+        let (ours, theirs) = raw_pair();
+        let mut cfg = NetConfig::new(2, 0, "127.0.0.1:0");
+        cfg.heartbeat_interval = None;
+        let ep = endpoint_over(ours, &cfg);
+        let mut wire = Vec::new();
+        crate::frame::write_data_frame(&mut wire, 0, &WireBuf::from_f32(&[1.0, 2.0])).unwrap();
+        let mut s = theirs;
+        s.write_all(&wire[..wire.len() - 3]).unwrap();
+        drop(s); // die mid-frame
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let start = Instant::now();
+        let err = ep.recv(1).unwrap_err();
+        assert_eq!(err, CollectiveError::Disconnected { peer: 1 });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "torn frame took {:?} to surface",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_length_ends_the_stream_with_a_typed_error() {
+        // dtype f32 but 6 payload bytes: not whole elements. WireBuf
+        // rejects it (the typed WireFormat guard), and the reader treats
+        // the stream as corrupt — recv resolves, never hangs.
+        let (ours, theirs) = raw_pair();
+        let mut cfg = NetConfig::new(2, 0, "127.0.0.1:0");
+        cfg.heartbeat_interval = None;
+        let ep = endpoint_over(ours, &cfg);
+        let mut s = theirs;
+        let mut body = vec![0u8; 8]; // generation 0
+        body.push(0); // dtype tag: f32
+        body.extend_from_slice(&[1, 2, 3, 4, 5, 6]); // 6 bytes: not whole f32s
+        write_frame(&mut s, FrameKind::Data, &body).unwrap();
+        ep.set_recv_timeout(Some(Duration::from_secs(5)));
+        let err = ep.recv(1).unwrap_err();
+        assert_eq!(err, CollectiveError::Disconnected { peer: 1 });
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! by the frame's own dtype tag, never by local configuration, so peers on
 //! different wire precisions interoperate frame by frame.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use dear_collectives::{DType, WireBuf};
+
+/// Bytes of the fixed frame header: `[kind: u8][len: u32 LE]`.
+pub const FRAME_HEADER_BYTES: usize = 5;
 
 /// Frame type tags. The numeric values are wire ABI; do not renumber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,22 +101,99 @@ pub fn check_body_len(len: usize) -> io::Result<()> {
 /// underlying writer.
 pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, body: &[u8]) -> io::Result<()> {
     check_body_len(body.len())?;
-    let mut header = [0u8; 5];
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     header[0] = kind as u8;
     header[1..5].copy_from_slice(&(body.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(body)
+    write_all_vectored(w, &header, body)
 }
 
-/// Reads one frame into `body` (cleared and reused, so steady-state reads
-/// don't allocate). Returns the frame kind.
+/// Writes `header` then `body` via `write_vectored`: one syscall on the
+/// happy path (so a frame can never be torn between a header write and a
+/// body write by a peer death in the gap), with a partial-write
+/// continuation loop for short writes on non-blocking-ish transports.
+fn write_all_vectored<W: Write>(w: &mut W, header: &[u8], body: &[u8]) -> io::Result<()> {
+    let mut bufs = [IoSlice::new(header), IoSlice::new(body)];
+    let mut slices = &mut bufs[..];
+    let mut remaining = header.len() + body.len();
+    while remaining > 0 {
+        match w.write_vectored(slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ));
+            }
+            Ok(n) => {
+                remaining -= n.min(remaining);
+                if remaining == 0 {
+                    break;
+                }
+                IoSlice::advance_slices(&mut slices, n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Bytes of a [`FrameKind::Data`] frame before the element bytes: the
+/// frame header plus the generation stamp and dtype tag.
+pub const DATA_HEADER_BYTES: usize = FRAME_HEADER_BYTES + DATA_BODY_OVERHEAD;
+
+/// Builds the complete header of a [`FrameKind::Data`] frame on the stack:
+/// `[kind][len: u32 LE][generation: u64 LE][dtype tag]`. Pairing this with
+/// the payload's own byte slice replaces the old copy-assembled body `Vec`
+/// — the element bytes never move until the kernel copies them out.
+///
+/// # Errors
+///
+/// Returns `InvalidData` (via [`check_body_len`]) when the payload would
+/// exceed [`MAX_FRAME_BYTES`].
+pub fn data_frame_header(
+    generation: u64,
+    payload: &WireBuf,
+) -> io::Result<[u8; DATA_HEADER_BYTES]> {
+    let body_len = DATA_BODY_OVERHEAD + payload.num_bytes();
+    check_body_len(body_len)?;
+    let mut header = [0u8; DATA_HEADER_BYTES];
+    header[0] = FrameKind::Data as u8;
+    header[1..5].copy_from_slice(&(body_len as u32).to_le_bytes());
+    header[5..13].copy_from_slice(&generation.to_le_bytes());
+    header[13] = payload.dtype().tag();
+    Ok(header)
+}
+
+/// Writes one [`FrameKind::Data`] frame as a stack header + borrowed
+/// payload pair via [`write_all_vectored`] — a single syscall in the
+/// common case, zero payload copies. Returns the wire bytes written so the
+/// caller can count traffic without re-deriving frame overheads.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for oversize payloads; otherwise propagates I/O
+/// errors from the underlying writer.
+pub fn write_data_frame<W: Write>(
+    w: &mut W,
+    generation: u64,
+    payload: &WireBuf,
+) -> io::Result<usize> {
+    let header = data_frame_header(generation, payload)?;
+    write_all_vectored(w, &header, payload.bytes())?;
+    Ok(DATA_HEADER_BYTES + payload.num_bytes())
+}
+
+/// Reads and validates one frame header, returning the kind and body
+/// length without touching the body bytes — the caller chooses where the
+/// body lands (a pooled buffer for data payloads, a scratch `Vec` for
+/// control frames).
 ///
 /// # Errors
 ///
 /// Returns `UnexpectedEof` at end of stream, and `InvalidData` for unknown
 /// kinds or oversized lengths.
-pub fn read_frame<R: Read>(r: &mut R, body: &mut Vec<u8>) -> io::Result<FrameKind> {
-    let mut header = [0u8; 5];
+pub fn read_frame_header<R: Read>(r: &mut R) -> io::Result<(FrameKind, usize)> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     r.read_exact(&mut header)?;
     let kind = FrameKind::from_u8(header[0]).ok_or_else(|| {
         io::Error::new(
@@ -128,6 +208,18 @@ pub fn read_frame<R: Read>(r: &mut R, body: &mut Vec<u8>) -> io::Result<FrameKin
             format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
         ));
     }
+    Ok((kind, len))
+}
+
+/// Reads one frame into `body` (cleared and reused, so steady-state reads
+/// don't allocate). Returns the frame kind.
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` at end of stream, and `InvalidData` for unknown
+/// kinds or oversized lengths.
+pub fn read_frame<R: Read>(r: &mut R, body: &mut Vec<u8>) -> io::Result<FrameKind> {
+    let (kind, len) = read_frame_header(r)?;
     body.clear();
     body.resize(len, 0);
     r.read_exact(body)?;
@@ -555,6 +647,104 @@ mod tests {
             split_data_body(&body).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    /// A writer that accepts at most `step` bytes per call, forcing the
+    /// vectored path through its partial-write continuation loop across
+    /// the header/payload slice boundary.
+    struct Trickle {
+        out: Vec<u8>,
+        step: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.step);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_data_frame_matches_the_copy_assembled_encoding() {
+        // The zero-copy path must be byte-for-byte the wire format the old
+        // encode_data_body + write_frame pair produced — peers on either
+        // implementation interoperate.
+        let payload = WireBuf::encode(&[1.0f32, -2.5, f32::NAN, 65504.0], DType::F16);
+        let mut old = Vec::new();
+        let mut body = Vec::new();
+        encode_data_body(97, &payload, &mut body);
+        write_frame(&mut old, FrameKind::Data, &body).unwrap();
+        let mut new = Vec::new();
+        let written = write_data_frame(&mut new, 97, &payload).unwrap();
+        assert_eq!(new, old);
+        assert_eq!(written, new.len());
+        assert_eq!(written, DATA_HEADER_BYTES + payload.num_bytes());
+    }
+
+    #[test]
+    fn partial_writes_are_continued_not_torn() {
+        // Trickle 3 bytes per write call: the continuation loop must
+        // advance through the header slice into the payload slice and
+        // still emit an intact frame.
+        let payload = WireBuf::from_f32(&[0.5f32, -0.25, 3.75]);
+        let mut reference = Vec::new();
+        write_data_frame(&mut reference, 5, &payload).unwrap();
+        for step in [1, 3, 4, 7] {
+            let mut w = Trickle {
+                out: Vec::new(),
+                step,
+            };
+            write_data_frame(&mut w, 5, &payload).unwrap();
+            assert_eq!(w.out, reference, "step {step}");
+        }
+        // Control frames share the helper.
+        let mut w = Trickle {
+            out: Vec::new(),
+            step: 2,
+        };
+        write_frame(&mut w, FrameKind::Heartbeat, &encode_generation(9)).unwrap();
+        let mut body = Vec::new();
+        assert_eq!(
+            read_frame(&mut &w.out[..], &mut body).unwrap(),
+            FrameKind::Heartbeat
+        );
+        assert_eq!(decode_generation(&body).unwrap(), 9);
+    }
+
+    #[test]
+    fn torn_frame_surfaces_eof_never_a_hang() {
+        // A peer that dies mid-frame leaves a prefix on the stream. Every
+        // truncation point — inside the header, header-only, or mid-body —
+        // must surface UnexpectedEof from the reader immediately.
+        let mut wire = Vec::new();
+        write_data_frame(&mut wire, 3, &WireBuf::from_f32(&[1.0, 2.0])).unwrap();
+        for cut in [
+            1,
+            4,
+            FRAME_HEADER_BYTES,
+            FRAME_HEADER_BYTES + 3,
+            wire.len() - 1,
+        ] {
+            let mut body = Vec::new();
+            assert_eq!(
+                read_frame(&mut &wire[..cut], &mut body).unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+        // The header-first reader reports the same truncations.
+        assert_eq!(
+            read_frame_header(&mut &wire[..3]).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let (kind, len) = read_frame_header(&mut &wire[..]).unwrap();
+        assert_eq!(kind, FrameKind::Data);
+        assert_eq!(len, DATA_BODY_OVERHEAD + 8);
     }
 
     #[test]

@@ -375,6 +375,7 @@ impl ShmFabric {
                     recv_timeout: Mutex::new(cfg.recv_timeout),
                     heartbeat,
                     pool: Mutex::new(Vec::new()),
+                    pool_max_buf_bytes: cfg.pool_max_buf_bytes.max(1),
                 }
             })
             .collect()
@@ -414,6 +415,9 @@ pub struct ShmEndpoint {
     recv_timeout: Mutex<Option<Duration>>,
     heartbeat: Option<Heartbeat>,
     pool: Mutex<Vec<Vec<u8>>>,
+    /// Largest per-buffer capacity retained by the pool
+    /// ([`NetConfig::pool_max_buf_bytes`] — parity with `TcpEndpoint`).
+    pool_max_buf_bytes: usize,
 }
 
 impl fmt::Debug for ShmEndpoint {
@@ -712,9 +716,15 @@ impl Transport for ShmEndpoint {
         }
     }
 
-    fn recycle_buffer(&self, buf: Vec<u8>) {
+    fn recycle_buffer(&self, mut buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
+        }
+        // Shrink outsized returns so one giant collective cannot pin its
+        // high-water allocation in the pool (parity with `TcpEndpoint`).
+        if buf.capacity() > self.pool_max_buf_bytes {
+            buf.clear();
+            buf.shrink_to(self.pool_max_buf_bytes);
         }
         let mut pool = self.pool.lock().expect("buffer pool poisoned");
         if pool.len() < POOL_CAP {
@@ -946,6 +956,21 @@ mod tests {
         assert!(again.is_empty());
         assert_eq!(again.capacity(), cap);
         assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn pool_capacity_decays_above_the_configured_cap() {
+        let cfg = NetConfig::new(2, 0, "127.0.0.1:0").with_pool_max_buf_bytes(1024);
+        let eps = ShmFabric::with_config(&cfg, &[0, 1]);
+        let mut big = eps[0].take_buffer(32 * 1024);
+        big.resize(32 * 1024, 0);
+        eps[0].recycle_buffer(big);
+        let retained = eps[0].take_buffer(0);
+        assert!(
+            retained.capacity() <= 1024,
+            "shm pool retained {} bytes past the 1024-byte cap",
+            retained.capacity()
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@
 
 use std::time::{Duration, Instant};
 
-use dear_collectives::{CollectiveError, CostModel, Message, Transport, WorldChange};
+use dear_collectives::{
+    CollectiveError, CostModel, Message, NetworkPreset, Transport, WorldChange,
+};
 
 use crate::config::NetConfig;
 use crate::endpoint::TcpEndpoint;
@@ -328,9 +330,39 @@ pub fn probe_alpha_beta<T: Transport + ?Sized>(
         let msg = ep.recv(peer)?;
         ep.send(peer, msg)?;
     }
-    CostModel::fit(&samples).ok_or_else(|| CollectiveError::Reconfigure {
-        reason: "alpha-beta probe needs at least two distinct sizes".to_string(),
-    })
+    if samples.len() < 2 || samples.iter().all(|&(b, _)| b == samples[0].0) {
+        return Err(CollectiveError::Reconfigure {
+            reason: "alpha-beta probe needs at least two distinct sizes".to_string(),
+        });
+    }
+    // A degenerate least-squares fit (negative slope or intercept before
+    // clamping — loopback noise made the big probe beat the small one)
+    // would poison every AlgoSelector cost comparison with a zero-α or
+    // zero-β model. Fall back to the preset that best explains the
+    // samples instead of trusting a fit the data cannot support.
+    Ok(CostModel::fit_checked(&samples).unwrap_or_else(|| preset_fallback(&samples)))
+}
+
+/// The calibrated [`NetworkPreset`] model closest to the measured samples
+/// (least total absolute residual) — the probe's answer when its own
+/// least-squares fit is degenerate.
+fn preset_fallback(samples: &[(u64, f64)]) -> CostModel {
+    let presets = [
+        NetworkPreset::TenGbE,
+        NetworkPreset::HundredGbIb,
+        NetworkPreset::NvLink,
+    ];
+    let residual = |m: &CostModel| {
+        samples
+            .iter()
+            .map(|&(b, t)| (m.p2p(b).as_nanos() as f64 - t).abs())
+            .sum::<f64>()
+    };
+    presets
+        .into_iter()
+        .map(NetworkPreset::cost_model)
+        .min_by(|a, b| residual(a).total_cmp(&residual(b)))
+        .expect("preset list is non-empty")
 }
 
 #[cfg(test)]
@@ -342,6 +374,41 @@ mod tests {
     fn fast(cfg: NetConfig) -> NetConfig {
         cfg.with_send_timeout(Duration::from_secs(5))
             .with_recv_timeout(Some(Duration::from_secs(10)))
+    }
+
+    #[test]
+    fn degenerate_probe_samples_fall_back_to_the_nearest_preset() {
+        // Adversarial loopback noise: the 64 KB probe "finished faster"
+        // than the 1 KB one. The least-squares fit is degenerate (negative
+        // slope), so the probe must answer with a preset, not a zero-β
+        // model claiming infinite bandwidth.
+        let decreasing = [(1_000u64, 50_000.0), (64_000, 10_000.0)];
+        assert!(CostModel::fit_checked(&decreasing).is_none());
+        let fallback = preset_fallback(&decreasing);
+        assert!(
+            fallback.beta_ns_per_byte > 0.0 && fallback.alpha_ns > 0.0,
+            "fallback must be a usable preset, got {fallback:?}"
+        );
+        // The fallback picks the preset that best explains the samples:
+        // exact samples from a preset's own model select that preset.
+        for preset in [
+            NetworkPreset::TenGbE,
+            NetworkPreset::HundredGbIb,
+            NetworkPreset::NvLink,
+        ] {
+            let m = preset.cost_model();
+            let samples: Vec<(u64, f64)> = [1_000u64, 64_000, 1 << 20]
+                .iter()
+                .map(|&b| (b, m.p2p(b).as_nanos() as f64))
+                .collect();
+            let picked = preset_fallback(&samples);
+            assert_eq!(
+                picked.alpha_ns,
+                m.alpha_ns,
+                "{} samples picked {picked:?}",
+                preset.label()
+            );
+        }
     }
 
     #[test]

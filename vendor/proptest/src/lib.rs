@@ -87,6 +87,33 @@ pub mod strategy {
         }
     }
 
+    /// A boxed generator closure: one arm of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// One-of union built by [`prop_oneof!`](crate::prop_oneof): picks an
+    /// arm uniformly at random, then generates from it. Arms are boxed
+    /// generator closures so strategies of different concrete types can
+    /// share one value type.
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union over `arms` (at least one).
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+
     /// A strategy that always yields a clone of one value.
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone + fmt::Debug>(pub T);
@@ -390,7 +417,25 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Arbitrary, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between strategies that yield the same value type.
+/// Upstream's weighted `weight => strategy` arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                })
+            }),+
+        ])
+    };
 }
 
 /// Reject the current case (counts as neither pass nor fail).
