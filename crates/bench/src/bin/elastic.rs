@@ -90,6 +90,7 @@ fn prepare_stores(dir: &std::path::Path, steps: u64) {
     std::thread::scope(|s| {
         for ep in endpoints {
             let data = &data;
+            let config = config.clone();
             s.spawn(move || {
                 let rank = ep.rank();
                 run_worker(ep, config, |handle| {
@@ -99,7 +100,7 @@ fn prepare_stores(dir: &std::path::Path, steps: u64) {
                         let (x, labels) = data.shard(step, 8 * WORLD, rank, WORLD);
                         let _ = optim.train_step(&mut net, &x, &labels);
                     }
-                    optim.synchronize(&mut net);
+                    optim.synchronize(&mut net).unwrap();
                     let store = CheckpointStore::new(dir, rank).expect("store");
                     store
                         .save(&TrainCheckpoint {
@@ -131,6 +132,7 @@ fn one_restart(dir: &std::path::Path) -> (Duration, Duration) {
     std::thread::scope(|s| {
         for ep in endpoints {
             let data = &data;
+            let config = config.clone();
             s.spawn(move || {
                 let rank = ep.rank();
                 let store = CheckpointStore::new(dir, rank).expect("store");
@@ -146,7 +148,7 @@ fn one_restart(dir: &std::path::Path) -> (Duration, Duration) {
                     optim.import_optim_state(ckpt.optim);
                     let (x, labels) = data.shard(resume, 8 * WORLD, rank, WORLD);
                     let _ = optim.train_step(&mut net, &x, &labels);
-                    optim.synchronize(&mut net);
+                    optim.synchronize(&mut net).unwrap();
                 });
             });
         }

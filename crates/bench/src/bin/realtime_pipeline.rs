@@ -57,7 +57,7 @@ fn run(mode: PipelineMode, world: usize, steps: u64) -> f64 {
             let (x, labels) = data.shard(step, 8 * world, rank, world);
             let _ = optim.train_step(&mut net, &x, &labels);
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         t0.elapsed().as_secs_f64()
     });
     let slowest = times.into_iter().fold(0.0f64, f64::max);

@@ -84,7 +84,7 @@ pub use reduce::ReduceOp;
 pub use rhd::{rhd_all_reduce, rhd_all_reduce_seg};
 pub use ring::{
     ring_all_gather, ring_all_gather_seg, ring_all_reduce, ring_all_reduce_seg, ring_owned_chunk,
-    ring_reduce_scatter, ring_reduce_scatter_seg,
+    ring_reduce_scatter, ring_reduce_scatter_seg, ring_reduce_scatter_shard_seg,
 };
 pub use segment::{recv_segmented_copy, recv_segmented_reduce, send_segmented, SegmentConfig};
 pub use topology::{CommPattern, HostMap, Placement, Topology};

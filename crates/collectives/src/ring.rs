@@ -78,6 +78,34 @@ pub fn ring_reduce_scatter_seg<T: Transport>(
     Ok(chunk_range(d, world, ring_owned_chunk(rank, world)))
 }
 
+/// The RS-only completion point of the segment pipeline: reduce-scatters
+/// `data`, then *consumes* the full-length buffer and returns only the
+/// owned shard, compacted into its own allocation. This is what a
+/// ZeRO-style caller wants — after the reduce-scatter nothing outside the
+/// owned chunk is meaningful, so holding the other `P−1` chunks between
+/// OP1 and OP2 is pure waste. Returns the owned element range (in the
+/// original buffer's coordinates) alongside the compact shard.
+///
+/// Bit-identical to [`ring_reduce_scatter_seg`] on the owned range.
+///
+/// # Errors
+///
+/// As [`ring_reduce_scatter`]; on error the buffer is dropped (its
+/// contents are partially-reduced garbage either way).
+pub fn ring_reduce_scatter_shard_seg<T: Transport>(
+    t: &T,
+    mut data: Vec<f32>,
+    op: ReduceOp,
+    seg: SegmentConfig,
+) -> Result<(Range<usize>, Vec<f32>), CollectiveError> {
+    let owned = ring_reduce_scatter_seg(t, &mut data, op, seg)?;
+    // Compact in place, then release the unowned tail capacity.
+    data.copy_within(owned.clone(), 0);
+    data.truncate(owned.len());
+    data.shrink_to_fit();
+    Ok((owned, data))
+}
+
 /// Ring all-gather over `data`, in place.
 ///
 /// On entry, the chunk with index `owned_chunk` (per [`chunk_range`]) must
@@ -311,6 +339,28 @@ mod tests {
         });
         for data in results {
             assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn shard_completion_point_matches_in_place_reduce_scatter() {
+        // The consuming RS must return exactly the owned range's reduced
+        // values, bitwise, and a buffer sized to the shard alone.
+        for world in [2, 3, 4, 7] {
+            let d = 23;
+            let expect = expected_sum(world, d);
+            let results = run_world(world, |ep| {
+                let data = rank_data(ep.rank(), d);
+                ring_reduce_scatter_shard_seg(&ep, data, ReduceOp::Sum, SegmentConfig::new(8))
+                    .unwrap()
+            });
+            for (rank, (range, shard)) in results.into_iter().enumerate() {
+                let expected_range = chunk_range(d, world, ring_owned_chunk(rank, world));
+                assert_eq!(range, expected_range);
+                assert_eq!(shard.len(), expected_range.len());
+                assert_eq!(shard.capacity(), expected_range.len());
+                assert_eq!(shard, expect[expected_range].to_vec(), "rank {rank}");
+            }
         }
     }
 

@@ -15,7 +15,7 @@
 //! denormals, ±inf, round-to-nearest-even ties, signed zeros — the vector
 //! kernels produce exactly the bytes of the scalar reference, including
 //! the NaN-quieting (`| 0x0040` / `0x7E00`) and RNE carry behaviour of the
-//! scalar cast tricks in [`crate::wire`]. The proptests in
+//! scalar cast tricks in `crate::wire`. The proptests in
 //! `tests/proptest_simd.rs` pin this across aligned, misaligned, and
 //! odd-length slices. The vector integer ops mirror the scalar wrapping
 //! arithmetic exactly, and the only float ops used (`add`, `mul`) follow

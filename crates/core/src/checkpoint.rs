@@ -14,6 +14,14 @@
 //! word, little-endian scalars, and length-prefixed arrays. Restoring is
 //! bit-exact — every `f32`/`f64` round-trips through `to_bits`, so a
 //! resumed run continues on the same trajectory as an uninterrupted one.
+//!
+//! The format is also **strategy-independent**: [`OptimState`] is always
+//! the full-length exchange form (zeros outside this rank's shard), even
+//! when the run stores it densely sharded in memory under
+//! `ParallelismStrategy::Zero1`/`Zero2` — the comm thread expands through
+//! its `ShardMap` on export and re-packs on import. A run checkpointed
+//! under one strategy therefore resumes under any other without a version
+//! bump, and elastic rebalancing re-partitions the same full-length form.
 
 use std::fmt;
 use std::fs;

@@ -10,6 +10,7 @@ use dear_minidnn::{Sequential, Sgd};
 use crate::comm::{run_comm_thread, CommJob, CommLayout, CommResult, HyperParams, OptimKind};
 use crate::dist_optim::{DistOptim, PipelineMode};
 use crate::layout::GroupLayout;
+use crate::strategy::ParallelismStrategy;
 
 /// Optional wall-clock network emulation for the fabric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +22,10 @@ pub struct DelayConfig {
 }
 
 /// Training configuration shared by all workers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: [`TrainConfig::strategy`] reserves a composed
+/// [`ParallelismStrategy::Hybrid`] variant that owns heap data.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Learning rate.
     pub lr: f32,
@@ -45,6 +49,11 @@ pub struct TrainConfig {
     /// in f32. The control path (broadcast, barrier, optimizer-state
     /// redistribution) always runs over an f32 wire regardless.
     pub segments: SegmentConfig,
+    /// What, beyond data parallelism, is sharded across the world (ZeRO
+    /// stage selection). `Ddp` by default — bit-identical to the
+    /// pre-strategy runtime. `Zero1`/`Zero2` require
+    /// [`PipelineMode::Dear`].
+    pub strategy: ParallelismStrategy,
 }
 
 impl Default for TrainConfig {
@@ -58,6 +67,7 @@ impl Default for TrainConfig {
             mode: PipelineMode::Dear,
             delay: None,
             segments: SegmentConfig::MONOLITHIC,
+            strategy: ParallelismStrategy::Ddp,
         }
     }
 }
@@ -74,6 +84,13 @@ impl TrainConfig {
     #[must_use]
     pub fn with_wire(mut self, wire: dear_collectives::DType) -> Self {
         self.segments = self.segments.with_wire(wire);
+        self
+    }
+
+    /// Selects the parallelism strategy (ZeRO stage).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ParallelismStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -126,14 +143,24 @@ impl WorkerHandle {
     /// The shared training configuration.
     #[must_use]
     pub fn config(&self) -> TrainConfig {
-        self.config
+        self.config.clone()
     }
 
     /// Builds the distributed optimizer for `net` — the `dear.DistOptim`
     /// wrap of Listing 1. Consumes the handle; call once per worker, with
     /// identically-structured networks on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured strategy cannot run under the configured
+    /// pipeline mode (ZeRO requires DeAR; `Hybrid` is reserved) — reject
+    /// earlier with [`ParallelismStrategy::validate_mode`] for a typed
+    /// error.
     #[must_use]
     pub fn into_optim(self, net: &Sequential) -> DistOptim {
+        if let Err(e) = self.config.strategy.validate_mode(self.config.mode) {
+            panic!("{e}");
+        }
         let layout = GroupLayout::from_buffer_wire(
             net,
             self.config.fusion_buffer,
@@ -200,6 +227,7 @@ where
     let hyper = config.hyper();
     let delay = config.delay;
     let segments = config.segments;
+    let strategy = config.strategy.clone();
     // Unique per worker so concurrent in-process clusters never share a
     // trace stream (see `trace`'s stream-naming contract).
     let trace_scope = crate::trace::unique_scope(rank);
@@ -222,6 +250,7 @@ where
                     hyper,
                     total,
                     segments,
+                    &strategy,
                     &comm_scope,
                     &job_rx,
                     &res_tx,
@@ -233,6 +262,7 @@ where
                 hyper,
                 total,
                 segments,
+                &strategy,
                 &comm_scope,
                 &job_rx,
                 &res_tx,
@@ -271,6 +301,7 @@ where
             .into_iter()
             .map(|ep| {
                 let f = &f;
+                let config = config.clone();
                 s.spawn(move || run_worker(ep, config, f))
             })
             .collect();
@@ -341,7 +372,7 @@ mod tests {
                 let (x, labels) = data.shard(step, global_batch, rank, world);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         })
     }
@@ -359,7 +390,7 @@ mod tests {
             fusion_buffer: Some(256), // tiny buffer => several groups
             ..TrainConfig::default()
         };
-        let params = train_distributed(4, config, 20, 32);
+        let params = train_distributed(4, config.clone(), 20, 32);
         // All ranks agree exactly.
         for p in &params[1..] {
             assert_eq!(&params[0], p, "ranks diverged");
@@ -381,7 +412,7 @@ mod tests {
             fusion_buffer: Some(1 << 10),
             ..TrainConfig::default()
         };
-        let params = train_distributed(3, config, 15, 30);
+        let params = train_distributed(3, config.clone(), 15, 30);
         let mut reference = build_net(7);
         let data = BlobDataset::new(6, 3, 0.4, 99);
         let _ = train_single_reference(&mut reference, &config, (0..15).map(|s| data.batch(s, 30)));
@@ -436,13 +467,13 @@ mod tests {
             let mut last = 0.0;
             for step in 0..60 {
                 let (x, labels) = data.shard(step, 64, rank, 4);
-                let loss = optim.train_step(&mut net, &x, &labels);
+                let loss = optim.train_step(&mut net, &x, &labels).unwrap();
                 if step == 0 {
                     first = loss;
                 }
                 last = loss;
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             (first, last)
         });
         for (first, last) in losses {
@@ -462,7 +493,7 @@ mod tests {
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
             // Listing 1: synchronize before validation.
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             let (x, labels) = data.batch(10_000, 128);
             let logits = net.forward(&x);
             dear_minidnn::accuracy(&logits, &labels)
@@ -491,7 +522,7 @@ mod tests {
                 let (x, labels) = data.shard(step, 32, rank, 4);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         for p in &params[1..] {
@@ -531,7 +562,7 @@ mod tests {
                     let (x, labels) = data.shard(step, 30, rank, 3);
                     let _ = optim.train_step(&mut net, &x, &labels);
                 }
-                optim.synchronize(&mut net);
+                optim.synchronize(&mut net).unwrap();
                 net.flat_params()
             })
             .remove(0)
@@ -557,13 +588,13 @@ mod tests {
                 let (x, labels) = data.shard(step, 30, rank, 3);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             optim.set_fusion_buffer(&net, Some(4096));
             for step in 8..16 {
                 let (x, labels) = data.shard(step, 30, rank, 3);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         for p in &params[1..] {
@@ -606,13 +637,13 @@ mod tests {
             let mut last = 0.0;
             for step in 0..60 {
                 let (x, labels) = data.shard(step, 64, rank, 4);
-                let loss = optim.train_step(&mut net, &x, &labels);
+                let loss = optim.train_step(&mut net, &x, &labels).unwrap();
                 if step == 0 {
                     first = loss;
                 }
                 last = loss;
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             let (x, labels) = data.batch(10_000, 128);
             let logits = net.forward(&x);
             let acc = dear_minidnn::accuracy(&logits, &labels);
@@ -666,13 +697,13 @@ mod tests {
             for step in 0..16 {
                 if step == 8 {
                     // Decay the learning rate mid-training, collectively.
-                    optim.synchronize(&mut net);
+                    optim.synchronize(&mut net).unwrap();
                     optim.set_hyper(0.01, 0.9, 0.0);
                 }
                 let (x, labels) = data.shard(step, 30, rank, 3);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         for p in &params[1..] {
@@ -719,11 +750,11 @@ mod tests {
                 let (x, labels) = data.shard(step, 32, rank, 4);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             // Boundary snapshot — the rollback target after peer loss.
             let snap_params = net.flat_params();
             let snap_optim = optim.export_optim_state();
-            optim.barrier();
+            optim.barrier().unwrap();
             if rank == 2 {
                 // Dies abruptly: returning drops the endpoint, and the
                 // survivors' next collective fails instead of completing.
@@ -734,7 +765,7 @@ mod tests {
             let mut probe = 6u64;
             loop {
                 let (x, labels) = data.shard(probe, 32, rank, 4);
-                match optim.try_train_step(&mut net, &x, &labels) {
+                match optim.train_step(&mut net, &x, &labels) {
                     Ok(_) => probe += 1,
                     Err(_) => break,
                 }
@@ -756,7 +787,7 @@ mod tests {
                 let (x, labels) = data.shard(step, 30, rank, world);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             Some(net.flat_params())
         };
         let out: Vec<Option<Vec<f32>>> = std::thread::scope(|s| {
@@ -767,6 +798,7 @@ mod tests {
                     // deadline is what turns a silent dead neighbor into a
                     // typed error the recovery loop can act on.
                     ep.set_recv_timeout(Some(std::time::Duration::from_millis(500)));
+                    let config = config.clone();
                     s.spawn(move || run_worker(ep, config, worker))
                 })
                 .collect();
@@ -786,6 +818,213 @@ mod tests {
     }
 
     #[test]
+    fn zero_strategies_match_ddp_bitwise_and_shrink_optimizer_state() {
+        // The tentpole acceptance check, in-process: Zero1/Zero2 must be
+        // bit-identical to DDP on the f32 wire — same per-step losses, same
+        // final parameters, same exported optimizer state (which also pins
+        // the ZeRO partition to the checkpoint shard partition) — while the
+        // resident optimizer-state bytes drop by ~world_size.
+        let world = 4;
+        let data = BlobDataset::new(6, 3, 0.4, 321);
+        for optim_kind in [OptimKind::Sgd, OptimKind::adam_default()] {
+            let run = |strategy: ParallelismStrategy| {
+                let config = TrainConfig {
+                    lr: 0.05,
+                    momentum: 0.9,
+                    weight_decay: 1e-4,
+                    fusion_buffer: Some(512),
+                    optim: optim_kind,
+                    strategy,
+                    ..TrainConfig::default()
+                };
+                run_training(world, config, |handle| {
+                    let rank = handle.rank();
+                    let mut net = build_net(7);
+                    let mut optim = handle.into_optim(&net);
+                    let mut losses = Vec::new();
+                    for step in 0..12 {
+                        let (x, labels) = data.shard(step, 32, rank, world);
+                        losses.push(optim.train_step(&mut net, &x, &labels).unwrap());
+                    }
+                    optim.synchronize(&mut net).unwrap();
+                    (
+                        losses,
+                        net.flat_params(),
+                        optim.optim_state_bytes(),
+                        optim.export_optim_state(),
+                    )
+                })
+            };
+            let ddp = run(ParallelismStrategy::Ddp);
+            for strategy in [ParallelismStrategy::Zero1, ParallelismStrategy::Zero2] {
+                let zero = run(strategy.clone());
+                for rank in 0..world {
+                    assert_eq!(
+                        ddp[rank].0, zero[rank].0,
+                        "{strategy:?} losses diverged from DDP ({optim_kind:?})"
+                    );
+                    assert_eq!(
+                        ddp[rank].1, zero[rank].1,
+                        "{strategy:?} parameters diverged from DDP ({optim_kind:?})"
+                    );
+                    assert_eq!(
+                        ddp[rank].3, zero[rank].3,
+                        "{strategy:?} exported optimizer state diverged ({optim_kind:?})"
+                    );
+                    // ~world_size memory drop, with slack for chunk rounding.
+                    assert!(
+                        (zero[rank].2 as f64) * (world as f64) <= (ddp[rank].2 as f64) * 1.25,
+                        "{strategy:?} rank {rank}: resident {} bytes vs DDP {} — \
+                         expected a ~{world}x reduction",
+                        zero[rank].2,
+                        ddp[rank].2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shard_partition_equals_checkpoint_shard_partition() {
+        // The exported (checkpoint) optimizer state is nonzero only inside
+        // this rank's owned global ranges, and those ranges are exactly
+        // what `ShardMap` stores densely: pack ∘ expand must be the
+        // identity on every exported vector, the ranges must be disjoint
+        // across ranks, and their union must cover the whole model.
+        use crate::comm::ShardMap;
+        let world = 3;
+        let data = BlobDataset::new(6, 3, 0.4, 55);
+        let config = TrainConfig {
+            momentum: 0.9,
+            fusion_buffer: Some(256),
+            ..TrainConfig::default()
+        };
+        let states = run_training(world, config, |handle| {
+            let rank = handle.rank();
+            let mut net = build_net(7);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..3 {
+                let (x, labels) = data.shard(step, 30, rank, world);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net).unwrap();
+            optim.export_optim_state()
+        });
+        let net = build_net(7);
+        let layout = GroupLayout::from_buffer(&net, Some(256));
+        let comm_layout = CommLayout::from(&layout);
+        let total = layout.total_elements();
+        let mut covered = vec![false; total];
+        for (rank, state) in states.iter().enumerate() {
+            let map = ShardMap::build(&comm_layout, rank, world);
+            // Support of the checkpoint shard ⊆ owned ranges, bitwise.
+            assert_eq!(
+                map.expand(&map.pack(&state.velocity), total),
+                state.velocity,
+                "rank {rank}: checkpoint shard leaks outside the ZeRO partition"
+            );
+            // Momentum after 3 steps is nonzero somewhere in the shard.
+            assert!(
+                state.velocity.iter().any(|&v| v != 0.0),
+                "rank {rank}: exported shard is all zeros"
+            );
+            for r in map.owned_ranges() {
+                for k in r {
+                    assert!(!covered[k], "element {k} owned by two ranks");
+                    covered[k] = true;
+                }
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "partition does not cover the model"
+        );
+    }
+
+    #[test]
+    fn in_place_resize_recovers_training_under_zero2() {
+        // The elastic recovery loop under `--strategy zero2`: kill a rank,
+        // resize in place, roll back to the boundary snapshot, rebalance
+        // the (dense-sharded) optimizer state under the new world, and keep
+        // training — survivors stay bitwise-identical throughout.
+        let data = BlobDataset::new(6, 3, 0.4, 78);
+        let config = TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            fusion_buffer: Some(512),
+            strategy: ParallelismStrategy::Zero2,
+            ..TrainConfig::default()
+        };
+        let worker = |handle: WorkerHandle| {
+            let rank = handle.rank();
+            let mut net = build_net(5);
+            let mut optim = handle.into_optim(&net);
+            for step in 0..6 {
+                let (x, labels) = data.shard(step, 32, rank, 4);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net).unwrap();
+            let snap_params = net.flat_params();
+            let snap_optim = optim.export_optim_state();
+            optim.barrier().unwrap();
+            if rank == 2 {
+                return None;
+            }
+            let mut probe = 6u64;
+            loop {
+                let (x, labels) = data.shard(probe, 32, rank, 4);
+                match optim.train_step(&mut net, &x, &labels) {
+                    Ok(_) => probe += 1,
+                    Err(_) => break,
+                }
+            }
+            let change = optim
+                .resize_world(Some(vec![0, 1, 3]))
+                .expect("in-place resize failed");
+            assert_eq!(change.new_world, 3);
+            let resume = optim.agree_min_step(6).expect("step agreement failed");
+            net.set_flat_params(&snap_params);
+            optim.import_optim_state(snap_optim);
+            optim
+                .rebalance_optim_state()
+                .expect("shard rebalance failed");
+            // The dense shard now reflects a 3-way partition.
+            let bytes = optim.optim_state_bytes();
+            let total_bytes = net.flat_params().len() * std::mem::size_of::<f32>();
+            assert!(
+                (bytes as f64) * 3.0 <= (total_bytes as f64) * 1.25,
+                "post-resize shard not ~1/3 of the model: {bytes} of {total_bytes}"
+            );
+            let (rank, world) = (change.new_rank, change.new_world);
+            for step in resume..resume + 6 {
+                let (x, labels) = data.shard(step, 30, rank, world);
+                let _ = optim.train_step(&mut net, &x, &labels);
+            }
+            optim.synchronize(&mut net).unwrap();
+            Some(net.flat_params())
+        };
+        let out: Vec<Option<Vec<f32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = dear_collectives::LocalFabric::create(4)
+                .into_iter()
+                .map(|ep| {
+                    ep.set_recv_timeout(Some(std::time::Duration::from_millis(500)));
+                    let config = config.clone();
+                    s.spawn(move || run_worker(ep, config, worker))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let survivors: Vec<_> = out.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        for p in &survivors[1..] {
+            assert_eq!(&survivors[0], p, "survivors diverged under Zero2 resize");
+        }
+    }
+
+    #[test]
     fn rebucketing_mid_training_preserves_correctness() {
         let data = BlobDataset::new(6, 3, 0.4, 99);
         let config = TrainConfig {
@@ -794,7 +1033,7 @@ mod tests {
             fusion_buffer: Some(256),
             ..TrainConfig::default()
         };
-        let params = run_training(3, config, |handle| {
+        let params = run_training(3, config.clone(), |handle| {
             let rank = handle.rank();
             let mut net = build_net(7);
             let mut optim = handle.into_optim(&net);
@@ -803,14 +1042,14 @@ mod tests {
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
             // Re-bucket (as DeAR-BO does), agree via broadcast, continue.
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             let new_buffer = optim.broadcast_value(0, 2048.0) as u64;
             optim.set_fusion_buffer(&net, Some(new_buffer));
             for step in 10..20 {
                 let (x, labels) = data.shard(step, 30, rank, 3);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         for p in &params[1..] {

@@ -14,13 +14,16 @@
 
 use crossbeam_channel::{Receiver, Sender};
 
+use std::ops::Range;
+
 use dear_collectives::{
-    naive_all_reduce_seg, ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk,
-    ring_reduce_scatter_seg, tree_broadcast_seg, CollectiveError, DType, ReduceOp, SegmentConfig,
-    Transport, WorldChange,
+    chunk_range, naive_all_reduce_seg, ring_all_gather_seg, ring_all_reduce_seg, ring_owned_chunk,
+    ring_reduce_scatter_seg, ring_reduce_scatter_shard_seg, tree_broadcast_seg, CollectiveError,
+    DType, ReduceOp, SegmentConfig, Transport, WorldChange,
 };
 
 use crate::layout::GroupLayout;
+use crate::strategy::ParallelismStrategy;
 use crate::trace::{self, TaskKind};
 
 /// Per-group metadata the comm thread needs: `(offset_in_group, len,
@@ -56,6 +59,285 @@ impl From<&GroupLayout> for CommLayout {
             })
             .collect();
         CommLayout { groups }
+    }
+}
+
+impl CommLayout {
+    /// The global flat ranges owned by `rank` under this layout in a world
+    /// of `world` ranks: per group, the ring reduce-scatter's owned chunk
+    /// intersected with each item's extent, mapped through the item's
+    /// global offset. Sorted by start, adjacent ranges merged.
+    ///
+    /// This is THE shard partition of the system — the ZeRO strategies
+    /// store optimizer state densely over exactly these ranges, and (by
+    /// construction from the same `chunk_range` arithmetic) it equals the
+    /// nonzero pattern of the sharded optimizer-state checkpoints of
+    /// `CommJob::ExportOptimState`.
+    #[must_use]
+    pub fn owned_global_ranges(&self, rank: usize, world: usize) -> Vec<Range<usize>> {
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        for meta in &self.groups {
+            let owned = chunk_range(meta.elements, world, ring_owned_chunk(rank, world));
+            for &(off, len, goff) in &meta.items {
+                let lo = owned.start.max(off);
+                let hi = owned.end.min(off + len);
+                if lo < hi {
+                    ranges.push(goff + (lo - off)..goff + (hi - off));
+                }
+            }
+        }
+        ranges.sort_by_key(|r| r.start);
+        let mut merged: Vec<Range<usize>> = Vec::new();
+        for r in ranges {
+            match merged.last_mut() {
+                // Items are globally disjoint, so only exact adjacency
+                // occurs; `max` keeps this robust to degenerate layouts.
+                Some(last) if last.end >= r.start => last.end = last.end.max(r.end),
+                _ => merged.push(r),
+            }
+        }
+        merged
+    }
+}
+
+/// Dense index map of one rank's ZeRO shard: the ranges of
+/// [`CommLayout::owned_global_ranges`] packed back-to-back. Sharded
+/// optimizer vectors hold [`ShardMap::dense_len`] elements;
+/// [`ShardMap::dense_of`] translates a global flat offset into them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardMap {
+    /// `(global_start, global_end, dense_start)`, sorted by start.
+    ranges: Vec<(usize, usize, usize)>,
+    dense_len: usize,
+}
+
+impl ShardMap {
+    /// Builds the map for `rank` of `world` under `layout`.
+    #[must_use]
+    pub fn build(layout: &CommLayout, rank: usize, world: usize) -> ShardMap {
+        let mut ranges = Vec::new();
+        let mut cursor = 0usize;
+        for r in layout.owned_global_ranges(rank, world) {
+            ranges.push((r.start, r.end, cursor));
+            cursor += r.end - r.start;
+        }
+        ShardMap {
+            ranges,
+            dense_len: cursor,
+        }
+    }
+
+    /// Packed element count of this rank's shard.
+    #[must_use]
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// The owned global ranges, sorted and merged.
+    #[must_use]
+    pub fn owned_ranges(&self) -> Vec<Range<usize>> {
+        self.ranges.iter().map(|&(s, e, _)| s..e).collect()
+    }
+
+    /// Dense index of global flat offset `gidx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gidx` is not owned by this shard.
+    #[must_use]
+    pub fn dense_of(&self, gidx: usize) -> usize {
+        let i = self.ranges.partition_point(|&(s, _, _)| s <= gidx);
+        assert!(i > 0, "global offset {gidx} below every owned range");
+        let (s, e, d) = self.ranges[i - 1];
+        assert!(
+            gidx < e,
+            "global offset {gidx} not owned (nearest {s}..{e})"
+        );
+        d + (gidx - s)
+    }
+
+    /// Expands a packed shard vector to full length `total`, zeros outside
+    /// the owned ranges — the exchange/checkpoint format of PR 3.
+    #[must_use]
+    pub fn expand(&self, dense: &[f32], total: usize) -> Vec<f32> {
+        assert_eq!(dense.len(), self.dense_len, "packed length mismatch");
+        let mut full = vec![0.0f32; total];
+        for &(s, e, d) in &self.ranges {
+            full[s..e].copy_from_slice(&dense[d..d + (e - s)]);
+        }
+        full
+    }
+
+    /// Packs a full-length vector down to the owned ranges.
+    #[must_use]
+    pub fn pack(&self, full: &[f32]) -> Vec<f32> {
+        let mut dense = vec![0.0f32; self.dense_len];
+        for &(s, e, d) in &self.ranges {
+            dense[d..d + (e - s)].copy_from_slice(&full[s..e]);
+        }
+        dense
+    }
+
+    /// Zeroes every element of `full` outside the owned ranges (the DDP
+    /// full-length resident form after a repartition).
+    pub fn mask_full(&self, full: &mut [f32]) {
+        let mut keep = 0usize;
+        for &(s, e, _) in &self.ranges {
+            full[keep..s].iter_mut().for_each(|v| *v = 0.0);
+            keep = e;
+        }
+        full[keep..].iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// The comm thread's resident optimizer storage: full-length with zeros
+/// outside the shard (DDP — today's layout, bit-for-bit), or packed dense
+/// over the owned ranges (ZeRO-1/2). The update math is identical either
+/// way; only the indexing differs, so every strategy produces bit-identical
+/// parameters on an f32 wire.
+struct OptimStore {
+    /// `Some` when the strategy shards optimizer state.
+    map: Option<ShardMap>,
+    total: usize,
+    velocity: Vec<f32>,
+    /// Allocated lazily on the first Adam step.
+    second_moment: Vec<f32>,
+}
+
+impl OptimStore {
+    fn new(
+        strategy: &ParallelismStrategy,
+        layout: &CommLayout,
+        rank: usize,
+        world: usize,
+        total: usize,
+    ) -> OptimStore {
+        let map = strategy
+            .shards_optimizer_state()
+            .then(|| ShardMap::build(layout, rank, world));
+        let len = map.as_ref().map_or(total, ShardMap::dense_len);
+        OptimStore {
+            map,
+            total,
+            velocity: vec![0.0f32; len],
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Resident length of each state vector under the current partition.
+    fn resident_len(&self) -> usize {
+        self.map.as_ref().map_or(self.total, ShardMap::dense_len)
+    }
+
+    /// Resident optimizer-state bytes on this rank right now.
+    fn resident_bytes(&self) -> usize {
+        (self.velocity.len() + self.second_moment.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Index into the state vectors for global flat offset `gidx`.
+    fn base_index(&self, gidx: usize) -> usize {
+        match &self.map {
+            Some(m) => m.dense_of(gidx),
+            None => gidx,
+        }
+    }
+
+    /// Full-length (exchange-format) copy of the velocity vector.
+    fn export_velocity(&self) -> Vec<f32> {
+        match &self.map {
+            Some(m) => m.expand(&self.velocity, self.total),
+            None => self.velocity.clone(),
+        }
+    }
+
+    /// Full-length copy of the second moment; empty if Adam never stepped.
+    fn export_second_moment(&self) -> Vec<f32> {
+        if self.second_moment.is_empty() {
+            return Vec::new();
+        }
+        match &self.map {
+            Some(m) => m.expand(&self.second_moment, self.total),
+            None => self.second_moment.clone(),
+        }
+    }
+
+    /// Installs full-length (exchange-format) state, packing if sharded.
+    fn import(&mut self, velocity: Vec<f32>, second_moment: Vec<f32>) {
+        match &self.map {
+            Some(m) => {
+                self.velocity = m.pack(&velocity);
+                self.second_moment = if second_moment.is_empty() {
+                    Vec::new()
+                } else {
+                    m.pack(&second_moment)
+                };
+            }
+            None => {
+                self.velocity = velocity;
+                self.second_moment = second_moment;
+            }
+        }
+    }
+
+    /// Adopts a new partition (re-bucketing or post-resize rebalance) from
+    /// fully-reconstructed state: pack to the new shard when sharding,
+    /// otherwise keep full length with non-owned elements zeroed — exactly
+    /// the pre-strategy DDP behaviour.
+    fn adopt(
+        &mut self,
+        layout: &CommLayout,
+        rank: usize,
+        world: usize,
+        mut full_velocity: Vec<f32>,
+        mut full_second_moment: Vec<f32>,
+    ) {
+        let map = ShardMap::build(layout, rank, world);
+        if self.map.is_some() {
+            self.velocity = map.pack(&full_velocity);
+            self.second_moment = if full_second_moment.is_empty() {
+                Vec::new()
+            } else {
+                map.pack(&full_second_moment)
+            };
+            self.map = Some(map);
+        } else {
+            map.mask_full(&mut full_velocity);
+            if !full_second_moment.is_empty() {
+                map.mask_full(&mut full_second_moment);
+            }
+            self.velocity = full_velocity;
+            self.second_moment = full_second_moment;
+        }
+    }
+}
+
+/// A stashed group awaiting its OP2 all-gather. Under ZeRO-2 only the
+/// owned chunk stays resident; the full buffer is rebuilt at gather time
+/// (the all-gather overwrites every other chunk from the wire, so zeros
+/// there are invisible to the result).
+enum StashEntry {
+    Full(Vec<f32>),
+    Shard {
+        owned: Range<usize>,
+        chunk: Vec<f32>,
+        elements: usize,
+    },
+}
+
+impl StashEntry {
+    fn into_full(self) -> Vec<f32> {
+        match self {
+            StashEntry::Full(params) => params,
+            StashEntry::Shard {
+                owned,
+                chunk,
+                elements,
+            } => {
+                let mut params = vec![0.0f32; elements];
+                params[owned].copy_from_slice(&chunk);
+                params
+            }
+        }
     }
 }
 
@@ -178,6 +460,10 @@ pub enum CommJob {
     /// step after a resize, replying with [`CommResult::Step`]. The value
     /// rides the f32 control path, so it must stay below 2^24.
     AgreeStep(u64),
+    /// Report the resident optimizer-state bytes on this rank, replying
+    /// with [`CommResult::OptimBytes`]. Purely local — no communication —
+    /// and valid at any time; this is what the ZeRO memory assertions read.
+    QueryOptimBytes,
 }
 
 /// Replies sent back to the training thread.
@@ -212,6 +498,9 @@ pub enum CommResult {
     Resized(Result<WorldChange, CollectiveError>),
     /// The agreed (minimum) step across the world.
     Step(u64),
+    /// Resident optimizer-state bytes on this rank (velocity plus second
+    /// moment, at their current — full or shard-dense — lengths).
+    OptimBytes(usize),
     /// A collective failed. The job that posted it was abandoned, and any
     /// iteration state stashed comm-side was discarded — the step cannot be
     /// resumed. The transport stays broken until a successful
@@ -238,6 +527,7 @@ pub fn run_comm_thread<T: Transport>(
     mut hyper: HyperParams,
     total_elements: usize,
     segments: SegmentConfig,
+    strategy: &ParallelismStrategy,
     trace_scope: &str,
     jobs: &Receiver<CommJob>,
     results: &Sender<CommResult>,
@@ -252,13 +542,13 @@ pub fn run_comm_thread<T: Transport>(
     // path (RsUpdate / FlushAllGathers / AllReduce) uses the narrow wire.
     let control = segments.with_wire(DType::F32);
     // Optimizer state keyed by global flat offset: survives re-bucketing.
-    // `velocity` doubles as Adam's first moment; `second_moment` is
-    // allocated lazily only when Adam is selected.
-    let mut velocity = vec![0.0f32; total_elements];
-    let mut second_moment: Vec<f32> = Vec::new();
+    // `velocity` doubles as Adam's first moment; the second moment is
+    // allocated lazily only when Adam is selected. DDP keeps full-length
+    // vectors (zeros outside the shard); ZeRO packs the owned ranges.
+    let mut store = OptimStore::new(strategy, &layout, rank, world, total_elements);
     let mut adam_step: u64 = 0;
     // Groups stashed this iteration, in arrival (backward) order.
-    let mut stash: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut stash: Vec<(usize, StashEntry)> = Vec::new();
 
     while let Ok(job) = jobs.recv() {
         // On collective failure: drop the iteration's stash (the step is
@@ -305,16 +595,32 @@ pub fn run_comm_thread<T: Transport>(
                     adam_step += 1;
                 }
                 let op1 = trace::span(TaskKind::Communication, || format!("OP1.RS[g{group}]"));
-                let owned = match ring_reduce_scatter_seg(
-                    &transport,
-                    &mut grads,
-                    ReduceOp::Sum,
-                    segments,
-                ) {
-                    Ok(owned) => owned,
-                    Err(e) => {
-                        op1.end();
-                        fail!(e);
+                // ZeRO-2 takes the RS-only completion point: the reduced
+                // shard comes back compact and the full-length gradient
+                // buffer is released before the update even starts.
+                // `gshift` re-bases group coordinates into `gbuf` — zero
+                // when the buffer is full-length, `owned.start` when it is
+                // the compact shard. Pure index arithmetic, so every
+                // strategy computes bit-identical updates.
+                let (owned, gbuf, gshift) = if strategy.shards_grad_stash() {
+                    match ring_reduce_scatter_shard_seg(&transport, grads, ReduceOp::Sum, segments)
+                    {
+                        Ok((owned, shard)) => {
+                            let shift = owned.start;
+                            (owned, shard, shift)
+                        }
+                        Err(e) => {
+                            op1.end();
+                            fail!(e);
+                        }
+                    }
+                } else {
+                    match ring_reduce_scatter_seg(&transport, &mut grads, ReduceOp::Sum, segments) {
+                        Ok(owned) => (owned, grads, 0),
+                        Err(e) => {
+                            op1.end();
+                            fail!(e);
+                        }
                     }
                 };
                 op1.end();
@@ -328,17 +634,21 @@ pub fn run_comm_thread<T: Transport>(
                         for &(off, len, goff) in &meta.items {
                             let lo = owned.start.max(off);
                             let hi = owned.end.min(off + len);
+                            if lo >= hi {
+                                continue;
+                            }
+                            let vbase = store.base_index(goff + (lo - off));
                             for k in lo..hi {
-                                let gidx = goff + (k - off);
-                                let g = grads[k] * inv_p + hyper.weight_decay * params[k];
-                                velocity[gidx] = hyper.momentum * velocity[gidx] + g;
-                                params[k] -= hyper.lr * velocity[gidx];
+                                let vi = vbase + (k - lo);
+                                let g = gbuf[k - gshift] * inv_p + hyper.weight_decay * params[k];
+                                store.velocity[vi] = hyper.momentum * store.velocity[vi] + g;
+                                params[k] -= hyper.lr * store.velocity[vi];
                             }
                         }
                     }
                     OptimKind::Adam { beta1, beta2, eps } => {
-                        if second_moment.len() != total_elements {
-                            second_moment = vec![0.0; total_elements];
+                        if store.second_moment.len() != store.resident_len() {
+                            store.second_moment = vec![0.0; store.resident_len()];
                         }
                         // Bias correction in f64: 1 − βᵗ underflows f32
                         // precision once βᵗ ≈ 1 − 1e-7 (β₂ = 0.999 reaches
@@ -348,32 +658,52 @@ pub fn run_comm_thread<T: Transport>(
                         for &(off, len, goff) in &meta.items {
                             let lo = owned.start.max(off);
                             let hi = owned.end.min(off + len);
+                            if lo >= hi {
+                                continue;
+                            }
+                            let vbase = store.base_index(goff + (lo - off));
                             for k in lo..hi {
-                                let gidx = goff + (k - off);
-                                let g = grads[k] * inv_p + hyper.weight_decay * params[k];
-                                velocity[gidx] = beta1 * velocity[gidx] + (1.0 - beta1) * g;
-                                second_moment[gidx] =
-                                    beta2 * second_moment[gidx] + (1.0 - beta2) * g * g;
-                                let m_hat = velocity[gidx] / bias1;
-                                let v_hat = second_moment[gidx] / bias2;
+                                let vi = vbase + (k - lo);
+                                let g = gbuf[k - gshift] * inv_p + hyper.weight_decay * params[k];
+                                store.velocity[vi] = beta1 * store.velocity[vi] + (1.0 - beta1) * g;
+                                store.second_moment[vi] =
+                                    beta2 * store.second_moment[vi] + (1.0 - beta2) * g * g;
+                                let m_hat = store.velocity[vi] / bias1;
+                                let v_hat = store.second_moment[vi] / bias2;
                                 params[k] -= hyper.lr * m_hat / (v_hat.sqrt() + eps);
                             }
                         }
                     }
                 }
                 upd.end();
-                stash.push((group, params));
+                let entry = if strategy.shards_grad_stash() {
+                    // Only the owned chunk is live between OP1 and OP2: the
+                    // all-gather redistributes it and overwrites the rest.
+                    let chunk = params[owned.clone()].to_vec();
+                    StashEntry::Shard {
+                        owned,
+                        chunk,
+                        elements: meta.elements,
+                    }
+                } else {
+                    StashEntry::Full(params)
+                };
+                stash.push((group, entry));
             }
             CommJob::FlushAllGathers => {
                 // Forward order = reverse of backward arrival order, so the
                 // first layers' parameters arrive first (FeedPipe).
                 let mut failed = None;
-                for (group, mut params) in stash.drain(..).rev() {
+                for (group, entry) in stash.drain(..).rev() {
                     if failed.is_some() {
                         // Keep draining: the rest of the abandoned step's
                         // groups are dropped, not gathered.
                         continue;
                     }
+                    // ZeRO-2 rematerializes the full buffer just-in-time:
+                    // zeros everywhere except the owned chunk, which is all
+                    // the ring all-gather ever reads from this rank.
+                    let mut params = entry.into_full();
                     let op2 = trace::span(TaskKind::Communication, || format!("OP2.AG[g{group}]"));
                     match ring_all_gather_seg(
                         &transport,
@@ -459,43 +789,24 @@ pub fn run_comm_thread<T: Transport>(
                 // only the shards it owns under the new layout. A failure
                 // part-way leaves the state half-reduced — recovery must go
                 // through a snapshot import, never resume from here.
+                let mut full_velocity = store.export_velocity();
                 if let Err(e) =
-                    ring_all_reduce_seg(&transport, &mut velocity, ReduceOp::Sum, control)
+                    ring_all_reduce_seg(&transport, &mut full_velocity, ReduceOp::Sum, control)
                 {
                     fail!(e);
                 }
-                if !second_moment.is_empty() {
+                let mut full_second = store.export_second_moment();
+                if !full_second.is_empty() {
                     if let Err(e) =
-                        ring_all_reduce_seg(&transport, &mut second_moment, ReduceOp::Sum, control)
+                        ring_all_reduce_seg(&transport, &mut full_second, ReduceOp::Sum, control)
                     {
                         fail!(e);
                     }
                 }
-                let mut owned_mask = vec![false; velocity.len()];
-                for meta in &new_layout.groups {
-                    let owned = dear_collectives::chunk_range(
-                        meta.elements,
-                        world,
-                        ring_owned_chunk(rank, world),
-                    );
-                    for &(off, len, goff) in &meta.items {
-                        let lo = owned.start.max(off);
-                        let hi = owned.end.min(off + len);
-                        for k in lo..hi {
-                            owned_mask[goff + (k - off)] = true;
-                        }
-                    }
-                }
-                for (v, owned) in velocity.iter_mut().zip(&owned_mask) {
-                    if !*owned {
-                        *v = 0.0;
-                    }
-                }
-                for (v, owned) in second_moment.iter_mut().zip(&owned_mask) {
-                    if !*owned {
-                        *v = 0.0;
-                    }
-                }
+                // Re-partition under the new layout (and the possibly-new
+                // world after an in-place resize): DDP re-masks the full
+                // vectors, ZeRO re-packs them to the new owned ranges.
+                store.adopt(&new_layout, rank, world, full_velocity, full_second);
                 layout = new_layout;
             }
             CommJob::SetHyper(new_hyper) => {
@@ -504,10 +815,14 @@ pub fn run_comm_thread<T: Transport>(
             }
             CommJob::ExportOptimState => {
                 boundary!("an optimizer-state export");
+                // Always exported in the full-length exchange format (zeros
+                // outside the owned shard) regardless of strategy, so the
+                // checkpoint layout is strategy-independent and a run can
+                // resume under a different strategy than it saved with.
                 results
                     .send(CommResult::OptimState(OptimState {
-                        velocity: velocity.clone(),
-                        second_moment: second_moment.clone(),
+                        velocity: store.export_velocity(),
+                        second_moment: store.export_second_moment(),
                         adam_step,
                     }))
                     .expect("training thread hung up");
@@ -523,8 +838,7 @@ pub fn run_comm_thread<T: Transport>(
                     state.second_moment.is_empty() || state.second_moment.len() == total_elements,
                     "imported second moment must be empty or match the model"
                 );
-                velocity = state.velocity;
-                second_moment = state.second_moment;
+                store.import(state.velocity, state.second_moment);
                 adam_step = state.adam_step;
             }
             CommJob::ResizeWorld { survivors } => {
@@ -560,6 +874,11 @@ pub fn run_comm_thread<T: Transport>(
                 sp.end();
                 results
                     .send(CommResult::Step(buf[0] as u64))
+                    .expect("training thread hung up");
+            }
+            CommJob::QueryOptimBytes => {
+                results
+                    .send(CommResult::OptimBytes(store.resident_bytes()))
                     .expect("training thread hung up");
             }
         }
@@ -602,6 +921,7 @@ mod tests {
                 hyper,
                 4,
                 SegmentConfig::MONOLITHIC,
+                &ParallelismStrategy::Ddp,
                 &scope,
                 &job_rx,
                 &res_tx,

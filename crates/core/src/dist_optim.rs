@@ -176,23 +176,13 @@ impl DistOptim {
     /// gradient communication chasing it), and the update. Returns the
     /// mini-batch loss.
     ///
-    /// # Panics
-    ///
-    /// Panics if the comm thread has died, a collective failed (use
-    /// [`DistOptim::try_train_step`] to recover instead), or label/batch
-    /// shapes mismatch.
-    pub fn train_step(&mut self, net: &mut Sequential, input: &Tensor, labels: &[usize]) -> f32 {
-        match self.try_train_step(net, input, labels) {
-            Ok(loss) => loss,
-            Err(e) => panic!("collective failed during training step: {e}"),
-        }
-    }
-
-    /// Like [`DistOptim::train_step`], but surfaces collective failures
-    /// (peer death, abort by the failure detector) as a typed error instead
-    /// of panicking. On `Err` the step — and possibly the previous step's
-    /// parameter update — is invalid: roll back to a known-good snapshot,
-    /// [`DistOptim::resize_world`], agree on the resume step, and retry.
+    /// This is the canonical, `Result`-returning form: collective failures
+    /// (peer death, abort by the failure detector) surface as a typed error
+    /// instead of a panic. On `Err` the step — and possibly the previous
+    /// step's parameter update — is invalid: roll back to a known-good
+    /// snapshot, [`DistOptim::resize_world`], agree on the resume step, and
+    /// retry. Callers that cannot recover use
+    /// [`DistOptim::train_step_or_panic`].
     ///
     /// # Errors
     ///
@@ -203,7 +193,7 @@ impl DistOptim {
     /// # Panics
     ///
     /// Panics if the comm thread has died or label/batch shapes mismatch.
-    pub fn try_train_step(
+    pub fn train_step(
         &mut self,
         net: &mut Sequential,
         input: &Tensor,
@@ -216,6 +206,25 @@ impl DistOptim {
         match self.comm_failed.clone() {
             Some(e) => Err(e),
             None => Ok(loss),
+        }
+    }
+
+    /// Thin panicking wrapper over [`DistOptim::train_step`] for callers
+    /// with no recovery path (single-shot examples, reference runs): any
+    /// collective failure aborts the process with the error message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any collective failure, or as [`DistOptim::train_step`].
+    pub fn train_step_or_panic(
+        &mut self,
+        net: &mut Sequential,
+        input: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        match self.train_step(net, input, labels) {
+            Ok(loss) => loss,
+            Err(e) => panic!("collective failed during training step: {e}"),
         }
     }
 
@@ -386,22 +395,13 @@ impl DistOptim {
 
     /// Forces all outstanding communication to complete and installs the
     /// latest parameters — the paper's `optim.synchronize()` before
-    /// validation (Listing 1, line 12).
+    /// validation (Listing 1, line 12). Canonical `Result`-returning form;
+    /// see [`DistOptim::synchronize_or_panic`] for the unrecoverable-caller
+    /// wrapper.
     ///
-    /// # Panics
-    ///
-    /// Panics if the comm thread has died or a collective failed (use
-    /// [`DistOptim::try_synchronize`] to recover instead).
-    pub fn synchronize(&mut self, net: &mut Sequential) {
-        if let Err(e) = self.try_synchronize(net) {
-            panic!("collective failed during synchronize: {e}");
-        }
-    }
-
-    /// Like [`DistOptim::synchronize`], but surfaces collective failures as
-    /// a typed error. On `Err` the installed parameters are not trustworthy
-    /// (missing groups were filled with placeholders); roll back to a
-    /// snapshot after resizing.
+    /// On `Err` the installed parameters are not trustworthy (missing
+    /// groups were filled with placeholders); roll back to a snapshot after
+    /// resizing.
     ///
     /// # Errors
     ///
@@ -410,7 +410,7 @@ impl DistOptim {
     /// # Panics
     ///
     /// Panics if the comm thread has died.
-    pub fn try_synchronize(&mut self, net: &mut Sequential) -> Result<(), CollectiveError> {
+    pub fn synchronize(&mut self, net: &mut Sequential) -> Result<(), CollectiveError> {
         while self.pending > 0 {
             match self.results.recv().expect("comm thread hung up") {
                 CommResult::Params { group, params } => {
@@ -442,6 +442,18 @@ impl DistOptim {
         }
     }
 
+    /// Thin panicking wrapper over [`DistOptim::synchronize`] for callers
+    /// with no recovery path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any collective failure, or as [`DistOptim::synchronize`].
+    pub fn synchronize_or_panic(&mut self, net: &mut Sequential) {
+        if let Err(e) = self.synchronize(net) {
+            panic!("collective failed during synchronize: {e}");
+        }
+    }
+
     /// Broadcasts `value` from `root` to all ranks (used to agree on a new
     /// BO-suggested buffer size). Must be called at an iteration boundary
     /// after [`DistOptim::synchronize`], collectively by all ranks.
@@ -462,20 +474,8 @@ impl DistOptim {
     }
 
     /// Synchronizes all ranks. Must be called collectively at an iteration
-    /// boundary.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called with communication outstanding or the barrier's
-    /// collective failed (use [`DistOptim::try_barrier`] to recover).
-    pub fn barrier(&mut self) {
-        if let Err(e) = self.try_barrier() {
-            panic!("barrier failed: {e}");
-        }
-    }
-
-    /// Like [`DistOptim::barrier`], but surfaces collective failures as a
-    /// typed error instead of panicking.
+    /// boundary. Canonical `Result`-returning form; see
+    /// [`DistOptim::barrier_or_panic`] for the unrecoverable-caller wrapper.
     ///
     /// # Errors
     ///
@@ -485,7 +485,7 @@ impl DistOptim {
     ///
     /// Panics if called with communication outstanding or the comm thread
     /// has died.
-    pub fn try_barrier(&mut self) -> Result<(), CollectiveError> {
+    pub fn barrier(&mut self) -> Result<(), CollectiveError> {
         assert_eq!(self.pending, 0, "barrier requires a synchronized state");
         self.jobs
             .send(CommJob::Barrier)
@@ -497,6 +497,43 @@ impl DistOptim {
                 Err(e)
             }
             other => panic!("unexpected comm result in barrier: {other:?}"),
+        }
+    }
+
+    /// Thin panicking wrapper over [`DistOptim::barrier`] for callers with
+    /// no recovery path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any collective failure, or as [`DistOptim::barrier`].
+    pub fn barrier_or_panic(&mut self) {
+        if let Err(e) = self.barrier() {
+            panic!("barrier failed: {e}");
+        }
+    }
+
+    /// The resident optimizer-state bytes on this rank right now (velocity
+    /// plus Adam second moment, at their current full or shard-dense
+    /// lengths). Purely local — no communication. This is what the ZeRO
+    /// memory assertions read: under `Zero1`/`Zero2` it is ~`1/world` of
+    /// the DDP figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with communication outstanding or the comm thread
+    /// has died.
+    #[must_use]
+    pub fn optim_state_bytes(&mut self) -> usize {
+        assert_eq!(
+            self.pending, 0,
+            "optimizer-byte query requires a synchronized state"
+        );
+        self.jobs
+            .send(CommJob::QueryOptimBytes)
+            .expect("comm thread hung up");
+        match self.results.recv().expect("comm thread hung up") {
+            CommResult::OptimBytes(bytes) => bytes,
+            other => panic!("unexpected comm result in byte query: {other:?}"),
         }
     }
 
@@ -713,6 +750,6 @@ impl DistOptim {
         // `Reconfigure` carries no reply of its own; the trailing barrier
         // both confirms its collectives succeeded and releases all ranks
         // past the rebalance together.
-        self.try_barrier()
+        self.barrier()
     }
 }

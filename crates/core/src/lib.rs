@@ -39,9 +39,9 @@
 //!     let mut optim = handle.into_optim(&net); // dear.DistOptim(...)
 //!     for step in 0..20 {
 //!         let (x, labels) = data.shard(step, 32, rank, 4);
-//!         optim.train_step(&mut net, &x, &labels);
+//!         optim.train_step(&mut net, &x, &labels).unwrap();
 //!     }
-//!     optim.synchronize(&mut net); // before validation
+//!     optim.synchronize(&mut net).unwrap(); // before validation
 //!     net.flat_params()
 //! });
 //! assert_eq!(finals[0], finals[3]); // all ranks hold identical models
@@ -55,6 +55,7 @@ mod cluster;
 mod comm;
 mod dist_optim;
 mod layout;
+mod strategy;
 pub mod trace;
 pub mod tuning;
 
@@ -62,9 +63,12 @@ pub use checkpoint::{CheckpointError, CheckpointStore, TrainCheckpoint};
 pub use cluster::{
     run_training, run_worker, train_single_reference, DelayConfig, TrainConfig, WorkerHandle,
 };
-pub use comm::{CommLayout, HyperParams, OptimKind, OptimState};
+pub use comm::{CommLayout, HyperParams, OptimKind, OptimState, ShardMap};
 pub use dear_collectives::{DType, SegmentConfig};
 pub use dear_fusion as fusion;
 pub use dist_optim::{DistOptim, PipelineMode};
 pub use layout::{GroupLayout, ItemSpec};
-pub use tuning::{AlgoSelector, CollectiveChoice, OnlineTuning, Selection};
+pub use strategy::{ParallelismStrategy, StrategyError};
+pub use tuning::{
+    forecast_strategy, AlgoSelector, CollectiveChoice, OnlineTuning, Selection, StrategyForecast,
+};

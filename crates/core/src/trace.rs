@@ -46,9 +46,11 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 
 pub use dear_sim::{SimDuration, SimTime, StreamId, TaskKind, Timeline};
 
-/// Environment variable naming the trace output path prefix. When set, the
-/// recorder is enabled at [`init_from_env`] time and runtimes dump
-/// `<prefix>.rank<R>.json` at the end of the run.
+/// Environment variable naming the trace output path prefix. This module
+/// never reads it itself: the launch layer parses it into a typed config
+/// (`NetConfig::from_env` in `dear-net`, its only env reader) and calls
+/// [`configure`]. Runtimes then dump `<prefix>.rank<R>.json` at the end of
+/// the run.
 pub const TRACE_ENV: &str = "DEAR_TRACE";
 
 /// One recorded wall-clock span, with instants as nanoseconds since the
@@ -178,18 +180,18 @@ pub fn set_enabled(on: bool) {
     tracer().enabled.store(on, Ordering::Relaxed);
 }
 
-/// Applies the [`TRACE_ENV`] environment variable: a non-empty value enables
-/// the recorder and remembers the value as the dump path prefix.
-pub fn init_from_env() {
-    if let Ok(path) = std::env::var(TRACE_ENV) {
-        if !path.is_empty() {
-            *tracer().path.lock().unwrap() = Some(PathBuf::from(&path));
-            set_enabled(true);
-        }
-    }
+/// Configures the recorder from a typed setting: `Some(prefix)` enables it
+/// and remembers `prefix` as the dump path, `None` disables it and clears
+/// any previous path. This is the struct-level equivalent of the
+/// [`TRACE_ENV`] variable / `dear-launch --trace` flag — the launch layer
+/// parses those into `NetConfig` and calls this; no env read happens here.
+pub fn configure(path: Option<PathBuf>) {
+    let enable = path.is_some();
+    *tracer().path.lock().unwrap() = path;
+    set_enabled(enable);
 }
 
-/// The dump path prefix configured via [`TRACE_ENV`], if any.
+/// The dump path prefix set via [`configure`], if any.
 #[must_use]
 pub fn configured_path() -> Option<PathBuf> {
     tracer().path.lock().unwrap().clone()

@@ -12,6 +12,8 @@ use dear_collectives::{CommPattern, CostModel, Topology};
 use dear_fusion::Tuner;
 use dear_sim::{SimDuration, TaskKind, Timeline};
 
+use crate::strategy::ParallelismStrategy;
+
 /// A monotonic clock the tuning window reads. Injectable so tests can
 /// drive the timer deterministically; real runs use [`MonotonicClock`].
 pub trait Clock {
@@ -554,6 +556,124 @@ impl AlgoSelector {
     }
 }
 
+/// What the DES expects one [`ParallelismStrategy`] to cost at runtime:
+/// the per-step makespan of the decoupled pipeline's communication +
+/// update critical path, and the per-rank memory it leaves resident.
+/// Produced by [`forecast_strategy`]; the `ext_zero_comparison` bench
+/// records these next to the measured TCP-runtime numbers so the
+/// prediction is confirmed, not just asserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyForecast {
+    /// The strategy this forecast is for.
+    pub strategy: ParallelismStrategy,
+    /// Predicted per-step RS → update → AG makespan. Identical across
+    /// `ddp`/`zero1`/`zero2` **by construction**: ZeRO on the decoupled
+    /// pipeline reuses OP1's reduce-scatter and OP2's all-gather verbatim
+    /// and every rank updates only its owned shard either way, so sharding
+    /// moves no extra bytes and does no extra arithmetic. The forecast
+    /// makes that zero-overhead claim explicit and testable.
+    pub step_time: SimDuration,
+    /// Predicted resident optimizer-state bytes per rank (f32 vectors):
+    /// the full model under `ddp`, one `⌈n/world⌉` chunk per state vector
+    /// under `zero1`/`zero2`. Group-boundary rounding at runtime can move
+    /// this by a few elements per bucket, never by a factor.
+    pub optim_state_bytes: usize,
+    /// Predicted peak bytes of parameters parked on the comm thread
+    /// between OP1 and OP2: the full model under `ddp`/`zero1`, only the
+    /// owned chunk under `zero2` (the rest is rematerialized as zeros at
+    /// all-gather time — bit-identical, since the ring only reads the
+    /// owned chunk from this rank).
+    pub stash_bytes: usize,
+}
+
+/// DES forecast of one DeAR training step under `strategy` on `world`
+/// ranks: replays OP1 (ring reduce-scatter, `world − 1` NIC rounds), the
+/// owned-shard optimizer update (a dependent CPU task of
+/// `update_ns_per_element · ⌈n/world⌉ · (1 + state_vectors)` ns), and OP2
+/// (ring all-gather) on a [`Timeline`], and pairs the makespan with the
+/// closed-form per-rank memory of the strategy. `param_elements` is the
+/// flat model size `n`; `state_vectors` how many f32 state vectors the
+/// optimizer keeps per parameter (1 for SGD momentum, 2 for Adam);
+/// gradients are costed at 4 bytes/element (the f32 wire, where the
+/// bit-identity guarantee holds).
+///
+/// # Panics
+///
+/// Panics if `world == 0` or `strategy` is not runnable
+/// ([`ParallelismStrategy::Hybrid`] is reserved).
+#[must_use]
+pub fn forecast_strategy(
+    strategy: &ParallelismStrategy,
+    model: &CostModel,
+    world: usize,
+    param_elements: usize,
+    state_vectors: usize,
+    update_ns_per_element: f64,
+) -> StrategyForecast {
+    assert!(world > 0, "world must be positive");
+    assert!(
+        !matches!(strategy, ParallelismStrategy::Hybrid(_)),
+        "hybrid strategies are reserved and cannot be forecast"
+    );
+    let bytes = (param_elements * 4) as u64;
+    let shard_elements = param_elements.div_ceil(world);
+    let mut tl = Timeline::new();
+    let nic = tl.add_stream("nic");
+    let cpu = tl.add_stream("cpu");
+    let rounds = world.saturating_sub(1).max(1) as u64;
+    // OP1: the RS rounds back-to-back on the NIC (remainder in the last
+    // round so the phase total is exact, as in `AlgoSelector::simulate`).
+    let rs_total = model.ring_reduce_scatter(bytes, world);
+    let per = rs_total / rounds;
+    let mut last = None;
+    for r in 0..rounds {
+        let d = if r + 1 == rounds {
+            rs_total - per * (rounds - 1)
+        } else {
+            per
+        };
+        last = Some(tl.schedule(nic, format!("RS[{r}]"), TaskKind::Communication, d, &[]));
+    }
+    // OP1.UPD: every strategy updates only the owned shard — reading the
+    // reduced gradient and touching each state vector once.
+    let upd_ns = update_ns_per_element * shard_elements as f64 * (1 + state_vectors) as f64;
+    let upd = tl.schedule(
+        cpu,
+        "UPD".to_string(),
+        TaskKind::Other,
+        SimDuration::from_nanos(upd_ns.round() as u64),
+        &[last.expect("at least one RS round")],
+    );
+    // OP2: the AG rounds, gated on the update.
+    let ag_total = model.ring_all_gather(bytes, world);
+    let per = ag_total / rounds;
+    let mut deps = vec![upd];
+    for r in 0..rounds {
+        let d = if r + 1 == rounds {
+            ag_total - per * (rounds - 1)
+        } else {
+            per
+        };
+        deps = vec![tl.schedule(nic, format!("AG[{r}]"), TaskKind::Communication, d, &deps)];
+    }
+    let state_elements = if strategy.shards_optimizer_state() {
+        shard_elements
+    } else {
+        param_elements
+    };
+    let stash_elements = if strategy.shards_grad_stash() {
+        shard_elements
+    } else {
+        param_elements
+    };
+    StrategyForecast {
+        strategy: strategy.clone(),
+        step_time: tl.makespan(),
+        optim_state_bytes: state_elements * state_vectors * 4,
+        stash_bytes: stash_elements * 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +921,46 @@ mod tests {
         assert_ne!(sel.select(bytes).choice, winner, "the EWMA must demote it");
         // A different size bucket is untouched.
         assert_eq!(sel.correction(winner, 1 << 10), 1.0);
+    }
+
+    #[test]
+    fn strategy_forecast_predicts_free_sharding_and_the_memory_drop() {
+        // The ZeRO-on-DeAR claim, stated by the DES: every strategy rides
+        // the same RS → UPD → AG critical path (zero time overhead), while
+        // the resident memory scales down with the world.
+        let world = 8;
+        let n = 1_000_000;
+        let m = CostModel::ten_gbe();
+        let ddp = forecast_strategy(&ParallelismStrategy::Ddp, &m, world, n, 2, 0.5);
+        let z1 = forecast_strategy(&ParallelismStrategy::Zero1, &m, world, n, 2, 0.5);
+        let z2 = forecast_strategy(&ParallelismStrategy::Zero2, &m, world, n, 2, 0.5);
+        assert_eq!(ddp.step_time, z1.step_time, "zero1 must cost no step time");
+        assert_eq!(ddp.step_time, z2.step_time, "zero2 must cost no step time");
+        // And the step is RS + UPD + AG end to end on the critical path.
+        let comm =
+            m.ring_reduce_scatter((n * 4) as u64, world) + m.ring_all_gather((n * 4) as u64, world);
+        assert!(ddp.step_time >= comm, "update must extend the makespan");
+        // Memory: DDP keeps 2 full vectors; ZeRO one ⌈n/world⌉ chunk each.
+        assert_eq!(ddp.optim_state_bytes, n * 2 * 4);
+        assert_eq!(z1.optim_state_bytes, n.div_ceil(world) * 2 * 4);
+        assert_eq!(z1.optim_state_bytes, z2.optim_state_bytes);
+        // Stash: only zero2 sheds the parked parameters.
+        assert_eq!(ddp.stash_bytes, n * 4);
+        assert_eq!(z1.stash_bytes, n * 4);
+        assert_eq!(z2.stash_bytes, n.div_ceil(world) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn hybrid_strategies_cannot_be_forecast() {
+        let _ = forecast_strategy(
+            &ParallelismStrategy::Hybrid(vec![ParallelismStrategy::Zero1]),
+            &CostModel::ten_gbe(),
+            4,
+            1000,
+            1,
+            0.5,
+        );
     }
 
     #[test]

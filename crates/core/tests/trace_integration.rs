@@ -40,7 +40,7 @@ fn traced_dear_run_produces_serial_non_empty_streams() {
             let (x, labels) = data.shard(step, global_batch, rank, world);
             let _ = optim.train_step(&mut net, &x, &labels);
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
     });
     trace::set_enabled(false);
 

@@ -46,6 +46,13 @@ options:
   --wire DTYPE         data-path wire precision: f32 (default), bf16 or
                        f16 (sets DEAR_WIRE_DTYPE; gradients cross the
                        socket at the narrow width, accumulated in f32)
+  --strategy NAME      parallelism strategy: ddp (default), zero1 or
+                       zero2 (sets DEAR_STRATEGY; zero1 shards the
+                       optimizer state across ranks on the decoupled
+                       pipeline, zero2 additionally keeps only the owned
+                       parameter shard resident between reduce-scatter
+                       and all-gather — same losses bit-for-bit on the
+                       f32 wire, ~1/world the optimizer memory per rank)
   --pin-comm CORE      pin every rank's comm threads (TCP reader/writer)
                        to CPU core CORE (sets DEAR_PIN_COMM; best effort,
                        silently unpinned where the OS refuses)
@@ -162,6 +169,16 @@ fn parse_cli(mut args: Vec<String>) -> Result<Cli, String> {
                 }
                 opts.env.push(("DEAR_WIRE_DTYPE".to_string(), v));
             }
+            "--strategy" => {
+                let v = take_value(&args, &mut i, "--strategy")?;
+                // Validate at parse time so a typo dies here with the typed
+                // message instead of 4 ranks failing rendezvous later.
+                let parsed = v
+                    .parse::<dear_core::ParallelismStrategy>()
+                    .map_err(|e| format!("bad --strategy {v}: {e}"))?;
+                opts.env
+                    .push(("DEAR_STRATEGY".to_string(), parsed.as_str().to_string()));
+            }
             "--pin-comm" => {
                 let v = take_value(&args, &mut i, "--pin-comm")?;
                 let _: usize = v.parse().map_err(|_| format!("bad --pin-comm {v}"))?;
@@ -243,8 +260,8 @@ fn run() -> Result<(), NetError> {
     // worker, so `--demo` needs no separate worker binary.
     if args.first().is_some_and(|a| a == "--demo-worker") {
         let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
-        dear_core::trace::init_from_env();
         let cfg = NetConfig::from_env()?;
+        dear_core::trace::configure(cfg.trace.clone());
         let summary = run_demo_worker(&cfg, steps)?;
         println!("{}", summary.to_line());
         return Ok(());
@@ -255,8 +272,8 @@ fn run() -> Result<(), NetError> {
     if args.first().is_some_and(|a| a == "--demo-host-worker") {
         let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
         let ranks_per_host: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-        dear_core::trace::init_from_env();
         let cfg = NetConfig::from_env()?;
+        dear_core::trace::configure(cfg.trace.clone());
         for summary in run_demo_host(&cfg, steps, ranks_per_host)? {
             println!("{}", summary.to_line());
         }

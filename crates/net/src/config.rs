@@ -2,9 +2,12 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dear_collectives::DType;
+use dear_core::trace::TRACE_ENV;
+use dear_core::ParallelismStrategy;
 
 /// Demo-worker behaviour knobs (checkpointing, failure injection, tuning
 /// windows), carried inside [`NetConfig`] so that
@@ -132,6 +135,18 @@ pub struct NetConfig {
     /// one outsized collective cannot pin high-water memory for the run.
     /// Env: `DEAR_POOL_MAX_BUF`.
     pub pool_max_buf_bytes: usize,
+    /// How model state is partitioned across the world: classic data
+    /// parallelism (`ddp`, the default) or ZeRO-style optimizer-state
+    /// sharding (`zero1`/`zero2`) on the same decoupled pipeline. Passed
+    /// through to the run's
+    /// [`TrainConfig::strategy`](dear_core::TrainConfig).
+    /// Env: `DEAR_STRATEGY`; CLI: `--strategy NAME`.
+    pub strategy: ParallelismStrategy,
+    /// Chrome-trace output path prefix, or `None` to leave the recorder
+    /// off. The launch layer applies it via
+    /// [`trace::configure`](dear_core::trace::configure); each rank then
+    /// dumps `<prefix>.rank<R>.json`. Env: `DEAR_TRACE`; CLI: `--trace`.
+    pub trace: Option<PathBuf>,
     /// Demo-worker knobs (checkpoints, failure injection, tuning windows).
     pub demo: DemoOptions,
 }
@@ -179,6 +194,8 @@ impl NetConfig {
             host_id: None,
             pin_comm: None,
             pool_max_buf_bytes: crate::endpoint::POOL_MAX_BUF_BYTES,
+            strategy: ParallelismStrategy::Ddp,
+            trace: None,
             demo: DemoOptions::default(),
         }
     }
@@ -290,6 +307,20 @@ impl NetConfig {
         self
     }
 
+    /// Selects the parallelism strategy (`ddp`/`zero1`/`zero2`).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ParallelismStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the Chrome-trace output path prefix (`None` = recorder off).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<PathBuf>) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Replaces the demo-worker options.
     #[must_use]
     pub fn with_demo(mut self, demo: DemoOptions) -> Self {
@@ -314,8 +345,12 @@ impl NetConfig {
     /// `DEAR_HOST_ID` (this rank's physical-host identity, for the
     /// shared-memory tier; unset = every rank on its own pseudo-host),
     /// `DEAR_PIN_COMM` (CPU core to pin the comm threads to; unset = no
-    /// pinning), and `DEAR_POOL_MAX_BUF` (largest per-buffer capacity the
-    /// buffer pools retain, in bytes).
+    /// pinning), `DEAR_POOL_MAX_BUF` (largest per-buffer capacity the
+    /// buffer pools retain, in bytes), `DEAR_STRATEGY`
+    /// (`ddp`/`zero1`/`zero2`, the parallelism strategy; an unknown name
+    /// is a typed [`NetError::Config`], not a silent fallback), and
+    /// `DEAR_TRACE` (Chrome-trace path prefix; empty/unset = recorder
+    /// off).
     /// Demo-worker knobs (see [`DemoOptions`]): `DEAR_DEMO_EXIT_RANK`,
     /// `DEAR_DEMO_EXIT_AT_STEP`, `DEAR_DEMO_EXIT_GEN`, `DEAR_CKPT_DIR`,
     /// `DEAR_CKPT_EVERY`, `DEAR_TUNE_WINDOW`.
@@ -396,6 +431,16 @@ impl NetConfig {
                 )));
             }
             cfg.wire = wire;
+        }
+        if let Ok(name) = std::env::var("DEAR_STRATEGY") {
+            cfg.strategy = name
+                .parse::<ParallelismStrategy>()
+                .map_err(|e| NetError::Config(format!("DEAR_STRATEGY: {e}")))?;
+        }
+        if let Ok(path) = std::env::var(TRACE_ENV) {
+            if !path.is_empty() {
+                cfg.trace = Some(PathBuf::from(path));
+            }
         }
         if let Ok(r) = std::env::var("DEAR_DEMO_EXIT_RANK") {
             cfg.demo.exit_rank = Some(parse("DEAR_DEMO_EXIT_RANK", &r)?);
@@ -497,6 +542,8 @@ mod tests {
         assert_eq!(cfg.host_id, None, "host identity is opt-in");
         assert_eq!(cfg.pin_comm, None, "core pinning is opt-in");
         assert!(cfg.pool_max_buf_bytes >= 1 << 20);
+        assert_eq!(cfg.strategy, ParallelismStrategy::Ddp, "DDP is the default");
+        assert_eq!(cfg.trace, None, "tracing is opt-in");
     }
 
     #[test]
@@ -515,6 +562,8 @@ mod tests {
             .with_pin_comm(Some(0))
             .with_pool_max_buf_bytes(0) // clamped to 1
             .with_wire(DType::Bf16)
+            .with_strategy(ParallelismStrategy::Zero2)
+            .with_trace(Some(PathBuf::from("/tmp/trace/dear")))
             .with_demo(DemoOptions {
                 exit_rank: Some(1),
                 exit_at_step: 3,
@@ -537,6 +586,8 @@ mod tests {
         assert_eq!(cfg.pin_comm, Some(0));
         assert_eq!(cfg.pool_max_buf_bytes, 1);
         assert_eq!(cfg.wire, DType::Bf16);
+        assert_eq!(cfg.strategy, ParallelismStrategy::Zero2);
+        assert_eq!(cfg.trace, Some(PathBuf::from("/tmp/trace/dear")));
         assert_eq!(cfg.demo.exit_rank, Some(1));
         assert_eq!(cfg.demo.exit_at_step, 3);
         assert_eq!(cfg.demo.ckpt_every, 5, "untouched fields keep defaults");
@@ -557,6 +608,59 @@ mod tests {
     #[should_panic(expected = "numeric")]
     fn opaque_wire_dtype_is_rejected_by_the_builder() {
         let _ = NetConfig::new(2, 0, "127.0.0.1:29400").with_wire(DType::U8);
+    }
+
+    #[test]
+    fn dear_strategy_env_round_trips_and_rejects_garbage() {
+        // One test owns all the env mutation (tests share the process, so
+        // interleaving set/remove across tests would race): every runnable
+        // strategy round-trips through `DEAR_STRATEGY`, spelling variants
+        // land on the canonical value, an unknown name is a typed config
+        // error naming the variable, and `DEAR_TRACE` rides along into the
+        // typed `trace` field.
+        std::env::set_var("RANK", "0");
+        std::env::set_var("WORLD_SIZE", "2");
+        for (raw, want) in [
+            ("ddp", ParallelismStrategy::Ddp),
+            ("zero1", ParallelismStrategy::Zero1),
+            ("ZERO-1", ParallelismStrategy::Zero1),
+            ("zero2", ParallelismStrategy::Zero2),
+            ("Zero-2", ParallelismStrategy::Zero2),
+        ] {
+            std::env::set_var("DEAR_STRATEGY", raw);
+            let cfg = NetConfig::from_env().expect("valid strategy must parse");
+            assert_eq!(cfg.strategy, want, "DEAR_STRATEGY={raw}");
+            // And the canonical spelling round-trips exactly.
+            assert_eq!(
+                cfg.strategy
+                    .as_str()
+                    .parse::<ParallelismStrategy>()
+                    .unwrap(),
+                want
+            );
+        }
+        std::env::set_var("DEAR_STRATEGY", "zero9");
+        let err = NetConfig::from_env().expect_err("unknown strategy must be rejected");
+        match &err {
+            NetError::Config(msg) => {
+                assert!(
+                    msg.contains("DEAR_STRATEGY"),
+                    "error names the variable: {msg}"
+                );
+                assert!(msg.contains("zero9"), "error echoes the bad value: {msg}");
+            }
+            other => panic!("expected NetError::Config, got {other:?}"),
+        }
+        std::env::remove_var("DEAR_STRATEGY");
+        std::env::set_var("DEAR_TRACE", "/tmp/tr/prefix");
+        let cfg = NetConfig::from_env().unwrap();
+        assert_eq!(cfg.trace, Some(PathBuf::from("/tmp/tr/prefix")));
+        std::env::set_var("DEAR_TRACE", "");
+        let cfg = NetConfig::from_env().unwrap();
+        assert_eq!(cfg.trace, None, "empty DEAR_TRACE keeps the recorder off");
+        std::env::remove_var("DEAR_TRACE");
+        std::env::remove_var("RANK");
+        std::env::remove_var("WORLD_SIZE");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use dear_collectives::{naive_all_reduce, ReduceOp, Transport};
 use dear_core::fusion::RandomSearch;
 use dear_core::trace::{self, OverlapSummary};
 use dear_core::tuning::OnlineTuning;
-use dear_core::{run_worker, CheckpointStore, TrainCheckpoint, TrainConfig};
+use dear_core::{run_worker, CheckpointStore, ParallelismStrategy, TrainCheckpoint, TrainConfig};
 use dear_minidnn::{softmax_cross_entropy, BlobDataset, Linear, Relu, Sequential};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,15 +30,31 @@ pub struct DemoSummary {
     pub eval_loss: f32,
     /// Order-sensitive FNV-style hash of the final parameter bits.
     pub params_hash: u64,
+    /// The parallelism strategy the run trained under.
+    pub strategy: ParallelismStrategy,
+    /// Bytes of optimizer state resident on this rank's comm thread at the
+    /// end of the run — under `zero1`/`zero2` roughly `1/world` of the DDP
+    /// figure, which the strategy smoke test asserts.
+    pub optim_bytes: usize,
 }
 
 impl DemoSummary {
-    /// The stable one-line form the launcher smoke test parses.
+    /// The stable one-line form the launcher smoke test parses. The
+    /// `strategy`/`optim_bytes` fields ride at the end so older token-wise
+    /// parsers keep working; `optim_bytes` is per-rank and may legitimately
+    /// differ across ranks (chunk rounding), so cross-rank equality checks
+    /// must compare `eval_loss`/`params_hash`, not whole lines.
     #[must_use]
     pub fn to_line(&self) -> String {
         format!(
-            "dear-demo rank={} world={} eval_loss={:.6} params_hash={:016x}",
-            self.rank, self.world, self.eval_loss, self.params_hash
+            "dear-demo rank={} world={} eval_loss={:.6} params_hash={:016x} \
+             strategy={} optim_bytes={}",
+            self.rank,
+            self.world,
+            self.eval_loss,
+            self.params_hash,
+            self.strategy,
+            self.optim_bytes
         )
     }
 }
@@ -300,50 +316,47 @@ pub fn run_demo_on<T: Transport + Send + 'static>(
         fusion_buffer: Some(512), // several groups => real pipelining
         ..TrainConfig::default()
     }
-    .with_wire(cfg.wire);
+    .with_wire(cfg.wire)
+    .with_strategy(cfg.strategy.clone());
+    let fusion_hint = train_cfg.fusion_buffer.unwrap_or(0) as f64;
     // Optional throughput measurement over BO-style tuning windows
     // (`tune_window` steps per window, 0 = off). Checkpoint saves are
     // bracketed with pause()/resume() so their cost never lands inside a
     // window's observation.
     let tune_window = cfg.demo.tune_window;
     let elastic = cfg.elastic_resize;
-    let (eval_loss, params_hash, rank, world) = run_worker(transport, train_cfg, move |handle| {
-        let mut net = demo_net(7);
-        let mut optim = handle.into_optim(&net);
-        let mut rank = rank;
-        let mut world = world;
-        let mut tuning: Option<OnlineTuning<RandomSearch>> = (tune_window > 0).then(|| {
-            OnlineTuning::new(
-                None,
-                tune_window,
-                (8 * world) as f64,
-                train_cfg.fusion_buffer.unwrap_or(0) as f64,
-            )
-        });
-        if let Some(ckpt) = resume {
-            net.set_flat_params(&ckpt.params);
-            optim.import_optim_state(ckpt.optim);
-        }
-        // Rollback anchors for in-place resize: the last TWO boundaries
-        // this rank passed. A ring collective can complete on some
-        // survivors and fail on others when a peer dies mid-transfer, so
-        // one rank may pass the boundary sync (and snapshot step N) while
-        // another keeps N − ckpt_every; `agree_min_step` then picks the
-        // older step. Retaining the previous boundary lets the rank that
-        // raced one boundary ahead restore the snapshot *matching* the
-        // agreed step, instead of silently resuming newer parameters under
-        // an older step counter and diverging from its peers. More than
-        // one boundary of skew is impossible (a boundary sync is itself a
-        // collective the lagging rank would have had to complete), so any
-        // other mismatch panics into the supervised-restart fallback.
-        let mut step = start;
-        let mut snap_step = start;
-        let mut snap_params = net.flat_params();
-        let mut snap_optim = optim.export_optim_state();
-        let mut prev_step = snap_step;
-        let mut prev_params = snap_params.clone();
-        let mut prev_optim = snap_optim.clone();
-        macro_rules! recover {
+    let (eval_loss, params_hash, optim_bytes, rank, world) =
+        run_worker(transport, train_cfg, move |handle| {
+            let mut net = demo_net(7);
+            let mut optim = handle.into_optim(&net);
+            let mut rank = rank;
+            let mut world = world;
+            let mut tuning: Option<OnlineTuning<RandomSearch>> = (tune_window > 0)
+                .then(|| OnlineTuning::new(None, tune_window, (8 * world) as f64, fusion_hint));
+            if let Some(ckpt) = resume {
+                net.set_flat_params(&ckpt.params);
+                optim.import_optim_state(ckpt.optim);
+            }
+            // Rollback anchors for in-place resize: the last TWO boundaries
+            // this rank passed. A ring collective can complete on some
+            // survivors and fail on others when a peer dies mid-transfer, so
+            // one rank may pass the boundary sync (and snapshot step N) while
+            // another keeps N − ckpt_every; `agree_min_step` then picks the
+            // older step. Retaining the previous boundary lets the rank that
+            // raced one boundary ahead restore the snapshot *matching* the
+            // agreed step, instead of silently resuming newer parameters under
+            // an older step counter and diverging from its peers. More than
+            // one boundary of skew is impossible (a boundary sync is itself a
+            // collective the lagging rank would have had to complete), so any
+            // other mismatch panics into the supervised-restart fallback.
+            let mut step = start;
+            let mut snap_step = start;
+            let mut snap_params = net.flat_params();
+            let mut snap_optim = optim.export_optim_state();
+            let mut prev_step = snap_step;
+            let mut prev_params = snap_params.clone();
+            let mut prev_optim = snap_optim.clone();
+            macro_rules! recover {
             ($e:expr) => {{
                 eprintln!(
                     "dear-demo rank={rank} resizing in place after collective failure: {}",
@@ -395,93 +408,102 @@ pub fn run_demo_on<T: Transport + Send + 'static>(
                 );
             }};
         }
-        'run: loop {
-            while step < steps {
-                // Boundary work at the same steps on every generation
-                // (skipping the one just resumed at): synchronize is
-                // numerics-neutral, so interrupted, resized and
-                // uninterrupted runs produce bit-identical parameters.
-                // The boundary snapshot is the in-memory rollback anchor;
-                // the hash line lets an observer compare ranks.
-                if step > start && step % ckpt_every == 0 {
+            'run: loop {
+                while step < steps {
+                    // Boundary work at the same steps on every generation
+                    // (skipping the one just resumed at): synchronize is
+                    // numerics-neutral, so interrupted, resized and
+                    // uninterrupted runs produce bit-identical parameters.
+                    // The boundary snapshot is the in-memory rollback anchor;
+                    // the hash line lets an observer compare ranks.
+                    if step > start && step % ckpt_every == 0 {
+                        if elastic {
+                            if let Err(e) = optim.synchronize(&mut net) {
+                                recover!(e);
+                                continue;
+                            }
+                        } else {
+                            optim.synchronize_or_panic(&mut net);
+                        }
+                        prev_step = snap_step;
+                        prev_params = std::mem::replace(&mut snap_params, net.flat_params());
+                        prev_optim = std::mem::replace(&mut snap_optim, optim.export_optim_state());
+                        snap_step = step;
+                        // One write_all per line: stderr is unbuffered, so a
+                        // multi-fragment eprintln! from 4 ranks sharing the
+                        // supervisor's pipe can interleave mid-line and corrupt
+                        // the machine-parsed hash lines.
+                        let line = format!(
+                            "dear-demo rank={rank} world={world} step={step} params_hash={:016x}\n",
+                            hash_params(&snap_params)
+                        );
+                        let _ = std::io::Write::write_all(&mut std::io::stderr(), line.as_bytes());
+                        if let Some(store) = &store {
+                            let ckpt = TrainCheckpoint {
+                                step,
+                                params: snap_params.clone(),
+                                optim: snap_optim.clone(),
+                                rng: Vec::new(),
+                                tuner: None,
+                            };
+                            if let Some(t) = tuning.as_mut() {
+                                t.pause();
+                            }
+                            store
+                                .save(&ckpt)
+                                .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
+                            if let Some(t) = tuning.as_mut() {
+                                t.resume();
+                            }
+                        }
+                    }
+                    if exit_here && step == exit_step {
+                        eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
+                        std::process::exit(41);
+                    }
+                    let (x, labels) = data.shard(step, 8 * world, rank, world);
                     if elastic {
-                        if let Err(e) = optim.try_synchronize(&mut net) {
+                        if let Err(e) = optim.train_step(&mut net, &x, &labels) {
                             recover!(e);
                             continue;
                         }
                     } else {
-                        optim.synchronize(&mut net);
+                        optim.train_step_or_panic(&mut net, &x, &labels);
                     }
-                    prev_step = snap_step;
-                    prev_params = std::mem::replace(&mut snap_params, net.flat_params());
-                    prev_optim = std::mem::replace(&mut snap_optim, optim.export_optim_state());
-                    snap_step = step;
-                    // One write_all per line: stderr is unbuffered, so a
-                    // multi-fragment eprintln! from 4 ranks sharing the
-                    // supervisor's pipe can interleave mid-line and corrupt
-                    // the machine-parsed hash lines.
-                    let line = format!(
-                        "dear-demo rank={rank} world={world} step={step} params_hash={:016x}\n",
-                        hash_params(&snap_params)
-                    );
-                    let _ = std::io::Write::write_all(&mut std::io::stderr(), line.as_bytes());
-                    if let Some(store) = &store {
-                        let ckpt = TrainCheckpoint {
-                            step,
-                            params: snap_params.clone(),
-                            optim: snap_optim.clone(),
-                            rng: Vec::new(),
-                            tuner: None,
-                        };
-                        if let Some(t) = tuning.as_mut() {
-                            t.pause();
-                        }
-                        store
-                            .save(&ckpt)
-                            .unwrap_or_else(|e| panic!("checkpoint save at step {step}: {e}"));
-                        if let Some(t) = tuning.as_mut() {
-                            t.resume();
+                    if let Some(t) = tuning.as_mut() {
+                        if let Some(throughput) = t.on_step() {
+                            eprintln!(
+                                "dear-tune rank={rank} window={tune_window} \
+                             throughput={throughput:.1} samples/s"
+                            );
                         }
                     }
+                    step += 1;
                 }
-                if exit_here && step == exit_step {
-                    eprintln!("dear-demo rank={rank} dying abruptly at step {step} (injected)");
-                    std::process::exit(41);
-                }
-                let (x, labels) = data.shard(step, 8 * world, rank, world);
                 if elastic {
-                    if let Err(e) = optim.try_train_step(&mut net, &x, &labels) {
+                    if let Err(e) = optim.synchronize(&mut net) {
                         recover!(e);
                         continue;
                     }
                 } else {
-                    let _ = optim.train_step(&mut net, &x, &labels);
+                    optim.synchronize_or_panic(&mut net);
                 }
-                if let Some(t) = tuning.as_mut() {
-                    if let Some(throughput) = t.on_step() {
-                        eprintln!(
-                            "dear-tune rank={rank} window={tune_window} \
-                             throughput={throughput:.1} samples/s"
-                        );
-                    }
-                }
-                step += 1;
+                break 'run;
             }
-            if elastic {
-                if let Err(e) = optim.try_synchronize(&mut net) {
-                    recover!(e);
-                    continue;
-                }
-            } else {
-                optim.synchronize(&mut net);
-            }
-            break 'run;
-        }
-        let (x, labels) = data.batch(1_000_000, 64);
-        let logits = net.forward(&x);
-        let (loss, _) = softmax_cross_entropy(&logits, &labels);
-        (loss, hash_params(&net.flat_params()), rank, world)
-    });
+            // Queried after the final synchronize, so the figure reflects the
+            // steady resident state (dense shard under ZeRO, full under DDP).
+            let optim_bytes = optim.optim_state_bytes();
+            let (x, labels) = data.batch(1_000_000, 64);
+            let logits = net.forward(&x);
+            let (loss, _) = softmax_cross_entropy(&logits, &labels);
+            (
+                loss,
+                hash_params(&net.flat_params()),
+                optim_bytes,
+                rank,
+                world,
+            )
+        });
     // End-of-run trace dump: one Perfetto-loadable file per rank plus a
     // greppable overlap summary line on stderr.
     if let Some(prefix) = trace::configured_path() {
@@ -501,6 +523,8 @@ pub fn run_demo_on<T: Transport + Send + 'static>(
         world,
         eval_loss,
         params_hash,
+        strategy: cfg.strategy.clone(),
+        optim_bytes,
     })
 }
 
@@ -538,9 +562,13 @@ mod tests {
             world: 4,
             eval_loss: 0.25,
             params_hash: 0xdead_beef,
+            strategy: ParallelismStrategy::Zero2,
+            optim_bytes: 1234,
         };
         let line = s.to_line();
         assert!(line.contains("rank=2"));
         assert!(line.contains("params_hash=00000000deadbeef"));
+        assert!(line.contains("strategy=zero2"));
+        assert!(line.contains("optim_bytes=1234"));
     }
 }

@@ -165,7 +165,7 @@ pub fn data_frame_header(
 }
 
 /// Writes one [`FrameKind::Data`] frame as a stack header + borrowed
-/// payload pair via [`write_all_vectored`] — a single syscall in the
+/// payload pair via `write_all_vectored` — a single syscall in the
 /// common case, zero payload copies. Returns the wire bytes written so the
 /// caller can count traffic without re-deriving frame overheads.
 ///

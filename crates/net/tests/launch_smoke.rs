@@ -15,6 +15,8 @@ struct RankLine {
     world: usize,
     eval_loss: String,
     params_hash: String,
+    strategy: String,
+    optim_bytes: usize,
 }
 
 fn parse_lines(stdout: &str) -> Vec<RankLine> {
@@ -31,6 +33,8 @@ fn parse_lines(stdout: &str) -> Vec<RankLine> {
             world: field("world").parse().unwrap(),
             eval_loss: field("eval_loss"),
             params_hash: field("params_hash"),
+            strategy: field("strategy"),
+            optim_bytes: field("optim_bytes").parse().unwrap(),
         });
     }
     out
@@ -67,6 +71,83 @@ fn four_process_training_agrees_across_ranks() {
         assert_eq!(line.eval_loss, lines[0].eval_loss, "losses diverged");
         assert_eq!(line.params_hash, lines[0].params_hash, "params diverged");
     }
+}
+
+#[test]
+fn zero2_strategy_matches_ddp_losses_and_shards_optimizer_memory() {
+    // The strategy API end to end across processes: one DDP run and one
+    // `--strategy zero2` run over real sockets must finish with the SAME
+    // eval loss and parameter hash, string-exact (bit-identity on the f32
+    // wire), while every zero2 rank holds ~1/world of the DDP ranks'
+    // resident optimizer bytes.
+    let run = |extra: &[&str]| -> Vec<RankLine> {
+        let mut args = vec![
+            "--world",
+            "4",
+            "--demo",
+            "--steps",
+            "25",
+            "--timeout-secs",
+            "120",
+        ];
+        args.extend_from_slice(extra);
+        let output = Command::new(LAUNCH)
+            .args(&args)
+            .env("DEAR_RECV_TIMEOUT_MS", "60000")
+            .output()
+            .expect("running dear-launch");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            output.status.success(),
+            "launch {args:?} failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        );
+        let mut lines = parse_lines(&stdout);
+        assert_eq!(lines.len(), 4, "expected 4 rank lines in:\n{stdout}");
+        lines.sort_by_key(|l| l.rank);
+        lines
+    };
+    let ddp = run(&[]);
+    let zero2 = run(&["--strategy", "zero2"]);
+    for rank in 0..4 {
+        assert_eq!(ddp[rank].strategy, "ddp");
+        assert_eq!(zero2[rank].strategy, "zero2");
+        assert_eq!(
+            ddp[rank].eval_loss, zero2[rank].eval_loss,
+            "zero2 losses diverged from DDP"
+        );
+        assert_eq!(
+            ddp[rank].params_hash, zero2[rank].params_hash,
+            "zero2 parameters diverged from DDP"
+        );
+        // ~1/world the resident optimizer state, with chunk-rounding slack.
+        assert!(
+            zero2[rank].optim_bytes * 4 <= ddp[rank].optim_bytes * 5 / 4,
+            "rank {rank}: zero2 resident {} bytes vs ddp {} — expected ~4x less",
+            zero2[rank].optim_bytes,
+            ddp[rank].optim_bytes
+        );
+        assert!(
+            zero2[rank].optim_bytes > 0,
+            "rank {rank} reported an empty optimizer shard"
+        );
+    }
+}
+
+#[test]
+fn launcher_rejects_unknown_strategy_at_parse_time() {
+    // A typo must die in the CLI parser with the typed message, before any
+    // worker process is spawned.
+    let output = Command::new(LAUNCH)
+        .args(["--world", "4", "--demo", "--strategy", "zero3"])
+        .output()
+        .expect("running dear-launch");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("bad --strategy zero3") && stderr.contains("unknown strategy"),
+        "expected the typed parse error, got:\n{stderr}"
+    );
 }
 
 #[test]

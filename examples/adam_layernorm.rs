@@ -53,21 +53,21 @@ fn main() {
         let mut optim = handle.into_optim(&net);
         for step in 0..steps {
             let (x, labels) = data.shard(step, global_batch, rank, world);
-            let loss = optim.train_step(&mut net, &x, &labels);
+            let loss = optim.train_step(&mut net, &x, &labels).unwrap();
             if rank == 0 && step % 24 == 0 {
                 println!("  step {step:>3}: loss {loss:.4}");
             }
             if step == steps / 2 {
                 // Mid-training re-bucketing: Adam's m and v shards migrate
                 // to their new owners via the redistribution collective.
-                optim.synchronize(&mut net);
+                optim.synchronize(&mut net).unwrap();
                 optim.set_fusion_buffer(&net, Some(64 << 10));
                 if rank == 0 {
                     println!("  re-bucketed to 64 KB ({} groups)", optim.num_groups());
                 }
             }
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         let (x, labels) = data.batch(777_777, 512);
         (accuracy(&net.forward(&x), &labels), net.flat_params())
     });

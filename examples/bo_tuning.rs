@@ -57,7 +57,7 @@ fn main() {
                 step += 1;
                 if let Some(throughput) = tuning.on_step() {
                     // Window closed: rank 0 suggests, everyone adopts.
-                    optim.synchronize(&mut net);
+                    optim.synchronize(&mut net).unwrap();
                     let suggestion = tuning.next_suggestion(throughput);
                     let agreed = optim.broadcast_value(0, suggestion);
                     tuning.adopt(agreed);
@@ -69,7 +69,7 @@ fn main() {
                 }
             }
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         (history, net.flat_params())
     });
 

@@ -48,7 +48,7 @@ fn main() {
         let mut last_loss = 0.0;
         for step in 0..steps {
             let (x, labels) = data.shard(step, global_batch, rank, world);
-            let loss = optim.train_step(&mut net, &x, &labels);
+            let loss = optim.train_step(&mut net, &x, &labels).unwrap();
             first_loss.get_or_insert(loss);
             last_loss = loss;
             if rank == 0 && step % 30 == 0 {
@@ -59,7 +59,7 @@ fn main() {
             }
         }
         // Listing 1 lines 12-13: synchronize before evaluation.
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         let (x, labels) = data.batch(1_000_000, 512);
         let acc = accuracy(&net.forward(&x), &labels);
         (

@@ -43,12 +43,12 @@ fn train(transport: TcpEndpoint) -> (usize, f32) {
         let mut optim = handle.into_optim(&net);
         for step in 0..60 {
             let (x, labels) = data.shard(step, 16 * world, rank, world);
-            let loss = optim.train_step(&mut net, &x, &labels);
+            let loss = optim.train_step(&mut net, &x, &labels).unwrap();
             if rank == 0 && step % 20 == 0 {
                 println!("step {step:3}  rank0 shard loss {loss:.4}");
             }
         }
-        optim.synchronize(&mut net); // before validation
+        optim.synchronize(&mut net).unwrap(); // before validation
         let (x, labels) = data.batch(1_000_000, 256);
         let acc = accuracy(&net.forward(&x), &labels);
         (rank, acc)

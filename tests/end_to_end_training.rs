@@ -40,7 +40,7 @@ fn dear_equals_reference_across_world_sizes() {
         };
         let steps = 12;
         let global_batch = 24;
-        let params = run_training(world, config, |handle| {
+        let params = run_training(world, config.clone(), |handle| {
             let rank = handle.rank();
             let mut net = build_net(9);
             let mut optim = handle.into_optim(&net);
@@ -48,7 +48,7 @@ fn dear_equals_reference_across_world_sizes() {
                 let (x, labels) = data.shard(step, global_batch, rank, world);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         for p in &params[1..] {
@@ -84,7 +84,7 @@ fn dear_and_wfbp_modes_agree_with_each_other() {
                 let (x, labels) = data.shard(step, 16, rank, 4);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         });
         outputs.push(params[0].clone());
@@ -115,7 +115,7 @@ fn training_over_emulated_network_still_converges() {
             let (x, labels) = data.shard(step, 24, rank, 3);
             let _ = optim.train_step(&mut net, &x, &labels);
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         let (x, labels) = data.batch(99_999, 200);
         accuracy(&net.forward(&x), &labels)
     });
@@ -142,7 +142,7 @@ fn unfused_and_heavily_fused_agree() {
                 let (x, labels) = data.shard(step, 16, rank, 4);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         })
         .remove(0)
@@ -167,7 +167,7 @@ fn validation_mid_training_uses_fresh_parameters() {
             let (x, labels) = data.shard(step, 32, rank, 4);
             let _ = optim.train_step(&mut net, &x, &labels);
             if step % 10 == 9 {
-                optim.synchronize(&mut net);
+                optim.synchronize(&mut net).unwrap();
                 checkpoints.push(net.flat_params());
             }
         }

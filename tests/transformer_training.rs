@@ -50,7 +50,7 @@ fn transformer_block_trains_and_matches_reference_under_dear() {
             let (x, labels) = data.shard(step, 32, rank, 4);
             let _ = optim.train_step(&mut net, &x, &labels);
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         net.flat_params()
     });
     for p in &params[1..] {
@@ -87,7 +87,7 @@ fn transformer_block_reaches_high_accuracy_distributed() {
             let (x, labels) = data.shard(step, 32, rank, 4);
             let _ = optim.train_step(&mut net, &x, &labels);
         }
-        optim.synchronize(&mut net);
+        optim.synchronize(&mut net).unwrap();
         let (x, labels) = data.batch(500_000, 256);
         accuracy(&net.forward(&x), &labels)
     });
@@ -115,7 +115,7 @@ fn transformer_dear_and_wfbp_agree() {
                 let (x, labels) = data.shard(step, 24, rank, 3);
                 let _ = optim.train_step(&mut net, &x, &labels);
             }
-            optim.synchronize(&mut net);
+            optim.synchronize(&mut net).unwrap();
             net.flat_params()
         })
         .remove(0)
